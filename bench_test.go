@@ -1,0 +1,363 @@
+// Benchmarks regenerating the paper's tables and figures; one benchmark
+// (family) per table/figure. Absolute numbers are specific to this
+// implementation — the reproduced content is the relative shape recorded
+// in EXPERIMENTS.md. Run with: go test -bench . -benchmem
+package dxml_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dxml"
+)
+
+// --- Table 2: bottom-up consistency and typeT sizes ---
+
+func table2Typing(m int, kind dxml.Kind) (*dxml.Kernel, dxml.Typing) {
+	re2 := strings.TrimSuffix(strings.Repeat("(a|b) ", m), " ")
+	k := dxml.MustParseKernel("s0(f1 f2)")
+	ty := dxml.DTDTyping(
+		dxml.MustParseDTD(kind, "root s1\ns1 -> (a|b)* a"),
+		dxml.MustParseDTD(kind, "root s2\ns2 -> "+re2),
+	)
+	return k, ty
+}
+
+func BenchmarkTable2_ConsDTD_nFA(b *testing.B) {
+	k, ty := table2Typing(6, dxml.KindNFA)
+	var size int
+	for i := 0; i < b.N; i++ {
+		res, err := dxml.ConsDTD(k, ty, dxml.KindNFA)
+		if err != nil || !res.Consistent {
+			b.Fatal("inconsistent")
+		}
+		size = res.DTD.Size()
+	}
+	b.ReportMetric(float64(size), "typeT-size")
+}
+
+func BenchmarkTable2_ConsDTD_dFA(b *testing.B) {
+	k, ty := table2Typing(6, dxml.KindDFA)
+	var size int
+	for i := 0; i < b.N; i++ {
+		res, err := dxml.ConsDTD(k, ty, dxml.KindDFA)
+		if err != nil || !res.Consistent {
+			b.Fatal("inconsistent")
+		}
+		size = res.DTD.Size()
+	}
+	b.ReportMetric(float64(size), "typeT-size")
+}
+
+func BenchmarkTable2_ConsDTD_dRE(b *testing.B) {
+	k := dxml.MustParseKernel("s0(a f1 c f2)")
+	ty := dxml.DTDTyping(
+		dxml.MustParseDTD(dxml.KindDRE, "root s1\ns1 -> b*"),
+		dxml.MustParseDTD(dxml.KindDRE, "root s2\ns2 -> d*"),
+	)
+	for i := 0; i < b.N; i++ {
+		res, err := dxml.ConsDTD(k, ty, dxml.KindDRE)
+		if err != nil || !res.Consistent {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+func BenchmarkTable2_ConsSDTD(b *testing.B) {
+	k := dxml.MustParseKernel("s0(f1 a(b f2) c)")
+	ty := dxml.Typing{
+		dxml.MustParseEDTD(dxml.KindNRE, "root s1\ns1 -> b1, d1+, a1*\na1 : a -> b1+\nb1 : b -> ε\nd1 : d -> ε"),
+		dxml.MustParseEDTD(dxml.KindNRE, "root s2\ns2 -> b2*\nb2 : b -> ε"),
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := dxml.ConsSDTD(k, ty, dxml.KindNFA)
+		if err != nil || !res.Consistent {
+			b.Fatal("inconsistent")
+		}
+	}
+}
+
+func BenchmarkTable2_ConsEDTD(b *testing.B) {
+	k, ty := table2Typing(6, dxml.KindNFA)
+	for i := 0; i < b.N; i++ {
+		if _, err := dxml.ConsEDTD(k, ty, dxml.KindNFA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: top-down decision problems ---
+
+func BenchmarkTable3_Loc_Words(b *testing.B) {
+	d := dxml.MustWordDesign("(a b)+ (a b)+", "f1 f2")
+	typing := dxml.MustWordTyping("(a b)+", "(a b)+")
+	for i := 0; i < b.N; i++ {
+		if !d.Local(typing) {
+			b.Fatal("should be local")
+		}
+	}
+}
+
+func BenchmarkTable3_Ml_Words(b *testing.B) {
+	typing := dxml.MustWordTyping("(a b)+", "(a b)+")
+	for i := 0; i < b.N; i++ {
+		d := dxml.MustWordDesign("(a b)+ (a b)+", "f1 f2")
+		if _, err := d.MaximalLocal(typing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_Perf_Words(b *testing.B) {
+	typing := dxml.MustWordTyping("a*", "c*")
+	for i := 0; i < b.N; i++ {
+		d := dxml.MustWordDesign("a* b c*", "f1 b f2")
+		if !d.IsPerfect(typing) {
+			b.Fatal("should be perfect")
+		}
+	}
+}
+
+func BenchmarkTable3_ExistsPerfect_Words(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := dxml.MustWordDesign("a* b c*", "f1 b f2")
+		if _, ok := d.PerfectTyping(); !ok {
+			b.Fatal("should exist")
+		}
+	}
+}
+
+func BenchmarkTable3_ExistsMl_Words(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := dxml.MustWordDesign("(a b)+", "f1 f2")
+		if ts := d.MaximalLocalTypings(); len(ts) != 3 {
+			b.Fatalf("want 3 typings, got %d", len(ts))
+		}
+	}
+}
+
+func eurostatDTDBench() *dxml.DTDDesign {
+	return &dxml.DTDDesign{
+		Type: dxml.MustParseDTD(dxml.KindNRE, `
+			root eurostat
+			eurostat -> averages, nationalIndex*
+			averages -> (Good, index+)+
+			nationalIndex -> country, Good, (index | value, year)
+			index -> value, year`),
+		Kernel: dxml.MustParseKernel("eurostat(f0 f1 f2 f3)"),
+	}
+}
+
+func tauPPDesign() *dxml.EDTDDesign {
+	return &dxml.EDTDDesign{
+		Type: dxml.MustParseEDTD(dxml.KindNRE, `
+			root eurostat
+			eurostat -> averages, (natIndA, natIndB)+
+			averages -> (Good, index+)+
+			natIndA : nationalIndex -> country, Good, index
+			natIndB : nationalIndex -> country, Good, value, year
+			index -> value, year`),
+		Kernel: dxml.MustParseKernel("eurostat(f1 nationalIndex(f2) f3)"),
+	}
+}
+
+func BenchmarkTable3_ExistsPerfect_DTD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := eurostatDTDBench()
+		if _, ok := d.ExistsPerfect(); !ok {
+			b.Fatal("should exist")
+		}
+	}
+}
+
+func BenchmarkTable3_ExistsMl_EDTD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := tauPPDesign()
+		ts, err := d.MaximalLocalTypings()
+		if err != nil || len(ts) != 2 {
+			b.Fatalf("want 2 typings, got %d (err=%v)", len(ts), err)
+		}
+	}
+}
+
+func BenchmarkTable3_Loc_EDTD(b *testing.B) {
+	d := tauPPDesign()
+	ts, err := d.MaximalLocalTypings()
+	if err != nil || len(ts) == 0 {
+		b.Fatal("no typing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d2 := tauPPDesign()
+		ok, err := d2.IsLocal(ts[0])
+		if err != nil || !ok {
+			b.Fatal("should be local")
+		}
+	}
+}
+
+// --- Figure 4/5: the Eurostat designs ---
+
+func BenchmarkFig4_EurostatPerfectTyping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := eurostatDTDBench()
+		if _, ok := d.ExistsPerfect(); !ok {
+			b.Fatal("Figure 4 typing should exist")
+		}
+	}
+}
+
+func BenchmarkFig5_EurostatNoLocal(b *testing.B) {
+	tauPrime := dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, (natIndA* | natIndB*)
+		averages -> (Good, index+)+
+		natIndA -> country, Good, index
+		natIndB -> country, Good, value, year
+		index -> value, year`)
+	for i := 0; i < b.N; i++ {
+		d := &dxml.DTDDesign{Type: tauPrime, Kernel: dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")}
+		if _, ok := d.ExistsLocal(); ok {
+			b.Fatal("τ′ should have no local typing")
+		}
+	}
+}
+
+// --- Figure 7: the perfect-automaton construction (Lemma 6.6) ---
+
+func BenchmarkFig7_PerfectAutomaton(b *testing.B) {
+	re := ""
+	k := 8
+	for i := 0; i < k; i++ {
+		re += fmt.Sprintf("a%d ", i)
+	}
+	target := "(" + strings.TrimSpace(re) + ")*"
+	var states int
+	for i := 0; i < b.N; i++ {
+		d := dxml.MustWordDesign(target, "f1 f2")
+		states = d.Perfect().OmegaNFA().NumStates()
+	}
+	b.ReportMetric(float64(states), "omega-states")
+}
+
+// --- Figure 8: the Dec cell decomposition ---
+
+func BenchmarkFig8_Decomposition(b *testing.B) {
+	autos := []*dxml.NFA{
+		dxml.RegexNFA(dxml.MustParseRegex("a*")),
+		dxml.RegexNFA(dxml.MustParseRegex("a+ b*")),
+		dxml.RegexNFA(dxml.MustParseRegex("a a | a a a | b")),
+		dxml.RegexNFA(dxml.MustParseRegex("(a|b)*")),
+	}
+	var cells int
+	for i := 0; i < b.N; i++ {
+		cells = len(dxml.DecomposeCells(autos))
+	}
+	b.ReportMetric(float64(cells), "cells")
+}
+
+// --- Distributed vs centralized validation (Remark 4) ---
+
+func buildFederation(b *testing.B, indexes int) (*dxml.Network, *dxml.Network) {
+	global := dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, nationalIndex*
+		averages -> (Good, index+)+
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year`)
+	kernel := dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")
+	design := &dxml.DTDDesign{Type: global, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		b.Fatal("no typing")
+	}
+	mk := func() *dxml.Network {
+		n := dxml.NewNetwork(kernel, global.ToEDTD())
+		for i, f := range kernel.Funcs() {
+			root := typing[i].Starts[0]
+			var doc *dxml.Tree
+			if i == 0 {
+				doc = dxml.MustParseTree(root + "(averages(Good index(value year)))")
+			} else {
+				doc = dxml.MustParseTree(root + "()")
+				for j := 0; j < indexes; j++ {
+					doc.Children = append(doc.Children,
+						dxml.MustParseTree("nationalIndex(country Good index(value year))"))
+				}
+			}
+			if err := n.AddPeer(f, doc, typing[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return n
+	}
+	return mk(), mk()
+}
+
+func BenchmarkDistributedValidation(b *testing.B) {
+	dist, _ := buildFederation(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := dist.ValidateDistributed()
+		if err != nil || !ok {
+			b.Fatal("should validate")
+		}
+	}
+	_, bytes := dist.Stats.Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "wire-bytes/op")
+}
+
+func BenchmarkCentralizedValidation(b *testing.B) {
+	_, cent := buildFederation(b, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := cent.ValidateCentralized()
+		if err != nil || !ok {
+			b.Fatal("should validate")
+		}
+	}
+	_, bytes := cent.Stats.Snapshot()
+	b.ReportMetric(float64(bytes)/float64(b.N), "wire-bytes/op")
+}
+
+// --- Substrate benchmarks ---
+
+func BenchmarkBuildDRE(b *testing.B) {
+	nfa := dxml.RegexNFA(dxml.MustParseRegex("(a|b)* a"))
+	for i := 0; i < b.N; i++ {
+		if _, ok := dxml.BuildDRE(nfa); !ok {
+			b.Fatal("should be one-unambiguous")
+		}
+	}
+}
+
+func BenchmarkEquivalentEDTD(b *testing.B) {
+	x := dxml.MustParseEDTD(dxml.KindNRE, "root s\ns -> a1 | a2\na1 : a -> b\na2 : a -> c")
+	y := dxml.MustParseEDTD(dxml.KindNRE, "root s\ns -> a3\na3 : a -> b | c")
+	for i := 0; i < b.N; i++ {
+		if ok, _ := dxml.EquivalentEDTD(x, y); !ok {
+			b.Fatal("should be equivalent")
+		}
+	}
+}
+
+func BenchmarkValidateDTD(b *testing.B) {
+	d := dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, nationalIndex*
+		averages -> (Good, index+)+
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year`)
+	doc := dxml.MustParseTree("eurostat(averages(Good index(value year)))")
+	for i := 0; i < 200; i++ {
+		doc.Children = append(doc.Children,
+			dxml.MustParseTree("nationalIndex(country Good value year)"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

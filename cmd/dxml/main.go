@@ -1,0 +1,71 @@
+// Command dxml decides distributed XML design problems on a design file.
+//
+// Usage:
+//
+//	dxml -problem <problem> <design-file>
+//	dxml -problem validate <design-file> <document.term>
+//
+// Problems: exists-local, exists-ml, exists-perfect (top-down existence);
+// loc, ml, perf (verification of the typing given in the file);
+// cons (bottom-up consistency for the file's class); validate.
+//
+// Design file format (see testdata/ for examples):
+//
+//	class dtd | sdtd | edtd | word
+//	kind nFA | dFA | nRE | dRE
+//	kernel eurostat(f0 f1 f2)      # or, for class word:
+//	kernelstring a f1 c f2 e
+//	type:
+//	  root eurostat
+//	  eurostat -> averages, nationalIndex*
+//	end
+//	typing f1:                      # optional; word class: typing f1: regex
+//	  root root1
+//	  root1 -> nationalIndex*
+//	end
+//
+// Lines starting with # are comments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	problem := flag.String("problem", "exists-perfect", "problem to decide")
+	trivial := flag.Bool("allow-trivial", false, "allow {ε} as a resource type (literal Definition 12; see DESIGN.md E4)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dxml -problem <problem> <design-file> [document]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	df, err := ParseDesignFile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	df.AllowTrivial = *trivial
+	var doc string
+	if flag.NArg() > 1 {
+		b, err := os.ReadFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		doc = string(b)
+	}
+	out, err := Run(df, *problem, doc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxml:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func load(t *testing.T, name string) *DesignFile {
+	t.Helper()
+	src, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := ParseDesignFile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func TestEurostatDesignFile(t *testing.T) {
+	df := load(t, "eurostat.design")
+	out, err := Run(df, "exists-perfect", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perfect typing exists") || !strings.Contains(out, "nationalIndex*") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	for _, problem := range []string{"loc", "ml", "perf"} {
+		out, err = Run(df, problem, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "true") {
+			t.Errorf("%s should verify Figure 4's typing, got %q", problem, out)
+		}
+	}
+	out, err = Run(df, "cons", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cons[nRE-DTD]: yes") {
+		t.Errorf("cons output:\n%s", out)
+	}
+	out, err = Run(df, "validate",
+		"eurostat(averages(Good index(value year)) nationalIndex(country Good value year))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "valid") || strings.Contains(out, "invalid") {
+		t.Errorf("validate output: %q", out)
+	}
+	out, _ = Run(df, "validate", "eurostat(nationalIndex(country))")
+	if !strings.Contains(out, "invalid") {
+		t.Errorf("validate should reject, got %q", out)
+	}
+}
+
+func TestExample3DesignFile(t *testing.T) {
+	df := load(t, "example3.design")
+	out, err := Run(df, "exists-perfect", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perfect typing exists") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = Run(df, "perf", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perfect: true") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestTauPrimePrimeDesignFile(t *testing.T) {
+	df := load(t, "tauprimeprime.design")
+	out, err := Run(df, "exists-perfect", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no perfect typing") {
+		t.Errorf("output:\n%s", out)
+	}
+	out, err = Run(df, "exists-ml", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 maximal local typing(s)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestWordProblemsViaCLI(t *testing.T) {
+	df := load(t, "example3.design")
+	for _, c := range []struct {
+		problem, want string
+	}{
+		{"exists-local", "local typing exists"},
+		{"exists-ml", "1 maximal local typing(s)"},
+		{"loc", "local: true"},
+		{"ml", "maximal local: true"},
+		{"perf", "perfect: true"},
+	} {
+		out, err := Run(df, c.problem, "")
+		if err != nil {
+			t.Fatalf("%s: %v", c.problem, err)
+		}
+		if !strings.Contains(out, c.want) {
+			t.Errorf("%s: output %q does not contain %q", c.problem, out, c.want)
+		}
+	}
+	if _, err := Run(df, "nonsense", ""); err == nil {
+		t.Error("unknown problem should fail")
+	}
+}
+
+func TestQuasiPerfectViaCLI(t *testing.T) {
+	df, err := ParseDesignFile(`
+class word
+kernelstring a f1
+type a b* | d
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(df, "quasi-perfect", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "quasi-perfect typing exists") ||
+		!strings.Contains(out, "not local") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestWordNoLocalViaCLI(t *testing.T) {
+	df, err := ParseDesignFile(`
+class word
+kernelstring f1 f2
+type a b | b a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(df, "exists-local", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no local typing") {
+		t.Errorf("output: %q", out)
+	}
+	out, err = Run(df, "exists-ml", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no maximal local typing") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestSDTDClassViaCLI(t *testing.T) {
+	df, err := ParseDesignFile(`
+class sdtd
+kind nRE
+kernel s(a(f1) b(a(f2)))
+type:
+  root s
+  s -> a1, b1
+  a1 : a -> x*
+  b1 : b -> a2
+  a2 : a -> y?
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(df, "exists-perfect", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perfect typing exists") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestParseDesignFileErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // no type
+		"class word\ntype a b",               // no kernelstring
+		"kernel s(f1)\ntype:\nroot s",        // unterminated block
+		"kind zz\nkernel s(f1)\ntype s -> a", // bad kind
+		"garbage line",
+	}
+	for _, src := range cases {
+		if _, err := ParseDesignFile(src); err == nil {
+			t.Errorf("ParseDesignFile(%q) should fail", src)
+		}
+	}
+}

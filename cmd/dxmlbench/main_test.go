@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// TestExperimentsRun smoke-tests the fast experiments end to end (the
+// heavy ones — table2/table3 — are exercised by `dxmlbench -exp all` and
+// the root benchmarks).
+func TestExperimentsRun(t *testing.T) {
+	table1()
+	fig4()
+	fig6()
+	fig8()
+}

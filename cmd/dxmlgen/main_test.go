@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dxml"
+)
+
+func TestParseTypeW3CAndArrow(t *testing.T) {
+	w3c := `<!ELEMENT s (a*)> <!ELEMENT a (#PCDATA)>`
+	e, err := parseType(w3c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Elem(e.Starts[0]) != "s" {
+		t.Errorf("root = %s", e.Starts[0])
+	}
+	arrow := "s -> a*\n"
+	e, err = parseType(arrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Starts[0] != "s" {
+		t.Errorf("ensureRoot failed: %v", e.Starts)
+	}
+	withRoot := "root s\ns -> a*"
+	if _, err := parseType(withRoot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureRootSpecialized(t *testing.T) {
+	src := "x1 : x -> y\n"
+	out := ensureRoot(src)
+	if !strings.HasPrefix(out, "root x1\n") {
+		t.Errorf("ensureRoot = %q", out)
+	}
+}
+
+func TestSampledOutputsValidate(t *testing.T) {
+	e, err := parseType("root s\ns -> a+ b?\na -> c*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := dxml.NewSampler(e, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		doc, err := sampler.Document()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vErr := e.Validate(doc); vErr != nil {
+			t.Fatalf("sample invalid: %v", vErr)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package dxml is a Go implementation of the theory of distributed XML
+// design of S. Abiteboul, G. Gottlob and M. Manna (“Distributed XML
+// Design”, PODS 2009; extended version arXiv:1012.2648).
+//
+// A distributed XML document is a kernel document T[f1,…,fn] whose
+// function-labeled leaves are docking points for external resources. This
+// package answers the design questions the paper studies:
+//
+// Bottom-up: given local types τ1…τn for the resources, what is the global
+// type of all possible materializations — and is it expressible as a DTD,
+// a single-type EDTD (XML Schema), or an EDTD (Relax NG)? See Compose,
+// ConsDTD, ConsSDTD, ConsEDTD.
+//
+// Top-down: given a global type τ, can it be enforced purely locally?
+// The package decides whether a given typing is sound, local, maximal
+// local or perfect, and whether such typings exist, constructing them when
+// they do. See DTDDesign, SDTDDesign, EDTDDesign, WordDesign and the
+// perfect-automaton machinery.
+//
+// The underlying substrates (finite automata with the Brüggemann-Klein/
+// Wood one-unambiguity theory, unranked tree automata, XML schema
+// abstractions, kernels and typings) live in internal packages and are
+// re-exported here as type aliases, so the whole system is usable through
+// this single import:
+//
+//	tau := dxml.MustParseW3CDTD(dxml.KindNRE, figure3)
+//	kernel := dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")
+//	design := &dxml.DTDDesign{Type: tau, Kernel: kernel}
+//	typing, ok := design.ExistsPerfect() // Figure 4's typing
+package dxml

@@ -1,0 +1,211 @@
+package dxml
+
+import (
+	"dxml/internal/axml"
+	"dxml/internal/core"
+	"dxml/internal/gen"
+	"dxml/internal/p2p"
+	"dxml/internal/schema"
+	"dxml/internal/strlang"
+	"dxml/internal/uta"
+	"dxml/internal/xmltree"
+)
+
+// Trees and documents (Section 2.1.1).
+type (
+	// Tree is a finite ordered unranked labeled tree.
+	Tree = xmltree.Tree
+)
+
+// Regular string languages (Section 2.1.2).
+type (
+	// Symbol is an alphabet symbol (a plain string).
+	Symbol = strlang.Symbol
+	// NFA is a nondeterministic finite automaton with ε-transitions.
+	NFA = strlang.NFA
+	// DFA is a partial deterministic finite automaton.
+	DFA = strlang.DFA
+	// Regex is a regular expression AST (nRE).
+	Regex = strlang.Regex
+	// Box is a cartesian product of symbol sets.
+	Box = strlang.Box
+)
+
+// Schema abstractions (Section 2.2).
+type (
+	// Kind is the content-model formalism R ∈ {nFA, dFA, nRE, dRE}.
+	Kind = schema.Kind
+	// Content is a content model in one of the four formalisms.
+	Content = schema.Content
+	// DTD is an R-DTD (Definition 3).
+	DTD = schema.DTD
+	// EDTD is an R-EDTD (Definition 7); single-type EDTDs are R-SDTDs
+	// (Definition 6).
+	EDTD = schema.EDTD
+)
+
+// The four content-model formalisms.
+const (
+	KindNFA = schema.KindNFA
+	KindDFA = schema.KindDFA
+	KindNRE = schema.KindNRE
+	KindDRE = schema.KindDRE
+)
+
+// Distributed documents (Section 2.3).
+type (
+	// Kernel is a kernel document T[f1,…,fn].
+	Kernel = axml.Kernel
+	// KernelString is a kernel string w0 f1 w1 … fn wn.
+	KernelString = axml.KernelString
+	// KernelBox is a kernel box B0 f1 B1 … fn Bn (Section 7).
+	KernelBox = axml.KernelBox
+)
+
+// Design problems (Sections 3–7).
+type (
+	// Typing maps a kernel's functions to types (Section 2.3).
+	Typing = core.Typing
+	// WordTyping types the functions of a kernel string.
+	WordTyping = core.WordTyping
+	// ConsResult is the outcome of a cons[S] decision (Definition 11).
+	ConsResult = core.ConsResult
+	// WordDesign is a top-down design over a kernel string (Section 5).
+	WordDesign = core.WordDesign
+	// DynamicResult holds the limit languages of a self-referential
+	// typing (Section 8).
+	DynamicResult = core.DynamicResult
+	// BoxDesign is a top-down design over a kernel box (Section 7).
+	BoxDesign = core.BoxDesign
+	// DTDDesign is a top-down R-DTD design (Section 4.1).
+	DTDDesign = core.DTDDesign
+	// SDTDDesign is a top-down R-SDTD design (Section 4.2).
+	SDTDDesign = core.SDTDDesign
+	// EDTDDesign is a top-down R-EDTD design (Section 4.3).
+	EDTDDesign = core.EDTDDesign
+	// PerfectAutomaton is Ω(A, w) (Section 6, Algorithm 1).
+	PerfectAutomaton = core.PerfectAutomaton
+	// Cell is a nonempty cell of the Dec(Ωi) decomposition (Section 6.1).
+	Cell = core.Cell
+	// Kappa assigns specialized-name sets to kernel nodes (Definition 19).
+	Kappa = core.Kappa
+)
+
+// Distributed validation substrate.
+type (
+	// Network is a simulated Active XML federation.
+	Network = p2p.Network
+	// ResourcePeer owns one docking point's document and local type.
+	ResourcePeer = p2p.ResourcePeer
+	// Sampler draws random valid documents from a type.
+	Sampler = gen.Sampler
+)
+
+// Unranked tree automata (Section 2.1.3).
+type (
+	// NUTA is a nondeterministic unranked tree automaton.
+	NUTA = uta.NUTA
+	// DUTA is its bottom-up determinization.
+	DUTA = uta.DUTA
+)
+
+// Parsing and construction helpers.
+var (
+	// ParseTree parses the paper's term syntax, e.g. "s0(a f1 b(f2))".
+	ParseTree = xmltree.Parse
+	// MustParseTree panics on error.
+	MustParseTree = xmltree.MustParse
+	// ParseXML reads an XML document's element structure.
+	ParseXML = xmltree.ParseXML
+
+	// ParseRegex parses the concrete regex syntax ("a, b* | c?").
+	ParseRegex = strlang.ParseRegex
+	// MustParseRegex panics on error.
+	MustParseRegex = strlang.MustParseRegex
+	// RegexNFA is the Glushkov construction.
+	RegexNFA = strlang.RegexNFA
+	// RegexString renders a regex.
+	RegexString = strlang.RegexString
+	// RegexFromNFA recovers a regex by state elimination.
+	RegexFromNFA = strlang.RegexFromNFA
+	// DisplayRegex renders an automaton's language readably.
+	DisplayRegex = strlang.DisplayRegex
+	// Equivalent decides string-language equivalence with a witness.
+	Equivalent = strlang.Equivalent
+	// Included decides string-language inclusion with a witness.
+	Included = strlang.Included
+	// RegexDeterministic is the syntactic dRE test.
+	RegexDeterministic = strlang.RegexDeterministic
+	// OneUnambiguous decides one-unamb[R] (Definition 2).
+	OneUnambiguous = strlang.OneUnambiguous
+	// BuildDRE constructs a deterministic regular expression when one
+	// exists (Proposition 3.6).
+	BuildDRE = strlang.BuildDRE
+
+	// ParseDTD parses the arrow-grammar notation of the paper's figures.
+	ParseDTD = schema.ParseDTD
+	// MustParseDTD panics on error.
+	MustParseDTD = schema.MustParseDTD
+	// ParseW3CDTD parses <!ELEMENT …> declarations (Figure 3).
+	ParseW3CDTD = schema.ParseW3CDTD
+	// MustParseW3CDTD panics on error.
+	MustParseW3CDTD = schema.MustParseW3CDTD
+	// ParseEDTD parses the arrow-grammar notation with specializations.
+	ParseEDTD = schema.ParseEDTD
+	// MustParseEDTD panics on error.
+	MustParseEDTD = schema.MustParseEDTD
+	// Normalize produces the normalized EDTD of Lemma 4.10.
+	Normalize = schema.Normalize
+	// EquivalentDTD decides equiv[R-DTD] (Proposition 4.1).
+	EquivalentDTD = schema.EquivalentDTD
+	// EquivalentSDTD decides equiv[R-SDTD].
+	EquivalentSDTD = schema.EquivalentSDTD
+	// EquivalentEDTD decides equiv[R-EDTD] (Theorem 4.7).
+	EquivalentEDTD = schema.EquivalentEDTD
+
+	// ParseKernel parses a kernel document ("eurostat(f0 f1)").
+	ParseKernel = axml.ParseKernel
+	// MustParseKernel panics on error.
+	MustParseKernel = axml.MustParseKernel
+	// ParseKernelString parses a kernel string ("a f1 c f2 e").
+	ParseKernelString = axml.ParseKernelString
+	// MustParseKernelString panics on error.
+	MustParseKernelString = axml.MustParseKernelString
+
+	// Compose builds T(τn) (Section 3.1, Theorem 3.2).
+	Compose = core.Compose
+	// ConsEDTD decides cons[R-EDTD] and builds typeT(τn) (Corollary 3.3).
+	ConsEDTD = core.ConsEDTD
+	// ConsSDTD decides cons[R-SDTD] (Theorem 3.10).
+	ConsSDTD = core.ConsSDTD
+	// ConsDTD decides cons[R-DTD] (Theorem 3.13).
+	ConsDTD = core.ConsDTD
+	// DTDTyping lifts DTD local types into a typing.
+	DTDTyping = core.DTDTyping
+	// RootContent returns the forest language a type allows its function
+	// to contribute.
+	RootContent = core.RootContent
+	// MustWordTyping parses regexes into a word typing.
+	MustWordTyping = core.MustWordTyping
+	// MustWordDesign builds a word design from a regex and a kernel
+	// string.
+	MustWordDesign = core.MustWordDesign
+	// NewWordDesign builds a word design.
+	NewWordDesign = core.NewWordDesign
+	// NewBoxDesign builds a box design.
+	NewBoxDesign = core.NewBoxDesign
+	// BuildPerfect constructs the perfect automaton Ω(A, B).
+	BuildPerfect = core.BuildPerfect
+	// DecomposeCells enumerates the nonempty Dec cells (Figure 8).
+	DecomposeCells = core.DecomposeCells
+	// SolveRecursiveTyping solves self-referential types (Section 8).
+	SolveRecursiveTyping = core.SolveRecursiveTyping
+	// DynamicExtensionLang computes the documents reachable by repeated
+	// extension of a self-referential design (Section 8).
+	DynamicExtensionLang = core.DynamicExtensionLang
+
+	// NewNetwork builds a simulated federation.
+	NewNetwork = p2p.NewNetwork
+	// NewSampler builds a random-document sampler for a type.
+	NewSampler = gen.New
+)

@@ -1,0 +1,95 @@
+// Bottomup: the bottom-up design problems of Section 3 — given local
+// types, derive and classify the global type typeT(τn).
+//
+//   - Example 1's design is DTD-consistent with typeT = s0 → a b* c d*;
+//   - a context-dependent design is SDTD- but not DTD-consistent;
+//   - a position-dependent design is EDTD- but not SDTD-consistent;
+//   - Table 2's dFA size blow-up is shown on the concatenation family.
+//
+// Run with: go run ./examples/bottomup
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dxml"
+)
+
+func main() {
+	fmt.Println("== Example 1: a DTD-consistent bottom-up design ==")
+	kernel := dxml.MustParseKernel("s0(a f1 c f2)")
+	typing := dxml.DTDTyping(
+		dxml.MustParseDTD(dxml.KindDRE, "root s1\ns1 -> b*"),
+		dxml.MustParseDTD(dxml.KindDRE, "root s2\ns2 -> d*"),
+	)
+	fmt.Printf("kernel T = %s,  [τ1] = s1(b*),  [τ2] = s2(d*)\n", kernel)
+	res, err := dxml.ConsDTD(kernel, typing, dxml.KindDRE)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cons[dRE-DTD] = %v; typeT(τn):\n%s", res.Consistent, indent(res.DTD.String()))
+
+	fmt.Println("\n== Context-dependence: SDTD yes, DTD no ==")
+	kernel = dxml.MustParseKernel("s0(a(f1) b(f2))")
+	typing = dxml.DTDTyping(
+		dxml.MustParseDTD(dxml.KindNRE, "root s1\ns1 -> x*\nx -> y"),
+		dxml.MustParseDTD(dxml.KindNRE, "root s2\ns2 -> x*\nx -> z"),
+	)
+	fmt.Printf("kernel T = %s: x holds y under a, but z under b\n", kernel)
+	sres, err := dxml.ConsSDTD(kernel, typing, dxml.KindNFA)
+	if err != nil {
+		panic(err)
+	}
+	dres, err := dxml.ConsDTD(kernel, typing, dxml.KindNFA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cons[SDTD] = %v, cons[DTD] = %v\n", sres.Consistent, dres.Consistent)
+	fmt.Printf("  (%s)\n", dres.Reason)
+
+	fmt.Println("\n== Position-dependence: EDTD yes, SDTD no ==")
+	kernel = dxml.MustParseKernel("s0(a(f1) a(f2))")
+	typing = dxml.DTDTyping(
+		dxml.MustParseDTD(dxml.KindNRE, "root s1\ns1 -> b"),
+		dxml.MustParseDTD(dxml.KindNRE, "root s2\ns2 -> c"),
+	)
+	fmt.Printf("kernel T = %s: first a holds b, second a holds c\n", kernel)
+	edtd, err := dxml.ConsEDTD(kernel, typing, dxml.KindNFA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cons[EDTD] = true (always, Cor. 3.3); typeT has %d specialized names\n",
+		len(edtd.SpecializedNames()))
+	sres, err = dxml.ConsSDTD(kernel, typing, dxml.KindNFA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cons[SDTD] = %v\n  (%s)\n", sres.Consistent, sres.Reason)
+
+	fmt.Println("\n== Table 2: the dFA-DTD size blow-up ==")
+	fmt.Println("[τ1] = (a|b)* a, [τ2] = (a|b)^m  ⇒  dFA typeT needs ~2^m states:")
+	for m := 2; m <= 7; m++ {
+		re2 := strings.TrimSuffix(strings.Repeat("(a|b) ", m), " ")
+		k := dxml.MustParseKernel("s0(f1 f2)")
+		ty := dxml.DTDTyping(
+			dxml.MustParseDTD(dxml.KindDFA, "root s1\ns1 -> (a|b)* a"),
+			dxml.MustParseDTD(dxml.KindDFA, "root s2\ns2 -> "+re2),
+		)
+		nfaRes, err := dxml.ConsDTD(k, ty, dxml.KindNFA)
+		if err != nil {
+			panic(err)
+		}
+		dfaRes, err := dxml.ConsDTD(k, ty, dxml.KindDFA)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  m=%d:  nFA typeT size %4d   dFA typeT size %5d\n",
+			m, nfaRes.DTD.Rule("s0").Size(), dfaRes.DTD.Rule("s0").Size())
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}

@@ -1,0 +1,39 @@
+// Dynamic: the Section 8 outlook — kernel documents that keep evolving
+// because a type mentions its own function symbol. Reproduces the paper's
+// closing example: w = a f with τ_f = f? b a+ reaches exactly the
+// documents a f? (ba+)+, not the one-step reading a f? b a+.
+//
+// Run with: go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+
+	"dxml"
+)
+
+func main() {
+	ks := dxml.MustParseKernelString("a f1")
+	tau := dxml.RegexNFA(dxml.MustParseRegex("f1? b a+"))
+	fmt.Println("kernel w = a f1,  self-referential type τ_f = f1? b a+")
+
+	res, err := dxml.DynamicExtensionLang(ks, tau)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("documents reachable by repeated extension: %s\n",
+		dxml.DisplayRegex(res.Reachable))
+	fmt.Printf("fully materialized documents:              %s\n",
+		dxml.DisplayRegex(res.Materialized))
+	fmt.Println()
+	fmt.Println("the naive one-step type a f1? b a+ would miss a b a b a, which")
+	fmt.Println("needs two extension rounds:")
+	twoRounds := []dxml.Symbol{"a", "b", "a", "b", "a"}
+	fmt.Printf("  reachable(a b a b a) = %v\n", res.Materialized.Accepts(twoRounds))
+	oneStep := dxml.RegexNFA(dxml.MustParseRegex("a f1? b a+"))
+	fmt.Printf("  one-step(a b a b a)  = %v\n", oneStep.Accepts(twoRounds))
+
+	// Center recursion is context-free and refused honestly.
+	_, err = dxml.SolveRecursiveTyping("f1", dxml.RegexNFA(dxml.MustParseRegex("a f1 b | c")))
+	fmt.Printf("\ncenter-recursive τ_f = a f1 b | c: %v\n", err)
+}

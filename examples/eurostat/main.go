@@ -1,0 +1,116 @@
+// Eurostat: the paper's running example (Figures 1–6) end to end.
+//
+//   - Figure 3's DTD τ over the reconstructed kernel T0 yields exactly
+//     Figure 4's perfect typing;
+//   - Figure 5's τ′ admits no local typing (the A-or-B format choice
+//     cannot be controlled locally);
+//   - Figure 6's τ″ over T1 = eurostat(f1, nationalIndex(f2), f3) has no
+//     perfect typing and exactly two maximal local typings.
+//
+// Run with: go run ./examples/eurostat
+package main
+
+import (
+	"fmt"
+
+	"dxml"
+)
+
+const figure3 = `
+<!ELEMENT eurostat (averages, nationalIndex*)>
+<!ELEMENT averages (Good, index+)+>
+<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+<!ELEMENT index (value, year)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT Good (#PCDATA)>
+<!ELEMENT value (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+func main() {
+	fmt.Println("== Figure 3: the global DTD τ ==")
+	tau := dxml.MustParseW3CDTD(dxml.KindNRE, figure3)
+	fmt.Print(tau)
+
+	// T0: the NCPI kernel — one docking point for the EU-averages
+	// provider and one per national statistics bureau (INSEE, Istat,
+	// Statistik; see DESIGN.md erratum E1).
+	kernel := dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")
+	fmt.Printf("\n== Kernel T0 ==\n%s\n  f0=EU averages, f1=INSEE(FR), f2=Istat(IT), f3=Statistik(AT)\n", kernel)
+
+	fmt.Println("\n== Figure 4: the perfect typing of ⟨τ, T0⟩ ==")
+	design := &dxml.DTDDesign{Type: tau, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		fmt.Println("unexpected: no perfect typing")
+		return
+	}
+	for i, t := range typing {
+		fmt.Printf("  f%d: %s -> %s\n", i, t.Starts[0], dxml.DisplayRegex(dxml.RootContent(t)))
+	}
+	fmt.Println("  (plus τ's rules for nationalIndex, index, …, as in Figure 4)")
+
+	// Figure 1/2: a concrete distributed document and its extension.
+	fmt.Println("\n== Figure 2: one extension of T0 ==")
+	ext := map[string]*dxml.Tree{
+		"f0": dxml.MustParseTree(typing[0].Starts[0] +
+			"(averages(Good index(value year) Good index(value year) index(value year)))"),
+		"f1": dxml.MustParseTree(typing[1].Starts[0] +
+			"(nationalIndex(country Good index(value year)))"),
+		"f2": dxml.MustParseTree(typing[2].Starts[0] +
+			"(nationalIndex(country Good value year))"),
+		"f3": dxml.MustParseTree(typing[3].Starts[0] + "()"),
+	}
+	for i, f := range kernel.Funcs() {
+		fmt.Printf("  %s document locally valid: %v\n", f, typing[i].Validate(ext[f]) == nil)
+	}
+	doc := kernel.MustExtend(ext)
+	fmt.Printf("  extension: %s\n", doc)
+	fmt.Printf("  globally valid (guaranteed by soundness): %v\n", tau.Validate(doc) == nil)
+
+	fmt.Println("\n== Figure 5: the bad design τ′ ==")
+	tauPrime := dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, (natIndA* | natIndB*)
+		averages -> (Good, index+)+
+		natIndA -> country, Good, index
+		natIndB -> country, Good, value, year
+		index -> value, year
+	`)
+	badDesign := &dxml.DTDDesign{Type: tauPrime, Kernel: kernel}
+	if _, ok := badDesign.ExistsLocal(); ok {
+		fmt.Println("unexpected: τ′ got a local typing")
+	} else {
+		fmt.Println("  ⟨τ′, T0⟩ admits NO local typing: whether all countries use")
+		fmt.Println("  format A or all use format B cannot be controlled locally.")
+	}
+
+	fmt.Println("\n== Figure 6: τ″ over T1 = eurostat(f1, nationalIndex(f2), f3) ==")
+	tauPP := dxml.MustParseEDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, (natIndA, natIndB)+
+		averages -> (Good, index+)+
+		natIndA : nationalIndex -> country, Good, index
+		natIndB : nationalIndex -> country, Good, value, year
+		index -> value, year
+	`)
+	t1 := dxml.MustParseKernel("eurostat(f1 nationalIndex(f2) f3)")
+	edesign := &dxml.EDTDDesign{Type: tauPP, Kernel: t1}
+	if _, ok, _ := edesign.ExistsPerfect(); !ok {
+		fmt.Println("  no perfect typing (the explicit nationalIndex node may be A or B)")
+	}
+	typings, err := edesign.MaximalLocalTypings()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("  exactly %d maximal local typings:\n", len(typings))
+	for k, ty := range typings {
+		fmt.Printf("  typing %d:\n", k+1)
+		for i, t := range ty {
+			lang := dxml.RootContent(t)
+			fmt.Printf("    f%d: root%d -> %s\n", i+1, i+1, dxml.DisplayRegex(lang))
+		}
+	}
+	fmt.Println("  (cf. τ″1.1–τ″3.2 in Section 1; see DESIGN.md erratum E2 for τ″3.1)")
+}

@@ -1,0 +1,58 @@
+// Quickstart: the smallest end-to-end tour of the library — build a
+// distributed design, derive its perfect typing, and validate documents
+// locally.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dxml"
+)
+
+func main() {
+	// A global type in the paper's arrow-grammar notation: a store
+	// document listing items, then a reviews section.
+	global := dxml.MustParseDTD(dxml.KindNRE, `
+		root store
+		store -> item+, reviews
+		reviews -> review*
+		item -> name, price
+		review -> name, stars
+	`)
+
+	// The kernel document: the store keeps only the skeleton; items come
+	// from the catalog service (f1), reviews from the review service (f2).
+	kernel := dxml.MustParseKernel("store(f1 reviews(f2))")
+
+	// Top-down design: can the global type be enforced purely locally?
+	design := &dxml.DTDDesign{Type: global, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		fmt.Println("no perfect typing — the design is ambiguous at the boundaries")
+		return
+	}
+	fmt.Println("perfect typing found:")
+	for i, tau := range typing {
+		content := dxml.RegexString(dxml.RegexFromNFA(dxml.RootContent(tau)))
+		fmt.Printf("  f%d gets  %s -> %s\n", i+1, tau.Starts[0], content)
+	}
+
+	// Each service can now validate its own document in isolation.
+	catalogDoc := dxml.MustParseTree("root1(item(name price) item(name price))")
+	reviewDoc := dxml.MustParseTree("root2(review(name stars))")
+	fmt.Printf("catalog valid locally: %v\n", typing[0].Validate(catalogDoc) == nil)
+	fmt.Printf("reviews valid locally: %v\n", typing[1].Validate(reviewDoc) == nil)
+
+	// Soundness: because the typing is local, the materialized document
+	// is guaranteed valid — check it explicitly once.
+	doc := kernel.MustExtend(map[string]*dxml.Tree{"f1": catalogDoc, "f2": reviewDoc})
+	fmt.Printf("materialized document: %s\n", doc)
+	fmt.Printf("globally valid: %v\n", global.Validate(doc) == nil)
+
+	// A review service trying to sneak an item in fails locally — before
+	// any data moves.
+	rogue := dxml.MustParseTree("root2(item(name price))")
+	fmt.Printf("rogue reviews rejected locally: %v\n", typing[1].Validate(rogue) != nil)
+}

@@ -1,0 +1,102 @@
+// Wordtypings: a tour of the string-level typing theory (Sections 5–6) on
+// the paper's Examples 2–5 and 9–11 — the perfect automaton Ω(A, w), the
+// Dec(Ωi) cell decomposition, and the local/maximal/perfect hierarchy.
+//
+// Run with: go run ./examples/wordtypings
+package main
+
+import (
+	"fmt"
+
+	"dxml"
+)
+
+func show(name, target, kernel string) *dxml.WordDesign {
+	fmt.Printf("\n== %s: τ = %s over w = %s ==\n", name, target, kernel)
+	return dxml.MustWordDesign(target, kernel)
+}
+
+func printTyping(prefix string, t dxml.WordTyping) {
+	fmt.Print(prefix, "(")
+	for i, lang := range t {
+		if i > 0 {
+			fmt.Print(",  ")
+		}
+		fmt.Print(dxml.DisplayRegex(lang))
+	}
+	fmt.Println(")")
+}
+
+func main() {
+	// Example 3: a perfect typing exists.
+	d := show("Example 3", "a* b c*", "f1 b f2")
+	if typing, ok := d.PerfectTyping(); ok {
+		printTyping("  perfect typing: ", typing)
+	}
+
+	// Example 2: two maximal local typings, hence no perfect one.
+	d = show("Example 2", "a* b c*", "f1 f2")
+	if _, ok := d.PerfectTyping(); !ok {
+		fmt.Println("  no perfect typing; the maximal local typings are:")
+		for _, t := range d.MaximalLocalTypings() {
+			printTyping("    ", t)
+		}
+	}
+
+	// Example 4: unique maximal local, still not perfect — the sound
+	// typing (a, b) is not below it.
+	d = show("Example 4", "(a b)*", "f1 f2")
+	for _, t := range d.MaximalLocalTypings() {
+		printTyping("  unique maximal local: ", t)
+	}
+	sound := dxml.MustWordTyping("a", "b")
+	if ok, _ := d.Sound(sound); ok {
+		fmt.Println("  (a, b) is sound but incomparable — so no perfect typing")
+	}
+
+	// Example 5: three maximal local typings.
+	d = show("Example 5", "(a b)+", "f1 f2")
+	fmt.Println("  maximal local typings:")
+	for _, t := range d.MaximalLocalTypings() {
+		printTyping("    ", t)
+	}
+
+	// Example 9: the perfect-automaton typing (Ωn) overapproximates.
+	d = show("Example 9", "a b c c d e", "a f1 c f2 e")
+	omega := d.Perfect().TypingOmega()
+	printTyping("  (Ω₂) = ", omega)
+	if ok, w := d.Sound(omega); !ok {
+		fmt.Printf("  (Ω₂) is not sound: it allows the extension %v\n", w)
+	}
+	local := dxml.MustWordTyping("b", "c d")
+	if d.Local(local) {
+		printTyping("  the local typing is ", local)
+	}
+
+	// Example 10: Aut(Ωi) members.
+	d = show("Example 10", "a (b c)* d", "a f1 f2 d")
+	p := d.Perfect()
+	for i := 1; i <= 2; i++ {
+		fmt.Printf("  Aut(Ω%d):", i)
+		for _, la := range p.Aut(i) {
+			fmt.Printf("  [%s]", dxml.DisplayRegex(la.Lang))
+		}
+		fmt.Println()
+	}
+
+	// Example 11: no local typing although Ω ≡ τ.
+	d = show("Example 11", "a b | b a", "f1 f2")
+	if _, ok := d.LocalTyping(); !ok {
+		fmt.Println("  no local typing exists…")
+	}
+	if ok, _ := dxml.Equivalent(d.Perfect().OmegaNFA(), d.Target); ok {
+		fmt.Println("  …and yet Ω ≡ τ — compatibility does not imply locality")
+	}
+
+	// The Dec(Ω) cells behind the searches (Figure 8).
+	fmt.Println("\n== Dec cells of Example 2's Ω₁ ==")
+	d = dxml.MustWordDesign("a* b c*", "f1 f2")
+	for _, cell := range d.Cells()[0] {
+		fmt.Printf("  members %v: %s\n", cell.Members.Sorted(), dxml.DisplayRegex(cell.Lang))
+	}
+}

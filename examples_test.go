@@ -1,0 +1,42 @@
+package dxml_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example program, asserting key
+// lines of their output (the paper's headline claims). Skipped with
+// -short since each `go run` pays a build.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"perfect typing found", "globally valid: true", "rogue reviews rejected locally: true"}},
+		{"./examples/eurostat", []string{"nationalIndex*", "NO local typing", "exactly 2 maximal local typings"}},
+		{"./examples/wordtypings", []string{"perfect typing: (a*,  c*)", "no local typing exists"}},
+		{"./examples/bottomup", []string{"cons[dRE-DTD] = true", "cons[SDTD] = true, cons[DTD] = false"}},
+		{"./examples/dynamic", []string{"reachable(a b a b a) = true", "one-step(a b a b a)  = false"}},
+		{"./examples/distvalidate", []string{"verdicts agree=true", "admitted=false"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package dxml_test
+
+import (
+	"testing"
+
+	"dxml"
+)
+
+// TestPublicAPIEndToEnd exercises the whole pipeline through the public
+// facade only: parse a global type, derive the perfect typing, validate
+// documents, run a federation, and decide a bottom-up problem.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	tau := dxml.MustParseW3CDTD(dxml.KindNRE, `
+		<!ELEMENT eurostat (averages, nationalIndex*)>
+		<!ELEMENT averages (Good, index+)+>
+		<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+		<!ELEMENT index (value, year)>
+		<!ELEMENT country (#PCDATA)>
+		<!ELEMENT Good (#PCDATA)>
+		<!ELEMENT value (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>`)
+	kernel := dxml.MustParseKernel("eurostat(f0 f1)")
+	design := &dxml.DTDDesign{Type: tau, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		t.Fatal("perfect typing should exist")
+	}
+
+	// Local validation through the typing.
+	doc := dxml.MustParseTree(typing[1].Starts[0] + "(nationalIndex(country Good value year))")
+	if err := typing[1].Validate(doc); err != nil {
+		t.Fatalf("local validation failed: %v", err)
+	}
+
+	// Federation.
+	net := dxml.NewNetwork(kernel, tau.ToEDTD())
+	if err := net.AddPeer("f0", dxml.MustParseTree(typing[0].Starts[0]+"(averages(Good index(value year)))"), typing[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddPeer("f1", doc, typing[1]); err != nil {
+		t.Fatal(err)
+	}
+	okDist, err := net.ValidateDistributed()
+	if err != nil || !okDist {
+		t.Fatalf("distributed validation: %v %v", okDist, err)
+	}
+	mat, err := net.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tau.Validate(mat); err != nil {
+		t.Fatalf("materialized doc invalid: %v", err)
+	}
+
+	// Bottom-up through the facade.
+	res, err := dxml.ConsDTD(kernel, typing, dxml.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("perfect typing should be DTD-consistent: %s", res.Reason)
+	}
+	if okEq, why := dxml.EquivalentDTD(res.DTD, tau); !okEq {
+		t.Fatalf("typeT of the perfect typing should equal τ: %s", why)
+	}
+
+	// Word-level facade.
+	wd := dxml.MustWordDesign("a* b c*", "f1 b f2")
+	if _, ok := wd.PerfectTyping(); !ok {
+		t.Fatal("Example 3 perfect typing missing")
+	}
+	cells := dxml.DecomposeCells([]*dxml.NFA{
+		dxml.RegexNFA(dxml.MustParseRegex("a*")),
+		dxml.RegexNFA(dxml.MustParseRegex("a+")),
+	})
+	if len(cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(cells))
+	}
+
+	// Regex/dRE facade.
+	if re, ok := dxml.BuildDRE(dxml.RegexNFA(dxml.MustParseRegex("(a|b)* a"))); !ok {
+		t.Fatal("BuildDRE failed")
+	} else if det, _ := dxml.RegexDeterministic(re); !det {
+		t.Fatal("BuildDRE returned a nondeterministic regex")
+	}
+	if dxml.OneUnambiguous(dxml.RegexNFA(dxml.MustParseRegex("(a|b)* a (a|b)"))) {
+		t.Fatal("OneUnambiguous wrong")
+	}
+}
+
+// TestFacadeNormalize checks the Lemma 4.10 normalization via the facade.
+func TestFacadeNormalize(t *testing.T) {
+	e := dxml.MustParseEDTD(dxml.KindNRE, `
+		root s0
+		s0 -> b1 | b2
+		b1 : b -> e | g
+		b2 : b -> g | h
+	`)
+	n, err := dxml.Normalize(e, dxml.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := dxml.EquivalentEDTD(e, n); !ok {
+		t.Fatalf("normalization changed the language on %s", w)
+	}
+	if got := len(n.Specializations("b")); got != 3 {
+		t.Fatalf("expected 3 disjoint b-specializations, got %d", got)
+	}
+}

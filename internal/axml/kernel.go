@@ -1,0 +1,295 @@
+// Package axml implements distributed XML documents in the Active XML
+// style used by the paper (Section 2.3): kernel documents T[f1,…,fn] whose
+// function-labeled leaves are docking points for external resources, their
+// extensions (materialization), kernel strings w0 f1 w1 … fn wn and kernel
+// boxes B0 f1 B1 … fn Bn.
+package axml
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// Kernel is a kernel document T[f1,…,fn]: a tree over element and function
+// names where (i) the root is an element node, (ii) function nodes are
+// leaves, and (iii) no function symbol occurs twice.
+type Kernel struct {
+	tree  *xmltree.Tree
+	funcs []string // in document (left-to-right) order
+	isFn  map[string]bool
+}
+
+// defaultFuncPattern matches the paper's f1, f2, … naming convention used
+// by ParseKernel's auto-detection.
+var defaultFuncPattern = regexp.MustCompile(`^f[0-9]+$`)
+
+// NewKernel wraps a tree whose function nodes carry the given labels. The
+// tree is not copied. It fails unless conditions (i)–(iii) hold.
+func NewKernel(t *xmltree.Tree, funcNames []string) (*Kernel, error) {
+	isFn := make(map[string]bool, len(funcNames))
+	for _, f := range funcNames {
+		isFn[f] = true
+	}
+	k := &Kernel{tree: t, isFn: isFn}
+	if isFn[t.Label] {
+		return nil, fmt.Errorf("axml: root %s is a function node", t.Label)
+	}
+	seen := map[string]bool{}
+	var err error
+	t.Walk(func(n *xmltree.Tree, anc []string) bool {
+		if !isFn[n.Label] {
+			return true
+		}
+		if !n.IsLeaf() {
+			err = fmt.Errorf("axml: function node %s is not a leaf", n.Label)
+			return false
+		}
+		if seen[n.Label] {
+			err = fmt.Errorf("axml: function %s occurs twice", n.Label)
+			return false
+		}
+		seen[n.Label] = true
+		k.funcs = append(k.funcs, n.Label)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// ParseKernel parses the term syntax, treating labels matching f<digits>
+// as function symbols (the paper's convention), e.g.
+// "eurostat(f1 nationalIndex(f2) f3)".
+func ParseKernel(src string) (*Kernel, error) {
+	t, err := xmltree.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var fns []string
+	t.Walk(func(n *xmltree.Tree, _ []string) bool {
+		if defaultFuncPattern.MatchString(n.Label) {
+			fns = append(fns, n.Label)
+		}
+		return true
+	})
+	return NewKernel(t, fns)
+}
+
+// MustParseKernel is ParseKernel panicking on error.
+func MustParseKernel(src string) *Kernel {
+	k, err := ParseKernel(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Tree returns the underlying tree (shared; treat as read-only).
+func (k *Kernel) Tree() *xmltree.Tree { return k.tree }
+
+// Funcs returns the function symbols f1,…,fn in document order.
+func (k *Kernel) Funcs() []string { return append([]string(nil), k.funcs...) }
+
+// NumFuncs returns n.
+func (k *Kernel) NumFuncs() int { return len(k.funcs) }
+
+// IsFunc reports whether label is one of the kernel's function symbols.
+func (k *Kernel) IsFunc(label string) bool { return k.isFn[label] }
+
+// FuncIndex returns the position (0-based) of the function symbol, or -1.
+func (k *Kernel) FuncIndex(f string) int {
+	for i, g := range k.funcs {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// ElementLabels returns the sorted element (non-function) labels of the
+// kernel.
+func (k *Kernel) ElementLabels() []string {
+	set := map[string]struct{}{}
+	k.tree.Walk(func(n *xmltree.Tree, _ []string) bool {
+		if !k.isFn[n.Label] {
+			set[n.Label] = struct{}{}
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the kernel in term syntax.
+func (k *Kernel) String() string { return k.tree.String() }
+
+// Extend materializes the kernel with the given extension: each function
+// node fi is replaced by the forest of trees directly connected to the
+// root of ext[fi] (Section 2.3). Every function must be mapped.
+func (k *Kernel) Extend(ext map[string]*xmltree.Tree) (*xmltree.Tree, error) {
+	for _, f := range k.funcs {
+		if ext[f] == nil {
+			return nil, fmt.Errorf("axml: no extension for function %s", f)
+		}
+	}
+	var rec func(n *xmltree.Tree) []*xmltree.Tree
+	rec = func(n *xmltree.Tree) []*xmltree.Tree {
+		if k.isFn[n.Label] {
+			forest := make([]*xmltree.Tree, 0, len(ext[n.Label].Children))
+			for _, c := range ext[n.Label].Children {
+				forest = append(forest, c.Clone())
+			}
+			return forest
+		}
+		out := &xmltree.Tree{Label: n.Label}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, rec(c)...)
+		}
+		return []*xmltree.Tree{out}
+	}
+	res := rec(k.tree)
+	return res[0], nil
+}
+
+// MustExtend is Extend panicking on error.
+func (k *Kernel) MustExtend(ext map[string]*xmltree.Tree) *xmltree.Tree {
+	t, err := k.Extend(ext)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// KernelString is a kernel string w0 f1 w1 … fn wn over symbols and
+// function names (Section 2.3): Words has n+1 entries and Funcs n.
+type KernelString struct {
+	Words [][]strlang.Symbol
+	Funcs []string
+}
+
+// ParseKernelString parses a whitespace-separated kernel string such as
+// "a f1 c f2 e", using the f<digits> convention for functions.
+func ParseKernelString(src string) (*KernelString, error) {
+	ks := &KernelString{Words: [][]strlang.Symbol{nil}}
+	seen := map[string]bool{}
+	for _, tok := range strings.Fields(src) {
+		if defaultFuncPattern.MatchString(tok) {
+			if seen[tok] {
+				return nil, fmt.Errorf("axml: function %s occurs twice", tok)
+			}
+			seen[tok] = true
+			ks.Funcs = append(ks.Funcs, tok)
+			ks.Words = append(ks.Words, nil)
+		} else {
+			ks.Words[len(ks.Words)-1] = append(ks.Words[len(ks.Words)-1], tok)
+		}
+	}
+	return ks, nil
+}
+
+// MustParseKernelString is ParseKernelString panicking on error.
+func MustParseKernelString(src string) *KernelString {
+	ks, err := ParseKernelString(src)
+	if err != nil {
+		panic(err)
+	}
+	return ks
+}
+
+// NewKernelString builds a kernel string from explicit parts. len(words)
+// must be len(funcs)+1.
+func NewKernelString(words [][]strlang.Symbol, funcs []string) (*KernelString, error) {
+	if len(words) != len(funcs)+1 {
+		return nil, fmt.Errorf("axml: kernel string needs %d words for %d functions, got %d",
+			len(funcs)+1, len(funcs), len(words))
+	}
+	return &KernelString{Words: words, Funcs: funcs}, nil
+}
+
+// NumFuncs returns n.
+func (ks *KernelString) NumFuncs() int { return len(ks.Funcs) }
+
+// String renders the kernel string.
+func (ks *KernelString) String() string {
+	var parts []string
+	for i, w := range ks.Words {
+		parts = append(parts, w...)
+		if i < len(ks.Funcs) {
+			parts = append(parts, ks.Funcs[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Extend returns the extension of the kernel string with the given strings
+// substituted for the functions.
+func (ks *KernelString) Extend(subs [][]strlang.Symbol) ([]strlang.Symbol, error) {
+	if len(subs) != len(ks.Funcs) {
+		return nil, fmt.Errorf("axml: %d substitutions for %d functions", len(subs), len(ks.Funcs))
+	}
+	var out []strlang.Symbol
+	for i, w := range ks.Words {
+		out = append(out, w...)
+		if i < len(subs) {
+			out = append(out, subs[i]...)
+		}
+	}
+	return out, nil
+}
+
+// KernelBox is a kernel box B0 f1 B1 … fn Bn (Section 7): like a kernel
+// string but each inter-function part is a box (a product of symbol sets).
+type KernelBox struct {
+	Boxes []strlang.Box
+	Funcs []string
+}
+
+// NewKernelBox builds a kernel box. len(boxes) must be len(funcs)+1.
+func NewKernelBox(boxes []strlang.Box, funcs []string) (*KernelBox, error) {
+	if len(boxes) != len(funcs)+1 {
+		return nil, fmt.Errorf("axml: kernel box needs %d boxes for %d functions, got %d",
+			len(funcs)+1, len(funcs), len(boxes))
+	}
+	return &KernelBox{Boxes: boxes, Funcs: funcs}, nil
+}
+
+// FromString lifts a kernel string to the kernel box whose boxes are the
+// singleton sets of its symbols.
+func (ks *KernelString) Box() *KernelBox {
+	boxes := make([]strlang.Box, len(ks.Words))
+	for i, w := range ks.Words {
+		box := make(strlang.Box, len(w))
+		for j, s := range w {
+			box[j] = []strlang.Symbol{s}
+		}
+		boxes[i] = box
+	}
+	return &KernelBox{Boxes: boxes, Funcs: ks.Funcs}
+}
+
+// NumFuncs returns n.
+func (kb *KernelBox) NumFuncs() int { return len(kb.Funcs) }
+
+// String renders the kernel box.
+func (kb *KernelBox) String() string {
+	var parts []string
+	for i, b := range kb.Boxes {
+		for _, set := range b {
+			parts = append(parts, "{"+strings.Join(set, ",")+"}")
+		}
+		if i < len(kb.Funcs) {
+			parts = append(parts, kb.Funcs[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,119 @@
+package axml
+
+import (
+	"strings"
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+func TestParseKernel(t *testing.T) {
+	k := MustParseKernel("eurostat(f1 nationalIndex(f2) f3)")
+	if got := strings.Join(k.Funcs(), " "); got != "f1 f2 f3" {
+		t.Errorf("Funcs = %q", got)
+	}
+	if !k.IsFunc("f2") || k.IsFunc("nationalIndex") {
+		t.Error("IsFunc wrong")
+	}
+	if k.FuncIndex("f3") != 2 || k.FuncIndex("zz") != -1 {
+		t.Error("FuncIndex wrong")
+	}
+	if got := strings.Join(k.ElementLabels(), " "); got != "eurostat nationalIndex" {
+		t.Errorf("ElementLabels = %q", got)
+	}
+}
+
+func TestKernelWellFormedness(t *testing.T) {
+	// Function as root.
+	if _, err := NewKernel(xmltree.MustParse("f1(a)"), []string{"f1"}); err == nil {
+		t.Error("function root accepted")
+	}
+	// Function with children.
+	if _, err := NewKernel(xmltree.MustParse("s(f1(a))"), []string{"f1"}); err == nil {
+		t.Error("non-leaf function accepted")
+	}
+	// Duplicate function: the paper's T1 = s(f f) example (condition iii).
+	if _, err := NewKernel(xmltree.MustParse("s(f1 f1)"), []string{"f1"}); err == nil {
+		t.Error("duplicate function accepted")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	// Paper example (§2.3): T0 = s(a f1 b(f2)) with resources providing
+	// s1(c(dd)) and s2(d(ef)) extends to s(a c(dd) b(d(ef))).
+	k := MustParseKernel("s(a f1 b(f2))")
+	ext := map[string]*xmltree.Tree{
+		"f1": xmltree.MustParse("s1(c(d d))"),
+		"f2": xmltree.MustParse("s2(d(e f))"),
+	}
+	got, err := k.Extend(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "s(a c(d d) b(d(e f)))" {
+		t.Errorf("Extend = %s", got)
+	}
+	// Forest semantics: a root with several children contributes them all.
+	ext["f1"] = xmltree.MustParse("s1(c c c)")
+	got = k.MustExtend(ext)
+	if got.String() != "s(a c c c b(d(e f)))" {
+		t.Errorf("forest Extend = %s", got)
+	}
+	// Empty forest: a root with no children erases the docking point.
+	ext["f1"] = xmltree.MustParse("s1")
+	got = k.MustExtend(ext)
+	if got.String() != "s(a b(d(e f)))" {
+		t.Errorf("empty Extend = %s", got)
+	}
+	// Missing function.
+	if _, err := k.Extend(map[string]*xmltree.Tree{"f1": ext["f1"]}); err == nil {
+		t.Error("missing extension accepted")
+	}
+	// Extension must not mutate the kernel.
+	if k.Tree().String() != "s(a f1 b(f2))" {
+		t.Error("kernel mutated by Extend")
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	ks := MustParseKernelString("a f1 c f2 e")
+	if ks.NumFuncs() != 2 {
+		t.Fatalf("NumFuncs = %d", ks.NumFuncs())
+	}
+	if ks.String() != "a f1 c f2 e" {
+		t.Errorf("String = %q", ks.String())
+	}
+	got, err := ks.Extend([][]strlang.Symbol{{"b"}, {"c", "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "") != "abccde" {
+		t.Errorf("Extend = %v", got)
+	}
+	if _, err := ks.Extend([][]strlang.Symbol{{"b"}}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := ParseKernelString("a f1 f1"); err == nil {
+		t.Error("duplicate function accepted")
+	}
+	// Leading/trailing/empty words.
+	ks2 := MustParseKernelString("f1 f2")
+	if len(ks2.Words) != 3 || len(ks2.Words[0]) != 0 {
+		t.Errorf("Words = %v", ks2.Words)
+	}
+}
+
+func TestKernelBox(t *testing.T) {
+	ks := MustParseKernelString("a f1 b")
+	kb := ks.Box()
+	if kb.NumFuncs() != 1 {
+		t.Fatal("NumFuncs")
+	}
+	if kb.String() != "{a} f1 {b}" {
+		t.Errorf("String = %q", kb.String())
+	}
+	if _, err := NewKernelBox([]strlang.Box{{}}, []string{"f1"}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"dxml/internal/strlang"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// prefix-soundness pruning of the cell-union search, and the Ω ≡ A
+// pre-check of ∃-loc. Run with:
+//
+//	go test ./internal/core/ -bench Ablation -benchmem
+
+// fig5WordDesign is the eurostat-node word design of Figure 5's τ′, at a
+// reduced country count so the unpruned arm stays feasible.
+func fig5WordDesign() *WordDesign {
+	return MustWordDesign("averages (natIndA* | natIndB*)", "f0 f1 f2")
+}
+
+func BenchmarkAblation_SearchPruned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := fig5WordDesign()
+		if _, ok := d.LocalTyping(); ok {
+			b.Fatal("τ′ node should have no local typing")
+		}
+	}
+}
+
+func BenchmarkAblation_SearchUnpruned(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := fig5WordDesign()
+		d.DisableSearchPruning = true
+		if _, ok := d.LocalTyping(); ok {
+			b.Fatal("τ′ node should have no local typing")
+		}
+	}
+}
+
+// TestAblationEquivalence locks in that pruning never changes answers.
+func TestAblationEquivalence(t *testing.T) {
+	designs := []struct {
+		target, kernel string
+	}{
+		{"a* b c*", "f1 f2"},
+		{"(a b)+", "f1 f2"},
+		{"a b | b a", "f1 f2"},
+		{"averages (natIndA* | natIndB*)", "f0 f1 f2"},
+		{"a* b c*", "f1 b f2"},
+	}
+	for _, c := range designs {
+		pruned := MustWordDesign(c.target, c.kernel)
+		unpruned := MustWordDesign(c.target, c.kernel)
+		unpruned.DisableSearchPruning = true
+		tp, okP := pruned.LocalTyping()
+		tu, okU := unpruned.LocalTyping()
+		if okP != okU {
+			t.Errorf("%s over %s: pruned=%v unpruned=%v", c.target, c.kernel, okP, okU)
+		}
+		if okP && okU {
+			if !pruned.Local(tu) || !unpruned.Local(tp) {
+				t.Errorf("%s over %s: typings disagree", c.target, c.kernel)
+			}
+		}
+		mp := pruned.MaximalLocalTypings()
+		mu := unpruned.MaximalLocalTypings()
+		if len(mp) != len(mu) {
+			t.Errorf("%s over %s: %d vs %d maximal local typings", c.target, c.kernel, len(mp), len(mu))
+		}
+	}
+}
+
+func BenchmarkPerfectAutomatonOnly(b *testing.B) {
+	target := strlang.RegexNFA(strlang.MustParseRegex("averages (natIndA* | natIndB*)"))
+	for i := 0; i < b.N; i++ {
+		d := NewWordDesign(target, fig5WordDesign().KernelString)
+		d.Perfect()
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/strlang"
+)
+
+// enumerateBoxStrings expands a box into its member strings.
+func enumerateBoxStrings(b strlang.Box) [][]strlang.Symbol {
+	out := [][]strlang.Symbol{nil}
+	for _, set := range b {
+		var next [][]strlang.Symbol
+		for _, prefix := range out {
+			for _, s := range set {
+				w := append(append([]strlang.Symbol{}, prefix...), s)
+				next = append(next, w)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// TestLemma72BoxVsStringDesigns checks Lemma 7.2: a typing is sound for
+// the box design iff it is sound for every string design D^k obtained by
+// fixing the box positions; and local for the box implies sound for each
+// D^k.
+func TestLemma72BoxVsStringDesigns(t *testing.T) {
+	kb, err := axml.NewKernelBox(
+		[]strlang.Box{{{"a", "b"}}, {{"c", "d"}}},
+		[]string{"f1"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := strlang.RegexNFA(strlang.MustParseRegex("(a|b) x* (c|d)"))
+	box := NewBoxDesign(target, kb)
+
+	typings := []WordTyping{
+		MustWordTyping("x*"),
+		MustWordTyping("x"),
+		MustWordTyping("x* y?"), // unsound
+	}
+	// Enumerate the D^k string designs.
+	var stringDesigns []*WordDesign
+	for _, w0 := range enumerateBoxStrings(kb.Boxes[0]) {
+		for _, w1 := range enumerateBoxStrings(kb.Boxes[1]) {
+			ks, err := axml.NewKernelString([][]strlang.Symbol{w0, w1}, []string{"f1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stringDesigns = append(stringDesigns, NewWordDesign(target, ks))
+		}
+	}
+	if len(stringDesigns) != 4 {
+		t.Fatalf("expected 4 string designs, got %d", len(stringDesigns))
+	}
+	for i, typing := range typings {
+		boxSound, _ := box.Sound(typing)
+		allSound := true
+		for _, sd := range stringDesigns {
+			if ok, _ := sd.Sound(typing); !ok {
+				allSound = false
+				break
+			}
+		}
+		if boxSound != allSound {
+			t.Errorf("typing %d: box-sound=%v but all-string-sound=%v (Lemma 7.2)",
+				i, boxSound, allSound)
+		}
+	}
+	// Local for the box implies sound for each D^k.
+	local, ok := box.LocalTyping()
+	if !ok {
+		t.Fatal("box design should have a local typing (x*)")
+	}
+	for k, sd := range stringDesigns {
+		if ok, w := sd.Sound(local); !ok {
+			t.Errorf("box-local typing unsound for D^%d (witness %v)", k, w)
+		}
+	}
+}
+
+// TestBoxPerfectMatchesPerString: when the box positions are singletons,
+// the box design degenerates to the word design.
+func TestBoxPerfectMatchesPerString(t *testing.T) {
+	ks := axml.MustParseKernelString("a f1 c f2 e")
+	target := strlang.RegexNFA(strlang.MustParseRegex("a b c c d e"))
+	viaWord := NewWordDesign(target, ks)
+	viaBox := NewBoxDesign(target, ks.Box())
+	wOmega := viaWord.Perfect().TypingOmega()
+	bOmega := viaBox.Perfect().TypingOmega()
+	if !EquivWord(wOmega, bOmega) {
+		t.Error("singleton-box Ω differs from word Ω")
+	}
+	_, wOK := viaWord.PerfectTyping()
+	_, bOK := viaBox.PerfectTyping()
+	if wOK != bOK {
+		t.Errorf("∃-perf disagrees: word=%v box=%v", wOK, bOK)
+	}
+}
+
+func BenchmarkBoxLocalTyping(b *testing.B) {
+	kb, _ := axml.NewKernelBox(
+		[]strlang.Box{{}, {{"a1", "a2"}}, {}},
+		[]string{"f1", "f2"},
+	)
+	target := strlang.RegexNFA(strlang.MustParseRegex("(a1 a2)+"))
+	for i := 0; i < b.N; i++ {
+		d := NewBoxDesign(target, kb)
+		if _, ok := d.LocalTyping(); ok {
+			b.Fatal("should have no local typing")
+		}
+	}
+}

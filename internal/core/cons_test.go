@@ -1,0 +1,393 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// typeFromGrammar parses an arrow grammar as an EDTD type for a typing.
+func typeFromGrammar(t testing.TB, src string) *schema.EDTD {
+	t.Helper()
+	e, err := schema.ParseEDTD(schema.KindNRE, src)
+	if err != nil {
+		t.Fatalf("ParseEDTD: %v", err)
+	}
+	return e
+}
+
+func TestComposeExample1(t *testing.T) {
+	// Example 1: T = s0(a f1 c f2), π1(s1) = b*, π2(s2) = d*.
+	k := axml.MustParseKernel("s0(a f1 c f2)")
+	typing := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b*"),
+		typeFromGrammar(t, "root s2\ns2 -> d*"),
+	}
+	comp, err := Compose(k, typing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// extT(τ1,τ2) = {s0(a bⁿ c dᵐ)}.
+	for _, c := range []struct {
+		tree string
+		want bool
+	}{
+		{"s0(a c)", true},
+		{"s0(a b b c d)", true},
+		{"s0(a b c d d d)", true},
+		{"s0(a b c b d)", false},
+		{"s0(b a c)", false},
+		{"s0(a c d b)", false},
+	} {
+		got := comp.Validate(xmltree.MustParse(c.tree)) == nil
+		if got != c.want {
+			t.Errorf("T(τn) on %s = %v, want %v", c.tree, got, c.want)
+		}
+	}
+	// Example 1 concludes (τ1, τ2) is dRE-DTD-consistent with T, with
+	// typeT = s0 → a b* c d*.
+	res, err := ConsDTD(k, DTDTyping(
+		schema.MustParseDTD(schema.KindDRE, "root s1\ns1 -> b*"),
+		schema.MustParseDTD(schema.KindDRE, "root s2\ns2 -> d*"),
+	), schema.KindDRE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("Example 1 should be dRE-DTD-consistent: %s", res.Reason)
+	}
+	want := schema.MustParseDTD(schema.KindDRE, "root s0\ns0 -> a, b*, c, d*")
+	if ok, why := schema.EquivalentDTD(res.DTD, want); !ok {
+		t.Errorf("typeT wrong: %s\ngot:\n%s", why, res.DTD)
+	}
+}
+
+func TestComposeTheorem32Property(t *testing.T) {
+	// Theorem 3.2: [T(τn)] = extT(τn). Sample random extensions tᵢ ⊨ τᵢ
+	// and check membership; also sample invalid extensions.
+	k := axml.MustParseKernel("s0(f1 a(b f2) c)")
+	// Example 6's typing: τ1 describes b d+ a(b+)*, τ2 describes b*.
+	typing := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b1, d1+, a1*\na1 : a -> b1+\nb1 : b -> ε\nd1 : d -> ε"),
+		typeFromGrammar(t, "root s2\ns2 -> b2*\nb2 : b -> ε"),
+	}
+	comp, err := Compose(k, typing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	randTree1 := func() *xmltree.Tree {
+		// Valid for τ1: s1(b d+ a(b+)*).
+		root := xmltree.New("s1", xmltree.Leaf("b"))
+		for i := 0; i <= r.Intn(2); i++ {
+			root.Children = append(root.Children, xmltree.Leaf("d"))
+		}
+		for i := r.Intn(3); i > 0; i-- {
+			a := xmltree.New("a", xmltree.Leaf("b"))
+			for j := r.Intn(2); j > 0; j-- {
+				a.Children = append(a.Children, xmltree.Leaf("b"))
+			}
+			root.Children = append(root.Children, a)
+		}
+		return root
+	}
+	randTree2 := func() *xmltree.Tree {
+		root := xmltree.New("s2")
+		for i := r.Intn(4); i > 0; i-- {
+			root.Children = append(root.Children, xmltree.Leaf("b"))
+		}
+		return root
+	}
+	for trial := 0; trial < 60; trial++ {
+		t1, t2 := randTree1(), randTree2()
+		if typing[0].Validate(t1) != nil || typing[1].Validate(t2) != nil {
+			t.Fatal("generator produced invalid local trees")
+		}
+		ext := k.MustExtend(map[string]*xmltree.Tree{"f1": t1, "f2": t2})
+		if comp.Validate(ext) != nil {
+			t.Fatalf("valid extension rejected: %s", ext)
+		}
+		// Mutate: drop the mandatory d — extension must become invalid.
+		bad1 := t1.Clone()
+		var kept []*xmltree.Tree
+		removed := false
+		for _, c := range bad1.Children {
+			if c.Label == "d" && !removed {
+				removed = true
+				continue
+			}
+			kept = append(kept, c)
+		}
+		bad1.Children = kept
+		if typing[0].Validate(bad1) == nil {
+			continue // still valid (had 2 d's)
+		}
+		extBad := k.MustExtend(map[string]*xmltree.Tree{"f1": bad1, "f2": t2})
+		if comp.Validate(extBad) == nil {
+			t.Fatalf("invalid extension accepted: %s", extBad)
+		}
+	}
+}
+
+func TestConsSDTDExample6(t *testing.T) {
+	// Example 6: the composed type is an nRE-SDTD (consistent).
+	k := axml.MustParseKernel("s0(f1 a(b f2) c)")
+	typing := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b1, d1+, a1*\na1 : a -> b1+\nb1 : b -> ε\nd1 : d -> ε"),
+		typeFromGrammar(t, "root s2\ns2 -> b2*\nb2 : b -> ε"),
+	}
+	res, err := ConsSDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("Example 6 should be SDTD-consistent: %s", res.Reason)
+	}
+	// typeT ≡ T(τn).
+	comp, _ := Compose(k, typing)
+	if ok, w := schema.EquivalentEDTD(res.EDTD, comp); !ok {
+		t.Errorf("typeT differs from T(τn) on %s", w)
+	}
+	if ok, el := res.EDTD.IsSingleType(); !ok {
+		t.Errorf("typeT not single-type (element %s)", el)
+	}
+}
+
+func TestConsSDTDInconsistent(t *testing.T) {
+	// T = s0(a(b) f1 a(c)): no R-DTD (and with distinct a-subtrees forced,
+	// no merge possible when f1's trees make a third a-format required at
+	// the same context)… the paper's crisper case: T = s0(a(f1) a(f2))
+	// with [τ1] = {s1(b)}, [τ2] = {s2(c)}: the two a-nodes need different
+	// contents at the same ancestor string — not single-type expressible.
+	k := axml.MustParseKernel("s0(a(f1) a(f2))")
+	typing := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b"),
+		typeFromGrammar(t, "root s2\ns2 -> c"),
+	}
+	res, err := ConsSDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Fatal("s0(a(b) a(c)) should not be SDTD-consistent")
+	}
+	// With [τ2] = {s2(b)} it becomes consistent (both a's identical).
+	typing[1] = typeFromGrammar(t, "root s2\ns2 -> b")
+	res, err = ConsSDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("s0(a(b) a(b)) should be SDTD-consistent: %s", res.Reason)
+	}
+}
+
+func TestConsDTDSection23Examples(t *testing.T) {
+	// From Section 2.3: for T = s0(a(b) f1 a(c)) no typing makes an R-DTD.
+	k := axml.MustParseKernel("s0(a(b) f1 a(c))")
+	typing := Typing{typeFromGrammar(t, "root s1\ns1 -> ε")}
+	res, err := ConsDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Fatal("s0(a(b) … a(c)) should not be DTD-consistent")
+	}
+	// And T = s0(a(f1) a(f2)) with equal typings is DTD-consistent.
+	k2 := axml.MustParseKernel("s0(a(f1) a(f2))")
+	typing2 := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b"),
+		typeFromGrammar(t, "root s2\ns2 -> b"),
+	}
+	res, err = ConsDTD(k2, typing2, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("s0(a(b) a(b)) should be DTD-consistent: %s", res.Reason)
+	}
+	if err := res.DTD.Validate(xmltree.MustParse("s0(a(b) a(b))")); err != nil {
+		t.Errorf("typeT rejects the only extension: %v", err)
+	}
+}
+
+// TestConsAgainstOracles differentially tests the merge-based deciders
+// against the candidate-and-verify oracles on a battery of designs.
+func TestConsAgainstOracles(t *testing.T) {
+	cases := []struct {
+		kernel string
+		typing []string
+	}{
+		{"s0(a f1 c f2)", []string{"root s1\ns1 -> b*", "root s2\ns2 -> d*"}},
+		{"s0(a(f1) a(f2))", []string{"root s1\ns1 -> b", "root s2\ns2 -> c"}},
+		{"s0(a(f1) a(f2))", []string{"root s1\ns1 -> b", "root s2\ns2 -> b"}},
+		{"s0(f1 a(b f2) c)", []string{
+			"root s1\ns1 -> b1, d1+, a1*\na1 : a -> b1+\nb1 : b -> ε\nd1 : d -> ε",
+			"root s2\ns2 -> b2*\nb2 : b -> ε"}},
+		{"s0(a(f1) a(f2))", []string{
+			"root s1\ns1 -> b1\nb1 : b -> c?",
+			"root s2\ns2 -> b2\nb2 : b -> c | ε"}}, // same language, different regexes
+		{"s0(a(f1) b(f2))", []string{
+			"root s1\ns1 -> x", "root s2\ns2 -> x*"}},
+		{"s0(f1 a f2)", []string{
+			"root s1\ns1 -> a*", "root s2\ns2 -> a*"}},
+	}
+	for i, c := range cases {
+		k := axml.MustParseKernel(c.kernel)
+		typing := make(Typing, len(c.typing))
+		for j, src := range c.typing {
+			typing[j] = typeFromGrammar(t, src)
+		}
+		merge, err := ConsSDTD(k, typing, schema.KindNFA)
+		if err != nil {
+			t.Fatalf("case %d: ConsSDTD: %v", i, err)
+		}
+		oracle, err := ConsSDTDCandidate(k, typing)
+		if err != nil {
+			t.Fatalf("case %d: ConsSDTDCandidate: %v", i, err)
+		}
+		if merge.Consistent != oracle.Consistent {
+			t.Errorf("case %d: SDTD deciders disagree: merge=%v oracle=%v (%s | %s)",
+				i, merge.Consistent, oracle.Consistent, merge.Reason, oracle.Reason)
+		}
+		if merge.Consistent && oracle.Consistent {
+			if ok, w := schema.EquivalentEDTD(merge.EDTD, oracle.EDTD); !ok {
+				t.Errorf("case %d: typeT versions differ on %s", i, w)
+			}
+		}
+		mergeDTD, err := ConsDTD(k, typing, schema.KindNFA)
+		if err != nil {
+			t.Fatalf("case %d: ConsDTD: %v", i, err)
+		}
+		oracleDTD, err := ConsDTDCandidate(k, typing)
+		if err != nil {
+			t.Fatalf("case %d: ConsDTDCandidate: %v", i, err)
+		}
+		if mergeDTD.Consistent != oracleDTD.Consistent {
+			t.Errorf("case %d: DTD deciders disagree: merge=%v oracle=%v (%s | %s)",
+				i, mergeDTD.Consistent, oracleDTD.Consistent, mergeDTD.Reason, oracleDTD.Reason)
+		}
+		if mergeDTD.Consistent && oracleDTD.Consistent {
+			if ok, why := schema.EquivalentDTD(mergeDTD.DTD, oracleDTD.DTD); !ok {
+				t.Errorf("case %d: DTD typeT versions differ: %s", i, why)
+			}
+		}
+	}
+}
+
+func TestConsDFAConcatBlowup(t *testing.T) {
+	// Table 2 (dFA rows): typeT can blow up exponentially. The classical
+	// family: [τ1] = (a|b)* a over dFAs, [τ2] = (a|b)^m; their
+	// concatenation needs ~2^m DFA states.
+	m := 5
+	re2 := "(a|b)"
+	for i := 1; i < m; i++ {
+		re2 += " (a|b)"
+	}
+	k := axml.MustParseKernel("s0(f1 f2)")
+	typing := DTDTyping(
+		schema.MustParseDTD(schema.KindDFA, "root s1\ns1 -> (a|b)* a"),
+		schema.MustParseDTD(schema.KindDFA, "root s2\ns2 -> "+re2),
+	)
+	res, err := ConsDTD(k, typing, schema.KindDFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("concat design should be DTD-consistent: %s", res.Reason)
+	}
+	size := res.DTD.Rule("s0").Size()
+	if size < 1<<m {
+		t.Errorf("dFA typeT root content has size %d, expected ≥ 2^%d", size, m)
+	}
+	// The nFA version stays linear.
+	resN, err := ConsDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSize := resN.DTD.Rule("s0").Size(); nSize >= size {
+		t.Errorf("nFA typeT (%d) should be smaller than dFA typeT (%d)", nSize, size)
+	}
+}
+
+func TestConsSDTDPaperGapE5(t *testing.T) {
+	// Regression for DESIGN.md erratum E5 (found by the differential
+	// stress test): T = s0(f1 f2), [τ1] = s1(b?) with b a leaf,
+	// [τ2] = s2((b(d*))*). The Theorem 3.10 merge algorithm as printed
+	// would answer “no” because the two b-witnesses have different
+	// subtree languages; the extension language is s0((b(d*))*) — SDTD-
+	// and even DTD-expressible.
+	k := axml.MustParseKernel("s0(f1 f2)")
+	typing := Typing{
+		typeFromGrammar(t, "root s1\ns1 -> b?"),
+		typeFromGrammar(t, "root s2\ns2 -> b*\nb -> d*"),
+	}
+	res, err := ConsSDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("E5 design must be SDTD-consistent: %s", res.Reason)
+	}
+	comp, _ := Compose(k, typing)
+	if ok, w := schema.EquivalentEDTD(res.EDTD, comp); !ok {
+		t.Fatalf("typeT differs from T(τn) on %s", w)
+	}
+	dres, err := ConsDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dres.Consistent {
+		t.Fatalf("E5 design must be DTD-consistent: %s", dres.Reason)
+	}
+	want := schema.MustParseDTD(schema.KindNFA, "root s0\ns0 -> b*\nb -> d*")
+	if ok, why := schema.EquivalentDTD(dres.DTD, want); !ok {
+		t.Fatalf("typeT should be s0 → b*, b → d*: %s", why)
+	}
+}
+
+func TestConsDREFailsOnOneAmbiguity(t *testing.T) {
+	// Table 2's dRE rows: a design whose composed content model is not
+	// one-unambiguous is not dRE-consistent even though it is
+	// nFA-consistent. [τ1]·[τ2] = (a|b)*a(a|b) — the canonical
+	// non-one-unambiguous language.
+	k := axml.MustParseKernel("s0(f1 f2)")
+	typing := DTDTyping(
+		schema.MustParseDTD(schema.KindDRE, "root s1\ns1 -> (b* a)+"),
+		schema.MustParseDTD(schema.KindDRE, "root s2\ns2 -> a | b"),
+	)
+	res, err := ConsDTD(k, typing, schema.KindDRE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent {
+		t.Fatal("(a|b)*a(a|b) has no dRE; design must be dRE-inconsistent")
+	}
+	// The same design is nFA-consistent.
+	resN, err := ConsDTD(k, typing, schema.KindNFA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resN.Consistent {
+		t.Fatalf("design should be nFA-DTD-consistent: %s", resN.Reason)
+	}
+}
+
+func TestCheckTyping(t *testing.T) {
+	k := axml.MustParseKernel("s0(f1)")
+	if err := CheckTyping(k.NumFuncs(), Typing{}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	// Root name occurring in a content model is rejected.
+	bad := typeFromGrammar(t, "root s1\ns1 -> a s1?")
+	if err := CheckTyping(1, Typing{bad}); err == nil {
+		t.Error("recursive root accepted")
+	}
+	good := typeFromGrammar(t, "root s1\ns1 -> a")
+	if err := CheckTyping(1, Typing{good}); err != nil {
+		t.Errorf("valid typing rejected: %v", err)
+	}
+}

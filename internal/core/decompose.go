@@ -1,0 +1,163 @@
+package core
+
+import (
+	"dxml/internal/strlang"
+)
+
+// This file implements the Dec(Ωi) decomposition of Section 6.1
+// (Figure 8): the automata of Aut(Ωi) are decomposed into at most
+// 2^|Aut(Ωi)|−1 pairwise disjoint “cells” ∩A1 − ∪A2; only the nonempty
+// cells are materialized, found as the accept signatures of the joint
+// subset construction.
+
+// Cell is a nonempty cell of Dec(Ωi): the set of strings belonging to
+// exactly the automata of Members (a nonempty subset of Aut(Ωi), by
+// index).
+type Cell struct {
+	Members strlang.IntSet
+	Lang    *strlang.NFA
+}
+
+// DecomposeCells returns the nonempty cells of the decomposition of the
+// given automata, in a deterministic order (by member-set key). The cells
+// partition ∪[Ai].
+func DecomposeCells(autos []*strlang.NFA) []Cell {
+	if len(autos) == 0 {
+		return nil
+	}
+	// Joint subset construction: run all automata simultaneously on a
+	// shared disjoint-union state space.
+	eps := make([]*strlang.NFA, len(autos))
+	offset := make([]int, len(autos))
+	total := 0
+	for i, a := range autos {
+		eps[i] = a.WithoutEps()
+		offset[i] = total
+		total += a.NumStates()
+	}
+	owner := make([]int, total)
+	for i := range autos {
+		for q := 0; q < autos[i].NumStates(); q++ {
+			owner[offset[i]+q] = i
+		}
+	}
+	alphabet := map[strlang.Symbol]struct{}{}
+	for _, a := range eps {
+		for _, s := range a.Alphabet() {
+			alphabet[s] = struct{}{}
+		}
+	}
+	var syms []strlang.Symbol
+	for s := range alphabet {
+		syms = append(syms, s)
+	}
+	sortSyms(syms)
+
+	start := strlang.NewIntSet()
+	for i, a := range eps {
+		start.Add(offset[i] + a.Start())
+	}
+	sig := func(set strlang.IntSet) strlang.IntSet {
+		m := strlang.NewIntSet()
+		for q := range set {
+			i := owner[q]
+			if eps[i].IsFinal(q - offset[i]) {
+				m.Add(i)
+			}
+		}
+		return m
+	}
+	step := func(set strlang.IntSet, s strlang.Symbol) strlang.IntSet {
+		next := strlang.NewIntSet()
+		for q := range set {
+			i := owner[q]
+			for _, t := range eps[i].Succ(q-offset[i], s) {
+				next.Add(offset[i] + t)
+			}
+		}
+		return next
+	}
+	// BFS over joint subsets, building a DFA whose states we keep so each
+	// cell's language is the DFA with the matching-signature finals.
+	type st struct {
+		set strlang.IntSet
+	}
+	var states []st
+	index := map[string]int{}
+	addState := func(set strlang.IntSet) int {
+		k := set.Key()
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(states)
+		states = append(states, st{set})
+		index[k] = id
+		return id
+	}
+	addState(start)
+	type trans struct {
+		from int
+		sym  strlang.Symbol
+		to   int
+	}
+	var edges []trans
+	for i := 0; i < len(states); i++ {
+		for _, s := range syms {
+			next := step(states[i].set, s)
+			if next.Len() == 0 {
+				continue
+			}
+			edges = append(edges, trans{i, s, addState(next)})
+		}
+	}
+	// Collect signatures.
+	masks := map[string]strlang.IntSet{}
+	var maskKeys []string
+	for _, s := range states {
+		m := sig(s.set)
+		if m.Len() == 0 {
+			continue
+		}
+		k := m.Key()
+		if _, ok := masks[k]; !ok {
+			masks[k] = m
+			maskKeys = append(maskKeys, k)
+		}
+	}
+	sortStringsCore(maskKeys)
+	var cells []Cell
+	for _, k := range maskKeys {
+		m := masks[k]
+		nfa := strlang.NewNFA()
+		for i := 1; i < len(states); i++ {
+			nfa.AddState()
+		}
+		for i, s := range states {
+			if sig(s.set).Equal(m) {
+				nfa.MarkFinal(i)
+			}
+		}
+		for _, e := range edges {
+			nfa.AddTransition(e.from, e.sym, e.to)
+		}
+		trimmed, _ := nfa.Trim()
+		cells = append(cells, Cell{Members: m, Lang: trimmed})
+	}
+	return cells
+}
+
+func sortSyms(s []strlang.Symbol) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortStringsCore(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

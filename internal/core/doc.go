@@ -1,0 +1,16 @@
+// Package core implements the paper's primary contribution: the theory of
+// distributed XML design of Abiteboul, Gottlob and Manna (PODS 2009).
+//
+// Bottom-up design (Section 3): composing a kernel document with a typing
+// into the global type T(τn), deciding cons[S] for S ∈ {R-DTD, R-SDTD,
+// R-EDTD}, and constructing typeT(τn) per content-model formalism R with
+// the worst-case sizes of Table 2.
+//
+// Top-down design (Sections 4–7): the typing notions sound / maximal /
+// complete / local / perfect (Definition 12), the verification problems
+// loc/ml/perf[S] and the existence problems ∃-loc/∃-ml/∃-perf[S], solved
+// for words via the perfect automaton Ω(A, w) of Section 6 (Algorithm 1)
+// and the Dec(Ωi) cell decomposition of Section 6.1, for kernel boxes
+// (Section 7), and for trees via the reductions of Section 4 (per-node
+// string designs for DTDs/SDTDs; normalization and κ-functions for EDTDs).
+package core

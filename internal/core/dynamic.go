@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"dxml/internal/axml"
+	"dxml/internal/strlang"
+)
+
+// This file prototypes the Section 8 outlook: kernel documents that
+// change over time because a *type may mention function symbols in its
+// own specification*. The paper's example: w = af with f typed by
+// τ_f = f? b a+ — each materialization may reintroduce the call, and the
+// set of documents reachable by repeated extension is a f? (ba+)+, which
+// differs from the naive one-step reading.
+//
+// A self-referential type is a regular language over Σ ∪ {f}. In general
+// the reachable-document language is context-free (τ_f = a f b yields
+// aⁿbⁿ), so we solve exactly the regular cases the paper's example lives
+// in: *left-linear* (f occurs only as the first symbol of a word) and
+// *right-linear* (only as the last), each with at most one occurrence per
+// word. Writing τ_f = f·R ∪ N (left-linear; N is the f-free part), the
+// least fixpoint of X = τ_f[f ↦ X] is N·R*, and the documents reachable
+// after at least one extension are (N ∪ f·R)·R*.
+
+// DynamicResult holds the limit languages of a self-referential typing.
+type DynamicResult struct {
+	// Materialized is the set of fully materialized (f-free) resource
+	// results: the least fixpoint N·R* (or R*·N).
+	Materialized *strlang.NFA
+	// Reachable is the set of resource results after one or more
+	// extension steps; unexpanded calls may remain, so f may occur.
+	Reachable *strlang.NFA
+}
+
+// SolveRecursiveTyping solves the fixpoint of a self-referential type
+// τ_f over Σ ∪ {f}. It fails unless τ_f is left- or right-linear in f.
+func SolveRecursiveTyping(f strlang.Symbol, tau *strlang.NFA) (*DynamicResult, error) {
+	full := tau.Alphabet()
+	var sigma []strlang.Symbol
+	for _, s := range full {
+		if s != f {
+			sigma = append(sigma, s)
+		}
+	}
+	sigmaStar := strlang.UniversalLang(sigma)
+	fLang := strlang.SymbolLang(f)
+	// At most one f per word.
+	anyStar := strlang.UniversalLang(full)
+	twoF := strlang.ConcatAll(anyStar, fLang, anyStar, fLang, anyStar)
+	if !strlang.Intersect(tau, twoF).IsEmpty() {
+		return nil, fmt.Errorf("core: type has words with several %s occurrences; the fixpoint is context-free in general", f)
+	}
+	// N: the f-free part.
+	n := strlang.Intersect(tau, sigmaStar)
+	leftViol := strlang.ConcatAll(strlang.Plus(strlang.SetLang(sigma)), fLang, anyStar)
+	rightViol := strlang.ConcatAll(anyStar, fLang, strlang.Plus(strlang.SetLang(sigma)))
+	leftLinear := strlang.Intersect(tau, leftViol).IsEmpty()
+	rightLinear := strlang.Intersect(tau, rightViol).IsEmpty()
+	switch {
+	case leftLinear:
+		// τ = f·R ∪ N with R = the suffixes after the leading f.
+		r := quotientAfterLeading(tau, f)
+		rStar := strlang.Star(r)
+		return &DynamicResult{
+			Materialized: strlang.Concat(n, rStar),
+			Reachable:    strlang.Concat(strlang.Union(n, strlang.Concat(fLang, r)), rStar),
+		}, nil
+	case rightLinear:
+		// τ = R·f ∪ N mirrored.
+		r := quotientBeforeTrailing(tau, f)
+		rStar := strlang.Star(r)
+		return &DynamicResult{
+			Materialized: strlang.Concat(rStar, n),
+			Reachable:    strlang.Concat(rStar, strlang.Union(n, strlang.Concat(r, fLang))),
+		}, nil
+	}
+	return nil, fmt.Errorf("core: type is neither left- nor right-linear in %s; the fixpoint may be context-free", f)
+}
+
+// quotientAfterLeading returns {u : f·u ∈ [tau]}.
+func quotientAfterLeading(tau *strlang.NFA, f strlang.Symbol) *strlang.NFA {
+	out := tau.Clone()
+	set := tau.Run([]strlang.Symbol{f})
+	fresh := out.AddState()
+	for q := range set {
+		out.AddEps(fresh, q)
+	}
+	out.SetStart(fresh)
+	trimmed, _ := out.Trim()
+	return trimmed
+}
+
+// quotientBeforeTrailing returns {u : u·f ∈ [tau]}.
+func quotientBeforeTrailing(tau *strlang.NFA, f strlang.Symbol) *strlang.NFA {
+	out := tau.Clone()
+	// New finals: states with an f-transition (possibly via ε) into a
+	// final state.
+	newFinals := strlang.NewIntSet()
+	for q := 0; q < out.NumStates(); q++ {
+		after := out.Step(out.Closure(strlang.NewIntSet(q)), f)
+		if after.Intersects(out.Finals()) {
+			newFinals.Add(q)
+		}
+	}
+	for q := range out.Finals().Copy() {
+		out.ClearFinal(q)
+	}
+	for q := range newFinals {
+		out.MarkFinal(q)
+	}
+	trimmed, _ := out.Trim()
+	return trimmed
+}
+
+// DynamicExtensionLang applies the solved fixpoint to a kernel string
+// containing the single function f: the languages of fully and partially
+// materialized documents obtainable by repeated extension (the paper's
+// af?(ba+)+ example).
+func DynamicExtensionLang(ks *axml.KernelString, tau *strlang.NFA) (*DynamicResult, error) {
+	if ks.NumFuncs() != 1 {
+		return nil, fmt.Errorf("core: dynamic analysis supports exactly one function, kernel has %d", ks.NumFuncs())
+	}
+	f := ks.Funcs[0]
+	res, err := SolveRecursiveTyping(f, tau)
+	if err != nil {
+		return nil, err
+	}
+	wrap := func(x *strlang.NFA) *strlang.NFA {
+		return strlang.ConcatAll(strlang.WordLang(ks.Words[0]), x, strlang.WordLang(ks.Words[1]))
+	}
+	return &DynamicResult{
+		Materialized: wrap(res.Materialized),
+		Reachable:    wrap(res.Reachable),
+	}, nil
+}

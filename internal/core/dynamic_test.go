@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/strlang"
+)
+
+func TestSection8PaperExample(t *testing.T) {
+	// Paper, Section 8: w = a f, τ_f = f? b a+. Repeated extension
+	// reaches exactly a f? (ba+)+; the fully materialized documents are
+	// a (ba+)+.
+	ks := axml.MustParseKernelString("a f1")
+	tau := strlang.RegexNFA(strlang.MustParseRegex("f1? b a+"))
+	res, err := DynamicExtensionLang(ks, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReach := strlang.RegexNFA(strlang.MustParseRegex("a f1? (b a+)+"))
+	if ok, w := strlang.Equivalent(res.Reachable, wantReach); !ok {
+		t.Errorf("reachable documents should be a f1? (ba+)+, differ on %v (got %s)",
+			w, strlang.DisplayRegex(res.Reachable))
+	}
+	wantMat := strlang.RegexNFA(strlang.MustParseRegex("a (b a+)+"))
+	if ok, w := strlang.Equivalent(res.Materialized, wantMat); !ok {
+		t.Errorf("materialized documents should be a(ba+)+, differ on %v", w)
+	}
+}
+
+func TestSolveRecursiveRightLinear(t *testing.T) {
+	// τ_f = (a b)? f? mirrored: words c* f | c*. Fixpoint: X = R*·N with
+	// R = c*, N = c*: X = c* (any number of expansions concatenates c
+	// blocks).
+	tau := strlang.RegexNFA(strlang.MustParseRegex("c c* f1 | c?"))
+	res, err := SolveRecursiveTyping("f1", tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strlang.RegexNFA(strlang.MustParseRegex("c*"))
+	if ok, w := strlang.Equivalent(res.Materialized, want); !ok {
+		t.Errorf("materialized should be c*, differ on %v (got %s)", w,
+			strlang.DisplayRegex(res.Materialized))
+	}
+	// Reachable keeps the optional trailing call.
+	if !res.Reachable.Accepts([]strlang.Symbol{"c", "c", "f1"}) {
+		t.Error("reachable should include partially materialized c c f1")
+	}
+}
+
+func TestSolveRecursiveRejectsNonLinear(t *testing.T) {
+	// τ_f = a f b: the fixpoint is {aⁿ c bⁿ}-shaped — context-free.
+	tau := strlang.RegexNFA(strlang.MustParseRegex("a f1 b | c"))
+	if _, err := SolveRecursiveTyping("f1", tau); err == nil {
+		t.Error("center-recursive type must be rejected")
+	}
+	// Two occurrences per word are rejected too.
+	tau2 := strlang.RegexNFA(strlang.MustParseRegex("f1 a f1 | b"))
+	if _, err := SolveRecursiveTyping("f1", tau2); err == nil {
+		t.Error("two-occurrence type must be rejected")
+	}
+}
+
+func TestSolveRecursiveNoRecursion(t *testing.T) {
+	// A type that never mentions f is its own fixpoint.
+	tau := strlang.RegexNFA(strlang.MustParseRegex("b a+"))
+	res, err := SolveRecursiveTyping("f1", tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := strlang.Equivalent(res.Materialized, tau); !ok {
+		t.Errorf("fixpoint of a non-recursive type should be itself, differ on %v", w)
+	}
+	if ok, _ := strlang.Equivalent(res.Reachable, tau); !ok {
+		t.Error("reachable should equal the type")
+	}
+}
+
+func TestDynamicExtensionFixpointProperty(t *testing.T) {
+	// Closure property: substituting τ_f's f by the materialized fixpoint
+	// X must stay inside X (X is a pre-fixpoint), and N ⊆ X.
+	cases := []string{
+		"f1? b a+",
+		"f1 a | b",
+		"f1 (a | b) | c c",
+	}
+	for _, src := range cases {
+		tau := strlang.RegexNFA(strlang.MustParseRegex(src))
+		res, err := SolveRecursiveTyping("f1", tau)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		x := res.Materialized
+		// Substitute f ↦ X inside τ: f is leading, so τ[f↦X] = X·R ∪ N.
+		r := quotientAfterLeading(tau, "f1")
+		var sigma []strlang.Symbol
+		for _, s := range tau.Alphabet() {
+			if s != "f1" {
+				sigma = append(sigma, s)
+			}
+		}
+		n := strlang.Intersect(tau, strlang.UniversalLang(sigma))
+		substituted := strlang.Union(strlang.Concat(x, r), n)
+		if ok, w := strlang.Included(substituted, x); !ok {
+			t.Errorf("%s: fixpoint not closed under substitution, witness %v", src, w)
+		}
+		if ok, w := strlang.Included(n, x); !ok {
+			t.Errorf("%s: N ⊄ X, witness %v", src, w)
+		}
+	}
+}
+
+func TestQuasiPerfectRemark2(t *testing.T) {
+	// Remark 2's example: T = s(a f1), τ = s → a b* | d. No local typing
+	// (d can never be produced), but a unique maximal sound typing b*
+	// comprising every sound typing.
+	d := MustWordDesign("a b* | d", "a f1")
+	if _, ok := d.LocalTyping(); ok {
+		t.Fatal("no local typing should exist")
+	}
+	qp, ok := d.QuasiPerfectTyping()
+	if !ok {
+		t.Fatal("Remark 2's design should have a quasi-perfect typing")
+	}
+	want := strlang.RegexNFA(strlang.MustParseRegex("b*"))
+	if ok, w := strlang.Equivalent(qp[0], want); !ok {
+		t.Errorf("quasi-perfect typing should be b*, differ on %v", w)
+	}
+	// Example 2's design has two maximal sound typings — not
+	// quasi-perfect.
+	d2 := MustWordDesign("a* b c*", "f1 f2")
+	if _, ok := d2.QuasiPerfectTyping(); ok {
+		t.Error("Example 2's design is not quasi-perfect")
+	}
+	// A perfect design is quasi-perfect, and the typings coincide.
+	d3 := MustWordDesign("a* b c*", "f1 b f2")
+	qp3, ok := d3.QuasiPerfectTyping()
+	if !ok {
+		t.Fatal("a perfect design is quasi-perfect")
+	}
+	perfect, _ := d3.PerfectTyping()
+	if !EquivWord(qp3, perfect) {
+		t.Error("quasi-perfect should equal the perfect typing")
+	}
+}
+
+func TestMaximalSoundTypingsExample4(t *testing.T) {
+	// Example 4 continued: maximal sound typings of ((ab)*, f1 f2) include
+	// the non-local ((ab)*a, b(ab)*) alongside the local ((ab)*, (ab)*).
+	d := MustWordDesign("(a b)*", "f1 f2")
+	ms := d.MaximalSoundTypings()
+	if len(ms) < 2 {
+		t.Fatalf("expected ≥ 2 maximal sound typings, got %d", len(ms))
+	}
+	foundNonLocal := false
+	wantA := strlang.RegexNFA(strlang.MustParseRegex("(a b)* a"))
+	for _, typ := range ms {
+		if ok, _ := strlang.Equivalent(typ[0], wantA); ok {
+			foundNonLocal = true
+			if d.Local(typ) {
+				t.Error("((ab)*a, …) should not be local")
+			}
+		}
+	}
+	if !foundNonLocal {
+		t.Error("the maximal sound typing ((ab)*a, b(ab)*) was not found")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/schema"
+)
+
+// TestThreeRouteAgreement: a DTD design can be solved by three
+// independent routes — the per-node word reduction of Theorem 4.2
+// (DTDDesign), the witness reduction of Theorem 4.5 over the trivially
+// specialized SDTD (SDTDDesign), and the normalization + κ route of
+// Section 4.3 (EDTDDesign). All three must agree on ∃-loc and ∃-perf, and
+// their typings must be interchangeable.
+func TestThreeRouteAgreement(t *testing.T) {
+	cases := []struct {
+		dtd    string
+		kernel string
+	}{
+		{"root s\ns -> a* b c*", "s(f1 b f2)"},
+		{"root s\ns -> a* b c*", "s(f1 f2)"},
+		{"root s\ns -> (a b)+", "s(f1 f2)"},
+		{"root s\ns -> b* a\na -> c*", "s(f1 a(f2))"},
+		{"root s\ns -> a | b", "s(f1)"},
+		{"root s\ns -> a b\na -> c?", "s(a(f1) b)"},
+		{"root eurostat\neurostat -> averages, nationalIndex*\naverages -> (Good, index+)+\nnationalIndex -> country, Good, (index | value, year)\nindex -> value, year",
+			"eurostat(f0 f1)"},
+	}
+	for i, c := range cases {
+		label := fmt.Sprintf("case %d (%s over %s)", i, c.dtd, c.kernel)
+		dtd := schema.MustParseDTD(schema.KindNRE, c.dtd)
+		kernel := axml.MustParseKernel(c.kernel)
+
+		dDTD := &DTDDesign{Type: dtd, Kernel: kernel}
+		dSDTD := &SDTDDesign{Type: dtd.ToEDTD(), Kernel: kernel}
+		dEDTD := &EDTDDesign{Type: dtd.ToEDTD(), Kernel: kernel}
+
+		locD, okD := dDTD.ExistsLocal()
+		locS, okS := dSDTD.ExistsLocal()
+		locE, okE, errE := dEDTD.ExistsLocal()
+		if errE != nil {
+			t.Fatalf("%s: EDTD route error: %v", label, errE)
+		}
+		if okD != okS || okD != okE {
+			t.Fatalf("%s: ∃-loc disagrees: DTD=%v SDTD=%v EDTD=%v", label, okD, okS, okE)
+		}
+		if okD {
+			// Each route's typing must verify as local on the DTD design.
+			for name, typ := range map[string]Typing{"DTD": locD, "SDTD": locS, "EDTD": locE} {
+				ok, err := dEDTD.IsLocal(typ)
+				if err != nil {
+					t.Fatalf("%s: verifying %s typing: %v", label, name, err)
+				}
+				if !ok {
+					t.Fatalf("%s: %s route's typing is not local", label, name)
+				}
+			}
+		}
+
+		perfD, okD2 := dDTD.ExistsPerfect()
+		perfS, okS2 := dSDTD.ExistsPerfect()
+		perfE, okE2, errE := dEDTD.ExistsPerfect()
+		if errE != nil {
+			t.Fatalf("%s: EDTD perfect route error: %v", label, errE)
+		}
+		if okD2 != okS2 || okD2 != okE2 {
+			t.Fatalf("%s: ∃-perf disagrees: DTD=%v SDTD=%v EDTD=%v", label, okD2, okS2, okE2)
+		}
+		if okD2 {
+			// Perfect typings are unique up to equivalence: compare the
+			// extension languages componentwise via composition.
+			compD, _ := Compose(kernel, perfD)
+			compS, _ := Compose(kernel, perfS)
+			compE, _ := Compose(kernel, perfE)
+			if ok, w := schema.EquivalentEDTD(compD, compS); !ok {
+				t.Fatalf("%s: DTD vs SDTD perfect extensions differ on %s", label, w)
+			}
+			if ok, w := schema.EquivalentEDTD(compD, compE); !ok {
+				t.Fatalf("%s: DTD vs EDTD perfect extensions differ on %s", label, w)
+			}
+			if !EquivTyping(perfD, perfS) {
+				t.Fatalf("%s: DTD vs SDTD perfect typings differ componentwise", label)
+			}
+		}
+	}
+}
+
+// TestEDTDDeepSpecializations: a single-type EDTD with specializations at
+// two depths, solved by both the SDTD and the EDTD routes.
+func TestEDTDDeepSpecializations(t *testing.T) {
+	tau := schema.MustParseEDTD(schema.KindNRE, `
+		root s
+		s -> a1, b1
+		a1 : a -> x1*
+		b1 : b -> a2
+		a2 : a -> x2?
+		x1 : x -> ε
+		x2 : x -> y
+	`)
+	kernel := axml.MustParseKernel("s(a(f1) b(a(f2)))")
+	dS := &SDTDDesign{Type: tau, Kernel: kernel}
+	dE := &EDTDDesign{Type: tau, Kernel: kernel}
+	perfS, okS := dS.ExistsPerfect()
+	perfE, okE, err := dE.ExistsPerfect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okS || !okE {
+		t.Fatalf("both routes should find the perfect typing: SDTD=%v EDTD=%v", okS, okE)
+	}
+	compS, _ := Compose(kernel, perfS)
+	compE, _ := Compose(kernel, perfE)
+	if ok, w := schema.EquivalentEDTD(compS, compE); !ok {
+		t.Fatalf("routes disagree on the extension language: %s", w)
+	}
+	// f1 gets x1* (x leaves), f2 gets x2? (x with one y child).
+	if !EquivTyping(perfS, perfE) {
+		t.Fatal("perfect typings differ componentwise between routes")
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"dxml/internal/axml"
+	"dxml/internal/strlang"
+)
+
+// This file implements the typing problems for words (Section 5) and
+// boxes (Section 7): the verification problems loc/ml/perf[nFA] and the
+// existence problems ∃-loc/∃-ml/∃-perf[nFA], via the perfect automaton and
+// the Dec(Ωi) cell decomposition.
+//
+// Everything is implemented over kernel boxes; WordDesign is the
+// singleton-box special case.
+
+// BoxDesign is a top-down design ⟨A, B⟩: a target nFA-type and a kernel
+// box.
+//
+// AllowTrivialTypes controls a convention the paper leaves tacit: whether
+// a function may be typed with the trivial language {ε} (a resource that
+// can only ever contribute nothing). The paper's examples require trivial
+// types to be excluded — under the literal Definition 12, Example 11's
+// design would have the degenerate local typing (ab+ba, {ε}) and
+// Figure 5's bad design would have one where a single function grabs the
+// whole content — so exclusion is the default. Set AllowTrivialTypes for
+// the literal reading; see DESIGN.md erratum E4.
+type BoxDesign struct {
+	Target *strlang.NFA
+	Kernel *axml.KernelBox
+
+	AllowTrivialTypes bool
+
+	// DisableSearchPruning turns off the prefix-soundness pruning of the
+	// cell-union search. Only useful for the ablation benchmarks — the
+	// pruned and unpruned searches are equivalent, the unpruned one is
+	// just exponentially slower on designs like Figure 5's.
+	DisableSearchPruning bool
+
+	perfect *PerfectAutomaton
+	cells   [][]Cell
+}
+
+// WordDesign is a top-down design ⟨A, w⟩ over a kernel string.
+type WordDesign struct {
+	BoxDesign
+	KernelString *axml.KernelString
+}
+
+// NewBoxDesign builds a box design.
+func NewBoxDesign(target *strlang.NFA, kernel *axml.KernelBox) *BoxDesign {
+	return &BoxDesign{Target: target, Kernel: kernel}
+}
+
+// NewWordDesign builds a word design.
+func NewWordDesign(target *strlang.NFA, kernel *axml.KernelString) *WordDesign {
+	return &WordDesign{
+		BoxDesign:    BoxDesign{Target: target, Kernel: kernel.Box()},
+		KernelString: kernel,
+	}
+}
+
+// MustWordDesign parses a regex target and a kernel string, e.g.
+// MustWordDesign("a* b c*", "f1 b f2").
+func MustWordDesign(targetRegex, kernel string) *WordDesign {
+	return NewWordDesign(
+		strlang.RegexNFA(strlang.MustParseRegex(targetRegex)),
+		axml.MustParseKernelString(kernel))
+}
+
+// Perfect returns the design's perfect automaton, built on first use.
+func (d *BoxDesign) Perfect() *PerfectAutomaton {
+	if d.perfect == nil {
+		d.perfect = BuildPerfect(d.Target, d.Kernel)
+	}
+	return d.perfect
+}
+
+// Cells returns the Dec(Ωi) cells per function, built on first use.
+func (d *BoxDesign) Cells() [][]Cell {
+	if d.cells == nil {
+		p := d.Perfect()
+		d.cells = make([][]Cell, d.Kernel.NumFuncs())
+		for i := 1; i <= d.Kernel.NumFuncs(); i++ {
+			autos := make([]*strlang.NFA, len(p.Aut(i)))
+			for j, la := range p.Aut(i) {
+				autos[j] = la.Lang
+			}
+			d.cells[i-1] = DecomposeCells(autos)
+		}
+	}
+	return d.cells
+}
+
+// ExtensionNFA returns the automaton for ext_B(τn) = B0 τ1 B1 … τn Bn.
+func (d *BoxDesign) ExtensionNFA(typing WordTyping) *strlang.NFA {
+	parts := make([]*strlang.NFA, 0, 2*len(typing)+1)
+	for i, b := range d.Kernel.Boxes {
+		parts = append(parts, strlang.BoxNFA(b))
+		if i < len(typing) {
+			parts = append(parts, typing[i])
+		}
+	}
+	return strlang.ConcatAll(parts...)
+}
+
+// Sound reports whether ext(τn) ⊆ [A] (Definition 12); the witness is a
+// violating extension string.
+func (d *BoxDesign) Sound(typing WordTyping) (bool, []strlang.Symbol) {
+	return strlang.Included(d.ExtensionNFA(typing), d.Target)
+}
+
+// Complete reports whether ext(τn) ⊇ [A]; the witness is a string of [A]
+// not covered.
+func (d *BoxDesign) Complete(typing WordTyping) (bool, []strlang.Symbol) {
+	return strlang.Included(d.Target, d.ExtensionNFA(typing))
+}
+
+// Local decides loc[nFA] (Theorem 5.3): ext(τn) = [A].
+func (d *BoxDesign) Local(typing WordTyping) bool {
+	ok, _ := strlang.Equivalent(d.ExtensionNFA(typing), d.Target)
+	return ok
+}
+
+// MaximalSound decides whether the sound typing (τn) is maximal among the
+// sound typings (Theorem 7.1's procedure): no Dec(Ωi) cell extends some τi
+// while preserving soundness. It requires (τn) to be sound.
+func (d *BoxDesign) MaximalSound(typing WordTyping) (bool, error) {
+	if ok, w := d.Sound(typing); !ok {
+		return false, fmt.Errorf("core: typing is not sound (witness %v)", w)
+	}
+	cells := d.Cells()
+	for i := range typing {
+		for _, cell := range cells[i] {
+			inter := strlang.Intersect(cell.Lang, typing[i])
+			if inter.IsEmpty() {
+				// Total extension: sound iff adding the whole cell stays
+				// inside [A] (Lemma 6.9 handles the partial case; here we
+				// check directly).
+				extended := append(WordTyping{}, typing...)
+				extended[i] = strlang.Union(typing[i], cell.Lang)
+				if ok, _ := d.Sound(extended); ok {
+					return false, nil
+				}
+			} else if ok, _ := strlang.Included(cell.Lang, typing[i]); !ok {
+				// Partial extension: by Lemma 6.9 the extension by the cell
+				// is still sound, so (τn) is not maximal.
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// MaximalLocal decides ml[nFA]: the typing is local and maximal.
+func (d *BoxDesign) MaximalLocal(typing WordTyping) (bool, error) {
+	if !d.Local(typing) {
+		return false, nil
+	}
+	return d.MaximalSound(typing)
+}
+
+// PerfectTyping decides ∃-perf[nFA] (Theorems 6.5 and 6.8): a perfect
+// typing exists iff w(Ωn) ≡ A, in which case it is exactly (Ωn).
+//
+// Under the default no-trivial-types convention (see AllowTrivialTypes),
+// Ω components may be inflated by ε-options that no admissible typing can
+// use, so when the Ω test fails the decision falls back to the equivalent
+// characterization “the maximal sound typing is unique and local”, over
+// the Dec(Ωi) cell space (complete by Theorems 6.3 and 6.10).
+func (d *BoxDesign) PerfectTyping() (WordTyping, bool) {
+	p := d.Perfect()
+	if !p.Compatible() {
+		return nil, false
+	}
+	omega := p.TypingOmega()
+	omegaAdmissible := true
+	if !d.AllowTrivialTypes {
+		for _, o := range omega {
+			if isTrivialEps(o) {
+				omegaAdmissible = false
+				break
+			}
+		}
+	}
+	if omegaAdmissible && d.Local(omega) {
+		return omega, true
+	}
+	if d.AllowTrivialTypes {
+		// Theorem 6.5 is exact in the literal reading.
+		return nil, false
+	}
+	// Convention mode: a typing is perfect iff it dominates every sound
+	// admissible typing and is local — equivalently, the maximal sound
+	// cell-union tuple is unique and local.
+	maximal := d.maximalSoundTuples()
+	if len(maximal) != 1 {
+		return nil, false
+	}
+	cells := d.Cells()
+	typing := make(WordTyping, len(maximal[0]))
+	for j := range maximal[0] {
+		typing[j] = cellUnion(cells[j], maximal[0][j])
+	}
+	if d.Local(typing) {
+		return typing, true
+	}
+	return nil, false
+}
+
+// IsPerfect decides perf[nFA] (Theorem 6.7): the typing is perfect iff it
+// is local and equivalent to the design's perfect typing.
+func (d *BoxDesign) IsPerfect(typing WordTyping) bool {
+	perfect, ok := d.PerfectTyping()
+	if !ok {
+		return false
+	}
+	return d.Local(typing) && EquivWord(typing, perfect)
+}
+
+// maximalSoundTuples returns the maximal elements of the sound cell-union
+// tuples.
+func (d *BoxDesign) maximalSoundTuples() [][][]int {
+	tuples := d.soundTuples()
+	var out [][][]int
+	for i, t := range tuples {
+		isMax := true
+		for j, u := range tuples {
+			if i != j && tupleDominated(t, u) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// tupleDominated reports whether a < b as cell-index sets (cells are
+// disjoint, so this is componentwise language inclusion).
+func tupleDominated(a, b [][]int) bool {
+	leq, lt := true, false
+	for i := range a {
+		set := map[int]bool{}
+		for _, x := range b[i] {
+			set[x] = true
+		}
+		for _, x := range a[i] {
+			if !set[x] {
+				leq = false
+			}
+		}
+		if len(a[i]) < len(b[i]) {
+			lt = true
+		}
+	}
+	return leq && lt
+}
+
+// cellUnion returns the union of the selected cells (by index).
+func cellUnion(cells []Cell, selection []int) *strlang.NFA {
+	langs := make([]*strlang.NFA, len(selection))
+	for i, c := range selection {
+		langs[i] = cells[c].Lang
+	}
+	return strlang.UnionAll(langs...)
+}
+
+// soundTuples enumerates all sound typings that are unions of nonempty
+// cell subsets per function, as index-set tuples. This is the search space
+// of Theorem 6.11: every maximal sound typing is of this shape
+// (Theorem 6.10), so the enumeration is complete for ∃-loc and ∃-ml.
+// Worst-case exponential, matching the problems' EXPSPACE upper bounds;
+// branches whose partial extension already falls outside the prefixes of
+// [A] are pruned.
+func (d *BoxDesign) soundTuples() [][][]int {
+	cells := d.Cells()
+	n := d.Kernel.NumFuncs()
+	if n == 0 {
+		return nil
+	}
+	// Prefix closure of the target: the trimmed automaton with every
+	// state final (all states are co-reachable after trimming).
+	pref, _ := d.Target.Trim()
+	prefAll := pref.Clone()
+	for q := 0; q < prefAll.NumStates(); q++ {
+		prefAll.MarkFinal(q)
+	}
+	var out [][][]int
+	cur := make([][]int, n)
+	langs := make([]*strlang.NFA, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			typing := make(WordTyping, n)
+			copy(typing, langs)
+			if ok, _ := d.Sound(typing); ok {
+				snapshot := make([][]int, n)
+				for j := range cur {
+					snapshot[j] = append([]int(nil), cur[j]...)
+				}
+				out = append(out, snapshot)
+			}
+			return
+		}
+		total := len(cells[i])
+		for mask := 1; mask < 1<<total; mask++ {
+			var sel []int
+			for b := 0; b < total; b++ {
+				if mask&(1<<b) != 0 {
+					sel = append(sel, b)
+				}
+			}
+			cur[i] = sel
+			langs[i] = cellUnion(cells[i], sel)
+			if !d.AllowTrivialTypes && isTrivialEps(langs[i]) {
+				continue
+			}
+			// Prefix pruning: B0 τ1 B1 … τ_{i+1} must stay within the
+			// prefixes of [A].
+			if !d.DisableSearchPruning {
+				parts := make([]*strlang.NFA, 0, 2*i+3)
+				for j := 0; j <= i; j++ {
+					parts = append(parts, strlang.BoxNFA(d.Kernel.Boxes[j]), langs[j])
+				}
+				prefix := strlang.ConcatAll(parts...)
+				if ok, _ := strlang.Included(prefix, prefAll); !ok {
+					continue
+				}
+			}
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// LocalTyping decides ∃-loc[nFA] and returns a local typing when one
+// exists. It checks the necessary condition Ω ≡ A (Lemma 6.1 +
+// Theorem 6.3) first, tries the perfect typing (Ωn), then searches the
+// cell-union space (complete by Theorems 6.3 and 6.10: every local typing
+// extends to a maximal local one, which is a cell union).
+func (d *BoxDesign) LocalTyping() (WordTyping, bool) {
+	p := d.Perfect()
+	if !p.Compatible() {
+		return nil, false
+	}
+	if ok, _ := strlang.Equivalent(p.OmegaNFA(), d.Target); !ok {
+		return nil, false
+	}
+	omega := p.TypingOmega()
+	if d.Local(omega) {
+		admissible := true
+		if !d.AllowTrivialTypes {
+			for _, o := range omega {
+				if isTrivialEps(o) {
+					admissible = false
+					break
+				}
+			}
+		}
+		if admissible {
+			return omega, true
+		}
+	}
+	cells := d.Cells()
+	for _, tuple := range d.soundTuples() {
+		typing := make(WordTyping, len(tuple))
+		for j := range tuple {
+			typing[j] = cellUnion(cells[j], tuple[j])
+		}
+		if d.Local(typing) {
+			return typing, true
+		}
+	}
+	return nil, false
+}
+
+// MaximalLocalTypings enumerates all maximal local typings (as cell
+// unions; complete by Theorem 6.10). ∃-ml[nFA] is non-emptiness of the
+// result.
+func (d *BoxDesign) MaximalLocalTypings() []WordTyping {
+	cells := d.Cells()
+	var out []WordTyping
+	for _, t := range d.maximalSoundTuples() {
+		typing := make(WordTyping, len(t))
+		for j := range t {
+			typing[j] = cellUnion(cells[j], t[j])
+		}
+		if d.Local(typing) {
+			out = append(out, typing)
+		}
+	}
+	return out
+}
+
+// ExistsMaximalLocal decides ∃-ml[nFA].
+func (d *BoxDesign) ExistsMaximalLocal() (WordTyping, bool) {
+	ts := d.MaximalLocalTypings()
+	if len(ts) == 0 {
+		return nil, false
+	}
+	return ts[0], true
+}
+
+// MaximalSoundTypings enumerates the maximal sound typings (as cell
+// unions, complete by Theorem 6.10). Unlike MaximalLocalTypings, the
+// results need not be local — Remark 2 notes they are the fallback when a
+// design admits no local typing.
+func (d *BoxDesign) MaximalSoundTypings() []WordTyping {
+	cells := d.Cells()
+	var out []WordTyping
+	for _, t := range d.maximalSoundTuples() {
+		typing := make(WordTyping, len(t))
+		for j := range t {
+			typing[j] = cellUnion(cells[j], t[j])
+		}
+		out = append(out, typing)
+	}
+	return out
+}
+
+// QuasiPerfectTyping decides the quasi-perfect property of Remark 2: a
+// (possibly non-local) unique maximal sound typing comprising every other
+// sound typing. Every perfect typing is quasi-perfect; the converse fails
+// exactly when the quasi-perfect typing is not local.
+func (d *BoxDesign) QuasiPerfectTyping() (WordTyping, bool) {
+	maximal := d.MaximalSoundTypings()
+	if len(maximal) != 1 {
+		return nil, false
+	}
+	return maximal[0], true
+}
+
+// isTrivialEps reports whether [a] = {ε}.
+func isTrivialEps(a *strlang.NFA) bool {
+	ok, _ := strlang.Equivalent(a, strlang.EpsLang())
+	return ok
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dxml/internal/strlang"
+)
+
+func syms(w string) []strlang.Symbol {
+	if w == "" {
+		return nil
+	}
+	return strings.Split(w, "")
+}
+
+func TestExample2(t *testing.T) {
+	// τ = a*bc*, T = s(f1 f2): (a*bc*, c*) and (a*, a*bc*) are maximal
+	// local; (a?, a*bc*) is local but not maximal; no perfect typing.
+	d := MustWordDesign("a* b c*", "f1 f2")
+
+	t1 := MustWordTyping("a* b c*", "c*")
+	t2 := MustWordTyping("a*", "a* b c*")
+	t3 := MustWordTyping("a?", "a* b c*")
+	for i, typ := range []WordTyping{t1, t2, t3} {
+		if !d.Local(typ) {
+			t.Errorf("typing %d should be local", i+1)
+		}
+	}
+	for i, typ := range []WordTyping{t1, t2} {
+		if ok, err := d.MaximalLocal(typ); err != nil || !ok {
+			t.Errorf("typing %d should be maximal local (err=%v)", i+1, err)
+		}
+		if d.IsPerfect(typ) {
+			t.Errorf("typing %d should not be perfect", i+1)
+		}
+	}
+	if ok, _ := d.MaximalLocal(t3); ok {
+		t.Error("(a?, a*bc*) should not be maximal")
+	}
+	if _, ok := d.PerfectTyping(); ok {
+		t.Error("no perfect typing should exist for Example 2")
+	}
+	// But local (hence maximal local) typings exist.
+	if _, ok := d.LocalTyping(); !ok {
+		t.Error("∃-loc should hold for Example 2")
+	}
+	mls := d.MaximalLocalTypings()
+	if len(mls) != 2 {
+		t.Errorf("Example 2 has exactly two maximal local typings, got %d", len(mls))
+	}
+	// They must be (a*bc*, c*) and (a*, a*bc*) in some order.
+	found1, found2 := false, false
+	for _, ml := range mls {
+		if EquivWord(ml, t1) {
+			found1 = true
+		}
+		if EquivWord(ml, t2) {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Errorf("maximal local typings do not match the paper's: %v %v", found1, found2)
+	}
+}
+
+func TestExample3(t *testing.T) {
+	// τ = a*bc*, T = s(f1 b f2): (a*, c*) is perfect.
+	d := MustWordDesign("a* b c*", "f1 b f2")
+	perfect, ok := d.PerfectTyping()
+	if !ok {
+		t.Fatal("Example 3 should have a perfect typing")
+	}
+	want := MustWordTyping("a*", "c*")
+	if !EquivWord(perfect, want) {
+		t.Errorf("perfect typing should be (a*, c*), got (%s, %s)",
+			strlang.RegexString(strlang.RegexFromNFA(perfect[0])),
+			strlang.RegexString(strlang.RegexFromNFA(perfect[1])))
+	}
+	if !d.IsPerfect(want) {
+		t.Error("IsPerfect rejects the perfect typing")
+	}
+	// Same language, different expression — still perfect (the notion is
+	// language-level).
+	if !d.IsPerfect(MustWordTyping("a*", "c? c*")) {
+		t.Error("IsPerfect must be language-level")
+	}
+	if d.IsPerfect(MustWordTyping("a?", "c*")) {
+		t.Error("a strictly smaller typing is not perfect")
+	}
+}
+
+func TestExample4(t *testing.T) {
+	// τ = (ab)*, T = s(f1 f2): ((ab)*, (ab)*) is the unique maximal local
+	// typing but not perfect; no perfect typing exists.
+	d := MustWordDesign("(a b)*", "f1 f2")
+	unique := MustWordTyping("(a b)*", "(a b)*")
+	if !d.Local(unique) {
+		t.Fatal("((ab)*, (ab)*) should be local")
+	}
+	if ok, err := d.MaximalLocal(unique); err != nil || !ok {
+		t.Errorf("((ab)*, (ab)*) should be maximal local (err=%v)", err)
+	}
+	if d.IsPerfect(unique) {
+		t.Error("((ab)*, (ab)*) should not be perfect")
+	}
+	if _, ok := d.PerfectTyping(); ok {
+		t.Error("no perfect typing should exist for Example 4")
+	}
+	mls := d.MaximalLocalTypings()
+	if len(mls) != 1 {
+		t.Fatalf("Example 4 has a unique maximal local typing, got %d", len(mls))
+	}
+	if !EquivWord(mls[0], unique) {
+		t.Error("unique maximal local typing mismatch")
+	}
+	// The sound typing (a, b) is not ≤ ((ab)*, (ab)*) — soundness check.
+	if ok, _ := d.Sound(MustWordTyping("a", "b")); !ok {
+		t.Error("(a, b) should be sound")
+	}
+}
+
+func TestExample5(t *testing.T) {
+	// τ = (ab)+, T = s(f1 f2): exactly three maximal local typings.
+	d := MustWordDesign("(a b)+", "f1 f2")
+	want := []WordTyping{
+		MustWordTyping("(a b)*", "(a b)+"),
+		MustWordTyping("(a b)* a", "b (a b)*"),
+		MustWordTyping("(a b)+", "(a b)*"),
+	}
+	mls := d.MaximalLocalTypings()
+	if len(mls) != 3 {
+		t.Fatalf("Example 5 has exactly three maximal local typings, got %d", len(mls))
+	}
+	for i, w := range want {
+		found := false
+		for _, ml := range mls {
+			if EquivWord(ml, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("maximal local typing %d of the paper not found", i+1)
+		}
+	}
+	if _, ok := d.PerfectTyping(); ok {
+		t.Error("no perfect typing should exist for Example 5")
+	}
+}
+
+func TestExample9(t *testing.T) {
+	// w = a f1 c f2 e, τ = abccde: (b, cd) is local; (Ω2) = (bc?, c?d) is
+	// strictly greater and not sound.
+	d := MustWordDesign("a b c c d e", "a f1 c f2 e")
+	local := MustWordTyping("b", "c d")
+	if !d.Local(local) {
+		t.Fatal("(b, cd) should be local")
+	}
+	omega := d.Perfect().TypingOmega()
+	wantOmega := MustWordTyping("b c?", "c? d")
+	if !EquivWord(omega, wantOmega) {
+		t.Errorf("(Ω2) should be (bc?, c?d), got (%s, %s)",
+			strlang.RegexString(strlang.RegexFromNFA(omega[0])),
+			strlang.RegexString(strlang.RegexFromNFA(omega[1])))
+	}
+	if !LtWord(local, omega) {
+		t.Error("(b, cd) < (Ω2) should hold")
+	}
+	if ok, _ := d.Sound(omega); ok {
+		t.Error("(Ω2) should not be sound here (abccde ∌ a bc? c c?d e combos)")
+	}
+	if _, ok := d.PerfectTyping(); ok {
+		t.Error("no perfect typing for Example 9")
+	}
+}
+
+func TestExample10(t *testing.T) {
+	// w = a f1 f2 d, τ = a(bc)*d: ((bc)*, (bc)*) is the unique maximal
+	// local typing; Aut(Ω1) = {(bc)*, (bc)*b}, Aut(Ω2) = {(bc)*, c(bc)*};
+	// (Ωn) is not sound.
+	d := MustWordDesign("a (b c)* d", "a f1 f2 d")
+	unique := MustWordTyping("(b c)*", "(b c)*")
+	if !d.Local(unique) {
+		t.Fatal("((bc)*, (bc)*) should be local")
+	}
+	if ok, err := d.MaximalLocal(unique); err != nil || !ok {
+		t.Errorf("should be maximal local (err=%v)", err)
+	}
+	p := d.Perfect()
+	om1 := p.OmegaI(1)
+	om2 := p.OmegaI(2)
+	if ok, _ := strlang.Equivalent(om1, strlang.RegexNFA(strlang.MustParseRegex("(b c)* b?"))); !ok {
+		t.Errorf("Ω1 should be (bc)*b?, got %s", strlang.RegexString(strlang.RegexFromNFA(om1)))
+	}
+	if ok, _ := strlang.Equivalent(om2, strlang.RegexNFA(strlang.MustParseRegex("c? (b c)*"))); !ok {
+		t.Errorf("Ω2 should be c?(bc)*, got %s", strlang.RegexString(strlang.RegexFromNFA(om2)))
+	}
+	if ok, _ := d.Sound(p.TypingOmega()); ok {
+		t.Error("(Ωn) should not be sound for Example 10 (allows abccbcd)")
+	}
+	mls := d.MaximalLocalTypings()
+	if len(mls) != 1 {
+		t.Fatalf("unique maximal local expected, got %d", len(mls))
+	}
+}
+
+func TestExample11(t *testing.T) {
+	// τ = ab + ba, w = f1 f2: two sound typings (a, b), (b, a); no local
+	// typing; yet Ω ≡ τ.
+	d := MustWordDesign("a b | b a", "f1 f2")
+	for _, typ := range []WordTyping{MustWordTyping("a", "b"), MustWordTyping("b", "a")} {
+		if ok, _ := d.Sound(typ); !ok {
+			t.Error("typing should be sound")
+		}
+	}
+	if _, ok := d.LocalTyping(); ok {
+		t.Error("no local typing should exist for Example 11")
+	}
+	if len(d.MaximalLocalTypings()) != 0 {
+		t.Error("no maximal local typing should exist")
+	}
+	omega := d.Perfect().OmegaNFA()
+	if ok, w := strlang.Equivalent(omega, d.Target); !ok {
+		t.Errorf("Ω ≡ τ should hold for Example 11, witness %v", w)
+	}
+}
+
+func TestTheorem21PerfectIsUniqueMaximal(t *testing.T) {
+	// Every perfect typing is the unique maximal local typing.
+	designs := []*WordDesign{
+		MustWordDesign("a* b c*", "f1 b f2"),
+		MustWordDesign("a* b", "f1 b"),
+		MustWordDesign("a b* c", "a f1 c"),
+	}
+	for i, d := range designs {
+		perfect, ok := d.PerfectTyping()
+		if !ok {
+			t.Fatalf("design %d should have a perfect typing", i)
+		}
+		mls := d.MaximalLocalTypings()
+		if len(mls) != 1 {
+			t.Fatalf("design %d: perfect implies unique maximal local, got %d", i, len(mls))
+		}
+		if !EquivWord(mls[0], perfect) {
+			t.Errorf("design %d: unique maximal local ≠ perfect", i)
+		}
+	}
+}
+
+// TestCorollary64 checks: if a local typing exists, then w(τn) ≡ Ω ≡ A.
+func TestCorollary64(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 60; trial++ {
+		re := randomWordRegex(r, 2)
+		d := MustWordDesign(re, "f1 f2")
+		typing, ok := d.LocalTyping()
+		if !ok {
+			continue
+		}
+		ext := d.ExtensionNFA(typing)
+		omega := d.Perfect().OmegaNFA()
+		if ok, w := strlang.Equivalent(ext, omega); !ok {
+			t.Fatalf("τ=%s: w(τn) ≢ Ω, witness %v", re, w)
+		}
+		if ok, w := strlang.Equivalent(omega, d.Target); !ok {
+			t.Fatalf("τ=%s: Ω ≢ A, witness %v", re, w)
+		}
+	}
+}
+
+// TestOmegaInvariants checks Lemma 6.1 (Ω ≤ A), Lemma 6.2 (chain typings
+// are sound) and Theorem 6.3 (sound ⇒ ≤ (Ωn)) on random designs.
+func TestOmegaInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	kernels := []string{"f1", "a f1", "f1 b f2", "f1 f2", "a f1 c f2 e", "f1 a f2 b"}
+	for trial := 0; trial < 120; trial++ {
+		re := randomWordRegex(r, 3)
+		kernel := kernels[r.Intn(len(kernels))]
+		d := MustWordDesign(re, kernel)
+		p := d.Perfect()
+		if !p.Compatible() {
+			continue
+		}
+		// Lemma 6.1: Ω ≤ A.
+		omega := p.OmegaNFA()
+		if ok, w := strlang.Included(omega, d.Target); !ok {
+			t.Fatalf("Lemma 6.1 violated for τ=%s w=%s: Ω accepts %v ∉ [A]", re, kernel, w)
+		}
+		// Lemma 6.2: every chain-aligned typing is sound.
+		for _, chain := range p.Chains() {
+			n := d.Kernel.NumFuncs()
+			typing := make(WordTyping, n)
+			okChain := true
+			for i := 0; i < n; i++ {
+				la, ok := strlang.LocalAutomaton(d.Target, chain[2*i], chain[2*i+1])
+				if !ok {
+					okChain = false
+					break
+				}
+				typing[i] = la
+			}
+			if !okChain {
+				t.Fatalf("illegal chain emitted for τ=%s w=%s", re, kernel)
+			}
+			if ok, w := d.Sound(typing); !ok {
+				t.Fatalf("Lemma 6.2 violated for τ=%s w=%s: chain typing unsound on %v", re, kernel, w)
+			}
+		}
+		// Theorem 6.3: a sound typing is ≤ (Ωn). Use single-string sound
+		// typings sampled from extensions of the kernel within [A].
+		omegaTyping := p.TypingOmega()
+		for _, chain := range p.Chains() {
+			n := d.Kernel.NumFuncs()
+			typing := make(WordTyping, n)
+			good := true
+			for i := 0; i < n; i++ {
+				la, _ := strlang.LocalAutomaton(d.Target, chain[2*i], chain[2*i+1])
+				ws := strlang.Enumerate(la, 3, 1)
+				if len(ws) == 0 {
+					good = false
+					break
+				}
+				typing[i] = strlang.WordLang(ws[0])
+			}
+			if !good {
+				continue
+			}
+			if ok, _ := d.Sound(typing); ok {
+				if !LeqWord(typing, omegaTyping) {
+					t.Fatalf("Theorem 6.3 violated for τ=%s w=%s", re, kernel)
+				}
+			}
+		}
+	}
+}
+
+// randomWordRegex generates a random regex over {a,b,c} for design fuzzing.
+func randomWordRegex(r *rand.Rand, depth int) string {
+	if depth == 0 {
+		return string(rune('a' + r.Intn(3)))
+	}
+	switch r.Intn(5) {
+	case 0:
+		return randomWordRegex(r, depth-1) + " " + randomWordRegex(r, depth-1)
+	case 1:
+		return "(" + randomWordRegex(r, depth-1) + " | " + randomWordRegex(r, depth-1) + ")"
+	case 2:
+		return "(" + randomWordRegex(r, depth-1) + ")*"
+	case 3:
+		return "(" + randomWordRegex(r, depth-1) + ")?"
+	default:
+		return randomWordRegex(r, depth-1)
+	}
+}
+
+// TestOmegaNFAAgreesWithChains: the literal ε-glued Ω accepts exactly the
+// union of the chain languages.
+func TestOmegaNFAAgreesWithChains(t *testing.T) {
+	d := MustWordDesign("a b c c d e", "a f1 c f2 e")
+	p := d.Perfect()
+	var chainLangs []*strlang.NFA
+	for _, chain := range p.Chains() {
+		// W0 · X1 · W1 · X2 · W2 languages along the chain:
+		// s → q0, q0 → s1, s1 → q1, q1 → s2, s2 → q2.
+		parts := []*strlang.NFA{}
+		prev := d.Target.Start()
+		points := append([]int{}, chain...)
+		for _, pt := range points {
+			la, ok := strlang.LocalAutomaton(d.Target, prev, pt)
+			if !ok {
+				t.Fatal("broken chain")
+			}
+			parts = append(parts, la)
+			prev = pt
+		}
+		chainLangs = append(chainLangs, strlang.ConcatAll(parts...))
+	}
+	want := strlang.UnionAll(chainLangs...)
+	got := p.OmegaNFA()
+	if ok, w := strlang.Equivalent(got, want); !ok {
+		t.Errorf("literal Ω differs from chain union on %v", w)
+	}
+}
+
+func TestDecompositionFig8(t *testing.T) {
+	// Three overlapping automata decompose into ≤ 7 nonempty cells
+	// (Figure 8); here A1 = a|b, A2 = b|c, A3 = c|a gives exactly the
+	// three pairwise cells a, b, c... each string belongs to exactly two.
+	a1 := strlang.RegexNFA(strlang.MustParseRegex("a | b"))
+	a2 := strlang.RegexNFA(strlang.MustParseRegex("b | c"))
+	a3 := strlang.RegexNFA(strlang.MustParseRegex("c | a"))
+	cells := DecomposeCells([]*strlang.NFA{a1, a2, a3})
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	for _, c := range cells {
+		if c.Members.Len() != 2 {
+			t.Errorf("cell %v should have 2 members", c.Members.Sorted())
+		}
+		ws := strlang.Enumerate(c.Lang, 2, 10)
+		if len(ws) != 1 {
+			t.Errorf("cell should be a single string, got %v", ws)
+		}
+	}
+	// A richer case: a*, a+, aa — realizable masks: {a*}=ε-only… etc.
+	b1 := strlang.RegexNFA(strlang.MustParseRegex("a*"))
+	b2 := strlang.RegexNFA(strlang.MustParseRegex("a+"))
+	b3 := strlang.RegexNFA(strlang.MustParseRegex("a a"))
+	cells = DecomposeCells([]*strlang.NFA{b1, b2, b3})
+	// Cells: {1}: ε; {1,2}: a, aaa, aaaa…; {1,2,3}: aa → 3 cells.
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(cells))
+	}
+	// The cells partition a*: disjoint and union = a*.
+	var langs []*strlang.NFA
+	for _, c := range cells {
+		langs = append(langs, c.Lang)
+	}
+	union := strlang.UnionAll(langs...)
+	if ok, w := strlang.Equivalent(union, b1); !ok {
+		t.Errorf("cells do not cover a*: %v", w)
+	}
+	for i := range cells {
+		for j := i + 1; j < len(cells); j++ {
+			if !strlang.Intersect(cells[i].Lang, cells[j].Lang).IsEmpty() {
+				t.Errorf("cells %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestSoundCompleteWitnesses(t *testing.T) {
+	d := MustWordDesign("a* b", "f1 b")
+	// Sound but incomplete typing.
+	typ := MustWordTyping("a")
+	if ok, _ := d.Sound(typ); !ok {
+		t.Error("a is sound")
+	}
+	ok, w := d.Complete(typ)
+	if ok {
+		t.Fatal("a should be incomplete")
+	}
+	if !d.Target.Accepts(w) {
+		t.Errorf("completeness witness %v not in target", w)
+	}
+	// Unsound typing with witness in the extension.
+	bad := MustWordTyping("b")
+	ok, w = d.Sound(bad)
+	if ok {
+		t.Fatal("b should be unsound")
+	}
+	if d.Target.Accepts(w) {
+		t.Errorf("soundness witness %v should be outside the target", w)
+	}
+}
+
+func TestCompatibility(t *testing.T) {
+	// No way to read the kernel: incompatible.
+	d := MustWordDesign("a b", "c f1")
+	if d.Perfect().Compatible() {
+		t.Error("design should be incompatible")
+	}
+	if _, ok := d.LocalTyping(); ok {
+		t.Error("incompatible design has no local typing")
+	}
+	d2 := MustWordDesign("a b", "a f1")
+	if !d2.Perfect().Compatible() {
+		t.Error("design should be compatible")
+	}
+}

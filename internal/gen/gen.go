@@ -1,0 +1,290 @@
+// Package gen samples random documents from schema types. It powers the
+// workload generators of the benchmark harness and the federation
+// examples: every sampled document is guaranteed valid for the type it
+// was drawn from, so peers can be seeded with realistic, type-conforming
+// data of controlled size.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dxml/internal/schema"
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// Sampler draws random documents from an EDTD (DTDs via ToEDTD).
+type Sampler struct {
+	e   *schema.EDTD
+	rng *rand.Rand
+	// MaxDepth bounds the tree height (root counts as depth 1). It must
+	// be at least the type's minimal derivation height.
+	MaxDepth int
+	// WordBudget softly bounds the number of children sampled per node.
+	WordBudget int
+
+	minHeight map[string]int
+}
+
+// New returns a sampler for e with the given seed and sensible bounds.
+func New(e *schema.EDTD, seed int64) (*Sampler, error) {
+	s := &Sampler{
+		e:          e,
+		rng:        rand.New(rand.NewSource(seed)),
+		MaxDepth:   12,
+		WordBudget: 6,
+	}
+	s.minHeight = minHeights(e)
+	feasible := false
+	for _, start := range e.Starts {
+		if s.minHeight[start] < math.MaxInt32 {
+			feasible = true
+		}
+	}
+	if !feasible {
+		return nil, fmt.Errorf("gen: the type's language is empty")
+	}
+	return s, nil
+}
+
+// minHeights computes, for every specialized name, the minimal height of
+// a tree derivable from it (math.MaxInt32 when none exists), by the
+// stratified fixpoint h(ñ) ≤ k+1 iff π(ñ) accepts a word over names of
+// height ≤ k.
+func minHeights(e *schema.EDTD) map[string]int {
+	h := map[string]int{}
+	names := e.SpecializedNames()
+	for _, n := range names {
+		h[n] = math.MaxInt32
+	}
+	for {
+		changed := false
+		for _, n := range names {
+			// Current candidate: 1 + max over some accepted word of the
+			// members' heights; equivalently the smallest k with a word
+			// over {m : h(m) < k}.
+			var allowed []strlang.Symbol
+			maxH := 0
+			for _, m := range e.Rule(n).UsefulSymbols() {
+				if h[m] < math.MaxInt32 {
+					allowed = append(allowed, m)
+					if h[m] > maxH {
+						maxH = h[m]
+					}
+				}
+			}
+			best := math.MaxInt32
+			if e.Rule(n).AcceptsEps() {
+				best = 1
+			} else if acceptsOver(e.Rule(n).Lang(), allowed) {
+				best = 1 + maxH
+				// Tighten: try smaller strata.
+				for k := 1; k < maxH; k++ {
+					var sub []strlang.Symbol
+					for _, m := range allowed {
+						if h[m] <= k {
+							sub = append(sub, m)
+						}
+					}
+					if acceptsOver(e.Rule(n).Lang(), sub) {
+						best = 1 + k
+						break
+					}
+				}
+			}
+			if best < h[n] {
+				h[n] = best
+				changed = true
+			}
+		}
+		if !changed {
+			return h
+		}
+	}
+}
+
+// acceptsOver reports whether the automaton accepts some word using only
+// the allowed symbols.
+func acceptsOver(a *strlang.NFA, allowed []strlang.Symbol) bool {
+	allowedSet := map[strlang.Symbol]bool{}
+	for _, s := range allowed {
+		allowedSet[s] = true
+	}
+	cur := a.Closure(strlang.NewIntSet(a.Start()))
+	seen := cur.Copy()
+	for {
+		if cur.Intersects(a.Finals()) {
+			return true
+		}
+		next := strlang.NewIntSet()
+		for _, s := range a.Alphabet() {
+			if allowedSet[s] {
+				next.AddAll(a.Step(cur, s))
+			}
+		}
+		grew := false
+		for q := range next {
+			if !seen.Has(q) {
+				seen.Add(q)
+				grew = true
+			}
+		}
+		if !grew {
+			return false
+		}
+		cur = seen.Copy()
+	}
+}
+
+// Document samples one document. The result always validates against the
+// sampler's type.
+func (s *Sampler) Document() (*xmltree.Tree, error) {
+	var starts []string
+	for _, st := range s.e.Starts {
+		if s.minHeight[st] <= maxInt(s.MaxDepth, s.minHeight[st]) && s.minHeight[st] < math.MaxInt32 {
+			starts = append(starts, st)
+		}
+	}
+	if len(starts) == 0 {
+		return nil, fmt.Errorf("gen: no feasible start")
+	}
+	start := starts[s.rng.Intn(len(starts))]
+	depth := s.MaxDepth
+	if s.minHeight[start] > depth {
+		depth = s.minHeight[start]
+	}
+	return s.sample(start, depth)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sample derives a tree from name within the given height budget.
+func (s *Sampler) sample(name string, depth int) (*xmltree.Tree, error) {
+	node := &xmltree.Tree{Label: s.e.Elem(name)}
+	if depth <= 1 {
+		// Must stop here: the content model must accept ε (guaranteed by
+		// the steering in sampleWord).
+		if !s.e.Rule(name).AcceptsEps() {
+			return nil, fmt.Errorf("gen: internal: %s cannot be a leaf", name)
+		}
+		return node, nil
+	}
+	word, err := s.sampleWord(s.e.Rule(name).Lang(), depth-1)
+	if err != nil {
+		return nil, fmt.Errorf("gen: at %s: %w", name, err)
+	}
+	for _, child := range word {
+		c, err := s.sample(child, depth-1)
+		if err != nil {
+			return nil, err
+		}
+		node.Children = append(node.Children, c)
+	}
+	return node, nil
+}
+
+// sampleWord draws a random accepted word of the content automaton using
+// only names derivable within the height budget.
+func (s *Sampler) sampleWord(a *strlang.NFA, budget int) ([]strlang.Symbol, error) {
+	var allowed []strlang.Symbol
+	for _, m := range a.UsefulSymbols() {
+		if h, ok := s.minHeight[m]; ok && h <= budget {
+			allowed = append(allowed, m)
+		}
+	}
+	// Restrict to the allowed sub-automaton and walk it.
+	restricted := strlang.Intersect(a, strlang.UniversalLang(allowed))
+	trimmed, _ := restricted.Trim()
+	if trimmed.IsEmpty() {
+		return nil, fmt.Errorf("no word derivable within height %d", budget)
+	}
+	dist := distanceToFinal(trimmed)
+	var word []strlang.Symbol
+	cur := trimmed.Closure(strlang.NewIntSet(trimmed.Start()))
+	for steps := 0; ; steps++ {
+		isFinal := cur.Intersects(trimmed.Finals())
+		wantStop := steps >= s.WordBudget || s.rng.Intn(3) == 0
+		if isFinal && wantStop {
+			return word, nil
+		}
+		// Candidate next symbols keeping a path to acceptance.
+		type cand struct {
+			sym  strlang.Symbol
+			next strlang.IntSet
+		}
+		var cands []cand
+		for _, sym := range trimmed.Alphabet() {
+			next := trimmed.Step(cur, sym)
+			if next.Len() == 0 {
+				continue
+			}
+			if steps >= s.WordBudget && minDist(dist, next) >= minDist(dist, cur) {
+				continue // over budget: only moves that approach a final
+			}
+			cands = append(cands, cand{sym, next})
+		}
+		if len(cands) == 0 {
+			if isFinal {
+				return word, nil
+			}
+			return nil, fmt.Errorf("gen: internal: stuck while sampling")
+		}
+		pick := cands[s.rng.Intn(len(cands))]
+		word = append(word, pick.sym)
+		cur = pick.next
+	}
+}
+
+// distanceToFinal computes, per state, the least number of symbol steps
+// to acceptance.
+func distanceToFinal(a *strlang.NFA) []int {
+	n := a.NumStates()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	// BFS backwards from finals over symbol edges, with ε-edges treated
+	// as zero-cost (we approximate by closing forward: a state has
+	// distance 0 if its closure meets a final).
+	for q := 0; q < n; q++ {
+		if a.Closure(strlang.NewIntSet(q)).Intersects(a.Finals()) {
+			dist[q] = 0
+		}
+	}
+	for {
+		changed := false
+		for q := 0; q < n; q++ {
+			cl := a.Closure(strlang.NewIntSet(q))
+			for p := range cl {
+				for _, sym := range a.Alphabet() {
+					for _, t := range a.Succ(p, sym) {
+						if dist[t] < math.MaxInt32 && dist[t]+1 < dist[q] {
+							dist[q] = dist[t] + 1
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return dist
+		}
+	}
+}
+
+func minDist(dist []int, set strlang.IntSet) int {
+	best := math.MaxInt32
+	for q := range set {
+		if dist[q] < best {
+			best = dist[q]
+		}
+	}
+	return best
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+
+	"dxml/internal/schema"
+)
+
+func eurostatType(t testing.TB) *schema.EDTD {
+	t.Helper()
+	return schema.MustParseW3CDTD(schema.KindNRE, `
+		<!ELEMENT eurostat (averages, nationalIndex*)>
+		<!ELEMENT averages (Good, index+)+>
+		<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+		<!ELEMENT index (value, year)>
+		<!ELEMENT country (#PCDATA)>
+		<!ELEMENT Good (#PCDATA)>
+		<!ELEMENT value (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>`).ToEDTD()
+}
+
+// TestSampledDocumentsValidate is the sampler's defining property: every
+// sample validates against its type.
+func TestSampledDocumentsValidate(t *testing.T) {
+	types := []*schema.EDTD{
+		eurostatType(t),
+		schema.MustParseEDTD(schema.KindNRE, `
+			root s
+			s -> a1 b1* | a2
+			a1 : a -> c
+			a2 : a -> d?
+			b1 : b -> a2*`),
+		schema.MustParseDTD(schema.KindNRE, "root s\ns -> x+\nx -> s?").ToEDTD(), // recursive
+	}
+	for ti, e := range types {
+		s, err := New(e, int64(ti))
+		if err != nil {
+			t.Fatalf("type %d: %v", ti, err)
+		}
+		sizes := map[int]bool{}
+		for i := 0; i < 300; i++ {
+			doc, err := s.Document()
+			if err != nil {
+				t.Fatalf("type %d sample %d: %v", ti, i, err)
+			}
+			if vErr := e.Validate(doc); vErr != nil {
+				t.Fatalf("type %d: sampled document invalid: %v\n%s", ti, vErr, doc)
+			}
+			sizes[doc.Size()] = true
+		}
+		if len(sizes) < 3 {
+			t.Errorf("type %d: sampler shows no variety (%d distinct sizes)", ti, len(sizes))
+		}
+	}
+}
+
+func TestSamplerEmptyLanguage(t *testing.T) {
+	empty := schema.MustParseDTD(schema.KindNRE, "root s\ns -> a\na -> a")
+	if _, err := New(empty.ToEDTD(), 1); err == nil {
+		t.Error("sampler must refuse empty languages")
+	}
+}
+
+func TestSamplerDeterministicSeed(t *testing.T) {
+	e := eurostatType(t)
+	s1, _ := New(e, 7)
+	s2, _ := New(e, 7)
+	for i := 0; i < 20; i++ {
+		d1, err1 := s1.Document()
+		d2, err2 := s2.Document()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !d1.Equal(d2) {
+			t.Fatal("same seed must give the same sample sequence")
+		}
+	}
+}
+
+func TestSamplerRespectsMinHeight(t *testing.T) {
+	// A type whose minimal tree is deep: s → a, a → b, b → ε.
+	e := schema.MustParseDTD(schema.KindNRE, "root s\ns -> a\na -> b").ToEDTD()
+	s, err := New(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxDepth = 1 // below the minimal height; the sampler must stretch
+	doc, err := s.Document()
+	if err != nil {
+		t.Fatalf("sampler should stretch the depth budget: %v", err)
+	}
+	if vErr := e.Validate(doc); vErr != nil {
+		t.Fatalf("invalid: %v", vErr)
+	}
+}
+
+func BenchmarkSampler(b *testing.B) {
+	e := eurostatType(b)
+	s, err := New(e, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Document(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package p2p simulates the distributed Active XML setting that motivates
+// the paper: a kernel peer holds the kernel document and each resource
+// peer holds the subtree document behind one docking point. It implements
+// the two validation strategies the theory compares:
+//
+//   - distributed validation: each resource peer validates its own
+//     document against its local type τᵢ and ships only a verdict; the
+//     kernel peer checks nothing beyond the typing's guarantees — by
+//     soundness, all-local-valid implies the materialized document
+//     satisfies the global type, and by completeness no valid document is
+//     rejected;
+//   - centralized validation: the kernel peer pulls every document,
+//     materializes extT(t1..tn) and validates it against the global type.
+//
+// The network is simulated in-memory with goroutines and channels; message
+// and byte counts are recorded so the example programs and benchmarks can
+// report the communication advantage of local typings (the paper's
+// Remark 4 and introduction).
+package p2p
+
+import (
+	"fmt"
+	"sync"
+
+	"dxml/internal/axml"
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// Stats accumulates simulated network traffic.
+type Stats struct {
+	mu       sync.Mutex
+	Messages int
+	Bytes    int
+}
+
+func (s *Stats) add(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Messages++
+	s.Bytes += bytes
+}
+
+// Snapshot returns the current counters.
+func (s *Stats) Snapshot() (messages, bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Messages, s.Bytes
+}
+
+// message is what travels on the simulated wire.
+type message struct {
+	from    string
+	verdict bool
+	doc     *xmltree.Tree // nil for verdict-only messages
+}
+
+// wireSize approximates the serialized size of a message in bytes.
+func (m message) wireSize() int {
+	n := len(m.from) + 1
+	if m.doc != nil {
+		n += len(m.doc.XMLString())
+	}
+	return n
+}
+
+// ResourcePeer owns one docking point's document and local type.
+type ResourcePeer struct {
+	Func string
+	Doc  *xmltree.Tree
+	Type *schema.EDTD
+}
+
+// Network is a simulated federation: one kernel peer plus one resource
+// peer per docking point.
+type Network struct {
+	Kernel     *axml.Kernel
+	GlobalType *schema.EDTD
+	Peers      map[string]*ResourcePeer
+	Stats      Stats
+}
+
+// NewNetwork builds a federation for the kernel; documents and local
+// types are attached per function with AddPeer.
+func NewNetwork(kernel *axml.Kernel, global *schema.EDTD) *Network {
+	return &Network{
+		Kernel:     kernel,
+		GlobalType: global,
+		Peers:      map[string]*ResourcePeer{},
+	}
+}
+
+// AddPeer attaches a resource peer for the given docking point.
+func (n *Network) AddPeer(fn string, doc *xmltree.Tree, local *schema.EDTD) error {
+	if n.Kernel.FuncIndex(fn) < 0 {
+		return fmt.Errorf("p2p: kernel has no docking point %s", fn)
+	}
+	n.Peers[fn] = &ResourcePeer{Func: fn, Doc: doc, Type: local}
+	return nil
+}
+
+// ValidateDistributed runs the distributed protocol: every peer validates
+// locally in parallel and sends a verdict-only message. The result is the
+// conjunction of the local verdicts. Traffic: n verdict messages.
+func (n *Network) ValidateDistributed() (bool, error) {
+	funcs := n.Kernel.Funcs()
+	ch := make(chan message, len(funcs))
+	var wg sync.WaitGroup
+	for _, f := range funcs {
+		peer, ok := n.Peers[f]
+		if !ok {
+			return false, fmt.Errorf("p2p: no peer for %s", f)
+		}
+		wg.Add(1)
+		go func(p *ResourcePeer) {
+			defer wg.Done()
+			verdict := p.Type.Validate(p.Doc) == nil
+			ch <- message{from: p.Func, verdict: verdict}
+		}(peer)
+	}
+	wg.Wait()
+	close(ch)
+	all := true
+	for m := range ch {
+		n.Stats.add(m.wireSize())
+		if !m.verdict {
+			all = false
+		}
+	}
+	return all, nil
+}
+
+// ValidateCentralized runs the centralized protocol: every peer ships its
+// whole document, the kernel peer materializes and validates globally.
+// Traffic: n full documents.
+func (n *Network) ValidateCentralized() (bool, error) {
+	funcs := n.Kernel.Funcs()
+	ch := make(chan message, len(funcs))
+	var wg sync.WaitGroup
+	for _, f := range funcs {
+		peer, ok := n.Peers[f]
+		if !ok {
+			return false, fmt.Errorf("p2p: no peer for %s", f)
+		}
+		wg.Add(1)
+		go func(p *ResourcePeer) {
+			defer wg.Done()
+			ch <- message{from: p.Func, doc: p.Doc}
+		}(peer)
+	}
+	wg.Wait()
+	close(ch)
+	ext := map[string]*xmltree.Tree{}
+	for m := range ch {
+		n.Stats.add(m.wireSize())
+		ext[m.from] = m.doc
+	}
+	doc, err := n.Kernel.Extend(ext)
+	if err != nil {
+		return false, err
+	}
+	return n.GlobalType.Validate(doc) == nil, nil
+}
+
+// Materialize returns the extension document (for inspection).
+func (n *Network) Materialize() (*xmltree.Tree, error) {
+	ext := map[string]*xmltree.Tree{}
+	for f, p := range n.Peers {
+		ext[f] = p.Doc
+	}
+	return n.Kernel.Extend(ext)
+}
+
+// UpdatePeer is the collaborative-editing operation of the paper's
+// introduction (WebDAV / XML Fragment Interchange): a resource peer
+// replaces its fragment. With a *local* typing the edit is admissible iff
+// the new fragment validates against the peer's own type — no other peer
+// and no global document is touched. The verdict message is the only
+// traffic recorded.
+//
+// The edit is applied only when locally valid; the previous document is
+// returned so callers can inspect or restore it.
+func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, previous *xmltree.Tree, err error) {
+	peer, ok := n.Peers[fn]
+	if !ok {
+		return false, nil, fmt.Errorf("p2p: no peer for %s", fn)
+	}
+	verdict := peer.Type.Validate(newDoc) == nil
+	n.Stats.add(message{from: fn, verdict: verdict}.wireSize())
+	if !verdict {
+		return false, peer.Doc, nil
+	}
+	previous = peer.Doc
+	peer.Doc = newDoc
+	return true, previous, nil
+}
+
+// UpdatePeerCentralized is the same edit under centralized validation:
+// the new fragment is shipped to the kernel peer, the whole document is
+// re-materialized and re-validated; on failure the edit is rolled back.
+func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitted bool, err error) {
+	peer, ok := n.Peers[fn]
+	if !ok {
+		return false, fmt.Errorf("p2p: no peer for %s", fn)
+	}
+	n.Stats.add(message{from: fn, doc: newDoc}.wireSize())
+	old := peer.Doc
+	peer.Doc = newDoc
+	// The kernel peer must pull every other fragment to re-validate.
+	for f, p := range n.Peers {
+		if f != fn {
+			n.Stats.add(message{from: f, doc: p.Doc}.wireSize())
+		}
+	}
+	doc, err := n.Materialize()
+	if err != nil {
+		peer.Doc = old
+		return false, err
+	}
+	if n.GlobalType.Validate(doc) != nil {
+		peer.Doc = old
+		return false, nil
+	}
+	return true, nil
+}

@@ -1,0 +1,345 @@
+package p2p
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/core"
+	"dxml/internal/gen"
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// eurostatSetup builds the Figure 1 federation: kernel with an averages
+// provider and three country bureaus, typed by the Figure 4 perfect
+// typing.
+func eurostatSetup(t testing.TB) (*Network, core.Typing) {
+	t.Helper()
+	global := schema.MustParseW3CDTD(schema.KindNRE, `
+		<!ELEMENT eurostat (averages, nationalIndex*)>
+		<!ELEMENT averages (Good, index+)+>
+		<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+		<!ELEMENT index (value, year)>
+		<!ELEMENT country (#PCDATA)>
+		<!ELEMENT Good (#PCDATA)>
+		<!ELEMENT value (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>
+	`)
+	kernel := axml.MustParseKernel("eurostat(f0 f1 f2 f3)")
+	design := &core.DTDDesign{Type: global, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		t.Fatal("Figure 4 perfect typing should exist")
+	}
+	n := NewNetwork(kernel, global.ToEDTD())
+	return n, typing
+}
+
+// countryDoc builds a valid national document with k indexes, wrapped
+// under the local type's root.
+func countryDoc(root string, k int, formatA bool) *xmltree.Tree {
+	doc := xmltree.New(root)
+	for i := 0; i < k; i++ {
+		ni := xmltree.New("nationalIndex", xmltree.Leaf("country"), xmltree.Leaf("Good"))
+		if formatA {
+			ni.Children = append(ni.Children, xmltree.New("index", xmltree.Leaf("value"), xmltree.Leaf("year")))
+		} else {
+			ni.Children = append(ni.Children, xmltree.Leaf("value"), xmltree.Leaf("year"))
+		}
+		doc.Children = append(doc.Children, ni)
+	}
+	return doc
+}
+
+func averagesDoc(root string, goods int) *xmltree.Tree {
+	av := xmltree.New("averages")
+	for i := 0; i < goods; i++ {
+		av.Children = append(av.Children,
+			xmltree.Leaf("Good"),
+			xmltree.New("index", xmltree.Leaf("value"), xmltree.Leaf("year")))
+	}
+	return xmltree.New(root, av)
+}
+
+func attachValidDocs(t testing.TB, n *Network, typing core.Typing, countrySizes []int) {
+	t.Helper()
+	funcs := n.Kernel.Funcs()
+	for i, f := range funcs {
+		root := typing[i].Starts[0]
+		var doc *xmltree.Tree
+		if i == 0 {
+			doc = averagesDoc(root, 2)
+		} else {
+			doc = countryDoc(root, countrySizes[i-1], i%2 == 0)
+		}
+		doc.Label = root
+		if err := typing[i].Validate(doc); err != nil {
+			t.Fatalf("generated doc for %s invalid: %v", f, err)
+		}
+		if err := n.AddPeer(f, doc, typing[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistributedAgreesWithCentralizedOnValid(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{2, 3, 1})
+	dist, err := n.ValidateDistributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := n.ValidateCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist || !cent {
+		t.Fatalf("valid federation rejected: dist=%v cent=%v", dist, cent)
+	}
+}
+
+// TestSoundness: with a local typing, local-valid implies global-valid —
+// and with an invalid local document, both protocols reject.
+func TestSoundnessAndCompleteness(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{1, 1, 1})
+	// Corrupt one country: an index missing its year.
+	bad := xmltree.New(typing[2].Starts[0],
+		xmltree.New("nationalIndex",
+			xmltree.Leaf("country"), xmltree.Leaf("Good"),
+			xmltree.New("index", xmltree.Leaf("value"))))
+	n.Peers["f2"].Doc = bad
+	dist, err := n.ValidateDistributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := n.ValidateCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist != cent {
+		t.Fatalf("protocols disagree: dist=%v cent=%v", dist, cent)
+	}
+	if dist {
+		t.Fatal("invalid document accepted")
+	}
+}
+
+// TestProtocolAgreementRandom fuzzes documents (valid and mutated) and
+// checks the two protocols always agree when the typing is local — the
+// operational meaning of soundness + completeness.
+func TestProtocolAgreementRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n, typing := eurostatSetup(t)
+		attachValidDocs(t, n, typing, []int{r.Intn(3), r.Intn(3), r.Intn(3)})
+		// Randomly mutate one peer's document.
+		if r.Intn(2) == 0 {
+			f := n.Kernel.Funcs()[r.Intn(4)]
+			doc := n.Peers[f].Doc
+			mutateTree(r, doc)
+		}
+		dist, err := n.ValidateDistributed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cent, err := n.ValidateCentralized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist != cent {
+			mat, _ := n.Materialize()
+			t.Fatalf("protocols disagree (dist=%v cent=%v) on %s", dist, cent, mat)
+		}
+	}
+}
+
+func mutateTree(r *rand.Rand, doc *xmltree.Tree) {
+	// Collect nodes.
+	var nodes []*xmltree.Tree
+	doc.Walk(func(n *xmltree.Tree, _ []string) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	n := nodes[r.Intn(len(nodes))]
+	switch r.Intn(3) {
+	case 0: // drop a child
+		if len(n.Children) > 0 {
+			i := r.Intn(len(n.Children))
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+		}
+	case 1: // duplicate a child
+		if len(n.Children) > 0 {
+			i := r.Intn(len(n.Children))
+			n.Children = append(n.Children, n.Children[i].Clone())
+		}
+	default: // relabel a non-root node
+		if n != doc {
+			n.Label = "zz"
+		}
+	}
+}
+
+// TestTrafficAdvantage: distributed validation ships only verdicts;
+// centralized ships full documents. This reproduces the communication
+// asymmetry motivating local typings (Remark 4).
+func TestTrafficAdvantage(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{50, 50, 50})
+	if _, err := n.ValidateDistributed(); err != nil {
+		t.Fatal(err)
+	}
+	_, distBytes := n.Stats.Snapshot()
+	n2, typing2 := eurostatSetup(t)
+	attachValidDocs(t, n2, typing2, []int{50, 50, 50})
+	if _, err := n2.ValidateCentralized(); err != nil {
+		t.Fatal(err)
+	}
+	_, centBytes := n2.Stats.Snapshot()
+	if distBytes*10 > centBytes {
+		t.Errorf("distributed traffic (%d B) should be ≪ centralized (%d B)", distBytes, centBytes)
+	}
+}
+
+// TestNonLocalTypingBreaksAgreement: with a sound-but-incomplete typing,
+// distributed validation can reject documents that are globally valid
+// (false negatives) — completeness is exactly what rules this out.
+func TestNonLocalTypingBreaksAgreement(t *testing.T) {
+	global := schema.MustParseDTD(schema.KindNRE, "root s\ns -> a | b")
+	kernel := axml.MustParseKernel("s(f1)")
+	// Sound but incomplete local type: only a.
+	restrictive := schema.MustParseDTD(schema.KindNRE, "root r1\nr1 -> a").ToEDTD()
+	n := NewNetwork(kernel, global.ToEDTD())
+	doc := xmltree.MustParse("r1(b)")
+	if err := n.AddPeer("f1", doc, restrictive); err != nil {
+		t.Fatal(err)
+	}
+	dist, err := n.ValidateDistributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := n.ValidateCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist || !cent {
+		t.Fatalf("expected a false negative: dist=%v cent=%v", dist, cent)
+	}
+}
+
+// TestCollaborativeEditing: with a local typing, fragment edits are
+// admitted/rejected identically by local and centralized validation —
+// with a fraction of the traffic (the introduction's WebDAV scenario).
+func TestCollaborativeEditing(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{2, 2, 2})
+	root2 := typing[2].Starts[0]
+
+	// A valid edit: INSEE switches one index to format B.
+	edit := countryDoc(root2, 3, false)
+	admitted, prev, err := n.UpdatePeer("f2", edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !admitted || prev == nil {
+		t.Fatal("valid edit rejected")
+	}
+
+	// An invalid edit is rejected locally and leaves the doc untouched.
+	bad := xmltree.MustParse(root2 + "(nationalIndex(country))")
+	admitted, _, err = n.UpdatePeer("f2", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted {
+		t.Fatal("invalid edit admitted")
+	}
+	if n.Peers["f2"].Doc != edit {
+		t.Fatal("rejected edit modified the document")
+	}
+	_, localBytes := n.Stats.Snapshot() // traffic of the two local edits
+
+	// The federation stays globally valid after the admitted edit
+	// (soundness).
+	if ok, err := n.ValidateCentralized(); err != nil || !ok {
+		t.Fatalf("edited federation invalid: %v %v", ok, err)
+	}
+
+	// Centralized agrees on both verdicts (but ships everything).
+	n2, typing2 := eurostatSetup(t)
+	attachValidDocs(t, n2, typing2, []int{2, 2, 2})
+	admitted, err = n2.UpdatePeerCentralized("f2", countryDoc(typing2[2].Starts[0], 3, false))
+	if err != nil || !admitted {
+		t.Fatalf("centralized rejected a valid edit: %v %v", admitted, err)
+	}
+	admitted, err = n2.UpdatePeerCentralized("f2",
+		xmltree.MustParse(typing2[2].Starts[0]+"(nationalIndex(country))"))
+	if err != nil || admitted {
+		t.Fatalf("centralized admitted an invalid edit: %v %v", admitted, err)
+	}
+	_, centBytes := n2.Stats.Snapshot()
+	if localBytes*10 > centBytes {
+		t.Errorf("local edits (%d B) should be ≪ centralized (%d B)", localBytes, centBytes)
+	}
+}
+
+// TestSampledWorkloadFederation seeds peers with documents drawn from
+// their own types by the gen sampler: by soundness, every sampled
+// federation must validate under both protocols.
+func TestSampledWorkloadFederation(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	for round := 0; round < 10; round++ {
+		for i, f := range n.Kernel.Funcs() {
+			s, err := gen.New(typing[i], int64(round*10+i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := s.Document()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AddPeer(f, doc, typing[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dist, err := n.ValidateDistributed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cent, err := n.ValidateCentralized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dist || !cent {
+			mat, _ := n.Materialize()
+			t.Fatalf("round %d: sampled federation rejected (dist=%v cent=%v): %s",
+				round, dist, cent, mat)
+		}
+	}
+}
+
+func TestUpdatePeerUnknown(t *testing.T) {
+	n, _ := eurostatSetup(t)
+	if _, _, err := n.UpdatePeer("f9", xmltree.Leaf("x")); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if _, err := n.UpdatePeerCentralized("f9", xmltree.Leaf("x")); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+func TestAddPeerErrors(t *testing.T) {
+	global := schema.MustParseDTD(schema.KindNRE, "root s\ns -> a")
+	kernel := axml.MustParseKernel("s(f1)")
+	n := NewNetwork(kernel, global.ToEDTD())
+	if err := n.AddPeer("f9", xmltree.Leaf("r"), global.ToEDTD()); err == nil {
+		t.Error("unknown docking point accepted")
+	}
+	if _, err := n.ValidateDistributed(); err == nil {
+		t.Error("missing peer should fail")
+	}
+	if _, err := n.ValidateCentralized(); err == nil {
+		t.Error("missing peer should fail")
+	}
+}

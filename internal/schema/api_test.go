@@ -1,0 +1,152 @@
+package schema
+
+import (
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+func TestSetRuleKindMismatch(t *testing.T) {
+	d := NewDTD(KindNRE, "s")
+	if err := d.SetRule("s", MustContent(KindNFA, "a")); err == nil {
+		t.Error("kind mismatch accepted by DTD")
+	}
+	if err := d.SetRule("s", MustContent(KindNRE, "a")); err != nil {
+		t.Errorf("matching kind rejected: %v", err)
+	}
+	e := NewEDTD(KindNRE, "s", "s")
+	if err := e.SetRule("s", MustContent(KindNFA, "a")); err == nil {
+		t.Error("kind mismatch accepted by EDTD")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSetRule should panic on mismatch")
+		}
+	}()
+	e.MustSetRule("s", MustContent(KindDFA, "a"))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a")
+	c := d.Clone()
+	c.Rules["s"] = MustContent(KindNRE, "b")
+	if d.Rule("s").Accepts([]strlang.Symbol{"b"}) {
+		t.Error("DTD Clone is shallow")
+	}
+	e := MustParseEDTD(KindNRE, "root s\ns -> a1\na1 : a -> b")
+	ce := e.Clone()
+	ce.Names["a1"] = "zzz"
+	ce.Starts[0] = "other"
+	if e.Elem("a1") == "zzz" || e.Starts[0] == "other" {
+		t.Error("EDTD Clone is shallow")
+	}
+}
+
+func TestEDTDSizeAndEmptyLang(t *testing.T) {
+	e := MustParseEDTD(KindNRE, "root s\ns -> a1\na1 : a -> ε")
+	if e.Size() <= 0 {
+		t.Error("size should be positive")
+	}
+	if e.IsEmptyLang() {
+		t.Error("nonempty language judged empty")
+	}
+	empty := MustParseEDTD(KindNRE, "root s\ns -> a1\na1 : a -> a1")
+	if !empty.IsEmptyLang() {
+		t.Error("empty language not detected")
+	}
+	if _, err := empty.Reduce(); err == nil {
+		t.Error("reducing the empty EDTD should fail")
+	}
+	if _, err := Normalize(empty, KindNFA); err == nil {
+		t.Error("normalizing the empty EDTD should fail")
+	}
+}
+
+func TestIncludedEDTD(t *testing.T) {
+	small := MustParseEDTD(KindNRE, "root s\ns -> a")
+	big := MustParseEDTD(KindNRE, "root s\ns -> a | b")
+	if ok, _ := IncludedEDTD(small, big); !ok {
+		t.Error("inclusion should hold")
+	}
+	ok, w := IncludedEDTD(big, small)
+	if ok {
+		t.Fatal("inclusion should fail")
+	}
+	if w == nil || big.Validate(w) != nil || small.Validate(w) == nil {
+		t.Errorf("bad witness %v", w)
+	}
+}
+
+func TestMustParseW3CDTDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseW3CDTD should panic on bad input")
+		}
+	}()
+	MustParseW3CDTD(KindNRE, "<!ELEMENT broken")
+}
+
+func TestContentAccessors(t *testing.T) {
+	cRE, _ := NewContentRegex(KindNRE, strlang.MustParseRegex("a b"))
+	if cRE.Regex() == nil {
+		t.Error("Regex() should be set for regex kinds")
+	}
+	if cRE.DFA() != nil {
+		t.Error("DFA() should be nil for regex kinds")
+	}
+	cDFA := NewContentDFA(strlang.RegexNFA(strlang.MustParseRegex("a b")).Determinize())
+	if cDFA.DFA() == nil {
+		t.Error("DFA() should be set for KindDFA")
+	}
+	if cDFA.Regex() != nil {
+		t.Error("Regex() should be nil for KindDFA")
+	}
+}
+
+func TestEquivalentDTDEmptyCases(t *testing.T) {
+	empty1 := MustParseDTD(KindNRE, "root s\ns -> a\na -> a")
+	empty2 := MustParseDTD(KindNRE, "root s\ns -> b\nb -> b")
+	if ok, why := EquivalentDTD(empty1, empty2); !ok {
+		t.Errorf("two empty languages should be equivalent: %s", why)
+	}
+	nonEmpty := MustParseDTD(KindNRE, "root s\ns -> a")
+	if ok, _ := EquivalentDTD(empty1, nonEmpty); ok {
+		t.Error("empty ≠ nonempty")
+	}
+}
+
+func TestWitnessOfInvalid(t *testing.T) {
+	e := MustParseEDTD(KindNRE, "root s\ns -> a1\na1 : a -> ε")
+	if _, err := e.WitnessOf(xmltree.MustParse("s(b)")); err == nil {
+		t.Error("WitnessOf should fail on invalid trees")
+	}
+}
+
+func TestNormalizeDREFailure(t *testing.T) {
+	// A type whose normalized content models are not one-unambiguous: the
+	// union of overlapping b-specializations yields (roughly)
+	// (b1|b12)*-style contents… use a content model that loses
+	// one-unambiguity under determinization of the union.
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> x1 | x2
+		x1 : x -> b1 b1* c1
+		x2 : x -> b1* d1
+		b1 : b -> ε
+		c1 : c -> ε
+		d1 : d -> ε
+	`)
+	// Whether this particular instance fails for dRE is
+	// construction-specific; the requirement is: Normalize either
+	// succeeds with a language-preserving dRE type or reports an error —
+	// never silently changes the language.
+	n, err := Normalize(e, KindDRE)
+	if err != nil {
+		t.Logf("Normalize(dRE) reported: %v", err)
+		return
+	}
+	if ok, w := EquivalentEDTD(e, n); !ok {
+		t.Errorf("normalization changed language on %s", w)
+	}
+}

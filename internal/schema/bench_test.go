@@ -1,0 +1,109 @@
+package schema
+
+import (
+	"testing"
+
+	"dxml/internal/xmltree"
+)
+
+func benchEurostatDTD(b *testing.B) *DTD {
+	b.Helper()
+	d, err := ParseW3CDTD(KindNRE, `
+		<!ELEMENT eurostat (averages, nationalIndex*)>
+		<!ELEMENT averages (Good, index+)+>
+		<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+		<!ELEMENT index (value, year)>
+		<!ELEMENT country (#PCDATA)>
+		<!ELEMENT Good (#PCDATA)>
+		<!ELEMENT value (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func benchDoc(n int) *xmltree.Tree {
+	doc := xmltree.MustParse("eurostat(averages(Good index(value year)))")
+	for i := 0; i < n; i++ {
+		doc.Children = append(doc.Children,
+			xmltree.MustParse("nationalIndex(country Good index(value year))"))
+	}
+	return doc
+}
+
+func BenchmarkValidateDTD200(b *testing.B) {
+	d := benchEurostatDTD(b)
+	doc := benchDoc(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateSingleType(b *testing.B) {
+	e := benchEurostatDTD(b).ToEDTD()
+	doc := benchDoc(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.ValidateSingleType(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateEDTDViaUTA(b *testing.B) {
+	e := benchEurostatDTD(b).ToEDTD()
+	doc := benchDoc(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Validate(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquivalentSDTDvsEDTD(b *testing.B) {
+	x := MustParseEDTD(KindNRE, "root s\ns -> a1*\na1 : a -> b1?\nb1 : b -> ε")
+	y := MustParseEDTD(KindNRE, "root s\ns -> a1*\na1 : a -> b1 | ε\nb1 : b -> ε")
+	b.Run("SDTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := EquivalentSDTD(x, y); !ok {
+				b.Fatal("should be equivalent")
+			}
+		}
+	})
+	b.Run("EDTD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ok, _ := EquivalentEDTD(x, y); !ok {
+				b.Fatal("should be equivalent")
+			}
+		}
+	})
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	e := MustParseEDTD(KindNRE, `
+		root s0
+		s0 -> a1 b1* | a2 b2*
+		a1 : a -> c
+		a2 : a -> d
+		b1 : b -> e | g
+		b2 : b -> g | h`)
+	for i := 0; i < b.N; i++ {
+		if _, err := Normalize(e, KindNFA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReduce(b *testing.B) {
+	d := benchEurostatDTD(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Reduce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// DTD is an R-DTD τ = ⟨Σ, π, s⟩ (Definition 3): π maps element names to
+// content models over Σ, s is the start symbol. A tree t is in [τ] iff its
+// root is labeled s and child-str(x) ∈ [π(lab(x))] for every node x.
+// Element names without a rule are leaves (π(a) = {ε}), following the
+// paper's shorthand.
+type DTD struct {
+	Kind  Kind
+	Start string
+	Rules map[string]*Content
+}
+
+// NewDTD returns an empty DTD of the given kind with the given start
+// symbol.
+func NewDTD(kind Kind, start string) *DTD {
+	return &DTD{Kind: kind, Start: start, Rules: map[string]*Content{}}
+}
+
+// SetRule sets π(name) = c; c's kind must match the DTD's.
+func (d *DTD) SetRule(name string, c *Content) error {
+	if c.Kind() != d.Kind {
+		return fmt.Errorf("schema: rule %s has kind %s, DTD has kind %s", name, c.Kind(), d.Kind)
+	}
+	d.Rules[name] = c
+	return nil
+}
+
+// MustSetRule is SetRule that panics on error.
+func (d *DTD) MustSetRule(name string, c *Content) {
+	if err := d.SetRule(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// Rule returns π(name), defaulting to {ε} for names without a rule.
+func (d *DTD) Rule(name string) *Content {
+	if c, ok := d.Rules[name]; ok {
+		return c
+	}
+	return EpsContent(d.Kind)
+}
+
+// Alphabet returns the sorted element names Σ: the start symbol, every
+// name with a rule and every name occurring in a content model.
+func (d *DTD) Alphabet() []string {
+	set := map[string]struct{}{d.Start: {}}
+	for name, c := range d.Rules {
+		set[name] = struct{}{}
+		for _, s := range c.Lang().Alphabet() {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate reports whether t ∈ [d]; a non-nil error explains the first
+// violation found in document order.
+func (d *DTD) Validate(t *xmltree.Tree) error {
+	if t.Label != d.Start {
+		return fmt.Errorf("schema: root is %s, want %s", t.Label, d.Start)
+	}
+	var firstErr error
+	t.Walk(func(n *xmltree.Tree, anc []string) bool {
+		c := d.Rule(n.Label)
+		if !c.Accepts(n.ChildStr()) {
+			firstErr = fmt.Errorf("schema: node %s at %s has children %v ∉ [%s]",
+				n.Label, strings.Join(anc, "/"), n.ChildStr(), c)
+			return false
+		}
+		return true
+	})
+	return firstErr
+}
+
+// Dual returns dual(τ) (Definition 4): the dFA of root-to-node label paths
+// of trees in [τ], with states {q0} ∪ {q_a : a ∈ Σ}. State ids: 0 for q0,
+// 1+i for the i-th name of Alphabet(). Finality of q_a means ε ∈ [π(a)]
+// (the node may be a leaf).
+func (d *DTD) Dual() (*strlang.DFA, map[string]int) {
+	alpha := d.Alphabet()
+	idx := map[string]int{}
+	dfa := strlang.NewDFA() // state 0 = q0
+	for _, a := range alpha {
+		idx[a] = dfa.AddState(d.Rule(a).AcceptsEps())
+	}
+	dfa.SetTransition(0, d.Start, idx[d.Start])
+	for _, a := range alpha {
+		for _, b := range d.Rule(a).UsefulSymbols() {
+			dfa.SetTransition(idx[a], b, idx[b])
+		}
+	}
+	return dfa, idx
+}
+
+// boundNames computes the bound marking of Definition 5: a name is bound
+// when some finite tree can hang below it.
+func (d *DTD) boundNames() map[string]bool {
+	bound := map[string]bool{}
+	alpha := d.Alphabet()
+	for {
+		changed := false
+		for _, a := range alpha {
+			if bound[a] {
+				continue
+			}
+			c := d.Rule(a)
+			if c.AcceptsEps() {
+				bound[a] = true
+				changed = true
+				continue
+			}
+			// Is [π(a)] ∩ Σb⁺ nonempty, Σb the bound successors?
+			var boundSyms []strlang.Symbol
+			for _, b := range c.UsefulSymbols() {
+				if bound[b] {
+					boundSyms = append(boundSyms, b)
+				}
+			}
+			if len(boundSyms) == 0 {
+				continue
+			}
+			restricted := strlang.Intersect(c.Lang(), strlang.Plus(strlang.SetLang(boundSyms)))
+			if !restricted.IsEmpty() {
+				bound[a] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return bound
+		}
+	}
+}
+
+// usefulNames returns the names that are reachable from the start in the
+// dual and bound (i.e. appear in some tree of [τ]).
+func (d *DTD) usefulNames() map[string]bool {
+	bound := d.boundNames()
+	useful := map[string]bool{}
+	if !bound[d.Start] {
+		return useful
+	}
+	stack := []string{d.Start}
+	useful[d.Start] = true
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, b := range d.Rule(a).UsefulSymbols() {
+			if bound[b] && !useful[b] {
+				useful[b] = true
+				stack = append(stack, b)
+			}
+		}
+	}
+	return useful
+}
+
+// IsReduced reports whether τ is reduced (Definition 5): every dual state
+// is useful and bound, and [τ] ≠ ∅.
+func (d *DTD) IsReduced() bool {
+	useful := d.usefulNames()
+	if !useful[d.Start] {
+		return false
+	}
+	for _, a := range d.Alphabet() {
+		if !useful[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reduce returns an equivalent reduced DTD, dropping unprofitable names and
+// restricting content models (the procedure sketched after Definition 5).
+// It fails if [τ] = ∅, or — for KindDRE only — if a restricted content
+// model is no longer one-unambiguous.
+func (d *DTD) Reduce() (*DTD, error) {
+	useful := d.usefulNames()
+	if !useful[d.Start] {
+		return nil, fmt.Errorf("schema: [τ] is empty, cannot reduce")
+	}
+	keep := make([]strlang.Symbol, 0, len(useful))
+	for a := range useful {
+		keep = append(keep, a)
+	}
+	sort.Strings(keep)
+	universe := strlang.UniversalLang(keep)
+	out := NewDTD(d.Kind, d.Start)
+	for a := range useful {
+		c := d.Rule(a)
+		if c.AcceptsEps() && len(c.UsefulSymbols()) == 0 {
+			continue // leaf rule, omit (the default)
+		}
+		restricted := strlang.Intersect(c.Lang(), universe)
+		nc, err := FromNFA(d.Kind, restricted)
+		if err != nil {
+			return nil, fmt.Errorf("schema: reducing rule %s: %w", a, err)
+		}
+		out.Rules[a] = nc
+	}
+	return out, nil
+}
+
+// IsEmptyLang reports whether [τ] = ∅.
+func (d *DTD) IsEmptyLang() bool { return !d.usefulNames()[d.Start] }
+
+// Size returns the representation size of the DTD (names plus content
+// model sizes).
+func (d *DTD) Size() int {
+	n := len(d.Alphabet())
+	for _, c := range d.Rules {
+		n += c.Size()
+	}
+	return n
+}
+
+// String renders the DTD in the paper's arrow-grammar notation.
+func (d *DTD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root %s\n", d.Start)
+	names := make([]string, 0, len(d.Rules))
+	for a := range d.Rules {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		fmt.Fprintf(&b, "%s -> %s\n", a, d.Rules[a])
+	}
+	return b.String()
+}
+
+// Clone returns a deep-enough copy of d (content models are immutable and
+// shared).
+func (d *DTD) Clone() *DTD {
+	out := NewDTD(d.Kind, d.Start)
+	for a, c := range d.Rules {
+		out.Rules[a] = c
+	}
+	return out
+}

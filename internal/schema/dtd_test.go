@@ -1,0 +1,199 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// figure3DTD is the paper's Figure 3 Eurostat DTD in W3C syntax.
+const figure3DTD = `
+<!ELEMENT eurostat (averages, nationalIndex*)>
+<!ELEMENT averages (Good, index+)+>
+<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+<!ELEMENT index (value, year)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT Good (#PCDATA)>
+<!ELEMENT value (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+`
+
+func TestParseW3CDTDFigure3(t *testing.T) {
+	d, err := ParseW3CDTD(KindDRE, figure3DTD)
+	if err != nil {
+		t.Fatalf("ParseW3CDTD: %v", err)
+	}
+	if d.Start != "eurostat" {
+		t.Errorf("start = %s", d.Start)
+	}
+	// Figure 2's extension (values omitted) must validate.
+	doc := xmltree.MustParse(`eurostat(
+		averages(Good index(value year) Good index(value year) index(value year))
+		nationalIndex(country Good index(value year))
+		nationalIndex(country Good value year))`)
+	if err := d.Validate(doc); err != nil {
+		t.Errorf("Figure 2 document invalid: %v", err)
+	}
+	// A nationalIndex with both index and year is invalid.
+	bad := xmltree.MustParse("eurostat(averages(Good index(value year)) nationalIndex(country Good index(value year) year))")
+	if err := d.Validate(bad); err == nil {
+		t.Error("invalid document accepted")
+	}
+	// Wrong root.
+	if err := d.Validate(xmltree.MustParse("averages(Good index(value year))")); err == nil {
+		t.Error("wrong root accepted")
+	}
+}
+
+func TestParseArrowDTD(t *testing.T) {
+	d := MustParseDTD(KindNRE, `
+		# Figure 4 local type (country resource)
+		root rooti
+		rooti -> nationalIndex*
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year
+	`)
+	if d.Start != "rooti" {
+		t.Errorf("start = %s", d.Start)
+	}
+	if err := d.Validate(xmltree.MustParse("rooti(nationalIndex(country Good index(value year)))")); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	if err := d.Validate(xmltree.MustParse("rooti(country)")); err == nil {
+		t.Error("invalid doc accepted")
+	}
+}
+
+func TestParseDTDErrors(t *testing.T) {
+	if _, err := ParseDTD(KindNRE, "a => b"); err == nil {
+		t.Error("missing arrow should fail")
+	}
+	if _, err := ParseDTD(KindNRE, "a -> b\na -> c"); err == nil {
+		t.Error("duplicate rule should fail")
+	}
+	if _, err := ParseDTD(KindNRE, ""); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ParseDTD(KindDRE, "a -> b* b"); err == nil {
+		t.Error("non-deterministic regex should fail for KindDRE")
+	}
+}
+
+func TestDTDDual(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a*\na -> b?")
+	dual, idx := d.Dual()
+	// Paths: s, s/a, s/a/b. Finality: q_a (ε ∈ b?), q_b (leaf), q_s (a*).
+	for _, c := range []struct {
+		path string
+		want bool
+	}{
+		{"s", true}, {"s a", true}, {"s a b", true},
+		{"a", false}, {"s b", false}, {"s a b b", false},
+	} {
+		w := strings.Fields(c.path)
+		if got := dual.Accepts(w); got != c.want {
+			t.Errorf("dual on %q = %v, want %v", c.path, got, c.want)
+		}
+	}
+	if len(idx) != 3 {
+		t.Errorf("dual has %d name states, want 3", len(idx))
+	}
+}
+
+func TestDTDReduce(t *testing.T) {
+	// c is unbound (requires infinite tree), d is unreachable.
+	d := MustParseDTD(KindNRE, `
+		root s
+		s -> a | c
+		c -> c
+		d -> a
+	`)
+	if d.IsReduced() {
+		t.Error("unreduced DTD judged reduced")
+	}
+	r, err := d.Reduce()
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if !r.IsReduced() {
+		t.Error("Reduce result not reduced")
+	}
+	alpha := r.Alphabet()
+	if strings.Join(alpha, " ") != "a s" {
+		t.Errorf("reduced alphabet = %v, want [a s]", alpha)
+	}
+	// Language preserved: s(a) valid, s(c) invalid in both.
+	for _, dd := range []*DTD{d, r} {
+		if err := dd.Validate(xmltree.MustParse("s(a)")); err != nil {
+			t.Errorf("s(a) rejected: %v", err)
+		}
+		if err := dd.Validate(xmltree.MustParse("s(c)")); err == nil {
+			t.Error("s(c) accepted (c is unbound)")
+		}
+	}
+}
+
+func TestDTDReduceEmpty(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a\na -> a")
+	if !d.IsEmptyLang() {
+		t.Error("language should be empty")
+	}
+	if _, err := d.Reduce(); err == nil {
+		t.Error("reducing the empty language should fail")
+	}
+}
+
+func TestEquivalentDTD(t *testing.T) {
+	a := MustParseDTD(KindNRE, "root s\ns -> a a* b")
+	b := MustParseDTD(KindNRE, "root s\ns -> a+ b")
+	if ok, why := EquivalentDTD(a, b); !ok {
+		t.Errorf("a a* b ≡ a+ b should hold: %s", why)
+	}
+	c := MustParseDTD(KindNRE, "root s\ns -> a* b")
+	if ok, _ := EquivalentDTD(a, c); ok {
+		t.Error("a+ b ≢ a* b")
+	}
+	// Equivalence must ignore useless names.
+	d1 := MustParseDTD(KindNRE, "root s\ns -> a\nz -> z")
+	d2 := MustParseDTD(KindNRE, "root s\ns -> a")
+	if ok, why := EquivalentDTD(d1, d2); !ok {
+		t.Errorf("useless names must not affect equivalence: %s", why)
+	}
+	// Different roots.
+	e1 := MustParseDTD(KindNRE, "root s\ns -> a")
+	e2 := MustParseDTD(KindNRE, "root t\nt -> a")
+	if ok, _ := EquivalentDTD(e1, e2); ok {
+		t.Error("different roots should not be equivalent")
+	}
+}
+
+func TestDTDSizeAndString(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a b*")
+	if d.Size() <= 0 {
+		t.Error("size should be positive")
+	}
+	s := d.String()
+	if !strings.Contains(s, "root s") || !strings.Contains(s, "s -> a b*") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestContentKinds(t *testing.T) {
+	for _, kind := range AllKinds {
+		c := MustContent(kind, "a b* | c")
+		if c.Kind() != kind && kind != KindDRE {
+			t.Errorf("kind mismatch for %s", kind)
+		}
+		if !c.Accepts([]strlang.Symbol{"a", "b", "b"}) || c.Accepts([]strlang.Symbol{"b"}) {
+			t.Errorf("%s content wrong", kind)
+		}
+	}
+	if _, err := NewContentRegex(KindDRE, strlang.MustParseRegex("a* a")); err == nil {
+		t.Error("non-deterministic dRE accepted")
+	}
+	if _, err := FromNFA(KindDRE, strlang.RegexNFA(strlang.MustParseRegex("(a|b)* a (a|b)"))); err == nil {
+		t.Error("FromNFA(dRE) on non-one-unambiguous language should fail")
+	}
+}

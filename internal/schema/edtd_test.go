@@ -1,0 +1,253 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"dxml/internal/xmltree"
+)
+
+// figure6EDTD is the paper's Figure 6 type τ″: natIndA/natIndB specialize
+// nationalIndex.
+const figure6EDTD = `
+root eurostat
+eurostat -> averages, (natIndA, natIndB)+
+averages -> (Good, index+)+
+natIndA : nationalIndex -> country, Good, index
+natIndB : nationalIndex -> country, Good, value, year
+index -> value, year
+`
+
+func TestParseEDTDFigure6(t *testing.T) {
+	e := MustParseEDTD(KindNRE, figure6EDTD)
+	if e.Elem("natIndA") != "nationalIndex" || e.Elem("natIndB") != "nationalIndex" {
+		t.Fatal("µ not parsed")
+	}
+	specs := e.Specializations("nationalIndex")
+	if strings.Join(specs, " ") != "natIndA natIndB" {
+		t.Errorf("Specializations = %v", specs)
+	}
+	// τ″ is not single-type (natIndA and natIndB share a content model).
+	if ok, el := e.IsSingleType(); ok || el != "nationalIndex" {
+		t.Errorf("IsSingleType = %v, %s", ok, el)
+	}
+	good := xmltree.MustParse(`eurostat(
+		averages(Good index(value year))
+		nationalIndex(country Good index(value year))
+		nationalIndex(country Good value year))`)
+	if err := e.Validate(good); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	// Two A-format national indexes in a row violate (natIndA, natIndB)+.
+	bad := xmltree.MustParse(`eurostat(
+		averages(Good index(value year))
+		nationalIndex(country Good index(value year))
+		nationalIndex(country Good index(value year)))`)
+	if err := e.Validate(bad); err == nil {
+		t.Error("invalid doc accepted")
+	}
+}
+
+func TestSingleTypeValidation(t *testing.T) {
+	// Example 6's τ1: s1 → b d+ a(b+)* with specializations of a, b, d.
+	e := MustParseEDTD(KindNRE, `
+		root s1
+		s1 -> b1, d1+, a1*
+		a1 : a -> b1+
+		b1 : b -> ε
+		d1 : d -> ε
+	`)
+	if ok, el := e.IsSingleType(); !ok {
+		t.Fatalf("should be single-type, conflict on %s", el)
+	}
+	good := xmltree.MustParse("s1(b d d a(b b b))")
+	if err := e.ValidateSingleType(good); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	if err := e.Validate(good); err != nil {
+		t.Errorf("NUTA validation disagrees: %v", err)
+	}
+	bad := xmltree.MustParse("s1(b a(b))")
+	if err := e.ValidateSingleType(bad); err == nil {
+		t.Error("invalid doc accepted (missing d+)")
+	}
+	w, err := e.WitnessOf(good)
+	if err != nil {
+		t.Fatalf("WitnessOf: %v", err)
+	}
+	if w.String() != "s1(b1 d1 d1 a1(b1 b1 b1))" {
+		t.Errorf("witness = %s", w)
+	}
+}
+
+// TestSingleTypeAgreesWithNUTA cross-validates the deterministic top-down
+// validator against the tree-automaton semantics on many trees.
+func TestSingleTypeAgreesWithNUTA(t *testing.T) {
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> a1, b1*
+		a1 : a -> c1?
+		b1 : b -> a1*
+		c1 : c -> ε
+	`)
+	trees := []string{
+		"s(a)", "s(a(c))", "s(a b)", "s(a b(a a))", "s(a b(a(c)))",
+		"s(b)", "s(a a)", "s(a(c c))", "s(a b(c))", "s", "a", "s(a(c) b b)",
+	}
+	for _, src := range trees {
+		tr := xmltree.MustParse(src)
+		viaST := e.ValidateSingleType(tr) == nil
+		viaUTA := e.Validate(tr) == nil
+		if viaST != viaUTA {
+			t.Errorf("%s: single-type=%v, NUTA=%v", src, viaST, viaUTA)
+		}
+	}
+}
+
+func TestEDTDDual(t *testing.T) {
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> a1, b1*
+		a1 : a -> c1?
+		b1 : b -> a2*
+		a2 : a -> ε
+		c1 : c -> ε
+	`)
+	dfa, _, err := e.Dual()
+	if err != nil {
+		t.Fatalf("Dual: %v", err)
+	}
+	for _, c := range []struct {
+		path string
+		want bool
+	}{
+		{"s a", true}, {"s a c", true}, {"s b a", true},
+		{"s b a c", false}, // a under b is a2, a leaf
+		{"a", false},
+	} {
+		if got := dfa.Accepts(strings.Fields(c.path)); got != c.want {
+			t.Errorf("dual on %q = %v, want %v", c.path, got, c.want)
+		}
+	}
+	// A non-single-type EDTD has no deterministic dual.
+	e2 := MustParseEDTD(KindNRE, "root s\ns -> a1 | a2\na1 : a -> b\na2 : a -> c")
+	if _, _, err := e2.Dual(); err == nil {
+		t.Error("Dual should fail on non-single-type")
+	}
+	if nfa, _ := e2.DualNFA(); !nfa.Accepts([]string{"s", "a", "b"}) {
+		t.Error("DualNFA should accept s a b")
+	}
+}
+
+func TestEDTDReduce(t *testing.T) {
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> a1 | z1
+		a1 : a -> ε
+		z1 : z -> z1
+	`)
+	r, err := e.Reduce()
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	for _, n := range r.SpecializedNames() {
+		if n == "z1" {
+			t.Error("unbound name z1 survived reduction")
+		}
+	}
+	if ok, tr := EquivalentEDTD(e, r); !ok {
+		t.Errorf("reduction changed language, witness %s", tr)
+	}
+}
+
+func TestEquivalentEDTD(t *testing.T) {
+	a := MustParseEDTD(KindNRE, "root s\ns -> x1 | x2\nx1 : a -> b\nx2 : a -> c")
+	b := MustParseEDTD(KindNRE, "root s\ns -> y1\ny1 : a -> b | c")
+	if ok, w := EquivalentEDTD(a, b); !ok {
+		t.Errorf("equivalent EDTDs judged different, witness %s", w)
+	}
+	c := MustParseEDTD(KindNRE, "root s\ns -> y1\ny1 : a -> b")
+	ok, w := EquivalentEDTD(a, c)
+	if ok {
+		t.Fatal("different EDTDs judged equivalent")
+	}
+	if w == nil || (a.Validate(w) == nil) == (c.Validate(w) == nil) {
+		t.Errorf("invalid witness %v", w)
+	}
+}
+
+func TestEquivalentSDTDAgainstEDTDOracle(t *testing.T) {
+	pairs := []struct {
+		x, y string
+		want bool
+	}{
+		{
+			"root s\ns -> a1*\na1 : a -> b1?\nb1 : b -> ε",
+			"root s\ns -> a1*\na1 : a -> b1 | ε\nb1 : b -> ε",
+			true,
+		},
+		{
+			"root s\ns -> a1*\na1 : a -> b1?\nb1 : b -> ε",
+			"root s\ns -> a1*\na1 : a -> b1\nb1 : b -> ε",
+			false,
+		},
+		{
+			// Same language, differently named specializations.
+			"root s\ns -> x1 y1\nx1 : a -> b\ny1 : c -> ε",
+			"root s\ns -> p c\np : a -> b",
+			true,
+		},
+		{
+			// Deep difference.
+			"root s\ns -> a1\na1 : a -> b1\nb1 : b -> c*",
+			"root s\ns -> a1\na1 : a -> b1\nb1 : b -> c?",
+			false,
+		},
+	}
+	for i, p := range pairs {
+		x := MustParseEDTD(KindNRE, p.x)
+		y := MustParseEDTD(KindNRE, p.y)
+		got, why := EquivalentSDTD(x, y)
+		if got != p.want {
+			t.Errorf("case %d: EquivalentSDTD = %v (%s), want %v", i, got, why, p.want)
+		}
+		oracle, _ := EquivalentEDTD(x, y)
+		if got != oracle {
+			t.Errorf("case %d: SDTD(%v) and EDTD(%v) deciders disagree", i, got, oracle)
+		}
+	}
+}
+
+func TestSubTypeAndWitnessStates(t *testing.T) {
+	e := MustParseEDTD(KindNRE, figure6EDTD)
+	sub := e.SubType("natIndA")
+	if err := sub.Validate(xmltree.MustParse("nationalIndex(country Good index(value year))")); err != nil {
+		t.Errorf("subtype rejects its tree: %v", err)
+	}
+	if err := sub.Validate(xmltree.MustParse("nationalIndex(country Good value year)")); err == nil {
+		t.Error("subtype accepts the B format")
+	}
+	ws := e.WitnessStates(xmltree.MustParse("nationalIndex(country Good value year)"))
+	if strings.Join(ws, " ") != "natIndB" {
+		t.Errorf("WitnessStates = %v", ws)
+	}
+}
+
+func TestAsDTDAndToEDTD(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a b*\na -> c?")
+	e := d.ToEDTD()
+	if ok, _ := e.IsSingleType(); !ok {
+		t.Error("trivially specialized EDTD should be single-type")
+	}
+	back, err := e.AsDTD()
+	if err != nil {
+		t.Fatalf("AsDTD: %v", err)
+	}
+	if ok, why := EquivalentDTD(d, back); !ok {
+		t.Errorf("round trip changed language: %s", why)
+	}
+	e2 := MustParseEDTD(KindNRE, "root s\ns -> a1 a2\na1 : a -> b\na2 : a -> c")
+	if _, err := e2.AsDTD(); err == nil {
+		t.Error("AsDTD should fail with two specializations of a")
+	}
+}

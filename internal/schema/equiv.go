@@ -1,0 +1,141 @@
+package schema
+
+import (
+	"fmt"
+
+	"dxml/internal/strlang"
+	"dxml/internal/uta"
+	"dxml/internal/xmltree"
+)
+
+// EquivalentDTD decides equiv[R-DTD] by Proposition 4.1: two reduced
+// R-DTDs are equivalent iff they have the same root, the same element
+// names, and equivalent content models per name. Inputs are reduced first.
+// On inequivalence a short explanation is returned.
+func EquivalentDTD(a, b *DTD) (bool, string) {
+	ra, errA := a.Reduce()
+	rb, errB := b.Reduce()
+	if errA != nil || errB != nil {
+		// One of the languages is empty (or a dRE reduction failed; fall
+		// back to the tree-automaton check in that case).
+		if errA != nil && errB != nil && a.IsEmptyLang() && b.IsEmptyLang() {
+			return true, ""
+		}
+		return equivalentViaUTA(a.ToEDTD(), b.ToEDTD())
+	}
+	if ra.Start != rb.Start {
+		return false, fmt.Sprintf("roots differ: %s vs %s", ra.Start, rb.Start)
+	}
+	alphaA, alphaB := ra.Alphabet(), rb.Alphabet()
+	if len(alphaA) != len(alphaB) {
+		return false, fmt.Sprintf("element names differ: %v vs %v", alphaA, alphaB)
+	}
+	for i := range alphaA {
+		if alphaA[i] != alphaB[i] {
+			return false, fmt.Sprintf("element names differ: %v vs %v", alphaA, alphaB)
+		}
+	}
+	for _, name := range alphaA {
+		if ok, w := strlang.Equivalent(ra.Rule(name).Lang(), rb.Rule(name).Lang()); !ok {
+			return false, fmt.Sprintf("content models of %s differ on %v", name, w)
+		}
+	}
+	return true, ""
+}
+
+// EquivalentSDTD decides equiv[R-SDTD] for reduced single-type EDTDs via
+// the product of their duals (Proposition 4.4 / Lemma 3.5): the types are
+// equivalent iff the roots share an element name and every reachable pair
+// of witnesses with the same ancestor string has µ-equivalent content
+// models.
+func EquivalentSDTD(a, b *EDTD) (bool, string) {
+	if ok, el := a.IsSingleType(); !ok {
+		return false, fmt.Sprintf("left type is not single-type (element %s)", el)
+	}
+	if ok, el := b.IsSingleType(); !ok {
+		return false, fmt.Sprintf("right type is not single-type (element %s)", el)
+	}
+	ra, errA := a.Reduce()
+	rb, errB := b.Reduce()
+	if errA != nil || errB != nil {
+		emptyA, emptyB := a.IsEmptyLang(), b.IsEmptyLang()
+		if emptyA && emptyB {
+			return true, ""
+		}
+		if emptyA != emptyB {
+			return false, "one language is empty"
+		}
+		// A dRE reduction failure on a nonempty language: fall back to the
+		// tree-automaton decision.
+		return equivalentViaUTA(a, b)
+	}
+	// Compare start element names.
+	rootElems := func(e *EDTD) map[string]string {
+		m := map[string]string{}
+		for _, s := range e.Starts {
+			m[e.Elem(s)] = s
+		}
+		return m
+	}
+	sa, sb := rootElems(ra), rootElems(rb)
+	if len(sa) != len(sb) {
+		return false, "root element names differ"
+	}
+	type pair struct{ na, nb string }
+	var queue []pair
+	seen := map[pair]bool{}
+	push := func(p pair) {
+		if !seen[p] {
+			seen[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for el, na := range sa {
+		nb, ok := sb[el]
+		if !ok {
+			return false, fmt.Sprintf("root element %s only on one side", el)
+		}
+		push(pair{na, nb})
+	}
+	waA, wbB := ra.witnessTable(), rb.witnessTable()
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		la := ra.ProjectedRule(p.na)
+		lb := rb.ProjectedRule(p.nb)
+		if ok, w := strlang.Equivalent(la, lb); !ok {
+			return false, fmt.Sprintf("contexts (%s, %s): projected content models differ on %v", p.na, p.nb, w)
+		}
+		// Same projected alphabets now; pair up the child witnesses.
+		for el, ca := range waA[p.na] {
+			if cb, ok := wbB[p.nb][el]; ok {
+				push(pair{ca, cb})
+			}
+		}
+	}
+	return true, ""
+}
+
+// EquivalentEDTD decides equiv[R-EDTD] via tree-automata equivalence
+// (Theorem 4.7; EXPTIME-complete). On inequivalence it returns a witness
+// tree in the symmetric difference.
+func EquivalentEDTD(a, b *EDTD) (bool, *xmltree.Tree) {
+	na, _ := a.ToNUTA()
+	nb, _ := b.ToNUTA()
+	return uta.Equivalent(na, nb)
+}
+
+// IncludedEDTD reports [a] ⊆ [b] with a witness on failure.
+func IncludedEDTD(a, b *EDTD) (bool, *xmltree.Tree) {
+	na, _ := a.ToNUTA()
+	nb, _ := b.ToNUTA()
+	return uta.Included(na, nb)
+}
+
+func equivalentViaUTA(a, b *EDTD) (bool, string) {
+	ok, w := EquivalentEDTD(a, b)
+	if ok {
+		return true, ""
+	}
+	return false, fmt.Sprintf("languages differ on tree %s", w)
+}

@@ -1,0 +1,140 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"dxml/internal/strlang"
+	"dxml/internal/uta"
+)
+
+// Normalize returns a normalized R-EDTD equivalent to e (Section 4.3,
+// Lemma 4.10): for every element name a and distinct specializations ã, ã′
+// of a in the result, [τd(ã)] ∩ [τd(ã′)] = ∅. The construction
+// determinizes the tree automaton of e bottom-up; the new specialized
+// names are the reachable subsets of old ones.
+//
+// The result's kind is the given one; for KindDRE the construction can
+// fail, since determinization does not preserve one-unambiguity (the paper
+// notes this — “If R = dRE the last step could not be always possible”).
+// Normalized EDTDs may have several start names; see EDTD.Starts.
+func Normalize(e *EDTD, kind Kind) (*EDTD, error) {
+	red, err := e.Reduce()
+	if err != nil {
+		return nil, fmt.Errorf("schema: normalize: %w", err)
+	}
+	nuta, idx := red.ToNUTA()
+	rev := make([]string, len(idx))
+	for n, i := range idx {
+		rev[i] = n
+	}
+	d := uta.Determinize(nuta, nil)
+	d.Explore()
+
+	// Name each nonempty d-state: element name + "#" + its member list.
+	dName := make(map[int]string)
+	dElem := make(map[int]string)
+	for _, id := range d.ReachableDStates() {
+		set := d.StateSet(id)
+		if set.Len() == 0 {
+			continue
+		}
+		members := set.Sorted()
+		elem := red.Elem(rev[members[0]])
+		var name string
+		if len(members) == 1 {
+			// Singleton subsets keep their original specialized name.
+			name = rev[members[0]]
+		} else {
+			name = elem + "#"
+			for i, m := range members {
+				if i > 0 {
+					name += "+"
+				}
+				name += rev[m]
+			}
+		}
+		dName[id] = name
+		dElem[id] = elem
+	}
+
+	out := &EDTD{Kind: kind, Names: map[string]string{}, Rules: map[string]*Content{}}
+	var startIDs []int
+	for _, id := range d.ReachableDStates() {
+		if _, ok := dName[id]; ok && d.IsFinal(id) {
+			startIDs = append(startIDs, id)
+		}
+	}
+	sort.Ints(startIDs)
+	for _, id := range startIDs {
+		out.Starts = append(out.Starts, dName[id])
+	}
+	if len(out.Starts) == 0 {
+		return nil, fmt.Errorf("schema: normalize: empty language")
+	}
+	for id, name := range dName {
+		out.Names[name] = dElem[id]
+		// Content: the horizontal language of d-state sequences yielding
+		// exactly this d-state, with symbols renamed to the new names and
+		// transitions on the empty d-state removed (no tree realizes it).
+		dfa := d.ContentDFA(dElem[id], id)
+		nfa := renameDStates(dfa, dName)
+		content, err := FromNFA(kind, nfa)
+		if err != nil {
+			return nil, fmt.Errorf("schema: normalize rule %s: %w", name, err)
+		}
+		out.Rules[name] = content
+	}
+	reduced, err := out.Reduce()
+	if err != nil {
+		return nil, fmt.Errorf("schema: normalize: %w", err)
+	}
+	return reduced, nil
+}
+
+// renameDStates converts a DFA over d-state symbols into an NFA over the
+// fresh specialized names, dropping symbols with no name (the empty
+// d-state and other labels' states cannot appear in realizable content).
+func renameDStates(dfa *strlang.DFA, dName map[int]string) *strlang.NFA {
+	nfa := strlang.NewNFA()
+	for q := 1; q < dfa.NumStates(); q++ {
+		nfa.AddState()
+	}
+	nfa.SetStart(dfa.Start())
+	for q := 0; q < dfa.NumStates(); q++ {
+		if dfa.IsFinal(q) {
+			nfa.MarkFinal(q)
+		}
+		for _, sym := range dfa.Alphabet() {
+			t, ok := dfa.Next(q, sym)
+			if !ok {
+				continue
+			}
+			name, named := dName[uta.SymState(sym)]
+			if !named {
+				continue
+			}
+			nfa.AddTransition(q, name, t)
+		}
+	}
+	return nfa
+}
+
+// IsNormalized reports whether distinct same-element specializations of e
+// have disjoint tree languages (the defining property of Lemma 4.10). It
+// decides disjointness exactly via tree-automata intersection emptiness.
+func IsNormalized(e *EDTD) bool {
+	for _, elem := range e.ElementNames() {
+		specs := e.Specializations(elem)
+		for i := 0; i < len(specs); i++ {
+			for j := i + 1; j < len(specs); j++ {
+				na, _ := e.SubType(specs[i]).ToNUTA()
+				nb, _ := e.SubType(specs[j]).ToNUTA()
+				if !uta.Intersect(na, nb).IsEmpty() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

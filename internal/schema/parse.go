@@ -1,0 +1,268 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"dxml/internal/strlang"
+)
+
+// ParseDTD parses the arrow-grammar notation used throughout the paper:
+//
+//	root eurostat
+//	eurostat -> averages, nationalIndex*
+//	nationalIndex -> country, Good, (index | value, year)
+//	index -> value, year
+//
+// Lines are rules "name -> regex" or the root declaration "root name"
+// (the first rule's head is the root when no declaration is given). Blank
+// lines and lines starting with '#' are ignored. Element names without a
+// rule are leaves.
+func ParseDTD(kind Kind, src string) (*DTD, error) {
+	d := NewDTD(kind, "")
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "root "); ok {
+			d.Start = strings.TrimSpace(rest)
+			continue
+		}
+		head, re, err := splitRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+		if strings.Contains(head, ":") {
+			return nil, fmt.Errorf("schema: line %d: specialized rule in a DTD", lineNo+1)
+		}
+		c, err := contentFromSource(kind, re)
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+		if _, dup := d.Rules[head]; dup {
+			return nil, fmt.Errorf("schema: line %d: duplicate rule for %s", lineNo+1, head)
+		}
+		d.Rules[head] = c
+		if d.Start == "" {
+			d.Start = head
+		}
+	}
+	if d.Start == "" {
+		return nil, fmt.Errorf("schema: no rules and no root declaration")
+	}
+	return d, nil
+}
+
+// MustParseDTD is ParseDTD panicking on error.
+func MustParseDTD(kind Kind, src string) *DTD {
+	d, err := ParseDTD(kind, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseEDTD parses the arrow-grammar notation extended with specialized
+// names:
+//
+//	root eurostat
+//	eurostat -> averages, (natIndA, natIndB)+
+//	natIndA : nationalIndex -> country, Good, index
+//	natIndB : nationalIndex -> country, Good, value, year
+//
+// "name : element -> regex" declares µ(name) = element; without the colon,
+// µ(name) = name. Multiple "root" lines declare a start set (normalized
+// types). Leaf declarations without content may be written
+// "name : element -> ε".
+func ParseEDTD(kind Kind, src string) (*EDTD, error) {
+	e := &EDTD{Kind: kind, Names: map[string]string{}, Rules: map[string]*Content{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "root "); ok {
+			e.Starts = append(e.Starts, strings.TrimSpace(rest))
+			continue
+		}
+		head, re, err := splitRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+		name, elem := head, head
+		if before, after, ok := strings.Cut(head, ":"); ok {
+			name = strings.TrimSpace(before)
+			elem = strings.TrimSpace(after)
+		}
+		c, err := contentFromSource(kind, re)
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+		if _, dup := e.Rules[name]; dup {
+			return nil, fmt.Errorf("schema: line %d: duplicate rule for %s", lineNo+1, name)
+		}
+		e.Names[name] = elem
+		e.Rules[name] = c
+	}
+	if len(e.Starts) == 0 {
+		return nil, fmt.Errorf("schema: missing root declaration")
+	}
+	for _, s := range e.Starts {
+		if _, ok := e.Names[s]; !ok {
+			e.Names[s] = s
+		}
+	}
+	return e, nil
+}
+
+// MustParseEDTD is ParseEDTD panicking on error.
+func MustParseEDTD(kind Kind, src string) *EDTD {
+	e, err := ParseEDTD(kind, src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func splitRule(line string) (head, re string, err error) {
+	before, after, ok := strings.Cut(line, "->")
+	if !ok {
+		before, after, ok = strings.Cut(line, "→")
+	}
+	if !ok {
+		return "", "", fmt.Errorf("rule %q has no arrow", line)
+	}
+	return strings.TrimSpace(before), strings.TrimSpace(after), nil
+}
+
+func contentFromSource(kind Kind, src string) (*Content, error) {
+	re, err := strlang.ParseRegex(src)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindNRE, KindDRE:
+		return NewContentRegex(kind, re)
+	case KindNFA:
+		return NewContentNFA(strlang.RegexNFA(re)), nil
+	case KindDFA:
+		return NewContentDFA(strlang.RegexNFA(re).Determinize().Minimize()), nil
+	}
+	return nil, fmt.Errorf("unknown kind %d", int(kind))
+}
+
+// ParseW3CDTD parses W3C <!ELEMENT …> declarations, e.g. the paper's
+// Figure 3:
+//
+//	<!ELEMENT eurostat (averages, nationalIndex*)>
+//	<!ELEMENT averages (Good, index+)+>
+//	<!ELEMENT country (#PCDATA)>
+//
+// #PCDATA and EMPTY content become leaves (ε). The root is the first
+// declared element. The resulting DTD has the given kind; W3C proper is
+// KindDRE, and a non-deterministic content model is rejected for that kind.
+func ParseW3CDTD(kind Kind, src string) (*DTD, error) {
+	d := NewDTD(kind, "")
+	rest := src
+	for {
+		start := strings.Index(rest, "<!ELEMENT")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(rest[start:], ">")
+		if end < 0 {
+			return nil, fmt.Errorf("schema: unterminated <!ELEMENT in W3C DTD")
+		}
+		decl := rest[start+len("<!ELEMENT") : start+end]
+		rest = rest[start+end+1:]
+		fields := strings.Fields(decl)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("schema: malformed declaration %q", decl)
+		}
+		name := fields[0]
+		model := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(decl), name))
+		re, err := parseW3CModel(model)
+		if err != nil {
+			return nil, fmt.Errorf("schema: element %s: %w", name, err)
+		}
+		var c *Content
+		switch kind {
+		case KindNRE, KindDRE:
+			c, err = NewContentRegex(kind, re)
+		case KindNFA:
+			c, err = NewContentNFA(strlang.RegexNFA(re)), nil
+		case KindDFA:
+			c, err = NewContentDFA(strlang.RegexNFA(re).Determinize().Minimize()), nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("schema: element %s: %w", name, err)
+		}
+		if _, dup := d.Rules[name]; dup {
+			return nil, fmt.Errorf("schema: duplicate declaration of %s", name)
+		}
+		d.Rules[name] = c
+		if d.Start == "" {
+			d.Start = name
+		}
+	}
+	if d.Start == "" {
+		return nil, fmt.Errorf("schema: no <!ELEMENT declarations found")
+	}
+	return d, nil
+}
+
+// MustParseW3CDTD is ParseW3CDTD panicking on error.
+func MustParseW3CDTD(kind Kind, src string) *DTD {
+	d, err := ParseW3CDTD(kind, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// parseW3CModel parses a W3C content model into a regex: “EMPTY”,
+// “(#PCDATA)” and “(#PCDATA)*” become ε; otherwise the model is regex
+// syntax already (commas, |, *, +, ?).
+func parseW3CModel(model string) (strlang.Regex, error) {
+	trimmed := strings.TrimSpace(model)
+	if trimmed == "EMPTY" {
+		return strlang.REps{}, nil
+	}
+	re, err := strlang.ParseRegex(trimmed)
+	if err != nil {
+		return nil, err
+	}
+	return dropPCDATA(re), nil
+}
+
+// dropPCDATA replaces #PCDATA atoms by ε (our abstraction ignores text).
+func dropPCDATA(re strlang.Regex) strlang.Regex {
+	switch t := re.(type) {
+	case strlang.RSym:
+		if t.Sym == "#PCDATA" {
+			return strlang.REps{}
+		}
+		return t
+	case strlang.RConcat:
+		args := make([]strlang.Regex, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = dropPCDATA(a)
+		}
+		return strlang.Cat(args...)
+	case strlang.RAlt:
+		args := make([]strlang.Regex, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = dropPCDATA(a)
+		}
+		return strlang.Alt(args...)
+	case strlang.RStar:
+		return strlang.StarR(dropPCDATA(t.Arg))
+	case strlang.RPlus:
+		return strlang.PlusR(dropPCDATA(t.Arg))
+	case strlang.ROpt:
+		return strlang.OptR(dropPCDATA(t.Arg))
+	default:
+		return re
+	}
+}

@@ -1,0 +1,173 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+func TestParseW3CDTDEdgeCases(t *testing.T) {
+	// EMPTY content.
+	d, err := ParseW3CDTD(KindNRE, `<!ELEMENT a EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(xmltree.MustParse("a")); err != nil {
+		t.Errorf("EMPTY element rejected: %v", err)
+	}
+	// Mixed whitespace and newlines inside declarations.
+	d, err = ParseW3CDTD(KindNRE, "<!ELEMENT a (b,\n\tc*)>\n<!ELEMENT b (#PCDATA)>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(xmltree.MustParse("a(b c c)")); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	// Errors.
+	for _, src := range []string{
+		"",                                  // no declarations
+		"<!ELEMENT a (b",                    // unterminated
+		"<!ELEMENT a (b)> <!ELEMENT a (c)>", // duplicate
+		"<!ELEMENT >",                       // malformed
+	} {
+		if _, err := ParseW3CDTD(KindNRE, src); err == nil {
+			t.Errorf("ParseW3CDTD(%q) should fail", src)
+		}
+	}
+	// W3C proper (dRE): a nondeterministic model is rejected.
+	if _, err := ParseW3CDTD(KindDRE, "<!ELEMENT a ((b, c) | (b, d))>"); err == nil {
+		t.Error("one-ambiguous model should fail for KindDRE")
+	}
+	if _, err := ParseW3CDTD(KindNRE, "<!ELEMENT a ((b, c) | (b, d))>"); err != nil {
+		t.Errorf("nRE should accept a nondeterministic model: %v", err)
+	}
+}
+
+func TestParseEDTDErrors(t *testing.T) {
+	for _, src := range []string{
+		"a -> b",                 // no root
+		"root s\ns -> a\ns -> b", // duplicate rule
+		"root s\ns => a",         // bad arrow
+		"root s\ns -> ((a)",      // bad regex
+	} {
+		if _, err := ParseEDTD(KindNRE, src); err == nil {
+			t.Errorf("ParseEDTD(%q) should fail", src)
+		}
+	}
+}
+
+func TestDTDStringRoundTrip(t *testing.T) {
+	src := `
+		root eurostat
+		eurostat -> averages, nationalIndex*
+		averages -> (Good, index+)+
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year
+	`
+	d1 := MustParseDTD(KindNRE, src)
+	d2 := MustParseDTD(KindNRE, d1.String())
+	if ok, why := EquivalentDTD(d1, d2); !ok {
+		t.Errorf("String/Parse round trip changed language: %s", why)
+	}
+}
+
+func TestEDTDStringRoundTrip(t *testing.T) {
+	src := `
+		root eurostat
+		eurostat -> averages, (natIndA, natIndB)+
+		averages -> (Good, index+)+
+		natIndA : nationalIndex -> country, Good, index
+		natIndB : nationalIndex -> country, Good, value, year
+		index -> value, year
+	`
+	e1 := MustParseEDTD(KindNRE, src)
+	e2 := MustParseEDTD(KindNRE, e1.String())
+	if ok, w := EquivalentEDTD(e1, e2); !ok {
+		t.Errorf("String/Parse round trip changed language on %s", w)
+	}
+}
+
+func TestContentSizeMeasures(t *testing.T) {
+	re := strlang.MustParseRegex("a b* | c")
+	cNRE, _ := NewContentRegex(KindNRE, re)
+	cNFA := NewContentNFA(strlang.RegexNFA(re))
+	cDFA := NewContentDFA(strlang.RegexNFA(re).Determinize().Minimize())
+	if cNRE.Size() <= 0 || cNFA.Size() <= 0 || cDFA.Size() <= 0 {
+		t.Error("sizes should be positive")
+	}
+	if cNRE.Size() >= cNFA.Size() {
+		// Regex ASTs are typically smaller than their Glushkov automata.
+		t.Logf("note: regex size %d vs NFA size %d", cNRE.Size(), cNFA.Size())
+	}
+	if got := cNRE.String(); !strings.Contains(got, "|") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEpsContentAllKinds(t *testing.T) {
+	for _, k := range AllKinds {
+		c := EpsContent(k)
+		if !c.AcceptsEps() || c.Accepts([]strlang.Symbol{"a"}) {
+			t.Errorf("EpsContent(%s) wrong", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{KindNFA: "nFA", KindDFA: "dFA", KindNRE: "nRE", KindDRE: "dRE"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %s, want %s", int(k), k, want)
+		}
+	}
+}
+
+func TestValidateErrorMessages(t *testing.T) {
+	d := MustParseDTD(KindNRE, "root s\ns -> a b")
+	err := d.Validate(xmltree.MustParse("s(a)"))
+	if err == nil || !strings.Contains(err.Error(), "s") {
+		t.Errorf("error should locate the node: %v", err)
+	}
+	err = d.Validate(xmltree.MustParse("x(a b)"))
+	if err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("error should mention the root: %v", err)
+	}
+}
+
+func TestDualNFAOnNonSingleType(t *testing.T) {
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> a1 | a2
+		a1 : a -> b
+		a2 : a -> c
+	`)
+	nfa, idx := e.DualNFA()
+	if len(idx) != 5 {
+		t.Errorf("dual has %d name states, want 5", len(idx))
+	}
+	// Both a-paths exist.
+	if !nfa.Accepts([]string{"s", "a", "b"}) || !nfa.Accepts([]string{"s", "a", "c"}) {
+		t.Error("dual should accept both vertical paths")
+	}
+	if nfa.Accepts([]string{"s", "b"}) {
+		t.Error("dual accepts a wrong path")
+	}
+}
+
+func TestProjectedRule(t *testing.T) {
+	e := MustParseEDTD(KindNRE, `
+		root s
+		s -> a1, a2
+		a1 : a -> ε
+		a2 : a -> ε
+	`)
+	proj := e.ProjectedRule("s")
+	if !proj.Accepts([]strlang.Symbol{"a", "a"}) {
+		t.Error("projection should read element names")
+	}
+	if proj.Accepts([]strlang.Symbol{"a1", "a2"}) {
+		t.Error("projection should not read specialized names")
+	}
+}

@@ -1,0 +1,91 @@
+package strlang
+
+import (
+	"strings"
+	"testing"
+)
+
+// Substrate benchmarks: the automata operations underlying every decision
+// procedure of the paper.
+
+func benchNFA(expr string) *NFA { return RegexNFA(MustParseRegex(expr)) }
+
+func BenchmarkDeterminize(b *testing.B) {
+	a := benchNFA("(a|b)* a (a|b) (a|b) (a|b)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Determinize()
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	d := benchNFA("(a|b)* a (a|b) (a|b) (a|b)").Determinize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Minimize()
+	}
+}
+
+func BenchmarkEquivalence(b *testing.B) {
+	x := benchNFA("(a b)* (a b)* a?")
+	y := benchNFA("(a b)* a | (a b)*")
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Equivalent(x, y); !ok {
+			b.Fatal("should be equivalent")
+		}
+	}
+}
+
+func BenchmarkOneUnambiguous(b *testing.B) {
+	a := benchNFA("(a|b)* a")
+	for i := 0; i < b.N; i++ {
+		if !OneUnambiguous(a) {
+			b.Fatal("should be one-unambiguous")
+		}
+	}
+}
+
+func BenchmarkBuildDRELarge(b *testing.B) {
+	// A one-unambiguous language with a bigger minimal DFA. Note that
+	// (abcde)*(abc)? would NOT qualify: at one final state the
+	// continuation starts with a, at the other with d, so no uniform
+	// restart symbol exists and no dRE does either.
+	a := benchNFA("(a b c d e)+ (x | y z)")
+	for i := 0; i < b.N; i++ {
+		if _, ok := BuildDRE(a); !ok {
+			b.Fatal("should succeed")
+		}
+	}
+}
+
+func BenchmarkGlushkov(b *testing.B) {
+	src := strings.Repeat("(a|b) ", 20) + "c*"
+	re := MustParseRegex(src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RegexNFA(re)
+	}
+}
+
+func BenchmarkMembership(b *testing.B) {
+	a := benchNFA("((a|b)* c)+")
+	w := make([]Symbol, 0, 300)
+	for i := 0; i < 100; i++ {
+		w = append(w, "a", "b", "c")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !a.Accepts(w) {
+			b.Fatal("should accept")
+		}
+	}
+}
+
+func BenchmarkIniFin(b *testing.B) {
+	a := benchNFA("(a b c d)* (a b)?")
+	w := []Symbol{"a", "b"}
+	for i := 0; i < b.N; i++ {
+		Ini(a, w)
+		Fin(a, w)
+	}
+}

@@ -1,0 +1,400 @@
+package strlang
+
+import "sort"
+
+// This file implements the Brüggemann-Klein & Wood theory of
+// one-unambiguous regular languages [11] used by the paper for dREs:
+//
+//   - OneUnambiguous decides whether a regular language is one-unambiguous
+//     (problem one-unamb[R], Definition 2), via the orbit property of the
+//     minimal DFA and the consistent-symbol cut for strongly connected
+//     automata;
+//   - BuildDRE additionally constructs a deterministic regular expression
+//     when one exists (Proposition 3.6(1)); the construction mirrors the
+//     decision recursion, so its size can be exponential in the minimal
+//     DFA, which is worst-case optimal (Proposition 3.6(3)).
+//
+// Every regex produced by BuildDRE is checked to be syntactically
+// deterministic (Glushkov determinism); a violation would indicate an
+// implementation bug and panics.
+
+// OneUnambiguous reports whether [a] is one-unambiguous, i.e. definable by
+// a deterministic regular expression.
+func OneUnambiguous(a *NFA) bool {
+	_, ok := bkw(a.Determinize().Minimize(), false)
+	return ok
+}
+
+// BuildDRE returns a deterministic regular expression for [a] if the
+// language is one-unambiguous, and ok=false otherwise.
+func BuildDRE(a *NFA) (Regex, bool) {
+	r, ok := bkw(a.Determinize().Minimize(), true)
+	if !ok {
+		return nil, false
+	}
+	if det, sym := RegexDeterministic(r); !det {
+		panic("strlang: BuildDRE produced a non-deterministic regex (symbol " + sym + "): " + RegexString(r))
+	}
+	return r, true
+}
+
+// bkw runs the BKW recursion on a minimal trimmed partial DFA. If build is
+// false the returned Regex is nil even on success.
+func bkw(d *DFA, build bool) (Regex, bool) {
+	anyFinal := false
+	for q := 0; q < d.NumStates(); q++ {
+		if d.IsFinal(q) {
+			anyFinal = true
+			break
+		}
+	}
+	if !anyFinal {
+		return REmpty{}, true
+	}
+	b := &bkwRun{d: d, build: build, scc: sccOf(d)}
+	b.memo = make(map[int]bkwResult)
+	b.orbitMemo = make(map[int]bkwResult)
+	return b.from(d.Start())
+}
+
+type bkwResult struct {
+	r  Regex
+	ok bool
+}
+
+type bkwRun struct {
+	d         *DFA
+	build     bool
+	scc       []int // scc[q] = component id
+	memo      map[int]bkwResult
+	orbitMemo map[int]bkwResult
+}
+
+// gatesOf returns the sorted gates of the orbit (SCC) containing q: states
+// of the orbit that are final or have a transition leaving the orbit.
+func (b *bkwRun) gatesOf(q int) []int {
+	comp := b.scc[q]
+	var gates []int
+	for s := 0; s < b.d.NumStates(); s++ {
+		if b.scc[s] != comp {
+			continue
+		}
+		isGate := b.d.IsFinal(s)
+		if !isGate {
+			for _, t := range b.d.trans[s] {
+				if b.scc[t] != comp {
+					isGate = true
+					break
+				}
+			}
+		}
+		if isGate {
+			gates = append(gates, s)
+		}
+	}
+	sort.Ints(gates)
+	return gates
+}
+
+// orbitProperty checks that all gates of q's orbit agree on finality and on
+// their out-of-orbit transitions.
+func (b *bkwRun) orbitProperty(gates []int, comp int) bool {
+	if len(gates) <= 1 {
+		return true
+	}
+	g0 := gates[0]
+	for _, g := range gates[1:] {
+		if b.d.IsFinal(g) != b.d.IsFinal(g0) {
+			return false
+		}
+	}
+	// Collect, per symbol, whether any gate exits the orbit on it; if so,
+	// all gates must have the same (defined) target.
+	syms := map[Symbol]struct{}{}
+	for _, g := range gates {
+		for s, t := range b.d.trans[g] {
+			if b.scc[t] != comp {
+				syms[s] = struct{}{}
+			}
+		}
+	}
+	for s := range syms {
+		t0, ok0 := b.d.Next(g0, s)
+		if !ok0 {
+			return false
+		}
+		for _, g := range gates[1:] {
+			t, ok := b.d.Next(g, s)
+			if !ok || t != t0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// from computes the (d)RE of the sub-automaton of b.d started at q.
+func (b *bkwRun) from(q int) (Regex, bool) {
+	if res, ok := b.memo[q]; ok {
+		return res.r, res.ok
+	}
+	// Mark in-progress to catch accidental cycles (cannot happen: exits go
+	// strictly forward in the SCC DAG).
+	b.memo[q] = bkwResult{nil, false}
+	r, ok := b.fromUncached(q)
+	b.memo[q] = bkwResult{r, ok}
+	return r, ok
+}
+
+func (b *bkwRun) fromUncached(q int) (Regex, bool) {
+	comp := b.scc[q]
+	gates := b.gatesOf(q)
+	if !b.orbitProperty(gates, comp) {
+		return nil, false
+	}
+	orbitR, ok := b.orbitRegex(q)
+	if !ok {
+		return nil, false
+	}
+	// Continuation after reaching a gate: exit transitions are uniform
+	// across gates, so inspect any one gate.
+	g0 := gates[0]
+	var contTerms []Regex
+	exitSyms := make([]Symbol, 0, 4)
+	for s, t := range b.d.trans[g0] {
+		if b.scc[t] != comp {
+			exitSyms = append(exitSyms, s)
+		}
+	}
+	sortSymbols(exitSyms)
+	for _, s := range exitSyms {
+		t, _ := b.d.Next(g0, s)
+		sub, ok := b.from(t)
+		if !ok {
+			return nil, false
+		}
+		if b.build {
+			contTerms = append(contTerms, Cat(Sym(s), sub))
+		} else {
+			contTerms = append(contTerms, REps{})
+		}
+	}
+	if b.d.IsFinal(g0) {
+		contTerms = append(contTerms, REps{})
+	}
+	if !b.build {
+		return nil, true
+	}
+	return Cat(orbitR, Alt(contTerms...)), true
+}
+
+// orbitRegex computes a dRE for the orbit automaton M_K(q): the restriction
+// of d to q's orbit, with the gates as final states.
+func (b *bkwRun) orbitRegex(q int) (Regex, bool) {
+	if res, ok := b.orbitMemo[q]; ok {
+		return res.r, res.ok
+	}
+	comp := b.scc[q]
+	gates := b.gatesOf(q)
+	gateSet := NewIntSet(gates...)
+	// Build the orbit automaton and minimize it (it need not be minimal).
+	orbit := &DFA{}
+	old2new := map[int]int{}
+	var members []int
+	for s := 0; s < b.d.NumStates(); s++ {
+		if b.scc[s] == comp {
+			members = append(members, s)
+		}
+	}
+	for _, s := range members {
+		old2new[s] = orbit.AddState(gateSet.Has(s))
+	}
+	orbit.SetStart(old2new[q])
+	for _, s := range members {
+		for sym, t := range b.d.trans[s] {
+			if b.scc[t] == comp {
+				orbit.SetTransition(old2new[s], sym, old2new[t])
+			}
+		}
+	}
+	r, ok := stronglyConnectedDRE(orbit.Minimize(), b.build)
+	b.orbitMemo[q] = bkwResult{r, ok}
+	return r, ok
+}
+
+// stronglyConnectedDRE handles a minimal strongly connected DFA via the
+// consistent-symbol cut: a symbol a is consistent when δ(f, a) is defined
+// for every final state f with a common target; removing those transitions
+// strictly shrinks the automaton and the language factorizes as
+// r_cut(start) · (Σ_a a · r_cut(target_a))*.
+func stronglyConnectedDRE(d *DFA, build bool) (Regex, bool) {
+	var finals []int
+	for q := 0; q < d.NumStates(); q++ {
+		if d.IsFinal(q) {
+			finals = append(finals, q)
+		}
+	}
+	if len(finals) == 0 {
+		// Orbit automata always have at least one gate, and minimization
+		// preserves it; an empty orbit language cannot arise.
+		return REmpty{}, true
+	}
+	if d.NumStates() == 1 {
+		// Single (final) state: the language is C* over the self-loop
+		// symbols C (ε when there are none).
+		var loops []Regex
+		syms := make([]Symbol, 0, len(d.trans[0]))
+		for s := range d.trans[0] {
+			syms = append(syms, s)
+		}
+		sortSymbols(syms)
+		for _, s := range syms {
+			loops = append(loops, Sym(s))
+		}
+		if len(loops) == 0 {
+			return REps{}, true
+		}
+		return StarR(Alt(loops...)), true
+	}
+	// Consistent symbols.
+	var consistent []Symbol
+	target := map[Symbol]int{}
+	for s, t := range d.trans[finals[0]] {
+		allAgree := true
+		for _, f := range finals[1:] {
+			t2, ok := d.Next(f, s)
+			if !ok || t2 != t {
+				allAgree = false
+				break
+			}
+		}
+		if allAgree {
+			consistent = append(consistent, s)
+			target[s] = t
+		}
+	}
+	sortSymbols(consistent)
+	if len(consistent) == 0 {
+		// A nontrivial strongly connected minimal DFA with no consistent
+		// symbol recognizes a language that is not one-unambiguous.
+		return nil, false
+	}
+	// Cut: remove the consistent transitions out of final states.
+	cut := d.Clone()
+	for _, f := range finals {
+		for _, s := range consistent {
+			delete(cut.trans[f], s)
+		}
+	}
+	rStart, ok := bkwSub(cut, cut.Start(), build)
+	if !ok {
+		return nil, false
+	}
+	var loopTerms []Regex
+	for _, s := range consistent {
+		sub, ok := bkwSub(cut, target[s], build)
+		if !ok {
+			return nil, false
+		}
+		if build {
+			loopTerms = append(loopTerms, Cat(Sym(s), sub))
+		}
+	}
+	if !build {
+		return nil, true
+	}
+	return Cat(rStart, StarR(Alt(loopTerms...))), true
+}
+
+// bkwSub runs the full recursion on the sub-automaton of d started at q.
+func bkwSub(d *DFA, q int, build bool) (Regex, bool) {
+	sub := d.Clone()
+	sub.SetStart(q)
+	return bkw(sub.Minimize(), build)
+}
+
+// sccOf computes strongly connected components of d (Tarjan), returning a
+// component id per state. Components are numbered in reverse topological
+// order of the condensation (successors get smaller ids than predecessors
+// is NOT guaranteed; ids are only used for equality tests).
+func sccOf(d *DFA) []int {
+	n := d.NumStates()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	counter := 0
+	nComp := 0
+
+	type frame struct {
+		v    int
+		succ []int
+		i    int
+	}
+	succsOf := func(v int) []int {
+		var out []int
+		for _, t := range d.trans[v] {
+			out = append(out, t)
+		}
+		sort.Ints(out)
+		return out
+	}
+	var iter []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		iter = append(iter[:0], frame{root, succsOf(root), 0})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(iter) > 0 {
+			f := &iter[len(iter)-1]
+			if f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					iter = append(iter, frame{w, succsOf(w), 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			v := f.v
+			iter = iter[:len(iter)-1]
+			if len(iter) > 0 {
+				p := &iter[len(iter)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}

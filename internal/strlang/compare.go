@@ -1,0 +1,101 @@
+package strlang
+
+// IsEmpty reports whether [a] = ∅.
+func (a *NFA) IsEmpty() bool {
+	return !a.reachableFrom(a.start).Intersects(a.final)
+}
+
+// Included reports whether [a] ⊆ [b]. When it does not hold, it returns a
+// shortest witness string in [a] − [b] (found by BFS over the product of a
+// with the on-the-fly determinization of b).
+func Included(a, b *NFA) (bool, []Symbol) {
+	ea := a.WithoutEps()
+	type node struct {
+		p   int    // state of ea
+		key string // determinized subset of b
+	}
+	subsets := map[string]IntSet{}
+	intern := func(s IntSet) string {
+		k := s.Key()
+		if _, ok := subsets[k]; !ok {
+			subsets[k] = s
+		}
+		return k
+	}
+	start := node{ea.Start(), intern(b.Closure(NewIntSet(b.Start())))}
+	type parentEdge struct {
+		prev node
+		sym  Symbol
+	}
+	parents := map[node]parentEdge{}
+	seen := map[node]bool{start: true}
+	queue := []node{start}
+	witness := func(n node) []Symbol {
+		var rev []Symbol
+		for n != start {
+			pe := parents[n]
+			rev = append(rev, pe.sym)
+			n = pe.prev
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		bs := subsets[cur.key]
+		if ea.IsFinal(cur.p) && !bs.Intersects(b.Finals()) {
+			return false, witness(cur)
+		}
+		m := ea.trans[cur.p]
+		syms := make([]Symbol, 0, len(m))
+		for s := range m {
+			syms = append(syms, s)
+		}
+		// Sorted for deterministic witnesses.
+		sortSymbols(syms)
+		for _, s := range syms {
+			nextB := intern(b.Step(bs, s))
+			for _, t := range m[s] {
+				n := node{t, nextB}
+				if !seen[n] {
+					seen[n] = true
+					parents[n] = parentEdge{cur, s}
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+func sortSymbols(s []Symbol) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Equivalent reports whether [a] = [b]. When it does not hold it returns a
+// witness in the symmetric difference.
+func Equivalent(a, b *NFA) (bool, []Symbol) {
+	if ok, w := Included(a, b); !ok {
+		return false, w
+	}
+	if ok, w := Included(b, a); !ok {
+		return false, w
+	}
+	return true, nil
+}
+
+// Proper reports whether [a] ⊂ [b] (strict inclusion).
+func Proper(a, b *NFA) bool {
+	if ok, _ := Included(a, b); !ok {
+		return false
+	}
+	ok, _ := Included(b, a)
+	return !ok
+}

@@ -1,0 +1,368 @@
+package strlang
+
+import (
+	"sort"
+)
+
+// DFA is a partial deterministic finite automaton: a missing transition
+// rejects. States are 0..NumStates()-1.
+type DFA struct {
+	start int
+	final []bool
+	trans []map[Symbol]int
+}
+
+// NewDFA returns a DFA with a single non-final start state.
+func NewDFA() *DFA {
+	d := &DFA{}
+	d.AddState(false)
+	return d
+}
+
+// AddState adds a state and returns its id.
+func (d *DFA) AddState(final bool) int {
+	d.final = append(d.final, final)
+	d.trans = append(d.trans, nil)
+	return len(d.final) - 1
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.final) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// SetStart makes q the start state.
+func (d *DFA) SetStart(q int) { d.start = q }
+
+// IsFinal reports whether q is final.
+func (d *DFA) IsFinal(q int) bool { return d.final[q] }
+
+// SetFinal sets the finality of q.
+func (d *DFA) SetFinal(q int, f bool) { d.final[q] = f }
+
+// SetTransition sets δ(from, sym) = to, overwriting any previous target.
+func (d *DFA) SetTransition(from int, sym Symbol, to int) {
+	if sym == "" {
+		panic("strlang: empty symbol in DFA transition")
+	}
+	if d.trans[from] == nil {
+		d.trans[from] = make(map[Symbol]int)
+	}
+	d.trans[from][sym] = to
+}
+
+// Next returns δ(q, sym) and whether it is defined.
+func (d *DFA) Next(q int, sym Symbol) (int, bool) {
+	if d.trans[q] == nil {
+		return 0, false
+	}
+	t, ok := d.trans[q][sym]
+	return t, ok
+}
+
+// Alphabet returns the sorted symbols appearing on transitions.
+func (d *DFA) Alphabet() []Symbol {
+	set := map[Symbol]struct{}{}
+	for _, m := range d.trans {
+		for s := range m {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accepts reports whether d accepts w.
+func (d *DFA) Accepts(w []Symbol) bool {
+	q := d.start
+	for _, s := range w {
+		t, ok := d.Next(q, s)
+		if !ok {
+			return false
+		}
+		q = t
+	}
+	return d.final[q]
+}
+
+// Clone returns a deep copy of d.
+func (d *DFA) Clone() *DFA {
+	b := &DFA{start: d.start}
+	b.final = append([]bool(nil), d.final...)
+	b.trans = make([]map[Symbol]int, len(d.trans))
+	for q, m := range d.trans {
+		if m == nil {
+			continue
+		}
+		mm := make(map[Symbol]int, len(m))
+		for s, t := range m {
+			mm[s] = t
+		}
+		b.trans[q] = mm
+	}
+	return b
+}
+
+// NFA converts d to an equivalent NFA.
+func (d *DFA) NFA() *NFA {
+	a := &NFA{start: d.start, final: NewIntSet()}
+	for q := 0; q < d.NumStates(); q++ {
+		a.AddState()
+		if d.final[q] {
+			a.MarkFinal(q)
+		}
+	}
+	for q, m := range d.trans {
+		for s, t := range m {
+			a.AddTransition(q, s, t)
+		}
+	}
+	return a
+}
+
+// Determinize converts a to an equivalent partial DFA by the subset
+// construction (the empty subset is not materialized).
+func (a *NFA) Determinize() *DFA {
+	d := &DFA{}
+	alphabet := a.Alphabet()
+	startSet := a.Closure(NewIntSet(a.start))
+	ids := map[string]int{}
+	var sets []IntSet
+	newState := func(s IntSet) int {
+		id := len(sets)
+		sets = append(sets, s)
+		ids[s.Key()] = id
+		d.final = append(d.final, s.Intersects(a.final))
+		d.trans = append(d.trans, nil)
+		return id
+	}
+	d.start = newState(startSet)
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		for _, sym := range alphabet {
+			next := a.Step(cur, sym)
+			if next.Len() == 0 {
+				continue
+			}
+			id, ok := ids[next.Key()]
+			if !ok {
+				id = newState(next)
+			}
+			d.SetTransition(i, sym, id)
+		}
+	}
+	return d
+}
+
+// Trim returns an equivalent DFA with only useful states (reachable and
+// co-reachable); the start state is always kept.
+func (d *DFA) Trim() *DFA {
+	n := d.NumStates()
+	// Forward reachability.
+	fwd := NewIntSet(d.start)
+	stack := []int{d.start}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range d.trans[q] {
+			if !fwd.Has(t) {
+				fwd.Add(t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	// Backward from finals.
+	rev := make([][]int, n)
+	for q, m := range d.trans {
+		for _, t := range m {
+			rev[t] = append(rev[t], q)
+		}
+	}
+	bwd := NewIntSet()
+	for q := 0; q < n; q++ {
+		if d.final[q] {
+			bwd.Add(q)
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !bwd.Has(p) {
+				bwd.Add(p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	keep := fwd.Intersect(bwd)
+	keep.Add(d.start)
+	old2new := make([]int, n)
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	b := &DFA{}
+	for _, q := range keep.Sorted() {
+		old2new[q] = b.AddState(d.final[q])
+	}
+	b.start = old2new[d.start]
+	for q := range keep {
+		for s, t := range d.trans[q] {
+			if nt := old2new[t]; nt >= 0 {
+				b.SetTransition(old2new[q], s, nt)
+			}
+		}
+	}
+	return b
+}
+
+// Minimize returns the minimal trimmed partial DFA equivalent to d, via
+// Moore partition refinement over the completed automaton.
+func (d *DFA) Minimize() *DFA {
+	t := d.Trim()
+	n := t.NumStates()
+	alphabet := t.Alphabet()
+	// class[q] for states; the implicit sink has class -1 initially merged
+	// with... we track it as class index 0 below by shifting: classes are
+	// over states only; the sink is handled with the sentinel targetClass -1.
+	class := make([]int, n)
+	for q := 0; q < n; q++ {
+		if t.final[q] {
+			class[q] = 1
+		}
+	}
+	for {
+		sigs := make([]string, n)
+		for q := 0; q < n; q++ {
+			key := make([]byte, 0, 16)
+			key = appendInt(key, class[q])
+			for _, sym := range alphabet {
+				key = append(key, '|')
+				key = append(key, sym...)
+				key = append(key, ':')
+				if to, ok := t.Next(q, sym); ok {
+					key = appendInt(key, class[to])
+				} else {
+					key = append(key, '-')
+				}
+			}
+			sigs[q] = string(key)
+		}
+		next := make(map[string]int)
+		newClass := make([]int, n)
+		for q := 0; q < n; q++ {
+			id, ok := next[sigs[q]]
+			if !ok {
+				id = len(next)
+				next[sigs[q]] = id
+			}
+			newClass[q] = id
+		}
+		changed := false
+		for q := 0; q < n; q++ {
+			if newClass[q] != class[q] {
+				changed = true
+			}
+		}
+		class = newClass
+		if !changed {
+			break
+		}
+	}
+	// Rebuild.
+	numClasses := 0
+	for _, c := range class {
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	b := &DFA{}
+	rep := make([]int, numClasses)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for q := 0; q < n; q++ {
+		if rep[class[q]] == -1 {
+			rep[class[q]] = q
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		b.AddState(t.final[rep[c]])
+	}
+	b.start = class[t.start]
+	for c := 0; c < numClasses; c++ {
+		q := rep[c]
+		for _, sym := range alphabet {
+			if to, ok := t.Next(q, sym); ok {
+				b.SetTransition(c, sym, class[to])
+			}
+		}
+	}
+	return b.Trim()
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// Complete returns a total DFA over the given alphabet, adding an explicit
+// rejecting sink if needed.
+func (d *DFA) Complete(alphabet []Symbol) *DFA {
+	b := d.Clone()
+	sink := -1
+	need := func() int {
+		if sink == -1 {
+			sink = b.AddState(false)
+			for _, s := range alphabet {
+				b.SetTransition(sink, s, sink)
+			}
+		}
+		return sink
+	}
+	for q := 0; q < d.NumStates(); q++ {
+		for _, s := range alphabet {
+			if _, ok := b.Next(q, s); !ok {
+				b.SetTransition(q, s, need())
+			}
+		}
+	}
+	return b
+}
+
+// Complement returns a DFA for Σ* − [d], where Σ is the given alphabet
+// (which must contain every symbol of d).
+func (d *DFA) Complement(alphabet []Symbol) *DFA {
+	b := d.Complete(alphabet)
+	for q := range b.final {
+		b.final[q] = !b.final[q]
+	}
+	return b
+}
+
+// Size returns states plus transitions.
+func (d *DFA) Size() int {
+	n := d.NumStates()
+	for _, m := range d.trans {
+		n += len(m)
+	}
+	return n
+}

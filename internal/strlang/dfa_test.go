@@ -1,0 +1,209 @@
+package strlang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDFABasics(t *testing.T) {
+	d := NewDFA()
+	q1 := d.AddState(true)
+	d.SetTransition(0, "a", q1)
+	d.SetTransition(q1, "b", 0)
+	if d.NumStates() != 2 || d.Start() != 0 {
+		t.Fatal("construction wrong")
+	}
+	cases := []struct {
+		w    string
+		want bool
+	}{{"a", true}, {"", false}, {"ab", false}, {"aba", true}, {"b", false}}
+	for _, c := range cases {
+		if got := d.Accepts(str(c.w)); got != c.want {
+			t.Errorf("Accepts(%q) = %v", c.w, got)
+		}
+	}
+	if _, ok := d.Next(0, "z"); ok {
+		t.Error("missing transition should be undefined")
+	}
+	alpha := d.Alphabet()
+	if len(alpha) != 2 {
+		t.Errorf("Alphabet = %v", alpha)
+	}
+}
+
+func TestDFACloneIndependent(t *testing.T) {
+	d := NewDFA()
+	q1 := d.AddState(true)
+	d.SetTransition(0, "a", q1)
+	c := d.Clone()
+	c.SetTransition(0, "b", q1)
+	if _, ok := d.Next(0, "b"); ok {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestDFATrim(t *testing.T) {
+	d := NewDFA()
+	q1 := d.AddState(true)
+	dead := d.AddState(false) // reachable but not co-reachable
+	unreach := d.AddState(true)
+	d.SetTransition(0, "a", q1)
+	d.SetTransition(0, "x", dead)
+	d.SetTransition(unreach, "a", q1)
+	trimmed := d.Trim()
+	if trimmed.NumStates() != 2 {
+		t.Errorf("Trim kept %d states, want 2", trimmed.NumStates())
+	}
+	if !trimmed.Accepts(str("a")) || trimmed.Accepts(str("x")) {
+		t.Error("Trim changed language")
+	}
+}
+
+func TestDFACompleteTotal(t *testing.T) {
+	d := NewDFA()
+	q1 := d.AddState(true)
+	d.SetTransition(0, "a", q1)
+	total := d.Complete([]Symbol{"a", "b"})
+	for q := 0; q < total.NumStates(); q++ {
+		for _, s := range []Symbol{"a", "b"} {
+			if _, ok := total.Next(q, s); !ok {
+				t.Fatalf("Complete left δ(%d,%s) undefined", q, s)
+			}
+		}
+	}
+	if ok, w := Equivalent(d.NFA(), total.NFA()); !ok {
+		t.Errorf("Complete changed language on %v", w)
+	}
+}
+
+func TestMinimizeKnownSizes(t *testing.T) {
+	// Classic: the NFA for (a|b)*a(a|b)^k needs 2^(k+1) DFA states.
+	for k := 1; k <= 3; k++ {
+		re := "(a|b)* a"
+		for i := 0; i < k; i++ {
+			re += " (a|b)"
+		}
+		m := RegexNFA(MustParseRegex(re)).Determinize().Minimize()
+		want := 1 << (k + 1)
+		if m.NumStates() != want {
+			t.Errorf("k=%d: minimal DFA has %d states, want %d", k, m.NumStates(), want)
+		}
+	}
+}
+
+func TestMinimizeStability(t *testing.T) {
+	// Minimization of equivalent regexes yields the same automaton size.
+	pairs := [][2]string{
+		{"a a* b", "a+ b"},
+		{"(a|b)*", "(b* a*)*"},
+		{"a (b a)*", "(a b)* a"},
+	}
+	for _, p := range pairs {
+		m1 := RegexNFA(MustParseRegex(p[0])).Determinize().Minimize()
+		m2 := RegexNFA(MustParseRegex(p[1])).Determinize().Minimize()
+		if m1.NumStates() != m2.NumStates() {
+			t.Errorf("%q vs %q: %d vs %d states", p[0], p[1], m1.NumStates(), m2.NumStates())
+		}
+	}
+}
+
+func TestDFAMembershipAgreesWithNFA(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		re := randomRegex(r, 3)
+		nfa := RegexNFA(re)
+		dfa := nfa.Determinize().Minimize()
+		for k := 0; k < 10; k++ {
+			n := r.Intn(5)
+			w := make([]Symbol, n)
+			for i := range w {
+				w[i] = string(rune('a' + r.Intn(3)))
+			}
+			if nfa.Accepts(w) != dfa.Accepts(w) {
+				t.Fatalf("%s on %v: NFA and DFA disagree", RegexString(re), w)
+			}
+		}
+	}
+}
+
+func TestComplementTwiceIsIdentity(t *testing.T) {
+	alpha := []Symbol{"a", "b"}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		re := randomRegexOver(r, 2, alpha)
+		a := RegexNFA(re)
+		cc := Complement(Complement(a, alpha), alpha)
+		if ok, w := Equivalent(a, cc); !ok {
+			t.Fatalf("double complement of %s wrong on %v", RegexString(re), w)
+		}
+	}
+}
+
+func randomRegexOver(r *rand.Rand, depth int, alpha []Symbol) Regex {
+	if depth <= 0 {
+		if r.Intn(4) == 0 {
+			return REps{}
+		}
+		return Sym(alpha[r.Intn(len(alpha))])
+	}
+	switch r.Intn(5) {
+	case 0:
+		return Cat(randomRegexOver(r, depth-1, alpha), randomRegexOver(r, depth-1, alpha))
+	case 1:
+		return Alt(randomRegexOver(r, depth-1, alpha), randomRegexOver(r, depth-1, alpha))
+	case 2:
+		return StarR(randomRegexOver(r, depth-1, alpha))
+	case 3:
+		return OptR(randomRegexOver(r, depth-1, alpha))
+	default:
+		return randomRegexOver(r, depth-1, alpha)
+	}
+}
+
+func TestIntSet(t *testing.T) {
+	s := NewIntSet(3, 1, 2)
+	if s.Len() != 3 || !s.Has(2) || s.Has(5) {
+		t.Fatal("basic ops wrong")
+	}
+	u := NewIntSet(2, 4)
+	if !s.Intersects(u) || s.Intersect(u).Len() != 1 {
+		t.Error("intersection wrong")
+	}
+	if s.SubsetOf(u) || !NewIntSet(1).SubsetOf(s) {
+		t.Error("subset wrong")
+	}
+	if s.Key() != "1,2,3" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	c := s.Copy()
+	c.Add(9)
+	if s.Has(9) {
+		t.Error("Copy is shallow")
+	}
+	if !s.Equal(NewIntSet(1, 2, 3)) || s.Equal(u) {
+		t.Error("Equal wrong")
+	}
+	s.AddAll(u)
+	if s.Len() != 4 {
+		t.Error("AddAll wrong")
+	}
+}
+
+func TestDisplayRegex(t *testing.T) {
+	// One-unambiguous language → deterministic rendering.
+	a := RegexNFA(MustParseRegex("a | a b")) // = a b?
+	out := DisplayRegex(a)
+	re := MustParseRegex(out)
+	if det, _ := RegexDeterministic(re); !det {
+		t.Errorf("DisplayRegex(%q) is not deterministic", out)
+	}
+	if ok, _ := Equivalent(RegexNFA(re), a); !ok {
+		t.Errorf("DisplayRegex changed language: %q", out)
+	}
+	// Non-one-unambiguous language → falls back to state elimination.
+	b := RegexNFA(MustParseRegex("(a|b)* a (a|b)"))
+	out = DisplayRegex(b)
+	if ok, _ := Equivalent(RegexNFA(MustParseRegex(out)), b); !ok {
+		t.Errorf("fallback rendering wrong: %q", out)
+	}
+}

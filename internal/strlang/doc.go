@@ -1,0 +1,18 @@
+// Package strlang implements the regular string-language toolkit used by the
+// distributed XML design algorithms of Abiteboul, Gottlob and Manna
+// (“Distributed XML Design”, PODS 2009): nondeterministic finite automata
+// with ε-transitions (nFAs), deterministic finite automata (dFAs), regular
+// expressions (nREs), deterministic regular expressions (dREs,
+// one-unambiguous languages in the sense of Brüggemann-Klein and Wood), and
+// the delimited-state analysis (Ini/Fin sets and local automata A(q,q′)) of
+// Section 6 of the paper.
+//
+// Conventions:
+//
+//   - States are dense integers 0..n-1 local to each automaton.
+//   - Symbols are non-empty strings; the empty string is reserved for ε.
+//   - DFAs are partial: a missing transition rejects.
+//   - All constructions are exact; several (complement, inclusion,
+//     minimization) are worst-case exponential, matching the PSPACE/EXPTIME
+//     lower bounds the paper proves for the problems built on top of them.
+package strlang

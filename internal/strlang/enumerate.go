@@ -1,0 +1,64 @@
+package strlang
+
+// Enumerate returns up to max strings of [a] in shortlex order (length
+// first, then lexicographic), considering only strings of length ≤ maxLen.
+// It is used by tests, examples and the language-sampling utilities.
+func Enumerate(a *NFA, maxLen, max int) [][]Symbol {
+	var out [][]Symbol
+	if max == 0 {
+		return out
+	}
+	alphabet := a.Alphabet()
+	type node struct {
+		set IntSet
+		w   []Symbol
+	}
+	start := a.Closure(NewIntSet(a.Start()))
+	queue := []node{{start, nil}}
+	if start.Intersects(a.Finals()) {
+		out = append(out, []Symbol{})
+		if len(out) >= max {
+			return out
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if len(cur.w) >= maxLen {
+			continue
+		}
+		for _, s := range alphabet {
+			next := a.Step(cur.set, s)
+			if next.Len() == 0 {
+				continue
+			}
+			w := make([]Symbol, len(cur.w)+1)
+			copy(w, cur.w)
+			w[len(cur.w)] = s
+			if next.Intersects(a.Finals()) {
+				out = append(out, w)
+				if len(out) >= max {
+					return out
+				}
+			}
+			queue = append(queue, node{next, w})
+		}
+	}
+	return out
+}
+
+// SameUpTo reports whether a and b accept exactly the same strings of
+// length ≤ maxLen. It is a testing aid (bounded equivalence), not a
+// decision procedure.
+func SameUpTo(a, b *NFA, maxLen int) bool {
+	return boundedIncluded(a, b, maxLen) && boundedIncluded(b, a, maxLen)
+}
+
+func boundedIncluded(a, b *NFA, maxLen int) bool {
+	for _, w := range Enumerate(a, maxLen, 1<<20) {
+		if !b.Accepts(w) {
+			return false
+		}
+	}
+	return true
+}

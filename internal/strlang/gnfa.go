@@ -1,0 +1,94 @@
+package strlang
+
+// DisplayRegex renders the language of a as a regex for human output,
+// preferring a deterministic expression when the language is
+// one-unambiguous and small enough to construct one.
+func DisplayRegex(a *NFA) string {
+	if a.NumStates() <= 64 {
+		if re, ok := BuildDRE(a); ok {
+			return RegexString(re)
+		}
+	}
+	return RegexString(RegexFromNFA(a))
+}
+
+// RegexFromNFA converts an automaton to a regular expression by state
+// elimination (GNFA construction). The result is a possibly
+// nondeterministic nRE defining exactly [a]; it is used to render computed
+// typings in the concrete grammar syntax. For deterministic output use
+// BuildDRE instead.
+func RegexFromNFA(a *NFA) Regex {
+	t, _ := a.Trim()
+	if t.final.Len() == 0 {
+		return REmpty{}
+	}
+	n := t.NumStates()
+	// Virtual start = n, virtual final = n+1.
+	start, final := n, n+1
+	type edge struct{ from, to int }
+	edges := map[edge]Regex{}
+	addEdge := func(i, j int, r Regex) {
+		if _, isEmpty := r.(REmpty); isEmpty {
+			return
+		}
+		if prev, ok := edges[edge{i, j}]; ok {
+			edges[edge{i, j}] = Alt(prev, r)
+		} else {
+			edges[edge{i, j}] = r
+		}
+	}
+	for q := 0; q < n; q++ {
+		for s, ts := range t.trans[q] {
+			for _, to := range ts {
+				addEdge(q, to, Sym(s))
+			}
+		}
+		for _, to := range t.eps[q] {
+			addEdge(q, to, REps{})
+		}
+		if t.IsFinal(q) {
+			addEdge(q, final, REps{})
+		}
+	}
+	addEdge(start, t.Start(), REps{})
+	// Eliminate the original states in order.
+	for k := 0; k < n; k++ {
+		self, hasSelf := edges[edge{k, k}]
+		var loop Regex = REps{}
+		if hasSelf {
+			loop = StarR(self)
+		}
+		var ins, outs []struct {
+			other int
+			r     Regex
+		}
+		for e, r := range edges {
+			if e.to == k && e.from != k {
+				ins = append(ins, struct {
+					other int
+					r     Regex
+				}{e.from, r})
+			}
+			if e.from == k && e.to != k {
+				outs = append(outs, struct {
+					other int
+					r     Regex
+				}{e.to, r})
+			}
+		}
+		for _, in := range ins {
+			for _, out := range outs {
+				addEdge(in.other, out.other, Cat(in.r, loop, out.r))
+			}
+		}
+		for e := range edges {
+			if e.from == k || e.to == k {
+				delete(edges, e)
+			}
+		}
+	}
+	if r, ok := edges[edge{start, final}]; ok {
+		return r
+	}
+	return REmpty{}
+}

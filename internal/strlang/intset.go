@@ -1,0 +1,118 @@
+package strlang
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// IntSet is a finite set of non-negative integers (automaton states).
+type IntSet map[int]struct{}
+
+// NewIntSet returns a set containing the given elements.
+func NewIntSet(elems ...int) IntSet {
+	s := make(IntSet, len(elems))
+	for _, e := range elems {
+		s[e] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts e into s.
+func (s IntSet) Add(e int) { s[e] = struct{}{} }
+
+// Has reports whether e is in s.
+func (s IntSet) Has(e int) bool { _, ok := s[e]; return ok }
+
+// Len returns the cardinality of s.
+func (s IntSet) Len() int { return len(s) }
+
+// Copy returns an independent copy of s.
+func (s IntSet) Copy() IntSet {
+	t := make(IntSet, len(s))
+	for e := range s {
+		t[e] = struct{}{}
+	}
+	return t
+}
+
+// AddAll inserts every element of t into s.
+func (s IntSet) AddAll(t IntSet) {
+	for e := range t {
+		s[e] = struct{}{}
+	}
+}
+
+// Sorted returns the elements of s in increasing order.
+func (s IntSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s IntSet) Equal(t IntSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for e := range s {
+		if !t.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and t share an element.
+func (s IntSet) Intersects(t IntSet) bool {
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	for e := range s {
+		if t.Has(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersect returns s ∩ t.
+func (s IntSet) Intersect(t IntSet) IntSet {
+	out := NewIntSet()
+	if len(t) < len(s) {
+		s, t = t, s
+	}
+	for e := range s {
+		if t.Has(e) {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s IntSet) SubsetOf(t IntSet) bool {
+	for e := range s {
+		if !t.Has(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string key for s, usable as a map key in
+// subset constructions.
+func (s IntSet) Key() string {
+	elems := s.Sorted()
+	var b strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package strlang
+
+// This file implements the delimited-state analysis of Section 6 of the
+// paper: the sets Ini(A, w) and Fin(A, w) of states that delimit a string w
+// in A, their generalization to boxes (Section 7), and the local automata
+// A(qi, qf) induced from A by a pair of states.
+
+// stepAll advances the ε-closed set cur by sym and re-closes.
+func stepAllClosed(a *NFA, cur IntSet, sym Symbol) IntSet {
+	return a.Step(cur, sym)
+}
+
+// allStatesClosed returns the set of all states (which is trivially
+// ε-closed).
+func allStatesClosed(a *NFA) IntSet {
+	s := NewIntSet()
+	for q := 0; q < a.NumStates(); q++ {
+		s.Add(q)
+	}
+	return s
+}
+
+// Fin returns Fin(A, w) = {qf : ∃qi, (qi, w, qf) ∈ Δ*}: the states in which
+// a run over w, started anywhere, may end (with ε-moves allowed before,
+// between and after the symbols of w). For w = ε it is the set of all
+// states, as in the paper.
+func Fin(a *NFA, w []Symbol) IntSet {
+	if len(w) == 0 {
+		return allStatesClosed(a)
+	}
+	cur := a.Closure(allStatesClosed(a))
+	for _, s := range w {
+		cur = stepAllClosed(a, cur, s)
+	}
+	return cur
+}
+
+// Ini returns Ini(A, w) = {qi : ∃qf, (qi, w, qf) ∈ Δ*}: the states from
+// which w can be read. For w = ε it is the set of all states.
+func Ini(a *NFA, w []Symbol) IntSet {
+	if len(w) == 0 {
+		return allStatesClosed(a)
+	}
+	r := a.Reverse()
+	cur := r.Closure(allStatesClosed(r))
+	for i := len(w) - 1; i >= 0; i-- {
+		cur = stepAllClosed(r, cur, w[i])
+	}
+	return cur
+}
+
+// Box is a cartesian product of symbol sets Σ1…Σk (a “box”, §2.1.2): the
+// finite language of all strings s1…sk with si ∈ Σi. An empty Box (width 0)
+// denotes {ε}.
+type Box [][]Symbol
+
+// BoxNFA returns an NFA for the box language.
+func BoxNFA(b Box) *NFA {
+	a := NewNFA()
+	cur := a.Start()
+	for _, set := range b {
+		next := a.AddState()
+		for _, s := range set {
+			a.AddTransition(cur, s, next)
+		}
+		cur = next
+	}
+	a.MarkFinal(cur)
+	return a
+}
+
+// FinBox returns Fin(A, B) = {qf : ∃qi, ∃w ∈ [B], (qi, w, qf) ∈ Δ*}.
+func FinBox(a *NFA, b Box) IntSet {
+	if len(b) == 0 {
+		return allStatesClosed(a)
+	}
+	cur := a.Closure(allStatesClosed(a))
+	for _, set := range b {
+		next := NewIntSet()
+		for _, s := range set {
+			next.AddAll(stepAllClosed(a, cur, s))
+		}
+		cur = next
+	}
+	return cur
+}
+
+// IniBox returns Ini(A, B) = {qi : ∃qf, ∃w ∈ [B], (qi, w, qf) ∈ Δ*}.
+func IniBox(a *NFA, b Box) IntSet {
+	if len(b) == 0 {
+		return allStatesClosed(a)
+	}
+	r := a.Reverse()
+	cur := r.Closure(allStatesClosed(r))
+	for i := len(b) - 1; i >= 0; i-- {
+		next := NewIntSet()
+		for _, s := range b[i] {
+			next.AddAll(stepAllClosed(r, cur, s))
+		}
+		cur = next
+	}
+	return cur
+}
+
+// LocalAutomaton returns the local automaton A(qi, qf) induced from A by qi
+// and qf (Section 6): the portion of A on paths from qi to qf, with initial
+// state qi and single final state qf. The boolean result is false when qf
+// is not reachable from qi, in which case the local automaton is “illegal”
+// (its language is empty) and a nil automaton is returned.
+//
+// When qi = qf the automaton accepts at least ε.
+func LocalAutomaton(a *NFA, qi, qf int) (*NFA, bool) {
+	fwd := a.Reach(qi)
+	if !fwd.Has(qf) {
+		return nil, false
+	}
+	bwd := a.coReachable(NewIntSet(qf))
+	keep := fwd.Intersect(bwd)
+	// Build the sub-automaton on keep, remapping states.
+	old2new := make(map[int]int, keep.Len())
+	out := &NFA{final: NewIntSet()}
+	for _, q := range keep.Sorted() {
+		old2new[q] = out.AddState()
+	}
+	out.SetStart(old2new[qi])
+	out.MarkFinal(old2new[qf])
+	for q := range keep {
+		nq := old2new[q]
+		for s, ts := range a.trans[q] {
+			for _, t := range ts {
+				if nt, ok := old2new[t]; ok {
+					out.AddTransition(nq, s, nt)
+				}
+			}
+		}
+		for _, t := range a.eps[q] {
+			if nt, ok := old2new[t]; ok {
+				out.AddEps(nq, nt)
+			}
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,120 @@
+package strlang
+
+import "testing"
+
+// lineNFA builds the automaton q0 -a-> q1 -b-> q2 (final q2).
+func lineNFA() *NFA {
+	a := NewNFA()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.AddTransition(0, "a", q1)
+	a.AddTransition(q1, "b", q2)
+	a.MarkFinal(q2)
+	return a
+}
+
+func TestIniFin(t *testing.T) {
+	a := lineNFA()
+	// Fin(A, a) = {q1}; Ini(A, a) = {q0}.
+	if got := Fin(a, str("a")); !got.Equal(NewIntSet(1)) {
+		t.Errorf("Fin(A,a) = %v", got.Sorted())
+	}
+	if got := Ini(a, str("a")); !got.Equal(NewIntSet(0)) {
+		t.Errorf("Ini(A,a) = %v", got.Sorted())
+	}
+	// For ε both are all states (paper convention).
+	if got := Fin(a, nil); got.Len() != a.NumStates() {
+		t.Errorf("Fin(A,ε) = %v", got.Sorted())
+	}
+	if got := Ini(a, nil); got.Len() != a.NumStates() {
+		t.Errorf("Ini(A,ε) = %v", got.Sorted())
+	}
+	// Fin(A, ab) = {q2}, Ini(A, ab) = {q0}; Fin(A, ba) = ∅.
+	if got := Fin(a, str("ab")); !got.Equal(NewIntSet(2)) {
+		t.Errorf("Fin(A,ab) = %v", got.Sorted())
+	}
+	if got := Fin(a, str("ba")); got.Len() != 0 {
+		t.Errorf("Fin(A,ba) = %v", got.Sorted())
+	}
+}
+
+func TestIniFinWithEps(t *testing.T) {
+	// q0 -ε-> q1 -a-> q2 -ε-> q3(final): reading "a" from q0 must work.
+	a := NewNFA()
+	q1, q2, q3 := a.AddState(), a.AddState(), a.AddState()
+	a.AddEps(0, q1)
+	a.AddTransition(q1, "a", q2)
+	a.AddEps(q2, q3)
+	a.MarkFinal(q3)
+	ini := Ini(a, str("a"))
+	if !ini.Has(0) || !ini.Has(q1) {
+		t.Errorf("Ini(A,a) = %v, want ⊇ {0,1}", ini.Sorted())
+	}
+	fin := Fin(a, str("a"))
+	if !fin.Has(q2) || !fin.Has(q3) {
+		t.Errorf("Fin(A,a) = %v, want ⊇ {2,3}", fin.Sorted())
+	}
+}
+
+func TestLocalAutomaton(t *testing.T) {
+	// Automaton for a*bc*: 0 -a-> 0, 0 -b-> 1, 1 -c-> 1, final 1.
+	a := NewNFA()
+	q1 := a.AddState()
+	a.AddTransition(0, "a", 0)
+	a.AddTransition(0, "b", q1)
+	a.AddTransition(q1, "c", q1)
+	a.MarkFinal(q1)
+
+	la, ok := LocalAutomaton(a, 0, 0)
+	if !ok {
+		t.Fatal("A(0,0) should exist")
+	}
+	// A(0,0) = a*.
+	if okEq, w := Equivalent(la, RegexNFA(MustParseRegex("a*"))); !okEq {
+		t.Errorf("A(0,0) wrong, witness %v", w)
+	}
+	la, ok = LocalAutomaton(a, 0, q1)
+	if !ok {
+		t.Fatal("A(0,1) should exist")
+	}
+	if okEq, w := Equivalent(la, RegexNFA(MustParseRegex("a* b c*"))); !okEq {
+		t.Errorf("A(0,1) wrong, witness %v", w)
+	}
+	if _, ok := LocalAutomaton(a, q1, 0); ok {
+		t.Error("A(1,0) should be illegal (no path)")
+	}
+	// A(q,q) accepts at least ε.
+	la, _ = LocalAutomaton(a, q1, q1)
+	if !la.AcceptsEps() {
+		t.Error("A(1,1) should accept ε")
+	}
+}
+
+func TestBoxNFAAndIniFinBox(t *testing.T) {
+	b := Box{{"a", "b"}, {"c"}}
+	nfa := BoxNFA(b)
+	for _, c := range []struct {
+		w    string
+		want bool
+	}{{"ac", true}, {"bc", true}, {"ab", false}, {"c", false}, {"", false}} {
+		if got := nfa.Accepts(str(c.w)); got != c.want {
+			t.Errorf("box on %q = %v want %v", c.w, got, c.want)
+		}
+	}
+	a := lineNFA()
+	// Box {a}{b} behaves like the string ab.
+	finBox := FinBox(a, Box{{"a"}, {"b"}})
+	if !finBox.Equal(Fin(a, str("ab"))) {
+		t.Errorf("FinBox mismatch: %v", finBox.Sorted())
+	}
+	iniBox := IniBox(a, Box{{"a"}, {"b"}})
+	if !iniBox.Equal(Ini(a, str("ab"))) {
+		t.Errorf("IniBox mismatch: %v", iniBox.Sorted())
+	}
+	// Box {a,b} from line automaton: Fin = {q1} ∪ ∅ (b undefined at 0).
+	finSet := FinBox(a, Box{{"a", "b"}})
+	if !finSet.Has(1) || !finSet.Has(2) {
+		// b can be read from q1 → q2, a from q0 → q1.
+		t.Errorf("FinBox({a,b}) = %v, want {1,2}", finSet.Sorted())
+	}
+}

@@ -1,0 +1,357 @@
+package strlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an element of a finite alphabet. The empty string is reserved
+// for ε and is never a valid symbol.
+type Symbol = string
+
+// NFA is a nondeterministic finite automaton with ε-transitions
+// A = ⟨K, Σ, Δ, qs, F⟩ (Section 2.1.2 of the paper). States are the
+// integers 0..NumStates()-1; the alphabet is implicit (the set of symbols
+// appearing on transitions).
+type NFA struct {
+	start int
+	final IntSet
+	// trans[q][a] lists the a-successors of q, for a ≠ ε.
+	trans []map[Symbol][]int
+	// eps[q] lists the ε-successors of q.
+	eps [][]int
+}
+
+// NewNFA returns an automaton with a single non-final start state and no
+// transitions; it recognizes the empty language.
+func NewNFA() *NFA {
+	a := &NFA{final: NewIntSet()}
+	a.AddState()
+	return a
+}
+
+// AddState adds a fresh state and returns its id.
+func (a *NFA) AddState() int {
+	a.trans = append(a.trans, nil)
+	a.eps = append(a.eps, nil)
+	return len(a.trans) - 1
+}
+
+// NumStates returns the number of states of a.
+func (a *NFA) NumStates() int { return len(a.trans) }
+
+// Start returns the start state of a.
+func (a *NFA) Start() int { return a.start }
+
+// SetStart makes q the start state.
+func (a *NFA) SetStart(q int) { a.start = q }
+
+// MarkFinal makes q a final state.
+func (a *NFA) MarkFinal(q int) { a.final.Add(q) }
+
+// ClearFinal makes q non-final.
+func (a *NFA) ClearFinal(q int) { delete(a.final, q) }
+
+// IsFinal reports whether q is final.
+func (a *NFA) IsFinal(q int) bool { return a.final.Has(q) }
+
+// Finals returns the set of final states (shared; do not mutate).
+func (a *NFA) Finals() IntSet { return a.final }
+
+// AddTransition adds the transition (from, sym, to). sym must be non-empty;
+// use AddEps for ε-transitions.
+func (a *NFA) AddTransition(from int, sym Symbol, to int) {
+	if sym == "" {
+		panic("strlang: empty symbol in AddTransition; use AddEps")
+	}
+	if a.trans[from] == nil {
+		a.trans[from] = make(map[Symbol][]int)
+	}
+	for _, t := range a.trans[from][sym] {
+		if t == to {
+			return
+		}
+	}
+	a.trans[from][sym] = append(a.trans[from][sym], to)
+}
+
+// AddEps adds the ε-transition (from, ε, to).
+func (a *NFA) AddEps(from, to int) {
+	for _, t := range a.eps[from] {
+		if t == to {
+			return
+		}
+	}
+	a.eps[from] = append(a.eps[from], to)
+}
+
+// EpsSucc returns the ε-successors of q (shared slice; do not mutate).
+func (a *NFA) EpsSucc(q int) []int { return a.eps[q] }
+
+// Succ returns the sym-successors of q (shared slice; do not mutate).
+func (a *NFA) Succ(q int, sym Symbol) []int {
+	if a.trans[q] == nil {
+		return nil
+	}
+	return a.trans[q][sym]
+}
+
+// Alphabet returns the sorted set of symbols that appear on transitions.
+func (a *NFA) Alphabet() []Symbol {
+	set := map[Symbol]struct{}{}
+	for _, m := range a.trans {
+		for s := range m {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of a.
+func (a *NFA) Clone() *NFA {
+	b := &NFA{
+		start: a.start,
+		final: a.final.Copy(),
+		trans: make([]map[Symbol][]int, len(a.trans)),
+		eps:   make([][]int, len(a.eps)),
+	}
+	for q, m := range a.trans {
+		if m == nil {
+			continue
+		}
+		mm := make(map[Symbol][]int, len(m))
+		for s, ts := range m {
+			mm[s] = append([]int(nil), ts...)
+		}
+		b.trans[q] = mm
+	}
+	for q, ts := range a.eps {
+		b.eps[q] = append([]int(nil), ts...)
+	}
+	return b
+}
+
+// Closure returns the ε-closure of the given set of states.
+func (a *NFA) Closure(states IntSet) IntSet {
+	out := states.Copy()
+	stack := states.Sorted()
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[q] {
+			if !out.Has(t) {
+				out.Add(t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return out
+}
+
+// Step returns the ε-closed set reached from the ε-closed set cur by
+// reading sym.
+func (a *NFA) Step(cur IntSet, sym Symbol) IntSet {
+	next := NewIntSet()
+	for q := range cur {
+		for _, t := range a.Succ(q, sym) {
+			next.Add(t)
+		}
+	}
+	return a.Closure(next)
+}
+
+// Run returns the ε-closed set of states reachable from the start state by
+// reading w.
+func (a *NFA) Run(w []Symbol) IntSet {
+	cur := a.Closure(NewIntSet(a.start))
+	for _, s := range w {
+		cur = a.Step(cur, s)
+		if cur.Len() == 0 {
+			return cur
+		}
+	}
+	return cur
+}
+
+// Accepts reports whether a accepts w.
+func (a *NFA) Accepts(w []Symbol) bool {
+	return a.Run(w).Intersects(a.final)
+}
+
+// AcceptsEps reports whether a accepts the empty string.
+func (a *NFA) AcceptsEps() bool { return a.Accepts(nil) }
+
+// reachableFrom returns the states reachable from the given seeds
+// (following both symbol and ε edges, reflexively).
+func (a *NFA) reachableFrom(seeds ...int) IntSet {
+	seen := NewIntSet(seeds...)
+	stack := append([]int(nil), seeds...)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit := func(t int) {
+			if !seen.Has(t) {
+				seen.Add(t)
+				stack = append(stack, t)
+			}
+		}
+		for _, t := range a.eps[q] {
+			visit(t)
+		}
+		for _, ts := range a.trans[q] {
+			for _, t := range ts {
+				visit(t)
+			}
+		}
+	}
+	return seen
+}
+
+// Reach returns the set of states reachable from q (reflexively), following
+// both symbol and ε edges.
+func (a *NFA) Reach(q int) IntSet { return a.reachableFrom(q) }
+
+// Reverse returns the automaton with all edges reversed. The start/final
+// designations of the result are not meaningful; it is a helper for
+// co-reachability computations.
+func (a *NFA) Reverse() *NFA {
+	b := &NFA{final: NewIntSet()}
+	b.trans = make([]map[Symbol][]int, len(a.trans))
+	b.eps = make([][]int, len(a.eps))
+	for q, m := range a.trans {
+		for s, ts := range m {
+			for _, t := range ts {
+				if b.trans[t] == nil {
+					b.trans[t] = make(map[Symbol][]int)
+				}
+				b.trans[t][s] = append(b.trans[t][s], q)
+			}
+		}
+	}
+	for q, ts := range a.eps {
+		for _, t := range ts {
+			b.eps[t] = append(b.eps[t], q)
+		}
+	}
+	return b
+}
+
+// coReachable returns the states from which some state in targets is
+// reachable (reflexively).
+func (a *NFA) coReachable(targets IntSet) IntSet {
+	return a.Reverse().reachableFrom(targets.Sorted()...)
+}
+
+// Trim returns an equivalent automaton containing only useful states
+// (reachable from the start and co-reachable to a final state). The start
+// state is always kept, so the result of trimming an empty-language
+// automaton is a single-state automaton with no finals. The second result
+// maps old state ids to new ones (-1 for dropped states).
+func (a *NFA) Trim() (*NFA, []int) {
+	fwd := a.reachableFrom(a.start)
+	bwd := a.coReachable(a.final)
+	keep := fwd.Intersect(bwd)
+	keep.Add(a.start)
+	old2new := make([]int, a.NumStates())
+	for i := range old2new {
+		old2new[i] = -1
+	}
+	b := &NFA{final: NewIntSet()}
+	for _, q := range keep.Sorted() {
+		old2new[q] = b.AddState()
+	}
+	b.start = old2new[a.start]
+	for q := range keep {
+		nq := old2new[q]
+		if a.final.Has(q) {
+			b.MarkFinal(nq)
+		}
+		for s, ts := range a.trans[q] {
+			for _, t := range ts {
+				if nt := old2new[t]; nt >= 0 {
+					b.AddTransition(nq, s, nt)
+				}
+			}
+		}
+		for _, t := range a.eps[q] {
+			if nt := old2new[t]; nt >= 0 {
+				b.AddEps(nq, nt)
+			}
+		}
+	}
+	return b, old2new
+}
+
+// WithoutEps returns an equivalent automaton with no ε-transitions and the
+// same state ids: each state gains the symbol transitions of its ε-closure,
+// and is final if its ε-closure meets a final state.
+func (a *NFA) WithoutEps() *NFA {
+	b := &NFA{start: a.start, final: NewIntSet()}
+	b.trans = make([]map[Symbol][]int, len(a.trans))
+	b.eps = make([][]int, len(a.eps))
+	for q := range a.trans {
+		cl := a.Closure(NewIntSet(q))
+		if cl.Intersects(a.final) {
+			b.MarkFinal(q)
+		}
+		for p := range cl {
+			for s, ts := range a.trans[p] {
+				for _, t := range ts {
+					b.AddTransition(q, s, t)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// UsefulSymbols returns the sorted symbols that occur in some accepted
+// string ("the alphabet of the language", used by dual(τ) in Def. 4).
+func (a *NFA) UsefulSymbols() []Symbol {
+	t, _ := a.Trim()
+	return t.Alphabet()
+}
+
+// String renders the automaton in a compact human-readable form for
+// debugging and golden tests.
+func (a *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=%d final=%v\n", a.start, a.final.Sorted())
+	for q := range a.trans {
+		syms := make([]string, 0, len(a.trans[q]))
+		for s := range a.trans[q] {
+			syms = append(syms, s)
+		}
+		sort.Strings(syms)
+		for _, s := range syms {
+			ts := append([]int(nil), a.trans[q][s]...)
+			sort.Ints(ts)
+			fmt.Fprintf(&b, "  %d -%s-> %v\n", q, s, ts)
+		}
+		if len(a.eps[q]) > 0 {
+			ts := append([]int(nil), a.eps[q]...)
+			sort.Ints(ts)
+			fmt.Fprintf(&b, "  %d -ε-> %v\n", q, ts)
+		}
+	}
+	return b.String()
+}
+
+// Size returns a size measure for the automaton: states plus transitions.
+// It is the ‖·‖ measure used in the paper's Table 2 size rows.
+func (a *NFA) Size() int {
+	n := a.NumStates()
+	for q := range a.trans {
+		for _, ts := range a.trans[q] {
+			n += len(ts)
+		}
+		n += len(a.eps[q])
+	}
+	return n
+}

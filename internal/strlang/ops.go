@@ -1,0 +1,249 @@
+package strlang
+
+import "sort"
+
+// EmptyLang returns an NFA for the empty language ∅.
+func EmptyLang() *NFA { return NewNFA() }
+
+// EpsLang returns an NFA for {ε}.
+func EpsLang() *NFA {
+	a := NewNFA()
+	a.MarkFinal(a.Start())
+	return a
+}
+
+// SymbolLang returns an NFA for the single-symbol language {s}.
+func SymbolLang(s Symbol) *NFA {
+	a := NewNFA()
+	f := a.AddState()
+	a.AddTransition(a.Start(), s, f)
+	a.MarkFinal(f)
+	return a
+}
+
+// WordLang returns an NFA accepting exactly the string w.
+func WordLang(w []Symbol) *NFA {
+	a := NewNFA()
+	cur := a.Start()
+	for _, s := range w {
+		next := a.AddState()
+		a.AddTransition(cur, s, next)
+		cur = next
+	}
+	a.MarkFinal(cur)
+	return a
+}
+
+// SetLang returns an NFA for the length-1 language consisting of the given
+// symbols (a width-1 box, §2.1.2).
+func SetLang(symbols []Symbol) *NFA {
+	a := NewNFA()
+	f := a.AddState()
+	for _, s := range symbols {
+		a.AddTransition(a.Start(), s, f)
+	}
+	a.MarkFinal(f)
+	return a
+}
+
+// UniversalLang returns an NFA for Σ* over the given alphabet.
+func UniversalLang(alphabet []Symbol) *NFA {
+	a := NewNFA()
+	a.MarkFinal(a.Start())
+	for _, s := range alphabet {
+		a.AddTransition(a.Start(), s, a.Start())
+	}
+	return a
+}
+
+// copyInto copies src's states into dst, returning the state offset.
+func copyInto(dst, src *NFA) int {
+	off := dst.NumStates()
+	for q := 0; q < src.NumStates(); q++ {
+		dst.AddState()
+	}
+	for q := 0; q < src.NumStates(); q++ {
+		for s, ts := range src.trans[q] {
+			for _, t := range ts {
+				dst.AddTransition(off+q, s, off+t)
+			}
+		}
+		for _, t := range src.eps[q] {
+			dst.AddEps(off+q, off+t)
+		}
+	}
+	return off
+}
+
+// Union returns an NFA for [a] ∪ [b].
+func Union(a, b *NFA) *NFA {
+	out := NewNFA()
+	oa := copyInto(out, a)
+	ob := copyInto(out, b)
+	out.AddEps(out.Start(), oa+a.Start())
+	out.AddEps(out.Start(), ob+b.Start())
+	for q := range a.final {
+		out.MarkFinal(oa + q)
+	}
+	for q := range b.final {
+		out.MarkFinal(ob + q)
+	}
+	return out
+}
+
+// UnionAll returns an NFA for the union of all the given languages
+// (∅ for an empty list).
+func UnionAll(as ...*NFA) *NFA {
+	out := NewNFA()
+	for _, a := range as {
+		off := copyInto(out, a)
+		out.AddEps(out.Start(), off+a.Start())
+		for q := range a.final {
+			out.MarkFinal(off + q)
+		}
+	}
+	return out
+}
+
+// Concat returns an NFA for [a] ◦ [b].
+func Concat(a, b *NFA) *NFA {
+	out := NewNFA()
+	oa := copyInto(out, a)
+	ob := copyInto(out, b)
+	out.AddEps(out.Start(), oa+a.Start())
+	for q := range a.final {
+		out.AddEps(oa+q, ob+b.Start())
+	}
+	for q := range b.final {
+		out.MarkFinal(ob + q)
+	}
+	return out
+}
+
+// ConcatAll returns an NFA for the concatenation of all given languages in
+// order ({ε} for an empty list).
+func ConcatAll(as ...*NFA) *NFA {
+	if len(as) == 0 {
+		return EpsLang()
+	}
+	out := as[0]
+	for _, a := range as[1:] {
+		out = Concat(out, a)
+	}
+	return out
+}
+
+// Star returns an NFA for [a]*.
+func Star(a *NFA) *NFA {
+	out := NewNFA()
+	oa := copyInto(out, a)
+	out.MarkFinal(out.Start())
+	out.AddEps(out.Start(), oa+a.Start())
+	for q := range a.final {
+		out.AddEps(oa+q, out.Start())
+	}
+	return out
+}
+
+// Plus returns an NFA for [a]+.
+func Plus(a *NFA) *NFA { return Concat(a, Star(a)) }
+
+// Opt returns an NFA for [a] ∪ {ε}.
+func Opt(a *NFA) *NFA {
+	out := a.Clone()
+	// A fresh final start state with ε to the old start preserves [a] and
+	// adds ε.
+	s := out.AddState()
+	out.AddEps(s, out.Start())
+	out.SetStart(s)
+	out.MarkFinal(s)
+	return out
+}
+
+// Intersect returns an NFA for [a] ∩ [b] (lazy product construction).
+func Intersect(a, b *NFA) *NFA {
+	ea, eb := a.WithoutEps(), b.WithoutEps()
+	out := NewNFA()
+	type pair struct{ p, q int }
+	ids := map[pair]int{}
+	var order []pair
+	getID := func(pq pair) int {
+		if id, ok := ids[pq]; ok {
+			return id
+		}
+		var id int
+		if len(ids) == 0 {
+			id = out.Start()
+		} else {
+			id = out.AddState()
+		}
+		ids[pq] = id
+		order = append(order, pq)
+		if ea.IsFinal(pq.p) && eb.IsFinal(pq.q) {
+			out.MarkFinal(id)
+		}
+		return id
+	}
+	getID(pair{ea.Start(), eb.Start()})
+	for i := 0; i < len(order); i++ {
+		pq := order[i]
+		from := ids[pq]
+		for s, ts := range ea.trans[pq.p] {
+			us := eb.Succ(pq.q, s)
+			if len(us) == 0 {
+				continue
+			}
+			for _, t := range ts {
+				for _, u := range us {
+					out.AddTransition(from, s, getID(pair{t, u}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IntersectAll returns the intersection of all given languages; it panics
+// on an empty list (no universal alphabet is available).
+func IntersectAll(as ...*NFA) *NFA {
+	if len(as) == 0 {
+		panic("strlang: IntersectAll of no languages")
+	}
+	out := as[0]
+	for _, a := range as[1:] {
+		out = Intersect(out, a)
+	}
+	return out
+}
+
+// Complement returns an NFA for Σ* − [a] where Σ is the given alphabet
+// (which must contain a's symbols).
+func Complement(a *NFA, alphabet []Symbol) *NFA {
+	return a.Determinize().Complement(alphabet).NFA()
+}
+
+// Difference returns an NFA for [a] − [b]. The complement of b is taken
+// over the union of both alphabets.
+func Difference(a, b *NFA) *NFA {
+	alpha := unionAlphabet(a, b)
+	return Intersect(a, Complement(b, alpha))
+}
+
+func unionAlphabet(as ...*NFA) []Symbol {
+	set := map[Symbol]struct{}{}
+	for _, a := range as {
+		for _, s := range a.Alphabet() {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnionAlphabet returns the sorted union of the alphabets of the given
+// automata.
+func UnionAlphabet(as ...*NFA) []Symbol { return unionAlphabet(as...) }

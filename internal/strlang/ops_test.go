@@ -1,0 +1,282 @@
+package strlang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBooleanOps(t *testing.T) {
+	a := mustLang(t, "a* b")
+	b := mustLang(t, "a b | b b | b")
+	u := Union(a, b)
+	i := Intersect(a, b)
+	d := Difference(a, b)
+	words := [][]Symbol{nil, str("b"), str("ab"), str("bb"), str("aab"), str("ba")}
+	for _, w := range words {
+		inA, inB := a.Accepts(w), b.Accepts(w)
+		if got := u.Accepts(w); got != (inA || inB) {
+			t.Errorf("union wrong on %v", w)
+		}
+		if got := i.Accepts(w); got != (inA && inB) {
+			t.Errorf("intersect wrong on %v", w)
+		}
+		if got := d.Accepts(w); got != (inA && !inB) {
+			t.Errorf("difference wrong on %v", w)
+		}
+	}
+}
+
+func TestConcatStarPlusOpt(t *testing.T) {
+	a := SymbolLang("a")
+	b := SymbolLang("b")
+	ab := Concat(a, b)
+	if !ab.Accepts(str("ab")) || ab.Accepts(str("a")) || ab.Accepts(str("ba")) {
+		t.Error("concat wrong")
+	}
+	s := Star(ab)
+	for _, c := range []struct {
+		w    string
+		want bool
+	}{{"", true}, {"ab", true}, {"abab", true}, {"aba", false}} {
+		if got := s.Accepts(str(c.w)); got != c.want {
+			t.Errorf("(ab)* on %q = %v want %v", c.w, got, c.want)
+		}
+	}
+	p := Plus(ab)
+	if p.AcceptsEps() {
+		t.Error("(ab)+ accepts ε")
+	}
+	if !p.Accepts(str("abab")) {
+		t.Error("(ab)+ rejects abab")
+	}
+	o := Opt(a)
+	if !o.AcceptsEps() || !o.Accepts(str("a")) || o.Accepts(str("aa")) {
+		t.Error("a? wrong")
+	}
+}
+
+func TestIncludedWitness(t *testing.T) {
+	a := mustLang(t, "a* b")
+	b := mustLang(t, "a a* b")
+	ok, w := Included(a, b)
+	if ok {
+		t.Fatal("a*b ⊆ a+b should fail")
+	}
+	if strings.Join(w, "") != "b" {
+		t.Errorf("witness = %v, want shortest witness b", w)
+	}
+	if ok, _ := Included(b, a); !ok {
+		t.Error("a a* b ⊆ a* b should hold")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		x, y string
+		want bool
+	}{
+		{"a* b c* c*", "a* a* b c*", true},  // Example 2's identity
+		{"(a b)* a", "a (b a)* | ε", false}, // differ on ε
+		{"(a b)* a", "a (b a)*", true},
+		{"(a|b)*", "(a* b*)*", true},
+		{"a?", "a | ε", true},
+		{"(a b)+", "a b (a b)*", true},
+	}
+	for _, c := range cases {
+		x, y := mustLang(t, c.x), mustLang(t, c.y)
+		got, w := Equivalent(x, y)
+		if got != c.want {
+			t.Errorf("Equivalent(%q, %q) = %v (witness %v), want %v", c.x, c.y, got, w, c.want)
+		}
+	}
+}
+
+func TestProper(t *testing.T) {
+	a := mustLang(t, "a b")
+	b := mustLang(t, "a b | c")
+	if !Proper(a, b) {
+		t.Error("ab ⊂ ab|c should hold")
+	}
+	if Proper(b, a) || Proper(a, a) {
+		t.Error("Proper should be strict")
+	}
+}
+
+// randomRegex builds a random regex over {a,b} with the given node budget.
+func randomRegex(r *rand.Rand, depth int) Regex {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Sym("a")
+		case 1:
+			return Sym("b")
+		case 2:
+			return Sym("c")
+		default:
+			return REps{}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Cat(randomRegex(r, depth-1), randomRegex(r, depth-1))
+	case 1:
+		return Alt(randomRegex(r, depth-1), randomRegex(r, depth-1))
+	case 2:
+		return StarR(randomRegex(r, depth-1))
+	case 3:
+		return PlusR(randomRegex(r, depth-1))
+	case 4:
+		return OptR(randomRegex(r, depth-1))
+	default:
+		return randomRegex(r, depth-1)
+	}
+}
+
+// regexMatch is an independent regex matcher (by structural recursion on
+// substrings) used as an oracle against the Glushkov automaton.
+func regexMatch(re Regex, w []Symbol) bool {
+	return matchTop(re, 0, len(w), w)
+}
+
+func matchTop(re Regex, i, j int, w []Symbol) bool {
+	switch t := re.(type) {
+	case REmpty:
+		return false
+	case REps:
+		return i == j
+	case RSym:
+		return j == i+1 && w[i] == t.Sym
+	case RAlt:
+		for _, a := range t.Args {
+			if matchTop(a, i, j, w) {
+				return true
+			}
+		}
+		return false
+	case RConcat:
+		return matchSeq(t.Args, i, j, w)
+	case RStar:
+		return matchStar(t.Arg, i, j, w)
+	case RPlus:
+		for k := i + 1; k <= j; k++ {
+			if matchTop(t.Arg, i, k, w) && matchStar(t.Arg, k, j, w) {
+				return true
+			}
+		}
+		// A single iteration may also be empty-matching.
+		return matchTop(t.Arg, i, j, w)
+	case ROpt:
+		return i == j || matchTop(t.Arg, i, j, w)
+	}
+	return false
+}
+
+func matchSeq(args []Regex, i, j int, w []Symbol) bool {
+	if len(args) == 0 {
+		return i == j
+	}
+	for k := i; k <= j; k++ {
+		if matchTop(args[0], i, k, w) && matchSeq(args[1:], k, j, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchStar(arg Regex, i, j int, w []Symbol) bool {
+	if i == j {
+		return true
+	}
+	for k := i + 1; k <= j; k++ {
+		if matchTop(arg, i, k, w) && matchStar(arg, k, j, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGlushkovMatchesOracle cross-checks the Glushkov automaton against the
+// independent structural matcher on random regexes and random words.
+func TestGlushkovMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		re := randomRegex(r, 3)
+		a := RegexNFA(re)
+		for k := 0; k < 12; k++ {
+			n := r.Intn(5)
+			w := make([]Symbol, n)
+			for i := range w {
+				w[i] = string(rune('a' + r.Intn(3)))
+			}
+			got := a.Accepts(w)
+			want := regexMatch(re, w)
+			if got != want {
+				t.Fatalf("regex %s on %v: glushkov=%v oracle=%v", RegexString(re), w, got, want)
+			}
+		}
+	}
+}
+
+// TestOpsPreserveSemantics is a quick-check style property: for random
+// regexes x, y, the language operations agree with pointwise membership.
+func TestOpsPreserveSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		x := RegexNFA(randomRegex(rr, 2))
+		y := RegexNFA(randomRegex(rr, 2))
+		u, i, c := Union(x, y), Intersect(x, y), Concat(x, y)
+		for k := 0; k < 10; k++ {
+			n := rr.Intn(4)
+			w := make([]Symbol, n)
+			for j := range w {
+				w[j] = string(rune('a' + rr.Intn(3)))
+			}
+			if u.Accepts(w) != (x.Accepts(w) || y.Accepts(w)) {
+				return false
+			}
+			if i.Accepts(w) != (x.Accepts(w) && y.Accepts(w)) {
+				return false
+			}
+			// Concatenation: check by splitting.
+			inConcat := false
+			for cut := 0; cut <= n; cut++ {
+				if x.Accepts(w[:cut]) && y.Accepts(w[cut:]) {
+					inConcat = true
+					break
+				}
+			}
+			if c.Accepts(w) != inConcat {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminizeIdempotent checks [A] = [det(A)] = [min(det(A))] on random
+// regexes, via full equivalence.
+func TestDeterminizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		re := randomRegex(r, 3)
+		a := RegexNFA(re)
+		d := a.Determinize()
+		m := d.Minimize()
+		if ok, w := Equivalent(a, d.NFA()); !ok {
+			t.Fatalf("determinize broke %s, witness %v", RegexString(re), w)
+		}
+		if ok, w := Equivalent(a, m.NFA()); !ok {
+			t.Fatalf("minimize broke %s, witness %v", RegexString(re), w)
+		}
+		if m2 := m.NFA().Determinize().Minimize(); m2.NumStates() != m.NumStates() {
+			t.Fatalf("minimize not idempotent for %s: %d vs %d states", RegexString(re), m.NumStates(), m2.NumStates())
+		}
+	}
+}

@@ -1,0 +1,593 @@
+package strlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Regex is the abstract syntax of a (possibly nondeterministic) regular
+// expression (nRE, §2.1.2):
+//
+//	r ::= ε | ∅ | a | (r·r) | (r+r) | r? | r+ | r*
+//
+// In the concrete syntax accepted by ParseRegex, alternation is written
+// “|”, concatenation is juxtaposition (whitespace) or “,”, and the postfix
+// operators are “*”, “+”, “?”. The paper's binary “+” is written “|” to
+// avoid ambiguity with postfix “+”. ε and ∅ may be written “ε”/“EPSILON”
+// and “∅”/“EMPTYSET”.
+type Regex interface {
+	isRegex()
+}
+
+// REmpty denotes the empty language ∅.
+type REmpty struct{}
+
+// REps denotes the language {ε}.
+type REps struct{}
+
+// RSym denotes the single-symbol language {Sym}.
+type RSym struct{ Sym Symbol }
+
+// RConcat denotes the concatenation of Args (≥ 2 of them in parsed trees).
+type RConcat struct{ Args []Regex }
+
+// RAlt denotes the union of Args (≥ 2 of them in parsed trees).
+type RAlt struct{ Args []Regex }
+
+// RStar denotes Arg*.
+type RStar struct{ Arg Regex }
+
+// RPlus denotes Arg+.
+type RPlus struct{ Arg Regex }
+
+// ROpt denotes Arg?.
+type ROpt struct{ Arg Regex }
+
+func (REmpty) isRegex()  {}
+func (REps) isRegex()    {}
+func (RSym) isRegex()    {}
+func (RConcat) isRegex() {}
+func (RAlt) isRegex()    {}
+func (RStar) isRegex()   {}
+func (RPlus) isRegex()   {}
+func (ROpt) isRegex()    {}
+
+// Convenience constructors.
+
+// Sym returns the regex for a single symbol.
+func Sym(s Symbol) Regex { return RSym{s} }
+
+// Cat returns the concatenation of the given regexes, flattening nested
+// concatenations and simplifying ε and ∅.
+func Cat(rs ...Regex) Regex {
+	var args []Regex
+	for _, r := range rs {
+		switch t := r.(type) {
+		case REps:
+			// identity
+		case REmpty:
+			return REmpty{}
+		case RConcat:
+			args = append(args, t.Args...)
+		default:
+			args = append(args, r)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return REps{}
+	case 1:
+		return args[0]
+	}
+	return RConcat{args}
+}
+
+// Alt returns the union of the given regexes, flattening nested unions and
+// dropping ∅.
+func Alt(rs ...Regex) Regex {
+	var args []Regex
+	for _, r := range rs {
+		switch t := r.(type) {
+		case REmpty:
+			// identity
+		case RAlt:
+			args = append(args, t.Args...)
+		default:
+			args = append(args, r)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return REmpty{}
+	case 1:
+		return args[0]
+	}
+	return RAlt{args}
+}
+
+// StarR returns Arg*. Star of ε or ∅ is ε.
+func StarR(r Regex) Regex {
+	switch r.(type) {
+	case REps, REmpty:
+		return REps{}
+	}
+	return RStar{r}
+}
+
+// PlusR returns Arg+.
+func PlusR(r Regex) Regex {
+	switch r.(type) {
+	case REps:
+		return REps{}
+	case REmpty:
+		return REmpty{}
+	}
+	return RPlus{r}
+}
+
+// OptR returns Arg?.
+func OptR(r Regex) Regex {
+	switch r.(type) {
+	case REps:
+		return REps{}
+	case REmpty:
+		return REps{}
+	}
+	return ROpt{r}
+}
+
+// String renders r in the concrete syntax of ParseRegex.
+func RegexString(r Regex) string {
+	var b strings.Builder
+	writeRegex(&b, r, 0)
+	return b.String()
+}
+
+// precedence levels: 0 alt, 1 concat, 2 postfix/atom
+func writeRegex(b *strings.Builder, r Regex, prec int) {
+	paren := func(need int, f func()) {
+		if prec > need {
+			b.WriteByte('(')
+			f()
+			b.WriteByte(')')
+		} else {
+			f()
+		}
+	}
+	switch t := r.(type) {
+	case REmpty:
+		b.WriteString("∅")
+	case REps:
+		b.WriteString("ε")
+	case RSym:
+		b.WriteString(t.Sym)
+	case RAlt:
+		paren(0, func() {
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteString(" | ")
+				}
+				writeRegex(b, a, 1)
+			}
+		})
+	case RConcat:
+		paren(1, func() {
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				writeRegex(b, a, 2)
+			}
+		})
+	case RStar:
+		writeRegex(b, t.Arg, 3)
+		b.WriteByte('*')
+	case RPlus:
+		writeRegex(b, t.Arg, 3)
+		b.WriteByte('+')
+	case ROpt:
+		writeRegex(b, t.Arg, 3)
+		b.WriteByte('?')
+	default:
+		panic(fmt.Sprintf("strlang: unknown regex node %T", r))
+	}
+}
+
+// --- parser ---
+
+type regexParser struct {
+	src []rune
+	pos int
+}
+
+// ParseRegex parses the concrete regex syntax described on Regex.
+func ParseRegex(src string) (Regex, error) {
+	p := &regexParser{src: []rune(src)}
+	r, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex %q: unexpected %q at offset %d", src, string(p.src[p.pos]), p.pos)
+	}
+	return r, nil
+}
+
+// MustParseRegex is ParseRegex that panics on error; for tests and tables.
+func MustParseRegex(src string) Regex {
+	r, err := ParseRegex(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (p *regexParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *regexParser) peek() rune {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *regexParser) parseAlt() (Regex, error) {
+	first, err := p.parseCat()
+	if err != nil {
+		return nil, err
+	}
+	args := []Regex{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseCat()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, next)
+	}
+	return Alt(args...), nil
+}
+
+func (p *regexParser) parseCat() (Regex, error) {
+	var args []Regex
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == ',' {
+			p.pos++
+			continue
+		}
+		if c == 0 || c == ')' || c == '|' {
+			break
+		}
+		atom, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, atom)
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("regex: empty expression at offset %d", p.pos)
+	}
+	return Cat(args...), nil
+}
+
+func (p *regexParser) parsePostfix() (Regex, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = StarR(atom)
+		case '+':
+			p.pos++
+			atom = PlusR(atom)
+		case '?':
+			p.pos++
+			atom = OptR(atom)
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func isSymRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) ||
+		c == '_' || c == '~' || c == '^' || c == '.' || c == '#' || c == '\''
+}
+
+func (p *regexParser) parseAtom() (Regex, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		r, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("regex: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return r, nil
+	case c == 'ε':
+		p.pos++
+		return REps{}, nil
+	case c == '∅':
+		p.pos++
+		return REmpty{}, nil
+	case isSymRune(c):
+		start := p.pos
+		for p.pos < len(p.src) && isSymRune(p.src[p.pos]) {
+			p.pos++
+		}
+		name := string(p.src[start:p.pos])
+		switch name {
+		case "EPSILON":
+			return REps{}, nil
+		case "EMPTYSET":
+			return REmpty{}, nil
+		}
+		return RSym{name}, nil
+	default:
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", string(c), p.pos)
+	}
+}
+
+// --- Glushkov construction ---
+
+// glushkov holds first/last/follow position sets for a regex; position 0 is
+// reserved for the initial state.
+type glushkov struct {
+	syms     []Symbol // syms[p] is the symbol at position p ≥ 1
+	nullable bool
+	first    IntSet
+	last     IntSet
+	follow   []IntSet // indexed by position
+}
+
+func buildGlushkov(r Regex) *glushkov {
+	g := &glushkov{syms: []Symbol{""}}
+	g.follow = append(g.follow, NewIntSet()) // position 0 unused
+	n, f, l := g.build(r)
+	g.nullable, g.first, g.last = n, f, l
+	return g
+}
+
+func (g *glushkov) newPos(s Symbol) int {
+	g.syms = append(g.syms, s)
+	g.follow = append(g.follow, NewIntSet())
+	return len(g.syms) - 1
+}
+
+func (g *glushkov) build(r Regex) (nullable bool, first, last IntSet) {
+	switch t := r.(type) {
+	case REmpty:
+		return false, NewIntSet(), NewIntSet()
+	case REps:
+		return true, NewIntSet(), NewIntSet()
+	case RSym:
+		p := g.newPos(t.Sym)
+		return false, NewIntSet(p), NewIntSet(p)
+	case RAlt:
+		nullable = false
+		first, last = NewIntSet(), NewIntSet()
+		for _, a := range t.Args {
+			an, af, al := g.build(a)
+			nullable = nullable || an
+			first.AddAll(af)
+			last.AddAll(al)
+		}
+		return nullable, first, last
+	case RConcat:
+		nullable = true
+		first, last = NewIntSet(), NewIntSet()
+		var prevLast IntSet
+		prevNullable := true
+		for _, a := range t.Args {
+			an, af, al := g.build(a)
+			// follow: every last of the prefix feeds every first of a.
+			if prevLast != nil {
+				for p := range prevLast {
+					g.follow[p].AddAll(af)
+				}
+			}
+			if prevNullable {
+				first.AddAll(af)
+			}
+			if an {
+				if prevLast == nil {
+					prevLast = al.Copy()
+				} else {
+					prevLast.AddAll(al)
+				}
+			} else {
+				prevLast = al.Copy()
+			}
+			prevNullable = prevNullable && an
+			nullable = nullable && an
+			last = prevLast
+		}
+		return nullable, first, last.Copy()
+	case RStar:
+		_, af, al := g.build(t.Arg)
+		for p := range al {
+			g.follow[p].AddAll(af)
+		}
+		return true, af, al
+	case RPlus:
+		an, af, al := g.build(t.Arg)
+		for p := range al {
+			g.follow[p].AddAll(af)
+		}
+		return an, af, al
+	case ROpt:
+		_, af, al := g.build(t.Arg)
+		return true, af, al
+	default:
+		panic(fmt.Sprintf("strlang: unknown regex node %T", r))
+	}
+}
+
+// RegexNFA returns the Glushkov (position) automaton of r: an ε-free NFA
+// with one state per symbol occurrence plus an initial state. Any regex of
+// size n yields an automaton with O(n²) transitions, matching the paper's
+// use of the regex→nFA translations of [20, 23].
+func RegexNFA(r Regex) *NFA {
+	g := buildGlushkov(r)
+	a := NewNFA() // state 0 = initial
+	for p := 1; p < len(g.syms); p++ {
+		a.AddState()
+	}
+	if g.nullable {
+		a.MarkFinal(0)
+	}
+	for p := range g.first {
+		a.AddTransition(0, g.syms[p], p)
+	}
+	for p := 1; p < len(g.syms); p++ {
+		for q := range g.follow[p] {
+			a.AddTransition(p, g.syms[q], q)
+		}
+		if g.last.Has(p) {
+			a.MarkFinal(p)
+		}
+	}
+	return a
+}
+
+// RegexDeterministic reports whether r is a deterministic regular
+// expression (dRE): its Glushkov automaton is deterministic, i.e. no state
+// has two distinct successors on the same symbol (Brüggemann-Klein & Wood;
+// this is exactly the marked-expression condition of §2.1.2). When it is
+// not, the offending symbol is returned.
+func RegexDeterministic(r Regex) (bool, Symbol) {
+	g := buildGlushkov(r)
+	check := func(set IntSet) (bool, Symbol) {
+		bySym := map[Symbol]int{}
+		for p := range set {
+			s := g.syms[p]
+			if prev, ok := bySym[s]; ok && prev != p {
+				return false, s
+			}
+			bySym[s] = p
+		}
+		return true, ""
+	}
+	if ok, s := check(g.first); !ok {
+		return false, s
+	}
+	for p := 1; p < len(g.syms); p++ {
+		if ok, s := check(g.follow[p]); !ok {
+			return false, s
+		}
+	}
+	return true, ""
+}
+
+// RegexSymbols returns the sorted set of symbols occurring in r.
+func RegexSymbols(r Regex) []Symbol {
+	set := map[Symbol]struct{}{}
+	var walk func(Regex)
+	walk = func(r Regex) {
+		switch t := r.(type) {
+		case RSym:
+			set[t.Sym] = struct{}{}
+		case RConcat:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case RAlt:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		case RStar:
+			walk(t.Arg)
+		case RPlus:
+			walk(t.Arg)
+		case ROpt:
+			walk(t.Arg)
+		}
+	}
+	walk(r)
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegexSize returns the number of AST nodes of r (the |r| measure).
+func RegexSize(r Regex) int {
+	switch t := r.(type) {
+	case REmpty, REps, RSym:
+		return 1
+	case RConcat:
+		n := 1
+		for _, a := range t.Args {
+			n += RegexSize(a)
+		}
+		return n
+	case RAlt:
+		n := 1
+		for _, a := range t.Args {
+			n += RegexSize(a)
+		}
+		return n
+	case RStar:
+		return 1 + RegexSize(t.Arg)
+	case RPlus:
+		return 1 + RegexSize(t.Arg)
+	case ROpt:
+		return 1 + RegexSize(t.Arg)
+	default:
+		panic(fmt.Sprintf("strlang: unknown regex node %T", r))
+	}
+}
+
+// MapRegexSymbols returns r with every symbol s replaced by f(s).
+func MapRegexSymbols(r Regex, f func(Symbol) Symbol) Regex {
+	switch t := r.(type) {
+	case REmpty, REps:
+		return r
+	case RSym:
+		return RSym{f(t.Sym)}
+	case RConcat:
+		args := make([]Regex, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = MapRegexSymbols(a, f)
+		}
+		return RConcat{args}
+	case RAlt:
+		args := make([]Regex, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = MapRegexSymbols(a, f)
+		}
+		return RAlt{args}
+	case RStar:
+		return RStar{MapRegexSymbols(t.Arg, f)}
+	case RPlus:
+		return RPlus{MapRegexSymbols(t.Arg, f)}
+	case ROpt:
+		return ROpt{MapRegexSymbols(t.Arg, f)}
+	default:
+		panic(fmt.Sprintf("strlang: unknown regex node %T", r))
+	}
+}

@@ -1,0 +1,143 @@
+package strlang
+
+import (
+	"testing"
+)
+
+func TestParseRegex(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical re-print
+	}{
+		{"a", "a"},
+		{"a b", "a b"},
+		{"a,b", "a b"},
+		{"a | b c", "a | b c"},
+		{"(a | b) c", "(a | b) c"},
+		{"a* b+ c?", "a* b+ c?"},
+		{"country, Good, (index | value, year)", "country Good (index | value year)"},
+		{"ε", "ε"},
+		{"EPSILON", "ε"},
+		{"∅", "∅"},
+		{"EMPTYSET", "∅"},
+		{"(a b)*", "(a b)*"},
+		{"nationalIndex*", "nationalIndex*"},
+		{"a~1 (b~2)*", "a~1 b~2*"},
+	}
+	for _, c := range cases {
+		r, err := ParseRegex(c.src)
+		if err != nil {
+			t.Errorf("ParseRegex(%q): %v", c.src, err)
+			continue
+		}
+		if got := RegexString(r); got != c.want {
+			t.Errorf("ParseRegex(%q) prints %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "(a", "a)", "|", "a |", "*"} {
+		if _, err := ParseRegex(src); err == nil {
+			t.Errorf("ParseRegex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"a* b c*",
+		"(a b)+",
+		"averages (natIndA | natIndB)*",
+		"a | b | c d e",
+		"((a b)? c)*",
+	} {
+		r1 := MustParseRegex(src)
+		r2 := MustParseRegex(RegexString(r1))
+		if ok, w := Equivalent(RegexNFA(r1), RegexNFA(r2)); !ok {
+			t.Errorf("round trip of %q changed language, witness %v", src, w)
+		}
+	}
+}
+
+func TestGlushkovBasic(t *testing.T) {
+	a := RegexNFA(MustParseRegex("a* b c*"))
+	cases := []struct {
+		w    string
+		want bool
+	}{
+		{"b", true}, {"ab", true}, {"abc", true}, {"aabcc", true},
+		{"", false}, {"a", false}, {"c", false}, {"ba", false}, {"cb", false},
+	}
+	for _, c := range cases {
+		if got := a.Accepts(str(c.w)); got != c.want {
+			t.Errorf("a*bc* on %q = %v, want %v", c.w, got, c.want)
+		}
+	}
+	// Glushkov automata are ε-free.
+	for q := 0; q < a.NumStates(); q++ {
+		if len(a.eps[q]) != 0 {
+			t.Fatal("Glushkov automaton has ε-transitions")
+		}
+	}
+}
+
+func TestRegexDeterministic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a* b c*", true},
+		{"(a b)*", true},
+		{"(a b?)*", true},
+		{"(a|b)* a", false},   // Glushkov-nondeterministic (language IS 1-unambiguous)
+		{"(b* a)+ | ε", true}, // equivalent deterministic form of (a|b)*a... not exactly; still a dRE syntactically
+		{"(a|b)* a (a|b)", false},
+		{"a a* | ε", true},
+		{"a* a", false},
+		{"country Good (index | value year)", true},
+		{"averages (natIndA natIndB)+", true},
+	}
+	for _, c := range cases {
+		r := MustParseRegex(c.src)
+		got, _ := RegexDeterministic(r)
+		if got != c.want {
+			t.Errorf("RegexDeterministic(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestRegexSymbolsAndSize(t *testing.T) {
+	r := MustParseRegex("a (b | a c)*")
+	syms := RegexSymbols(r)
+	if len(syms) != 3 || syms[0] != "a" || syms[1] != "b" || syms[2] != "c" {
+		t.Errorf("RegexSymbols = %v", syms)
+	}
+	if RegexSize(r) < 5 {
+		t.Errorf("RegexSize = %d too small", RegexSize(r))
+	}
+}
+
+func TestMapRegexSymbols(t *testing.T) {
+	r := MustParseRegex("a (b | a)*")
+	m := MapRegexSymbols(r, func(s Symbol) Symbol { return s + "~1" })
+	if got := RegexString(m); got != "a~1 (b~1 | a~1)*" {
+		t.Errorf("MapRegexSymbols = %q", got)
+	}
+}
+
+func TestRegexFromNFA(t *testing.T) {
+	for _, src := range []string{
+		"a* b c*",
+		"(a b)+",
+		"a | b c | ε",
+		"(a (b a)*)?",
+		"∅",
+	} {
+		a := RegexNFA(MustParseRegex(src))
+		back := RegexFromNFA(a)
+		if ok, w := Equivalent(a, RegexNFA(back)); !ok {
+			t.Errorf("RegexFromNFA(%q) = %q wrong, witness %v", src, RegexString(back), w)
+		}
+	}
+}

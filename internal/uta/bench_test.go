@@ -1,0 +1,63 @@
+package uta
+
+import (
+	"testing"
+
+	"dxml/internal/xmltree"
+)
+
+func benchAutomaton(b *testing.B) *NUTA {
+	b.Helper()
+	return dtdNUTA(b, "s", map[string]string{
+		"s": "a* b c?",
+		"a": "c*",
+		"b": "(a | c)*",
+	})
+}
+
+func benchTree(n int) *xmltree.Tree {
+	t := xmltree.MustParse("s(b)")
+	for i := 0; i < n; i++ {
+		t.Children = append([]*xmltree.Tree{xmltree.MustParse("a(c c)")}, t.Children...)
+	}
+	return t
+}
+
+func BenchmarkNUTAMembership(b *testing.B) {
+	a := benchAutomaton(b)
+	t := benchTree(100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !a.Accepts(t) {
+			b.Fatal("should accept")
+		}
+	}
+}
+
+func BenchmarkDeterminizeUTA(b *testing.B) {
+	a := benchAutomaton(b)
+	for i := 0; i < b.N; i++ {
+		d := Determinize(a, nil)
+		d.Explore()
+	}
+}
+
+func BenchmarkUTAInclusion(b *testing.B) {
+	small := dtdNUTA(b, "s", map[string]string{"s": "a b", "a": "c?"})
+	big := dtdNUTA(b, "s", map[string]string{"s": "a* b", "a": "c*"})
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Included(small, big); !ok {
+			b.Fatal("inclusion should hold")
+		}
+	}
+}
+
+func BenchmarkUTAIntersectEmptiness(b *testing.B) {
+	l1 := dtdNUTA(b, "s", map[string]string{"s": "a*", "a": "b?"})
+	l2 := dtdNUTA(b, "s", map[string]string{"s": "a a", "a": "b"})
+	for i := 0; i < b.N; i++ {
+		if Intersect(l1, l2).IsEmpty() {
+			b.Fatal("intersection should be nonempty")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package uta
+
+import (
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// Included reports whether [a] ⊆ [b]. When inclusion fails it returns a
+// witness tree in [a] − [b]. The check runs the classical product of a with
+// the (lazily determinized) complement of b; it is EXPTIME in the worst
+// case, matching the lower bound for equiv[R-EDTD] (Theorem 4.7).
+func Included(a, b *NUTA) (bool, *xmltree.Tree) {
+	labels := map[string]struct{}{}
+	for _, l := range a.Labels() {
+		labels[l] = struct{}{}
+	}
+	for _, l := range b.Labels() {
+		labels[l] = struct{}{}
+	}
+	var labelList []string
+	for l := range labels {
+		labelList = append(labelList, l)
+	}
+	sortStrings(labelList)
+	db := Determinize(b, labelList)
+
+	// Discovered pairs (q of a, d-state of b) with a witness tree each.
+	witness := map[inclPair]*xmltree.Tree{}
+	var order []inclPair
+
+	addPair := func(p inclPair, t *xmltree.Tree) {
+		if _, ok := witness[p]; ok {
+			return
+		}
+		witness[p] = t
+		order = append(order, p)
+	}
+
+	// Iterate to a fixpoint: for every label and every a-state q with a
+	// content language, search for accepted child sequences over known
+	// pairs, jointly tracking b's product state.
+	for {
+		grew := false
+		for _, label := range labelList {
+			lp := db.product(label)
+			for _, q := range a.statesFor(label) {
+				nfa := a.Delta(q, label).WithoutEps()
+				grew = searchPairs(a, db, lp, label, q, nfa, witness, &order, addPair) || grew
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	for p, t := range witness {
+		if a.finals.Has(p.q) && !db.IsFinal(p.d) {
+			return false, t
+		}
+	}
+	return true, nil
+}
+
+// inclPair is a discovered (a-state, b-d-state) pair in the inclusion
+// fixpoint.
+type inclPair struct{ q, d int }
+
+// searchPairs explores the joint graph of (single NFA state of a's content
+// automaton — a is nondeterministic, so single-state tracking suffices) ×
+// (b product state), stepping by known pairs, and registers every
+// (q, signature) pair reachable at an accepting NFA state. Returns whether
+// a new pair was added.
+func searchPairs(a *NUTA, db *DUTA, lp *labelProduct, label string, q int,
+	nfa *strlang.NFA, witness map[inclPair]*xmltree.Tree,
+	order *[]inclPair,
+	addPair func(inclPair, *xmltree.Tree)) bool {
+
+	type pair = inclPair
+	type node struct {
+		x int // NFA state of a's content automaton
+		p int // product state of b for this label
+	}
+	type entry struct {
+		n        node
+		children []*xmltree.Tree
+	}
+	startNode := node{nfa.Start(), lp.start}
+	seen := map[node]bool{startNode: true}
+	queue := []entry{{startNode, nil}}
+	before := len(*order)
+
+	emit := func(e entry) {
+		if nfa.IsFinal(e.n.x) {
+			sig := lp.sig[e.n.p]
+			addPair(pair{q, sig}, xmltree.New(label, e.children...))
+		}
+	}
+	emit(queue[0])
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		// Step by every known pair (q', d').
+		for i := 0; i < len(*order); i++ {
+			cp := (*order)[i]
+			targets := nfa.Succ(e.n.x, StateSym(cp.q))
+			if len(targets) == 0 {
+				continue
+			}
+			np := db.step(lp, e.n.p, cp.d)
+			for _, x2 := range targets {
+				n2 := node{x2, np}
+				if seen[n2] {
+					continue
+				}
+				seen[n2] = true
+				children := append(append([]*xmltree.Tree{}, e.children...), witness[cp].Clone())
+				e2 := entry{n2, children}
+				emit(e2)
+				queue = append(queue, e2)
+			}
+		}
+	}
+	return len(*order) > before
+}
+
+// Equivalent reports whether [a] = [b]; on failure it returns a witness
+// tree in the symmetric difference.
+func Equivalent(a, b *NUTA) (bool, *xmltree.Tree) {
+	if ok, t := Included(a, b); !ok {
+		return false, t
+	}
+	if ok, t := Included(b, a); !ok {
+		return false, t
+	}
+	return true, nil
+}

@@ -1,0 +1,90 @@
+package uta
+
+import (
+	"dxml/internal/strlang"
+)
+
+// Intersect returns a tree automaton for [a] ∩ [b] by the product
+// construction: states are pairs, and the horizontal languages are products
+// of the content automata reading pair symbols.
+func Intersect(a, b *NUTA) *NUTA {
+	na, nb := a.NumStates(), b.NumStates()
+	pairID := func(p, q int) int { return p*nb + q }
+	out := NewNUTA(na * nb)
+	// Only labels known to both sides can carry transitions.
+	for _, l := range a.Labels() {
+		for p := 0; p < na; p++ {
+			ca := a.Delta(p, l)
+			if ca == nil {
+				continue
+			}
+			for q := 0; q < nb; q++ {
+				cb := b.Delta(q, l)
+				if cb == nil {
+					continue
+				}
+				out.SetDelta(pairID(p, q), l, productWordNFA(ca, cb, nb, pairID))
+			}
+		}
+	}
+	for p := range a.finals {
+		for q := range b.finals {
+			out.MarkFinal(pairID(p, q))
+		}
+	}
+	return out
+}
+
+// productWordNFA builds the word automaton accepting sequences of pair
+// symbols whose projections are accepted by ca (first components) and cb
+// (second components) respectively.
+func productWordNFA(ca, cb *strlang.NFA, nb int, pairID func(int, int) int) *strlang.NFA {
+	ea, eb := ca.WithoutEps(), cb.WithoutEps()
+	out := strlang.NewNFA()
+	type node struct{ x, y int }
+	ids := map[node]int{}
+	var order []node
+	get := func(n node) int {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		var id int
+		if len(ids) == 0 {
+			id = out.Start()
+		} else {
+			id = out.AddState()
+		}
+		ids[n] = id
+		order = append(order, n)
+		if ea.IsFinal(n.x) && eb.IsFinal(n.y) {
+			out.MarkFinal(id)
+		}
+		return id
+	}
+	get(node{ea.Start(), eb.Start()})
+	for i := 0; i < len(order); i++ {
+		n := order[i]
+		from := ids[n]
+		for _, symA := range ea.Alphabet() {
+			tsA := ea.Succ(n.x, symA)
+			if len(tsA) == 0 {
+				continue
+			}
+			p := SymState(symA)
+			for _, symB := range eb.Alphabet() {
+				tsB := eb.Succ(n.y, symB)
+				if len(tsB) == 0 {
+					continue
+				}
+				q := SymState(symB)
+				sym := StateSym(pairID(p, q))
+				for _, ta := range tsA {
+					for _, tb := range tsB {
+						out.AddTransition(from, sym, get(node{ta, tb}))
+					}
+				}
+			}
+		}
+	}
+	return out
+}

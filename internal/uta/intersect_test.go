@@ -1,0 +1,112 @@
+package uta
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+func TestIntersectBasic(t *testing.T) {
+	// L1: s with a* children; L2: s with exactly two children drawn from
+	// {a, b}. Intersection: s(a a).
+	l1 := dtdNUTA(t, "s", map[string]string{"s": "a*"})
+	l2 := dtdNUTA(t, "s", map[string]string{"s": "(a|b) (a|b)"})
+	inter := Intersect(l1, l2)
+	if inter.IsEmpty() {
+		t.Fatal("intersection should be nonempty")
+	}
+	cases := []struct {
+		tree string
+		want bool
+	}{
+		{"s(a a)", true},
+		{"s(a)", false},
+		{"s(a b)", false},
+		{"s(a a a)", false},
+	}
+	for _, c := range cases {
+		if got := inter.Accepts(xmltree.MustParse(c.tree)); got != c.want {
+			t.Errorf("Intersect on %s = %v, want %v", c.tree, got, c.want)
+		}
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	l1 := dtdNUTA(t, "s", map[string]string{"s": "a"})
+	l2 := dtdNUTA(t, "s", map[string]string{"s": "b"})
+	if !Intersect(l1, l2).IsEmpty() {
+		t.Error("disjoint languages should intersect to ∅")
+	}
+	// Different roots.
+	l3 := dtdNUTA(t, "t", map[string]string{"t": "a"})
+	if !Intersect(l1, l3).IsEmpty() {
+		t.Error("different roots should intersect to ∅")
+	}
+}
+
+func TestIntersectAgreesWithMembership(t *testing.T) {
+	l1 := dtdNUTA(t, "s", map[string]string{"s": "a* b?", "a": "c?"})
+	l2 := dtdNUTA(t, "s", map[string]string{"s": "a a* | b", "a": "c*"})
+	inter := Intersect(l1, l2)
+	r := rand.New(rand.NewSource(13))
+	labels := []string{"s", "a", "b", "c"}
+	var gen func(depth int) *xmltree.Tree
+	gen = func(depth int) *xmltree.Tree {
+		tr := &xmltree.Tree{Label: labels[r.Intn(len(labels))]}
+		if depth > 0 {
+			for i := r.Intn(3); i > 0; i-- {
+				tr.Children = append(tr.Children, gen(depth-1))
+			}
+		}
+		return tr
+	}
+	for i := 0; i < 300; i++ {
+		tr := gen(2)
+		want := l1.Accepts(tr) && l2.Accepts(tr)
+		if got := inter.Accepts(tr); got != want {
+			t.Fatalf("Intersect disagrees on %s: got %v want %v", tr, got, want)
+		}
+	}
+}
+
+func TestDeterminizeContentDFA(t *testing.T) {
+	a := dtdNUTA(t, "s", map[string]string{"s": "a a | b"})
+	d := Determinize(a, nil)
+	d.Explore()
+	// The d-state of leaf a.
+	aID := d.StateOf(xmltree.MustParse("a"))
+	sID := d.StateOf(xmltree.MustParse("s(a a)"))
+	if !d.IsFinal(sID) {
+		t.Fatal("s(a a) should be accepting")
+	}
+	// The content DFA of label s for the accepting d-state accepts the
+	// sequence [aID aID] and rejects [aID].
+	dfa := d.ContentDFA("s", sID)
+	if !dfa.Accepts([]strlang.Symbol{StateSym(aID), StateSym(aID)}) {
+		t.Error("content DFA rejects aa")
+	}
+	if dfa.Accepts([]strlang.Symbol{StateSym(aID)}) {
+		t.Error("content DFA accepts a single a")
+	}
+}
+
+func TestDUTAUnknownLabel(t *testing.T) {
+	a := dtdNUTA(t, "s", map[string]string{"s": "a"})
+	d := Determinize(a, []string{"zz"})
+	if got := d.StateOf(xmltree.MustParse("zz")); got != d.EmptyID() {
+		t.Errorf("unknown label should get the empty d-state, got %d", got)
+	}
+	if d.Accepts(xmltree.MustParse("s(zz)")) {
+		t.Error("tree with unknown label accepted")
+	}
+}
+
+func TestSymStateRoundTrip(t *testing.T) {
+	for _, q := range []int{0, 1, 17, 12345} {
+		if SymState(StateSym(q)) != q {
+			t.Errorf("round trip failed for %d", q)
+		}
+	}
+}

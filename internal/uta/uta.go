@@ -1,0 +1,280 @@
+// Package uta implements unranked tree automata (Section 2.1.3 of the
+// paper): nondeterministic unranked tree automata (nUTA), membership,
+// emptiness, bottom-up determinization (dUTA), and language inclusion and
+// equivalence. These are the engines behind equiv[R-EDTD] (Theorem 4.7) and
+// the normalization of R-EDTDs (Lemma 4.10).
+package uta
+
+import (
+	"fmt"
+	"strconv"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// StateSym encodes a UTA state id as a symbol for the horizontal word
+// automata (the content languages Δ(q, a) are word languages over states).
+func StateSym(q int) strlang.Symbol { return strconv.Itoa(q) }
+
+// SymState decodes a state symbol.
+func SymState(s strlang.Symbol) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		panic(fmt.Sprintf("uta: bad state symbol %q", s))
+	}
+	return v
+}
+
+// NUTA is a nondeterministic unranked tree automaton A = ⟨K, Σ, Δ, F⟩:
+// Δ maps (state, label) pairs to word automata over state symbols. A tree t
+// is accepted if some state assignment µ exists with µ(root) ∈ F and, for
+// every node x, µ(children(x)) ∈ [Δ(µ(x), lab(x))] (with the empty word for
+// leaves).
+type NUTA struct {
+	numStates int
+	finals    strlang.IntSet
+	delta     map[deltaKey]*strlang.NFA
+	labels    map[string]struct{}
+}
+
+type deltaKey struct {
+	state int
+	label string
+}
+
+// NewNUTA returns an automaton with n states and no transitions.
+func NewNUTA(n int) *NUTA {
+	return &NUTA{
+		numStates: n,
+		finals:    strlang.NewIntSet(),
+		delta:     map[deltaKey]*strlang.NFA{},
+		labels:    map[string]struct{}{},
+	}
+}
+
+// AddState adds a state and returns its id.
+func (a *NUTA) AddState() int {
+	a.numStates++
+	return a.numStates - 1
+}
+
+// NumStates returns the number of states.
+func (a *NUTA) NumStates() int { return a.numStates }
+
+// MarkFinal makes q final (a root-accepting state).
+func (a *NUTA) MarkFinal(q int) { a.finals.Add(q) }
+
+// Finals returns the final states (shared).
+func (a *NUTA) Finals() strlang.IntSet { return a.finals }
+
+// SetDelta sets Δ(q, label) to the given word automaton over state symbols.
+func (a *NUTA) SetDelta(q int, label string, content *strlang.NFA) {
+	a.delta[deltaKey{q, label}] = content
+	a.labels[label] = struct{}{}
+}
+
+// Delta returns Δ(q, label), or nil when undefined (empty content
+// language).
+func (a *NUTA) Delta(q int, label string) *strlang.NFA {
+	return a.delta[deltaKey{q, label}]
+}
+
+// Labels returns the sorted label alphabet of the automaton.
+func (a *NUTA) Labels() []string {
+	out := make([]string, 0, len(a.labels))
+	for l := range a.labels {
+		out = append(out, l)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// statesFor returns the states q with Δ(q, label) defined, sorted.
+func (a *NUTA) statesFor(label string) []int {
+	var out []int
+	for q := 0; q < a.numStates; q++ {
+		if a.Delta(q, label) != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// PossibleStates returns the set of states the automaton may assign to the
+// root of t (the standard bottom-up membership computation; polynomial).
+func (a *NUTA) PossibleStates(t *xmltree.Tree) strlang.IntSet {
+	childSets := make([]strlang.IntSet, len(t.Children))
+	for i, c := range t.Children {
+		childSets[i] = a.PossibleStates(c)
+	}
+	out := strlang.NewIntSet()
+	for _, q := range a.statesFor(t.Label) {
+		nfa := a.Delta(q, t.Label)
+		if acceptsSomeSequence(nfa, childSets) {
+			out.Add(q)
+		}
+	}
+	return out
+}
+
+// acceptsSomeSequence reports whether nfa accepts some word w1…wk with
+// wi ∈ {StateSym(q) : q ∈ sets[i]}.
+func acceptsSomeSequence(nfa *strlang.NFA, sets []strlang.IntSet) bool {
+	cur := nfa.Closure(strlang.NewIntSet(nfa.Start()))
+	for _, set := range sets {
+		next := strlang.NewIntSet()
+		for q := range set {
+			next.AddAll(nfa.Step(cur, StateSym(q)))
+		}
+		cur = next
+		if cur.Len() == 0 {
+			return false
+		}
+	}
+	return cur.Intersects(nfa.Finals())
+}
+
+// Accepts reports whether a accepts t.
+func (a *NUTA) Accepts(t *xmltree.Tree) bool {
+	return a.PossibleStates(t).Intersects(a.finals)
+}
+
+// ReachableStates returns the states q for which some tree is assigned q
+// (the nonempty states), by a least fixpoint.
+func (a *NUTA) ReachableStates() strlang.IntSet {
+	reached := strlang.NewIntSet()
+	for {
+		changed := false
+		for key, nfa := range a.delta {
+			if reached.Has(key.state) {
+				continue
+			}
+			if acceptsSomeWordOver(nfa, reached) {
+				reached.Add(key.state)
+				changed = true
+			}
+		}
+		if !changed {
+			return reached
+		}
+	}
+}
+
+// acceptsSomeWordOver reports whether nfa accepts some word all of whose
+// symbols are state symbols of allowed.
+func acceptsSomeWordOver(nfa *strlang.NFA, allowed strlang.IntSet) bool {
+	cur := nfa.Closure(strlang.NewIntSet(nfa.Start()))
+	seen := cur.Copy()
+	for {
+		if cur.Intersects(nfa.Finals()) {
+			return true
+		}
+		next := strlang.NewIntSet()
+		for q := range allowed {
+			next.AddAll(nfa.Step(cur, StateSym(q)))
+		}
+		grew := false
+		for s := range next {
+			if !seen.Has(s) {
+				seen.Add(s)
+				grew = true
+			}
+		}
+		if !grew {
+			return false
+		}
+		cur = seen.Copy()
+	}
+}
+
+// IsEmpty reports whether [a] = ∅.
+func (a *NUTA) IsEmpty() bool {
+	return !a.ReachableStates().Intersects(a.finals)
+}
+
+// SomeTree returns a smallest-effort witness tree in [a], or nil if the
+// language is empty. It materializes, for each nonempty state, one tree
+// assigned that state.
+func (a *NUTA) SomeTree() *xmltree.Tree {
+	witness := map[int]*xmltree.Tree{}
+	for {
+		changed := false
+		for key, nfa := range a.delta {
+			if _, done := witness[key.state]; done {
+				continue
+			}
+			if seq, ok := someSequence(nfa, witness); ok {
+				witness[key.state] = xmltree.New(key.label, seq...)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for q := range a.finals {
+		if t, ok := witness[q]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// someSequence finds an accepted word of nfa over the state symbols having
+// witnesses, returning the corresponding child trees.
+func someSequence(nfa *strlang.NFA, witness map[int]*xmltree.Tree) ([]*xmltree.Tree, bool) {
+	start := nfa.Closure(strlang.NewIntSet(nfa.Start()))
+	if start.Intersects(nfa.Finals()) {
+		return nil, true
+	}
+	states := make([]int, 0, len(witness))
+	for q := range witness {
+		states = append(states, q)
+	}
+	sortInts(states)
+	// BFS over subset states, remembering the chosen symbol path.
+	type entry struct {
+		set  strlang.IntSet
+		path []int
+	}
+	seen := map[string]bool{start.Key(): true}
+	queue := []entry{{start, nil}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		for _, q := range states {
+			next := nfa.Step(e.set, StateSym(q))
+			if next.Len() == 0 || seen[next.Key()] {
+				continue
+			}
+			seen[next.Key()] = true
+			path := append(append([]int{}, e.path...), q)
+			if next.Intersects(nfa.Finals()) {
+				trees := make([]*xmltree.Tree, len(path))
+				for i, s := range path {
+					trees[i] = witness[s].Clone()
+				}
+				return trees, true
+			}
+			queue = append(queue, entry{next, path})
+		}
+	}
+	return nil, false
+}

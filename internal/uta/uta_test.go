@@ -1,0 +1,248 @@
+package uta
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxml/internal/strlang"
+	"dxml/internal/xmltree"
+)
+
+// dtdNUTA builds an NUTA for a DTD-like language: one state per label,
+// rules maps a label to a regex over labels describing its content model
+// (missing labels are leaves), root is the accepting label.
+func dtdNUTA(t testing.TB, root string, rules map[string]string) *NUTA {
+	t.Helper()
+	// Collect labels.
+	labelSet := map[string]int{}
+	addLabel := func(l string) {
+		if _, ok := labelSet[l]; !ok {
+			labelSet[l] = len(labelSet)
+		}
+	}
+	addLabel(root)
+	for l, re := range rules {
+		addLabel(l)
+		for _, s := range strlang.RegexSymbols(strlang.MustParseRegex(re)) {
+			addLabel(s)
+		}
+	}
+	a := NewNUTA(len(labelSet))
+	for l, q := range labelSet {
+		re, ok := rules[l]
+		if !ok {
+			re = "ε"
+		}
+		rx := strlang.MustParseRegex(re)
+		mapped := strlang.MapRegexSymbols(rx, func(s strlang.Symbol) strlang.Symbol {
+			return StateSym(labelSet[s])
+		})
+		a.SetDelta(q, l, strlang.RegexNFA(mapped))
+	}
+	a.MarkFinal(labelSet[root])
+	return a
+}
+
+func TestNUTAMembership(t *testing.T) {
+	// Language: s(a* b) where a is a leaf and b has content c*.
+	a := dtdNUTA(t, "s", map[string]string{
+		"s": "a* b",
+		"b": "c*",
+	})
+	cases := []struct {
+		tree string
+		want bool
+	}{
+		{"s(b)", true},
+		{"s(a a b)", true},
+		{"s(a b(c c))", true},
+		{"s(a)", false},
+		{"s(b a)", false},
+		{"s(a b(a))", false},
+		{"b(c)", false}, // wrong root
+		{"s(a b) ", true},
+	}
+	for _, c := range cases {
+		tr := xmltree.MustParse(c.tree)
+		if got := a.Accepts(tr); got != c.want {
+			t.Errorf("Accepts(%s) = %v, want %v", c.tree, got, c.want)
+		}
+	}
+}
+
+func TestNUTAWithSpecialization(t *testing.T) {
+	// EDTD-style: root s has content (a1 | a2), both mapping to label a,
+	// where a1 requires a b child and a2 requires a c child.
+	a := NewNUTA(4)
+	const (
+		qs, qa1, qa2, qb = 0, 1, 2, 3
+	)
+	content := func(re string, mapping map[string]int) *strlang.NFA {
+		rx := strlang.MustParseRegex(re)
+		return strlang.RegexNFA(strlang.MapRegexSymbols(rx, func(s strlang.Symbol) strlang.Symbol {
+			return StateSym(mapping[s])
+		}))
+	}
+	a.SetDelta(qs, "s", content("a1 | a2", map[string]int{"a1": qa1, "a2": qa2}))
+	a.SetDelta(qa1, "a", content("b", map[string]int{"b": qb}))
+	a.SetDelta(qa2, "a", content("b b", map[string]int{"b": qb}))
+	a.SetDelta(qb, "b", content("ε", nil))
+	a.MarkFinal(qs)
+
+	if !a.Accepts(xmltree.MustParse("s(a(b))")) {
+		t.Error("s(a(b)) should be accepted")
+	}
+	if !a.Accepts(xmltree.MustParse("s(a(b b))")) {
+		t.Error("s(a(b b)) should be accepted")
+	}
+	if a.Accepts(xmltree.MustParse("s(a(b b b))")) {
+		t.Error("s(a(b b b)) should be rejected")
+	}
+	if a.Accepts(xmltree.MustParse("s(a(b) a(b))")) {
+		t.Error("s(a(b) a(b)) should be rejected")
+	}
+}
+
+func TestEmptinessAndSomeTree(t *testing.T) {
+	a := dtdNUTA(t, "s", map[string]string{"s": "a b?"})
+	if a.IsEmpty() {
+		t.Fatal("nonempty language judged empty")
+	}
+	w := a.SomeTree()
+	if w == nil || !a.Accepts(w) {
+		t.Fatalf("SomeTree returned invalid witness %v", w)
+	}
+
+	// Empty: the root requires an impossible child chain a → a → …
+	b := NewNUTA(1)
+	b.SetDelta(0, "s", strlang.RegexNFA(strlang.MapRegexSymbols(
+		strlang.MustParseRegex("x"),
+		func(strlang.Symbol) strlang.Symbol { return StateSym(0) })))
+	b.MarkFinal(0)
+	if !b.IsEmpty() {
+		t.Error("self-requiring automaton should be empty")
+	}
+	if b.SomeTree() != nil {
+		t.Error("SomeTree on empty language should be nil")
+	}
+}
+
+func TestDeterminizeAgreesWithNUTA(t *testing.T) {
+	a := dtdNUTA(t, "s", map[string]string{
+		"s": "a* b c?",
+		"b": "(a | c)*",
+	})
+	d := Determinize(a, nil)
+	r := rand.New(rand.NewSource(11))
+	labels := []string{"s", "a", "b", "c"}
+	var gen func(depth int) *xmltree.Tree
+	gen = func(depth int) *xmltree.Tree {
+		tr := &xmltree.Tree{Label: labels[r.Intn(len(labels))]}
+		if depth > 0 {
+			for i := r.Intn(4); i > 0; i-- {
+				tr.Children = append(tr.Children, gen(depth-1))
+			}
+		}
+		return tr
+	}
+	for i := 0; i < 400; i++ {
+		tr := gen(3)
+		if got, want := d.Accepts(tr), a.Accepts(tr); got != want {
+			t.Fatalf("DUTA disagrees on %s: duta=%v nuta=%v", tr, got, want)
+		}
+	}
+}
+
+func TestDeterminizeStateSets(t *testing.T) {
+	// Specialization automaton from TestNUTAWithSpecialization: the
+	// d-state of a(b) must be exactly {qa1}, of a(b b) exactly {qa2}.
+	a := NewNUTA(4)
+	content := func(re string, mapping map[string]int) *strlang.NFA {
+		rx := strlang.MustParseRegex(re)
+		return strlang.RegexNFA(strlang.MapRegexSymbols(rx, func(s strlang.Symbol) strlang.Symbol {
+			return StateSym(mapping[s])
+		}))
+	}
+	a.SetDelta(0, "s", content("a1 | a2", map[string]int{"a1": 1, "a2": 2}))
+	a.SetDelta(1, "a", content("b", map[string]int{"b": 3}))
+	a.SetDelta(2, "a", content("b b", map[string]int{"b": 3}))
+	a.SetDelta(3, "b", content("ε", nil))
+	a.MarkFinal(0)
+	d := Determinize(a, nil)
+	s1 := d.StateOf(xmltree.MustParse("a(b)"))
+	s2 := d.StateOf(xmltree.MustParse("a(b b)"))
+	if !d.StateSet(s1).Equal(strlang.NewIntSet(1)) {
+		t.Errorf("d-state of a(b) = %v, want {1}", d.StateSet(s1).Sorted())
+	}
+	if !d.StateSet(s2).Equal(strlang.NewIntSet(2)) {
+		t.Errorf("d-state of a(bb) = %v, want {2}", d.StateSet(s2).Sorted())
+	}
+	s3 := d.StateOf(xmltree.MustParse("a(b b b)"))
+	if d.StateSet(s3).Len() != 0 {
+		t.Errorf("d-state of a(bbb) = %v, want ∅", d.StateSet(s3).Sorted())
+	}
+}
+
+func TestInclusionAndEquivalence(t *testing.T) {
+	small := dtdNUTA(t, "s", map[string]string{"s": "a b"})
+	big := dtdNUTA(t, "s", map[string]string{"s": "a* b"})
+	if ok, _ := Included(small, big); !ok {
+		t.Error("s(ab) ⊆ s(a*b) should hold")
+	}
+	ok, w := Included(big, small)
+	if ok {
+		t.Fatal("s(a*b) ⊆ s(ab) should fail")
+	}
+	if w == nil || !big.Accepts(w) || small.Accepts(w) {
+		t.Errorf("invalid witness %v", w)
+	}
+	eq1 := dtdNUTA(t, "s", map[string]string{"s": "a a* b"})
+	eq2 := dtdNUTA(t, "s", map[string]string{"s": "a+ b"})
+	if ok, w := Equivalent(eq1, eq2); !ok {
+		t.Errorf("a a* b ≡ a+ b should hold, witness %v", w)
+	}
+	if ok, _ := Equivalent(eq1, big); ok {
+		t.Error("a+b ≢ a*b")
+	}
+}
+
+func TestInclusionDeepWitness(t *testing.T) {
+	// Difference only two levels down.
+	x := dtdNUTA(t, "s", map[string]string{"s": "a", "a": "b*"})
+	y := dtdNUTA(t, "s", map[string]string{"s": "a", "a": "b?"})
+	ok, w := Included(x, y)
+	if ok {
+		t.Fatal("inclusion should fail")
+	}
+	if !x.Accepts(w) || y.Accepts(w) {
+		t.Errorf("invalid witness %v", w)
+	}
+}
+
+func TestEquivalenceWithSpecializations(t *testing.T) {
+	// L1: s → (a1 a2)  with [a1] = a(b), [a2] = a(c)
+	// L2: the same language written with swapped state numbering.
+	build := func(swap bool) *NUTA {
+		a := NewNUTA(5)
+		content := func(re string, mapping map[string]int) *strlang.NFA {
+			rx := strlang.MustParseRegex(re)
+			return strlang.RegexNFA(strlang.MapRegexSymbols(rx, func(s strlang.Symbol) strlang.Symbol {
+				return StateSym(mapping[s])
+			}))
+		}
+		q1, q2 := 1, 2
+		if swap {
+			q1, q2 = 2, 1
+		}
+		a.SetDelta(0, "s", content("x y", map[string]int{"x": q1, "y": q2}))
+		a.SetDelta(q1, "a", content("b", map[string]int{"b": 3}))
+		a.SetDelta(q2, "a", content("c", map[string]int{"c": 4}))
+		a.SetDelta(3, "b", content("ε", nil))
+		a.SetDelta(4, "c", content("ε", nil))
+		a.MarkFinal(0)
+		return a
+	}
+	if ok, w := Equivalent(build(false), build(true)); !ok {
+		t.Errorf("renamed specializations should be equivalent, witness %v", w)
+	}
+}

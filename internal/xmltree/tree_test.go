@@ -1,0 +1,165 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"s", "s"},
+		{"s(a b)", "s(a b)"},
+		{"s(a, b)", "s(a b)"},
+		{"s0(a f1 b(f2))", "s0(a f1 b(f2))"},
+		{"eurostat(f1 nationalIndex(f2) f3)", "eurostat(f1 nationalIndex(f2) f3)"},
+		{"s( a ( b ) )", "s(a(b))"},
+	}
+	for _, c := range cases {
+		tr, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := tr.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "s(", "s(a", "s)x", "s a"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSizeChildStrEqual(t *testing.T) {
+	tr := MustParse("s(a(b c) d)")
+	if tr.Size() != 5 {
+		t.Errorf("Size = %d, want 5", tr.Size())
+	}
+	cs := tr.ChildStr()
+	if strings.Join(cs, " ") != "a d" {
+		t.Errorf("ChildStr = %v", cs)
+	}
+	if !tr.Equal(MustParse("s(a(b c) d)")) {
+		t.Error("Equal on identical trees failed")
+	}
+	if tr.Equal(MustParse("s(a(b c) e)")) {
+		t.Error("Equal on different trees succeeded")
+	}
+	cl := tr.Clone()
+	cl.Children[0].Label = "x"
+	if tr.Children[0].Label == "x" {
+		t.Error("Clone is shallow")
+	}
+}
+
+func TestWalkAncStr(t *testing.T) {
+	tr := MustParse("s(a(b) c)")
+	var visits []string
+	tr.Walk(func(n *Tree, anc []string) bool {
+		visits = append(visits, n.Label+":"+strings.Join(anc, "/"))
+		return true
+	})
+	want := []string{"s:s", "a:s/a", "b:s/a/b", "c:s/c"}
+	if strings.Join(visits, " ") != strings.Join(want, " ") {
+		t.Errorf("Walk order = %v, want %v", visits, want)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := MustParse("s(a b c)")
+	count := 0
+	tr.Walk(func(n *Tree, _ []string) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("Walk visited %d nodes after stop, want 2", count)
+	}
+}
+
+func TestLabelsAndMapLabels(t *testing.T) {
+	tr := MustParse("s(a(b) a)")
+	labels := tr.Labels()
+	if strings.Join(labels, " ") != "s a b" {
+		t.Errorf("Labels = %v", labels)
+	}
+	m := tr.MapLabels(func(l string) string { return l + "!" })
+	if m.String() != "s!(a!(b!) a!)" {
+		t.Errorf("MapLabels = %s", m)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	tr := MustParse("eurostat(averages(Good index(value year)) nationalIndex(country Good index(value year)))")
+	xmlStr := tr.XMLString()
+	back, err := ParseXML(xmlStr)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	if !tr.Equal(back) {
+		t.Errorf("XML round trip changed tree:\n%s\nvs\n%s", tr, back)
+	}
+}
+
+func TestFromXMLDropsText(t *testing.T) {
+	tr, err := ParseXML("<a>hello<b>world</b><!-- c --></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.String() != "a(b)" {
+		t.Errorf("got %s, want a(b)", tr)
+	}
+}
+
+func TestFromXMLErrors(t *testing.T) {
+	for _, src := range []string{"", "<a>", "<a></b>", "<a/><b/>"} {
+		if _, err := ParseXML(src); err == nil {
+			t.Errorf("ParseXML(%q) should fail", src)
+		}
+	}
+}
+
+// randomTree builds a random tree for property tests.
+func randomTree(r *rand.Rand, depth int) *Tree {
+	labels := []string{"a", "b", "c", "s"}
+	t := &Tree{Label: labels[r.Intn(len(labels))]}
+	if depth > 0 {
+		n := r.Intn(3)
+		for i := 0; i < n; i++ {
+			t.Children = append(t.Children, randomTree(r, depth-1))
+		}
+	}
+	return t
+}
+
+func TestTermSyntaxRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTree(r, 3)
+		back, err := Parse(tr.String())
+		return err == nil && tr.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXMLRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomTree(r, 3)
+		back, err := ParseXML(tr.XMLString())
+		return err == nil && tr.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FromXML reads an XML document and returns its structural tree: element
+// nodes only, in document order. Character data, comments, processing
+// instructions and attributes are dropped, matching the paper's structural
+// abstraction of XML.
+func FromXML(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Tree
+	var root *Tree
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			n := &Tree{Label: el.Name.Local}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: multiple roots")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: unterminated elements")
+	}
+	return root, nil
+}
+
+// ParseXML parses an XML document from a string.
+func ParseXML(src string) (*Tree, error) { return FromXML(strings.NewReader(src)) }
+
+// ToXML writes t as an XML document with two-space indentation.
+func (t *Tree) ToXML(w io.Writer) error {
+	return t.writeXML(w, 0)
+}
+
+func (t *Tree) writeXML(w io.Writer, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	if len(t.Children) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s/>\n", indent, t.Label)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s>\n", indent, t.Label); err != nil {
+		return err
+	}
+	for _, c := range t.Children {
+		if err := c.writeXML(w, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, t.Label)
+	return err
+}
+
+// XMLString renders t as indented XML.
+func (t *Tree) XMLString() string {
+	var b strings.Builder
+	_ = t.ToXML(&b)
+	return b.String()
+}
