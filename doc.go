@@ -21,7 +21,11 @@
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are
 // re-exported here as type aliases, so the whole system is usable through
-// this single import:
+// this single import. The automaton kernel interns all symbols into dense
+// integer ids and runs on bitset state sets and compact integer transition
+// rows (see internal/strlang); the string-based API here is a thin facade
+// over that representation, so facade users pay the interning cost once
+// per distinct symbol, not once per operation:
 //
 //	tau := dxml.MustParseW3CDTD(dxml.KindNRE, figure3)
 //	kernel := dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")

@@ -1,0 +1,3 @@
+module dxml
+
+go 1.24

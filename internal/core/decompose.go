@@ -41,17 +41,7 @@ func DecomposeCells(autos []*strlang.NFA) []Cell {
 			owner[offset[i]+q] = i
 		}
 	}
-	alphabet := map[strlang.Symbol]struct{}{}
-	for _, a := range eps {
-		for _, s := range a.Alphabet() {
-			alphabet[s] = struct{}{}
-		}
-	}
-	var syms []strlang.Symbol
-	for s := range alphabet {
-		syms = append(syms, s)
-	}
-	sortSyms(syms)
+	syms := strlang.UnionAlphabetIDs(eps...)
 
 	start := strlang.NewIntSet()
 	for i, a := range eps {
@@ -59,7 +49,7 @@ func DecomposeCells(autos []*strlang.NFA) []Cell {
 	}
 	sig := func(set strlang.IntSet) strlang.IntSet {
 		m := strlang.NewIntSet()
-		for q := range set {
+		for q := range set.All() {
 			i := owner[q]
 			if eps[i].IsFinal(q - offset[i]) {
 				m.Add(i)
@@ -67,12 +57,12 @@ func DecomposeCells(autos []*strlang.NFA) []Cell {
 		}
 		return m
 	}
-	step := func(set strlang.IntSet, s strlang.Symbol) strlang.IntSet {
+	step := func(set strlang.IntSet, sid int32) strlang.IntSet {
 		next := strlang.NewIntSet()
-		for q := range set {
+		for q := range set.All() {
 			i := owner[q]
-			for _, t := range eps[i].Succ(q-offset[i], s) {
-				next.Add(offset[i] + t)
+			for _, t := range eps[i].SuccID(q-offset[i], sid) {
+				next.Add(offset[i] + int(t))
 			}
 		}
 		return next
@@ -97,17 +87,17 @@ func DecomposeCells(autos []*strlang.NFA) []Cell {
 	addState(start)
 	type trans struct {
 		from int
-		sym  strlang.Symbol
+		sym  int32
 		to   int
 	}
 	var edges []trans
 	for i := 0; i < len(states); i++ {
-		for _, s := range syms {
-			next := step(states[i].set, s)
+		for _, sid := range syms {
+			next := step(states[i].set, sid)
 			if next.Len() == 0 {
 				continue
 			}
-			edges = append(edges, trans{i, s, addState(next)})
+			edges = append(edges, trans{i, sid, addState(next)})
 		}
 	}
 	// Collect signatures.
@@ -138,20 +128,12 @@ func DecomposeCells(autos []*strlang.NFA) []Cell {
 			}
 		}
 		for _, e := range edges {
-			nfa.AddTransition(e.from, e.sym, e.to)
+			nfa.AddTransitionID(e.from, e.sym, e.to)
 		}
 		trimmed, _ := nfa.Trim()
 		cells = append(cells, Cell{Members: m, Lang: trimmed})
 	}
 	return cells
-}
-
-func sortSyms(s []strlang.Symbol) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 func sortStringsCore(s []string) {

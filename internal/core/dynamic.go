@@ -83,7 +83,7 @@ func quotientAfterLeading(tau *strlang.NFA, f strlang.Symbol) *strlang.NFA {
 	out := tau.Clone()
 	set := tau.Run([]strlang.Symbol{f})
 	fresh := out.AddState()
-	for q := range set {
+	for q := range set.All() {
 		out.AddEps(fresh, q)
 	}
 	out.SetStart(fresh)
@@ -103,10 +103,10 @@ func quotientBeforeTrailing(tau *strlang.NFA, f strlang.Symbol) *strlang.NFA {
 			newFinals.Add(q)
 		}
 	}
-	for q := range out.Finals().Copy() {
+	for q := range out.Finals().Copy().All() {
 		out.ClearFinal(q)
 	}
-	for q := range newFinals {
+	for q := range newFinals.All() {
 		out.MarkFinal(q)
 	}
 	trimmed, _ := out.Trim()

@@ -218,19 +218,17 @@ func expandTags(nfa *strlang.NFA, m int, tag func(string, int) string) *strlang.
 		out.AddState()
 	}
 	out.SetStart(nfa.Start())
-	for q := range nfa.Finals() {
+	for q := range nfa.Finals().All() {
 		out.MarkFinal(q)
 	}
-	for q := 0; q < nfa.NumStates(); q++ {
-		for _, s := range nfa.Alphabet() {
-			for _, t := range nfa.Succ(q, s) {
-				for j := 0; j < m; j++ {
-					out.AddTransition(q, tag(s, j), t)
-				}
-			}
+	nfa.EachTransition(func(from int, s strlang.Symbol, to int) {
+		for j := 0; j < m; j++ {
+			out.AddTransition(from, tag(s, j), to)
 		}
+	})
+	for q := 0; q < nfa.NumStates(); q++ {
 		for _, t := range nfa.EpsSucc(q) {
-			out.AddEps(q, t)
+			out.AddEps(q, int(t))
 		}
 	}
 	return out

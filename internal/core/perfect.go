@@ -62,14 +62,12 @@ func BuildPerfect(target *strlang.NFA, kernel *axml.KernelBox) *PerfectAutomaton
 	}
 	for i := 1; i <= n; i++ {
 		ini := strlang.IniBox(target, kernel.Boxes[i])
-		from := strlang.NewIntSet()
-		for q := range feEnd[i-1] {
-			for t := range reach[q] {
-				if ini.Has(t) {
-					from.Add(t)
-				}
-			}
+		// from = ini ∩ ⋃{reach[q] : q ∈ feEnd[i-1]}, word-wise.
+		acc := strlang.NewIntSet()
+		for q := range feEnd[i-1].All() {
+			acc.AddAll(reach[q])
 		}
+		from := acc.Intersect(ini)
 		fsStart[i] = from
 		feEnd[i] = stepBoxFrom(target, target.Closure(from), kernel.Boxes[i])
 	}
@@ -82,7 +80,7 @@ func BuildPerfect(target *strlang.NFA, kernel *axml.KernelBox) *PerfectAutomaton
 		// viableStart[i]: starts of B_i from which the segment can land in
 		// viableEnd[i].
 		vs := strlang.NewIntSet()
-		for q := range fsStart[i] {
+		for q := range fsStart[i].All() {
 			res := stepBoxFrom(target, target.Closure(strlang.NewIntSet(q)), kernel.Boxes[i])
 			if res.Intersects(p.viableEnd[i]) {
 				vs.Add(q)
@@ -91,7 +89,7 @@ func BuildPerfect(target *strlang.NFA, kernel *axml.KernelBox) *PerfectAutomaton
 		p.viableStart[i] = vs
 		// viableEnd[i-1]: ends of B_{i-1} that can reach some viable start.
 		ve := strlang.NewIntSet()
-		for q := range feEnd[i-1] {
+		for q := range feEnd[i-1].All() {
 			if reach[q].Intersects(vs) {
 				ve.Add(q)
 			}
@@ -201,23 +199,10 @@ func (p *PerfectAutomaton) OmegaNFA() *strlang.NFA {
 	// are the legal Aut(Ωi) members. Glue by endpoint labels.
 	wLayer := make([]map[[2]int]ends, n+1)
 	addCopy := func(la *strlang.NFA) ends {
-		off := out.NumStates()
-		for q := 0; q < la.NumStates(); q++ {
-			out.AddState()
-		}
+		off := out.Graft(la)
 		var fin int
-		for q := 0; q < la.NumStates(); q++ {
-			for _, s := range la.Alphabet() {
-				for _, t := range la.Succ(q, s) {
-					out.AddTransition(off+q, s, off+t)
-				}
-			}
-			for _, t := range la.EpsSucc(q) {
-				out.AddEps(off+q, off+t)
-			}
-			if la.IsFinal(q) {
-				fin = off + q
-			}
+		for q := range la.Finals().All() {
+			fin = off + q
 		}
 		return ends{ini: off + la.Start(), fin: fin}
 	}

@@ -125,7 +125,7 @@ func acceptsOver(a *strlang.NFA, allowed []strlang.Symbol) bool {
 			}
 		}
 		grew := false
-		for q := range next {
+		for q := range next.All() {
 			if !seen.Has(q) {
 				seen.Add(q)
 				grew = true
@@ -262,9 +262,9 @@ func distanceToFinal(a *strlang.NFA) []int {
 		changed := false
 		for q := 0; q < n; q++ {
 			cl := a.Closure(strlang.NewIntSet(q))
-			for p := range cl {
-				for _, sym := range a.Alphabet() {
-					for _, t := range a.Succ(p, sym) {
+			for p := range cl.All() {
+				for _, sid := range a.AlphabetIDs() {
+					for _, t := range a.SuccID(p, sid) {
 						if dist[t] < math.MaxInt32 && dist[t]+1 < dist[q] {
 							dist[q] = dist[t] + 1
 							changed = true
@@ -281,7 +281,7 @@ func distanceToFinal(a *strlang.NFA) []int {
 
 func minDist(dist []int, set strlang.IntSet) int {
 	best := math.MaxInt32
-	for q := range set {
+	for q := range set.All() {
 		if dist[q] < best {
 			best = dist[q]
 		}

@@ -187,17 +187,15 @@ func relabelToStates(nfa *strlang.NFA, idx map[string]int) *strlang.NFA {
 		out.AddState()
 	}
 	out.SetStart(nfa.Start())
-	for q := range nfa.Finals() {
+	for q := range nfa.Finals().All() {
 		out.MarkFinal(q)
 	}
+	nfa.EachTransition(func(from int, s strlang.Symbol, to int) {
+		out.AddTransition(from, uta.StateSym(idx[s]), to)
+	})
 	for q := 0; q < nfa.NumStates(); q++ {
-		for _, s := range nfa.Alphabet() {
-			for _, t := range nfa.Succ(q, s) {
-				out.AddTransition(q, uta.StateSym(idx[s]), t)
-			}
-		}
 		for _, t := range nfa.EpsSucc(q) {
-			out.AddEps(q, t)
+			out.AddEps(q, int(t))
 		}
 	}
 	return out

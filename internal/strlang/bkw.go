@@ -81,7 +81,7 @@ func (b *bkwRun) gatesOf(q int) []int {
 		}
 		isGate := b.d.IsFinal(s)
 		if !isGate {
-			for _, t := range b.d.trans[s] {
+			for _, t := range b.d.trans[s].to {
 				if b.scc[t] != comp {
 					isGate = true
 					break
@@ -110,21 +110,22 @@ func (b *bkwRun) orbitProperty(gates []int, comp int) bool {
 	}
 	// Collect, per symbol, whether any gate exits the orbit on it; if so,
 	// all gates must have the same (defined) target.
-	syms := map[Symbol]struct{}{}
+	var syms Bits
 	for _, g := range gates {
-		for s, t := range b.d.trans[g] {
-			if b.scc[t] != comp {
-				syms[s] = struct{}{}
+		row := &b.d.trans[g]
+		for i, sid := range row.syms {
+			if b.scc[row.to[i]] != comp {
+				syms.Add(int(sid))
 			}
 		}
 	}
-	for s := range syms {
-		t0, ok0 := b.d.Next(g0, s)
+	for sid := range syms.All() {
+		t0, ok0 := b.d.NextID(g0, int32(sid))
 		if !ok0 {
 			return false
 		}
 		for _, g := range gates[1:] {
-			t, ok := b.d.Next(g, s)
+			t, ok := b.d.NextID(g, int32(sid))
 			if !ok || t != t0 {
 				return false
 			}
@@ -161,9 +162,10 @@ func (b *bkwRun) fromUncached(q int) (Regex, bool) {
 	g0 := gates[0]
 	var contTerms []Regex
 	exitSyms := make([]Symbol, 0, 4)
-	for s, t := range b.d.trans[g0] {
-		if b.scc[t] != comp {
-			exitSyms = append(exitSyms, s)
+	g0row := &b.d.trans[g0]
+	for i, sid := range g0row.syms {
+		if b.scc[g0row.to[i]] != comp {
+			exitSyms = append(exitSyms, SymbolName(sid))
 		}
 	}
 	sortSymbols(exitSyms)
@@ -211,9 +213,10 @@ func (b *bkwRun) orbitRegex(q int) (Regex, bool) {
 	}
 	orbit.SetStart(old2new[q])
 	for _, s := range members {
-		for sym, t := range b.d.trans[s] {
-			if b.scc[t] == comp {
-				orbit.SetTransition(old2new[s], sym, old2new[t])
+		row := &b.d.trans[s]
+		for i, sid := range row.syms {
+			if t := row.to[i]; b.scc[t] == comp {
+				orbit.SetTransitionID(old2new[s], sid, old2new[int(t)])
 			}
 		}
 	}
@@ -243,9 +246,9 @@ func stronglyConnectedDRE(d *DFA, build bool) (Regex, bool) {
 		// Single (final) state: the language is C* over the self-loop
 		// symbols C (ε when there are none).
 		var loops []Regex
-		syms := make([]Symbol, 0, len(d.trans[0]))
-		for s := range d.trans[0] {
-			syms = append(syms, s)
+		syms := make([]Symbol, 0, len(d.trans[0].syms))
+		for _, sid := range d.trans[0].syms {
+			syms = append(syms, SymbolName(sid))
 		}
 		sortSymbols(syms)
 		for _, s := range syms {
@@ -259,18 +262,21 @@ func stronglyConnectedDRE(d *DFA, build bool) (Regex, bool) {
 	// Consistent symbols.
 	var consistent []Symbol
 	target := map[Symbol]int{}
-	for s, t := range d.trans[finals[0]] {
+	f0row := &d.trans[finals[0]]
+	for i, sid := range f0row.syms {
+		t := f0row.to[i]
 		allAgree := true
 		for _, f := range finals[1:] {
-			t2, ok := d.Next(f, s)
-			if !ok || t2 != t {
+			t2, ok := d.NextID(f, sid)
+			if !ok || t2 != int(t) {
 				allAgree = false
 				break
 			}
 		}
 		if allAgree {
+			s := SymbolName(sid)
 			consistent = append(consistent, s)
-			target[s] = t
+			target[s] = int(t)
 		}
 	}
 	sortSymbols(consistent)
@@ -283,7 +289,8 @@ func stronglyConnectedDRE(d *DFA, build bool) (Regex, bool) {
 	cut := d.Clone()
 	for _, f := range finals {
 		for _, s := range consistent {
-			delete(cut.trans[f], s)
+			sid, _ := LookupSymID(s)
+			cut.removeTransition(f, sid)
 		}
 	}
 	rStart, ok := bkwSub(cut, cut.Start(), build)
@@ -338,8 +345,8 @@ func sccOf(d *DFA) []int {
 	}
 	succsOf := func(v int) []int {
 		var out []int
-		for _, t := range d.trans[v] {
-			out = append(out, t)
+		for _, t := range d.trans[v].to {
+			out = append(out, int(t))
 		}
 		sort.Ints(out)
 		return out

@@ -1,5 +1,7 @@
 package strlang
 
+import "slices"
+
 // IsEmpty reports whether [a] = ∅.
 func (a *NFA) IsEmpty() bool {
 	return !a.reachableFrom(a.start).Intersects(a.final)
@@ -10,6 +12,13 @@ func (a *NFA) IsEmpty() bool {
 // with the on-the-fly determinization of b).
 func Included(a, b *NFA) (bool, []Symbol) {
 	ea := a.WithoutEps()
+	// Rank symbols by name once, so each BFS node can visit just its own
+	// row's symbols while keeping deterministic (lexicographically
+	// smallest among shortest) witnesses.
+	rank := map[int32]int{}
+	for i, sid := range ea.AlphabetIDs() {
+		rank[sid] = i
+	}
 	type node struct {
 		p   int    // state of ea
 		key string // determinized subset of b
@@ -25,7 +34,7 @@ func Included(a, b *NFA) (bool, []Symbol) {
 	start := node{ea.Start(), intern(b.Closure(NewIntSet(b.Start())))}
 	type parentEdge struct {
 		prev node
-		sym  Symbol
+		sym  int32
 	}
 	parents := map[node]parentEdge{}
 	seen := map[node]bool{start: true}
@@ -34,7 +43,7 @@ func Included(a, b *NFA) (bool, []Symbol) {
 		var rev []Symbol
 		for n != start {
 			pe := parents[n]
-			rev = append(rev, pe.sym)
+			rev = append(rev, SymbolName(pe.sym))
 			n = pe.prev
 		}
 		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -49,34 +58,28 @@ func Included(a, b *NFA) (bool, []Symbol) {
 		if ea.IsFinal(cur.p) && !bs.Intersects(b.Finals()) {
 			return false, witness(cur)
 		}
-		m := ea.trans[cur.p]
-		syms := make([]Symbol, 0, len(m))
-		for s := range m {
-			syms = append(syms, s)
+		row := &ea.trans[cur.p]
+		edges := make([]int, len(row.syms))
+		for i := range row.syms {
+			edges[i] = i
 		}
-		// Sorted for deterministic witnesses.
-		sortSymbols(syms)
-		for _, s := range syms {
-			nextB := intern(b.Step(bs, s))
-			for _, t := range m[s] {
-				n := node{t, nextB}
+		slices.SortFunc(edges, func(x, y int) int {
+			return rank[row.syms[x]] - rank[row.syms[y]]
+		})
+		for _, i := range edges {
+			sid := row.syms[i]
+			nextB := intern(b.StepID(bs, sid))
+			for _, t := range row.ts[i] {
+				n := node{int(t), nextB}
 				if !seen[n] {
 					seen[n] = true
-					parents[n] = parentEdge{cur, s}
+					parents[n] = parentEdge{cur, sid}
 					queue = append(queue, n)
 				}
 			}
 		}
 	}
 	return true, nil
-}
-
-func sortSymbols(s []Symbol) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Equivalent reports whether [a] = [b]. When it does not hold it returns a

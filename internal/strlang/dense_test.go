@@ -1,0 +1,297 @@
+package strlang
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file differentially tests the dense, interned automaton kernel
+// against a deliberately naive "legacy" implementation: string-keyed
+// transition maps, map[int]struct{} state sets with comma-joined keys, and
+// string-signature Moore refinement — the representation the kernel
+// replaced. On randomly generated NFAs (in the style of the generators in
+// internal/core/fuzz_test.go) both pipelines must define exactly the same
+// language and the same minimal-DFA size.
+
+// legacyDFA is a partial DFA in the old map representation.
+type legacyDFA struct {
+	start int
+	final []bool
+	trans []map[Symbol]int
+}
+
+func (d *legacyDFA) accepts(w []Symbol) bool {
+	q := d.start
+	for _, s := range w {
+		t, ok := d.trans[q][s]
+		if !ok {
+			return false
+		}
+		q = t
+	}
+	return d.final[q]
+}
+
+// legacyClosure is the ε-closure computed with map sets.
+func legacyClosure(a *NFA, states map[int]struct{}) map[int]struct{} {
+	out := map[int]struct{}{}
+	var stack []int
+	for q := range states {
+		out[q] = struct{}{}
+		stack = append(stack, q)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.EpsSucc(q) {
+			if _, ok := out[int(t)]; !ok {
+				out[int(t)] = struct{}{}
+				stack = append(stack, int(t))
+			}
+		}
+	}
+	return out
+}
+
+func legacyKey(s map[int]struct{}) string {
+	elems := make([]int, 0, len(s))
+	for e := range s {
+		elems = append(elems, e)
+	}
+	sort.Ints(elems)
+	var b strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	return b.String()
+}
+
+// legacyDeterminize is the subset construction in the old representation,
+// driven entirely through the NFA's public readers.
+func legacyDeterminize(a *NFA) *legacyDFA {
+	alphabet := a.Alphabet()
+	step := func(cur map[int]struct{}, sym Symbol) map[int]struct{} {
+		next := map[int]struct{}{}
+		for q := range cur {
+			for _, t := range a.Succ(q, sym) {
+				next[int(t)] = struct{}{}
+			}
+		}
+		return legacyClosure(a, next)
+	}
+	isFinal := func(s map[int]struct{}) bool {
+		for q := range s {
+			if a.IsFinal(q) {
+				return true
+			}
+		}
+		return false
+	}
+	d := &legacyDFA{}
+	ids := map[string]int{}
+	var sets []map[int]struct{}
+	newState := func(s map[int]struct{}) int {
+		id := len(sets)
+		sets = append(sets, s)
+		ids[legacyKey(s)] = id
+		d.final = append(d.final, isFinal(s))
+		d.trans = append(d.trans, map[Symbol]int{})
+		return id
+	}
+	d.start = newState(legacyClosure(a, map[int]struct{}{a.Start(): {}}))
+	for i := 0; i < len(sets); i++ {
+		for _, sym := range alphabet {
+			next := step(sets[i], sym)
+			if len(next) == 0 {
+				continue
+			}
+			id, ok := ids[legacyKey(next)]
+			if !ok {
+				id = newState(next)
+			}
+			d.trans[i][sym] = id
+		}
+	}
+	return d
+}
+
+// legacyMinimizedSize runs string-signature Moore refinement on the legacy
+// DFA and returns the number of distinct classes among reachable, useful
+// states — the minimal partial DFA size to compare against Minimize().
+func legacyMinimizedSize(d *legacyDFA, alphabet []Symbol) int {
+	n := len(d.final)
+	// Usefulness: reachable ∧ co-reachable (the legacy subset construction
+	// only creates reachable states; co-reachability needs a backward pass).
+	rev := make([][]int, n)
+	for q, m := range d.trans {
+		for _, t := range m {
+			rev[t] = append(rev[t], q)
+		}
+	}
+	useful := map[int]bool{}
+	var stack []int
+	for q := 0; q < n; q++ {
+		if d.final[q] {
+			useful[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !useful[p] {
+				useful[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	if len(useful) == 0 {
+		// Empty language: the minimal trimmed partial DFA is the bare
+		// start state.
+		return 1
+	}
+	class := make(map[int]string, n)
+	for q := range useful {
+		if d.final[q] {
+			class[q] = "F"
+		} else {
+			class[q] = "N"
+		}
+	}
+	for {
+		next := make(map[int]string, n)
+		for q := range useful {
+			var b strings.Builder
+			b.WriteString(class[q])
+			for _, sym := range alphabet {
+				b.WriteByte('|')
+				if t, ok := d.trans[q][sym]; ok && useful[t] {
+					b.WriteString(class[t])
+				} else {
+					b.WriteByte('-')
+				}
+			}
+			next[q] = b.String()
+		}
+		if eq := func() bool {
+			part := map[string]string{}
+			for q := range useful {
+				if prev, ok := part[next[q]]; ok {
+					if prev != class[q] {
+						return false
+					}
+				} else {
+					part[next[q]] = class[q]
+				}
+			}
+			back := map[string]string{}
+			for q := range useful {
+				if prev, ok := back[class[q]]; ok {
+					if prev != next[q] {
+						return false
+					}
+				} else {
+					back[class[q]] = next[q]
+				}
+			}
+			return true
+		}(); eq {
+			break
+		}
+		class = next
+	}
+	distinct := map[string]bool{}
+	for q := range useful {
+		distinct[class[q]] = true
+	}
+	return len(distinct)
+}
+
+// randomNFA generates a random NFA over a small alphabet with ε-edges,
+// mirroring the random-design generators of internal/core/fuzz_test.go at
+// the automaton level.
+func randomNFA(r *rand.Rand) *NFA {
+	alphabet := []Symbol{"a", "b", "c"}
+	a := NewNFA()
+	n := 1 + r.Intn(7)
+	for i := 1; i < n; i++ {
+		a.AddState()
+	}
+	edges := r.Intn(3 * n)
+	for i := 0; i < edges; i++ {
+		a.AddTransition(r.Intn(n), alphabet[r.Intn(len(alphabet))], r.Intn(n))
+	}
+	epsEdges := r.Intn(n)
+	for i := 0; i < epsEdges; i++ {
+		from, to := r.Intn(n), r.Intn(n)
+		if from != to {
+			a.AddEps(from, to)
+		}
+	}
+	finals := 1 + r.Intn(n)
+	for i := 0; i < finals; i++ {
+		a.MarkFinal(r.Intn(n))
+	}
+	return a
+}
+
+// randomWord draws a word of length ≤ 6 over {a,b,c}.
+func randomWord(r *rand.Rand) []Symbol {
+	alphabet := []Symbol{"a", "b", "c"}
+	w := make([]Symbol, r.Intn(7))
+	for i := range w {
+		w[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return w
+}
+
+func TestDenseDeterminizeMatchesLegacy(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 300; trial++ {
+		a := randomNFA(r)
+		label := fmt.Sprintf("trial %d:\n%s", trial, a)
+
+		legacy := legacyDeterminize(a)
+		dense := a.Determinize()
+		minimal := dense.Minimize()
+
+		// The three DFAs and the NFA must define the same language.
+		for i := 0; i < 60; i++ {
+			w := randomWord(r)
+			want := a.Accepts(w)
+			if got := legacy.accepts(w); got != want {
+				t.Fatalf("%s\nlegacy accepts %v = %v, NFA says %v", label, w, got, want)
+			}
+			if got := dense.Accepts(w); got != want {
+				t.Fatalf("%s\ndense accepts %v = %v, NFA says %v", label, w, got, want)
+			}
+			if got := minimal.Accepts(w); got != want {
+				t.Fatalf("%s\nminimal accepts %v = %v, NFA says %v", label, w, got, want)
+			}
+		}
+		// Exhaustive equivalence via the decision procedure.
+		if ok, w := Equivalent(minimal.NFA(), a); !ok {
+			t.Fatalf("%s\nMinimize changed the language, witness %v", label, w)
+		}
+		// Both minimization pipelines must land on the same state count.
+		wantStates := legacyMinimizedSize(legacy, a.Alphabet())
+		if minimal.NumStates() != wantStates {
+			t.Fatalf("%s\nMinimize has %d states, legacy Moore says %d",
+				label, minimal.NumStates(), wantStates)
+		}
+		// Subset-construction state counts agree too (same reachable
+		// subsets, both omitting the empty set).
+		if dense.NumStates() != len(legacy.final) {
+			t.Fatalf("%s\ndense Determinize has %d states, legacy %d",
+				label, dense.NumStates(), len(legacy.final))
+		}
+	}
+}

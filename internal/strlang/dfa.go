@@ -1,15 +1,61 @@
 package strlang
 
 import (
+	"slices"
 	"sort"
 )
 
+// dfaRow is a state's transition table: parallel slices sorted by interned
+// symbol id. An absent entry means δ is undefined there.
+type dfaRow struct {
+	syms []int32 // sorted distinct symbol ids
+	to   []int32 // parallel targets
+}
+
+// get returns the target for sid and whether it is defined.
+func (r *dfaRow) get(sid int32) (int32, bool) {
+	if i, ok := slices.BinarySearch(r.syms, sid); ok {
+		return r.to[i], true
+	}
+	return 0, false
+}
+
+// set defines δ for sid, reporting whether sid is new to this row.
+func (r *dfaRow) set(sid, to int32) (newSym bool) {
+	i, ok := slices.BinarySearch(r.syms, sid)
+	if !ok {
+		r.syms = slices.Insert(r.syms, i, sid)
+		r.to = slices.Insert(r.to, i, to)
+		return true
+	}
+	r.to[i] = to
+	return false
+}
+
+// remove undefines δ for sid.
+func (r *dfaRow) remove(sid int32) {
+	if i, ok := slices.BinarySearch(r.syms, sid); ok {
+		r.syms = slices.Delete(r.syms, i, i+1)
+		r.to = slices.Delete(r.to, i, i+1)
+	}
+}
+
+func (r *dfaRow) clone() dfaRow {
+	return dfaRow{syms: slices.Clone(r.syms), to: slices.Clone(r.to)}
+}
+
 // DFA is a partial deterministic finite automaton: a missing transition
-// rejects. States are 0..NumStates()-1.
+// rejects. States are 0..NumStates()-1. Transitions are keyed by interned
+// symbol id in compact sorted rows; the alphabet is cached until the next
+// mutation.
 type DFA struct {
 	start int
 	final []bool
-	trans []map[Symbol]int
+	trans []dfaRow
+
+	// alpha caches the symbol ids with at least one defined transition,
+	// sorted by symbol name; nil means dirty.
+	alpha []int32
 }
 
 // NewDFA returns a DFA with a single non-final start state.
@@ -22,7 +68,7 @@ func NewDFA() *DFA {
 // AddState adds a state and returns its id.
 func (d *DFA) AddState(final bool) int {
 	d.final = append(d.final, final)
-	d.trans = append(d.trans, nil)
+	d.trans = append(d.trans, dfaRow{})
 	return len(d.final) - 1
 }
 
@@ -46,34 +92,59 @@ func (d *DFA) SetTransition(from int, sym Symbol, to int) {
 	if sym == "" {
 		panic("strlang: empty symbol in DFA transition")
 	}
-	if d.trans[from] == nil {
-		d.trans[from] = make(map[Symbol]int)
+	d.SetTransitionID(from, Intern(sym), to)
+}
+
+// SetTransitionID sets δ(from, sid) = to by interned symbol id.
+func (d *DFA) SetTransitionID(from int, sid int32, to int) {
+	if d.trans[from].set(sid, int32(to)) {
+		d.alpha = nil
 	}
-	d.trans[from][sym] = to
+}
+
+// removeTransition makes δ(from, sid) undefined.
+func (d *DFA) removeTransition(from int, sid int32) {
+	d.trans[from].remove(sid)
+	d.alpha = nil
 }
 
 // Next returns δ(q, sym) and whether it is defined.
 func (d *DFA) Next(q int, sym Symbol) (int, bool) {
-	if d.trans[q] == nil {
+	sid, ok := LookupSymID(sym)
+	if !ok {
 		return 0, false
 	}
-	t, ok := d.trans[q][sym]
-	return t, ok
+	return d.NextID(q, sid)
+}
+
+// NextID is Next by interned symbol id.
+func (d *DFA) NextID(q int, sid int32) (int, bool) {
+	t, ok := d.trans[q].get(sid)
+	return int(t), ok
+}
+
+// AlphabetIDs returns the interned ids of symbols with a defined
+// transition, sorted by symbol name (shared slice; do not mutate).
+func (d *DFA) AlphabetIDs() []int32 {
+	if d.alpha == nil {
+		d.alpha = collectAlphabet(func(yield func(int32)) {
+			for q := range d.trans {
+				for _, sid := range d.trans[q].syms {
+					yield(sid)
+				}
+			}
+		})
+	}
+	return d.alpha
 }
 
 // Alphabet returns the sorted symbols appearing on transitions.
 func (d *DFA) Alphabet() []Symbol {
-	set := map[Symbol]struct{}{}
-	for _, m := range d.trans {
-		for s := range m {
-			set[s] = struct{}{}
-		}
+	ids := d.AlphabetIDs()
+	out := make([]Symbol, len(ids))
+	for i, id := range ids {
+		out[i] = SymbolName(id)
 	}
-	out := make([]Symbol, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
 	return out
 }
 
@@ -92,18 +163,11 @@ func (d *DFA) Accepts(w []Symbol) bool {
 
 // Clone returns a deep copy of d.
 func (d *DFA) Clone() *DFA {
-	b := &DFA{start: d.start}
-	b.final = append([]bool(nil), d.final...)
-	b.trans = make([]map[Symbol]int, len(d.trans))
-	for q, m := range d.trans {
-		if m == nil {
-			continue
-		}
-		mm := make(map[Symbol]int, len(m))
-		for s, t := range m {
-			mm[s] = t
-		}
-		b.trans[q] = mm
+	b := &DFA{start: d.start, alpha: d.alpha}
+	b.final = slices.Clone(d.final)
+	b.trans = make([]dfaRow, len(d.trans))
+	for q := range d.trans {
+		b.trans[q] = d.trans[q].clone()
 	}
 	return b
 }
@@ -117,19 +181,22 @@ func (d *DFA) NFA() *NFA {
 			a.MarkFinal(q)
 		}
 	}
-	for q, m := range d.trans {
-		for s, t := range m {
-			a.AddTransition(q, s, t)
+	for q := range d.trans {
+		row := &d.trans[q]
+		for i, sid := range row.syms {
+			a.AddTransitionID(q, sid, int(row.to[i]))
 		}
 	}
 	return a
 }
 
 // Determinize converts a to an equivalent partial DFA by the subset
-// construction (the empty subset is not materialized).
+// construction (the empty subset is not materialized). Subsets are
+// bitsets keyed by their packed word encoding, and each symbol is stepped
+// by interned id over the precomputed ε-closures.
 func (a *NFA) Determinize() *DFA {
 	d := &DFA{}
-	alphabet := a.Alphabet()
+	alphabet := a.AlphabetIDs()
 	startSet := a.Closure(NewIntSet(a.start))
 	ids := map[string]int{}
 	var sets []IntSet
@@ -138,14 +205,14 @@ func (a *NFA) Determinize() *DFA {
 		sets = append(sets, s)
 		ids[s.Key()] = id
 		d.final = append(d.final, s.Intersects(a.final))
-		d.trans = append(d.trans, nil)
+		d.trans = append(d.trans, dfaRow{})
 		return id
 	}
 	d.start = newState(startSet)
 	for i := 0; i < len(sets); i++ {
 		cur := sets[i]
-		for _, sym := range alphabet {
-			next := a.Step(cur, sym)
+		for _, sid := range alphabet {
+			next := a.StepID(cur, sid)
 			if next.Len() == 0 {
 				continue
 			}
@@ -153,7 +220,7 @@ func (a *NFA) Determinize() *DFA {
 			if !ok {
 				id = newState(next)
 			}
-			d.SetTransition(i, sym, id)
+			d.SetTransitionID(i, sid, id)
 		}
 	}
 	return d
@@ -165,56 +232,57 @@ func (d *DFA) Trim() *DFA {
 	n := d.NumStates()
 	// Forward reachability.
 	fwd := NewIntSet(d.start)
-	stack := []int{d.start}
+	stack := []int32{int32(d.start)}
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, t := range d.trans[q] {
-			if !fwd.Has(t) {
-				fwd.Add(t)
+		for _, t := range d.trans[q].to {
+			if !fwd.Has(int(t)) {
+				fwd.Add(int(t))
 				stack = append(stack, t)
 			}
 		}
 	}
 	// Backward from finals.
-	rev := make([][]int, n)
-	for q, m := range d.trans {
-		for _, t := range m {
-			rev[t] = append(rev[t], q)
+	rev := make([][]int32, n)
+	for q := range d.trans {
+		for _, t := range d.trans[q].to {
+			rev[t] = append(rev[t], int32(q))
 		}
 	}
 	bwd := NewIntSet()
 	for q := 0; q < n; q++ {
 		if d.final[q] {
 			bwd.Add(q)
-			stack = append(stack, q)
+			stack = append(stack, int32(q))
 		}
 	}
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, p := range rev[q] {
-			if !bwd.Has(p) {
-				bwd.Add(p)
+			if !bwd.Has(int(p)) {
+				bwd.Add(int(p))
 				stack = append(stack, p)
 			}
 		}
 	}
 	keep := fwd.Intersect(bwd)
 	keep.Add(d.start)
-	old2new := make([]int, n)
+	old2new := make([]int32, n)
 	for i := range old2new {
 		old2new[i] = -1
 	}
 	b := &DFA{}
-	for _, q := range keep.Sorted() {
-		old2new[q] = b.AddState(d.final[q])
+	for q := range keep.All() {
+		old2new[q] = int32(b.AddState(d.final[q]))
 	}
-	b.start = old2new[d.start]
-	for q := range keep {
-		for s, t := range d.trans[q] {
-			if nt := old2new[t]; nt >= 0 {
-				b.SetTransition(old2new[q], s, nt)
+	b.start = int(old2new[d.start])
+	for q := range keep.All() {
+		row := &d.trans[q]
+		for i, sid := range row.syms {
+			if nt := old2new[row.to[i]]; nt >= 0 {
+				b.SetTransitionID(int(old2new[q]), sid, int(nt))
 			}
 		}
 	}
@@ -222,50 +290,44 @@ func (d *DFA) Trim() *DFA {
 }
 
 // Minimize returns the minimal trimmed partial DFA equivalent to d, via
-// Moore partition refinement over the completed automaton.
+// Moore partition refinement over the completed automaton. Round
+// signatures are packed little-endian int32 class vectors — no symbol
+// names are rendered — so each refinement round is a single map pass over
+// byte strings.
 func (d *DFA) Minimize() *DFA {
 	t := d.Trim()
 	n := t.NumStates()
-	alphabet := t.Alphabet()
-	// class[q] for states; the implicit sink has class -1 initially merged
-	// with... we track it as class index 0 below by shifting: classes are
-	// over states only; the sink is handled with the sentinel targetClass -1.
-	class := make([]int, n)
+	alphabet := t.AlphabetIDs()
+	// class[q] for states; the implicit rejecting sink keeps the sentinel
+	// class -1 throughout.
+	class := make([]int32, n)
 	for q := 0; q < n; q++ {
 		if t.final[q] {
 			class[q] = 1
 		}
 	}
+	buf := make([]byte, 0, 4*(len(alphabet)+1))
 	for {
-		sigs := make([]string, n)
-		for q := 0; q < n; q++ {
-			key := make([]byte, 0, 16)
-			key = appendInt(key, class[q])
-			for _, sym := range alphabet {
-				key = append(key, '|')
-				key = append(key, sym...)
-				key = append(key, ':')
-				if to, ok := t.Next(q, sym); ok {
-					key = appendInt(key, class[to])
-				} else {
-					key = append(key, '-')
-				}
-			}
-			sigs[q] = string(key)
-		}
-		next := make(map[string]int)
-		newClass := make([]int, n)
-		for q := 0; q < n; q++ {
-			id, ok := next[sigs[q]]
-			if !ok {
-				id = len(next)
-				next[sigs[q]] = id
-			}
-			newClass[q] = id
-		}
+		next := make(map[string]int32, n)
+		newClass := make([]int32, n)
 		changed := false
 		for q := 0; q < n; q++ {
-			if newClass[q] != class[q] {
+			buf = buf[:0]
+			buf = appendInt32(buf, class[q])
+			for _, sid := range alphabet {
+				c := int32(-1)
+				if to, ok := t.trans[q].get(sid); ok {
+					c = class[to]
+				}
+				buf = appendInt32(buf, c)
+			}
+			id, ok := next[string(buf)]
+			if !ok {
+				id = int32(len(next))
+				next[string(buf)] = id
+			}
+			newClass[q] = id
+			if id != class[q] {
 				changed = true
 			}
 		}
@@ -277,8 +339,8 @@ func (d *DFA) Minimize() *DFA {
 	// Rebuild.
 	numClasses := 0
 	for _, c := range class {
-		if c+1 > numClasses {
-			numClasses = c + 1
+		if int(c)+1 > numClasses {
+			numClasses = int(c) + 1
 		}
 	}
 	b := &DFA{}
@@ -294,54 +356,43 @@ func (d *DFA) Minimize() *DFA {
 	for c := 0; c < numClasses; c++ {
 		b.AddState(t.final[rep[c]])
 	}
-	b.start = class[t.start]
+	b.start = int(class[t.start])
 	for c := 0; c < numClasses; c++ {
 		q := rep[c]
-		for _, sym := range alphabet {
-			if to, ok := t.Next(q, sym); ok {
-				b.SetTransition(c, sym, class[to])
-			}
+		row := &t.trans[q]
+		for i, sid := range row.syms {
+			b.SetTransitionID(c, sid, int(class[row.to[i]]))
 		}
 	}
 	return b.Trim()
 }
 
-func appendInt(b []byte, v int) []byte {
-	if v == 0 {
-		return append(b, '0')
-	}
-	if v < 0 {
-		b = append(b, '-')
-		v = -v
-	}
-	var tmp [20]byte
-	i := len(tmp)
-	for v > 0 {
-		i--
-		tmp[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return append(b, tmp[i:]...)
+func appendInt32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // Complete returns a total DFA over the given alphabet, adding an explicit
 // rejecting sink if needed.
 func (d *DFA) Complete(alphabet []Symbol) *DFA {
+	ids := make([]int32, len(alphabet))
+	for i, s := range alphabet {
+		ids[i] = Intern(s)
+	}
 	b := d.Clone()
 	sink := -1
 	need := func() int {
 		if sink == -1 {
 			sink = b.AddState(false)
-			for _, s := range alphabet {
-				b.SetTransition(sink, s, sink)
+			for _, sid := range ids {
+				b.SetTransitionID(sink, sid, sink)
 			}
 		}
 		return sink
 	}
 	for q := 0; q < d.NumStates(); q++ {
-		for _, s := range alphabet {
-			if _, ok := b.Next(q, s); !ok {
-				b.SetTransition(q, s, need())
+		for _, sid := range ids {
+			if _, ok := b.NextID(q, sid); !ok {
+				b.SetTransitionID(q, sid, need())
 			}
 		}
 	}
@@ -358,11 +409,29 @@ func (d *DFA) Complement(alphabet []Symbol) *DFA {
 	return b
 }
 
+// EachTransition calls f for every defined transition (from, sym, to),
+// with from ascending and symbols in name order per state.
+func (d *DFA) EachTransition(f func(from int, sym Symbol, to int)) {
+	ids := d.AlphabetIDs()
+	for q := range d.trans {
+		for _, sid := range ids {
+			if to, ok := d.trans[q].get(sid); ok {
+				f(q, SymbolName(sid), int(to))
+			}
+		}
+	}
+}
+
 // Size returns states plus transitions.
 func (d *DFA) Size() int {
 	n := d.NumStates()
-	for _, m := range d.trans {
-		n += len(m)
+	for q := range d.trans {
+		n += len(d.trans[q].syms)
 	}
 	return n
+}
+
+// sortSymbols sorts a small symbol slice in place.
+func sortSymbols(s []Symbol) {
+	sort.Strings(s)
 }

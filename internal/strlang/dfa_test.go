@@ -172,8 +172,8 @@ func TestIntSet(t *testing.T) {
 	if s.SubsetOf(u) || !NewIntSet(1).SubsetOf(s) {
 		t.Error("subset wrong")
 	}
-	if s.Key() != "1,2,3" {
-		t.Errorf("Key = %q", s.Key())
+	if s.Key() != NewIntSet(1, 2, 3).Key() || s.Key() == u.Key() {
+		t.Errorf("Key not canonical: %q vs %q", s.Key(), u.Key())
 	}
 	c := s.Copy()
 	c.Add(9)

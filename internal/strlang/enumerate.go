@@ -8,7 +8,11 @@ func Enumerate(a *NFA, maxLen, max int) [][]Symbol {
 	if max == 0 {
 		return out
 	}
-	alphabet := a.Alphabet()
+	alphabet := a.AlphabetIDs()
+	names := make([]Symbol, len(alphabet))
+	for i, sid := range alphabet {
+		names[i] = SymbolName(sid)
+	}
 	type node struct {
 		set IntSet
 		w   []Symbol
@@ -27,8 +31,9 @@ func Enumerate(a *NFA, maxLen, max int) [][]Symbol {
 		if len(cur.w) >= maxLen {
 			continue
 		}
-		for _, s := range alphabet {
-			next := a.Step(cur.set, s)
+		for si, sid := range alphabet {
+			s := names[si]
+			next := a.StepID(cur.set, sid)
 			if next.Len() == 0 {
 				continue
 			}

@@ -38,13 +38,15 @@ func RegexFromNFA(a *NFA) Regex {
 		}
 	}
 	for q := 0; q < n; q++ {
-		for s, ts := range t.trans[q] {
-			for _, to := range ts {
-				addEdge(q, to, Sym(s))
+		row := &t.trans[q]
+		for si, sid := range row.syms {
+			s := SymbolName(sid)
+			for _, to := range row.ts[si] {
+				addEdge(q, int(to), Sym(s))
 			}
 		}
 		for _, to := range t.eps[q] {
-			addEdge(q, to, REps{})
+			addEdge(q, int(to), REps{})
 		}
 		if t.IsFinal(q) {
 			addEdge(q, final, REps{})

@@ -1,0 +1,70 @@
+package strlang
+
+import "sync"
+
+// Interner maps Symbols to dense int32 ids and back. Ids index the dense
+// transition tables of NFA and DFA, so every automaton of one design
+// problem must agree on them; the package therefore routes all automata
+// through a single process-wide interner (ids are append-only and never
+// reused, which keeps sharing trivially safe). The string Symbol stays the
+// public currency at the dxml facade; ids are a representation detail of
+// the automaton kernel and of the packages that thread through it.
+type Interner struct {
+	mu   sync.RWMutex
+	ids  map[string]int32
+	syms []string
+}
+
+// NewInterner returns an empty interner. Most code should use the
+// package-level Intern/LookupSymID/SymbolName functions, which share the
+// default interner; a private interner is only for isolated measurements.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the id of s, assigning the next dense id on first use.
+func (in *Interner) Intern(s Symbol) int32 {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	if ok {
+		return id
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id = int32(len(in.syms))
+	in.ids[s] = id
+	in.syms = append(in.syms, s)
+	return id
+}
+
+// Lookup returns the id of s without assigning one.
+func (in *Interner) Lookup(s Symbol) (int32, bool) {
+	in.mu.RLock()
+	id, ok := in.ids[s]
+	in.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the symbol with the given id.
+func (in *Interner) Name(id int32) Symbol {
+	in.mu.RLock()
+	s := in.syms[id]
+	in.mu.RUnlock()
+	return s
+}
+
+var defaultInterner = NewInterner()
+
+// Intern returns the dense id of s in the shared interner, assigning one
+// on first use.
+func Intern(s Symbol) int32 { return defaultInterner.Intern(s) }
+
+// LookupSymID returns the id of s if it has ever been interned.
+func LookupSymID(s Symbol) (int32, bool) { return defaultInterner.Lookup(s) }
+
+// SymbolName returns the Symbol for an interned id.
+func SymbolName(id int32) Symbol { return defaultInterner.Name(id) }

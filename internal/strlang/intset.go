@@ -1,65 +1,136 @@
 package strlang
 
 import (
-	"sort"
-	"strconv"
-	"strings"
+	"iter"
+	"math/bits"
 )
 
-// IntSet is a finite set of non-negative integers (automaton states).
-type IntSet map[int]struct{}
+// Bits is a set of non-negative integers (automaton states) backed by a
+// []uint64 bitset. State sets are the innermost currency of every subset
+// construction in the design pipeline, so the representation is optimized
+// for word-wise Union/Intersects/SubsetOf and for a compact, collision-free
+// map key (Key). Use it through the IntSet alias.
+type Bits struct {
+	words []uint64
+	n     int // cardinality, maintained incrementally
+}
+
+// IntSet is a finite set of non-negative integers. It has pointer
+// semantics, like the map type it replaces: copies share the same storage
+// unless made with Copy.
+type IntSet = *Bits
 
 // NewIntSet returns a set containing the given elements.
 func NewIntSet(elems ...int) IntSet {
-	s := make(IntSet, len(elems))
+	s := &Bits{}
 	for _, e := range elems {
-		s[e] = struct{}{}
+		s.Add(e)
 	}
 	return s
 }
 
+func (s *Bits) grow(word int) {
+	for len(s.words) <= word {
+		s.words = append(s.words, 0)
+	}
+}
+
 // Add inserts e into s.
-func (s IntSet) Add(e int) { s[e] = struct{}{} }
+func (s *Bits) Add(e int) {
+	w, b := e>>6, uint(e&63)
+	s.grow(w)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.n++
+	}
+}
+
+// Remove deletes e from s.
+func (s *Bits) Remove(e int) {
+	w, b := e>>6, uint(e&63)
+	if w < len(s.words) && s.words[w]&(1<<b) != 0 {
+		s.words[w] &^= 1 << b
+		s.n--
+	}
+}
 
 // Has reports whether e is in s.
-func (s IntSet) Has(e int) bool { _, ok := s[e]; return ok }
+func (s *Bits) Has(e int) bool {
+	w := e >> 6
+	return w < len(s.words) && s.words[w]&(1<<uint(e&63)) != 0
+}
 
 // Len returns the cardinality of s.
-func (s IntSet) Len() int { return len(s) }
+func (s *Bits) Len() int { return s.n }
 
 // Copy returns an independent copy of s.
-func (s IntSet) Copy() IntSet {
-	t := make(IntSet, len(s))
-	for e := range s {
-		t[e] = struct{}{}
-	}
+func (s *Bits) Copy() IntSet {
+	t := &Bits{n: s.n}
+	t.words = append([]uint64(nil), s.words...)
 	return t
 }
 
-// AddAll inserts every element of t into s.
-func (s IntSet) AddAll(t IntSet) {
-	for e := range t {
-		s[e] = struct{}{}
+// AddAll inserts every element of t into s (word-wise union). The
+// cardinality is maintained by per-word deltas, so the cost is bounded by
+// |t|'s words, not the receiver's.
+func (s *Bits) AddAll(t IntSet) {
+	if len(t.words) > len(s.words) {
+		s.grow(len(t.words) - 1)
+	}
+	for i, w := range t.words {
+		old := s.words[i]
+		merged := old | w
+		if merged != old {
+			s.n += bits.OnesCount64(merged) - bits.OnesCount64(old)
+			s.words[i] = merged
+		}
+	}
+}
+
+// All returns an iterator over the elements of s in increasing order.
+func (s *Bits) All() iter.Seq[int] {
+	return func(yield func(int) bool) {
+		for i, w := range s.words {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				if !yield(i<<6 | b) {
+					return
+				}
+				w &= w - 1
+			}
+		}
 	}
 }
 
 // Sorted returns the elements of s in increasing order.
-func (s IntSet) Sorted() []int {
-	out := make([]int, 0, len(s))
-	for e := range s {
-		out = append(out, e)
+func (s *Bits) Sorted() []int {
+	out := make([]int, 0, s.n)
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i<<6|b)
+			w &= w - 1
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // Equal reports whether s and t contain the same elements.
-func (s IntSet) Equal(t IntSet) bool {
-	if len(s) != len(t) {
+func (s *Bits) Equal(t IntSet) bool {
+	if s.n != t.n {
 		return false
 	}
-	for e := range s {
-		if !t.Has(e) {
+	a, b := s.words, t.words
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	for _, w := range b[len(a):] {
+		if w != 0 {
 			return false
 		}
 	}
@@ -67,12 +138,10 @@ func (s IntSet) Equal(t IntSet) bool {
 }
 
 // Intersects reports whether s and t share an element.
-func (s IntSet) Intersects(t IntSet) bool {
-	if len(t) < len(s) {
-		s, t = t, s
-	}
-	for e := range s {
-		if t.Has(e) {
+func (s *Bits) Intersects(t IntSet) bool {
+	m := min(len(s.words), len(t.words))
+	for i := 0; i < m; i++ {
+		if s.words[i]&t.words[i] != 0 {
 			return true
 		}
 	}
@@ -80,39 +149,55 @@ func (s IntSet) Intersects(t IntSet) bool {
 }
 
 // Intersect returns s ∩ t.
-func (s IntSet) Intersect(t IntSet) IntSet {
-	out := NewIntSet()
-	if len(t) < len(s) {
-		s, t = t, s
-	}
-	for e := range s {
-		if t.Has(e) {
-			out.Add(e)
-		}
+func (s *Bits) Intersect(t IntSet) IntSet {
+	m := min(len(s.words), len(t.words))
+	out := &Bits{words: make([]uint64, m)}
+	for i := 0; i < m; i++ {
+		w := s.words[i] & t.words[i]
+		out.words[i] = w
+		out.n += bits.OnesCount64(w)
 	}
 	return out
 }
 
 // SubsetOf reports whether every element of s is in t.
-func (s IntSet) SubsetOf(t IntSet) bool {
-	for e := range s {
-		if !t.Has(e) {
+func (s *Bits) SubsetOf(t IntSet) bool {
+	for i, w := range s.words {
+		if i >= len(t.words) {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^t.words[i] != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Key returns a canonical string key for s, usable as a map key in
-// subset constructions.
-func (s IntSet) Key() string {
-	elems := s.Sorted()
-	var b strings.Builder
-	for i, e := range elems {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(e))
+// Key returns a canonical string key for s, usable as a map key in subset
+// constructions. Keys are collision-free: two sets share a key iff they are
+// equal. The encoding is the raw little-endian bitset words with trailing
+// zero words trimmed, so building it is a single allocation with no
+// per-element formatting.
+func (s *Bits) Key() string {
+	nw := len(s.words)
+	for nw > 0 && s.words[nw-1] == 0 {
+		nw--
 	}
-	return b.String()
+	b := make([]byte, nw*8)
+	for i := 0; i < nw; i++ {
+		w := s.words[i]
+		o := i * 8
+		b[o] = byte(w)
+		b[o+1] = byte(w >> 8)
+		b[o+2] = byte(w >> 16)
+		b[o+3] = byte(w >> 24)
+		b[o+4] = byte(w >> 32)
+		b[o+5] = byte(w >> 40)
+		b[o+6] = byte(w >> 48)
+		b[o+7] = byte(w >> 56)
+	}
+	return string(b)
 }

@@ -1,0 +1,176 @@
+package strlang
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomSet draws a set whose elements span [0, span); density controls
+// how full it is, exercising the empty/sparse/dense regimes of the bitset.
+func randomSet(r *rand.Rand, span int, density float64) IntSet {
+	s := NewIntSet()
+	for e := 0; e < span; e++ {
+		if r.Float64() < density {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+func setConfigs() []struct {
+	span    int
+	density float64
+} {
+	return []struct {
+		span    int
+		density float64
+	}{
+		{0, 0},      // empty
+		{5, 0.5},    // single word
+		{64, 0.02},  // sparse, word boundary
+		{65, 0.9},   // dense, crosses a word boundary
+		{300, 0.01}, // sparse, many words
+		{300, 0.7},  // dense, many words
+		{1000, 0.5},
+	}
+}
+
+func TestIntSetBasics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, cfg := range setConfigs() {
+		s := randomSet(r, cfg.span, cfg.density)
+		elems := s.Sorted()
+		if len(elems) != s.Len() {
+			t.Fatalf("span=%d: Len=%d but %d sorted elems", cfg.span, s.Len(), len(elems))
+		}
+		if !slices.IsSorted(elems) {
+			t.Fatalf("span=%d: Sorted not sorted: %v", cfg.span, elems)
+		}
+		for _, e := range elems {
+			if !s.Has(e) {
+				t.Fatalf("span=%d: Sorted element %d not in set", cfg.span, e)
+			}
+		}
+		// All() agrees with Sorted().
+		var iterated []int
+		for e := range s.All() {
+			iterated = append(iterated, e)
+		}
+		if !slices.Equal(iterated, elems) {
+			t.Fatalf("span=%d: All()=%v != Sorted()=%v", cfg.span, iterated, elems)
+		}
+		// Remove every element; the set must end empty.
+		c := s.Copy()
+		for _, e := range elems {
+			c.Remove(e)
+		}
+		if c.Len() != 0 || len(c.Sorted()) != 0 {
+			t.Fatalf("span=%d: Remove left %v", cfg.span, c.Sorted())
+		}
+		if s.Len() != len(elems) {
+			t.Fatalf("span=%d: Copy is shallow", cfg.span)
+		}
+		// Membership beyond the allocated words is simply false.
+		if s.Has(cfg.span + 100000) {
+			t.Fatalf("span=%d: Has far beyond range", cfg.span)
+		}
+	}
+}
+
+// TestIntSetLaws checks the algebraic laws of union, intersection and
+// subset against a reference map implementation.
+func TestIntSetLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		cfgs := setConfigs()
+		a := randomSet(r, cfgs[r.Intn(len(cfgs))].span, r.Float64())
+		b := randomSet(r, cfgs[r.Intn(len(cfgs))].span, r.Float64())
+
+		ref := map[int]bool{}
+		for _, e := range a.Sorted() {
+			ref[e] = true
+		}
+		for _, e := range b.Sorted() {
+			ref[e] = true
+		}
+		u := a.Copy()
+		u.AddAll(b)
+		if u.Len() != len(ref) {
+			t.Fatalf("union size %d, want %d", u.Len(), len(ref))
+		}
+		for e := range ref {
+			if !u.Has(e) {
+				t.Fatalf("union missing %d", e)
+			}
+		}
+
+		inter := a.Intersect(b)
+		for _, e := range inter.Sorted() {
+			if !a.Has(e) || !b.Has(e) {
+				t.Fatalf("intersect has stray %d", e)
+			}
+		}
+		wantInter := 0
+		for _, e := range a.Sorted() {
+			if b.Has(e) {
+				wantInter++
+			}
+		}
+		if inter.Len() != wantInter {
+			t.Fatalf("intersect size %d, want %d", inter.Len(), wantInter)
+		}
+		if a.Intersects(b) != (wantInter > 0) {
+			t.Fatalf("Intersects=%v but |a∩b|=%d", a.Intersects(b), wantInter)
+		}
+
+		// Subset laws: a∩b ⊆ a ⊆ a∪b; equal sets are mutual subsets.
+		if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+			t.Fatal("a∩b not a subset of a and b")
+		}
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			t.Fatal("a,b not subsets of a∪b")
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			t.Fatal("mutual subsets must be equal")
+		}
+		if !a.Equal(a.Copy()) {
+			t.Fatal("a != Copy(a)")
+		}
+	}
+}
+
+// TestIntSetKeyCollisionFree checks that Key() is canonical: equal keys
+// iff equal sets, regardless of the internal word-slice length (e.g. after
+// removals shrink the populated range).
+func TestIntSetKeyCollisionFree(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	byKey := map[string]IntSet{}
+	for trial := 0; trial < 500; trial++ {
+		cfgs := setConfigs()
+		cfg := cfgs[r.Intn(len(cfgs))]
+		s := randomSet(r, cfg.span, r.Float64()*0.2)
+		if prev, ok := byKey[s.Key()]; ok {
+			if !prev.Equal(s) {
+				t.Fatalf("key collision: %v vs %v", prev.Sorted(), s.Sorted())
+			}
+		} else {
+			byKey[s.Key()] = s
+		}
+	}
+	// Trailing-zero canonicalization: growing then removing high elements
+	// must restore the original key.
+	s := NewIntSet(1, 2, 3)
+	k := s.Key()
+	s.Add(900)
+	if s.Key() == k {
+		t.Fatal("key ignores element 900")
+	}
+	s.Remove(900)
+	if s.Key() != k {
+		t.Fatalf("key not canonical after high-element removal")
+	}
+	if NewIntSet().Key() != "" {
+		t.Fatalf("empty set key = %q, want empty", NewIntSet().Key())
+	}
+}

@@ -124,17 +124,18 @@ func LocalAutomaton(a *NFA, qi, qf int) (*NFA, bool) {
 	}
 	out.SetStart(old2new[qi])
 	out.MarkFinal(old2new[qf])
-	for q := range keep {
+	for q := range keep.All() {
 		nq := old2new[q]
-		for s, ts := range a.trans[q] {
-			for _, t := range ts {
-				if nt, ok := old2new[t]; ok {
-					out.AddTransition(nq, s, nt)
+		row := &a.trans[q]
+		for si, sid := range row.syms {
+			for _, t := range row.ts[si] {
+				if nt, ok := old2new[int(t)]; ok {
+					out.AddTransitionID(nq, sid, nt)
 				}
 			}
 		}
 		for _, t := range a.eps[q] {
-			if nt, ok := old2new[t]; ok {
+			if nt, ok := old2new[int(t)]; ok {
 				out.AddEps(nq, nt)
 			}
 		}

@@ -2,6 +2,7 @@ package strlang
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -10,17 +11,71 @@ import (
 // for ε and is never a valid symbol.
 type Symbol = string
 
+// nfaRow is a state's transition table: parallel slices sorted by interned
+// symbol id. Rows cost memory proportional to the state's actual
+// out-degree (global interner ids can be sparse within one automaton), and
+// lookups are a binary search over a handful of int32s — no string
+// hashing.
+type nfaRow struct {
+	syms []int32   // sorted distinct symbol ids
+	ts   [][]int32 // parallel sorted target lists
+}
+
+// get returns the target list for sid, or nil.
+func (r *nfaRow) get(sid int32) []int32 {
+	if i, ok := slices.BinarySearch(r.syms, sid); ok {
+		return r.ts[i]
+	}
+	return nil
+}
+
+// add inserts the edge (sid, to), reporting whether sid is new to this row.
+func (r *nfaRow) add(sid, to int32) (newSym bool) {
+	i, ok := slices.BinarySearch(r.syms, sid)
+	if !ok {
+		r.syms = slices.Insert(r.syms, i, sid)
+		r.ts = slices.Insert(r.ts, i, []int32{to})
+		return true
+	}
+	r.ts[i], _ = insertSorted(r.ts[i], to)
+	return false
+}
+
+// clone returns a deep copy of r with targets shifted by off.
+func (r *nfaRow) clone(off int32) nfaRow {
+	out := nfaRow{syms: slices.Clone(r.syms), ts: make([][]int32, len(r.ts))}
+	for i, ts := range r.ts {
+		shifted := make([]int32, len(ts))
+		for j, t := range ts {
+			shifted[j] = t + off
+		}
+		out.ts[i] = shifted
+	}
+	return out
+}
+
 // NFA is a nondeterministic finite automaton with ε-transitions
 // A = ⟨K, Σ, Δ, qs, F⟩ (Section 2.1.2 of the paper). States are the
 // integers 0..NumStates()-1; the alphabet is implicit (the set of symbols
 // appearing on transitions).
+//
+// Transitions are keyed by interned symbol ids (see Interner) in compact
+// per-state rows; target lists are kept sorted and duplicate-free by
+// binary-search insertion. The per-state ε-closures and the sorted
+// alphabet are computed once and cached until the next mutation.
 type NFA struct {
 	start int
 	final IntSet
-	// trans[q][a] lists the a-successors of q, for a ≠ ε.
-	trans []map[Symbol][]int
-	// eps[q] lists the ε-successors of q.
-	eps [][]int
+	// trans[q] holds the symbol successors of q.
+	trans []nfaRow
+	// eps[q] lists the ε-successors of q, sorted ascending.
+	eps [][]int32
+
+	// alpha caches the symbol ids present on transitions, sorted by
+	// symbol name; nil means dirty.
+	alpha []int32
+	// clos caches the per-state ε-closures; nil means dirty.
+	clos []IntSet
 }
 
 // NewNFA returns an automaton with a single non-final start state and no
@@ -33,8 +88,12 @@ func NewNFA() *NFA {
 
 // AddState adds a fresh state and returns its id.
 func (a *NFA) AddState() int {
-	a.trans = append(a.trans, nil)
+	a.trans = append(a.trans, nfaRow{})
 	a.eps = append(a.eps, nil)
+	if a.clos != nil {
+		// A fresh state has no ε-edges: its closure is itself.
+		a.clos = append(a.clos, NewIntSet(len(a.trans)-1))
+	}
 	return len(a.trans) - 1
 }
 
@@ -51,7 +110,7 @@ func (a *NFA) SetStart(q int) { a.start = q }
 func (a *NFA) MarkFinal(q int) { a.final.Add(q) }
 
 // ClearFinal makes q non-final.
-func (a *NFA) ClearFinal(q int) { delete(a.final, q) }
+func (a *NFA) ClearFinal(q int) { a.final.Remove(q) }
 
 // IsFinal reports whether q is final.
 func (a *NFA) IsFinal(q int) bool { return a.final.Has(q) }
@@ -59,57 +118,104 @@ func (a *NFA) IsFinal(q int) bool { return a.final.Has(q) }
 // Finals returns the set of final states (shared; do not mutate).
 func (a *NFA) Finals() IntSet { return a.final }
 
+// insertSorted inserts v into the sorted list if absent, reporting whether
+// it was inserted. Constructions mostly add targets in increasing order,
+// so the common case is an O(log n) search plus an append at the tail.
+func insertSorted(list []int32, v int32) ([]int32, bool) {
+	i, found := slices.BinarySearch(list, v)
+	if found {
+		return list, false
+	}
+	return slices.Insert(list, i, v), true
+}
+
 // AddTransition adds the transition (from, sym, to). sym must be non-empty;
 // use AddEps for ε-transitions.
 func (a *NFA) AddTransition(from int, sym Symbol, to int) {
 	if sym == "" {
 		panic("strlang: empty symbol in AddTransition; use AddEps")
 	}
-	if a.trans[from] == nil {
-		a.trans[from] = make(map[Symbol][]int)
+	a.AddTransitionID(from, Intern(sym), to)
+}
+
+// AddTransitionID adds the transition (from, sid, to) by interned symbol id.
+func (a *NFA) AddTransitionID(from int, sid int32, to int) {
+	if a.trans[from].add(sid, int32(to)) {
+		a.alpha = nil // a symbol may have appeared for the first time
 	}
-	for _, t := range a.trans[from][sym] {
-		if t == to {
-			return
-		}
-	}
-	a.trans[from][sym] = append(a.trans[from][sym], to)
 }
 
 // AddEps adds the ε-transition (from, ε, to).
 func (a *NFA) AddEps(from, to int) {
-	for _, t := range a.eps[from] {
-		if t == to {
-			return
-		}
+	list, inserted := insertSorted(a.eps[from], int32(to))
+	if inserted {
+		a.clos = nil
 	}
-	a.eps[from] = append(a.eps[from], to)
+	a.eps[from] = list
 }
 
 // EpsSucc returns the ε-successors of q (shared slice; do not mutate).
-func (a *NFA) EpsSucc(q int) []int { return a.eps[q] }
+func (a *NFA) EpsSucc(q int) []int32 { return a.eps[q] }
 
 // Succ returns the sym-successors of q (shared slice; do not mutate).
-func (a *NFA) Succ(q int, sym Symbol) []int {
-	if a.trans[q] == nil {
+func (a *NFA) Succ(q int, sym Symbol) []int32 {
+	sid, ok := LookupSymID(sym)
+	if !ok {
 		return nil
 	}
-	return a.trans[q][sym]
+	return a.trans[q].get(sid)
+}
+
+// SuccID returns the successors of q by interned symbol id (shared slice;
+// do not mutate).
+func (a *NFA) SuccID(q int, sid int32) []int32 {
+	return a.trans[q].get(sid)
+}
+
+// AlphabetIDs returns the interned ids of the symbols appearing on
+// transitions, sorted by symbol name (shared slice; do not mutate).
+func (a *NFA) AlphabetIDs() []int32 {
+	if a.alpha == nil {
+		a.alpha = collectAlphabet(func(yield func(int32)) {
+			for q := range a.trans {
+				for _, sid := range a.trans[q].syms {
+					yield(sid)
+				}
+			}
+		})
+	}
+	return a.alpha
+}
+
+// collectAlphabet gathers distinct symbol ids from the given enumerator
+// and sorts them by symbol name, so iteration orders (and therefore
+// deterministic outputs like witnesses and renderings) match the old
+// string-sorted behavior.
+func collectAlphabet(enum func(yield func(int32))) []int32 {
+	var seen Bits
+	var ids []int32
+	enum(func(sid int32) {
+		if !seen.Has(int(sid)) {
+			seen.Add(int(sid))
+			ids = append(ids, sid)
+		}
+	})
+	sort.Slice(ids, func(i, j int) bool {
+		return SymbolName(ids[i]) < SymbolName(ids[j])
+	})
+	if ids == nil {
+		ids = []int32{}
+	}
+	return ids
 }
 
 // Alphabet returns the sorted set of symbols that appear on transitions.
 func (a *NFA) Alphabet() []Symbol {
-	set := map[Symbol]struct{}{}
-	for _, m := range a.trans {
-		for s := range m {
-			set[s] = struct{}{}
-		}
+	ids := a.AlphabetIDs()
+	out := make([]Symbol, len(ids))
+	for i, id := range ids {
+		out[i] = SymbolName(id)
 	}
-	out := make([]Symbol, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
 	return out
 }
 
@@ -118,52 +224,108 @@ func (a *NFA) Clone() *NFA {
 	b := &NFA{
 		start: a.start,
 		final: a.final.Copy(),
-		trans: make([]map[Symbol][]int, len(a.trans)),
-		eps:   make([][]int, len(a.eps)),
+		trans: make([]nfaRow, len(a.trans)),
+		eps:   make([][]int32, len(a.eps)),
+		alpha: a.alpha,
+		clos:  slices.Clone(a.clos),
 	}
-	for q, m := range a.trans {
-		if m == nil {
-			continue
-		}
-		mm := make(map[Symbol][]int, len(m))
-		for s, ts := range m {
-			mm[s] = append([]int(nil), ts...)
-		}
-		b.trans[q] = mm
+	for q := range a.trans {
+		b.trans[q] = a.trans[q].clone(0)
 	}
 	for q, ts := range a.eps {
-		b.eps[q] = append([]int(nil), ts...)
+		b.eps[q] = slices.Clone(ts)
 	}
 	return b
 }
 
-// Closure returns the ε-closure of the given set of states.
-func (a *NFA) Closure(states IntSet) IntSet {
-	out := states.Copy()
-	stack := states.Sorted()
-	for len(stack) > 0 {
-		q := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, t := range a.eps[q] {
-			if !out.Has(t) {
-				out.Add(t)
-				stack = append(stack, t)
+// Graft copies src's states, transitions and ε-edges into a, returning the
+// state offset of the copy. Finality and start state of src are not
+// copied. It is the fast path for the many glue constructions that stitch
+// automata together (union, concatenation, Ω-gluing, relabelings).
+func (a *NFA) Graft(src *NFA) int {
+	off := len(a.trans)
+	for q := range src.trans {
+		a.trans = append(a.trans, src.trans[q].clone(int32(off)))
+		var eps []int32
+		if ts := src.eps[q]; len(ts) > 0 {
+			eps = make([]int32, len(ts))
+			for i, t := range ts {
+				eps[i] = t + int32(off)
 			}
 		}
+		a.eps = append(a.eps, eps)
+	}
+	a.alpha = nil
+	a.clos = nil
+	return off
+}
+
+// ensureClosures computes the per-state ε-closures once; every Step and
+// Closure afterwards is pure bitset unions.
+func (a *NFA) ensureClosures() {
+	if a.clos != nil {
+		return
+	}
+	n := len(a.trans)
+	clos := make([]IntSet, n)
+	var stack []int32
+	for q := 0; q < n; q++ {
+		c := NewIntSet(q)
+		if len(a.eps[q]) > 0 {
+			stack = append(stack[:0], int32(q))
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, t := range a.eps[p] {
+					if !c.Has(int(t)) {
+						c.Add(int(t))
+						stack = append(stack, t)
+					}
+				}
+			}
+		}
+		clos[q] = c
+	}
+	a.clos = clos
+}
+
+// Closure returns the ε-closure of the given set of states.
+func (a *NFA) Closure(states IntSet) IntSet {
+	a.ensureClosures()
+	out := NewIntSet()
+	for q := range states.All() {
+		out.AddAll(a.clos[q])
 	}
 	return out
+}
+
+// ClosureOf returns the cached ε-closure of a single state (shared; do not
+// mutate).
+func (a *NFA) ClosureOf(q int) IntSet {
+	a.ensureClosures()
+	return a.clos[q]
 }
 
 // Step returns the ε-closed set reached from the ε-closed set cur by
 // reading sym.
 func (a *NFA) Step(cur IntSet, sym Symbol) IntSet {
+	sid, ok := LookupSymID(sym)
+	if !ok {
+		return NewIntSet()
+	}
+	return a.StepID(cur, sid)
+}
+
+// StepID is Step by interned symbol id.
+func (a *NFA) StepID(cur IntSet, sid int32) IntSet {
+	a.ensureClosures()
 	next := NewIntSet()
-	for q := range cur {
-		for _, t := range a.Succ(q, sym) {
-			next.Add(t)
+	for q := range cur.All() {
+		for _, t := range a.trans[q].get(sid) {
+			next.AddAll(a.clos[t])
 		}
 	}
-	return a.Closure(next)
+	return next
 }
 
 // Run returns the ε-closed set of states reachable from the start state by
@@ -191,20 +353,23 @@ func (a *NFA) AcceptsEps() bool { return a.Accepts(nil) }
 // (following both symbol and ε edges, reflexively).
 func (a *NFA) reachableFrom(seeds ...int) IntSet {
 	seen := NewIntSet(seeds...)
-	stack := append([]int(nil), seeds...)
+	stack := make([]int32, 0, len(seeds))
+	for _, s := range seeds {
+		stack = append(stack, int32(s))
+	}
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		visit := func(t int) {
-			if !seen.Has(t) {
-				seen.Add(t)
+		visit := func(t int32) {
+			if !seen.Has(int(t)) {
+				seen.Add(int(t))
 				stack = append(stack, t)
 			}
 		}
 		for _, t := range a.eps[q] {
 			visit(t)
 		}
-		for _, ts := range a.trans[q] {
+		for _, ts := range a.trans[q].ts {
 			for _, t := range ts {
 				visit(t)
 			}
@@ -222,21 +387,19 @@ func (a *NFA) Reach(q int) IntSet { return a.reachableFrom(q) }
 // co-reachability computations.
 func (a *NFA) Reverse() *NFA {
 	b := &NFA{final: NewIntSet()}
-	b.trans = make([]map[Symbol][]int, len(a.trans))
-	b.eps = make([][]int, len(a.eps))
-	for q, m := range a.trans {
-		for s, ts := range m {
-			for _, t := range ts {
-				if b.trans[t] == nil {
-					b.trans[t] = make(map[Symbol][]int)
-				}
-				b.trans[t][s] = append(b.trans[t][s], q)
+	b.trans = make([]nfaRow, len(a.trans))
+	b.eps = make([][]int32, len(a.eps))
+	for q := range a.trans {
+		row := &a.trans[q]
+		for i, sid := range row.syms {
+			for _, t := range row.ts[i] {
+				b.trans[t].add(sid, int32(q))
 			}
 		}
 	}
 	for q, ts := range a.eps {
 		for _, t := range ts {
-			b.eps[t] = append(b.eps[t], q)
+			b.eps[t] = append(b.eps[t], int32(q))
 		}
 	}
 	return b
@@ -263,19 +426,20 @@ func (a *NFA) Trim() (*NFA, []int) {
 		old2new[i] = -1
 	}
 	b := &NFA{final: NewIntSet()}
-	for _, q := range keep.Sorted() {
+	for q := range keep.All() {
 		old2new[q] = b.AddState()
 	}
 	b.start = old2new[a.start]
-	for q := range keep {
+	for q := range keep.All() {
 		nq := old2new[q]
 		if a.final.Has(q) {
 			b.MarkFinal(nq)
 		}
-		for s, ts := range a.trans[q] {
-			for _, t := range ts {
+		row := &a.trans[q]
+		for i, sid := range row.syms {
+			for _, t := range row.ts[i] {
 				if nt := old2new[t]; nt >= 0 {
-					b.AddTransition(nq, s, nt)
+					b.AddTransitionID(nq, sid, nt)
 				}
 			}
 		}
@@ -292,18 +456,20 @@ func (a *NFA) Trim() (*NFA, []int) {
 // same state ids: each state gains the symbol transitions of its ε-closure,
 // and is final if its ε-closure meets a final state.
 func (a *NFA) WithoutEps() *NFA {
+	a.ensureClosures()
 	b := &NFA{start: a.start, final: NewIntSet()}
-	b.trans = make([]map[Symbol][]int, len(a.trans))
-	b.eps = make([][]int, len(a.eps))
+	b.trans = make([]nfaRow, len(a.trans))
+	b.eps = make([][]int32, len(a.eps))
 	for q := range a.trans {
-		cl := a.Closure(NewIntSet(q))
+		cl := a.clos[q]
 		if cl.Intersects(a.final) {
 			b.MarkFinal(q)
 		}
-		for p := range cl {
-			for s, ts := range a.trans[p] {
-				for _, t := range ts {
-					b.AddTransition(q, s, t)
+		for p := range cl.All() {
+			row := &a.trans[p]
+			for i, sid := range row.syms {
+				for _, t := range row.ts[i] {
+					b.AddTransitionID(q, sid, int(t))
 				}
 			}
 		}
@@ -318,26 +484,40 @@ func (a *NFA) UsefulSymbols() []Symbol {
 	return t.Alphabet()
 }
 
+// EachTransition calls f for every transition (from, sym, to), with from
+// ascending, symbols in name order per state, and targets ascending.
+func (a *NFA) EachTransition(f func(from int, sym Symbol, to int)) {
+	ids := a.AlphabetIDs()
+	for q := range a.trans {
+		for _, sid := range ids {
+			ts := a.trans[q].get(sid)
+			if len(ts) == 0 {
+				continue
+			}
+			name := SymbolName(sid)
+			for _, t := range ts {
+				f(q, name, int(t))
+			}
+		}
+	}
+}
+
 // String renders the automaton in a compact human-readable form for
 // debugging and golden tests.
 func (a *NFA) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "start=%d final=%v\n", a.start, a.final.Sorted())
+	ids := a.AlphabetIDs()
 	for q := range a.trans {
-		syms := make([]string, 0, len(a.trans[q]))
-		for s := range a.trans[q] {
-			syms = append(syms, s)
-		}
-		sort.Strings(syms)
-		for _, s := range syms {
-			ts := append([]int(nil), a.trans[q][s]...)
-			sort.Ints(ts)
-			fmt.Fprintf(&b, "  %d -%s-> %v\n", q, s, ts)
+		for _, sid := range ids {
+			ts := a.trans[q].get(sid)
+			if len(ts) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %d -%s-> %v\n", q, SymbolName(sid), ts)
 		}
 		if len(a.eps[q]) > 0 {
-			ts := append([]int(nil), a.eps[q]...)
-			sort.Ints(ts)
-			fmt.Fprintf(&b, "  %d -ε-> %v\n", q, ts)
+			fmt.Fprintf(&b, "  %d -ε-> %v\n", q, a.eps[q])
 		}
 	}
 	return b.String()
@@ -348,7 +528,7 @@ func (a *NFA) String() string {
 func (a *NFA) Size() int {
 	n := a.NumStates()
 	for q := range a.trans {
-		for _, ts := range a.trans[q] {
+		for _, ts := range a.trans[q].ts {
 			n += len(ts)
 		}
 		n += len(a.eps[q])

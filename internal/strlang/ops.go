@@ -1,7 +1,5 @@
 package strlang
 
-import "sort"
-
 // EmptyLang returns an NFA for the empty language ∅.
 func EmptyLang() *NFA { return NewNFA() }
 
@@ -56,36 +54,17 @@ func UniversalLang(alphabet []Symbol) *NFA {
 	return a
 }
 
-// copyInto copies src's states into dst, returning the state offset.
-func copyInto(dst, src *NFA) int {
-	off := dst.NumStates()
-	for q := 0; q < src.NumStates(); q++ {
-		dst.AddState()
-	}
-	for q := 0; q < src.NumStates(); q++ {
-		for s, ts := range src.trans[q] {
-			for _, t := range ts {
-				dst.AddTransition(off+q, s, off+t)
-			}
-		}
-		for _, t := range src.eps[q] {
-			dst.AddEps(off+q, off+t)
-		}
-	}
-	return off
-}
-
 // Union returns an NFA for [a] ∪ [b].
 func Union(a, b *NFA) *NFA {
 	out := NewNFA()
-	oa := copyInto(out, a)
-	ob := copyInto(out, b)
+	oa := out.Graft(a)
+	ob := out.Graft(b)
 	out.AddEps(out.Start(), oa+a.Start())
 	out.AddEps(out.Start(), ob+b.Start())
-	for q := range a.final {
+	for q := range a.final.All() {
 		out.MarkFinal(oa + q)
 	}
-	for q := range b.final {
+	for q := range b.final.All() {
 		out.MarkFinal(ob + q)
 	}
 	return out
@@ -96,9 +75,9 @@ func Union(a, b *NFA) *NFA {
 func UnionAll(as ...*NFA) *NFA {
 	out := NewNFA()
 	for _, a := range as {
-		off := copyInto(out, a)
+		off := out.Graft(a)
 		out.AddEps(out.Start(), off+a.Start())
-		for q := range a.final {
+		for q := range a.final.All() {
 			out.MarkFinal(off + q)
 		}
 	}
@@ -108,13 +87,13 @@ func UnionAll(as ...*NFA) *NFA {
 // Concat returns an NFA for [a] ◦ [b].
 func Concat(a, b *NFA) *NFA {
 	out := NewNFA()
-	oa := copyInto(out, a)
-	ob := copyInto(out, b)
+	oa := out.Graft(a)
+	ob := out.Graft(b)
 	out.AddEps(out.Start(), oa+a.Start())
-	for q := range a.final {
+	for q := range a.final.All() {
 		out.AddEps(oa+q, ob+b.Start())
 	}
-	for q := range b.final {
+	for q := range b.final.All() {
 		out.MarkFinal(ob + q)
 	}
 	return out
@@ -136,10 +115,10 @@ func ConcatAll(as ...*NFA) *NFA {
 // Star returns an NFA for [a]*.
 func Star(a *NFA) *NFA {
 	out := NewNFA()
-	oa := copyInto(out, a)
+	oa := out.Graft(a)
 	out.MarkFinal(out.Start())
 	out.AddEps(out.Start(), oa+a.Start())
-	for q := range a.final {
+	for q := range a.final.All() {
 		out.AddEps(oa+q, out.Start())
 	}
 	return out
@@ -160,7 +139,8 @@ func Opt(a *NFA) *NFA {
 	return out
 }
 
-// Intersect returns an NFA for [a] ∩ [b] (lazy product construction).
+// Intersect returns an NFA for [a] ∩ [b] (lazy product construction over
+// interned symbol ids).
 func Intersect(a, b *NFA) *NFA {
 	ea, eb := a.WithoutEps(), b.WithoutEps()
 	out := NewNFA()
@@ -188,14 +168,16 @@ func Intersect(a, b *NFA) *NFA {
 	for i := 0; i < len(order); i++ {
 		pq := order[i]
 		from := ids[pq]
-		for s, ts := range ea.trans[pq.p] {
-			us := eb.Succ(pq.q, s)
+		row := &ea.trans[pq.p]
+		for si, sid := range row.syms {
+			ts := row.ts[si]
+			us := eb.SuccID(pq.q, sid)
 			if len(us) == 0 {
 				continue
 			}
 			for _, t := range ts {
 				for _, u := range us {
-					out.AddTransition(from, s, getID(pair{t, u}))
+					out.AddTransitionID(from, sid, getID(pair{int(t), int(u)}))
 				}
 			}
 		}
@@ -230,20 +212,32 @@ func Difference(a, b *NFA) *NFA {
 }
 
 func unionAlphabet(as ...*NFA) []Symbol {
-	set := map[Symbol]struct{}{}
-	for _, a := range as {
-		for _, s := range a.Alphabet() {
-			set[s] = struct{}{}
+	ids := collectAlphabet(func(yield func(int32)) {
+		for _, a := range as {
+			for _, sid := range a.AlphabetIDs() {
+				yield(sid)
+			}
 		}
+	})
+	out := make([]Symbol, len(ids))
+	for i, id := range ids {
+		out[i] = SymbolName(id)
 	}
-	out := make([]Symbol, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
 	return out
 }
 
 // UnionAlphabet returns the sorted union of the alphabets of the given
 // automata.
 func UnionAlphabet(as ...*NFA) []Symbol { return unionAlphabet(as...) }
+
+// UnionAlphabetIDs returns the union of the given automata's alphabets as
+// interned symbol ids, sorted by symbol name.
+func UnionAlphabetIDs(as ...*NFA) []int32 {
+	return collectAlphabet(func(yield func(int32)) {
+		for _, a := range as {
+			for _, sid := range a.AlphabetIDs() {
+				yield(sid)
+			}
+		}
+	})
+}

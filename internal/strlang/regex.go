@@ -404,7 +404,7 @@ func (g *glushkov) build(r Regex) (nullable bool, first, last IntSet) {
 			an, af, al := g.build(a)
 			// follow: every last of the prefix feeds every first of a.
 			if prevLast != nil {
-				for p := range prevLast {
+				for p := range prevLast.All() {
 					g.follow[p].AddAll(af)
 				}
 			}
@@ -427,13 +427,13 @@ func (g *glushkov) build(r Regex) (nullable bool, first, last IntSet) {
 		return nullable, first, last.Copy()
 	case RStar:
 		_, af, al := g.build(t.Arg)
-		for p := range al {
+		for p := range al.All() {
 			g.follow[p].AddAll(af)
 		}
 		return true, af, al
 	case RPlus:
 		an, af, al := g.build(t.Arg)
-		for p := range al {
+		for p := range al.All() {
 			g.follow[p].AddAll(af)
 		}
 		return an, af, al
@@ -452,18 +452,20 @@ func (g *glushkov) build(r Regex) (nullable bool, first, last IntSet) {
 func RegexNFA(r Regex) *NFA {
 	g := buildGlushkov(r)
 	a := NewNFA() // state 0 = initial
+	ids := make([]int32, len(g.syms))
 	for p := 1; p < len(g.syms); p++ {
 		a.AddState()
+		ids[p] = Intern(g.syms[p])
 	}
 	if g.nullable {
 		a.MarkFinal(0)
 	}
-	for p := range g.first {
-		a.AddTransition(0, g.syms[p], p)
+	for p := range g.first.All() {
+		a.AddTransitionID(0, ids[p], p)
 	}
 	for p := 1; p < len(g.syms); p++ {
-		for q := range g.follow[p] {
-			a.AddTransition(p, g.syms[q], q)
+		for q := range g.follow[p].All() {
+			a.AddTransitionID(p, ids[q], q)
 		}
 		if g.last.Has(p) {
 			a.MarkFinal(p)
@@ -481,7 +483,7 @@ func RegexDeterministic(r Regex) (bool, Symbol) {
 	g := buildGlushkov(r)
 	check := func(set IntSet) (bool, Symbol) {
 		bySym := map[Symbol]int{}
-		for p := range set {
+		for p := range set.All() {
 			s := g.syms[p]
 			if prev, ok := bySym[s]; ok && prev != p {
 				return false, s

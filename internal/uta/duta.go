@@ -1,7 +1,7 @@
 package uta
 
 import (
-	"strings"
+	"encoding/binary"
 
 	"dxml/internal/strlang"
 	"dxml/internal/xmltree"
@@ -37,11 +37,15 @@ type labelProduct struct {
 type prodTuple []strlang.IntSet
 
 func (t prodTuple) key() string {
-	parts := make([]string, len(t))
-	for i, s := range t {
-		parts[i] = s.Key()
+	// Bitset keys are raw bytes, so a separator could collide with data;
+	// length-prefix each part instead.
+	var b []byte
+	for _, s := range t {
+		k := s.Key()
+		b = binary.AppendUvarint(b, uint64(len(k)))
+		b = append(b, k...)
 	}
-	return strings.Join(parts, ";")
+	return string(b)
 }
 
 // Determinize returns the DUTA of a over the given label alphabet, which
@@ -147,8 +151,8 @@ func (d *DUTA) step(lp *labelProduct, p int, dstate int) int {
 	next := make(prodTuple, len(lp.qs))
 	for i, nfa := range lp.nfas {
 		acc := strlang.NewIntSet()
-		for q := range childSet {
-			acc.AddAll(nfa.Step(cur[i], StateSym(q)))
+		for q := range childSet.All() {
+			acc.AddAll(nfa.StepID(cur[i], stateSymID(q)))
 		}
 		next[i] = acc
 	}

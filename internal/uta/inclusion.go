@@ -102,13 +102,13 @@ func searchPairs(a *NUTA, db *DUTA, lp *labelProduct, label string, q int,
 		// Step by every known pair (q', d').
 		for i := 0; i < len(*order); i++ {
 			cp := (*order)[i]
-			targets := nfa.Succ(e.n.x, StateSym(cp.q))
+			targets := nfa.SuccID(e.n.x, stateSymID(cp.q))
 			if len(targets) == 0 {
 				continue
 			}
 			np := db.step(lp, e.n.p, cp.d)
 			for _, x2 := range targets {
-				n2 := node{x2, np}
+				n2 := node{int(x2), np}
 				if seen[n2] {
 					continue
 				}

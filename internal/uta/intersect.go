@@ -27,8 +27,8 @@ func Intersect(a, b *NUTA) *NUTA {
 			}
 		}
 	}
-	for p := range a.finals {
-		for q := range b.finals {
+	for p := range a.finals.All() {
+		for q := range b.finals.All() {
 			out.MarkFinal(pairID(p, q))
 		}
 	}
@@ -65,22 +65,22 @@ func productWordNFA(ca, cb *strlang.NFA, nb int, pairID func(int, int) int) *str
 	for i := 0; i < len(order); i++ {
 		n := order[i]
 		from := ids[n]
-		for _, symA := range ea.Alphabet() {
-			tsA := ea.Succ(n.x, symA)
+		for _, sidA := range ea.AlphabetIDs() {
+			tsA := ea.SuccID(n.x, sidA)
 			if len(tsA) == 0 {
 				continue
 			}
-			p := SymState(symA)
-			for _, symB := range eb.Alphabet() {
-				tsB := eb.Succ(n.y, symB)
+			p := SymState(strlang.SymbolName(sidA))
+			for _, sidB := range eb.AlphabetIDs() {
+				tsB := eb.SuccID(n.y, sidB)
 				if len(tsB) == 0 {
 					continue
 				}
-				q := SymState(symB)
-				sym := StateSym(pairID(p, q))
+				q := SymState(strlang.SymbolName(sidB))
+				sym := stateSymID(pairID(p, q))
 				for _, ta := range tsA {
 					for _, tb := range tsB {
-						out.AddTransition(from, sym, get(node{ta, tb}))
+						out.AddTransitionID(from, sym, get(node{int(ta), int(tb)}))
 					}
 				}
 			}

@@ -8,6 +8,7 @@ package uta
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"dxml/internal/strlang"
 	"dxml/internal/xmltree"
@@ -16,6 +17,31 @@ import (
 // StateSym encodes a UTA state id as a symbol for the horizontal word
 // automata (the content languages Δ(q, a) are word languages over states).
 func StateSym(q int) strlang.Symbol { return strconv.Itoa(q) }
+
+// stateSymID returns the interned symbol id of StateSym(q), so the hot
+// horizontal-automaton loops can step by dense id instead of formatting
+// and hashing a string per state.
+func stateSymID(q int) int32 {
+	symIDMu.RLock()
+	if q < len(symIDCache) {
+		id := symIDCache[q]
+		symIDMu.RUnlock()
+		return id
+	}
+	symIDMu.RUnlock()
+	symIDMu.Lock()
+	for len(symIDCache) <= q {
+		symIDCache = append(symIDCache, strlang.Intern(StateSym(len(symIDCache))))
+	}
+	id := symIDCache[q]
+	symIDMu.Unlock()
+	return id
+}
+
+var (
+	symIDMu    sync.RWMutex
+	symIDCache []int32
+)
 
 // SymState decodes a state symbol.
 func SymState(s strlang.Symbol) int {
@@ -140,8 +166,8 @@ func acceptsSomeSequence(nfa *strlang.NFA, sets []strlang.IntSet) bool {
 	cur := nfa.Closure(strlang.NewIntSet(nfa.Start()))
 	for _, set := range sets {
 		next := strlang.NewIntSet()
-		for q := range set {
-			next.AddAll(nfa.Step(cur, StateSym(q)))
+		for q := range set.All() {
+			next.AddAll(nfa.StepID(cur, stateSymID(q)))
 		}
 		cur = next
 		if cur.Len() == 0 {
@@ -187,11 +213,11 @@ func acceptsSomeWordOver(nfa *strlang.NFA, allowed strlang.IntSet) bool {
 			return true
 		}
 		next := strlang.NewIntSet()
-		for q := range allowed {
-			next.AddAll(nfa.Step(cur, StateSym(q)))
+		for q := range allowed.All() {
+			next.AddAll(nfa.StepID(cur, stateSymID(q)))
 		}
 		grew := false
-		for s := range next {
+		for s := range next.All() {
 			if !seen.Has(s) {
 				seen.Add(s)
 				grew = true
@@ -229,7 +255,7 @@ func (a *NUTA) SomeTree() *xmltree.Tree {
 			break
 		}
 	}
-	for q := range a.finals {
+	for q := range a.finals.All() {
 		if t, ok := witness[q]; ok {
 			return t
 		}
@@ -260,7 +286,7 @@ func someSequence(nfa *strlang.NFA, witness map[int]*xmltree.Tree) ([]*xmltree.T
 		e := queue[0]
 		queue = queue[1:]
 		for _, q := range states {
-			next := nfa.Step(e.set, StateSym(q))
+			next := nfa.StepID(e.set, stateSymID(q))
 			if next.Len() == 0 || seen[next.Key()] {
 				continue
 			}
