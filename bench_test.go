@@ -321,6 +321,88 @@ func BenchmarkCentralizedValidation(b *testing.B) {
 	b.ReportMetric(float64(bytes)/float64(b.N), "wire-bytes/op")
 }
 
+// --- Tree vs stream validation (the streaming engine's workload) ---
+
+// validationType is the eurostat global type used by the scaling
+// benchmarks.
+func validationType() *dxml.EDTD {
+	return dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, nationalIndex*
+		averages -> (Good, index+)+
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year`).ToEDTD()
+}
+
+// validationDoc builds a valid eurostat document with approximately the
+// requested number of nodes (each nationalIndex subtree adds 6).
+func validationDoc(nodes int) *dxml.Tree {
+	doc := dxml.MustParseTree("eurostat(averages(Good index(value year)))")
+	ni := dxml.MustParseTree("nationalIndex(country Good index(value year))")
+	for n := doc.Size(); n < nodes; n += 6 {
+		doc.Children = append(doc.Children, ni.Clone())
+	}
+	return doc
+}
+
+var validationSizes = []int{1_000, 10_000, 100_000, 1_000_000}
+
+// BenchmarkTreeValidation is the materialized baseline: the bottom-up
+// tree validator over documents of 10^3–10^6 nodes.
+func BenchmarkTreeValidation(b *testing.B) {
+	e := validationType()
+	for _, nodes := range validationSizes {
+		b.Run(fmt.Sprintf("n=%d", nodes), func(b *testing.B) {
+			doc := validationDoc(nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Validate(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamValidation drives the same documents through the
+// compiled streaming machine (tree-walker front-end): one pass, memory
+// proportional to depth, near-zero allocation.
+func BenchmarkStreamValidation(b *testing.B) {
+	m := dxml.CompileStream(validationType())
+	for _, nodes := range validationSizes {
+		b.Run(fmt.Sprintf("n=%d", nodes), func(b *testing.B) {
+			doc := validationDoc(nodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.ValidateTree(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamValidationXML validates straight off serialized XML
+// bytes — the wire path of the p2p kernel peer and the CLI's stdin mode
+// (the decoder, not the validator, dominates here).
+func BenchmarkStreamValidationXML(b *testing.B) {
+	m := dxml.CompileStream(validationType())
+	for _, nodes := range validationSizes {
+		b.Run(fmt.Sprintf("n=%d", nodes), func(b *testing.B) {
+			src := validationDoc(nodes).XMLString()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.ValidateReader(strings.NewReader(src)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate benchmarks ---
 
 func BenchmarkBuildDRE(b *testing.B) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"dxml"
@@ -414,29 +415,54 @@ func runCons(df *DesignFile) (string, error) {
 	return b.String(), nil
 }
 
+// validateMachine compiles the design file's type for streaming
+// validation.
+func validateMachine(df *DesignFile) (*dxml.StreamMachine, error) {
+	dtd, edtd, err := parseTreeType(df)
+	if err != nil {
+		return nil, err
+	}
+	if dtd != nil {
+		edtd = dtd.ToEDTD()
+	}
+	return dxml.CompileStream(edtd), nil
+}
+
 func runValidate(df *DesignFile, doc string) (string, error) {
 	if strings.TrimSpace(doc) == "" {
-		return "", fmt.Errorf("validate needs a document argument")
+		return "", fmt.Errorf("validate needs a document argument (or - for stdin)")
 	}
-	tree, err := dxml.ParseTree(strings.TrimSpace(doc))
-	if err != nil {
-		tree, err = dxml.ParseXML(doc)
-		if err != nil {
-			return "", err
-		}
-	}
-	dtd, edtd, err := parseTreeType(df)
+	m, err := validateMachine(df)
 	if err != nil {
 		return "", err
 	}
-	var verr error
-	if dtd != nil {
-		verr = dtd.Validate(tree)
-	} else {
-		verr = edtd.Validate(tree)
+	// XML documents stream; the term syntax parses to a tree first and
+	// streams its events through the same machine.
+	if strings.HasPrefix(strings.TrimSpace(doc), "<") {
+		return verdict(m.ValidateReader(strings.NewReader(doc))), nil
 	}
-	if verr != nil {
-		return fmt.Sprintf("invalid: %v\n", verr), nil
+	tree, err := dxml.ParseTree(strings.TrimSpace(doc))
+	if err != nil {
+		return "", err
 	}
-	return "valid\n", nil
+	return verdict(m.ValidateTree(tree)), nil
+}
+
+// RunValidateStream validates one XML document from r against the design
+// file's type in a single streaming pass: memory stays proportional to
+// the document's depth, so arbitrarily large documents pipe through
+// stdin. Used by `dxml -problem validate <design-file> -`.
+func RunValidateStream(df *DesignFile, r io.Reader) (string, error) {
+	m, err := validateMachine(df)
+	if err != nil {
+		return "", err
+	}
+	return verdict(m.ValidateReader(r)), nil
+}
+
+func verdict(err error) string {
+	if err != nil {
+		return fmt.Sprintf("invalid: %v\n", err)
+	}
+	return "valid\n"
 }

@@ -3,11 +3,18 @@
 // Usage:
 //
 //	dxml -problem <problem> <design-file>
-//	dxml -problem validate <design-file> <document.term>
+//	dxml -problem validate <design-file> <document.term|document.xml>
+//	dxml -problem validate <design-file> -        # stream XML from stdin
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);
 // cons (bottom-up consistency for the file's class); validate.
+//
+// Validation runs on the streaming engine: one pass, memory proportional
+// to the document's depth. With "-" the document is never held in memory
+// at all, so generated workloads pipe straight in:
+//
+//	dxmlgen -n 1 -format xml type.grammar | dxml -problem validate file.design -
 //
 // Design file format (see testdata/ for examples):
 //
@@ -52,6 +59,16 @@ func main() {
 	df.AllowTrivial = *trivial
 	var doc string
 	if flag.NArg() > 1 {
+		if arg := flag.Arg(1); arg == "-" && *problem == "validate" {
+			// One streaming pass over stdin; the document is never
+			// materialized.
+			out, err := RunValidateStream(df, os.Stdin)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			return
+		}
 		b, err := os.ReadFile(flag.Arg(1))
 		if err != nil {
 			fatal(err)

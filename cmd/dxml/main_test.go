@@ -58,6 +58,42 @@ func TestEurostatDesignFile(t *testing.T) {
 	}
 }
 
+// TestValidateStreaming exercises the streaming validate path: XML via
+// Run (string) and via RunValidateStream (reader, the stdin path).
+func TestValidateStreaming(t *testing.T) {
+	df := load(t, "eurostat.design")
+	xmlDoc := `<eurostat><averages><Good/><index><value/><year/></index></averages>` +
+		`<nationalIndex><country/><Good/><value/><year/></nationalIndex></eurostat>`
+	out, err := Run(df, "validate", xmlDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "invalid") {
+		t.Errorf("valid XML document rejected: %q", out)
+	}
+	out, err = RunValidateStream(df, strings.NewReader(xmlDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "invalid") {
+		t.Errorf("streamed document rejected: %q", out)
+	}
+	out, err = RunValidateStream(df, strings.NewReader("<eurostat><zz/></eurostat>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "invalid") {
+		t.Errorf("invalid streamed document accepted: %q", out)
+	}
+	out, err = RunValidateStream(df, strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "invalid") {
+		t.Errorf("empty stream should be invalid, got %q", out)
+	}
+}
+
 func TestExample3DesignFile(t *testing.T) {
 	df := load(t, "example3.design")
 	out, err := Run(df, "exists-perfect", "")

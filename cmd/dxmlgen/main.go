@@ -4,11 +4,18 @@
 //
 // Usage:
 //
-//	dxmlgen [-n 3] [-seed 1] [-depth 12] [-format term|xml] <type-file>
+//	dxmlgen [-n 3] [-seed 1] [-depth 12] [-budget 6] [-format term|xml] <type-file>
 //
 // The type file holds either W3C <!ELEMENT …> declarations or the
 // arrow-grammar notation (with "name : element -> regex" specializations
 // for EDTDs; the root rule's head is the document root).
+//
+// -format xml emits each document as real XML on stdout, so generated
+// workloads pipe straight into the streaming validator end to end
+// (-budget widens nodes for larger documents):
+//
+//	dxmlgen -n 1 -depth 20 -budget 40 -format xml type.grammar |
+//	    dxml -problem validate file.design -
 package main
 
 import (
@@ -24,10 +31,11 @@ func main() {
 	n := flag.Int("n", 3, "number of documents to sample")
 	seed := flag.Int64("seed", 1, "random seed")
 	depth := flag.Int("depth", 12, "maximum tree height")
+	budget := flag.Int("budget", 6, "soft bound on children sampled per node (width)")
 	format := flag.String("format", "term", "output format: term or xml")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dxmlgen [-n N] [-seed S] [-depth D] [-format term|xml] <type-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxmlgen [-n N] [-seed S] [-depth D] [-budget W] [-format term|xml] <type-file>")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -43,6 +51,7 @@ func main() {
 		fatal(err)
 	}
 	sampler.MaxDepth = *depth
+	sampler.WordBudget = *budget
 	for i := 0; i < *n; i++ {
 		doc, err := sampler.Document()
 		if err != nil {

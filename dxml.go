@@ -6,6 +6,7 @@ import (
 	"dxml/internal/gen"
 	"dxml/internal/p2p"
 	"dxml/internal/schema"
+	"dxml/internal/stream"
 	"dxml/internal/strlang"
 	"dxml/internal/uta"
 	"dxml/internal/xmltree"
@@ -99,6 +100,17 @@ type (
 	ResourcePeer = p2p.ResourcePeer
 	// Sampler draws random valid documents from a type.
 	Sampler = gen.Sampler
+)
+
+// Streaming validation (one pass, memory proportional to document depth,
+// not size; see internal/stream).
+type (
+	// StreamMachine is an EDTD compiled for streaming validation.
+	StreamMachine = stream.Machine
+	// StreamRunner consumes one document's SAX-style events.
+	StreamRunner = stream.Runner
+	// StreamHandler receives StartElement/Text/EndElement events.
+	StreamHandler = stream.Handler
 )
 
 // Unranked tree automata (Section 2.1.3).
@@ -208,4 +220,19 @@ var (
 	NewNetwork = p2p.NewNetwork
 	// NewSampler builds a random-document sampler for a type.
 	NewSampler = gen.New
+
+	// CompileStream compiles an EDTD into a reusable streaming validator
+	// (single-type EDTDs get the deterministic one-pass fast path).
+	CompileStream = stream.Compile
+	// StreamXML feeds one XML document's events from a reader into a
+	// handler.
+	StreamXML = stream.StreamXML
+	// StreamXMLInner feeds the events inside a document's root (the forest
+	// a docking point contributes).
+	StreamXMLInner = stream.StreamXMLInner
+	// StreamTree feeds a materialized tree's events into a handler.
+	StreamTree = stream.StreamTree
+	// StreamKernel streams a kernel document's extension, pausing at each
+	// docking point for the caller to inject the fragment's events.
+	StreamKernel = stream.StreamKernel
 )

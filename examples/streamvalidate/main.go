@@ -1,0 +1,75 @@
+// Streamvalidate: one-pass, constant-memory validation with the
+// streaming engine.
+//
+// The tree validators materialize a document before checking it, so
+// memory grows with document size. Single-type EDTDs (the paper's
+// R-SDTDs, Definition 6) are validatable in one top-down pass: the
+// streaming machine compiles the type once and checks documents with
+// memory proportional to their depth — the property that lets resource
+// peers check million-node fragments locally. The example validates a
+// large generated document through both engines, shows they agree, and
+// shares one compiled machine across concurrent peers.
+//
+// Run with: go run ./examples/streamvalidate
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dxml"
+)
+
+func main() {
+	global := dxml.MustParseDTD(dxml.KindNRE, `
+		root eurostat
+		eurostat -> averages, nationalIndex*
+		averages -> (Good, index+)+
+		nationalIndex -> country, Good, (index | value, year)
+		index -> value, year`).ToEDTD()
+
+	// One compile, any number of validations.
+	machine := dxml.CompileStream(global)
+	fmt.Printf("compiled machine: single-type fast path = %v\n", machine.SingleType())
+
+	// A wide document: 20000 national indexes, ~100k nodes.
+	doc := dxml.MustParseTree("eurostat(averages(Good index(value year)))")
+	for i := 0; i < 20000; i++ {
+		doc.Children = append(doc.Children,
+			dxml.MustParseTree("nationalIndex(country Good index(value year))"))
+	}
+	fmt.Printf("document size: %d nodes\n", doc.Size())
+
+	streamErr := machine.ValidateTree(doc)
+	treeErr := global.Validate(doc)
+	fmt.Printf("stream verdict: %v, tree verdict: %v, agree: %v\n",
+		streamErr == nil, treeErr == nil, (streamErr == nil) == (treeErr == nil))
+
+	// The XML front-end validates straight off a reader — stdin, a file,
+	// a socket — without ever building the tree.
+	xmlErr := machine.ValidateReader(strings.NewReader(doc.XMLString()))
+	fmt.Printf("XML stream verdict: %v\n", xmlErr == nil)
+
+	// Invalid documents fail with a streaming-position diagnosis.
+	bad := doc.Clone()
+	bad.Children[5000].Children = bad.Children[5000].Children[:1]
+	fmt.Printf("mutated document: %v\n", machine.ValidateTree(bad))
+
+	// Concurrent peers share the compiled machine; runners are pooled.
+	var wg sync.WaitGroup
+	verdicts := make([]bool, 8)
+	for p := range verdicts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			verdicts[p] = machine.ValidateTree(doc) == nil
+		}(p)
+	}
+	wg.Wait()
+	allOK := true
+	for _, v := range verdicts {
+		allOK = allOK && v
+	}
+	fmt.Printf("8 concurrent peers, one shared machine: all valid = %v\n", allOK)
+}

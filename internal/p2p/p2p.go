@@ -9,21 +9,34 @@
 //     soundness, all-local-valid implies the materialized document
 //     satisfies the global type, and by completeness no valid document is
 //     rejected;
-//   - centralized validation: the kernel peer pulls every document,
-//     materializes extT(t1..tn) and validates it against the global type.
+//   - centralized validation: the kernel peer pulls every document and
+//     validates the extension extT(t1..tn) against the global type.
+//
+// Validation runs on the streaming engine (internal/stream): each peer
+// compiles its type once into a shared machine and checks fragments in a
+// single pass with memory proportional to depth, and the kernel peer
+// validates the extension by streaming the kernel's events with each
+// docking point spliced from the received fragment bytes — the extension
+// document is never materialized (Kernel.Extend is not called).
 //
 // The network is simulated in-memory with goroutines and channels; message
 // and byte counts are recorded so the example programs and benchmarks can
 // report the communication advantage of local typings (the paper's
-// Remark 4 and introduction).
+// Remark 4 and introduction). Verdict messages are costed at a fixed wire
+// size; document messages are costed by their serialized bytes, produced
+// exactly once per message (the same bytes are the payload the kernel
+// peer streams from).
 package p2p
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sync"
 
 	"dxml/internal/axml"
 	"dxml/internal/schema"
+	"dxml/internal/stream"
 	"dxml/internal/xmltree"
 )
 
@@ -48,28 +61,90 @@ func (s *Stats) Snapshot() (messages, bytes int) {
 	return s.Messages, s.Bytes
 }
 
-// message is what travels on the simulated wire.
+// message is what travels on the simulated wire: either a verdict or a
+// document serialized once at the sending peer.
 type message struct {
 	from    string
 	verdict bool
-	doc     *xmltree.Tree // nil for verdict-only messages
+	doc     []byte // serialized document; nil for verdict-only messages
 }
 
-// wireSize approximates the serialized size of a message in bytes.
+// verdictMessage builds a verdict-only message.
+func verdictMessage(from string, verdict bool) message {
+	return message{from: from, verdict: verdict}
+}
+
+// docMessage serializes doc exactly once; the bytes are both the payload
+// the kernel peer streams from and the wire-size measure.
+func docMessage(from string, doc *xmltree.Tree) message {
+	return message{from: from, doc: []byte(doc.XMLString())}
+}
+
+// wireSize is the serialized size of a message in bytes: the fixed
+// verdict frame plus the document payload, if any. No tree is ever
+// re-serialized just to be measured.
 func (m message) wireSize() int {
 	n := len(m.from) + 1
-	if m.doc != nil {
-		n += len(m.doc.XMLString())
-	}
+	n += len(m.doc)
 	return n
 }
 
-// ResourcePeer owns one docking point's document and local type.
+// ResourcePeer owns one docking point's document and local type. The
+// streaming machine for the type is compiled lazily once and shared by
+// every validation; replace the peer (AddPeer) rather than mutating Type
+// in place.
 type ResourcePeer struct {
 	Func string
 	Doc  *xmltree.Tree
 	Type *schema.EDTD
+
+	compileOnce sync.Once
+	machine     *stream.Machine
 }
+
+// Machine returns the peer's compiled streaming validator.
+func (p *ResourcePeer) Machine() *stream.Machine {
+	p.compileOnce.Do(func() { p.machine = stream.Compile(p.Type) })
+	return p.machine
+}
+
+// Validate streams the peer's current document through its local type,
+// checking ctx between elements so a canceled round stops mid-document.
+func (p *ResourcePeer) Validate(ctx context.Context) error {
+	r := p.Machine().NewRunner()
+	defer r.Release()
+	if err := stream.StreamTree(p.Doc, &ctxHandler{ctx: ctx, h: r}); err != nil {
+		return err
+	}
+	return r.Finish()
+}
+
+// ctxHandler forwards events, polling the context every few hundred
+// elements so in-flight validations notice a short-circuit cancel.
+type ctxHandler struct {
+	ctx context.Context
+	h   stream.Handler
+	n   int
+}
+
+func (c *ctxHandler) check() error {
+	c.n++
+	if c.n&255 == 0 {
+		return c.ctx.Err()
+	}
+	return nil
+}
+
+func (c *ctxHandler) StartElement(label string) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.h.StartElement(label)
+}
+
+func (c *ctxHandler) Text() error { return c.h.Text() }
+
+func (c *ctxHandler) EndElement() error { return c.h.EndElement() }
 
 // Network is a simulated federation: one kernel peer plus one resource
 // peer per docking point.
@@ -78,6 +153,9 @@ type Network struct {
 	GlobalType *schema.EDTD
 	Peers      map[string]*ResourcePeer
 	Stats      Stats
+
+	compileOnce sync.Once
+	machine     *stream.Machine
 }
 
 // NewNetwork builds a federation for the kernel; documents and local
@@ -90,6 +168,13 @@ func NewNetwork(kernel *axml.Kernel, global *schema.EDTD) *Network {
 	}
 }
 
+// GlobalMachine returns the kernel peer's compiled validator for the
+// global type.
+func (n *Network) GlobalMachine() *stream.Machine {
+	n.compileOnce.Do(func() { n.machine = stream.Compile(n.GlobalType) })
+	return n.machine
+}
+
 // AddPeer attaches a resource peer for the given docking point.
 func (n *Network) AddPeer(fn string, doc *xmltree.Tree, local *schema.EDTD) error {
 	if n.Kernel.FuncIndex(fn) < 0 {
@@ -99,67 +184,120 @@ func (n *Network) AddPeer(fn string, doc *xmltree.Tree, local *schema.EDTD) erro
 	return nil
 }
 
-// ValidateDistributed runs the distributed protocol: every peer validates
-// locally in parallel and sends a verdict-only message. The result is the
-// conjunction of the local verdicts. Traffic: n verdict messages.
-func (n *Network) ValidateDistributed() (bool, error) {
+// peers resolves every docking point to its peer, failing on gaps.
+func (n *Network) peers() ([]*ResourcePeer, error) {
 	funcs := n.Kernel.Funcs()
-	ch := make(chan message, len(funcs))
-	var wg sync.WaitGroup
-	for _, f := range funcs {
+	out := make([]*ResourcePeer, len(funcs))
+	for i, f := range funcs {
 		peer, ok := n.Peers[f]
 		if !ok {
-			return false, fmt.Errorf("p2p: no peer for %s", f)
+			return nil, fmt.Errorf("p2p: no peer for %s", f)
 		}
+		out[i] = peer
+	}
+	return out, nil
+}
+
+// ValidateDistributed runs the distributed protocol: every peer validates
+// locally in parallel and sends a verdict-only message. The result is the
+// conjunction of the local verdicts. The round short-circuits: the first
+// failing verdict cancels the outstanding peers (canceled peers abort
+// mid-document and send nothing), so traffic is at most n verdict
+// messages and Stats counts exactly the messages delivered.
+func (n *Network) ValidateDistributed() (bool, error) {
+	return n.ValidateDistributedContext(context.Background())
+}
+
+// ValidateDistributedContext is ValidateDistributed under an external
+// context; canceling it aborts the round.
+func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) {
+	peers, err := n.peers()
+	if err != nil {
+		return false, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan message, len(peers))
+	var wg sync.WaitGroup
+	for _, peer := range peers {
 		wg.Add(1)
 		go func(p *ResourcePeer) {
 			defer wg.Done()
-			verdict := p.Type.Validate(p.Doc) == nil
-			ch <- message{from: p.Func, verdict: verdict}
+			if ctx.Err() != nil {
+				return // round already decided: send nothing
+			}
+			verr := p.Validate(ctx)
+			if ctx.Err() != nil {
+				return // canceled mid-validation
+			}
+			ch <- verdictMessage(p.Func, verr == nil)
 		}(peer)
 	}
-	wg.Wait()
-	close(ch)
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
 	all := true
+	delivered := 0
 	for m := range ch {
+		delivered++
 		n.Stats.add(m.wireSize())
 		if !m.verdict {
 			all = false
+			cancel() // short-circuit the peers still running
 		}
+	}
+	if all && delivered < len(peers) {
+		// Verdicts are missing and none of them failed, so the caller's
+		// context must have ended mid-round (our own short-circuit cancel
+		// always comes with a failing verdict). A fully delivered round is
+		// conclusive regardless of the context's state.
+		return false, ctx.Err()
 	}
 	return all, nil
 }
 
 // ValidateCentralized runs the centralized protocol: every peer ships its
-// whole document, the kernel peer materializes and validates globally.
-// Traffic: n full documents.
+// whole document (serialized once), and the kernel peer validates the
+// extension extT(t1..tn) against the global type by streaming the kernel
+// events with each docking point spliced from the received bytes. The
+// extension is never materialized. Traffic: n full documents.
 func (n *Network) ValidateCentralized() (bool, error) {
-	funcs := n.Kernel.Funcs()
-	ch := make(chan message, len(funcs))
+	peers, err := n.peers()
+	if err != nil {
+		return false, err
+	}
+	ch := make(chan message, len(peers))
 	var wg sync.WaitGroup
-	for _, f := range funcs {
-		peer, ok := n.Peers[f]
-		if !ok {
-			return false, fmt.Errorf("p2p: no peer for %s", f)
-		}
+	for _, peer := range peers {
 		wg.Add(1)
 		go func(p *ResourcePeer) {
 			defer wg.Done()
-			ch <- message{from: p.Func, doc: p.Doc}
+			ch <- docMessage(p.Func, p.Doc)
 		}(peer)
 	}
 	wg.Wait()
 	close(ch)
-	ext := map[string]*xmltree.Tree{}
+	frags := map[string][]byte{}
 	for m := range ch {
 		n.Stats.add(m.wireSize())
-		ext[m.from] = m.doc
+		frags[m.from] = m.doc
 	}
-	doc, err := n.Kernel.Extend(ext)
+	return n.validateExtensionStream(frags), nil
+}
+
+// validateExtensionStream validates extT against the global type from
+// serialized fragments, in one streaming pass.
+func (n *Network) validateExtensionStream(frags map[string][]byte) bool {
+	r := n.GlobalMachine().NewRunner()
+	defer r.Release()
+	err := stream.StreamKernel(n.Kernel, r, func(fn string, h stream.Handler) error {
+		return stream.StreamXMLInner(bytes.NewReader(frags[fn]), h)
+	})
 	if err != nil {
-		return false, err
+		return false
 	}
-	return n.GlobalType.Validate(doc) == nil, nil
+	return r.Finish() == nil
 }
 
 // Materialize returns the extension document (for inspection).
@@ -185,8 +323,8 @@ func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, pr
 	if !ok {
 		return false, nil, fmt.Errorf("p2p: no peer for %s", fn)
 	}
-	verdict := peer.Type.Validate(newDoc) == nil
-	n.Stats.add(message{from: fn, verdict: verdict}.wireSize())
+	verdict := peer.Machine().ValidateTree(newDoc) == nil
+	n.Stats.add(verdictMessage(fn, verdict).wireSize())
 	if !verdict {
 		return false, peer.Doc, nil
 	}
@@ -196,30 +334,32 @@ func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, pr
 }
 
 // UpdatePeerCentralized is the same edit under centralized validation:
-// the new fragment is shipped to the kernel peer, the whole document is
-// re-materialized and re-validated; on failure the edit is rolled back.
+// the new fragment is shipped to the kernel peer, every other fragment is
+// pulled, and the whole extension is re-validated as a stream; on failure
+// the edit is rolled back.
 func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitted bool, err error) {
 	peer, ok := n.Peers[fn]
 	if !ok {
 		return false, fmt.Errorf("p2p: no peer for %s", fn)
 	}
-	n.Stats.add(message{from: fn, doc: newDoc}.wireSize())
-	old := peer.Doc
-	peer.Doc = newDoc
+	if _, err := n.peers(); err != nil {
+		return false, err
+	}
+	frags := map[string][]byte{}
+	m := docMessage(fn, newDoc)
+	n.Stats.add(m.wireSize())
+	frags[fn] = m.doc
 	// The kernel peer must pull every other fragment to re-validate.
 	for f, p := range n.Peers {
 		if f != fn {
-			n.Stats.add(message{from: f, doc: p.Doc}.wireSize())
+			m := docMessage(f, p.Doc)
+			n.Stats.add(m.wireSize())
+			frags[f] = m.doc
 		}
 	}
-	doc, err := n.Materialize()
-	if err != nil {
-		peer.Doc = old
-		return false, err
-	}
-	if n.GlobalType.Validate(doc) != nil {
-		peer.Doc = old
+	if !n.validateExtensionStream(frags) {
 		return false, nil
 	}
+	peer.Doc = newDoc
 	return true, nil
 }

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -316,6 +317,76 @@ func TestSampledWorkloadFederation(t *testing.T) {
 			t.Fatalf("round %d: sampled federation rejected (dist=%v cent=%v): %s",
 				round, dist, cent, mat)
 		}
+	}
+}
+
+// TestDistributedShortCircuit: an invalid peer fails the round without
+// forcing every verdict onto the wire, and Stats stays consistent (every
+// counted message is a delivered verdict of fixed size).
+func TestDistributedShortCircuit(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{2000, 2000, 2000})
+	n.Peers["f1"].Doc = xmltree.MustParse(typing[1].Starts[0] + "(nationalIndex(country))")
+	ok, err := n.ValidateDistributed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("invalid federation accepted")
+	}
+	msgs, bytes := n.Stats.Snapshot()
+	if msgs > len(n.Kernel.Funcs()) {
+		t.Errorf("short-circuited round delivered %d messages for %d peers", msgs, len(n.Kernel.Funcs()))
+	}
+	if msgs == 0 {
+		t.Error("the failing verdict itself must be counted")
+	}
+	// Every distributed message is a fixed-size verdict frame, never a
+	// document.
+	if bytes > msgs*4 {
+		t.Errorf("verdict round moved %d bytes in %d messages", bytes, msgs)
+	}
+}
+
+// TestDistributedContextCancel: an externally canceled round reports the
+// context error instead of a spurious "valid" verdict.
+func TestDistributedContextCancel(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{1, 1, 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ok, err := n.ValidateDistributedContext(ctx)
+	if ok {
+		t.Error("canceled round must not report valid")
+	}
+	if err == nil {
+		t.Error("canceled round should surface the context error")
+	}
+}
+
+// TestCentralizedNeverMaterializes: centralized validation agrees with
+// Extend+Validate while accounting document bytes exactly once per
+// message (the payload length, not a re-serialization).
+func TestCentralizedWireAccounting(t *testing.T) {
+	n, typing := eurostatSetup(t)
+	attachValidDocs(t, n, typing, []int{3, 1, 2})
+	ok, err := n.ValidateCentralized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid federation rejected")
+	}
+	msgs, gotBytes := n.Stats.Snapshot()
+	if msgs != len(n.Kernel.Funcs()) {
+		t.Errorf("centralized round: %d messages, want %d", msgs, len(n.Kernel.Funcs()))
+	}
+	wantBytes := 0
+	for f, p := range n.Peers {
+		wantBytes += len(f) + 1 + len(p.Doc.XMLString())
+	}
+	if gotBytes != wantBytes {
+		t.Errorf("centralized bytes = %d, want serialized payload total %d", gotBytes, wantBytes)
 	}
 }
 

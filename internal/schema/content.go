@@ -10,6 +10,7 @@ package schema
 
 import (
 	"fmt"
+	"sync"
 
 	"dxml/internal/strlang"
 )
@@ -51,6 +52,13 @@ type Content struct {
 	re   strlang.Regex // non-nil for KindNRE/KindDRE
 	nfa  *strlang.NFA  // always non-nil
 	dfa  *strlang.DFA  // non-nil for KindDFA
+
+	// compiled caches the minimal DFA of the language, computed on first
+	// use. Content models are immutable and shared (EDTD.Clone and SubType
+	// alias them), so one compilation serves every consumer — in particular
+	// the streaming validation machines, which step content DFAs per event.
+	compileOnce sync.Once
+	compiled    *strlang.DFA
 }
 
 // NewContentRegex builds a content model of a regex kind. For KindDRE the
@@ -132,6 +140,19 @@ func (c *Content) Regex() strlang.Regex { return c.re }
 
 // DFA returns the automaton for KindDFA (nil otherwise).
 func (c *Content) DFA() *strlang.DFA { return c.dfa }
+
+// CompiledDFA returns the minimal trimmed DFA of the content language,
+// compiling it on first use and caching it on the (immutable, shared)
+// content model. The result's alphabet is exactly the language's useful
+// symbols, and its internal caches are primed, so it is safe for
+// concurrent read-only stepping.
+func (c *Content) CompiledDFA() *strlang.DFA {
+	c.compileOnce.Do(func() {
+		c.compiled = c.nfa.Determinize().Minimize()
+		c.compiled.AlphabetIDs() // prime the cache for lock-free reads
+	})
+	return c.compiled
+}
 
 // Size returns the representation size of c in its own formalism: regex
 // AST nodes for regex kinds, states+transitions for automaton kinds. This

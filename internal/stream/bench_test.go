@@ -1,0 +1,36 @@
+package stream
+
+import (
+	"testing"
+
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// BenchmarkGeneralEDTDPath exercises the subset-tracking slow path (the
+// single-type fast path is covered by the root-level scaling benchmarks).
+func BenchmarkGeneralEDTDPath(b *testing.B) {
+	e, err := schema.ParseEDTD(schema.KindNRE, `
+		root s
+		s -> a1+ | a2+
+		a1 : a -> b*
+		a2 : a -> c*`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Compile(e)
+	if m.SingleType() {
+		b.Fatal("fixture should be general")
+	}
+	doc := xmltree.MustParse("s")
+	for i := 0; i < 200; i++ {
+		doc.Children = append(doc.Children, xmltree.MustParse("a(b b b)"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ValidateTree(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dxml/internal/gen"
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// recursiveSDTD is a single-type EDTD with genuine specializations and
+// recursion (sections nest), so the differential test covers deep
+// documents and non-trivial witness resolution.
+func recursiveSDTD(t testing.TB, kind schema.Kind) *schema.EDTD {
+	t.Helper()
+	e, err := schema.ParseEDTD(kind, `
+		root doc
+		doc -> front, secA*
+		front : part -> p*
+		secA : sec -> secB*, p?
+		secB : sec -> p*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// mutate applies one random structural edit to a copy of doc: drop a
+// child, duplicate a child, or relabel a non-root node.
+func mutate(r *rand.Rand, doc *xmltree.Tree) *xmltree.Tree {
+	out := doc.Clone()
+	var nodes []*xmltree.Tree
+	out.Walk(func(n *xmltree.Tree, _ []string) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	n := nodes[r.Intn(len(nodes))]
+	switch r.Intn(4) {
+	case 0: // drop a child
+		if len(n.Children) > 0 {
+			i := r.Intn(len(n.Children))
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+		}
+	case 1: // duplicate a child
+		if len(n.Children) > 0 {
+			i := r.Intn(len(n.Children))
+			n.Children = append(n.Children, n.Children[i].Clone())
+		}
+	case 2: // relabel a node to another label of the document
+		n.Label = nodes[r.Intn(len(nodes))].Label
+	default: // relabel to a foreign symbol
+		if n != out {
+			n.Label = "zz"
+		}
+	}
+	return out
+}
+
+// TestDifferentialStreamVsTree pins the streaming verdicts against the
+// tree-based EDTD.Validate across all four content-model kinds, on
+// sampler-drawn valid documents and on random mutations of them (which
+// may or may not stay valid — EDTD.Validate is the oracle either way).
+// Fixtures cover the single-type fast path (flat and recursive) and the
+// general-EDTD subset tracker. Over 10k documents are checked.
+func TestDifferentialStreamVsTree(t *testing.T) {
+	type fixture struct {
+		name  string
+		build func(testing.TB, schema.Kind) *schema.EDTD
+	}
+	fixtures := []fixture{
+		{"eurostat", func(tb testing.TB, k schema.Kind) *schema.EDTD { return eurostatEDTD(tb, k) }},
+		{"recursive-sdtd", func(tb testing.TB, k schema.Kind) *schema.EDTD { return recursiveSDTD(tb, k) }},
+		{"general-edtd", func(tb testing.TB, k schema.Kind) *schema.EDTD { return generalEDTD(tb, k) }},
+	}
+	rounds := 420
+	if testing.Short() {
+		rounds = 40
+	}
+	total := 0
+	for _, fx := range fixtures {
+		for _, kind := range schema.AllKinds {
+			fx, kind := fx, kind
+			t.Run(fx.name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				e := fx.build(t, kind)
+				m := Compile(e)
+				s, err := gen.New(e, int64(17*len(fx.name))+int64(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.MaxDepth = 8
+				r := rand.New(rand.NewSource(int64(kind) + 1))
+				for i := 0; i < rounds; i++ {
+					doc, err := s.Document()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := checkAgreement(t, e, m, doc); err != nil {
+						t.Fatalf("valid sample %d: %v", i, err)
+					}
+					if err := checkAgreement(t, e, m, mutate(r, doc)); err != nil {
+						t.Fatalf("mutated sample %d: %v", i, err)
+					}
+				}
+			})
+			total += 2 * rounds
+		}
+	}
+	if !testing.Short() && total < 10000 {
+		t.Fatalf("differential coverage too small: %d documents", total)
+	}
+	t.Logf("checked %d documents", total)
+}
+
+// checkAgreement validates doc with both stream front-ends (tree walker
+// and XML reader) and fails unless both agree with EDTD.Validate.
+func checkAgreement(t *testing.T, e *schema.EDTD, m *Machine, doc *xmltree.Tree) error {
+	t.Helper()
+	want := e.Validate(doc) == nil
+	if got := m.ValidateTree(doc); (got == nil) != want {
+		return fmt.Errorf("stream disagrees with EDTD.Validate on %s: tree-valid=%v, stream says %v",
+			doc, want, got)
+	}
+	if got := m.ValidateReader(strings.NewReader(doc.XMLString())); (got == nil) != want {
+		return fmt.Errorf("XML stream disagrees with EDTD.Validate on %s: tree-valid=%v, stream says %v",
+			doc, want, got)
+	}
+	return nil
+}

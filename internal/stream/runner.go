@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"dxml/internal/strlang"
+)
+
+// stFrame is one open element on the single-type fast path: its forced
+// witness and the running state of its content DFA.
+type stFrame struct {
+	name  int32 // machine-local index of the witness
+	lid   int32 // interned element-label id (for error paths)
+	state int32 // current content-DFA state
+}
+
+// genFrame is one open element of the general-EDTD subset tracker: per
+// candidate specialization, the NFA state set of its content run over the
+// children consumed so far. runs[i] == nil marks a dead candidate.
+type genFrame struct {
+	lid   int32
+	cands []int32
+	runs  []strlang.IntSet
+}
+
+// Runner consumes one document's events and accumulates a verdict. The
+// zero value is not usable; obtain Runners from Machine.NewRunner and
+// return them with Release. A Runner is not safe for concurrent use; the
+// point of pooling is that many goroutines each hold their own Runner
+// over one shared Machine.
+type Runner struct {
+	m    *Machine
+	err  error
+	done bool // the root element has closed
+
+	st   []stFrame
+	gst  []genFrame
+	surv []int32 // scratch: surviving child names at EndElement
+}
+
+func (r *Runner) reset() {
+	r.err = nil
+	r.done = false
+	r.st = r.st[:0]
+	r.gst = r.gst[:0]
+}
+
+// Release resets the runner and returns it to its machine's pool.
+func (r *Runner) Release() {
+	r.reset()
+	r.m.pool.Put(r)
+}
+
+// Depth returns the number of currently open elements.
+func (r *Runner) Depth() int {
+	if r.m.singleType {
+		return len(r.st)
+	}
+	return len(r.gst)
+}
+
+// path renders the open-element path for error messages, ending with
+// extra (when non-empty).
+func (r *Runner) path(extra string) string {
+	var b strings.Builder
+	write := func(lid int32) {
+		b.WriteByte('/')
+		b.WriteString(strlang.SymbolName(lid))
+	}
+	if r.m.singleType {
+		for _, f := range r.st {
+			write(f.lid)
+		}
+	} else {
+		for _, f := range r.gst {
+			write(f.lid)
+		}
+	}
+	if extra != "" {
+		b.WriteByte('/')
+		b.WriteString(extra)
+	}
+	if b.Len() == 0 {
+		return "/"
+	}
+	return b.String()
+}
+
+// fail records the first validation error; it stays sticky so sources can
+// stop on it and Finish reports it.
+func (r *Runner) fail(format string, args ...any) error {
+	if r.err == nil {
+		r.err = fmt.Errorf("stream: "+format, args...)
+	}
+	return r.err
+}
+
+// Err returns the sticky validation error, if any.
+func (r *Runner) Err() error { return r.err }
+
+// StartElement consumes an element-open event.
+func (r *Runner) StartElement(label string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.done {
+		return r.fail("unexpected second root <%s>", label)
+	}
+	lid, known := strlang.LookupSymID(label)
+	if r.m.singleType {
+		return r.startSingle(label, lid, known)
+	}
+	return r.startGeneral(label, lid, known)
+}
+
+func (r *Runner) startSingle(label string, lid int32, known bool) error {
+	if len(r.st) == 0 {
+		if !known {
+			return r.fail("root <%s> matches no start", label)
+		}
+		name, ok := r.m.startByElem[lid]
+		if !ok {
+			return r.fail("root <%s> matches no start", label)
+		}
+		r.st = append(r.st, stFrame{name: name, lid: lid, state: r.m.progs[name].start})
+		return nil
+	}
+	top := &r.st[len(r.st)-1]
+	prog := &r.m.progs[top.name]
+	if !known {
+		return r.fail("at %s: child <%s> not allowed under witness %s",
+			r.path(""), label, r.m.names[top.name])
+	}
+	ref, ok := prog.child[lid]
+	if !ok {
+		return r.fail("at %s: child <%s> not allowed under witness %s",
+			r.path(""), label, r.m.names[top.name])
+	}
+	next, ok := prog.dfa.NextID(int(top.state), ref.sym)
+	if !ok {
+		return r.fail("at %s: child <%s> violates π(%s)",
+			r.path(""), label, r.m.names[top.name])
+	}
+	top.state = int32(next)
+	r.st = append(r.st, stFrame{name: ref.name, lid: lid, state: r.m.progs[ref.name].start})
+	return nil
+}
+
+func (r *Runner) startGeneral(label string, lid int32, known bool) error {
+	var cands []int32
+	if len(r.gst) == 0 {
+		if known {
+			cands = r.m.startsByElem[lid]
+		}
+		if len(cands) == 0 {
+			return r.fail("root <%s> matches no start", label)
+		}
+	} else {
+		if known {
+			cands = r.m.specsByElem[lid]
+		}
+		if len(cands) == 0 {
+			return r.fail("at %s: element <%s> has no specialization", r.path(""), label)
+		}
+	}
+	// Reuse the popped frame's slices when the stack has spare capacity.
+	if len(r.gst) < cap(r.gst) {
+		r.gst = r.gst[:len(r.gst)+1]
+	} else {
+		r.gst = append(r.gst, genFrame{})
+	}
+	f := &r.gst[len(r.gst)-1]
+	f.lid = lid
+	f.cands = append(f.cands[:0], cands...)
+	f.runs = f.runs[:0]
+	for _, n := range cands {
+		f.runs = append(f.runs, r.m.gen[n].startClos)
+	}
+	return nil
+}
+
+// Text consumes character data. The structural abstraction of the paper
+// drops it, so it only checks well-formedness of the event order.
+func (r *Runner) Text() error { return r.err }
+
+// EndElement consumes an element-close event.
+func (r *Runner) EndElement() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.m.singleType {
+		return r.endSingle()
+	}
+	return r.endGeneral()
+}
+
+func (r *Runner) endSingle() error {
+	if len(r.st) == 0 {
+		return r.fail("unbalanced end element")
+	}
+	f := r.st[len(r.st)-1]
+	r.st = r.st[:len(r.st)-1]
+	if !r.m.progs[f.name].dfa.IsFinal(int(f.state)) {
+		return r.fail("at %s: children of <%s> form no word of π(%s)",
+			r.path(strlang.SymbolName(f.lid)), strlang.SymbolName(f.lid), r.m.names[f.name])
+	}
+	if len(r.st) == 0 {
+		r.done = true
+	}
+	return nil
+}
+
+func (r *Runner) endGeneral() error {
+	if len(r.gst) == 0 {
+		return r.fail("unbalanced end element")
+	}
+	f := &r.gst[len(r.gst)-1]
+	// Which candidate specializations survive their content run?
+	r.surv = r.surv[:0]
+	for i, n := range f.cands {
+		if f.runs[i] != nil && f.runs[i].Intersects(r.m.gen[n].finals) {
+			r.surv = append(r.surv, n)
+		}
+	}
+	label := strlang.SymbolName(f.lid)
+	r.gst = r.gst[:len(r.gst)-1]
+	if len(r.surv) == 0 {
+		return r.fail("at %s: subtree of <%s> admits no witness",
+			r.path(label), label)
+	}
+	if len(r.gst) == 0 {
+		r.done = true
+		return nil
+	}
+	// Step every live parent candidate by the set of surviving names.
+	parent := &r.gst[len(r.gst)-1]
+	alive := false
+	for j, pn := range parent.cands {
+		if parent.runs[j] == nil {
+			continue
+		}
+		var next strlang.IntSet
+		for _, cn := range r.surv {
+			stepped := r.m.gen[pn].nfa.StepID(parent.runs[j], r.m.gen[cn].sym)
+			if stepped.Len() == 0 {
+				continue
+			}
+			if next == nil {
+				next = stepped
+			} else {
+				next.AddAll(stepped)
+			}
+		}
+		parent.runs[j] = next // nil marks the candidate dead
+		if next != nil {
+			alive = true
+		}
+	}
+	if !alive {
+		return r.fail("at %s: child <%s> kills every candidate witness",
+			r.path(""), label)
+	}
+	return nil
+}
+
+// Finish reports the final verdict: nil iff exactly one root element was
+// seen, every element closed, and the document is in the machine's
+// language.
+func (r *Runner) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if !r.done {
+		// Not sticky: the document may legitimately continue after an
+		// intermediate Finish probe.
+		if r.Depth() > 0 {
+			return fmt.Errorf("stream: unterminated elements at %s", r.path(""))
+		}
+		return fmt.Errorf("stream: empty document")
+	}
+	return nil
+}

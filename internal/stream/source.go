@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"dxml/internal/xmltree"
+)
+
+// StreamXML feeds the structural events of one XML document from r into
+// h, without ever materializing a tree: memory is the decoder's buffer
+// plus whatever h keeps per open element. Character data is forwarded as
+// Text events; comments, processing instructions and attributes are
+// dropped, matching the paper's structural abstraction.
+func StreamXML(r io.Reader, h Handler) error {
+	depth, roots, err := streamXMLEvents(r, h, 0)
+	if err != nil {
+		return err
+	}
+	if roots == 0 {
+		return fmt.Errorf("stream: empty document")
+	}
+	if depth != 0 {
+		return fmt.Errorf("stream: unterminated elements")
+	}
+	return nil
+}
+
+// StreamXMLInner feeds the events *inside* the document's root element —
+// the forest a docking point contributes under extension semantics
+// (Section 2.3) — skipping the root's own start and end events.
+func StreamXMLInner(r io.Reader, h Handler) error {
+	depth, roots, err := streamXMLEvents(r, h, 1)
+	if err != nil {
+		return err
+	}
+	if roots == 0 {
+		return fmt.Errorf("stream: empty fragment document")
+	}
+	if depth != 0 {
+		return fmt.Errorf("stream: unterminated elements")
+	}
+	return nil
+}
+
+// streamXMLEvents decodes r and forwards events below the given nesting
+// level (0 = everything, 1 = inside the root). It returns the final
+// depth and the number of top-level elements seen.
+func streamXMLEvents(r io.Reader, h Handler, skip int) (depth, roots int, err error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return depth, roots, nil
+		}
+		if err != nil {
+			return depth, roots, fmt.Errorf("stream: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 {
+				if roots > 0 {
+					return depth, roots, fmt.Errorf("stream: multiple roots")
+				}
+				roots++
+			}
+			if depth >= skip {
+				if err := h.StartElement(el.Name.Local); err != nil {
+					return depth, roots, err
+				}
+			}
+			depth++
+		case xml.EndElement:
+			depth--
+			if depth >= skip {
+				if err := h.EndElement(); err != nil {
+					return depth, roots, err
+				}
+			}
+		case xml.CharData:
+			if depth >= skip {
+				if err := h.Text(); err != nil {
+					return depth, roots, err
+				}
+			}
+		}
+	}
+}
+
+// StreamTree feeds the events of an in-memory tree into h.
+func StreamTree(t *xmltree.Tree, h Handler) error {
+	return t.EmitEvents(h.StartElement, h.EndElement)
+}
+
+// ValidateReader validates one XML document from r in a single pass,
+// with memory proportional to the document's depth.
+func (m *Machine) ValidateReader(r io.Reader) error {
+	run := m.NewRunner()
+	defer run.Release()
+	if err := StreamXML(r, run); err != nil {
+		return err
+	}
+	return run.Finish()
+}
+
+// ValidateTree validates a materialized tree by streaming its events
+// through the machine. Verdicts agree with schema.EDTD.Validate; this
+// walker exists so the two engines are differential-testable and so
+// tree-holding callers (the p2p peers) reuse the compiled machine.
+func (m *Machine) ValidateTree(t *xmltree.Tree) error {
+	run := m.NewRunner()
+	defer run.Release()
+	if err := StreamTree(t, run); err != nil {
+		return err
+	}
+	return run.Finish()
+}

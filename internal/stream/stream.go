@@ -1,0 +1,202 @@
+// Package stream implements one-pass, constant-memory streaming
+// validation of XML documents against the paper's schema abstractions.
+//
+// The tree-based validators (schema.EDTD.Validate and friends) first
+// materialize a full xmltree.Tree, so their memory footprint scales with
+// document *size*. This package compiles a schema.EDTD once into an
+// immutable Machine and drives it from a SAX-style event source —
+// StartElement / Text / EndElement — so validation memory scales with
+// document *depth* only: exactly the property that lets the paper's
+// resource peers check million-node fragments locally and cheaply.
+//
+// # Why single-type EDTDs stream
+//
+// For a single-type EDTD (the paper's R-SDTD, Definition 6) no content
+// model's useful alphabet contains two distinct specializations of the
+// same element name, and no two start names share an element name. The
+// witness assignment is therefore *forced* top-down: the root's
+// specialized name is determined by its label, and each child's by its
+// label plus its parent's witness. A single left-to-right pass suffices —
+// each open element carries one precompiled content-DFA state, stepped
+// O(log k) per child by interned symbol id (k = the state's out-degree),
+// and acceptance is checked when the element closes. Peak memory is one
+// small frame per open element: O(depth).
+//
+// # Limits for general EDTDs
+//
+// General (non-single-type) R-EDTDs admit no deterministic top-down
+// assignment: which specialization a node gets may depend on its entire
+// subtree, so no streaming algorithm can keep a single witness per open
+// element. The Machine still validates them in one pass by on-the-fly
+// subset tracking: for each open element it maintains, per candidate
+// specialization of its label, the NFA state set of that candidate's
+// content automaton run over the *sets* of names assignable to the
+// children seen so far (the bottom-up membership computation of
+// uta.NUTA.PossibleStates, reorganized along the event stream). Memory is
+// still proportional to depth, with a per-frame factor of
+// O(specializations × content-NFA states) — constant in the document,
+// polynomial in the schema. Verdicts are identical to EDTD.Validate; only
+// the early-failure position may differ (the subset tracker detects some
+// dead ends only when an element closes).
+//
+// # Event sources
+//
+// Three front-ends drive a Runner: StreamXML (an io.Reader source built
+// on encoding/xml), Machine.ValidateTree (an in-memory xmltree.Tree
+// walker, differential-testable against EDTD.Validate), and StreamKernel
+// (a kernel-document walker that pauses at docking points so the p2p
+// layer validates distributed documents as streams without materializing
+// the extension). Machines are immutable after Compile and safe for
+// concurrent use; Runners are pooled (sync.Pool) so concurrent peers
+// share one compiled Machine with near-zero per-validation allocation on
+// the single-type path.
+package stream
+
+import (
+	"sync"
+
+	"dxml/internal/schema"
+	"dxml/internal/strlang"
+)
+
+// Handler receives SAX-style structural events. Implementations must
+// return a non-nil error to stop the source; Runner returns its sticky
+// validation error.
+type Handler interface {
+	// StartElement opens an element with the given label.
+	StartElement(label string) error
+	// Text reports character data. The paper's structural abstraction
+	// ignores it; Runner accepts and discards it.
+	Text() error
+	// EndElement closes the most recently opened element.
+	EndElement() error
+}
+
+// childRef resolves an element label inside one content model of a
+// single-type EDTD: the forced child witness and the interned symbol id
+// to step the parent's content DFA by.
+type childRef struct {
+	name int32 // machine-local index of the child's specialized name
+	sym  int32 // interned id of the specialized-name symbol
+}
+
+// stProg is the compiled per-specialized-name program of the single-type
+// fast path.
+type stProg struct {
+	// dfa is the minimal content DFA over specialized-name symbol ids.
+	dfa   *strlang.DFA
+	start int32
+	// child maps interned element-label ids to the forced witness.
+	child map[int32]childRef
+}
+
+// genProg is the per-specialized-name program of the general-EDTD subset
+// tracker.
+type genProg struct {
+	// nfa is the content automaton over specialized-name symbols, with
+	// ε-closures primed so concurrent stepping is read-only.
+	nfa *strlang.NFA
+	// startClos is the ε-closed initial state set (shared, read-only).
+	startClos strlang.IntSet
+	finals    strlang.IntSet
+	sym       int32 // interned id of this specialized name as a symbol
+}
+
+// Machine is a schema.EDTD compiled for streaming validation. It is
+// immutable after Compile and safe for concurrent use by any number of
+// Runners.
+type Machine struct {
+	singleType bool
+	names      []string // specialized names, machine-local index order
+
+	// Single-type fast path.
+	progs       []stProg
+	startByElem map[int32]int32 // element-label id → start name index
+
+	// General-EDTD subset tracking.
+	gen          []genProg
+	specsByElem  map[int32][]int32 // element-label id → candidate name indices
+	startsByElem map[int32][]int32 // element-label id → start name indices
+
+	pool sync.Pool
+}
+
+// Compile builds the streaming Machine for e. Single-type EDTDs (checked
+// with EDTD.IsSingleType) get the deterministic DFA fast path; general
+// EDTDs get the subset tracker. The compilation interns every element
+// and specialized name and primes all automaton caches, so the returned
+// Machine performs no writes to shared state while running.
+func Compile(e *schema.EDTD) *Machine {
+	names := e.SpecializedNames()
+	idx := make(map[string]int32, len(names))
+	for i, n := range names {
+		idx[n] = int32(i)
+	}
+	m := &Machine{names: names}
+	m.pool.New = func() any { return &Runner{m: m} }
+	single, _ := e.IsSingleType()
+	m.singleType = single
+	if single {
+		m.compileSingleType(e, idx)
+	} else {
+		m.compileGeneral(e, idx)
+	}
+	return m
+}
+
+// SingleType reports whether the machine runs the deterministic
+// single-type fast path.
+func (m *Machine) SingleType() bool { return m.singleType }
+
+func (m *Machine) compileSingleType(e *schema.EDTD, idx map[string]int32) {
+	witness := e.ChildWitnesses()
+	m.progs = make([]stProg, len(m.names))
+	for i, n := range m.names {
+		dfa := e.Rule(n).CompiledDFA()
+		child := make(map[int32]childRef, len(witness[n]))
+		for elem, spec := range witness[n] {
+			child[strlang.Intern(elem)] = childRef{name: idx[spec], sym: strlang.Intern(spec)}
+		}
+		m.progs[i] = stProg{dfa: dfa, start: int32(dfa.Start()), child: child}
+	}
+	m.startByElem = make(map[int32]int32, len(e.Starts))
+	for _, s := range e.Starts {
+		m.startByElem[strlang.Intern(e.Elem(s))] = idx[s]
+	}
+}
+
+func (m *Machine) compileGeneral(e *schema.EDTD, idx map[string]int32) {
+	m.gen = make([]genProg, len(m.names))
+	for i, n := range m.names {
+		nfa := e.Rule(n).Lang()
+		startClos := nfa.ClosureOf(nfa.Start()) // primes ε-closures
+		nfa.AlphabetIDs()                       // primes the alphabet cache
+		m.gen[i] = genProg{
+			nfa:       nfa,
+			startClos: startClos,
+			finals:    nfa.Finals(),
+			sym:       strlang.Intern(n),
+		}
+	}
+	m.specsByElem = map[int32][]int32{}
+	for elem, specs := range e.SpecializationMap() {
+		elemID := strlang.Intern(elem)
+		for _, n := range specs {
+			m.specsByElem[elemID] = append(m.specsByElem[elemID], idx[n])
+		}
+	}
+	m.startsByElem = map[int32][]int32{}
+	for _, s := range e.Starts {
+		elemID := strlang.Intern(e.Elem(s))
+		m.startsByElem[elemID] = append(m.startsByElem[elemID], idx[s])
+	}
+}
+
+// NewRunner returns a pooled Runner ready to consume one document's
+// events. Release it when done so concurrent validations reuse its
+// frames.
+func (m *Machine) NewRunner() *Runner {
+	r := m.pool.Get().(*Runner)
+	r.reset()
+	return r
+}
