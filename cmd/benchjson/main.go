@@ -1,0 +1,106 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can publish benchmark results as a machine-readable
+// artifact and the performance trajectory stays diffable across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -out BENCH.json
+//
+// Every benchmark line becomes one record with its name, iteration
+// count, and every reported metric (ns/op, B/op, allocs/op, MB/s, and
+// custom b.ReportMetric units like wire-bytes/op) keyed by unit.
+// Non-benchmark lines are ignored, so raw `go test` output pipes in
+// unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one `go test -bench` output line, reporting ok=false
+// for lines that are not benchmark results.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The rest are value-unit pairs: "123 ns/op", "45.2 MB/s", ...
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// convert reads bench text from in and writes the JSON artifact to out.
+func convert(in io.Reader, out io.Writer) error {
+	var results []Result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}{results})
+}
+
+func main() {
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	out := io.Writer(os.Stdout)
+	var file *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		file = f
+		out = f
+	}
+	err := convert(os.Stdin, out)
+	if file != nil {
+		// A failed flush must fail the run, or CI publishes a truncated
+		// artifact while staying green.
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

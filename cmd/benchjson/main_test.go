@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dxml/internal/p2p
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCentralizedChunkSweep/chunk=4096         	       2	  25477297 ns/op	       368.0 frames/op	   1480239 wire-bytes/op	 3299752 B/op	  200846 allocs/op
+BenchmarkFeederScaling/n=1000000            	       2	 101590006 ns/op	 193.59 MB/s	     904 B/op	      20 allocs/op
+PASS
+ok  	dxml/internal/p2p	3.714s
+`
+
+func TestConvert(t *testing.T) {
+	var out strings.Builder
+	if err := convert(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks []Result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkCentralizedChunkSweep/chunk=4096" || b.Iterations != 2 {
+		t.Errorf("first record: %+v", b)
+	}
+	if b.Metrics["wire-bytes/op"] != 1480239 || b.Metrics["allocs/op"] != 200846 {
+		t.Errorf("metrics: %v", b.Metrics)
+	}
+	if doc.Benchmarks[1].Metrics["MB/s"] != 193.59 {
+		t.Errorf("custom unit lost: %v", doc.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"", "PASS", "ok  	dxml	0.5s", "goos: linux",
+		"BenchmarkBroken abc def", "Benchmark 12",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted noise", line)
+		}
+	}
+}

@@ -415,15 +415,25 @@ func runCons(df *DesignFile) (string, error) {
 	return b.String(), nil
 }
 
-// validateMachine compiles the design file's type for streaming
-// validation.
-func validateMachine(df *DesignFile) (*dxml.StreamMachine, error) {
+// designEDTD resolves the design file's type to an EDTD (lifting DTDs),
+// the form both validation modes run on.
+func designEDTD(df *DesignFile) (*dxml.EDTD, error) {
 	dtd, edtd, err := parseTreeType(df)
 	if err != nil {
 		return nil, err
 	}
 	if dtd != nil {
 		edtd = dtd.ToEDTD()
+	}
+	return edtd, nil
+}
+
+// validateMachine compiles the design file's type for streaming
+// validation.
+func validateMachine(df *DesignFile) (*dxml.StreamMachine, error) {
+	edtd, err := designEDTD(df)
+	if err != nil {
+		return nil, err
 	}
 	return dxml.CompileStream(edtd), nil
 }
@@ -449,15 +459,96 @@ func runValidate(df *DesignFile, doc string) (string, error) {
 }
 
 // RunValidateStream validates one XML document from r against the design
-// file's type in a single streaming pass: memory stays proportional to
-// the document's depth, so arbitrarily large documents pipe through
-// stdin. Used by `dxml -problem validate <design-file> -`.
-func RunValidateStream(df *DesignFile, r io.Reader) (string, error) {
+// file's type by feeding it to the push parser in chunks as they arrive:
+// memory stays proportional to the chunk budget plus the document's
+// depth, so arbitrarily large documents pipe through stdin. Used by
+// `dxml -problem validate <design-file> -`; chunk <= 0 uses a default
+// read budget.
+func RunValidateStream(df *DesignFile, r io.Reader, chunk int) (string, error) {
 	m, err := validateMachine(df)
 	if err != nil {
 		return "", err
 	}
-	return verdict(m.ValidateReader(r)), nil
+	return verdict(dxml.FeedReader(m.NewFeeder(), r, chunk)), nil
+}
+
+// RunValidateDistributed validates a federation over the simulated p2p
+// wire: the design file's typing blocks are the peers' local types, and
+// the i-th document is the peer document behind the i-th docking point.
+// It runs both protocols the paper compares — distributed (each peer
+// checks its own document against its local type and ships a verdict)
+// and centralized (the kernel peer pulls every fragment in chunk-budget
+// frames and validates the extension as one stream) — and, with
+// showStats, reports the wire traffic of each, including the bytes a
+// mid-transfer rejection saved.
+func RunValidateDistributed(df *DesignFile, docs []*dxml.Tree, chunk int, showStats bool) (string, error) {
+	if df.Class == "word" {
+		return "", fmt.Errorf("distributed validation needs a tree class, not word")
+	}
+	edtd, err := designEDTD(df)
+	if err != nil {
+		return "", err
+	}
+	typing, err := df.typing()
+	if err != nil {
+		return "", err
+	}
+	funcs := df.Kernel.Funcs()
+	if len(docs) != len(funcs) {
+		return "", fmt.Errorf("distributed validation needs %d documents (one per docking point %v), got %d",
+			len(funcs), funcs, len(docs))
+	}
+	build := func() (*dxml.Network, error) {
+		n := dxml.NewNetwork(df.Kernel, edtd)
+		n.ChunkSize = chunk
+		for i, f := range funcs {
+			if err := n.AddPeer(f, docs[i], typing[i]); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	var b strings.Builder
+	report := func(name string, run func(n *dxml.Network) (bool, error)) error {
+		n, err := build()
+		if err != nil {
+			return err
+		}
+		ok, err := run(n)
+		if err != nil {
+			return err
+		}
+		v := "valid"
+		if !ok {
+			v = "invalid"
+		}
+		fmt.Fprintf(&b, "%s: %s\n", name, v)
+		if showStats {
+			t := n.Stats.Totals()
+			fmt.Fprintf(&b, "  wire: %d messages, %d frames, %d bytes", t.Messages, t.Frames, t.Bytes)
+			if t.BytesSaved > 0 {
+				fmt.Fprintf(&b, " (%d bytes saved by mid-transfer rejection)", t.BytesSaved)
+			}
+			b.WriteString("\n")
+		}
+		return nil
+	}
+	if err := report("distributed", (*dxml.Network).ValidateDistributed); err != nil {
+		return "", err
+	}
+	if err := report("centralized", (*dxml.Network).ValidateCentralized); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// parseDocArg parses one peer document: XML if it looks like markup,
+// otherwise the paper's term syntax.
+func parseDocArg(src string) (*dxml.Tree, error) {
+	if strings.HasPrefix(strings.TrimSpace(src), "<") {
+		return dxml.ParseXML(src)
+	}
+	return dxml.ParseTree(strings.TrimSpace(src))
 }
 
 func verdict(err error) string {

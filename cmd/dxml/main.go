@@ -5,16 +5,26 @@
 //	dxml -problem <problem> <design-file>
 //	dxml -problem validate <design-file> <document.term|document.xml>
 //	dxml -problem validate <design-file> -        # stream XML from stdin
+//	dxml -problem validate -distributed [-stats] [-chunk N] <design-file> <doc>...
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);
 // cons (bottom-up consistency for the file's class); validate.
 //
 // Validation runs on the streaming engine: one pass, memory proportional
-// to the document's depth. With "-" the document is never held in memory
-// at all, so generated workloads pipe straight in:
+// to the document's depth. With "-" the document is fed to the push
+// parser in chunks as stdin delivers them and is never held in memory,
+// so generated workloads pipe straight in:
 //
 //	dxmlgen -n 1 -format xml type.grammar | dxml -problem validate file.design -
+//
+// With -distributed the design file's typing blocks become the local
+// types of a simulated federation (one document argument per docking
+// point, in kernel order) and both protocols run over the chunked wire:
+// distributed validation ships only verdicts, centralized validation
+// pulls every fragment in -chunk-byte frames and rejects invalid
+// documents mid-transfer. -stats prints the traffic of each, including
+// the bytes such a rejection saved.
 //
 // Design file format (see testdata/ for examples):
 //
@@ -38,14 +48,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"dxml"
 )
 
 func main() {
 	problem := flag.String("problem", "exists-perfect", "problem to decide")
 	trivial := flag.Bool("allow-trivial", false, "allow {ε} as a resource type (literal Definition 12; see DESIGN.md E4)")
+	distributed := flag.Bool("distributed", false, "validate: run the p2p federation over the design file's typing (one document per docking point)")
+	stats := flag.Bool("stats", false, "validate: print simulated wire traffic (messages, frames, bytes, bytes saved)")
+	chunk := flag.Int("chunk", 0, "distributed runs: fragment frame budget in bytes (0 = default 4096, -1 = unchunked); stdin validation: read-chunk size (<= 0 = 32 KiB)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: dxml -problem <problem> <design-file> [document]")
+		fmt.Fprintln(os.Stderr, "usage: dxml -problem <problem> <design-file> [document...]")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -57,12 +72,32 @@ func main() {
 		fatal(err)
 	}
 	df.AllowTrivial = *trivial
+	if *problem == "validate" && *distributed {
+		docs := make([]*dxml.Tree, 0, flag.NArg()-1)
+		for _, arg := range flag.Args()[1:] {
+			b, err := os.ReadFile(arg)
+			if err != nil {
+				fatal(err)
+			}
+			doc, err := parseDocArg(string(b))
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", arg, err))
+			}
+			docs = append(docs, doc)
+		}
+		out, err := RunValidateDistributed(df, docs, *chunk, *stats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
 	var doc string
 	if flag.NArg() > 1 {
 		if arg := flag.Arg(1); arg == "-" && *problem == "validate" {
 			// One streaming pass over stdin; the document is never
 			// materialized.
-			out, err := RunValidateStream(df, os.Stdin)
+			out, err := RunValidateStream(df, os.Stdin, *chunk)
 			if err != nil {
 				fatal(err)
 			}

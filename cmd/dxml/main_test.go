@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"dxml"
 )
 
 func load(t *testing.T, name string) *DesignFile {
@@ -71,21 +73,21 @@ func TestValidateStreaming(t *testing.T) {
 	if strings.Contains(out, "invalid") {
 		t.Errorf("valid XML document rejected: %q", out)
 	}
-	out, err = RunValidateStream(df, strings.NewReader(xmlDoc))
+	out, err = RunValidateStream(df, strings.NewReader(xmlDoc), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out, "invalid") {
 		t.Errorf("streamed document rejected: %q", out)
 	}
-	out, err = RunValidateStream(df, strings.NewReader("<eurostat><zz/></eurostat>"))
+	out, err = RunValidateStream(df, strings.NewReader("<eurostat><zz/></eurostat>"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "invalid") {
 		t.Errorf("invalid streamed document accepted: %q", out)
 	}
-	out, err = RunValidateStream(df, strings.NewReader(""))
+	out, err = RunValidateStream(df, strings.NewReader(""), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,5 +237,64 @@ func TestParseDesignFileErrors(t *testing.T) {
 		if _, err := ParseDesignFile(src); err == nil {
 			t.Errorf("ParseDesignFile(%q) should fail", src)
 		}
+	}
+}
+
+// TestValidateDistributedCLI runs both p2p protocols from the design
+// file's typing blocks and checks verdicts and the -stats traffic report,
+// including bytes saved by mid-transfer rejection.
+func TestValidateDistributedCLI(t *testing.T) {
+	df := load(t, "eurostat.design")
+	valid := []string{
+		"root1(averages(Good index(value year)))",
+		"root2(nationalIndex(country Good value year))",
+		"root3(nationalIndex(country Good index(value year)))",
+		"root4",
+	}
+	docs := make([]*dxml.Tree, len(valid))
+	for i, src := range valid {
+		docs[i] = dxml.MustParseTree(src)
+	}
+	out, err := RunValidateDistributed(df, docs, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distributed: valid") || !strings.Contains(out, "centralized: valid") {
+		t.Errorf("valid federation output:\n%s", out)
+	}
+	if !strings.Contains(out, "messages") || !strings.Contains(out, "bytes") {
+		t.Errorf("-stats output missing traffic report:\n%s", out)
+	}
+	if strings.Contains(out, "saved") {
+		t.Errorf("valid federation should save nothing:\n%s", out)
+	}
+
+	// An invalid document at f1 with a fat f3: the centralized kernel
+	// peer rejects mid-transfer and never pulls the rest.
+	fat := dxml.MustParseTree("root4")
+	for i := 0; i < 200; i++ {
+		fat.Children = append(fat.Children,
+			dxml.MustParseTree("nationalIndex(country Good value year)"))
+	}
+	bad := []*dxml.Tree{
+		docs[0],
+		dxml.MustParseTree("root2(nationalIndex(country))"),
+		docs[2],
+		fat,
+	}
+	out, err = RunValidateDistributed(df, bad, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distributed: invalid") || !strings.Contains(out, "centralized: invalid") {
+		t.Errorf("invalid federation output:\n%s", out)
+	}
+	if !strings.Contains(out, "saved by mid-transfer rejection") {
+		t.Errorf("expected bytes saved in stats:\n%s", out)
+	}
+
+	// Wrong document count is a usage error.
+	if _, err := RunValidateDistributed(df, docs[:2], 0, false); err == nil {
+		t.Error("mismatched document count should fail")
 	}
 }

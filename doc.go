@@ -17,6 +17,18 @@
 // they do. See DTDDesign, SDTDDesign, EDTDDesign, WordDesign and the
 // perfect-automaton machinery.
 //
+// Validation is push-based and incremental end to end: an EDTD compiles
+// once into a streaming machine (CompileStream) whose push-parser
+// front-end (Feeder) accepts a document's bytes in arbitrary chunks as a
+// network delivers them and holds O(chunk + depth) memory regardless of
+// document size. The io.Reader front-ends are thin adapters over it, and
+// the simulated federation (Network) ships fragments between peers in
+// fixed-budget frames fed straight into the receiving validator, so
+// invalid fragments are rejected mid-transfer and the saved bytes are
+// accounted in its Stats. The chunk budget (Network.ChunkSize) trades
+// peer memory against framing overhead; verdicts and message counts are
+// invariant under it.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

@@ -111,6 +111,21 @@ type (
 	StreamRunner = stream.Runner
 	// StreamHandler receives StartElement/Text/EndElement events.
 	StreamHandler = stream.Handler
+	// Feeder is the push-parser front-end: it accepts a document's bytes
+	// in arbitrary chunks (Feed) as a network delivers them; Close
+	// finalizes the verdict. Obtain one with StreamMachine.NewFeeder
+	// (validating) or NewFeeder/NewInnerFeeder (custom handlers).
+	Feeder = stream.Feeder
+)
+
+// Chunked fragment transport (the simulated wire's frame budget).
+const (
+	// DefaultChunkSize is the fragment frame budget when
+	// Network.ChunkSize is zero.
+	DefaultChunkSize = p2p.DefaultChunkSize
+	// Unchunked ships each fragment as a single frame (the monolithic
+	// pre-chunking wire).
+	Unchunked = p2p.Unchunked
 )
 
 // Unranked tree automata (Section 2.1.3).
@@ -224,6 +239,13 @@ var (
 	// CompileStream compiles an EDTD into a reusable streaming validator
 	// (single-type EDTDs get the deterministic one-pass fast path).
 	CompileStream = stream.Compile
+	// NewFeeder builds a push parser forwarding events to a handler.
+	NewFeeder = stream.NewFeeder
+	// NewInnerFeeder builds a push parser that skips the root element's
+	// own events (the forest a docking point contributes).
+	NewInnerFeeder = stream.NewInnerFeeder
+	// FeedReader pumps a reader through a Feeder in chunks and closes it.
+	FeedReader = stream.FeedReader
 	// StreamXML feeds one XML document's events from a reader into a
 	// handler.
 	StreamXML = stream.StreamXML

@@ -1,0 +1,59 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCentralizedChunkSweep runs centralized validation of a
+// ~120k-node federation across frame budgets: the verdict and the bytes
+// moved are identical at every size, so the sweep isolates pure framing
+// overhead — the memory/throughput trade-off of the chunk knob.
+func BenchmarkCentralizedChunkSweep(b *testing.B) {
+	for _, chunk := range []int{16, 256, 4096, 65536, Unchunked} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			n, typing := eurostatSetup(b)
+			n.ChunkSize = chunk
+			attachValidDocs(b, n, typing, []int{5000, 5000, 5000})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := n.ValidateCentralized()
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+			b.StopTimer()
+			t := n.Stats.Totals()
+			b.ReportMetric(float64(t.Bytes)/float64(b.N), "wire-bytes/op")
+			b.ReportMetric(float64(t.Frames)/float64(b.N), "frames/op")
+		})
+	}
+}
+
+// BenchmarkCentralizedRejection measures the other side of the trade:
+// an invalid first fragment with a fat healthy one behind it. Small
+// chunks stop the transfer almost immediately — BytesSaved per op is the
+// communication win of mid-transfer rejection.
+func BenchmarkCentralizedRejection(b *testing.B) {
+	for _, chunk := range []int{256, 4096, Unchunked} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			n, typing := eurostatSetup(b)
+			n.ChunkSize = chunk
+			attachValidDocs(b, n, typing, []int{1, 1, 20000})
+			n.Peers["f0"].Doc.Children = nil // averages missing: fails instantly
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := n.ValidateCentralized()
+				if err != nil || ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+			b.StopTimer()
+			t := n.Stats.Totals()
+			b.ReportMetric(float64(t.Bytes)/float64(b.N), "wire-bytes/op")
+			b.ReportMetric(float64(t.BytesSaved)/float64(b.N), "saved-bytes/op")
+		})
+	}
+}

@@ -19,19 +19,34 @@
 // docking point spliced from the received fragment bytes — the extension
 // document is never materialized (Kernel.Extend is not called).
 //
-// The network is simulated in-memory with goroutines and channels; message
-// and byte counts are recorded so the example programs and benchmarks can
-// report the communication advantage of local typings (the paper's
-// Remark 4 and introduction). Verdict messages are costed at a fixed wire
-// size; document messages are costed by their serialized bytes, produced
-// exactly once per message (the same bytes are the payload the kernel
-// peer streams from).
+// The network is simulated in-memory with goroutines and channels.
+// Document transfers are *chunked*: a fragment travels as a sequence of
+// fixed-budget frames (Network.ChunkSize) that the kernel peer feeds
+// straight into a push-parser Feeder as they arrive. Three properties
+// follow:
+//
+//   - the kernel peer's memory is O(chunk + depth) per transfer instead
+//     of O(fragment): no fragment is ever buffered whole;
+//   - invalid fragments are rejected *mid-transfer* — the kernel peer
+//     stops pulling frames the moment its validator fails, and the bytes
+//     never shipped are recorded in Stats.BytesSaved;
+//   - backpressure is real: senders serialize incrementally and block
+//     until the kernel peer consumes, so a slow consumer bounds every
+//     producer's memory too.
+//
+// Message and byte counts are recorded so the example programs and
+// benchmarks can report the communication advantage of local typings
+// (the paper's Remark 4 and introduction). Verdict messages are costed
+// at a fixed wire size; document messages are costed by the serialized
+// bytes actually delivered. Verdicts and logical message counts are
+// invariant under the chunk size — only delivered bytes (on rejected
+// transfers) and frame counts vary.
 package p2p
 
 import (
-	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"dxml/internal/axml"
@@ -40,33 +55,81 @@ import (
 	"dxml/internal/xmltree"
 )
 
+// DefaultChunkSize is the fragment frame budget when Network.ChunkSize is
+// left zero: small enough to bound peer memory, large enough that framing
+// overhead is noise.
+const DefaultChunkSize = 4096
+
+// Unchunked disables fragment chunking: each document travels as one
+// frame, reproducing the pre-chunking monolithic wire.
+const Unchunked = -1
+
 // Stats accumulates simulated network traffic.
 type Stats struct {
 	mu       sync.Mutex
-	Messages int
-	Bytes    int
+	Messages int // logical messages: verdicts and fragment shipments
+	// Frames counts wire deliveries: every message contributes one
+	// envelope frame, and document messages add one frame per chunk
+	// consumed (so even unchunked, a shipped document costs two).
+	Frames int
+	Bytes  int // payload bytes delivered
+	// BytesSaved counts fragment bytes that never traveled because the
+	// kernel peer rejected the document mid-transfer (or the round was
+	// short-circuited): the communication win of chunked shipping.
+	BytesSaved int
 }
 
-func (s *Stats) add(bytes int) {
+// addMessage records a message envelope (and its first accounting frame).
+func (s *Stats) addMessage(bytes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.Messages++
+	s.Frames++
 	s.Bytes += bytes
 }
 
-// Snapshot returns the current counters.
+// addFrame records one delivered payload frame of an open message.
+func (s *Stats) addFrame(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Frames++
+	s.Bytes += bytes
+}
+
+// addSaved records bytes a canceled transfer never shipped.
+func (s *Stats) addSaved(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.BytesSaved += bytes
+}
+
+// Snapshot returns the message and byte counters.
 func (s *Stats) Snapshot() (messages, bytes int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.Messages, s.Bytes
 }
 
-// message is what travels on the simulated wire: either a verdict or a
-// document serialized once at the sending peer.
+// Totals is a consistent copy of all counters.
+type Totals struct {
+	Messages   int
+	Frames     int
+	Bytes      int
+	BytesSaved int
+}
+
+// Totals returns a consistent copy of all counters.
+func (s *Stats) Totals() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Totals{Messages: s.Messages, Frames: s.Frames, Bytes: s.Bytes, BytesSaved: s.BytesSaved}
+}
+
+// message is a verdict frame on the simulated wire. Documents no longer
+// travel as single messages — see docStream.
 type message struct {
 	from    string
 	verdict bool
-	doc     []byte // serialized document; nil for verdict-only messages
 }
 
 // verdictMessage builds a verdict-only message.
@@ -74,19 +137,82 @@ func verdictMessage(from string, verdict bool) message {
 	return message{from: from, verdict: verdict}
 }
 
-// docMessage serializes doc exactly once; the bytes are both the payload
-// the kernel peer streams from and the wire-size measure.
-func docMessage(from string, doc *xmltree.Tree) message {
-	return message{from: from, doc: []byte(doc.XMLString())}
+// wireSize is the fixed serialized size of a verdict frame.
+func (m message) wireSize() int { return len(m.from) + 1 }
+
+// docStream is one fragment in flight: the owning peer produces
+// fixed-budget frames, the kernel peer consumes them in kernel-document
+// order. The channel is unbuffered, so delivery is synchronous
+// (TCP-like backpressure) and the accounting of a rejected transfer is
+// deterministic.
+type docStream struct {
+	from string
+	ch   chan []byte
 }
 
-// wireSize is the serialized size of a message in bytes: the fixed
-// verdict frame plus the document payload, if any. No tree is ever
-// re-serialized just to be measured.
-func (m message) wireSize() int {
-	n := len(m.from) + 1
-	n += len(m.doc)
-	return n
+// frameWriter chops an incremental serialization into chunk-budget
+// frames. Two swap buffers make the transfer allocation-steady: while
+// the receiver feeds one frame, the sender fills the other.
+type frameWriter struct {
+	ctx    context.Context
+	ch     chan<- []byte
+	budget int
+	buf    [2][]byte
+	cur    int
+	sent   int
+}
+
+func (w *frameWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		space := w.budget - len(w.buf[w.cur])
+		if space == 0 {
+			if err := w.send(); err != nil {
+				return total - len(p), err
+			}
+			continue
+		}
+		n := min(space, len(p))
+		w.buf[w.cur] = append(w.buf[w.cur], p[:n]...)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// send ships the current frame, honoring cancellation so a rejected
+// transfer stops producing.
+func (w *frameWriter) send() error {
+	frame := w.buf[w.cur]
+	if len(frame) == 0 {
+		return nil
+	}
+	select {
+	case w.ch <- frame:
+		w.sent += len(frame)
+		w.cur = 1 - w.cur
+		w.buf[w.cur] = w.buf[w.cur][:0]
+		return nil
+	case <-w.ctx.Done():
+		return w.ctx.Err()
+	}
+}
+
+// sendDoc serializes doc incrementally into st's frames. The sender never
+// holds more than two frame buffers plus its recursion stack — O(chunk +
+// depth) memory — and stops serializing the moment the round is canceled,
+// recording the bytes it never shipped.
+func sendDoc(ctx context.Context, st *docStream, doc *xmltree.Tree, chunk int, stats *Stats) {
+	w := &frameWriter{ctx: ctx, ch: st.ch, budget: chunk}
+	err := doc.ToXML(w)
+	if err == nil {
+		err = w.send() // flush the final partial frame
+	}
+	close(st.ch)
+	if err != nil {
+		// The full size is only needed on the rejection path, so the
+		// accepted common case never pays the extra tree walk.
+		stats.addSaved(doc.XMLSize() - w.sent)
+	}
 }
 
 // ResourcePeer owns one docking point's document and local type. The
@@ -154,8 +280,30 @@ type Network struct {
 	Peers      map[string]*ResourcePeer
 	Stats      Stats
 
+	// ChunkSize is the fragment frame budget in bytes: larger chunks
+	// cost fewer frames (less framing/handoff overhead) but more peer
+	// memory and more wasted bytes when a fragment is rejected
+	// mid-transfer. 0 means DefaultChunkSize; any negative value
+	// (canonically Unchunked) ships each document as a single frame.
+	// Verdicts and message counts do not depend on it.
+	ChunkSize int
+
 	compileOnce sync.Once
 	machine     *stream.Machine
+}
+
+// chunkBudget resolves the configured chunk size: positive is the frame
+// budget, zero the default, and any negative value means Unchunked — a
+// mistyped negative must not silently fall back to the default.
+func (n *Network) chunkBudget() int {
+	switch {
+	case n.ChunkSize > 0:
+		return n.ChunkSize
+	case n.ChunkSize < 0:
+		return math.MaxInt
+	default:
+		return DefaultChunkSize
+	}
 }
 
 // NewNetwork builds a federation for the kernel; documents and local
@@ -241,7 +389,7 @@ func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) 
 	delivered := 0
 	for m := range ch {
 		delivered++
-		n.Stats.add(m.wireSize())
+		n.Stats.addMessage(m.wireSize())
 		if !m.verdict {
 			all = false
 			cancel() // short-circuit the peers still running
@@ -258,46 +406,70 @@ func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) 
 }
 
 // ValidateCentralized runs the centralized protocol: every peer ships its
-// whole document (serialized once), and the kernel peer validates the
-// extension extT(t1..tn) against the global type by streaming the kernel
-// events with each docking point spliced from the received bytes. The
-// extension is never materialized. Traffic: n full documents.
+// whole document in chunk-budget frames, and the kernel peer validates
+// the extension extT(t1..tn) against the global type by streaming its own
+// kernel events with each docking point spliced from the frames as they
+// arrive. Neither the extension nor any single fragment is ever
+// materialized at the kernel peer — its memory is O(chunk + depth) — and
+// an invalid document is rejected mid-transfer: frames past the failure
+// are never pulled, and their bytes are recorded in Stats.BytesSaved.
+// Traffic on a valid federation: n full documents.
 func (n *Network) ValidateCentralized() (bool, error) {
-	peers, err := n.peers()
-	if err != nil {
+	if _, err := n.peers(); err != nil {
 		return false, err
 	}
-	ch := make(chan message, len(peers))
-	var wg sync.WaitGroup
-	for _, peer := range peers {
-		wg.Add(1)
-		go func(p *ResourcePeer) {
-			defer wg.Done()
-			ch <- docMessage(p.Func, p.Doc)
-		}(peer)
+	docs := make(map[string]*xmltree.Tree, len(n.Peers))
+	for f, p := range n.Peers {
+		docs[f] = p.Doc
 	}
-	wg.Wait()
-	close(ch)
-	frags := map[string][]byte{}
-	for m := range ch {
-		n.Stats.add(m.wireSize())
-		frags[m.from] = m.doc
-	}
-	return n.validateExtensionStream(frags), nil
+	return n.validateExtensionChunked(docs), nil
 }
 
-// validateExtensionStream validates extT against the global type from
-// serialized fragments, in one streaming pass.
-func (n *Network) validateExtensionStream(frags map[string][]byte) bool {
-	r := n.GlobalMachine().NewRunner()
-	defer r.Release()
-	err := stream.StreamKernel(n.Kernel, r, func(fn string, h stream.Handler) error {
-		return stream.StreamXMLInner(bytes.NewReader(frags[fn]), h)
-	})
-	if err != nil {
-		return false
+// validateExtensionChunked validates extT against the global type with
+// every docking point's document shipped as a chunked stream, in one pass
+// at the kernel peer.
+func (n *Network) validateExtensionChunked(docs map[string]*xmltree.Tree) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chunk := n.chunkBudget()
+	streams := make(map[string]*docStream, len(docs))
+	var wg sync.WaitGroup
+	for _, f := range n.Kernel.Funcs() {
+		st := &docStream{from: f, ch: make(chan []byte)}
+		streams[f] = st
+		wg.Add(1)
+		go func(doc *xmltree.Tree) {
+			defer wg.Done()
+			sendDoc(ctx, st, doc, chunk, &n.Stats)
+		}(docs[f])
 	}
-	return r.Finish() == nil
+	r := n.GlobalMachine().NewRunner()
+	err := stream.StreamKernel(n.Kernel, r, func(fn string, h stream.Handler) error {
+		return n.receiveFragment(streams[fn], h)
+	})
+	if err == nil {
+		err = r.Finish()
+	}
+	r.Release()
+	cancel()  // stop senders whose frames the verdict no longer needs
+	wg.Wait() // settle BytesSaved before the caller reads Stats
+	return err == nil
+}
+
+// receiveFragment is the kernel peer's side of one chunked transfer: it
+// pulls frames and pushes them into an inner Feeder splicing the
+// fragment's forest into h. The first validation or well-formedness
+// error stops the pull — mid-transfer rejection.
+func (n *Network) receiveFragment(st *docStream, h stream.Handler) error {
+	f := stream.NewInnerFeeder(h)
+	n.Stats.addMessage(len(st.from) + 1) // message envelope
+	for frame := range st.ch {
+		n.Stats.addFrame(len(frame))
+		if err := f.Feed(frame); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // Materialize returns the extension document (for inspection).
@@ -324,7 +496,7 @@ func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, pr
 		return false, nil, fmt.Errorf("p2p: no peer for %s", fn)
 	}
 	verdict := peer.Machine().ValidateTree(newDoc) == nil
-	n.Stats.add(verdictMessage(fn, verdict).wireSize())
+	n.Stats.addMessage(verdictMessage(fn, verdict).wireSize())
 	if !verdict {
 		return false, peer.Doc, nil
 	}
@@ -335,8 +507,10 @@ func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, pr
 
 // UpdatePeerCentralized is the same edit under centralized validation:
 // the new fragment is shipped to the kernel peer, every other fragment is
-// pulled, and the whole extension is re-validated as a stream; on failure
-// the edit is rolled back.
+// pulled, and the whole extension is re-validated chunk by chunk; on
+// failure the edit is rolled back — and because rejection happens
+// mid-transfer, a bad edit deep in the kernel walk saves every byte the
+// kernel peer no longer needs to pull.
 func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitted bool, err error) {
 	peer, ok := n.Peers[fn]
 	if !ok {
@@ -345,19 +519,14 @@ func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitt
 	if _, err := n.peers(); err != nil {
 		return false, err
 	}
-	frags := map[string][]byte{}
-	m := docMessage(fn, newDoc)
-	n.Stats.add(m.wireSize())
-	frags[fn] = m.doc
-	// The kernel peer must pull every other fragment to re-validate.
+	// The kernel peer pulls every fragment, with the edited docking point
+	// contributing the new document.
+	docs := make(map[string]*xmltree.Tree, len(n.Peers))
 	for f, p := range n.Peers {
-		if f != fn {
-			m := docMessage(f, p.Doc)
-			n.Stats.add(m.wireSize())
-			frags[f] = m.doc
-		}
+		docs[f] = p.Doc
 	}
-	if !n.validateExtensionStream(frags) {
+	docs[fn] = newDoc
+	if !n.validateExtensionChunked(docs) {
 		return false, nil
 	}
 	peer.Doc = newDoc

@@ -115,8 +115,9 @@ func TestDifferentialStreamVsTree(t *testing.T) {
 	t.Logf("checked %d documents", total)
 }
 
-// checkAgreement validates doc with both stream front-ends (tree walker
-// and XML reader) and fails unless both agree with EDTD.Validate.
+// checkAgreement validates doc with all three stream front-ends (tree
+// walker, XML reader, and the push-parser Feeder fed in small chunks)
+// and fails unless they all agree with EDTD.Validate.
 func checkAgreement(t *testing.T, e *schema.EDTD, m *Machine, doc *xmltree.Tree) error {
 	t.Helper()
 	want := e.Validate(doc) == nil
@@ -124,9 +125,25 @@ func checkAgreement(t *testing.T, e *schema.EDTD, m *Machine, doc *xmltree.Tree)
 		return fmt.Errorf("stream disagrees with EDTD.Validate on %s: tree-valid=%v, stream says %v",
 			doc, want, got)
 	}
-	if got := m.ValidateReader(strings.NewReader(doc.XMLString())); (got == nil) != want {
+	src := doc.XMLString()
+	if got := m.ValidateReader(strings.NewReader(src)); (got == nil) != want {
 		return fmt.Errorf("XML stream disagrees with EDTD.Validate on %s: tree-valid=%v, stream says %v",
 			doc, want, got)
+	}
+	// Push path: the same bytes in 7-byte network chunks.
+	f := m.NewFeeder()
+	var ferr error
+	for b := []byte(src); len(b) > 0 && ferr == nil; {
+		n := min(7, len(b))
+		ferr = f.Feed(b[:n])
+		b = b[n:]
+	}
+	if cerr := f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	if (ferr == nil) != want {
+		return fmt.Errorf("push feeder disagrees with EDTD.Validate on %s: tree-valid=%v, feeder says %v",
+			doc, want, ferr)
 	}
 	return nil
 }

@@ -1,0 +1,524 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// feedState is the tokenizer position of a Feeder. A Feeder must be
+// resumable at *any* byte boundary — network chunks do not align with
+// markup — so every multi-byte construct ("-->", "]]>", "?>", tag names,
+// the "<![CDATA[" discriminator) carries its progress in the Feeder
+// rather than on the stack.
+type feedState uint8
+
+const (
+	fsText          feedState = iota // between markup
+	fsLT                             // '<' seen, kind undecided
+	fsStartName                      // inside a start-tag name
+	fsStartTag                       // inside a start tag, past the name
+	fsStartTagQuote                  // inside a quoted attribute value
+	fsStartTagSlash                  // '/' seen, expecting '>' (self-closing)
+	fsEndName                        // inside an end-tag name
+	fsEndTag                         // past an end-tag name, expecting '>'
+	fsBang                           // "<!" seen: comment, CDATA or DOCTYPE
+	fsComment                        // inside <!-- ... -->
+	fsCDATA                          // inside <![CDATA[ ... ]]>
+	fsDoctype                        // inside <!DOCTYPE ... > (bracket-aware)
+	fsPI                             // inside <? ... ?>
+)
+
+// Feeder is the push-parser front-end of the streaming engine: it accepts
+// the bytes of one XML document in arbitrary chunks, as they arrive from
+// a network or pipe, and forwards the structural events to a Handler.
+// Unlike the io.Reader front-ends it never blocks waiting for input — the
+// caller is in control of when bytes exist — which is what lets the p2p
+// wire deliver fragments frame by frame and reject them mid-transfer.
+//
+// Memory is O(chunk + depth): the tokenizer holds one partial tag name
+// (plus the open-element stack for end-tag matching); chunks are never
+// retained across Feed calls. Character data, attributes, comments,
+// CDATA sections, processing instructions and DOCTYPE declarations are
+// scanned and dropped, matching the paper's structural abstraction and
+// the encoding/xml front-end's event stream on everything structural:
+// element labels (namespace prefixes stripped), end-tag matching (raw
+// names, prefix included), root-count and balance errors. Lexical
+// strictness is the one deliberate divergence — attribute syntax and
+// comment/name minutiae are tolerated rather than validated, since the
+// validator's verdict never depends on them.
+//
+// Feed returns a non-nil error as soon as the prefix consumed so far is
+// malformed or the handler rejects an event; the error is sticky. Close
+// finalizes the verdict (truncation, unterminated elements, empty input)
+// and, for feeders bound to a Machine, the validation verdict itself.
+type Feeder struct {
+	h    Handler
+	skip int // nesting levels whose events are suppressed (1 = fragment root)
+
+	err      error
+	closed   bool
+	closeErr error
+	onClose  func(error) error
+
+	state       feedState
+	pendingText bool                 // a text run continues past a chunk boundary
+	name        []byte               // partial tag name / "<!" discriminator
+	mark        int                  // terminator progress in comment/CDATA/PI states
+	brackets    int                  // DOCTYPE internal-subset depth
+	quote       byte                 // active attribute-value quote
+	depth       int                  // open elements
+	roots       int                  // top-level elements seen
+	stack       []string             // open-element raw names, for end-tag matching
+	labels      map[string]nameEntry // tag-name cache (zero-alloc lookups)
+}
+
+// NewFeeder returns a Feeder that pushes one document's events into h.
+func NewFeeder(h Handler) *Feeder {
+	return &Feeder{h: h}
+}
+
+// NewInnerFeeder returns a Feeder that pushes the events *inside* the
+// document's root element — the forest a docking point contributes under
+// extension semantics (Section 2.3) — suppressing the root's own start
+// and end events. This is how the kernel peer splices a fragment arriving
+// chunk by chunk into its own validation run.
+func NewInnerFeeder(h Handler) *Feeder {
+	return &Feeder{h: h, skip: 1}
+}
+
+// NewFeeder returns a push-validation session: feed one document's bytes
+// in arbitrary chunks, then Close for the verdict. The underlying Runner
+// is pooled and released by Close.
+func (m *Machine) NewFeeder() *Feeder {
+	r := m.NewRunner()
+	f := NewFeeder(r)
+	f.onClose = func(err error) error {
+		defer r.Release()
+		if err != nil {
+			return err
+		}
+		return r.Finish()
+	}
+	return f
+}
+
+// fatal records a sticky tokenizer error.
+func (f *Feeder) fatal(format string, args ...any) error {
+	if f.err == nil {
+		f.err = fmt.Errorf("stream: "+format, args...)
+	}
+	return f.err
+}
+
+// Err returns the sticky error, if any.
+func (f *Feeder) Err() error { return f.err }
+
+// Depth returns the number of currently open elements.
+func (f *Feeder) Depth() int { return f.depth }
+
+// nameEntry is the cached form of one tag name: the raw spelling (used
+// for end-tag matching, prefix included, exactly as encoding/xml matches
+// full names) and the label forwarded to the handler (the part after a
+// namespace prefix, encoding/xml's Name.Local).
+type nameEntry struct {
+	raw   string
+	label string
+}
+
+// lookup resolves a raw tag name, allocation-free after the first
+// occurrence of each distinct spelling.
+func (f *Feeder) lookup(raw []byte) nameEntry {
+	if e, ok := f.labels[string(raw)]; ok {
+		return e
+	}
+	if f.labels == nil {
+		f.labels = make(map[string]nameEntry, 8)
+	}
+	r := string(raw)
+	e := nameEntry{raw: r, label: r}
+	if i := bytes.IndexByte(raw, ':'); i >= 0 {
+		e.label = r[i+1:]
+	}
+	f.labels[r] = e
+	return e
+}
+
+func (f *Feeder) open(e nameEntry) error {
+	if f.depth == 0 {
+		if f.roots > 0 {
+			return f.fatal("multiple roots")
+		}
+		f.roots++
+	}
+	if f.depth >= f.skip {
+		if err := f.h.StartElement(e.label); err != nil {
+			f.err = err
+			return err
+		}
+	}
+	f.stack = append(f.stack, e.raw)
+	f.depth++
+	return nil
+}
+
+func (f *Feeder) close(e nameEntry) error {
+	if f.depth == 0 {
+		return f.fatal("unbalanced end tag </%s>", e.raw)
+	}
+	top := f.stack[len(f.stack)-1]
+	if e.raw != top {
+		return f.fatal("mismatched end tag: </%s> closes <%s>", e.raw, top)
+	}
+	f.stack = f.stack[:len(f.stack)-1]
+	f.depth--
+	if f.depth >= f.skip {
+		if err := f.h.EndElement(); err != nil {
+			f.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Feeder) text() error {
+	if f.depth >= f.skip {
+		if err := f.h.Text(); err != nil {
+			f.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// nameStart reports whether c can begin a tag name. Liberal by design
+// (any non-ASCII byte is accepted, as the middle of a UTF-8 rune): the
+// validator cares about structure, not lexical niceties, and unknown
+// labels are rejected by the schema anyway.
+func nameStart(c byte) bool {
+	return c == '_' || c >= 0x80 ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+// nameByte reports whether c can continue a tag name.
+func nameByte(c byte) bool {
+	return nameStart(c) || c == ':' || c == '-' || c == '.' ||
+		('0' <= c && c <= '9')
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+// cdataOpen is the "<![CDATA[" discriminator past the "<!".
+const cdataOpen = "[CDATA["
+
+// Feed consumes the next chunk of the document. It may be called with
+// chunks of any size, down to a single byte; tokenizer state carries
+// across calls. The chunk is fully processed before Feed returns and is
+// never retained.
+func (f *Feeder) Feed(p []byte) error {
+	if f.err != nil {
+		return f.err
+	}
+	if f.closed {
+		return f.fatal("Feed after Close")
+	}
+	i, n := 0, len(p)
+	for i < n {
+		switch f.state {
+		case fsText:
+			j := bytes.IndexByte(p[i:], '<')
+			if j < 0 {
+				// The run may continue in the next chunk: defer the
+				// event so a contiguous text run is one Text call no
+				// matter how the chunks split it.
+				f.pendingText = true
+				i = n
+				break
+			}
+			if j > 0 || f.pendingText {
+				f.pendingText = false
+				if err := f.text(); err != nil {
+					return err
+				}
+			}
+			i += j + 1
+			f.state = fsLT
+
+		case fsLT:
+			c := p[i]
+			i++
+			switch {
+			case c == '/':
+				f.state = fsEndName
+				f.name = f.name[:0]
+			case c == '!':
+				f.state = fsBang
+				f.name = f.name[:0]
+			case c == '?':
+				f.state = fsPI
+				f.mark = 0
+			case nameStart(c):
+				f.state = fsStartName
+				f.name = append(f.name[:0], c)
+			default:
+				return f.fatal("malformed markup: '<' followed by %q", c)
+			}
+
+		case fsStartName:
+			for i < n && nameByte(p[i]) {
+				f.name = append(f.name, p[i])
+				i++
+			}
+			if i == n {
+				break
+			}
+			c := p[i]
+			i++
+			switch {
+			case c == '>':
+				if err := f.open(f.lookup(f.name)); err != nil {
+					return err
+				}
+				f.state = fsText
+			case c == '/':
+				f.state = fsStartTagSlash
+			case isSpace(c):
+				f.state = fsStartTag
+			default:
+				return f.fatal("malformed start tag <%s%c", f.name, c)
+			}
+
+		case fsStartTag:
+			// Scanning attributes for '>', '/' or a quote. Attribute
+			// syntax is deliberately not validated (the structural
+			// abstraction drops attributes entirely; unquoted values
+			// are tolerated where encoding/xml rejects them) — but a
+			// '<' here is always a missing-'>' typo, and swallowing it
+			// would silently eat the next tag.
+			c := p[i]
+			i++
+			switch c {
+			case '>':
+				if err := f.open(f.lookup(f.name)); err != nil {
+					return err
+				}
+				f.state = fsText
+			case '/':
+				f.state = fsStartTagSlash
+			case '"', '\'':
+				f.quote = c
+				f.state = fsStartTagQuote
+			case '<':
+				return f.fatal("'<' inside start tag <%s", f.name)
+			}
+
+		case fsStartTagQuote:
+			j := bytes.IndexByte(p[i:], f.quote)
+			if j < 0 {
+				i = n
+				break
+			}
+			i += j + 1
+			f.state = fsStartTag
+
+		case fsStartTagSlash:
+			c := p[i]
+			i++
+			if c != '>' {
+				return f.fatal("malformed self-closing tag <%s/%c", f.name, c)
+			}
+			e := f.lookup(f.name)
+			if err := f.open(e); err != nil {
+				return err
+			}
+			if err := f.close(e); err != nil {
+				return err
+			}
+			f.state = fsText
+
+		case fsEndName:
+			for i < n && nameByte(p[i]) {
+				f.name = append(f.name, p[i])
+				i++
+			}
+			if i == n {
+				break
+			}
+			c := p[i]
+			i++
+			switch {
+			case c == '>':
+				if err := f.close(f.lookup(f.name)); err != nil {
+					return err
+				}
+				f.state = fsText
+			case isSpace(c) && len(f.name) > 0:
+				f.state = fsEndTag
+			default:
+				return f.fatal("malformed end tag </%s%c", f.name, c)
+			}
+
+		case fsEndTag: // whitespace before '>' in an end tag
+			c := p[i]
+			i++
+			switch {
+			case c == '>':
+				if err := f.close(f.lookup(f.name)); err != nil {
+					return err
+				}
+				f.state = fsText
+			case isSpace(c):
+			default:
+				return f.fatal("malformed end tag </%s %c", f.name, c)
+			}
+
+		case fsBang: // decide comment vs CDATA vs DOCTYPE-like
+			c := p[i]
+			i++
+			f.name = append(f.name, c)
+			switch {
+			case len(f.name) <= 2 && f.name[0] == '-':
+				if len(f.name) == 2 {
+					if f.name[1] != '-' {
+						return f.fatal("malformed comment open <!-%c", f.name[1])
+					}
+					f.state = fsComment
+					f.mark = 0
+				}
+			case len(f.name) <= len(cdataOpen) &&
+				string(f.name) == cdataOpen[:len(f.name)]:
+				if len(f.name) == len(cdataOpen) {
+					f.state = fsCDATA
+					f.mark = 0
+				}
+			default:
+				// A declaration (DOCTYPE and friends): scan to its '>',
+				// honouring an internal subset's [...] brackets and
+				// quoted literals. Replay the few bytes already
+				// buffered through the same rule.
+				f.state = fsDoctype
+				f.brackets = 0
+				f.quote = 0
+				for _, b := range f.name {
+					if done := f.doctypeByte(b); done {
+						break
+					}
+				}
+			}
+
+		case fsDoctype:
+			c := p[i]
+			i++
+			f.doctypeByte(c)
+
+		case fsComment:
+			// Terminator "-->"; mark counts matched terminator bytes.
+			c := p[i]
+			i++
+			switch {
+			case f.mark == 2 && c == '>':
+				f.state = fsText
+			case c == '-':
+				if f.mark < 2 {
+					f.mark++
+				}
+			default:
+				f.mark = 0
+			}
+
+		case fsCDATA:
+			// Terminator "]]>"; the section's bytes are character data.
+			c := p[i]
+			i++
+			switch {
+			case f.mark == 2 && c == '>':
+				if err := f.text(); err != nil {
+					return err
+				}
+				f.state = fsText
+			case c == ']':
+				if f.mark < 2 {
+					f.mark++
+				}
+			default:
+				f.mark = 0
+			}
+
+		case fsPI:
+			// Terminator "?>".
+			c := p[i]
+			i++
+			switch {
+			case f.mark == 1 && c == '>':
+				f.state = fsText
+			case c == '?':
+				f.mark = 1
+			default:
+				f.mark = 0
+			}
+		}
+	}
+	return f.err
+}
+
+// doctypeByte advances the declaration scanner by one byte, reporting
+// whether the declaration ended. Quoted literals (system/public IDs,
+// entity values) are opaque: brackets and '>' inside them do not count.
+func (f *Feeder) doctypeByte(c byte) (done bool) {
+	if f.quote != 0 {
+		if c == f.quote {
+			f.quote = 0
+		}
+		return false
+	}
+	switch c {
+	case '"', '\'':
+		f.quote = c
+	case '[':
+		f.brackets++
+	case ']':
+		if f.brackets > 0 {
+			f.brackets--
+		}
+	case '>':
+		if f.brackets == 0 {
+			f.state = fsText
+			return true
+		}
+	}
+	return false
+}
+
+// Close declares end of input and returns the final verdict: the sticky
+// error if any, a well-formedness error if the document is truncated,
+// unterminated or empty, and otherwise — for feeders bound to a Machine —
+// the validation verdict. Close is idempotent.
+func (f *Feeder) Close() error {
+	if f.closed {
+		return f.closeErr
+	}
+	f.closed = true
+	if f.err == nil && f.pendingText {
+		// A text run ending at EOF still owes its event.
+		f.pendingText = false
+		f.text()
+	}
+	err := f.err
+	switch {
+	case err != nil:
+	case f.state != fsText:
+		err = fmt.Errorf("stream: truncated document (unterminated markup)")
+	case f.depth != 0:
+		err = fmt.Errorf("stream: unterminated elements (%d open)", f.depth)
+	case f.roots == 0 && f.skip > 0:
+		err = fmt.Errorf("stream: empty fragment document")
+	case f.roots == 0:
+		err = fmt.Errorf("stream: empty document")
+	}
+	if f.onClose != nil {
+		err = f.onClose(err)
+	}
+	f.closeErr = err
+	return err
+}

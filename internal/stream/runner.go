@@ -18,10 +18,18 @@ type stFrame struct {
 // genFrame is one open element of the general-EDTD subset tracker: per
 // candidate specialization, the NFA state set of its content run over the
 // children consumed so far. runs[i] == nil marks a dead candidate.
+//
+// A run set is either the machine's shared (read-only) start closure —
+// before the element's first child closes — or the frame-owned scratch
+// set of its slot. The scratch sets form a per-frame arena: they are
+// cleared and refilled in place as children close and survive frame
+// reuse, so the slow path performs no per-child heap allocation once the
+// runner has warmed to the document's depth and candidate width.
 type genFrame struct {
-	lid   int32
-	cands []int32
-	runs  []strlang.IntSet
+	lid     int32
+	cands   []int32
+	runs    []strlang.IntSet
+	scratch []strlang.IntSet
 }
 
 // Runner consumes one document's events and accumulates a verdict. The
@@ -36,7 +44,8 @@ type Runner struct {
 
 	st   []stFrame
 	gst  []genFrame
-	surv []int32 // scratch: surviving child names at EndElement
+	surv []int32        // scratch: surviving child names at EndElement
+	tmp  strlang.IntSet // scratch: stepped state set under construction
 }
 
 func (r *Runner) reset() {
@@ -234,28 +243,32 @@ func (r *Runner) endGeneral() error {
 		return nil
 	}
 	// Step every live parent candidate by the set of surviving names.
+	// The stepped set is built in the runner's scratch set and then
+	// copied into the frame-owned slot, so no step allocates once the
+	// arena has warmed up (ROADMAP's allocation-free slow path).
 	parent := &r.gst[len(r.gst)-1]
 	alive := false
+	if r.tmp == nil {
+		r.tmp = strlang.NewIntSet()
+	}
 	for j, pn := range parent.cands {
 		if parent.runs[j] == nil {
 			continue
 		}
-		var next strlang.IntSet
+		r.tmp.Clear()
 		for _, cn := range r.surv {
-			stepped := r.m.gen[pn].nfa.StepID(parent.runs[j], r.m.gen[cn].sym)
-			if stepped.Len() == 0 {
-				continue
-			}
-			if next == nil {
-				next = stepped
-			} else {
-				next.AddAll(stepped)
-			}
+			r.m.gen[pn].nfa.StepIDInto(r.tmp, parent.runs[j], r.m.gen[cn].sym)
 		}
-		parent.runs[j] = next // nil marks the candidate dead
-		if next != nil {
-			alive = true
+		if r.tmp.Len() == 0 {
+			parent.runs[j] = nil // dead candidate
+			continue
 		}
+		for len(parent.scratch) <= j {
+			parent.scratch = append(parent.scratch, strlang.NewIntSet())
+		}
+		parent.scratch[j].SetTo(r.tmp)
+		parent.runs[j] = parent.scratch[j]
+		alive = true
 	}
 	if !alive {
 		return r.fail("at %s: child <%s> kills every candidate witness",

@@ -1,91 +1,74 @@
 package stream
 
 import (
-	"encoding/xml"
 	"fmt"
 	"io"
+	"sync"
 
 	"dxml/internal/xmltree"
 )
 
+// readChunkSize is the read budget of the io.Reader adapters. Buffers are
+// pooled, so the pull front-ends stay allocation-light.
+const readChunkSize = 32 << 10
+
+var chunkPool = sync.Pool{New: func() any {
+	b := make([]byte, readChunkSize)
+	return &b
+}}
+
+// FeedReader pumps r through f in read chunks of the given size (<= 0
+// uses the pooled default budget) and closes f in every case, so
+// Machine-bound feeders always release their runner. It returns the
+// first feed/verdict error, or the wrapped read error. The pull
+// front-ends are exactly this adapter over the push parser.
+func FeedReader(f *Feeder, r io.Reader, chunk int) error {
+	// Clamp user-supplied budgets: a read chunk above 1 MiB buys nothing
+	// and must not turn into an arbitrary-size allocation.
+	if chunk > 1<<20 {
+		chunk = 1 << 20
+	}
+	var buf []byte
+	if chunk <= 0 || chunk == readChunkSize {
+		bp := chunkPool.Get().(*[]byte)
+		defer chunkPool.Put(bp)
+		buf = *bp
+	} else {
+		buf = make([]byte, chunk)
+	}
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if ferr := f.Feed(buf[:n]); ferr != nil {
+				f.Close()
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return f.Close()
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("stream: %w", err)
+		}
+	}
+}
+
 // StreamXML feeds the structural events of one XML document from r into
-// h, without ever materializing a tree: memory is the decoder's buffer
-// plus whatever h keeps per open element. Character data is forwarded as
-// Text events; comments, processing instructions and attributes are
-// dropped, matching the paper's structural abstraction.
+// h, without ever materializing a tree: memory is one read chunk plus
+// whatever h keeps per open element. Character data is forwarded as Text
+// events; comments, processing instructions and attributes are dropped,
+// matching the paper's structural abstraction. It is a thin adapter over
+// the push-parser Feeder, which network callers drive directly.
 func StreamXML(r io.Reader, h Handler) error {
-	depth, roots, err := streamXMLEvents(r, h, 0)
-	if err != nil {
-		return err
-	}
-	if roots == 0 {
-		return fmt.Errorf("stream: empty document")
-	}
-	if depth != 0 {
-		return fmt.Errorf("stream: unterminated elements")
-	}
-	return nil
+	return FeedReader(NewFeeder(h), r, 0)
 }
 
 // StreamXMLInner feeds the events *inside* the document's root element —
 // the forest a docking point contributes under extension semantics
 // (Section 2.3) — skipping the root's own start and end events.
 func StreamXMLInner(r io.Reader, h Handler) error {
-	depth, roots, err := streamXMLEvents(r, h, 1)
-	if err != nil {
-		return err
-	}
-	if roots == 0 {
-		return fmt.Errorf("stream: empty fragment document")
-	}
-	if depth != 0 {
-		return fmt.Errorf("stream: unterminated elements")
-	}
-	return nil
-}
-
-// streamXMLEvents decodes r and forwards events below the given nesting
-// level (0 = everything, 1 = inside the root). It returns the final
-// depth and the number of top-level elements seen.
-func streamXMLEvents(r io.Reader, h Handler, skip int) (depth, roots int, err error) {
-	dec := xml.NewDecoder(r)
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			return depth, roots, nil
-		}
-		if err != nil {
-			return depth, roots, fmt.Errorf("stream: %w", err)
-		}
-		switch el := tok.(type) {
-		case xml.StartElement:
-			if depth == 0 {
-				if roots > 0 {
-					return depth, roots, fmt.Errorf("stream: multiple roots")
-				}
-				roots++
-			}
-			if depth >= skip {
-				if err := h.StartElement(el.Name.Local); err != nil {
-					return depth, roots, err
-				}
-			}
-			depth++
-		case xml.EndElement:
-			depth--
-			if depth >= skip {
-				if err := h.EndElement(); err != nil {
-					return depth, roots, err
-				}
-			}
-		case xml.CharData:
-			if depth >= skip {
-				if err := h.Text(); err != nil {
-					return depth, roots, err
-				}
-			}
-		}
-	}
+	return FeedReader(NewInnerFeeder(h), r, 0)
 }
 
 // StreamTree feeds the events of an in-memory tree into h.

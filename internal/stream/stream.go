@@ -41,15 +41,24 @@
 //
 // # Event sources
 //
-// Three front-ends drive a Runner: StreamXML (an io.Reader source built
-// on encoding/xml), Machine.ValidateTree (an in-memory xmltree.Tree
-// walker, differential-testable against EDTD.Validate), and StreamKernel
-// (a kernel-document walker that pauses at docking points so the p2p
-// layer validates distributed documents as streams without materializing
-// the extension). Machines are immutable after Compile and safe for
-// concurrent use; Runners are pooled (sync.Pool) so concurrent peers
-// share one compiled Machine with near-zero per-validation allocation on
-// the single-type path.
+// The primary front-end is the push parser (Feeder): a resumable
+// incremental tokenizer that accepts a document's bytes in arbitrary
+// chunks as a network delivers them, with Close finalizing the verdict.
+// Machine.NewFeeder binds one to a pooled Runner; NewInnerFeeder splices
+// a fragment's forest (skipping its root) into an enclosing validation —
+// the p2p wire feeds received frames straight into it, which is what
+// makes mid-transfer rejection possible. The pull front-ends are thin
+// adapters over it: StreamXML/ValidateReader (io.Reader),
+// Machine.ValidateTree (an in-memory xmltree.Tree walker,
+// differential-testable against EDTD.Validate). StreamKernel walks a
+// kernel document, pausing at docking points so the p2p layer validates
+// distributed documents as streams without materializing the extension.
+// Machines are immutable after Compile and safe for concurrent use;
+// Runners are pooled (sync.Pool) so concurrent peers share one compiled
+// Machine with near-zero per-validation allocation on the single-type
+// path, and the general-EDTD subset tracker steps through per-frame
+// scratch arenas, so the slow path is allocation-free at steady state
+// too.
 package stream
 
 import (

@@ -52,10 +52,10 @@ func TestSingleTypeVerdicts(t *testing.T) {
 		{"eurostat(averages(Good index(value year)) nationalIndex(country Good value year))", true},
 		{"eurostat(averages(Good index(value year)) nationalIndex(country Good index(value year)))", true},
 		{"eurostat(nationalIndex(country Good value year))", false}, // missing averages
-		{"eurostat(averages(Good))", false},                        // index+ unsatisfied
-		{"eurostat(averages(Good index(value)))", false},           // index missing year
-		{"averages(Good index(value year))", false},                // wrong root
-		{"eurostat(averages(Good index(value year)) zz)", false},   // unknown child
+		{"eurostat(averages(Good))", false},                         // index+ unsatisfied
+		{"eurostat(averages(Good index(value)))", false},            // index missing year
+		{"averages(Good index(value year))", false},                 // wrong root
+		{"eurostat(averages(Good index(value year)) zz)", false},    // unknown child
 	}
 	for _, c := range cases {
 		tree := xmltree.MustParse(c.doc)

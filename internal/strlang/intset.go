@@ -70,6 +70,24 @@ func (s *Bits) Copy() IntSet {
 	return t
 }
 
+// Clear removes every element, retaining the allocated capacity so the
+// set can be refilled without reallocating. Scratch-arena code (the
+// streaming validator's subset tracker) depends on this being
+// allocation-free.
+func (s *Bits) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.n = 0
+}
+
+// SetTo makes s an exact copy of t, reusing s's storage when it is large
+// enough. Allocation-free once s has grown to t's word count.
+func (s *Bits) SetTo(t IntSet) {
+	s.words = append(s.words[:0], t.words...)
+	s.n = t.n
+}
+
 // AddAll inserts every element of t into s (word-wise union). The
 // cardinality is maintained by per-word deltas, so the cost is bounded by
 // |t|'s words, not the receiver's.

@@ -174,3 +174,74 @@ func TestIntSetKeyCollisionFree(t *testing.T) {
 		t.Fatalf("empty set key = %q, want empty", NewIntSet().Key())
 	}
 }
+
+// TestClearAndSetTo pins the laws of the scratch-arena primitives: Clear
+// empties in place, SetTo makes the receiver equal to its argument, and
+// neither mutates the argument or allocates once capacity is grown.
+func TestClearAndSetTo(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, cfg := range setConfigs() {
+		s := randomSet(r, cfg.span, cfg.density)
+		u := randomSet(r, cfg.span, cfg.density)
+		uBefore := u.Copy()
+
+		dst := s.Copy()
+		dst.Clear()
+		if dst.Len() != 0 {
+			t.Fatalf("span=%d: Clear left %d elements", cfg.span, dst.Len())
+		}
+		if !dst.Equal(NewIntSet()) {
+			t.Fatalf("span=%d: cleared set not equal to empty", cfg.span)
+		}
+		// Refilling a cleared set behaves like a fresh one.
+		dst.AddAll(u)
+		if !dst.Equal(u) {
+			t.Fatalf("span=%d: refill after Clear diverges", cfg.span)
+		}
+
+		dst = s.Copy()
+		dst.SetTo(u)
+		if !dst.Equal(u) || dst.Len() != u.Len() {
+			t.Fatalf("span=%d: SetTo result differs from argument", cfg.span)
+		}
+		if !u.Equal(uBefore) {
+			t.Fatalf("span=%d: SetTo mutated its argument", cfg.span)
+		}
+		// Mutating the copy must not leak into the source.
+		dst.Add(cfg.span + 1)
+		if u.Has(cfg.span + 1) {
+			t.Fatalf("span=%d: SetTo shares storage with its argument", cfg.span)
+		}
+	}
+}
+
+// TestStepIDIntoAgreesWithStepID pins the in-place step against the
+// allocating one, including accumulation over several symbols.
+func TestStepIDIntoAgreesWithStepID(t *testing.T) {
+	a := RegexNFA(MustParseRegex("(a, b)* , (a | c)"))
+	syms := []Symbol{"a", "b", "c"}
+	cur := a.Closure(NewIntSet(a.Start()))
+	dst := NewIntSet()
+	for round := 0; round < 4; round++ {
+		for _, lone := range syms {
+			want := a.Step(cur, lone)
+			dst.Clear()
+			a.StepIDInto(dst, cur, Intern(lone))
+			if !dst.Equal(want) {
+				t.Fatalf("round %d: StepIDInto(%s) = %v, StepID = %v",
+					round, lone, dst.Sorted(), want.Sorted())
+			}
+		}
+		// Accumulated union over the whole alphabet.
+		want := NewIntSet()
+		dst.Clear()
+		for _, s := range syms {
+			want.AddAll(a.Step(cur, s))
+			a.StepIDInto(dst, cur, Intern(s))
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("round %d: accumulated StepIDInto diverges", round)
+		}
+		cur = a.Step(cur, syms[round%len(syms)])
+	}
+}

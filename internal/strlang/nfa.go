@@ -318,14 +318,24 @@ func (a *NFA) Step(cur IntSet, sym Symbol) IntSet {
 
 // StepID is Step by interned symbol id.
 func (a *NFA) StepID(cur IntSet, sid int32) IntSet {
-	a.ensureClosures()
 	next := NewIntSet()
+	a.StepIDInto(next, cur, sid)
+	return next
+}
+
+// StepIDInto unions into dst the ε-closed set reached from the ε-closed
+// set cur by reading the symbol with interned id sid. dst is not cleared
+// first, so callers can accumulate the steps of several symbols into one
+// set; dst and cur must not alias. This is the allocation-free core of
+// StepID: reusing dst across steps keeps the general-EDTD streaming slow
+// path off the heap.
+func (a *NFA) StepIDInto(dst, cur IntSet, sid int32) {
+	a.ensureClosures()
 	for q := range cur.All() {
 		for _, t := range a.trans[q].get(sid) {
-			next.AddAll(a.clos[t])
+			dst.AddAll(a.clos[t])
 		}
 	}
-	return next
 }
 
 // Run returns the ε-closed set of states reachable from the start state by

@@ -163,3 +163,29 @@ func TestXMLRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestXMLSizeMatchesXMLString pins the size computation against the
+// actual serialization across shapes: leaves, nesting, wide fan-out.
+func TestXMLSizeMatchesXMLString(t *testing.T) {
+	docs := []string{
+		"a",
+		"root(a b c)",
+		"s(a(b(c(d(e)))))",
+		"eurostat(averages(Good index(value year)) nationalIndex(country Good value year))",
+		"longlabelname(x y(zz(w w w)) q)",
+	}
+	for _, src := range docs {
+		tr := MustParse(src)
+		if got, want := tr.XMLSize(), len(tr.XMLString()); got != want {
+			t.Errorf("XMLSize(%s) = %d, len(XMLString) = %d", src, got, want)
+		}
+	}
+	// A wide generated document.
+	wide := MustParse("s")
+	for i := 0; i < 500; i++ {
+		wide.Children = append(wide.Children, MustParse("nationalIndex(country Good index(value year))"))
+	}
+	if got, want := wide.XMLSize(), len(wide.XMLString()); got != want {
+		t.Errorf("wide doc: XMLSize = %d, len(XMLString) = %d", got, want)
+	}
+}

@@ -84,3 +84,20 @@ func (t *Tree) XMLString() string {
 	_ = t.ToXML(&b)
 	return b.String()
 }
+
+// XMLSize returns len(t.XMLString()) without materializing the
+// serialization: the p2p wire uses it to announce (and account for) a
+// fragment's full size while shipping it incrementally in chunks.
+func (t *Tree) XMLSize() int { return t.xmlSize(0) }
+
+func (t *Tree) xmlSize(depth int) int {
+	indent := 2 * depth
+	if len(t.Children) == 0 {
+		return indent + len(t.Label) + 4 // <x/>\n
+	}
+	n := 2*indent + 2*len(t.Label) + 7 // <x>\n + </x>\n
+	for _, c := range t.Children {
+		n += c.xmlSize(depth + 1)
+	}
+	return n
+}
