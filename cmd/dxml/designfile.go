@@ -524,12 +524,7 @@ func RunValidateDistributed(df *DesignFile, docs []*dxml.Tree, chunk int, showSt
 		}
 		fmt.Fprintf(&b, "%s: %s\n", name, v)
 		if showStats {
-			t := n.Stats.Totals()
-			fmt.Fprintf(&b, "  wire: %d messages, %d frames, %d bytes", t.Messages, t.Frames, t.Bytes)
-			if t.BytesSaved > 0 {
-				fmt.Fprintf(&b, " (%d bytes saved by mid-transfer rejection)", t.BytesSaved)
-			}
-			b.WriteString("\n")
+			writeWireLine(&b, n.Stats.Totals())
 		}
 		return nil
 	}

@@ -1,4 +1,5 @@
-// Command dxml decides distributed XML design problems on a design file.
+// Command dxml decides distributed XML design problems on a design file
+// and runs real federations over TCP.
 //
 // Usage:
 //
@@ -6,10 +7,22 @@
 //	dxml -problem validate <design-file> <document.term|document.xml>
 //	dxml -problem validate <design-file> -        # stream XML from stdin
 //	dxml -problem validate -distributed [-stats] [-chunk N] <design-file> <doc>...
+//	dxml serve [-listen addr] <design-file> <fn=document>...
+//	dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] <design-file>
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);
 // cons (bottom-up consistency for the file's class); validate.
+//
+// The serve and join subcommands run the federation over real sockets:
+// serve hosts the documents behind named docking points (one serve per
+// site, each hosting any subset), and join connects as the kernel peer,
+// streams the fragments over a length-prefixed binary frame protocol,
+// and prints the verdict of both validation protocols — with traffic
+// identical, message for message and byte for byte, to the in-process
+// wire on the same documents. The session hello carries a digest of the
+// design, so a join against hosts serving a different design fails
+// before any fragment moves.
 //
 // Validation runs on the streaming engine: one pass, memory proportional
 // to the document's depth. With "-" the document is fed to the push
@@ -53,15 +66,29 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "join":
+			runJoin(os.Args[2:])
+			return
+		}
+	}
 	problem := flag.String("problem", "exists-perfect", "problem to decide")
 	trivial := flag.Bool("allow-trivial", false, "allow {ε} as a resource type (literal Definition 12; see DESIGN.md E4)")
 	distributed := flag.Bool("distributed", false, "validate: run the p2p federation over the design file's typing (one document per docking point)")
-	stats := flag.Bool("stats", false, "validate: print simulated wire traffic (messages, frames, bytes, bytes saved)")
-	chunk := flag.Int("chunk", 0, "distributed runs: fragment frame budget in bytes (0 = default 4096, -1 = unchunked); stdin validation: read-chunk size (<= 0 = 32 KiB)")
+	stats := flag.Bool("stats", false, "validate: print wire traffic (messages, frames, bytes, bytes saved)")
+	chunk := flag.Int("chunk", 0, "distributed runs: fragment frame budget in bytes (0 = default 4096; -chunk -1 = unchunked, the only valid negative); stdin validation: read-chunk size (0 or -1 = 32 KiB)")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: dxml -problem <problem> <design-file> [document...]")
+		fmt.Fprintln(os.Stderr, "       dxml serve|join ... (see dxml serve -h, dxml join -h)")
 		os.Exit(2)
+	}
+	if err := validateChunkFlag(*chunk); err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

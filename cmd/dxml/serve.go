@@ -1,0 +1,254 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"dxml"
+)
+
+// runServe implements `dxml serve`: host resource peers from a design
+// file on a TCP socket, so remote kernel peers can join and validate
+// the federation over the real wire.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("dxml serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:9400", "TCP address to listen on (use :0 for an ephemeral port)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
+		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	df, err := ParseDesignFile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	host, funcs, err := startServe(df, fs.Args()[1:], *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dxml: serving %s on %s\n", strings.Join(funcs, ","), host.Addr())
+	select {} // serve until killed
+}
+
+// startServe builds the hosting network from fn=docfile assignments and
+// starts serving it; split from runServe so tests can drive a loopback
+// federation in process.
+func startServe(df *DesignFile, assigns []string, listen string) (*dxml.PeerHost, []string, error) {
+	n, funcs, err := serveNetwork(df, assigns)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return n.ServeTCP(ln), funcs, nil
+}
+
+// serveNetwork attaches one peer per fn=docfile assignment, typed by
+// the design file's typing block for that function.
+func serveNetwork(df *DesignFile, assigns []string) (*dxml.Network, []string, error) {
+	if df.Class == "word" {
+		return nil, nil, fmt.Errorf("serve needs a tree class, not word")
+	}
+	edtd, err := designEDTD(df)
+	if err != nil {
+		return nil, nil, err
+	}
+	typing, err := df.typing()
+	if err != nil {
+		return nil, nil, err
+	}
+	funcs := df.Kernel.Funcs()
+	n := dxml.NewNetwork(df.Kernel, edtd)
+	var hosted []string
+	for _, a := range assigns {
+		fn, path, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("assignment %q: want fn=documentfile", a)
+		}
+		i := -1
+		for j, f := range funcs {
+			if f == fn {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return nil, nil, fmt.Errorf("design has no docking point %s (functions: %v)", fn, funcs)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		doc, err := parseDocArg(string(b))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := n.AddPeer(fn, doc, typing[i]); err != nil {
+			return nil, nil, err
+		}
+		hosted = append(hosted, fn)
+	}
+	if len(hosted) == 0 {
+		return nil, nil, fmt.Errorf("no documents to serve (pass fn=documentfile assignments)")
+	}
+	return n, hosted, nil
+}
+
+// peerAddrFlags collects repeated -peer fn=addr mappings.
+type peerAddrFlags map[string]string
+
+func (p peerAddrFlags) String() string {
+	var parts []string
+	for fn, addr := range p {
+		parts = append(parts, fn+"="+addr)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerAddrFlags) Set(v string) error {
+	fn, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want fn=host:port, got %q", v)
+	}
+	p[fn] = addr
+	return nil
+}
+
+// runJoin implements `dxml join`: connect to the hosts serving a
+// design's docking points, run both validation protocols over the wire,
+// and print verdicts (and, with -stats, the traffic of each).
+func runJoin(args []string) {
+	fs := flag.NewFlagSet("dxml join", flag.ExitOnError)
+	connect := fs.String("connect", "", "host address serving every docking point not mapped by -peer")
+	peers := peerAddrFlags{}
+	fs.Var(peers, "peer", "fn=host:port mapping for one docking point (repeatable)")
+	stats := fs.Bool("stats", false, "print wire traffic (messages, frames, bytes, bytes saved)")
+	chunk := fs.Int("chunk", 0, "fragment frame budget in bytes (0 = default 4096; -chunk -1 = unchunked, the only valid negative)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] <design-file>")
+		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	df, err := ParseDesignFile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	out, err := RunJoin(df, *connect, peers, *chunk, *stats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+// RunJoin dials the federation and runs both protocols the paper
+// compares over the TCP wire, reporting verdicts and per-protocol
+// traffic. The session hello carries the design digest, so joining a
+// host that serves a different design fails before any fragment moves.
+func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
+	if err := validateChunkFlag(chunk); err != nil {
+		return "", err
+	}
+	if df.Class == "word" {
+		return "", fmt.Errorf("join needs a tree class, not word")
+	}
+	edtd, err := designEDTD(df)
+	if err != nil {
+		return "", err
+	}
+	n := dxml.NewNetwork(df.Kernel, edtd)
+	n.ChunkSize = chunk
+	addrs := map[string]string{}
+	for _, fn := range df.Kernel.Funcs() {
+		switch {
+		case peers[fn] != "":
+			addrs[fn] = peers[fn]
+		case connect != "":
+			addrs[fn] = connect
+		default:
+			return "", fmt.Errorf("no host address for docking point %s (use -connect or -peer %s=host:port)", fn, fn)
+		}
+	}
+	sess, err := n.DialTCP(addrs)
+	if err != nil {
+		return "", err
+	}
+	defer sess.Close()
+	n.Transport = sess
+
+	var b strings.Builder
+	report := func(name string, run func() (bool, error)) error {
+		pre := n.Stats.Totals()
+		ok, err := run()
+		if err != nil {
+			return err
+		}
+		v := "valid"
+		if !ok {
+			v = "invalid"
+		}
+		fmt.Fprintf(&b, "%s: %s\n", name, v)
+		if showStats {
+			t := n.Stats.Totals()
+			writeWireLine(&b, dxml.Totals{
+				Messages:   t.Messages - pre.Messages,
+				Frames:     t.Frames - pre.Frames,
+				Bytes:      t.Bytes - pre.Bytes,
+				BytesSaved: t.BytesSaved - pre.BytesSaved,
+			})
+		}
+		return nil
+	}
+	if err := report("distributed", n.ValidateDistributed); err != nil {
+		return "", err
+	}
+	if err := report("centralized", n.ValidateCentralized); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// writeWireLine renders one protocol's traffic, in the same format the
+// in-process -stats report uses — the loopback walkthrough in the
+// README diffs the two outputs directly.
+func writeWireLine(b *strings.Builder, t dxml.Totals) {
+	fmt.Fprintf(b, "  wire: %d messages, %d frames, %d bytes", t.Messages, t.Frames, t.Bytes)
+	if t.BytesSaved > 0 {
+		fmt.Fprintf(b, " (%d bytes saved by mid-transfer rejection)", t.BytesSaved)
+	}
+	b.WriteString("\n")
+}
+
+// validateChunkFlag rejects nonsense chunk budgets: positive budgets
+// and the Unchunked sentinel (-1) are meaningful; anything below -1 is
+// a typo that previously fell through as "unchunked" silently.
+func validateChunkFlag(chunk int) error {
+	if chunk < dxml.Unchunked {
+		return fmt.Errorf("invalid -chunk %d: the budget is a positive byte count, 0 (default %d), or -1 (unchunked)",
+			chunk, dxml.DefaultChunkSize)
+	}
+	return nil
+}

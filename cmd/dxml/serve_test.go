@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dxml"
+)
+
+// startEurostatServe hosts the Figure 1 federation's documents from
+// temp files on an ephemeral loopback port — the `dxml serve` half of
+// the walkthrough, driven in process.
+func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *dxml.PeerHost) {
+	t.Helper()
+	df := load(t, "eurostat.design")
+	dir := t.TempDir()
+	funcs := df.Kernel.Funcs()
+	if len(docs) != len(funcs) {
+		t.Fatalf("need %d documents, got %d", len(funcs), len(docs))
+	}
+	assigns := make([]string, len(funcs))
+	for i, fn := range funcs {
+		path := filepath.Join(dir, fn+".term")
+		if err := os.WriteFile(path, []byte(docs[i]), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		assigns[i] = fn + "=" + path
+	}
+	host, hosted, err := startServe(df, assigns, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosted) != len(funcs) {
+		t.Fatalf("hosted %v, want all of %v", hosted, funcs)
+	}
+	t.Cleanup(func() { host.Close() })
+	return df, host
+}
+
+var eurostatValidDocs = []string{
+	"root1(averages(Good index(value year)))",
+	"root2(nationalIndex(country Good value year))",
+	"root3(nationalIndex(country Good index(value year)))",
+	"root4",
+}
+
+// TestServeJoinLoopback is the CLI half of the acceptance criterion:
+// `dxml join` against a loopback `dxml serve` prints the same verdicts
+// and the same per-protocol wire report as the in-process run on the
+// same documents.
+func TestServeJoinLoopback(t *testing.T) {
+	df, host := startEurostatServe(t, eurostatValidDocs)
+	out, err := RunJoin(df, host.Addr().String(), nil, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distributed: valid") || !strings.Contains(out, "centralized: valid") {
+		t.Fatalf("join output:\n%s", out)
+	}
+	// The in-process reference on the same corpus must report the exact
+	// same traffic, line for line.
+	docs := make([]*dxml.Tree, len(eurostatValidDocs))
+	for i, src := range eurostatValidDocs {
+		docs[i] = dxml.MustParseTree(src)
+	}
+	want, err := RunValidateDistributed(df, docs, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != want {
+		t.Errorf("TCP join and in-process reports differ:\n--- join ---\n%s--- in-process ---\n%s", out, want)
+	}
+}
+
+// TestServeJoinRejection: an invalid hosted document is rejected over
+// the wire mid-transfer, with the saved bytes reported.
+func TestServeJoinRejection(t *testing.T) {
+	bad := make([]string, len(eurostatValidDocs))
+	copy(bad, eurostatValidDocs)
+	bad[1] = "root2(nationalIndex(country))"
+	// A fat valid document behind the failure: its bytes must be saved.
+	var fat strings.Builder
+	fat.WriteString("root4(")
+	for i := 0; i < 200; i++ {
+		fat.WriteString("nationalIndex(country Good value year) ")
+	}
+	fat.WriteString(")")
+	bad[3] = fat.String()
+	df, host := startEurostatServe(t, bad)
+	out, err := RunJoin(df, host.Addr().String(), nil, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distributed: invalid") || !strings.Contains(out, "centralized: invalid") {
+		t.Fatalf("join output:\n%s", out)
+	}
+	if !strings.Contains(out, "saved by mid-transfer rejection") {
+		t.Fatalf("expected bytes saved over the wire:\n%s", out)
+	}
+}
+
+// TestJoinPeerFlagRouting splits the federation across two hosts: -peer
+// mappings override -connect per docking point.
+func TestJoinPeerFlagRouting(t *testing.T) {
+	df, hostA := startEurostatServe(t, eurostatValidDocs)
+	_, hostB := startEurostatServe(t, eurostatValidDocs)
+	out, err := RunJoin(df, hostA.Addr().String(),
+		map[string]string{"f2": hostB.Addr().String()}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distributed: valid") || !strings.Contains(out, "centralized: valid") {
+		t.Fatalf("split-host join output:\n%s", out)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	df, host := startEurostatServe(t, eurostatValidDocs)
+	addr := host.Addr().String()
+
+	// A join running a different design is refused at the hello.
+	other, err := ParseDesignFile(`
+class dtd
+kernel eurostat(f0 f1)
+type:
+  root eurostat
+  eurostat -> averages, nationalIndex*
+end
+typing f0:
+  root root1
+  root1 -> averages
+end
+typing f1:
+  root root2
+  root2 -> nationalIndex*
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunJoin(other, addr, nil, 0, false); err == nil ||
+		!strings.Contains(err.Error(), "digest mismatch") {
+		t.Errorf("mismatched design should fail the hello, got %v", err)
+	}
+
+	// Missing addresses and bad chunk budgets fail fast.
+	if _, err := RunJoin(df, "", nil, 0, false); err == nil {
+		t.Error("join with no addresses should fail")
+	}
+	if _, err := RunJoin(df, addr, nil, -5, false); err == nil ||
+		!strings.Contains(err.Error(), "-chunk") {
+		t.Errorf("-chunk -5 should be rejected, got %v", err)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	df := load(t, "eurostat.design")
+	if _, _, err := serveNetwork(df, []string{"nonsense"}); err == nil {
+		t.Error("malformed assignment should fail")
+	}
+	if _, _, err := serveNetwork(df, []string{"f9=/dev/null"}); err == nil {
+		t.Error("unknown docking point should fail")
+	}
+	if _, _, err := serveNetwork(df, nil); err == nil {
+		t.Error("empty serve should fail")
+	}
+}
+
+// TestValidateChunkFlag pins the CLI input-validation fix: budgets
+// below -1 were silently treated as unchunked; now they error.
+func TestValidateChunkFlag(t *testing.T) {
+	for _, ok := range []int{-1, 0, 1, 16, 4096} {
+		if err := validateChunkFlag(ok); err != nil {
+			t.Errorf("chunk %d should be accepted: %v", ok, err)
+		}
+	}
+	for _, bad := range []int{-2, -5, -4096} {
+		if err := validateChunkFlag(bad); err == nil {
+			t.Errorf("chunk %d should be rejected", bad)
+		}
+	}
+}

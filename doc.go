@@ -22,12 +22,22 @@
 // front-end (Feeder) accepts a document's bytes in arbitrary chunks as a
 // network delivers them and holds O(chunk + depth) memory regardless of
 // document size. The io.Reader front-ends are thin adapters over it, and
-// the simulated federation (Network) ships fragments between peers in
-// fixed-budget frames fed straight into the receiving validator, so
-// invalid fragments are rejected mid-transfer and the saved bytes are
-// accounted in its Stats. The chunk budget (Network.ChunkSize) trades
-// peer memory against framing overhead; verdicts and message counts are
-// invariant under it.
+// the federation (Network) ships fragments between peers in fixed-budget
+// frames fed straight into the receiving validator, so invalid fragments
+// are rejected mid-transfer and the saved bytes are accounted in its
+// Stats. The chunk budget (Network.ChunkSize) trades peer memory against
+// framing overhead; verdicts and message counts are invariant under it.
+//
+// The federation's wire is a pluggable transport (internal/transport):
+// in-process by default, or real TCP — Network.ServeTCP hosts resource
+// peers on a socket and Network.DialTCP joins them as the kernel peer,
+// speaking a length-prefixed binary frame protocol (session hello with
+// a design digest, per-fragment open/chunk/ack/close frames, and a
+// reject frame that halts a sender mid-transfer) with synchronous
+// backpressure. Verdicts, frame counts and byte totals are identical
+// across transports — pinned by differential tests — and the `dxml
+// serve` / `dxml join` subcommands run a federation across processes
+// from a design file.
 //
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema

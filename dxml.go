@@ -8,6 +8,7 @@ import (
 	"dxml/internal/schema"
 	"dxml/internal/stream"
 	"dxml/internal/strlang"
+	"dxml/internal/transport"
 	"dxml/internal/uta"
 	"dxml/internal/xmltree"
 )
@@ -94,10 +95,13 @@ type (
 
 // Distributed validation substrate.
 type (
-	// Network is a simulated Active XML federation.
+	// Network is an Active XML federation (in-process peers by default;
+	// see ServeTCP/DialTCP and Network.Transport for the real wire).
 	Network = p2p.Network
 	// ResourcePeer owns one docking point's document and local type.
 	ResourcePeer = p2p.ResourcePeer
+	// Totals is a consistent copy of a federation's traffic counters.
+	Totals = p2p.Totals
 	// Sampler draws random valid documents from a type.
 	Sampler = gen.Sampler
 )
@@ -118,7 +122,7 @@ type (
 	Feeder = stream.Feeder
 )
 
-// Chunked fragment transport (the simulated wire's frame budget).
+// Chunked fragment transport (the wire's frame budget).
 const (
 	// DefaultChunkSize is the fragment frame budget when
 	// Network.ChunkSize is zero.
@@ -126,6 +130,23 @@ const (
 	// Unchunked ships each fragment as a single frame (the monolithic
 	// pre-chunking wire).
 	Unchunked = p2p.Unchunked
+)
+
+// Wire transport (internal/transport): the federation's verdicts and
+// chunked fragment streams run over a Session — in-process by default,
+// or real TCP between a hosting process (Network.ServeTCP) and a
+// joining kernel peer (Network.DialTCP), as driven by `dxml serve` and
+// `dxml join`.
+type (
+	// TransportSession is the kernel peer's connection to the peers
+	// behind the docking points: verdict requests and fragment streams.
+	// Assign one to Network.Transport to validate over it.
+	TransportSession = transport.Session
+	// TransportFragment is the receiver side of one chunked fragment
+	// transfer (Next/Abort with synchronous backpressure).
+	TransportFragment = transport.Fragment
+	// PeerHost serves resource peers over TCP (see Network.ServeTCP).
+	PeerHost = transport.Host
 )
 
 // Unranked tree automata (Section 2.1.3).

@@ -1,0 +1,148 @@
+// Tcpfederation: the paper's eurostat federation on a real wire.
+//
+// Earlier examples simulate the federation in one address space. Here
+// the resource peers live behind actual TCP sockets: three hosts on
+// loopback each serve a slice of the docking points (as `dxml serve`
+// would, one per site), and a kernel peer joins them (as `dxml join`),
+// running both validation protocols over a length-prefixed binary
+// frame protocol — session hello with a design digest, per-fragment
+// open/chunk/ack/close frames, and a reject frame that halts a sender
+// mid-transfer.
+//
+// The point demonstrated at the end: verdicts, message counts, frame
+// counts and byte totals (including the bytes a mid-transfer rejection
+// saves) are identical to the in-process wire on the same documents —
+// the transport changes the sockets, not the protocol.
+//
+// Run with: go run ./examples/tcpfederation
+package main
+
+import (
+	"fmt"
+	"net"
+
+	"dxml"
+)
+
+func main() {
+	tau := dxml.MustParseW3CDTD(dxml.KindNRE, `
+		<!ELEMENT eurostat (averages, nationalIndex*)>
+		<!ELEMENT averages (Good, index+)+>
+		<!ELEMENT nationalIndex (country, Good, (index | value, year))>
+		<!ELEMENT index (value, year)>
+		<!ELEMENT country (#PCDATA)>
+		<!ELEMENT Good (#PCDATA)>
+		<!ELEMENT value (#PCDATA)>
+		<!ELEMENT year (#PCDATA)>`)
+	kernel := dxml.MustParseKernel("eurostat(f0 f1 f2 f3)")
+	design := &dxml.DTDDesign{Type: tau, Kernel: kernel}
+	typing, ok := design.ExistsPerfect()
+	if !ok {
+		panic("Figure 4 perfect typing should exist")
+	}
+
+	// Per-peer documents: one averages provider, three country bureaus.
+	docs := map[string]*dxml.Tree{
+		"f0": dxml.MustParseTree(typing[0].Starts[0] + "(averages(Good index(value year) Good index(value year)))"),
+		"f1": grow(typing[1].Starts[0], 40, true),
+		"f2": grow(typing[2].Starts[0], 60, false),
+		"f3": grow(typing[3].Starts[0], 80, true),
+	}
+
+	// Three sites on loopback: each host serves a slice of the docking
+	// points, exactly as three `dxml serve` processes would.
+	sites := [][]string{{"f0", "f1"}, {"f2"}, {"f3"}}
+	addrs := map[string]string{}
+	for _, fns := range sites {
+		served := dxml.NewNetwork(kernel, tau.ToEDTD())
+		for _, fn := range fns {
+			i := kernel.FuncIndex(fn)
+			if err := served.AddPeer(fn, docs[fn], typing[i]); err != nil {
+				panic(err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		host := served.ServeTCP(ln)
+		defer host.Close()
+		for _, fn := range fns {
+			addrs[fn] = host.Addr().String()
+		}
+		fmt.Printf("site %v serving on %s\n", fns, host.Addr())
+	}
+
+	// The kernel peer joins the three sites and validates over TCP.
+	joined := dxml.NewNetwork(kernel, tau.ToEDTD())
+	joined.ChunkSize = 512
+	sess, err := joined.DialTCP(addrs)
+	if err != nil {
+		panic(err)
+	}
+	defer sess.Close()
+	joined.Transport = sess
+
+	dist, err := joined.ValidateDistributed()
+	if err != nil {
+		panic(err)
+	}
+	distStats := joined.Stats.Totals()
+	cent, err := joined.ValidateCentralized()
+	if err != nil {
+		panic(err)
+	}
+	tcpStats := joined.Stats.Totals()
+	fmt.Printf("over TCP: distributed=%v centralized=%v\n", dist, cent)
+	fmt.Printf("  verdict round: %d messages, %d bytes\n", distStats.Messages, distStats.Bytes)
+	fmt.Printf("  fragment round: %d frames, %d bytes\n",
+		tcpStats.Frames-distStats.Frames, tcpStats.Bytes-distStats.Bytes)
+
+	// The same federation in process: the numbers must agree exactly.
+	local := dxml.NewNetwork(kernel, tau.ToEDTD())
+	local.ChunkSize = 512
+	for fn, doc := range docs {
+		if err := local.AddPeer(fn, doc, typing[kernel.FuncIndex(fn)]); err != nil {
+			panic(err)
+		}
+	}
+	ldist, _ := local.ValidateDistributed()
+	lcent, _ := local.ValidateCentralized()
+	localStats := local.Stats.Totals()
+	fmt.Printf("in process: distributed=%v centralized=%v\n", ldist, lcent)
+	fmt.Printf("wire parity with in-process: %v\n",
+		dist == ldist && cent == lcent && tcpStats == localStats)
+
+	// Mid-transfer rejection over real sockets: corrupt one bureau and
+	// re-join; the reject frame halts the sender and the unsent bytes
+	// are accounted.
+	docs["f1"].Children[0] = dxml.MustParseTree("nationalIndex(country)")
+	rejoin := dxml.NewNetwork(kernel, tau.ToEDTD())
+	rejoin.ChunkSize = 512
+	sess2, err := rejoin.DialTCP(addrs)
+	if err != nil {
+		panic(err)
+	}
+	defer sess2.Close()
+	rejoin.Transport = sess2
+	cent2, err := rejoin.ValidateCentralized()
+	if err != nil {
+		panic(err)
+	}
+	t := rejoin.Stats.Totals()
+	fmt.Printf("after corrupting f1: centralized=%v, %d bytes delivered, %d saved by mid-transfer rejection\n",
+		cent2, t.Bytes, t.BytesSaved)
+}
+
+// grow builds a national bureau document with k index entries.
+func grow(root string, k int, formatA bool) *dxml.Tree {
+	doc := dxml.MustParseTree(root)
+	entry := "nationalIndex(country Good value year)"
+	if formatA {
+		entry = "nationalIndex(country Good index(value year))"
+	}
+	for i := 0; i < k; i++ {
+		doc.Children = append(doc.Children, dxml.MustParseTree(entry))
+	}
+	return doc
+}

@@ -31,6 +31,75 @@ func BenchmarkCentralizedChunkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPCentralizedChunkSweep is the chunk sweep over real
+// loopback sockets: the same federation, verdicts and wire bytes as the
+// in-process sweep, plus the cost of the frame codec and the
+// stop-and-wait ack round-trips — the throughput price of synchronous
+// backpressure at each budget.
+func BenchmarkTCPCentralizedChunkSweep(b *testing.B) {
+	for _, chunk := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			served, typing := eurostatSetup(b)
+			served.ChunkSize = chunk
+			attachValidDocs(b, served, typing, []int{5000, 5000, 5000})
+			remote, shutdown := serveFederation(b, served)
+			defer shutdown()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := remote.ValidateCentralized()
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+			b.StopTimer()
+			t := remote.Stats.Totals()
+			b.ReportMetric(float64(t.Bytes)/float64(b.N), "wire-bytes/op")
+			b.ReportMetric(float64(t.Frames)/float64(b.N), "frames/op")
+		})
+	}
+}
+
+// BenchmarkTCPDistributed measures a verdict-only round over loopback:
+// the latency floor of the distributed protocol on a real wire.
+func BenchmarkTCPDistributed(b *testing.B) {
+	served, typing := eurostatSetup(b)
+	attachValidDocs(b, served, typing, []int{200, 200, 200})
+	remote, shutdown := serveFederation(b, served)
+	defer shutdown()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := remote.ValidateDistributed()
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkTCPThroughput streams one fat fragment over loopback at the
+// default budget and reports end-to-end MB/s — the headline number for
+// the wire transport.
+func BenchmarkTCPThroughput(b *testing.B) {
+	served, typing := eurostatSetup(b)
+	attachValidDocs(b, served, typing, []int{1, 1, 20000})
+	size := 0
+	for _, p := range served.Peers {
+		size += p.Doc.XMLSize()
+	}
+	remote, shutdown := serveFederation(b, served)
+	defer shutdown()
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := remote.ValidateCentralized()
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
 // BenchmarkCentralizedRejection measures the other side of the trade:
 // an invalid first fragment with a fat healthy one behind it. Small
 // chunks stop the transfer almost immediately — BytesSaved per op is the

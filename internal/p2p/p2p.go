@@ -1,7 +1,7 @@
-// Package p2p simulates the distributed Active XML setting that motivates
-// the paper: a kernel peer holds the kernel document and each resource
-// peer holds the subtree document behind one docking point. It implements
-// the two validation strategies the theory compares:
+// Package p2p implements the distributed Active XML setting that
+// motivates the paper: a kernel peer holds the kernel document and each
+// resource peer holds the subtree document behind one docking point. It
+// implements the two validation strategies the theory compares:
 //
 //   - distributed validation: each resource peer validates its own
 //     document against its local type τᵢ and ships only a verdict; the
@@ -19,39 +19,49 @@
 // docking point spliced from the received fragment bytes — the extension
 // document is never materialized (Kernel.Extend is not called).
 //
-// The network is simulated in-memory with goroutines and channels.
-// Document transfers are *chunked*: a fragment travels as a sequence of
-// fixed-budget frames (Network.ChunkSize) that the kernel peer feeds
-// straight into a push-parser Feeder as they arrive. Three properties
-// follow:
+// The wire is the internal/transport abstraction: verdicts and chunked
+// fragment streams move over any transport.Session — the in-process
+// loopback by default, or real TCP sockets when Network.Transport is a
+// dialed session (see ServeTCP and DialTCP). Document transfers are
+// *chunked*: a fragment travels as a sequence of fixed-budget frames
+// (Network.ChunkSize) that the kernel peer feeds straight into a
+// push-parser Feeder as they arrive. Three properties hold on every
+// transport, pinned by differential tests:
 //
 //   - the kernel peer's memory is O(chunk + depth) per transfer instead
 //     of O(fragment): no fragment is ever buffered whole;
 //   - invalid fragments are rejected *mid-transfer* — the kernel peer
-//     stops pulling frames the moment its validator fails, and the bytes
-//     never shipped are recorded in Stats.BytesSaved;
-//   - backpressure is real: senders serialize incrementally and block
-//     until the kernel peer consumes, so a slow consumer bounds every
-//     producer's memory too.
+//     stops pulling frames the moment its validator fails, a reject
+//     frame halts the sender, and the bytes never shipped are recorded
+//     in Stats.BytesSaved;
+//   - backpressure is synchronous: senders serialize incrementally and
+//     never run more than one chunk ahead of the kernel peer, so a slow
+//     consumer bounds every producer's memory too.
 //
 // Message and byte counts are recorded so the example programs and
 // benchmarks can report the communication advantage of local typings
 // (the paper's Remark 4 and introduction). Verdict messages are costed
 // at a fixed wire size; document messages are costed by the serialized
 // bytes actually delivered. Verdicts and logical message counts are
-// invariant under the chunk size — only delivered bytes (on rejected
-// transfers) and frame counts vary.
+// invariant under both the chunk size and the transport — only
+// delivered bytes (on rejected transfers) and frame counts vary with
+// the chunk budget, and none of it varies with the transport.
 package p2p
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"sort"
+	"strconv"
 	"sync"
 
 	"dxml/internal/axml"
 	"dxml/internal/schema"
 	"dxml/internal/stream"
+	"dxml/internal/transport"
 	"dxml/internal/xmltree"
 )
 
@@ -64,7 +74,10 @@ const DefaultChunkSize = 4096
 // frame, reproducing the pre-chunking monolithic wire.
 const Unchunked = -1
 
-// Stats accumulates simulated network traffic.
+// Stats accumulates network traffic at the protocol level: payload
+// bytes and logical frames, identically on every transport (TCP's own
+// framing overhead is not counted, which is what makes the in-process
+// and TCP numbers comparable).
 type Stats struct {
 	mu       sync.Mutex
 	Messages int // logical messages: verdicts and fragment shipments
@@ -125,8 +138,7 @@ func (s *Stats) Totals() Totals {
 	return Totals{Messages: s.Messages, Frames: s.Frames, Bytes: s.Bytes, BytesSaved: s.BytesSaved}
 }
 
-// message is a verdict frame on the simulated wire. Documents no longer
-// travel as single messages — see docStream.
+// message is a verdict on the wire, costed at a fixed serialized size.
 type message struct {
 	from    string
 	verdict bool
@@ -139,81 +151,6 @@ func verdictMessage(from string, verdict bool) message {
 
 // wireSize is the fixed serialized size of a verdict frame.
 func (m message) wireSize() int { return len(m.from) + 1 }
-
-// docStream is one fragment in flight: the owning peer produces
-// fixed-budget frames, the kernel peer consumes them in kernel-document
-// order. The channel is unbuffered, so delivery is synchronous
-// (TCP-like backpressure) and the accounting of a rejected transfer is
-// deterministic.
-type docStream struct {
-	from string
-	ch   chan []byte
-}
-
-// frameWriter chops an incremental serialization into chunk-budget
-// frames. Two swap buffers make the transfer allocation-steady: while
-// the receiver feeds one frame, the sender fills the other.
-type frameWriter struct {
-	ctx    context.Context
-	ch     chan<- []byte
-	budget int
-	buf    [2][]byte
-	cur    int
-	sent   int
-}
-
-func (w *frameWriter) Write(p []byte) (int, error) {
-	total := len(p)
-	for len(p) > 0 {
-		space := w.budget - len(w.buf[w.cur])
-		if space == 0 {
-			if err := w.send(); err != nil {
-				return total - len(p), err
-			}
-			continue
-		}
-		n := min(space, len(p))
-		w.buf[w.cur] = append(w.buf[w.cur], p[:n]...)
-		p = p[n:]
-	}
-	return total, nil
-}
-
-// send ships the current frame, honoring cancellation so a rejected
-// transfer stops producing.
-func (w *frameWriter) send() error {
-	frame := w.buf[w.cur]
-	if len(frame) == 0 {
-		return nil
-	}
-	select {
-	case w.ch <- frame:
-		w.sent += len(frame)
-		w.cur = 1 - w.cur
-		w.buf[w.cur] = w.buf[w.cur][:0]
-		return nil
-	case <-w.ctx.Done():
-		return w.ctx.Err()
-	}
-}
-
-// sendDoc serializes doc incrementally into st's frames. The sender never
-// holds more than two frame buffers plus its recursion stack — O(chunk +
-// depth) memory — and stops serializing the moment the round is canceled,
-// recording the bytes it never shipped.
-func sendDoc(ctx context.Context, st *docStream, doc *xmltree.Tree, chunk int, stats *Stats) {
-	w := &frameWriter{ctx: ctx, ch: st.ch, budget: chunk}
-	err := doc.ToXML(w)
-	if err == nil {
-		err = w.send() // flush the final partial frame
-	}
-	close(st.ch)
-	if err != nil {
-		// The full size is only needed on the rejection path, so the
-		// accepted common case never pays the extra tree walk.
-		stats.addSaved(doc.XMLSize() - w.sent)
-	}
-}
 
 // ResourcePeer owns one docking point's document and local type. The
 // streaming machine for the type is compiled lazily once and shared by
@@ -272,8 +209,40 @@ func (c *ctxHandler) Text() error { return c.h.Text() }
 
 func (c *ctxHandler) EndElement() error { return c.h.EndElement() }
 
-// Network is a simulated federation: one kernel peer plus one resource
-// peer per docking point.
+// peerSource adapts a ResourcePeer to the transport's sender surface:
+// verdicts from its machine, incremental serialization from the
+// allocation-free XML emitter. A nil doc reads the peer's current
+// document at call time (so a host serves edits without re-wiring);
+// a non-nil doc pins an override (the collaborative-edit protocols).
+type peerSource struct {
+	peer *ResourcePeer
+	doc  *xmltree.Tree
+}
+
+func (s *peerSource) document() *xmltree.Tree {
+	if s.doc != nil {
+		return s.doc
+	}
+	return s.peer.Doc
+}
+
+func (s *peerSource) Verdict(ctx context.Context) bool {
+	r := s.peer.Machine().NewRunner()
+	defer r.Release()
+	if err := stream.StreamTree(s.document(), &ctxHandler{ctx: ctx, h: r}); err != nil {
+		return false
+	}
+	return r.Finish() == nil
+}
+
+func (s *peerSource) Size() int { return s.document().XMLSize() }
+
+func (s *peerSource) Serialize(w io.Writer) error { return s.document().ToXML(w) }
+
+// Network is a federation: one kernel peer plus one resource peer per
+// docking point. By default the peers live in process and the wire is
+// the in-process transport; set Transport to a dialed session (DialTCP)
+// to validate against remote peers instead.
 type Network struct {
 	Kernel     *axml.Kernel
 	GlobalType *schema.EDTD
@@ -287,6 +256,20 @@ type Network struct {
 	// (canonically Unchunked) ships each document as a single frame.
 	// Verdicts and message counts do not depend on it.
 	ChunkSize int
+
+	// Transport, when non-nil, is the session the kernel peer validates
+	// over — typically DialTCP's federation of remote hosts. When nil,
+	// validation runs over the in-process transport against Peers.
+	Transport transport.Session
+
+	// MaxInflight bounds how many fragment transfers the kernel peer
+	// keeps open concurrently during centralized validation: streams
+	// are consumed strictly in kernel order, and up to MaxInflight-1
+	// upcoming streams are opened ahead to hide per-transfer latency.
+	// 0 opens every docking point's stream up front. Verdicts and
+	// Stats are invariant under it (synchronous backpressure holds an
+	// opened stream at one un-acked chunk).
+	MaxInflight int
 
 	compileOnce sync.Once
 	machine     *stream.Machine
@@ -346,6 +329,91 @@ func (n *Network) peers() ([]*ResourcePeer, error) {
 	return out, nil
 }
 
+// localSession builds the in-process transport over this network's own
+// peers; override maps docking points to replacement documents (the
+// collaborative-edit protocols validate a proposed document without
+// committing it).
+func (n *Network) localSession(override map[string]*xmltree.Tree) (transport.Session, error) {
+	peers, err := n.peers()
+	if err != nil {
+		return nil, err
+	}
+	srcs := make(map[string]transport.Source, len(peers))
+	for _, p := range peers {
+		srcs[p.Func] = &peerSource{peer: p, doc: override[p.Func]}
+	}
+	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget()}, nil
+}
+
+// session resolves the wire validation runs over: the externally dialed
+// Transport when set, the in-process loopback otherwise.
+func (n *Network) session() (transport.Session, error) {
+	if n.Transport != nil {
+		return n.Transport, nil
+	}
+	return n.localSession(nil)
+}
+
+// Digest fingerprints the federation's design — the kernel document and
+// the shape of the global type — so a TCP hello refuses to pair a serve
+// and a join running different designs. Each section is prefixed with
+// its element count, so section markers can never be mistaken for
+// content (a start literally named "names" must not collide with the
+// names section of another design).
+func (n *Network) Digest() []byte {
+	starts := n.GlobalType.Starts
+	names := n.GlobalType.SpecializedNames()
+	sort.Strings(names)
+	parts := []string{"kernel", n.Kernel.Tree().String(),
+		"starts", strconv.Itoa(len(starts))}
+	parts = append(parts, starts...)
+	parts = append(parts, "names", strconv.Itoa(len(names)))
+	parts = append(parts, names...)
+	return transport.Digest(parts...)
+}
+
+// ServeTCP hosts this network's resource peers on ln: remote kernel
+// peers can dial it, request verdicts, and pull fragment streams. A
+// host may serve any subset of the federation (attach only the local
+// docking points); close the returned host to stop.
+func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
+	srcs := make(map[string]transport.Source, len(n.Peers))
+	for fn, p := range n.Peers {
+		srcs[fn] = &peerSource{peer: p}
+	}
+	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: srcs})
+}
+
+// DialTCP connects the kernel peer to the hosts serving its docking
+// points: addrs maps each function to its host's address, and functions
+// sharing an address share one session. The returned session carries
+// this network's design digest and chunk budget; assign it to
+// n.Transport and close it when done.
+func (n *Network) DialTCP(addrs map[string]string) (transport.Session, error) {
+	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget()}
+	byAddr := map[string]*transport.Conn{}
+	multi := transport.Multi{}
+	for _, fn := range n.Kernel.Funcs() {
+		addr, ok := addrs[fn]
+		if !ok {
+			multi.Close()
+			return nil, fmt.Errorf("p2p: no host address for docking point %s", fn)
+		}
+		conn, ok := byAddr[addr]
+		if !ok {
+			var err error
+			conn, err = transport.Dial(addr, cfg)
+			if err != nil {
+				multi.Close()
+				return nil, fmt.Errorf("p2p: dial %s: %w", addr, err)
+			}
+			byAddr[addr] = conn
+		}
+		multi[fn] = conn
+	}
+	return multi, nil
+}
+
 // ValidateDistributed runs the distributed protocol: every peer validates
 // locally in parallel and sends a verdict-only message. The result is the
 // conjunction of the local verdicts. The round short-circuits: the first
@@ -359,27 +427,36 @@ func (n *Network) ValidateDistributed() (bool, error) {
 // ValidateDistributedContext is ValidateDistributed under an external
 // context; canceling it aborts the round.
 func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) {
-	peers, err := n.peers()
+	sess, err := n.session()
 	if err != nil {
 		return false, err
 	}
+	funcs := n.Kernel.Funcs()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	ch := make(chan message, len(peers))
+	type result struct {
+		m   message
+		err error
+	}
+	ch := make(chan result, len(funcs))
 	var wg sync.WaitGroup
-	for _, peer := range peers {
+	for _, f := range funcs {
 		wg.Add(1)
-		go func(p *ResourcePeer) {
+		go func(fn string) {
 			defer wg.Done()
 			if ctx.Err() != nil {
 				return // round already decided: send nothing
 			}
-			verr := p.Validate(ctx)
+			v, verr := sess.Verdict(ctx, fn)
 			if ctx.Err() != nil {
-				return // canceled mid-validation
+				return // canceled mid-validation: nothing delivered
 			}
-			ch <- verdictMessage(p.Func, verr == nil)
-		}(peer)
+			if verr != nil {
+				ch <- result{err: verr}
+				return
+			}
+			ch <- result{m: verdictMessage(fn, v)}
+		}(f)
 	}
 	go func() {
 		wg.Wait()
@@ -387,15 +464,26 @@ func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) 
 	}()
 	all := true
 	delivered := 0
-	for m := range ch {
+	var transErr error
+	for res := range ch {
+		if res.err != nil {
+			if transErr == nil {
+				transErr = res.err
+				cancel()
+			}
+			continue
+		}
 		delivered++
-		n.Stats.addMessage(m.wireSize())
-		if !m.verdict {
+		n.Stats.addMessage(res.m.wireSize())
+		if !res.m.verdict {
 			all = false
 			cancel() // short-circuit the peers still running
 		}
 	}
-	if all && delivered < len(peers) {
+	if transErr != nil {
+		return false, fmt.Errorf("p2p: transport: %w", transErr)
+	}
+	if all && delivered < len(funcs) {
 		// Verdicts are missing and none of them failed, so the caller's
 		// context must have ended mid-round (our own short-circuit cancel
 		// always comes with a failing verdict). A fully delivered round is
@@ -412,64 +500,114 @@ func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) 
 // arrive. Neither the extension nor any single fragment is ever
 // materialized at the kernel peer — its memory is O(chunk + depth) — and
 // an invalid document is rejected mid-transfer: frames past the failure
-// are never pulled, and their bytes are recorded in Stats.BytesSaved.
-// Traffic on a valid federation: n full documents.
+// are never pulled (a reject halts the sender), and their bytes are
+// recorded in Stats.BytesSaved. Traffic on a valid federation: n full
+// documents.
 func (n *Network) ValidateCentralized() (bool, error) {
-	if _, err := n.peers(); err != nil {
+	sess, err := n.session()
+	if err != nil {
 		return false, err
 	}
-	docs := make(map[string]*xmltree.Tree, len(n.Peers))
-	for f, p := range n.Peers {
-		docs[f] = p.Doc
-	}
-	return n.validateExtensionChunked(docs), nil
+	return n.centralizedOverSession(sess)
 }
 
-// validateExtensionChunked validates extT against the global type with
-// every docking point's document shipped as a chunked stream, in one pass
-// at the kernel peer.
-func (n *Network) validateExtensionChunked(docs map[string]*xmltree.Tree) bool {
+// centralizedOverSession validates extT against the global type with
+// every docking point's document pulled as a chunked stream over sess,
+// in one pass at the kernel peer. It returns the verdict; a transport
+// failure (as opposed to an invalid document) is the returned error.
+func (n *Network) centralizedOverSession(sess transport.Session) (bool, error) {
 	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	chunk := n.chunkBudget()
-	streams := make(map[string]*docStream, len(docs))
-	var wg sync.WaitGroup
-	for _, f := range n.Kernel.Funcs() {
-		st := &docStream{from: f, ch: make(chan []byte)}
-		streams[f] = st
-		wg.Add(1)
-		go func(doc *xmltree.Tree) {
-			defer wg.Done()
-			sendDoc(ctx, st, doc, chunk, &n.Stats)
-		}(docs[f])
+	defer cancel() // releases every in-process sender and pending open
+	funcs := n.Kernel.Funcs()
+	idx := make(map[string]int, len(funcs))
+	for i, f := range funcs {
+		idx[f] = i
 	}
+	window := n.MaxInflight
+	if window <= 0 {
+		window = len(funcs)
+	}
+	frags := make([]transport.Fragment, len(funcs))
+	delivered := make([]int, len(funcs))
+	full := make([]bool, len(funcs))
+	opened := 0
+	var transErr error
+	// openThrough opens streams up to index k (inclusive), in kernel
+	// order — the consumption order — so prefetched transfers are the
+	// next ones the walk will need.
+	openThrough := func(k int) {
+		for opened <= k && opened < len(funcs) && transErr == nil {
+			frag, err := sess.Open(ctx, funcs[opened])
+			if err != nil {
+				transErr = err
+				return
+			}
+			frags[opened] = frag
+			opened++
+		}
+	}
+	openThrough(window - 1)
 	r := n.GlobalMachine().NewRunner()
 	err := stream.StreamKernel(n.Kernel, r, func(fn string, h stream.Handler) error {
-		return n.receiveFragment(streams[fn], h)
+		i, ok := idx[fn]
+		if !ok {
+			return fmt.Errorf("p2p: unknown docking point %s", fn)
+		}
+		openThrough(i + window - 1)
+		if transErr != nil {
+			return transErr
+		}
+		frag := frags[i]
+		n.Stats.addMessage(len(fn) + 1) // message envelope
+		f := stream.NewInnerFeeder(h)
+		for {
+			chunk, nerr := frag.Next()
+			if nerr == io.EOF {
+				full[i] = true
+				break
+			}
+			if nerr != nil {
+				transErr = nerr
+				return nerr
+			}
+			n.Stats.addFrame(len(chunk))
+			delivered[i] += len(chunk)
+			if ferr := f.Feed(chunk); ferr != nil {
+				frag.Abort() // mid-transfer rejection: halt the sender
+				return ferr
+			}
+		}
+		return f.Close()
 	})
 	if err == nil {
 		err = r.Finish()
 	}
 	r.Release()
-	cancel()  // stop senders whose frames the verdict no longer needs
-	wg.Wait() // settle BytesSaved before the caller reads Stats
-	return err == nil
-}
-
-// receiveFragment is the kernel peer's side of one chunked transfer: it
-// pulls frames and pushes them into an inner Feeder splicing the
-// fragment's forest into h. The first validation or well-formedness
-// error stops the pull — mid-transfer rejection.
-func (n *Network) receiveFragment(st *docStream, h stream.Handler) error {
-	f := stream.NewInnerFeeder(h)
-	n.Stats.addMessage(len(st.from) + 1) // message envelope
-	for frame := range st.ch {
-		n.Stats.addFrame(len(frame))
-		if err := f.Feed(frame); err != nil {
-			return err
+	if transErr == nil {
+		// Settle the byte accounting: every transfer the verdict cut
+		// short — aborted mid-stream or never consumed at all — saved
+		// its remaining bytes. Never-opened streams are opened and
+		// immediately rejected just to learn their announced size.
+		for i := range funcs {
+			if full[i] {
+				continue
+			}
+			if frags[i] == nil {
+				frag, oerr := sess.Open(ctx, funcs[i])
+				if oerr != nil {
+					transErr = oerr
+					break
+				}
+				frags[i] = frag
+			}
+			frags[i].Abort()
+			n.Stats.addSaved(frags[i].Size() - delivered[i])
 		}
 	}
-	return f.Close()
+	if transErr != nil {
+		return false, fmt.Errorf("p2p: transport: %w", transErr)
+	}
+	return err == nil, nil
 }
 
 // Materialize returns the extension document (for inspection).
@@ -510,24 +648,20 @@ func (n *Network) UpdatePeer(fn string, newDoc *xmltree.Tree) (admitted bool, pr
 // pulled, and the whole extension is re-validated chunk by chunk; on
 // failure the edit is rolled back — and because rejection happens
 // mid-transfer, a bad edit deep in the kernel walk saves every byte the
-// kernel peer no longer needs to pull.
+// kernel peer no longer needs to pull. It always runs against this
+// network's own peers (the edit mutates them), regardless of Transport.
 func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitted bool, err error) {
 	peer, ok := n.Peers[fn]
 	if !ok {
 		return false, fmt.Errorf("p2p: no peer for %s", fn)
 	}
-	if _, err := n.peers(); err != nil {
+	sess, err := n.localSession(map[string]*xmltree.Tree{fn: newDoc})
+	if err != nil {
 		return false, err
 	}
-	// The kernel peer pulls every fragment, with the edited docking point
-	// contributing the new document.
-	docs := make(map[string]*xmltree.Tree, len(n.Peers))
-	for f, p := range n.Peers {
-		docs[f] = p.Doc
-	}
-	docs[fn] = newDoc
-	if !n.validateExtensionChunked(docs) {
-		return false, nil
+	ok, err = n.centralizedOverSession(sess)
+	if err != nil || !ok {
+		return false, err
 	}
 	peer.Doc = newDoc
 	return true, nil

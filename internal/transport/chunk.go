@@ -1,0 +1,53 @@
+package transport
+
+// chunker chops an incremental serialization into fixed-budget chunks
+// and hands each to a blocking send callback — the transport-specific
+// delivery (a channel handoff in process, a Chunk frame plus ack wait
+// over TCP). Two swap buffers make the transfer allocation-steady:
+// while the receiver consumes one chunk, the sender fills the other.
+// Chunk boundaries depend only on the budget, never on the transport,
+// which is what makes frame counts transport-invariant.
+type chunker struct {
+	send   func([]byte) error
+	budget int
+	buf    [2][]byte
+	cur    int
+	sent   int
+}
+
+func newChunker(budget int, send func([]byte) error) *chunker {
+	return &chunker{send: send, budget: budget}
+}
+
+func (w *chunker) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		space := w.budget - len(w.buf[w.cur])
+		if space == 0 {
+			if err := w.flush(); err != nil {
+				return total - len(p), err
+			}
+			continue
+		}
+		n := min(space, len(p))
+		w.buf[w.cur] = append(w.buf[w.cur], p[:n]...)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// flush ships the current chunk (a no-op when empty). The send callback
+// blocks until the receiver consumes it — or fails, halting the sender.
+func (w *chunker) flush() error {
+	chunk := w.buf[w.cur]
+	if len(chunk) == 0 {
+		return nil
+	}
+	if err := w.send(chunk); err != nil {
+		return err
+	}
+	w.sent += len(chunk)
+	w.cur = 1 - w.cur
+	w.buf[w.cur] = w.buf[w.cur][:0]
+	return nil
+}

@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The TCP wire speaks length-prefixed binary frames:
+//
+//	uint32 big-endian payload length | uint8 frame type | payload
+//
+// The payload length covers the type byte, so an empty frame is length
+// 1. Frames larger than maxFramePayload are a protocol error — the
+// reader refuses them before allocating, so a hostile or corrupt length
+// prefix cannot balloon memory.
+const (
+	// protocolVersion is bumped on any incompatible frame change; the
+	// hello exchange refuses mismatched versions.
+	protocolVersion = 1
+
+	// maxFramePayload caps one frame's payload (type byte excluded).
+	// Chunked transfers stay far below it; it exists so unchunked
+	// transfers have a hard ceiling and garbage length prefixes error
+	// out instead of allocating.
+	maxFramePayload = 16 << 20
+
+	// headerSize is the length prefix plus the type byte.
+	headerSize = 5
+)
+
+// frameType discriminates the session protocol's frames.
+type frameType uint8
+
+const (
+	frameInvalid frameType = iota
+	// frameHello (client→server) opens a session: version, chunk
+	// budget, design digest.
+	frameHello
+	// frameWelcome (server→client) accepts it: version, digest echo.
+	frameWelcome
+	// frameError (either direction) is session-fatal: a message.
+	frameError
+	// frameVerdictReq (client→server) asks the peer hosting fn to
+	// validate its document: request id, fn.
+	frameVerdictReq
+	// frameVerdict (server→client) answers: request id, verdict.
+	frameVerdict
+	// frameOpen (client→server) requests fn's fragment as a chunked
+	// stream: stream id, fn.
+	frameOpen
+	// frameBegin (server→client) accepts: stream id, total serialized
+	// size. Chunks follow.
+	frameBegin
+	// frameChunk (server→client) carries one chunk: stream id, bytes.
+	// The sender then waits for frameAck (or frameReject) before
+	// producing the next chunk — stop-and-wait backpressure.
+	frameChunk
+	// frameAck (client→server) releases the next chunk: stream id.
+	frameAck
+	// frameEnd (server→client) closes a fully-sent stream: stream id.
+	frameEnd
+	// frameReject (client→server) halts a transfer mid-stream: stream
+	// id, reason. The sender stops serializing immediately.
+	frameReject
+	// frameStreamErr (server→client) fails one stream without killing
+	// the session: stream id, reason.
+	frameStreamErr
+	// frameVerdictCancel (client→server) withdraws a verdict request
+	// whose round was short-circuited: request id. The host cancels the
+	// in-flight validation so remote peers stop mid-document, exactly
+	// as in-process peers do.
+	frameVerdictCancel
+	frameTypeEnd // sentinel: first invalid type
+)
+
+// frame is the decoded form of every frame type; unused fields are
+// zero. data aliases the reader's buffer and is valid until the next
+// read.
+type frame struct {
+	typ  frameType
+	id   uint32 // stream / request id; chunk budget rides here for hello
+	size uint64 // announced fragment size (begin)
+	flag byte   // verdict (verdict), version (hello/welcome)
+	str  string // fn (open/verdictReq), reason (reject/streamErr/error)
+	data []byte // chunk payload (chunk), digest (hello/welcome)
+}
+
+// fixedLen is the number of fixed payload bytes after the type byte,
+// per frame type; variable-length tails (strings, chunk bytes, digests)
+// follow them.
+func (t frameType) fixedLen() (int, error) {
+	switch t {
+	case frameHello:
+		return 5, nil // version + chunk budget
+	case frameWelcome:
+		return 1, nil // version
+	case frameError:
+		return 0, nil
+	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel:
+		return 4, nil // id
+	case frameVerdict:
+		return 5, nil // id + verdict
+	case frameBegin:
+		return 12, nil // id + size
+	}
+	return 0, fmt.Errorf("transport: unknown frame type %d", t)
+}
+
+// frameWriter encodes frames onto one stream; callers serialize access
+// (the TCP conn holds a write mutex). The scratch buffer is reused, so
+// steady-state encoding is allocation-free.
+type frameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// write encodes and writes one frame.
+func (fw *frameWriter) write(f frame) error {
+	fixed, err := f.typ.fixedLen()
+	if err != nil {
+		return err
+	}
+	payload := 1 + fixed + len(f.str) + len(f.data)
+	if payload-1 > maxFramePayload {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit (chunk the transfer)",
+			payload-1, maxFramePayload)
+	}
+	need := 4 + payload
+	if cap(fw.buf) < need {
+		fw.buf = make([]byte, 0, max(need, 4096))
+	}
+	b := fw.buf[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(payload))
+	b = append(b, byte(f.typ))
+	switch f.typ {
+	case frameHello:
+		b = append(b, f.flag)
+		b = binary.BigEndian.AppendUint32(b, f.id)
+	case frameWelcome:
+		b = append(b, f.flag)
+	case frameVerdict:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = append(b, f.flag)
+	case frameBegin:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.size)
+	case frameError:
+	default:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+	}
+	b = append(b, f.str...)
+	b = append(b, f.data...)
+	fw.buf = b
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// frameReader decodes frames from one stream. The payload buffer is
+// reused: a decoded frame's str/data alias it and are valid until the
+// next read — the same lifetime contract Fragment.Next exposes.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// read decodes the next frame. Truncated input yields io.ErrUnexpectedEOF
+// (clean EOF between frames yields io.EOF); oversized or malformed
+// frames yield a descriptive error. It never panics on garbage.
+func (fr *frameReader) read() (frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:4]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return frame{}, fmt.Errorf("transport: truncated frame header: %w", err)
+		}
+		return frame{}, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length == 0 {
+		return frame{}, fmt.Errorf("transport: empty frame (missing type byte)")
+	}
+	if length-1 > maxFramePayload {
+		return frame{}, fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", length-1, maxFramePayload)
+	}
+	if _, err := io.ReadFull(fr.r, hdr[4:5]); err != nil {
+		return frame{}, fmt.Errorf("transport: truncated frame: %w", unexpected(err))
+	}
+	f := frame{typ: frameType(hdr[4])}
+	if f.typ == frameInvalid || f.typ >= frameTypeEnd {
+		return frame{}, fmt.Errorf("transport: unknown frame type %d", hdr[4])
+	}
+	fixed, err := f.typ.fixedLen()
+	if err != nil {
+		return frame{}, err
+	}
+	rest := int(length) - 1
+	if rest < fixed {
+		return frame{}, fmt.Errorf("transport: %d-byte payload too short for frame type %d", rest, f.typ)
+	}
+	if cap(fr.buf) < rest {
+		fr.buf = make([]byte, 0, max(rest, 4096))
+	}
+	p := fr.buf[:rest]
+	fr.buf = p
+	if _, err := io.ReadFull(fr.r, p); err != nil {
+		return frame{}, fmt.Errorf("transport: truncated frame: %w", unexpected(err))
+	}
+	tail := p[fixed:]
+	switch f.typ {
+	case frameHello:
+		f.flag = p[0]
+		f.id = binary.BigEndian.Uint32(p[1:5])
+		f.data = tail
+	case frameWelcome:
+		f.flag = p[0]
+		f.data = tail
+	case frameError:
+		f.str = string(tail)
+	case frameVerdict:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.flag = p[4]
+	case frameBegin:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.size = binary.BigEndian.Uint64(p[4:12])
+	case frameChunk:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.data = tail
+	case frameVerdictReq, frameOpen:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.str = string(tail)
+	case frameAck, frameEnd, frameVerdictCancel:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		if len(tail) != 0 {
+			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+		}
+	case frameReject, frameStreamErr:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.str = string(tail)
+	}
+	return f, nil
+}
+
+// unexpected maps a clean EOF in the middle of a frame to
+// io.ErrUnexpectedEOF, so truncation is always distinguishable from a
+// clean close between frames.
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// wireChunk encodes a chunk budget for the hello frame: budgets at or
+// above the uint32 ceiling (notably the unchunked math.MaxInt sentinel)
+// travel as MaxUint32.
+func wireChunk(budget int) uint32 {
+	if budget <= 0 || budget >= math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(budget)
+}
+
+// budgetFromWire decodes it.
+func budgetFromWire(w uint32) int {
+	if w == math.MaxUint32 {
+		return math.MaxInt
+	}
+	return int(w)
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sampleFrames covers every frame type with representative payloads.
+func sampleFrames() []frame {
+	return []frame{
+		{typ: frameHello, flag: protocolVersion, id: 4096, data: Digest("design")},
+		{typ: frameWelcome, flag: protocolVersion, data: Digest("design")},
+		{typ: frameError, str: "boom"},
+		{typ: frameError},
+		{typ: frameVerdictReq, id: 7, str: "f1"},
+		{typ: frameVerdict, id: 7, flag: 1},
+		{typ: frameVerdictCancel, id: 7},
+		{typ: frameVerdict, id: 8, flag: 0},
+		{typ: frameOpen, id: 9, str: "f2"},
+		{typ: frameBegin, id: 9, size: 1 << 40},
+		{typ: frameChunk, id: 9, data: []byte("<a>\n  <b/>\n</a>\n")},
+		{typ: frameChunk, id: 9, data: nil},
+		{typ: frameAck, id: 9},
+		{typ: frameEnd, id: 9},
+		{typ: frameReject, id: 9, str: "rejected by receiver"},
+		{typ: frameStreamErr, id: 9, str: "no such docking point"},
+	}
+}
+
+func frameEqual(a, b frame) bool {
+	return a.typ == b.typ && a.id == b.id && a.size == b.size &&
+		a.flag == b.flag && a.str == b.str && bytes.Equal(a.data, b.data)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := frameWriter{w: &buf}
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := fw.write(f); err != nil {
+			t.Fatalf("write %+v: %v", f, err)
+		}
+	}
+	fr := newFrameReader(&buf)
+	for i, want := range frames {
+		got, err := fr.read()
+		if err != nil {
+			t.Fatalf("frame %d: read: %v", i, err)
+		}
+		// The reader reuses its buffer, so compare before the next read.
+		if !frameEqual(got, want) {
+			t.Fatalf("frame %d round trip: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := fr.read(); err != io.EOF {
+		t.Fatalf("clean end of stream should be io.EOF, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	fw := frameWriter{w: &buf}
+	for _, f := range sampleFrames() {
+		if err := fw.write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wire := buf.Bytes()
+	// Every proper prefix must decode to clean frames followed by either
+	// io.EOF (prefix ends on a frame boundary) or a truncation error —
+	// never a panic, never a spurious success.
+	for cut := 0; cut < len(wire); cut++ {
+		fr := newFrameReader(bytes.NewReader(wire[:cut]))
+		for {
+			_, err := fr.read()
+			if err == nil {
+				continue
+			}
+			if err != io.EOF && !strings.Contains(err.Error(), "truncated") {
+				t.Fatalf("cut %d: unexpected error %v", cut, err)
+			}
+			break
+		}
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty frame":  binary.BigEndian.AppendUint32(nil, 0),
+		"unknown type": append(binary.BigEndian.AppendUint32(nil, 1), 0xEE),
+		"zero type":    append(binary.BigEndian.AppendUint32(nil, 1), 0x00),
+		"short begin":  append(binary.BigEndian.AppendUint32(nil, 3), byte(frameBegin), 1, 2),
+		"ack tail":     append(binary.BigEndian.AppendUint32(nil, 7), byte(frameAck), 0, 0, 0, 1, 'x', 'y'),
+		"oversized":    binary.BigEndian.AppendUint32(nil, math.MaxUint32),
+	}
+	for name, wire := range cases {
+		fr := newFrameReader(bytes.NewReader(wire))
+		if _, err := fr.read(); err == nil || err == io.EOF {
+			t.Errorf("%s: expected a decode error, got %v", name, err)
+		}
+	}
+}
+
+// TestFrameReaderBoundsAllocation: a hostile length prefix must error
+// before allocating, not after reserving gigabytes.
+func TestFrameReaderBoundsAllocation(t *testing.T) {
+	wire := binary.BigEndian.AppendUint32(nil, 1<<31)
+	allocs := testing.AllocsPerRun(5, func() {
+		fr := newFrameReader(bytes.NewReader(wire))
+		if _, err := fr.read(); err == nil {
+			t.Fatal("oversized frame accepted")
+		}
+	})
+	// A reader struct, a bufio buffer and an error — nothing proportional
+	// to the claimed length.
+	if allocs > 10 {
+		t.Errorf("oversized frame cost %v allocations", allocs)
+	}
+}
+
+func TestFrameWriterRefusesOversize(t *testing.T) {
+	fw := frameWriter{w: io.Discard}
+	if err := fw.write(frame{typ: frameChunk, id: 1, data: make([]byte, maxFramePayload+1)}); err == nil {
+		t.Error("oversized chunk frame accepted")
+	}
+}
+
+func TestWireChunkRoundTrip(t *testing.T) {
+	for _, budget := range []int{1, 16, 4096, 1 << 20} {
+		if got := budgetFromWire(wireChunk(budget)); got != budget {
+			t.Errorf("budget %d round-tripped to %d", budget, got)
+		}
+	}
+	if got := budgetFromWire(wireChunk(math.MaxInt)); got != math.MaxInt {
+		t.Errorf("unchunked sentinel round-tripped to %d", got)
+	}
+	if got := budgetFromWire(wireChunk(0)); got != math.MaxInt {
+		t.Errorf("zero budget should decode as unchunked, got %d", got)
+	}
+}

@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// HostConfig parameterizes a peer host.
+type HostConfig struct {
+	// Digest is the hosted design's fingerprint; sessions presenting a
+	// different digest are refused at hello.
+	Digest []byte
+	// Sources maps each hosted docking point to its peer.
+	Sources map[string]Source
+}
+
+// Host serves a set of resource peers over TCP: it accepts sessions
+// from kernel peers and answers their verdict requests and fragment
+// streams. One host may serve any subset of a federation's docking
+// points; a kernel peer federates several hosts with Multi.
+type Host struct {
+	ln     net.Listener
+	cfg    HostConfig
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewHost starts serving cfg's sources on ln; it returns immediately.
+// Use net.Listen("tcp", "127.0.0.1:0") + Addr for an ephemeral port.
+func NewHost(ln net.Listener, cfg HostConfig) *Host {
+	h := &Host{ln: ln, cfg: cfg, conns: map[net.Conn]struct{}{}}
+	h.ctx, h.cancel = context.WithCancel(context.Background())
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h
+}
+
+// Addr is the listener's address (the port to join).
+func (h *Host) Addr() net.Addr { return h.ln.Addr() }
+
+// Close stops accepting, tears down every session, and waits for them.
+func (h *Host) Close() error {
+	err := h.ln.Close()
+	h.cancel()
+	h.mu.Lock()
+	h.closed = true
+	for c := range h.conns {
+		c.Close()
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+	return err
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.mu.Lock()
+		// A dial can race Close: the listener hands us a conn after
+		// Close swept the map. Close it here or nobody will, and
+		// Close's Wait would hang on its session forever.
+		if h.closed {
+			h.mu.Unlock()
+			c.Close()
+			return
+		}
+		h.conns[c] = struct{}{}
+		h.mu.Unlock()
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.serveSession(c)
+			h.mu.Lock()
+			delete(h.conns, c)
+			h.mu.Unlock()
+		}()
+	}
+}
+
+// hostStream is one fragment transfer in progress at the host.
+type hostStream struct {
+	acks   chan struct{}
+	cancel context.CancelFunc
+}
+
+// session is one kernel peer's connection.
+type session struct {
+	host *Host
+	c    net.Conn
+	wmu  sync.Mutex
+	fw   frameWriter
+
+	mu       sync.Mutex
+	streams  map[uint32]*hostStream
+	verdicts map[uint32]context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+func (s *session) send(f frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.fw.write(f)
+}
+
+func (h *Host) serveSession(c net.Conn) {
+	defer c.Close()
+	s := &session{host: h, c: c, fw: frameWriter{w: c},
+		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{}}
+	fr := newFrameReader(c)
+	hello, err := fr.read()
+	if err != nil || hello.typ != frameHello {
+		s.send(frame{typ: frameError, str: "expected hello"})
+		return
+	}
+	if hello.flag != protocolVersion {
+		s.send(frame{typ: frameError, str: fmt.Sprintf("protocol version mismatch: client speaks v%d, this host v%d", hello.flag, protocolVersion)})
+		return
+	}
+	if !bytes.Equal(hello.data, h.cfg.Digest) {
+		s.send(frame{typ: frameError, str: "design digest mismatch (this host serves a different design)"})
+		return
+	}
+	budget := budgetFromWire(hello.id)
+	if err := s.send(frame{typ: frameWelcome, flag: protocolVersion, data: h.cfg.Digest}); err != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(h.ctx)
+	defer cancel() // halts every in-flight verdict and stream
+	for {
+		f, err := fr.read()
+		if err != nil {
+			break
+		}
+		switch f.typ {
+		case frameVerdictReq:
+			src, ok := h.cfg.Sources[f.str]
+			if !ok {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			vctx, vcancel := context.WithCancel(ctx)
+			s.mu.Lock()
+			s.verdicts[f.id] = vcancel
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func(id uint32) {
+				defer s.wg.Done()
+				v := byte(0)
+				if src.Verdict(vctx) {
+					v = 1
+				}
+				canceled := vctx.Err() != nil
+				s.mu.Lock()
+				delete(s.verdicts, id)
+				s.mu.Unlock()
+				vcancel()
+				if !canceled {
+					s.send(frame{typ: frameVerdict, id: id, flag: v})
+				}
+			}(f.id)
+
+		case frameVerdictCancel:
+			s.mu.Lock()
+			vcancel := s.verdicts[f.id]
+			delete(s.verdicts, f.id)
+			s.mu.Unlock()
+			if vcancel != nil {
+				vcancel() // the round was decided: stop mid-document
+			}
+
+		case frameOpen:
+			src, ok := h.cfg.Sources[f.str]
+			if !ok {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			sctx, scancel := context.WithCancel(ctx)
+			st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
+			s.mu.Lock()
+			s.streams[f.id] = st
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveStream(sctx, f.id, st, src, budget)
+
+		case frameAck:
+			s.mu.Lock()
+			st := s.streams[f.id]
+			s.mu.Unlock()
+			if st != nil {
+				select {
+				case st.acks <- struct{}{}:
+				default: // duplicate ack from a broken client: drop
+				}
+			}
+
+		case frameReject:
+			s.mu.Lock()
+			st := s.streams[f.id]
+			delete(s.streams, f.id)
+			s.mu.Unlock()
+			if st != nil {
+				st.cancel() // halt the sender mid-serialization
+			}
+
+		default:
+			s.send(frame{typ: frameError, str: fmt.Sprintf("unexpected frame type %d", f.typ)})
+			cancel()
+			s.wg.Wait()
+			return
+		}
+	}
+	cancel()
+	s.wg.Wait()
+}
+
+// serveStream runs one fragment transfer: announce the size, then ship
+// chunk frames in lockstep with the receiver's acks. A reject (or a
+// dead session) cancels sctx, and the very next chunk handoff aborts —
+// nothing past the failure point is serialized.
+func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, src Source, budget int) {
+	defer s.wg.Done()
+	defer st.cancel()
+	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(src.Size())}); err != nil {
+		return
+	}
+	cw := newChunker(budget, func(chunk []byte) error {
+		if err := sctx.Err(); err != nil {
+			return err
+		}
+		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
+			return err
+		}
+		select {
+		case <-st.acks:
+			return nil
+		case <-sctx.Done():
+			return sctx.Err()
+		}
+	})
+	err := src.Serialize(cw)
+	if err == nil {
+		err = cw.flush() // the final partial chunk
+	}
+	s.mu.Lock()
+	delete(s.streams, id)
+	s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.send(frame{typ: frameEnd, id: id})
+	case sctx.Err() != nil:
+		// Rejected or torn down: the receiver is not listening.
+	default:
+		s.send(frame{typ: frameStreamErr, id: id, str: err.Error()})
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// InProc is the in-process transport: the kernel peer and the resource
+// peers share an address space, and chunks are handed over unbuffered
+// channels — delivery is synchronous, so the backpressure and rejection
+// semantics are exactly those of the TCP transport without the sockets.
+// This is the refactored form of the original p2p wire and the
+// reference implementation the TCP transport is differentially tested
+// against.
+type InProc struct {
+	// Sources maps each docking point to its hosted peer.
+	Sources map[string]Source
+	// Chunk is the resolved chunk budget in bytes (math.MaxInt for
+	// unchunked); it must be positive.
+	Chunk int
+}
+
+func (s *InProc) source(fn string) (Source, error) {
+	src, ok := s.Sources[fn]
+	if !ok {
+		return nil, fmt.Errorf("transport: no source for docking point %s", fn)
+	}
+	return src, nil
+}
+
+// Verdict validates fn's document against its local type in place.
+func (s *InProc) Verdict(ctx context.Context, fn string) (bool, error) {
+	src, err := s.source(fn)
+	if err != nil {
+		return false, err
+	}
+	v := src.Verdict(ctx)
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return v, nil
+}
+
+// Open starts fn's transfer: a sender goroutine serializes the document
+// into chunk-budget frames on an unbuffered channel. The sender blocks
+// until each chunk is consumed and stops serializing the moment the
+// fragment is aborted (or ctx ends).
+func (s *InProc) Open(ctx context.Context, fn string) (Fragment, error) {
+	src, err := s.source(fn)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan []byte)
+	go func() {
+		defer close(ch)
+		w := newChunker(s.Chunk, func(chunk []byte) error {
+			select {
+			case ch <- chunk:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if src.Serialize(w) == nil {
+			w.flush() // the final partial chunk
+		}
+	}()
+	return &inprocFragment{src: src, ch: ch, cancel: cancel}, nil
+}
+
+// Close is a no-op: in-process sessions hold no resources beyond their
+// per-fragment senders, which die with their contexts.
+func (s *InProc) Close() error { return nil }
+
+type inprocFragment struct {
+	src    Source
+	ch     <-chan []byte
+	cancel context.CancelFunc
+}
+
+// Size is resolved lazily from the source: only aborted transfers need
+// it (for byte-savings accounting), so accepted transfers never pay the
+// size walk.
+func (f *inprocFragment) Size() int { return f.src.Size() }
+
+func (f *inprocFragment) Next() ([]byte, error) {
+	chunk, ok := <-f.ch
+	if !ok {
+		f.cancel() // transfer complete: release the sender's context
+		return nil, io.EOF
+	}
+	return chunk, nil
+}
+
+func (f *inprocFragment) Abort() { f.cancel() }

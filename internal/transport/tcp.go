@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Config parameterizes a TCP session from the kernel peer's side.
+type Config struct {
+	// Digest is the design fingerprint exchanged in the hello; the
+	// server refuses a mismatch. See Digest.
+	Digest []byte
+	// Chunk is the fragment chunk budget in bytes the server will
+	// serialize with (math.MaxInt or <= 0 for unchunked).
+	Chunk int
+}
+
+// Conn is an established TCP session with one peer host, from the
+// kernel peer's side. It multiplexes concurrent verdict requests and
+// fragment streams over a single socket; methods are safe for
+// concurrent use.
+type Conn struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes frame writes
+	fw  frameWriter
+
+	nextID  atomic.Uint32
+	mu      sync.Mutex // guards pending and doneErr
+	pending map[uint32]*waiter
+
+	done    chan struct{} // closed when the read loop exits
+	doneErr error         // why (valid after done)
+}
+
+// waiter is one request's or stream's dispatch slot. Chunk payloads are
+// copied into the per-stream scratch, because the frame reader's buffer
+// is overwritten by the next read: stop-and-wait guarantees at most one
+// in-flight chunk per stream, so one scratch per stream suffices and is
+// reused for the transfer's lifetime.
+type waiter struct {
+	ch      chan frame
+	scratch []byte
+}
+
+// Dial connects to a peer host, performs the hello exchange, and
+// returns the session. The configured digest must match the host's.
+func Dial(addr string, cfg Config) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		c:       nc,
+		fw:      frameWriter{w: nc},
+		pending: map[uint32]*waiter{},
+		done:    make(chan struct{}),
+	}
+	if err := c.fw.write(frame{
+		typ:  frameHello,
+		flag: protocolVersion,
+		id:   wireChunk(cfg.Chunk),
+		data: cfg.Digest,
+	}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	fr := newFrameReader(nc)
+	f, err := fr.read()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	switch f.typ {
+	case frameWelcome:
+		if f.flag != protocolVersion {
+			nc.Close()
+			return nil, fmt.Errorf("transport: protocol version mismatch: host speaks v%d, this client v%d", f.flag, protocolVersion)
+		}
+		if !bytes.Equal(f.data, cfg.Digest) {
+			nc.Close()
+			return nil, fmt.Errorf("transport: design digest mismatch (the host serves a different design)")
+		}
+	case frameError:
+		nc.Close()
+		return nil, fmt.Errorf("transport: host refused session: %s", f.str)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("transport: unexpected hello response (frame type %d)", f.typ)
+	}
+	go c.readLoop(fr)
+	return c, nil
+}
+
+// readLoop dispatches incoming frames to their waiting request or
+// stream; frames for aborted or finished streams are dropped.
+func (c *Conn) readLoop(fr *frameReader) {
+	var err error
+	for {
+		var f frame
+		f, err = fr.read()
+		if err != nil {
+			break
+		}
+		if f.typ == frameError {
+			err = fmt.Errorf("transport: host error: %s", f.str)
+			break
+		}
+		c.mu.Lock()
+		w := c.pending[f.id]
+		c.mu.Unlock()
+		if w == nil {
+			continue // late response for an aborted stream: drop
+		}
+		if f.typ == frameChunk {
+			w.scratch = append(w.scratch[:0], f.data...)
+			f.data = w.scratch
+		}
+		select {
+		case w.ch <- f:
+		default:
+			// A conforming host never has more frames in flight per
+			// stream than the dispatch buffer holds; overflow means the
+			// protocol is broken, and dropping or blocking would hang
+			// the session in harder-to-debug ways.
+			err = fmt.Errorf("transport: host overran stream %d", f.id)
+		}
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		err = fmt.Errorf("transport: session closed by host")
+	}
+	c.mu.Lock()
+	c.doneErr = err
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// register allocates an id and its dispatch slot.
+func (c *Conn) register() (uint32, *waiter) {
+	id := c.nextID.Add(1)
+	// Begin and a first chunk can be in flight together, and End can
+	// trail the final chunk's ack; 4 slots cover every conforming
+	// interleaving.
+	w := &waiter{ch: make(chan frame, 4)}
+	c.mu.Lock()
+	c.pending[id] = w
+	c.mu.Unlock()
+	return id, w
+}
+
+func (c *Conn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// send writes one frame under the write lock.
+func (c *Conn) send(f frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.fw.write(f)
+}
+
+// sessionErr reports why the session died.
+func (c *Conn) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.doneErr != nil {
+		return c.doneErr
+	}
+	return fmt.Errorf("transport: session closed")
+}
+
+// Verdict asks the host to validate fn's document against its local
+// type and waits for the answer.
+func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
+	id, w := c.register()
+	defer c.unregister(id)
+	if err := c.send(frame{typ: frameVerdictReq, id: id, str: fn}); err != nil {
+		return false, err
+	}
+	select {
+	case f := <-w.ch:
+		switch f.typ {
+		case frameVerdict:
+			return f.flag != 0, nil
+		case frameStreamErr:
+			return false, fmt.Errorf("transport: verdict %s: %s", fn, f.str)
+		default:
+			return false, fmt.Errorf("transport: unexpected frame type %d for verdict request", f.typ)
+		}
+	case <-ctx.Done():
+		// Withdraw the request so the host stops validating
+		// mid-document — the short-circuit behavior in-process peers
+		// get from their shared context.
+		c.send(frame{typ: frameVerdictCancel, id: id})
+		return false, ctx.Err()
+	case <-c.done:
+		return false, c.sessionErr()
+	}
+}
+
+// Open requests fn's fragment stream and waits for the host to announce
+// it (a Begin frame carrying the total size).
+func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
+	id, w := c.register()
+	if err := c.send(frame{typ: frameOpen, id: id, str: fn}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	select {
+	case f := <-w.ch:
+		switch f.typ {
+		case frameBegin:
+			return &tcpFragment{conn: c, id: id, w: w, size: int(f.size)}, nil
+		case frameStreamErr:
+			c.unregister(id)
+			return nil, fmt.Errorf("transport: open %s: %s", fn, f.str)
+		default:
+			c.unregister(id)
+			return nil, fmt.Errorf("transport: unexpected frame type %d opening %s", f.typ, fn)
+		}
+	case <-ctx.Done():
+		c.unregister(id)
+		// Halt the transfer the caller no longer wants; the host's
+		// stream goroutine would otherwise park on its first ack.
+		c.send(frame{typ: frameReject, id: id, str: "open canceled"})
+		return nil, ctx.Err()
+	case <-c.done:
+		c.unregister(id)
+		return nil, c.sessionErr()
+	}
+}
+
+// Close tears the session down; in-flight operations fail.
+func (c *Conn) Close() error {
+	err := c.c.Close()
+	<-c.done // wait for the read loop so no dispatch races the caller
+	return err
+}
+
+// tcpFragment is the receiver side of one TCP fragment stream.
+type tcpFragment struct {
+	conn    *Conn
+	id      uint32
+	w       *waiter
+	size    int
+	owesAck bool // the previously returned chunk has not been acked yet
+	aborted bool
+}
+
+func (f *tcpFragment) Size() int { return f.size }
+
+// Next acknowledges the previous chunk — releasing the sender to
+// produce exactly one more — and waits for it. Acking on the *next*
+// call, not on receipt, is what makes the backpressure synchronous: a
+// receiver that rejects after chunk k has never acked it, so the sender
+// is still parked and serializes nothing past the failure.
+func (f *tcpFragment) Next() ([]byte, error) {
+	if f.aborted {
+		return nil, fmt.Errorf("transport: read from aborted stream")
+	}
+	if f.owesAck {
+		f.owesAck = false
+		if err := f.conn.send(frame{typ: frameAck, id: f.id}); err != nil {
+			return nil, err
+		}
+	}
+	select {
+	case fr := <-f.w.ch:
+		switch fr.typ {
+		case frameChunk:
+			f.owesAck = true
+			return fr.data, nil
+		case frameEnd:
+			f.conn.unregister(f.id)
+			return nil, io.EOF
+		case frameStreamErr:
+			f.conn.unregister(f.id)
+			return nil, fmt.Errorf("transport: stream failed: %s", fr.str)
+		default:
+			return nil, fmt.Errorf("transport: unexpected frame type %d mid-stream", fr.typ)
+		}
+	case <-f.conn.done:
+		return nil, f.conn.sessionErr()
+	}
+}
+
+// Abort rejects the transfer: the reject frame halts the sender, and
+// the stream's remaining frames (at most an in-flight End) are dropped.
+func (f *tcpFragment) Abort() {
+	if f.aborted {
+		return
+	}
+	f.aborted = true
+	f.conn.unregister(f.id)
+	f.conn.send(frame{typ: frameReject, id: f.id, str: "rejected by receiver"})
+}

@@ -1,0 +1,128 @@
+// Package transport is the wire layer of the p2p federation: it moves
+// verdicts and chunked fragment streams between the kernel peer and the
+// resource peers, behind one small interface with two implementations —
+// an in-process loopback (the original channel-based delivery) and a
+// real TCP transport speaking a length-prefixed binary frame protocol.
+//
+// The abstraction is asymmetric, matching the paper's model: resource
+// peers are passive *sources* (they answer verdict requests and stream
+// their document on demand), and the kernel peer drives a *session*
+// against them. A fragment transfer is strictly synchronous: the sender
+// serializes into fixed-budget chunks and never runs more than one
+// chunk ahead of the receiver (stop-and-wait over TCP, an unbuffered
+// channel in process), so a rejection reaches the sender while the
+// unsent bytes are still unserialized — the communication win recorded
+// in the federation's Stats.BytesSaved is real on both transports.
+//
+// Protocol guarantees shared by both implementations, pinned by the
+// differential tests in internal/p2p:
+//
+//   - chunk boundaries depend only on the configured budget, so frame
+//     counts and delivered-byte totals are transport-invariant;
+//   - Abort halts the sender mid-transfer; bytes past the failure are
+//     never serialized, let alone shipped;
+//   - a session is bound to a design digest: the TCP hello refuses to
+//     pair peers running different designs.
+package transport
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+)
+
+// Source is one hosted docking point, the sender side of the transport:
+// the resource peer's document and local type behind a minimal surface.
+type Source interface {
+	// Verdict validates the peer's document against its local type;
+	// implementations should poll ctx so a short-circuited round stops
+	// mid-document.
+	Verdict(ctx context.Context) bool
+	// Size is the exact serialized size of the document in bytes.
+	Size() int
+	// Serialize writes the document's serialization to w incrementally,
+	// stopping at the first write error.
+	Serialize(w io.Writer) error
+}
+
+// Session is the kernel peer's view of the federation: request a
+// verdict from the peer behind a docking point, or open its fragment as
+// a chunked stream. Implementations must support concurrent Verdict
+// calls and concurrently open fragments.
+type Session interface {
+	Verdict(ctx context.Context, fn string) (bool, error)
+	Open(ctx context.Context, fn string) (Fragment, error)
+	Close() error
+}
+
+// Fragment is the receiver side of one fragment transfer. Next returns
+// consecutive chunks (valid until the following call) and io.EOF after
+// the last; consuming a chunk releases the sender to produce the next
+// one — synchronous backpressure. Abort rejects the transfer
+// mid-stream: the sender halts and the remaining bytes never travel.
+type Fragment interface {
+	// Size is the announced total serialized size of the fragment.
+	Size() int
+	Next() ([]byte, error)
+	Abort()
+}
+
+// Multi routes a session per docking point, so a kernel peer can
+// federate hosts that each serve a subset of the docking points.
+// Sessions may be shared between functions; Close closes each distinct
+// session once.
+type Multi map[string]Session
+
+func (m Multi) session(fn string) (Session, error) {
+	s, ok := m[fn]
+	if !ok {
+		return nil, fmt.Errorf("transport: no session for docking point %s", fn)
+	}
+	return s, nil
+}
+
+func (m Multi) Verdict(ctx context.Context, fn string) (bool, error) {
+	s, err := m.session(fn)
+	if err != nil {
+		return false, err
+	}
+	return s.Verdict(ctx, fn)
+}
+
+func (m Multi) Open(ctx context.Context, fn string) (Fragment, error) {
+	s, err := m.session(fn)
+	if err != nil {
+		return nil, err
+	}
+	return s.Open(ctx, fn)
+}
+
+func (m Multi) Close() error {
+	closed := map[Session]bool{}
+	var first error
+	for _, s := range m {
+		if closed[s] {
+			continue
+		}
+		closed[s] = true
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Digest fingerprints a design from its canonical parts (kernel term,
+// type sources, …): the TCP hello exchanges it so a serve and a join
+// running different designs fail fast instead of producing a verdict
+// about nothing.
+func Digest(parts ...string) []byte {
+	h := sha256.New()
+	for _, p := range parts {
+		// Length-prefix each part so ("ab","c") and ("a","bc") differ.
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return h.Sum(nil)
+}

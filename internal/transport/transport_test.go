@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSource is a test Source: a fixed byte blob with a fixed verdict.
+// serialized tracks how many bytes Serialize managed to write before
+// the transport halted it — the observable effect of a reject frame.
+type fakeSource struct {
+	blob       []byte
+	verdict    bool
+	slow       bool // poll ctx awareness via many small writes
+	serialized atomic.Int64
+}
+
+func (s *fakeSource) Verdict(ctx context.Context) bool { return s.verdict }
+func (s *fakeSource) Size() int                        { return len(s.blob) }
+
+func (s *fakeSource) Serialize(w io.Writer) error {
+	step := len(s.blob)
+	if s.slow {
+		step = 8
+	}
+	for off := 0; off < len(s.blob); off += step {
+		n, err := w.Write(s.blob[off:min(off+step, len(s.blob))])
+		s.serialized.Add(int64(n))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func blob(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + i%26)
+	}
+	return b
+}
+
+// eachTransport runs a conformance test against both implementations,
+// so the in-process reference and the TCP wire cannot drift apart.
+func eachTransport(t *testing.T, sources map[string]Source, chunk int, run func(t *testing.T, s Session)) {
+	t.Helper()
+	t.Run("inproc", func(t *testing.T) {
+		run(t, &InProc{Sources: sources, Chunk: chunk})
+	})
+	t.Run("tcp", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		digest := Digest("conformance")
+		h := NewHost(ln, HostConfig{Digest: digest, Sources: sources})
+		defer h.Close()
+		c, err := Dial(h.Addr().String(), Config{Digest: digest, Chunk: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		run(t, c)
+	})
+}
+
+func TestSessionStreamsFragment(t *testing.T) {
+	doc := blob(1000)
+	sources := map[string]Source{"f1": &fakeSource{blob: doc, verdict: true}}
+	eachTransport(t, sources, 64, func(t *testing.T, s Session) {
+		frag, err := s.Open(context.Background(), "f1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		frames := 0
+		for {
+			chunk, err := frag.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(chunk) > 64 {
+				t.Fatalf("chunk of %d bytes exceeds the 64-byte budget", len(chunk))
+			}
+			frames++
+			got = append(got, chunk...)
+		}
+		if !bytes.Equal(got, doc) {
+			t.Fatalf("reassembled %d bytes, want %d", len(got), len(doc))
+		}
+		if want := (len(doc) + 63) / 64; frames != want {
+			t.Fatalf("%d frames, want %d", frames, want)
+		}
+		if frag.Size() != len(doc) {
+			t.Fatalf("Size = %d, want %d", frag.Size(), len(doc))
+		}
+	})
+}
+
+func TestSessionVerdicts(t *testing.T) {
+	sources := map[string]Source{
+		"good": &fakeSource{blob: blob(10), verdict: true},
+		"bad":  &fakeSource{blob: blob(10), verdict: false},
+	}
+	eachTransport(t, sources, 64, func(t *testing.T, s Session) {
+		// Concurrent verdicts multiplex over one session.
+		var wg sync.WaitGroup
+		errs := make(chan error, 16)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if v, err := s.Verdict(context.Background(), "good"); err != nil || !v {
+					errs <- fmt.Errorf("good: v=%v err=%v", v, err)
+				}
+				if v, err := s.Verdict(context.Background(), "bad"); err != nil || v {
+					errs <- fmt.Errorf("bad: v=%v err=%v", v, err)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if _, err := s.Verdict(context.Background(), "nope"); err == nil {
+			t.Error("verdict for unknown docking point should fail")
+		}
+	})
+}
+
+// TestSessionAbortHaltsSender is the mid-transfer rejection guarantee:
+// after Abort, the sender stops serializing — bytes past the failure
+// point never exist, let alone travel.
+func TestSessionAbortHaltsSender(t *testing.T) {
+	const size = 100_000
+	src := &fakeSource{blob: blob(size), verdict: true, slow: true}
+	sources := map[string]Source{"f1": src}
+	eachTransport(t, sources, 128, func(t *testing.T, s Session) {
+		src.serialized.Store(0)
+		frag, err := s.Open(context.Background(), "f1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := frag.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frag.Abort()
+		// The sender learns about the reject asynchronously; give it a
+		// moment to settle, then check it stopped far short of the end.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if n := src.serialized.Load(); n < size/10 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if n := src.serialized.Load(); n >= size/10 {
+			t.Errorf("sender serialized %d of %d bytes after an abort at ~384", n, size)
+		}
+	})
+}
+
+// blockingSource parks in Verdict until its context dies, recording
+// that the cancellation actually reached it.
+type blockingSource struct {
+	entered  chan struct{}
+	canceled chan struct{}
+}
+
+func (s *blockingSource) Verdict(ctx context.Context) bool {
+	close(s.entered)
+	<-ctx.Done()
+	close(s.canceled)
+	return false
+}
+func (s *blockingSource) Size() int                   { return 0 }
+func (s *blockingSource) Serialize(w io.Writer) error { return nil }
+
+// TestVerdictCancelPropagates pins the short-circuit guarantee across
+// the wire: canceling a Verdict call must stop the remote validation
+// mid-document (a verdict-cancel frame over TCP, the shared context in
+// process), not let it run to completion.
+func TestVerdictCancelPropagates(t *testing.T) {
+	src := &blockingSource{entered: make(chan struct{}), canceled: make(chan struct{})}
+	sources := map[string]Source{"f1": src}
+	eachTransport(t, sources, 64, func(t *testing.T, s Session) {
+		if src.entered == nil || isClosed(src.entered) {
+			// eachTransport runs twice; re-arm the source.
+			src = &blockingSource{entered: make(chan struct{}), canceled: make(chan struct{})}
+			sources["f1"] = src
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.Verdict(ctx, "f1")
+			done <- err
+		}()
+		<-src.entered
+		cancel()
+		if err := <-done; err == nil {
+			t.Fatal("canceled verdict returned nil error")
+		}
+		select {
+		case <-src.canceled:
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancellation never reached the hosted peer; it would validate to completion")
+		}
+	})
+}
+
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func TestSessionOpenUnknown(t *testing.T) {
+	eachTransport(t, map[string]Source{}, 64, func(t *testing.T, s Session) {
+		if _, err := s.Open(context.Background(), "ghost"); err == nil {
+			t.Error("open of unknown docking point should fail")
+		}
+	})
+}
+
+func TestTCPHelloDigestMismatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHost(ln, HostConfig{Digest: Digest("design A"), Sources: map[string]Source{}})
+	defer h.Close()
+	_, err = Dial(h.Addr().String(), Config{Digest: Digest("design B"), Chunk: 64})
+	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("mismatched digests should fail the hello, got %v", err)
+	}
+	// And a matching one succeeds on the same host.
+	c, err := Dial(h.Addr().String(), Config{Digest: Digest("design A"), Chunk: 64})
+	if err != nil {
+		t.Fatalf("matching digest refused: %v", err)
+	}
+	c.Close()
+}
+
+func TestTCPHostCloseFailsSessions(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest("x")
+	src := &fakeSource{blob: blob(10_000), verdict: true, slow: true}
+	h := NewHost(ln, HostConfig{Digest: digest, Sources: map[string]Source{"f1": src}})
+	c, err := Dial(h.Addr().String(), Config{Digest: digest, Chunk: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	frag, err := c.Open(context.Background(), "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := frag.Next(); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	for {
+		if _, err := frag.Next(); err != nil {
+			if err == io.EOF {
+				t.Fatal("stream ended cleanly despite host shutdown")
+			}
+			break
+		}
+	}
+}
+
+func TestMultiRoutesAndCloses(t *testing.T) {
+	a := &InProc{Sources: map[string]Source{"f1": &fakeSource{blob: blob(10), verdict: true}}, Chunk: 8}
+	b := &InProc{Sources: map[string]Source{"f2": &fakeSource{blob: blob(10), verdict: false}}, Chunk: 8}
+	m := Multi{"f1": a, "f2": b}
+	if v, err := m.Verdict(context.Background(), "f1"); err != nil || !v {
+		t.Fatalf("f1: v=%v err=%v", v, err)
+	}
+	if v, err := m.Verdict(context.Background(), "f2"); err != nil || v {
+		t.Fatalf("f2: v=%v err=%v", v, err)
+	}
+	if _, err := m.Verdict(context.Background(), "f3"); err == nil {
+		t.Error("unrouted docking point should fail")
+	}
+	if _, err := m.Open(context.Background(), "f3"); err == nil {
+		t.Error("unrouted open should fail")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestDistinguishesParts(t *testing.T) {
+	if bytes.Equal(Digest("ab", "c"), Digest("a", "bc")) {
+		t.Error("digest must be injective over part boundaries")
+	}
+	if !bytes.Equal(Digest("a", "b"), Digest("a", "b")) {
+		t.Error("digest must be deterministic")
+	}
+}

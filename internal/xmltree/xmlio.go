@@ -55,26 +55,54 @@ func FromXML(r io.Reader) (*Tree, error) {
 // ParseXML parses an XML document from a string.
 func ParseXML(src string) (*Tree, error) { return FromXML(strings.NewReader(src)) }
 
-// ToXML writes t as an XML document with two-space indentation.
+// ToXML writes t as an XML document with two-space indentation. The
+// emitter assembles each output line into a reused buffer (no fmt, no
+// per-node allocations), so serializing straight into a transport's
+// chunk frames costs the writer's copies and nothing else.
 func (t *Tree) ToXML(w io.Writer) error {
-	return t.writeXML(w, 0)
+	e := xmlEmitter{w: w}
+	return e.emit(t, 0)
 }
 
-func (t *Tree) writeXML(w io.Writer, depth int) error {
-	indent := strings.Repeat("  ", depth)
+// xmlEmitter holds the two reusable buffers of an incremental
+// serialization: the indent ladder (grown once to the deepest level
+// reached) and the line being assembled. Both persist across nodes, so
+// steady-state emission is allocation-free.
+type xmlEmitter struct {
+	w      io.Writer
+	indent []byte // two-space ladder; indent[:2*depth] is one node's prefix
+	line   []byte // current output line, reused node to node
+}
+
+func (e *xmlEmitter) emit(t *Tree, depth int) error {
+	for len(e.indent) < 2*depth {
+		e.indent = append(e.indent, ' ', ' ')
+	}
+	line := append(e.line[:0], e.indent[:2*depth]...)
+	line = append(line, '<')
+	line = append(line, t.Label...)
 	if len(t.Children) == 0 {
-		_, err := fmt.Fprintf(w, "%s<%s/>\n", indent, t.Label)
+		line = append(line, '/', '>', '\n')
+		e.line = line
+		_, err := e.w.Write(line)
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s<%s>\n", indent, t.Label); err != nil {
+	line = append(line, '>', '\n')
+	e.line = line
+	if _, err := e.w.Write(line); err != nil {
 		return err
 	}
 	for _, c := range t.Children {
-		if err := c.writeXML(w, depth+1); err != nil {
+		if err := e.emit(c, depth+1); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, t.Label)
+	line = append(e.line[:0], e.indent[:2*depth]...)
+	line = append(line, '<', '/')
+	line = append(line, t.Label...)
+	line = append(line, '>', '\n')
+	e.line = line
+	_, err := e.w.Write(line)
 	return err
 }
 

@@ -1,0 +1,80 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fmtXML is the reference serializer the emitter replaced: the output
+// format is pinned byte for byte against it (the p2p wire accounts
+// fragment bytes by this serialization, so the format is an invariant,
+// not an aesthetic).
+func fmtXML(t *Tree, w io.Writer, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if len(t.Children) == 0 {
+		fmt.Fprintf(w, "%s<%s/>\n", indent, t.Label)
+		return
+	}
+	fmt.Fprintf(w, "%s<%s>\n", indent, t.Label)
+	for _, c := range t.Children {
+		fmtXML(c, w, depth+1)
+	}
+	fmt.Fprintf(w, "%s</%s>\n", indent, t.Label)
+}
+
+func TestToXMLMatchesReferenceFormat(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		tr := randomTree(r, 5)
+		var want strings.Builder
+		fmtXML(tr, &want, 0)
+		if got := tr.XMLString(); got != want.String() {
+			t.Fatalf("emitter diverges from reference format:\n%q\nvs\n%q", got, want.String())
+		}
+		if got, want := tr.XMLSize(), len(tr.XMLString()); got != want {
+			t.Fatalf("XMLSize = %d, serialization is %d bytes", got, want)
+		}
+	}
+}
+
+// TestToXMLAllocationFree pins the satellite claim: steady-state
+// serialization of an arbitrarily large tree performs no per-node
+// allocations (the line and indent buffers are reused; a warm-up run
+// grows them once).
+func TestToXMLAllocationFree(t *testing.T) {
+	doc := New("root")
+	for i := 0; i < 2000; i++ {
+		doc.Children = append(doc.Children,
+			New("entry", Leaf("value"), Leaf("year"), New("deep", Leaf("leaf"))))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := doc.ToXML(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One emitter struct per call plus buffer growth amortized to ~0;
+	// anything per-node would show up as thousands.
+	if allocs > 8 {
+		t.Errorf("ToXML allocates %v times per document; the emitter should be allocation-free per node", allocs)
+	}
+}
+
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("writer full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestToXMLStopsOnWriteError(t *testing.T) {
+	doc := New("root", Leaf("a"), Leaf("b"), Leaf("c"))
+	if err := doc.ToXML(&errWriter{n: 2}); err == nil {
+		t.Error("write error not propagated")
+	}
+}
