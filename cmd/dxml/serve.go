@@ -1,23 +1,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"dxml"
 )
 
+// signalContext is a context canceled by SIGINT or SIGTERM, so both
+// subcommands tear their sessions down cleanly (close frames on the
+// wire) instead of dying mid-frame and leaving the remote side blocked
+// on a read until TCP teardown.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 // runServe implements `dxml serve`: host resource peers from a design
 // file on a TCP socket, so remote kernel peers can join and validate
-// the federation over the real wire.
+// the federation over the real wire. With -watch, document files are
+// polled and changes are re-served to live subscribers as subtree
+// edits rather than whole documents.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("dxml serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9400", "TCP address to listen on (use :0 for an ephemeral port)")
+	watch := fs.Bool("watch", false, "watch the document files and publish changes as subtree edits (live mode)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] <design-file> <fn=document>...")
 		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
 		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
 		fs.PrintDefaults()
@@ -35,50 +51,74 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	host, funcs, err := startServe(df, fs.Args()[1:], *listen)
+	srv, err := startServe(df, fs.Args()[1:], *listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("dxml: serving %s on %s\n", strings.Join(funcs, ","), host.Addr())
-	select {} // serve until killed
+	ctx, stop := signalContext()
+	defer stop()
+	if *watch {
+		srv.watch(ctx, 250*time.Millisecond, func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+		fmt.Printf("dxml: watching %d document files for edits\n", len(srv.files))
+	}
+	fmt.Printf("dxml: serving %s on %s\n", strings.Join(srv.funcs, ","), srv.host.Addr())
+	<-ctx.Done()
+	stop()
+	fmt.Println("dxml: signal received, closing sessions")
+	srv.host.Close()
+}
+
+// serveInstance is a running `dxml serve`: the TCP host, the hosting
+// network (peers carry live editors), and the document file behind each
+// hosted docking point.
+type serveInstance struct {
+	host  *dxml.PeerHost
+	net   *dxml.Network
+	funcs []string
+	files map[string]string
 }
 
 // startServe builds the hosting network from fn=docfile assignments and
 // starts serving it; split from runServe so tests can drive a loopback
 // federation in process.
-func startServe(df *DesignFile, assigns []string, listen string) (*dxml.PeerHost, []string, error) {
-	n, funcs, err := serveNetwork(df, assigns)
+func startServe(df *DesignFile, assigns []string, listen string) (*serveInstance, error) {
+	srv, err := serveNetwork(df, assigns)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return n.ServeTCP(ln), funcs, nil
+	srv.host = srv.net.ServeTCP(ln)
+	return srv, nil
 }
 
 // serveNetwork attaches one peer per fn=docfile assignment, typed by
-// the design file's typing block for that function.
-func serveNetwork(df *DesignFile, assigns []string) (*dxml.Network, []string, error) {
+// the design file's typing block for that function. Every hosted peer
+// gets a live editor, so kernel peers can subscribe (`dxml join
+// -watch`) whether or not this serve watches its files.
+func serveNetwork(df *DesignFile, assigns []string) (*serveInstance, error) {
 	if df.Class == "word" {
-		return nil, nil, fmt.Errorf("serve needs a tree class, not word")
+		return nil, fmt.Errorf("serve needs a tree class, not word")
 	}
 	edtd, err := designEDTD(df)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	typing, err := df.typing()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	funcs := df.Kernel.Funcs()
 	n := dxml.NewNetwork(df.Kernel, edtd)
-	var hosted []string
+	srv := &serveInstance{net: n, files: map[string]string{}}
 	for _, a := range assigns {
 		fn, path, ok := strings.Cut(a, "=")
 		if !ok {
-			return nil, nil, fmt.Errorf("assignment %q: want fn=documentfile", a)
+			return nil, fmt.Errorf("assignment %q: want fn=documentfile", a)
 		}
 		i := -1
 		for j, f := range funcs {
@@ -88,25 +128,76 @@ func serveNetwork(df *DesignFile, assigns []string) (*dxml.Network, []string, er
 			}
 		}
 		if i < 0 {
-			return nil, nil, fmt.Errorf("design has no docking point %s (functions: %v)", fn, funcs)
+			return nil, fmt.Errorf("design has no docking point %s (functions: %v)", fn, funcs)
 		}
 		b, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		doc, err := parseDocArg(string(b))
 		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		if err := n.AddPeer(fn, doc, typing[i]); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		hosted = append(hosted, fn)
+		if _, err := n.AttachEditor(fn); err != nil {
+			return nil, err
+		}
+		srv.funcs = append(srv.funcs, fn)
+		srv.files[fn] = path
 	}
-	if len(hosted) == 0 {
-		return nil, nil, fmt.Errorf("no documents to serve (pass fn=documentfile assignments)")
+	if len(srv.funcs) == 0 {
+		return nil, fmt.Errorf("no documents to serve (pass fn=documentfile assignments)")
 	}
-	return n, hosted, nil
+	return srv, nil
+}
+
+// watch polls each hosted document file and re-serves changes as
+// deltas: the editor diffs the old and new trees and publishes subtree
+// edits, which flow to every live subscriber.
+func (srv *serveInstance) watch(ctx context.Context, interval time.Duration, logf func(format string, args ...any)) {
+	for fn, path := range srv.files {
+		go func(fn, path string) {
+			var lastMod time.Time
+			if fi, err := os.Stat(path); err == nil {
+				lastMod = fi.ModTime()
+			}
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				fi, err := os.Stat(path)
+				if err != nil || !fi.ModTime().After(lastMod) {
+					continue
+				}
+				lastMod = fi.ModTime()
+				b, err := os.ReadFile(path)
+				if err != nil {
+					logf("dxml: %s: %v", path, err)
+					continue
+				}
+				doc, err := parseDocArg(string(b))
+				if err != nil {
+					logf("dxml: %s: %v", path, err)
+					continue
+				}
+				ed := srv.net.Peers[fn].Live
+				edits, err := ed.SetTree(doc)
+				if err != nil {
+					logf("dxml: %s: %v", fn, err)
+					continue
+				}
+				if len(edits) > 0 {
+					logf("dxml: %s: re-served %d edits (now v%d)", fn, len(edits), ed.Version())
+				}
+			}
+		}(fn, path)
+	}
 }
 
 // peerAddrFlags collects repeated -peer fn=addr mappings.
@@ -131,7 +222,9 @@ func (p peerAddrFlags) Set(v string) error {
 
 // runJoin implements `dxml join`: connect to the hosts serving a
 // design's docking points, run both validation protocols over the wire,
-// and print verdicts (and, with -stats, the traffic of each).
+// and print verdicts (and, with -stats, the traffic of each). With
+// -watch it then subscribes to every docking point's edit log and
+// prints verdict transitions as edits arrive, until interrupted.
 func runJoin(args []string) {
 	fs := flag.NewFlagSet("dxml join", flag.ExitOnError)
 	connect := fs.String("connect", "", "host address serving every docking point not mapped by -peer")
@@ -139,8 +232,9 @@ func runJoin(args []string) {
 	fs.Var(peers, "peer", "fn=host:port mapping for one docking point (repeatable)")
 	stats := fs.Bool("stats", false, "print wire traffic (messages, frames, bytes, bytes saved)")
 	chunk := fs.Int("chunk", 0, "fragment frame budget in bytes (0 = default 4096; -chunk -1 = unchunked, the only valid negative)")
+	watch := fs.Bool("watch", false, "stay joined: subscribe to the hosts' edit logs and print verdict transitions (live mode)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] <design-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch] <design-file>")
 		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
 		fs.PrintDefaults()
 	}
@@ -157,27 +251,35 @@ func runJoin(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	out, err := RunJoin(df, *connect, peers, *chunk, *stats)
+	ctx, stop := signalContext()
+	defer stop()
+	if *watch {
+		if err := JoinLive(ctx, df, *connect, peers, *chunk, *stats, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	out, err := RunJoinContext(ctx, df, *connect, peers, *chunk, *stats)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(out)
 }
 
-// RunJoin dials the federation and runs both protocols the paper
-// compares over the TCP wire, reporting verdicts and per-protocol
-// traffic. The session hello carries the design digest, so joining a
-// host that serves a different design fails before any fragment moves.
-func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
+// dialJoin builds the kernel-peer network and dials the federation's
+// hosts; the caller owns the returned session. An interrupt (canceled
+// ctx) closes the session so in-flight operations end with clean
+// close frames instead of a mid-frame kill.
+func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int) (*dxml.Network, dxml.TransportSession, error) {
 	if err := validateChunkFlag(chunk); err != nil {
-		return "", err
+		return nil, nil, err
 	}
 	if df.Class == "word" {
-		return "", fmt.Errorf("join needs a tree class, not word")
+		return nil, nil, fmt.Errorf("join needs a tree class, not word")
 	}
 	edtd, err := designEDTD(df)
 	if err != nil {
-		return "", err
+		return nil, nil, err
 	}
 	n := dxml.NewNetwork(df.Kernel, edtd)
 	n.ChunkSize = chunk
@@ -189,15 +291,34 @@ func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int,
 		case connect != "":
 			addrs[fn] = connect
 		default:
-			return "", fmt.Errorf("no host address for docking point %s (use -connect or -peer %s=host:port)", fn, fn)
+			return nil, nil, fmt.Errorf("no host address for docking point %s (use -connect or -peer %s=host:port)", fn, fn)
 		}
 	}
 	sess, err := n.DialTCP(addrs)
 	if err != nil {
+		return nil, nil, err
+	}
+	context.AfterFunc(ctx, func() { sess.Close() })
+	n.Transport = sess
+	return n, sess, nil
+}
+
+// RunJoin dials the federation and runs both protocols the paper
+// compares over the TCP wire, reporting verdicts and per-protocol
+// traffic. The session hello carries the design digest, so joining a
+// host that serves a different design fails before any fragment moves.
+func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
+	return RunJoinContext(context.Background(), df, connect, peers, chunk, showStats)
+}
+
+// RunJoinContext is RunJoin under a context: cancellation closes the
+// session cleanly mid-round.
+func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk)
+	if err != nil {
 		return "", err
 	}
 	defer sess.Close()
-	n.Transport = sess
 
 	var b strings.Builder
 	report := func(name string, run func() (bool, error)) error {
@@ -229,6 +350,56 @@ func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int,
 		return "", err
 	}
 	return b.String(), nil
+}
+
+// JoinLive is `dxml join -watch`: subscribe to every docking point's
+// edit log and keep the global verdict live, printing one line per
+// applied edit and flagging verdict transitions, until ctx ends (the
+// interrupt path) or every feed terminates.
+func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool, w io.Writer) error {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	lv, err := n.OpenLive(ctx)
+	if err != nil {
+		return err
+	}
+	defer lv.Close()
+	fmt.Fprintf(w, "live: joined %d docking points, initial verdict %s\n",
+		df.Kernel.NumFuncs(), verdictWord(lv.Valid()))
+	for {
+		select {
+		case up, ok := <-lv.Updates():
+			if !ok {
+				return nil
+			}
+			if up.Err != nil {
+				fmt.Fprintf(w, "live: %s: feed error: %v\n", up.Fn, up.Err)
+				continue
+			}
+			fmt.Fprintf(w, "live: %s v%d %s: verdict %s", up.Fn, up.Version, up.Op, verdictWord(up.Valid))
+			if up.Changed {
+				fmt.Fprintf(w, " (transition to %s)", verdictWord(up.Valid))
+			}
+			fmt.Fprintln(w)
+			if showStats {
+				fmt.Fprintf(w, "  recheck: %d bytes revalidated, %d skipped; %d bytes on the wire\n",
+					up.Revalidated, up.Skipped, up.WireBytes)
+			}
+		case <-ctx.Done():
+			fmt.Fprintln(w, "live: signal received, closing sessions")
+			return nil
+		}
+	}
+}
+
+func verdictWord(valid bool) string {
+	if valid {
+		return "valid"
+	}
+	return "invalid"
 }
 
 // writeWireLine renders one protocol's traffic, in the same format the

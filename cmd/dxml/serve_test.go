@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dxml"
 )
@@ -12,7 +16,7 @@ import (
 // startEurostatServe hosts the Figure 1 federation's documents from
 // temp files on an ephemeral loopback port — the `dxml serve` half of
 // the walkthrough, driven in process.
-func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *dxml.PeerHost) {
+func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *serveInstance) {
 	t.Helper()
 	df := load(t, "eurostat.design")
 	dir := t.TempDir()
@@ -28,15 +32,15 @@ func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *dxml.PeerHos
 		}
 		assigns[i] = fn + "=" + path
 	}
-	host, hosted, err := startServe(df, assigns, "127.0.0.1:0")
+	srv, err := startServe(df, assigns, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hosted) != len(funcs) {
-		t.Fatalf("hosted %v, want all of %v", hosted, funcs)
+	if len(srv.funcs) != len(funcs) {
+		t.Fatalf("hosted %v, want all of %v", srv.funcs, funcs)
 	}
-	t.Cleanup(func() { host.Close() })
-	return df, host
+	t.Cleanup(func() { srv.host.Close() })
+	return df, srv
 }
 
 var eurostatValidDocs = []string{
@@ -51,8 +55,8 @@ var eurostatValidDocs = []string{
 // and the same per-protocol wire report as the in-process run on the
 // same documents.
 func TestServeJoinLoopback(t *testing.T) {
-	df, host := startEurostatServe(t, eurostatValidDocs)
-	out, err := RunJoin(df, host.Addr().String(), nil, 16, true)
+	df, srv := startEurostatServe(t, eurostatValidDocs)
+	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,8 +92,8 @@ func TestServeJoinRejection(t *testing.T) {
 	}
 	fat.WriteString(")")
 	bad[3] = fat.String()
-	df, host := startEurostatServe(t, bad)
-	out, err := RunJoin(df, host.Addr().String(), nil, 16, true)
+	df, srv := startEurostatServe(t, bad)
+	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,10 +108,10 @@ func TestServeJoinRejection(t *testing.T) {
 // TestJoinPeerFlagRouting splits the federation across two hosts: -peer
 // mappings override -connect per docking point.
 func TestJoinPeerFlagRouting(t *testing.T) {
-	df, hostA := startEurostatServe(t, eurostatValidDocs)
-	_, hostB := startEurostatServe(t, eurostatValidDocs)
-	out, err := RunJoin(df, hostA.Addr().String(),
-		map[string]string{"f2": hostB.Addr().String()}, 0, false)
+	df, srvA := startEurostatServe(t, eurostatValidDocs)
+	_, srvB := startEurostatServe(t, eurostatValidDocs)
+	out, err := RunJoin(df, srvA.host.Addr().String(),
+		map[string]string{"f2": srvB.host.Addr().String()}, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +121,8 @@ func TestJoinPeerFlagRouting(t *testing.T) {
 }
 
 func TestJoinErrors(t *testing.T) {
-	df, host := startEurostatServe(t, eurostatValidDocs)
-	addr := host.Addr().String()
+	df, srv := startEurostatServe(t, eurostatValidDocs)
+	addr := srv.host.Addr().String()
 
 	// A join running a different design is refused at the hello.
 	other, err := ParseDesignFile(`
@@ -157,13 +161,13 @@ end
 
 func TestServeErrors(t *testing.T) {
 	df := load(t, "eurostat.design")
-	if _, _, err := serveNetwork(df, []string{"nonsense"}); err == nil {
+	if _, err := serveNetwork(df, []string{"nonsense"}); err == nil {
 		t.Error("malformed assignment should fail")
 	}
-	if _, _, err := serveNetwork(df, []string{"f9=/dev/null"}); err == nil {
+	if _, err := serveNetwork(df, []string{"f9=/dev/null"}); err == nil {
 		t.Error("unknown docking point should fail")
 	}
-	if _, _, err := serveNetwork(df, nil); err == nil {
+	if _, err := serveNetwork(df, nil); err == nil {
 		t.Error("empty serve should fail")
 	}
 }
@@ -180,5 +184,83 @@ func TestValidateChunkFlag(t *testing.T) {
 		if err := validateChunkFlag(bad); err == nil {
 			t.Errorf("chunk %d should be rejected", bad)
 		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: JoinLive writes from its
+// own goroutine while the test polls String.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeWatchJoinLive is the CLI walkthrough of the live mode: a
+// serve watching its document files re-serves a file change as subtree
+// edits, and a joined -watch kernel peer prints the verdict transition
+// those edits cause — then shuts down cleanly when its context is
+// canceled (the SIGINT path).
+func TestServeWatchJoinLive(t *testing.T) {
+	df, srv := startEurostatServe(t, eurostatValidDocs)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.watch(ctx, 5*time.Millisecond, func(string, ...any) {})
+
+	buf := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- JoinLive(ctx, df, srv.host.Addr().String(), nil, 0, true, buf) }()
+
+	// Wait for the subscription to come up, then break f1's document
+	// on disk; the watcher should re-serve it as edits and the join
+	// should report the transition to invalid.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(buf.String(), "initial verdict valid") {
+		if time.Now().After(deadline) {
+			t.Fatalf("join never reported the initial verdict:\n%s", buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Bump mtime into the future so the 5ms poller can't miss it on
+	// coarse filesystem clocks.
+	path := srv.files["f1"]
+	if err := os.WriteFile(path, []byte("root2(nationalIndex(country))"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	for !strings.Contains(buf.String(), "transition to invalid") {
+		if time.Now().After(deadline) {
+			t.Fatalf("join never saw the verdict transition:\n%s", buf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !strings.Contains(buf.String(), "revalidated") {
+		t.Fatalf("-stats recheck line missing:\n%s", buf.String())
+	}
+	// The SIGINT path: canceling the context ends JoinLive cleanly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("JoinLive: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("JoinLive did not shut down on cancel")
+	}
+	if !strings.Contains(buf.String(), "closing sessions") {
+		t.Fatalf("shutdown line missing:\n%s", buf.String())
 	}
 }

@@ -39,6 +39,25 @@
 // serve` / `dxml join` subcommands run a federation across processes
 // from a design file.
 //
+// Federations can outlive the validation round. The edit subsystem
+// (internal/live) gives every resource peer a versioned fragment whose
+// nodes carry prefix-based labels — stable subtree addresses that
+// survive sibling inserts and deletes — and an ordered log of subtree
+// edits (replace / insert / delete) that any number of subscribers
+// drain. Network.AttachEditor makes a peer editable; Network.OpenLive
+// turns the kernel peer into a live session: it pulls each fragment's
+// keyed snapshot, subscribes to the edit logs over either transport
+// (edit / ack / verdict-update frames, stop-and-wait like everything
+// else on this wire), and maintains the global verdict by *incremental
+// revalidation* — a checkpointed result tree of per-node content-DFA
+// summaries (Incremental) re-checks only the edited subtree plus the
+// ancestor chain whose summaries change, O(edit + depth) instead of
+// O(document), while staying byte-identical to from-scratch validation
+// (pinned by a differential mutation corpus). Each applied edit's
+// verdict flows back to the editing site, and `dxml serve -watch` /
+// `dxml join -watch` run the whole loop from the command line,
+// re-serving document-file changes as deltas.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

@@ -4,6 +4,7 @@ import (
 	"dxml/internal/axml"
 	"dxml/internal/core"
 	"dxml/internal/gen"
+	"dxml/internal/live"
 	"dxml/internal/p2p"
 	"dxml/internal/schema"
 	"dxml/internal/stream"
@@ -148,6 +149,45 @@ type (
 	// PeerHost serves resource peers over TCP (see Network.ServeTCP).
 	PeerHost = transport.Host
 )
+
+// Live federation (internal/live + the live session mode): editing
+// peers publish subtree edits over prefix-labeled node addresses, and
+// the kernel peer maintains the global verdict by incremental
+// revalidation instead of re-validating the extension from scratch.
+type (
+	// LiveEditor is a peer's edit publisher: a versioned, prefix-labeled
+	// document plus the ordered edit log subscribers drain. Attach one
+	// with Network.AttachEditor; then Network.OpenLive subscribes to it
+	// over any transport.
+	LiveEditor = live.Editor
+	// LiveEdit is one entry of an edit log: a subtree replace, insert,
+	// or delete at a stable prefix address.
+	LiveEdit = live.Edit
+	// LiveDoc is a versioned, prefix-labeled fragment replica.
+	LiveDoc = live.Doc
+	// LiveFederation is the kernel peer's live session: fragment
+	// replicas plus the incrementally revalidated global verdict (see
+	// Network.OpenLive).
+	LiveFederation = p2p.LiveFederation
+	// LiveUpdate reports one applied edit: the verdict after it, the
+	// revalidated-vs-skipped byte split, and the wire cost.
+	LiveUpdate = p2p.LiveUpdate
+	// Incremental is a checkpointed result tree: per-node content-DFA
+	// summaries over a document or a kernel extension, updated in
+	// O(edit + ancestor chain) per subtree edit (see
+	// StreamMachine.NewIncremental and NewKernelIncremental).
+	Incremental = stream.Incremental
+)
+
+// The live edit operations.
+const (
+	OpReplace = live.OpReplace
+	OpInsert  = live.OpInsert
+	OpDelete  = live.OpDelete
+)
+
+// NewLiveEditor wraps a document in a fresh live editor.
+var NewLiveEditor = live.NewEditor
 
 // Unranked tree automata (Section 2.1.3).
 type (

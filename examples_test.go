@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/dynamic", []string{"reachable(a b a b a) = true", "one-step(a b a b a)  = false"}},
 		{"./examples/distvalidate", []string{"verdicts agree=true", "admitted=false"}},
 		{"./examples/tcpfederation", []string{"over TCP: distributed=true centralized=true", "wire parity with in-process: true", "saved by mid-transfer rejection"}},
+		{"./examples/livefederation", []string{"initial verdict valid=true", "** verdict true -> false", "** verdict false -> true", "editing site learned via verdict-update: v4 valid=true", "incremental revalidation skipped"}},
 		{"./examples/streamvalidate", []string{"single-type fast path = true", "agree: true", "one shared machine: all valid = true"}},
 	}
 	for _, c := range cases {

@@ -1,0 +1,257 @@
+// Package live implements the edit subsystem of the live federation:
+// versioned fragments whose nodes carry prefix-based labels — stable
+// subtree addresses in the style of Koong et al.'s prefix-based
+// labeling annotation, valid under sibling insertion and deletion — an
+// ordered log of subtree edits (replace / insert / delete, the
+// operation set of Pasquier & Théry's distributed editing environment),
+// and the peer-side Editor that applies edits locally and publishes
+// them to any number of subscribers.
+//
+// A node's address is the sequence of sibling keys on the path from the
+// fragment root (exclusive) to the node: siblings are ordered by key,
+// fresh subtrees get keys spaced keyGap apart, and an insertion between
+// two siblings takes the midpoint of their keys — so existing addresses
+// survive any number of edits elsewhere in the tree, which is what lets
+// an edit log reference nodes across versions without renumbering.
+// When a midpoint no longer exists (the gap between two neighbors is
+// exhausted), the insert fails with ErrNoGap and the Editor falls back
+// to replacing the parent subtree, which re-keys it deterministically.
+//
+// Both sides of a live session hold a Doc: the editing peer mutates its
+// Doc through the Editor, and the kernel peer holds a replica advanced
+// by applying the same edit log in the same order. Key assignment for
+// edit payloads is deterministic (build order), so the two Docs stay
+// structurally identical, key for key — addresses minted by the editor
+// always resolve at the replica.
+package live
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dxml/internal/xmltree"
+)
+
+// keyGap is the spacing between the sibling keys of a freshly built
+// subtree: wide enough that 32 midpoint insertions fit between any two
+// fresh siblings before a re-key is needed.
+const keyGap = 1 << 32
+
+// ErrNoGap reports that two sibling keys are adjacent, so no key exists
+// between them: the inserting editor must re-key by replacing the
+// parent subtree instead (Editor.InsertChild does this automatically).
+var ErrNoGap = fmt.Errorf("live: no key available between siblings (re-key the parent)")
+
+// node is one node of a live document: its element label, its sibling
+// key (the last component of its prefix address), and its children in
+// key order.
+type node struct {
+	label string
+	key   uint64
+	kids  []*node
+}
+
+// Doc is a versioned, prefix-labeled fragment. The zero value is not
+// usable; build one with NewDoc (fresh keys) or DecodeSnapshot (keys
+// from an editor's snapshot). Doc is not safe for concurrent use; the
+// Editor adds the locking.
+type Doc struct {
+	root    *node
+	version uint64
+	nodes   int
+}
+
+// NewDoc builds a version-0 document from t with fresh keys: the i-th
+// child of every node gets key (i+1)·keyGap.
+func NewDoc(t *xmltree.Tree) *Doc {
+	d := &Doc{}
+	d.root = d.build(t)
+	return d
+}
+
+// build constructs a keyed subtree from t, counting its nodes.
+func (d *Doc) build(t *xmltree.Tree) *node {
+	n := &node{label: t.Label}
+	d.nodes++
+	if len(t.Children) > 0 {
+		n.kids = make([]*node, len(t.Children))
+		for i, c := range t.Children {
+			k := d.build(c)
+			k.key = uint64(i+1) * keyGap
+			n.kids[i] = k
+		}
+	}
+	return n
+}
+
+// Version returns the number of edits applied so far.
+func (d *Doc) Version() uint64 { return d.version }
+
+// Len returns the number of nodes.
+func (d *Doc) Len() int { return d.nodes }
+
+// Tree materializes the current document as a fresh xmltree.
+func (d *Doc) Tree() *xmltree.Tree { return materialize(d.root) }
+
+func materialize(n *node) *xmltree.Tree {
+	t := &xmltree.Tree{Label: n.label}
+	if len(n.kids) > 0 {
+		t.Children = make([]*xmltree.Tree, len(n.kids))
+		for i, k := range n.kids {
+			t.Children[i] = materialize(k)
+		}
+	}
+	return t
+}
+
+// findKid locates the child with the given key, or reports where it
+// would be inserted (ok=false).
+func findKid(n *node, key uint64) (int, bool) {
+	i := sort.Search(len(n.kids), func(i int) bool { return n.kids[i].key >= key })
+	if i < len(n.kids) && n.kids[i].key == key {
+		return i, true
+	}
+	return i, false
+}
+
+// resolve walks addr from the root, returning the addressed node, its
+// parent (nil for the root) and its index path.
+func (d *Doc) resolve(addr []uint64) (n, parent *node, path []int, err error) {
+	n = d.root
+	path = make([]int, 0, len(addr))
+	for depth, key := range addr {
+		i, ok := findKid(n, key)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("live: address %v: no child with key %d at depth %d", addr, key, depth)
+		}
+		parent, n = n, n.kids[i]
+		path = append(path, i)
+	}
+	return n, parent, path, nil
+}
+
+// AddrOf returns the prefix address of the node at the given index
+// path (the empty path addresses the root).
+func (d *Doc) AddrOf(path []int) ([]uint64, error) {
+	n := d.root
+	addr := make([]uint64, 0, len(path))
+	for depth, i := range path {
+		if i < 0 || i >= len(n.kids) {
+			return nil, fmt.Errorf("live: path %v: index %d out of range at depth %d", path, i, depth)
+		}
+		n = n.kids[i]
+		addr = append(addr, n.key)
+	}
+	return addr, nil
+}
+
+// PathOf resolves a prefix address to the current index path.
+func (d *Doc) PathOf(addr []uint64) ([]int, error) {
+	_, _, path, err := d.resolve(addr)
+	return path, err
+}
+
+// insertKey picks the key for a new child of n at position i
+// (0 ≤ i ≤ len(kids)): the midpoint of the neighboring keys. It fails
+// with ErrNoGap when the neighbors are adjacent.
+func insertKey(n *node, i int) (uint64, error) {
+	var prev uint64
+	if i > 0 {
+		prev = n.kids[i-1].key
+	}
+	if i == len(n.kids) {
+		if prev > math.MaxUint64-keyGap {
+			return 0, ErrNoGap
+		}
+		return prev + keyGap, nil
+	}
+	next := n.kids[i].key
+	if next-prev < 2 {
+		return 0, ErrNoGap
+	}
+	return prev + (next-prev)/2, nil
+}
+
+// Applied describes the structural effect of one applied edit in index
+// coordinates: the edited node's index path at the moment of
+// application (for inserts, the path of the new node). The incremental
+// revalidator consumes it.
+type Applied struct {
+	Op   Op
+	Path []int
+}
+
+// Apply applies one edit. Its version must be exactly Version()+1 —
+// the log is ordered and gap-free — and its address must resolve.
+// Payload subtrees are keyed deterministically (build order), so every
+// replica applying the same log converges to the same keyed tree.
+func (d *Doc) Apply(e Edit) (Applied, error) {
+	if e.Version != d.version+1 {
+		return Applied{}, fmt.Errorf("live: edit version %d applied to document version %d", e.Version, d.version)
+	}
+	if err := e.check(); err != nil {
+		return Applied{}, err
+	}
+	var ap Applied
+	ap.Op = e.Op
+	switch e.Op {
+	case OpReplace:
+		n, parent, path, err := d.resolve(e.Addr)
+		if err != nil {
+			return Applied{}, err
+		}
+		d.nodes -= countNodes(n)
+		fresh := d.build(e.Doc)
+		fresh.key = n.key
+		if parent == nil {
+			d.root = fresh
+		} else {
+			parent.kids[path[len(path)-1]] = fresh
+		}
+		ap.Path = path
+
+	case OpInsert:
+		parent, _, path, err := d.resolve(e.Addr[:len(e.Addr)-1])
+		if err != nil {
+			return Applied{}, err
+		}
+		key := e.Addr[len(e.Addr)-1]
+		i, exists := findKid(parent, key)
+		if exists {
+			return Applied{}, fmt.Errorf("live: insert at %v: key %d already taken", e.Addr, key)
+		}
+		fresh := d.build(e.Doc)
+		fresh.key = key
+		parent.kids = append(parent.kids, nil)
+		copy(parent.kids[i+1:], parent.kids[i:])
+		parent.kids[i] = fresh
+		ap.Path = append(path, i)
+
+	case OpDelete:
+		n, parent, path, err := d.resolve(e.Addr)
+		if err != nil {
+			return Applied{}, err
+		}
+		if parent == nil {
+			return Applied{}, fmt.Errorf("live: cannot delete the fragment root")
+		}
+		i := path[len(path)-1]
+		parent.kids = append(parent.kids[:i], parent.kids[i+1:]...)
+		d.nodes -= countNodes(n)
+		ap.Path = path
+
+	default:
+		return Applied{}, fmt.Errorf("live: unknown edit op %d", e.Op)
+	}
+	d.version = e.Version
+	return ap, nil
+}
+
+func countNodes(n *node) int {
+	c := 1
+	for _, k := range n.kids {
+		c += countNodes(k)
+	}
+	return c
+}

@@ -1,0 +1,72 @@
+package live
+
+import (
+	"fmt"
+
+	"dxml/internal/xmltree"
+)
+
+// Op is the kind of a subtree edit.
+type Op uint8
+
+const (
+	// OpReplace replaces the addressed subtree with the payload tree;
+	// the node keeps its sibling key (its address is stable across the
+	// replace), descendants are keyed fresh. Replacing the root (empty
+	// address) swaps the whole fragment.
+	OpReplace Op = iota + 1
+	// OpInsert inserts the payload tree as a new child: the address
+	// names the new node itself — parent address plus the new sibling
+	// key, whose order among the existing keys fixes the position.
+	OpInsert
+	// OpDelete removes the addressed subtree. The root is not
+	// deletable.
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpReplace:
+		return "replace"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Edit is one entry of a fragment's ordered edit log. Version numbers
+// are dense and 1-based: applying the log in version order to the
+// version-0 document reproduces every intermediate state. Doc is the
+// payload subtree (nil for deletes); it is owned by the log once
+// published — callers must not mutate it afterwards.
+type Edit struct {
+	Version uint64
+	Op      Op
+	Addr    []uint64
+	Doc     *xmltree.Tree
+}
+
+// check validates the edit's shape (not its address resolution).
+func (e Edit) check() error {
+	switch e.Op {
+	case OpReplace, OpInsert:
+		if e.Doc == nil {
+			return fmt.Errorf("live: %s edit without a payload tree", e.Op)
+		}
+		if e.Op == OpInsert && len(e.Addr) == 0 {
+			return fmt.Errorf("live: insert edit with an empty address (the address names the new node)")
+		}
+	case OpDelete:
+		if e.Doc != nil {
+			return fmt.Errorf("live: delete edit with a payload tree")
+		}
+		if len(e.Addr) == 0 {
+			return fmt.Errorf("live: cannot delete the fragment root")
+		}
+	default:
+		return fmt.Errorf("live: unknown edit op %d", e.Op)
+	}
+	return nil
+}

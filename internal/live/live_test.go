@@ -1,0 +1,308 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dxml/internal/xmltree"
+)
+
+func TestDocApplyBasics(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a(x y) b c)"))
+	replica := NewDoc(xmltree.MustParse("root(a(x y) b c)"))
+
+	step := func(e Edit, err error) Edit {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, aerr := replica.Apply(e); aerr != nil {
+			t.Fatalf("replica apply %v: %v", e, aerr)
+		}
+		return e
+	}
+
+	step(ed.ReplaceSubtree([]int{0}, xmltree.MustParse("a(z)")))
+	step(ed.InsertChild(nil, 1, xmltree.MustParse("w(v)")))
+	step(ed.DeleteSubtree([]int{3}))
+	step(ed.InsertChild([]int{0}, 0, xmltree.MustParse("q")))
+
+	want := "root(a(q z) w(v) b)"
+	if got := ed.Tree().String(); got != want {
+		t.Fatalf("editor doc = %s, want %s", got, want)
+	}
+	if got := replica.Tree().String(); got != want {
+		t.Fatalf("replica doc = %s, want %s", got, want)
+	}
+	if replica.Version() != 4 || ed.Version() != 4 {
+		t.Fatalf("versions: editor %d, replica %d, want 4", ed.Version(), replica.Version())
+	}
+}
+
+// TestAddressStability is the point of prefix labels: an address minted
+// before unrelated sibling edits still resolves to the same node after
+// them.
+func TestAddressStability(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a b(x) c)"))
+	addrB, err := addrOf(ed, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edits around b: insert before, delete after, insert at front.
+	if _, err := ed.InsertChild(nil, 0, xmltree.MustParse("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ed.DeleteSubtree([]int{3}); err != nil { // c
+		t.Fatal(err)
+	}
+	if _, err := ed.InsertChild(nil, 1, xmltree.MustParse("q")); err != nil {
+		t.Fatal(err)
+	}
+	ed.mu.Lock()
+	path, rerr := ed.doc.PathOf(addrB)
+	ed.mu.Unlock()
+	if rerr != nil {
+		t.Fatalf("address broke: %v", rerr)
+	}
+	if ed.Tree().Children[path[0]].Label != "b" {
+		t.Fatalf("address resolved to %v, want b", path)
+	}
+}
+
+func addrOf(ed *Editor, path []int) ([]uint64, error) {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	return ed.doc.AddrOf(path)
+}
+
+// TestInsertKeyExhaustion drives midpoint insertion until the gap is
+// exhausted; the editor must fall back to a parent re-key (a replace
+// edit) and replicas applying the log must converge anyway.
+func TestInsertKeyExhaustion(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a b)"))
+	replica := NewDoc(xmltree.MustParse("root(a b)"))
+	sawReplace := false
+	for i := 0; i < 64; i++ {
+		e, err := ed.InsertChild(nil, 1, xmltree.Leaf("m"))
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if e.Op == OpReplace {
+			sawReplace = true
+		}
+		if _, err := replica.Apply(e); err != nil {
+			t.Fatalf("replica apply %d: %v", i, err)
+		}
+	}
+	if !sawReplace {
+		t.Fatal("64 same-gap inserts never exhausted the key gap (keyGap shrank?)")
+	}
+	if !ed.Tree().Equal(replica.Tree()) {
+		t.Fatal("editor and replica diverged after re-key fallback")
+	}
+	if got := len(ed.Tree().Children); got != 66 {
+		t.Fatalf("child count = %d, want 66", got)
+	}
+}
+
+func TestEditValidation(t *testing.T) {
+	d := NewDoc(xmltree.MustParse("root(a)"))
+	cases := []Edit{
+		{Version: 1, Op: OpDelete},                                             // root delete
+		{Version: 1, Op: OpInsert, Addr: nil, Doc: xmltree.Leaf("x")},          // insert without key
+		{Version: 1, Op: OpReplace, Addr: nil},                                 // replace without payload
+		{Version: 2, Op: OpReplace, Addr: nil, Doc: xmltree.Leaf("x")},         // version gap
+		{Version: 1, Op: OpReplace, Addr: []uint64{999}, Doc: xmltree.Leaf("x")}, // bad address
+		{Version: 1, Op: OpInsert, Addr: []uint64{keyGap}, Doc: xmltree.Leaf("x")}, // taken key
+		{Version: 1, Op: Op(9), Addr: nil},                                     // unknown op
+	}
+	for i, e := range cases {
+		if _, err := d.Apply(e); err == nil {
+			t.Errorf("case %d (%+v): expected an error", i, e)
+		}
+	}
+	if d.Version() != 0 {
+		t.Fatalf("failed edits bumped the version to %d", d.Version())
+	}
+}
+
+// randomTree builds a random labeled tree with ~n nodes.
+func randomTree(r *rand.Rand, n int) *xmltree.Tree {
+	labels := []string{"a", "b", "c", "d", "e"}
+	var build func(budget int) *xmltree.Tree
+	build = func(budget int) *xmltree.Tree {
+		t := &xmltree.Tree{Label: labels[r.Intn(len(labels))]}
+		budget--
+		for budget > 0 && r.Intn(3) > 0 {
+			size := 1 + r.Intn(budget)
+			t.Children = append(t.Children, build(size))
+			budget -= size
+		}
+		return t
+	}
+	return build(n)
+}
+
+// TestSetTreeDiff: for random tree pairs, SetTree must publish an edit
+// sequence that transforms one into the other exactly, and a replica
+// applying the published log must converge to the same tree.
+func TestSetTreeDiff(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		from := randomTree(r, 1+r.Intn(30))
+		to := randomTree(r, 1+r.Intn(30))
+		if round%3 == 0 {
+			to.Label = from.Label // exercise the child-diff path, not just root replace
+		}
+		ed := NewEditor(from)
+		replica := NewDoc(from)
+		edits, err := ed.SetTree(to)
+		if err != nil {
+			t.Fatalf("round %d: SetTree: %v", round, err)
+		}
+		if !ed.Tree().Equal(to) {
+			t.Fatalf("round %d: editor tree %s != target %s", round, ed.Tree(), to)
+		}
+		for _, e := range edits {
+			if _, err := replica.Apply(e); err != nil {
+				t.Fatalf("round %d: replica apply: %v", round, err)
+			}
+		}
+		if !replica.Tree().Equal(to) {
+			t.Fatalf("round %d: replica tree %s != target %s", round, replica.Tree(), to)
+		}
+		// Re-diffing an equal pair publishes nothing.
+		if again, _ := ed.SetTree(to); len(again) != 0 {
+			t.Fatalf("round %d: idempotent SetTree published %d edits", round, len(again))
+		}
+	}
+}
+
+func TestNextEditBlocksAndWakes(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a)"))
+	got := make(chan Edit, 1)
+	go func() {
+		e, err := ed.NextEdit(context.Background(), 0)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- e
+	}()
+	time.Sleep(10 * time.Millisecond) // let the subscriber block
+	if _, err := ed.ReplaceSubtree([]int{0}, xmltree.Leaf("b")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.Version != 1 || e.Op != OpReplace {
+			t.Fatalf("subscriber got %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscriber never woke")
+	}
+	// Context cancellation unblocks a waiting subscriber.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := ed.NextEdit(ctx, 5)
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled NextEdit returned %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for round := 0; round < 100; round++ {
+		ed := NewEditor(randomTree(r, 1+r.Intn(40)))
+		// Age the doc so non-default keys appear in the snapshot.
+		for i := 0; i < r.Intn(10); i++ {
+			kids := len(ed.Tree().Children)
+			if _, err := ed.InsertChild(nil, r.Intn(kids+1), randomTree(r, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		buf, version := ed.EncodeSnapshot()
+		if len(buf) != SnapshotSize(snapDoc(ed)) {
+			t.Fatalf("round %d: SnapshotSize %d != encoded %d", round, SnapshotSize(snapDoc(ed)), len(buf))
+		}
+		d, err := DecodeSnapshot(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		if d.Version() != version {
+			t.Fatalf("round %d: version %d != %d", round, d.Version(), version)
+		}
+		if !d.Tree().Equal(ed.Tree()) {
+			t.Fatalf("round %d: snapshot tree differs", round)
+		}
+		// The decoded replica must accept the editor's next edit (keys
+		// survived the trip).
+		e, err := ed.InsertChild(nil, 0, xmltree.Leaf("z"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Apply(e); err != nil {
+			t.Fatalf("round %d: post-snapshot edit: %v", round, err)
+		}
+		if !d.Tree().Equal(ed.Tree()) {
+			t.Fatalf("round %d: post-snapshot divergence", round)
+		}
+	}
+}
+
+func snapDoc(ed *Editor) *Doc {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	return ed.doc
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	good, _ := NewEditor(xmltree.MustParse("root(a b)")).EncodeSnapshot()
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     []byte("nope!xxxx"),
+		"truncated":     good[:len(good)-2],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"huge label":    append([]byte(snapMagic), 0x00, 0xFF, 0xFF, 0xFF, 0x7F),
+		"unsorted keys": nil, // built below
+	}
+	// Two siblings with descending keys.
+	b := []byte(snapMagic)
+	b = append(b, 0)           // version
+	b = append(b, 1, 'r', 0, 2) // root, key 0, 2 kids
+	b = append(b, 1, 'a', 9, 0) // key 9
+	b = append(b, 1, 'b', 3, 0) // key 3 < 9
+	cases["unsorted keys"] = b
+	for name, wire := range cases {
+		if _, err := DecodeSnapshot(bytes.NewReader(wire)); err == nil {
+			t.Errorf("%s: expected a decode error", name)
+		}
+	}
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	seed, _ := NewEditor(xmltree.MustParse("root(a(x) b c(d e))")).EncodeSnapshot()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte(snapMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // any error is fine; panics are not
+		}
+		// Anything accepted must re-encode and re-decode identically.
+		again, aerr := DecodeSnapshot(bytes.NewReader(AppendSnapshot(nil, d)))
+		if aerr != nil {
+			t.Fatalf("accepted snapshot does not round-trip: %v", aerr)
+		}
+		if !again.Tree().Equal(d.Tree()) || again.Version() != d.Version() {
+			t.Fatal("round trip changed the snapshot")
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The snapshot format is the live wire's initial state transfer: the
+// whole keyed document plus its version, so a subscriber can apply
+// every later edit by address. Plain XML would lose the sibling keys
+// (midpoint-inserted nodes don't carry their key in their serialization),
+// so snapshots use a dedicated binary form:
+//
+//	magic "dxlS1" | uvarint version | node*
+//	node = uvarint len(label) | label | uvarint key | uvarint #children
+//
+// in preorder. Decoding is iterative and allocates per decoded node
+// only, so truncated or hostile input errors out without deep
+// recursion or length-proportional allocation.
+const snapMagic = "dxlS1"
+
+// maxSnapLabel caps one label's length: garbage claiming a gigabyte
+// label must error before allocating it.
+const maxSnapLabel = 1 << 20
+
+// AppendSnapshot appends the snapshot encoding of d to buf.
+func AppendSnapshot(buf []byte, d *Doc) []byte {
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, d.version)
+	var rec func(n *node) // document depth: ours, not hostile
+	rec = func(n *node) {
+		buf = binary.AppendUvarint(buf, uint64(len(n.label)))
+		buf = append(buf, n.label...)
+		buf = binary.AppendUvarint(buf, n.key)
+		buf = binary.AppendUvarint(buf, uint64(len(n.kids)))
+		for _, k := range n.kids {
+			rec(k)
+		}
+	}
+	rec(d.root)
+	return buf
+}
+
+// SnapshotSize returns len(AppendSnapshot(nil, d)) without building it.
+func SnapshotSize(d *Doc) int {
+	n := len(snapMagic) + uvarintLen(d.version)
+	var rec func(nd *node)
+	rec = func(nd *node) {
+		n += uvarintLen(uint64(len(nd.label))) + len(nd.label) +
+			uvarintLen(nd.key) + uvarintLen(uint64(len(nd.kids)))
+		for _, k := range nd.kids {
+			rec(k)
+		}
+	}
+	rec(d.root)
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeSnapshot reads a snapshot back into a Doc. It never panics on
+// garbage: truncation, oversized labels and malformed varints all
+// error out.
+func DecodeSnapshot(r io.Reader) (*Doc, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("live: snapshot magic: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("live: not a live snapshot (magic %q)", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("live: snapshot version: %w", err)
+	}
+	d := &Doc{version: version}
+	// Iterative preorder rebuild: the stack holds parents still owed
+	// children. Children are appended one at a time (no count-sized
+	// preallocation), so a hostile child count cannot balloon memory.
+	type pending struct {
+		n    *node
+		want uint64
+	}
+	var stack []pending
+	for {
+		n, kids, err := readSnapNode(br)
+		if err != nil {
+			return nil, err
+		}
+		d.nodes++
+		if d.root == nil {
+			d.root = n
+		} else {
+			top := &stack[len(stack)-1]
+			if k := top.n.kids; len(k) > 0 && k[len(k)-1].key >= n.key {
+				return nil, fmt.Errorf("live: snapshot sibling keys out of order (%d then %d)", k[len(k)-1].key, n.key)
+			}
+			top.n.kids = append(top.n.kids, n)
+			top.want--
+		}
+		if kids > 0 {
+			stack = append(stack, pending{n: n, want: kids})
+		} else {
+			for len(stack) > 0 && stack[len(stack)-1].want == 0 {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) == 0 {
+				break
+			}
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("live: trailing bytes after snapshot")
+	}
+	return d, nil
+}
+
+func readSnapNode(br *bufio.Reader) (*node, uint64, error) {
+	ll, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("live: truncated snapshot: %w", unexpectedEOF(err))
+	}
+	if ll > maxSnapLabel {
+		return nil, 0, fmt.Errorf("live: snapshot label of %d bytes exceeds the %d-byte limit", ll, maxSnapLabel)
+	}
+	label := make([]byte, ll)
+	if _, err := io.ReadFull(br, label); err != nil {
+		return nil, 0, fmt.Errorf("live: truncated snapshot: %w", unexpectedEOF(err))
+	}
+	key, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("live: truncated snapshot: %w", unexpectedEOF(err))
+	}
+	kids, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("live: truncated snapshot: %w", unexpectedEOF(err))
+	}
+	return &node{label: string(label), key: key}, kids, nil
+}
+
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

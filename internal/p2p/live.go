@@ -1,0 +1,367 @@
+package p2p
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"dxml/internal/live"
+	"dxml/internal/stream"
+	"dxml/internal/transport"
+	"dxml/internal/xmltree"
+)
+
+// This file is the live session mode: the federation outliving a single
+// validation round. Editing peers attach a live.Editor (AttachEditor)
+// and publish subtree edits; the kernel peer opens a LiveFederation
+// (OpenLive), which subscribes to every docking point's edit log over
+// the session's transport, replays each edit onto a prefix-labeled
+// replica, and maintains the global verdict by incremental
+// revalidation (stream.Incremental) — re-checking only the edited
+// subtree and the ancestor chain whose summaries actually change,
+// instead of revalidating the extension from scratch. After each
+// applied edit the kernel peer reports the fresh verdict back to the
+// editing site (the wire's verdict-update frames), so both ends of the
+// federation always agree on whether the distributed document is
+// currently valid.
+
+// AttachEditor wraps fn's current document in a live editor and makes
+// the docking point subscribable. The editor becomes authoritative for
+// the peer's document (the one-shot protocols read its current tree;
+// an edit landing between a transfer's size announcement and its
+// serialization can skew one-shot accounting, which is why live
+// consumers should use OpenLive's atomic snapshot-plus-log cut).
+func (n *Network) AttachEditor(fn string) (*live.Editor, error) {
+	peer, ok := n.Peers[fn]
+	if !ok {
+		return nil, fmt.Errorf("p2p: no peer for %s", fn)
+	}
+	if peer.Live == nil {
+		peer.Live = live.NewEditor(peer.Doc)
+	}
+	return peer.Live, nil
+}
+
+// --- edit wire conversion ---
+
+// editToFrame serializes an edit for the wire: the payload subtree
+// travels as XML through the allocation-free emitter, the address as
+// raw keys — O(‖edit‖ + depth) bytes total.
+func editToFrame(e live.Edit) transport.EditFrame {
+	f := transport.EditFrame{Version: e.Version, Op: uint8(e.Op), Addr: e.Addr}
+	if e.Doc != nil {
+		var b bytes.Buffer
+		e.Doc.ToXML(&b) // cannot fail on a Buffer
+		f.Doc = b.Bytes()
+	}
+	return f
+}
+
+// frameToEdit parses one received edit.
+func frameToEdit(f transport.EditFrame) (live.Edit, error) {
+	e := live.Edit{Version: f.Version, Op: live.Op(f.Op), Addr: append([]uint64(nil), f.Addr...)}
+	if len(f.Doc) > 0 {
+		doc, err := xmltree.FromXML(bytes.NewReader(f.Doc))
+		if err != nil {
+			return live.Edit{}, fmt.Errorf("p2p: edit payload: %w", err)
+		}
+		e.Doc = doc
+	}
+	return e, nil
+}
+
+// editorFeedSrc is the hosted side of one subscription: an atomic cut
+// of the editor's state (the encoded snapshot is taken under the
+// editor's lock) plus the blocking log behind it. It implements
+// transport.LiveFeedSrc.
+type editorFeedSrc struct {
+	ed      *live.Editor
+	snap    []byte
+	version uint64
+}
+
+func (s *editorFeedSrc) Version() uint64 { return s.version }
+func (s *editorFeedSrc) Size() int       { return len(s.snap) }
+
+func (s *editorFeedSrc) Serialize(w io.Writer) error {
+	_, err := w.Write(s.snap)
+	return err
+}
+
+func (s *editorFeedSrc) NextEdit(ctx context.Context, after uint64) (transport.EditFrame, error) {
+	e, err := s.ed.NextEdit(ctx, after)
+	if err != nil {
+		return transport.EditFrame{}, err
+	}
+	return editToFrame(e), nil
+}
+
+func (s *editorFeedSrc) NoteVerdict(version uint64, valid bool) {
+	s.ed.NoteVerdict(version, valid)
+}
+
+func (s *editorFeedSrc) Close() {}
+
+// OpenLive implements transport.LiveSource for hosted peers with an
+// attached editor.
+func (s *peerSource) OpenLive(ctx context.Context) (transport.LiveFeedSrc, error) {
+	ed := s.peer.Live
+	if ed == nil {
+		return nil, fmt.Errorf("p2p: peer %s has no live editor", s.peer.Func)
+	}
+	snap, version := ed.EncodeSnapshot()
+	return &editorFeedSrc{ed: ed, snap: snap, version: version}, nil
+}
+
+// LiveUpdate reports one applied edit (or a terminal feed error) to the
+// kernel peer's consumer.
+type LiveUpdate struct {
+	// Fn is the docking point the edit came from; Version its log
+	// version there; Op the operation applied.
+	Fn      string
+	Version uint64
+	Op      string
+	// Valid is the global verdict after applying the edit; Changed
+	// reports a verdict transition.
+	Valid   bool
+	Changed bool
+	// Revalidated and Skipped are the incremental revalidator's byte
+	// split for this edit; WireBytes is what the edit cost on the wire.
+	Revalidated int
+	Skipped     int
+	WireBytes   int
+	// Err, when non-nil, is a terminal error on this docking point's
+	// feed; no further updates arrive from it.
+	Err error
+}
+
+// verdictUpdateWireSize is the fixed frame cost of one verdict-update
+// message (type + id + version + verdict), identical on both wires.
+const verdictUpdateWireSize = 14
+
+// LiveFederation is the kernel peer's live session: replicas and the
+// incremental result tree, advanced by the docking points' edit feeds.
+type LiveFederation struct {
+	n    *Network
+	sess transport.Session
+	own  bool // session built for this live run: close it on Close
+
+	ctx         context.Context
+	cancel      context.CancelFunc
+	wg          sync.WaitGroup
+	once        sync.Once
+	updatesOnce sync.Once
+
+	mu       sync.Mutex
+	inc      *stream.Incremental
+	replicas map[string]*live.Doc
+	feeds    map[string]transport.EditFeed
+	valid    bool
+
+	updates chan LiveUpdate
+}
+
+// OpenLive starts the live session: it subscribes to every docking
+// point, pulls each fragment's keyed snapshot (chunked, with the same
+// backpressure as any transfer), builds the extension's incremental
+// result tree, and starts draining edits. The initial verdict is
+// available immediately (Valid); per-edit updates flow on Updates until
+// Close. Edits from different docking points are serialized through one
+// lock, so the maintained verdict is always the verdict of a real
+// interleaving of the feeds.
+func (n *Network) OpenLive(ctx context.Context) (*LiveFederation, error) {
+	sess, err := n.session()
+	if err != nil {
+		return nil, err
+	}
+	ls, ok := sess.(transport.LiveSession)
+	if !ok {
+		return nil, fmt.Errorf("p2p: transport %T does not support live sessions", sess)
+	}
+	lctx, cancel := context.WithCancel(ctx)
+	lv := &LiveFederation{
+		n: n, sess: sess, own: n.Transport == nil,
+		ctx: lctx, cancel: cancel,
+		replicas: map[string]*live.Doc{},
+		feeds:    map[string]transport.EditFeed{},
+		updates:  make(chan LiveUpdate, 16),
+	}
+	fail := func(err error) (*LiveFederation, error) {
+		for _, f := range lv.feeds {
+			f.Close()
+		}
+		cancel()
+		return nil, err
+	}
+	frags := map[string]*xmltree.Tree{}
+	for _, fn := range n.Kernel.Funcs() {
+		feed, err := ls.Subscribe(lctx, fn)
+		if err != nil {
+			return fail(fmt.Errorf("p2p: subscribe %s: %w", fn, err))
+		}
+		lv.feeds[fn] = feed
+		n.Stats.addMessage(len(fn) + 1) // subscription envelope
+		var buf bytes.Buffer
+		for {
+			chunk, cerr := feed.NextChunk()
+			if cerr == io.EOF {
+				break
+			}
+			if cerr != nil {
+				return fail(fmt.Errorf("p2p: snapshot %s: %w", fn, cerr))
+			}
+			n.Stats.addFrame(len(chunk))
+			buf.Write(chunk)
+		}
+		doc, err := live.DecodeSnapshot(&buf)
+		if err != nil {
+			return fail(fmt.Errorf("p2p: snapshot %s: %w", fn, err))
+		}
+		if doc.Version() != feed.Base() {
+			return fail(fmt.Errorf("p2p: snapshot %s: version %d does not match announced cut %d",
+				fn, doc.Version(), feed.Base()))
+		}
+		lv.replicas[fn] = doc
+		frags[fn] = doc.Tree()
+	}
+	inc, err := n.GlobalMachine().NewKernelIncremental(n.Kernel, frags)
+	if err != nil {
+		return fail(err)
+	}
+	lv.inc = inc
+	lv.valid = inc.Valid()
+	for fn := range lv.feeds {
+		lv.wg.Add(1)
+		go lv.drain(fn)
+	}
+	// When every feed has terminated (all hosts gone, or each hit a
+	// terminal error) no more updates can arrive: close the channel so
+	// consumers ranging over Updates return instead of hanging. Every
+	// emit completes before its drain's wg slot releases, so the close
+	// cannot race a send; Close's own close goes through the same Once.
+	go func() {
+		lv.wg.Wait()
+		lv.updatesOnce.Do(func() { close(lv.updates) })
+	}()
+	return lv, nil
+}
+
+// Valid returns the current global verdict.
+func (lv *LiveFederation) Valid() bool {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.valid
+}
+
+// Fragment materializes the kernel peer's current replica of fn.
+func (lv *LiveFederation) Fragment(fn string) (*xmltree.Tree, error) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	d, ok := lv.replicas[fn]
+	if !ok {
+		return nil, fmt.Errorf("p2p: no docking point %s", fn)
+	}
+	return d.Tree(), nil
+}
+
+// Extension materializes the current extension document.
+func (lv *LiveFederation) Extension() *xmltree.Tree {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.inc.Tree()
+}
+
+// Updates is the per-edit stream. It is closed by Close.
+func (lv *LiveFederation) Updates() <-chan LiveUpdate { return lv.updates }
+
+// drain applies one docking point's edits for the session's lifetime.
+func (lv *LiveFederation) drain(fn string) {
+	defer lv.wg.Done()
+	feed := lv.feeds[fn]
+	replica := lv.replicas[fn]
+	for {
+		ef, err := feed.NextEdit(lv.ctx)
+		if err != nil {
+			if lv.ctx.Err() == nil {
+				lv.emit(LiveUpdate{Fn: fn, Err: err})
+			}
+			return
+		}
+		up, err := lv.apply(fn, replica, ef)
+		if err != nil {
+			// A malformed or inapplicable edit means the replica can no
+			// longer track this peer: surface it and stop the feed.
+			lv.emit(LiveUpdate{Fn: fn, Version: ef.Version, Err: err})
+			return
+		}
+		if serr := feed.SendVerdict(up.Version, up.Valid); serr == nil {
+			lv.n.Stats.addMessage(verdictUpdateWireSize)
+		}
+		lv.emit(up)
+	}
+}
+
+// apply replays one edit onto the replica and the result tree.
+func (lv *LiveFederation) apply(fn string, replica *live.Doc, ef transport.EditFrame) (LiveUpdate, error) {
+	ed, err := frameToEdit(ef)
+	if err != nil {
+		return LiveUpdate{}, err
+	}
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	ap, err := replica.Apply(ed)
+	if err != nil {
+		return LiveUpdate{}, err
+	}
+	switch ap.Op {
+	case live.OpReplace:
+		err = lv.inc.Replace(fn, ap.Path, ed.Doc)
+	case live.OpInsert:
+		err = lv.inc.Insert(fn, ap.Path, ed.Doc)
+	case live.OpDelete:
+		err = lv.inc.Delete(fn, ap.Path)
+	}
+	if err != nil {
+		return LiveUpdate{}, err
+	}
+	valid := lv.inc.Valid()
+	reval, skipped := lv.inc.LastRecheck()
+	up := LiveUpdate{
+		Fn: fn, Version: ed.Version, Op: ed.Op.String(),
+		Valid: valid, Changed: valid != lv.valid,
+		Revalidated: reval, Skipped: skipped, WireBytes: ef.WireSize(),
+	}
+	lv.valid = valid
+	lv.n.Stats.addMessage(ef.WireSize())
+	lv.n.Stats.addRecheck(reval, skipped)
+	return up, nil
+}
+
+// emit delivers an update unless the session is closing.
+func (lv *LiveFederation) emit(up LiveUpdate) {
+	select {
+	case lv.updates <- up:
+	case <-lv.ctx.Done():
+	}
+}
+
+// Close ends the live session: feeds unsubscribe, drains stop, and the
+// updates channel closes. The session itself is closed only if it was
+// opened for this live run (an externally dialed Network.Transport
+// stays open for the caller).
+func (lv *LiveFederation) Close() error {
+	lv.once.Do(func() {
+		lv.cancel()
+		lv.wg.Wait() // drains exit via the canceled context
+		for _, f := range lv.feeds {
+			f.Close()
+		}
+		lv.updatesOnce.Do(func() { close(lv.updates) })
+		if lv.own {
+			lv.sess.Close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,51 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dxml/internal/xmltree"
+)
+
+// BenchmarkLiveEditRoundTrip prices one end-to-end live edit on the
+// in-process wire: publish at the editor, ship the delta, apply it to
+// the replica, revalidate incrementally, emit the update. The wire
+// metric is the acceptance criterion's O(edit + depth) byte bound;
+// compare against re-shipping the fragment (frag B) to see the delta
+// win grow with fragment size.
+func BenchmarkLiveEditRoundTrip(b *testing.B) {
+	for _, entries := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			n, typing := eurostatSetup(b)
+			attachValidDocs(b, n, typing, []int{entries, 2, 1})
+			for _, fn := range n.Kernel.Funcs() {
+				if _, err := n.AttachEditor(fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+			lv, err := n.OpenLive(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lv.Close()
+			ed := n.Peers["f1"].Live
+			fragBytes := ed.Tree().XMLSize()
+			payload := xmltree.MustParse("nationalIndex(country Good index(value year))")
+			b.ResetTimer()
+			var wire int
+			for i := 0; i < b.N; i++ {
+				if _, err := ed.ReplaceSubtree([]int{entries / 2}, payload); err != nil {
+					b.Fatal(err)
+				}
+				up := <-lv.Updates()
+				if up.Err != nil || !up.Valid {
+					b.Fatalf("edit rejected: %+v", up)
+				}
+				wire = up.WireBytes
+			}
+			b.ReportMetric(float64(wire), "wireB/op")
+			b.ReportMetric(float64(fragBytes), "fragB")
+		})
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"sync"
 
 	"dxml/internal/axml"
+	"dxml/internal/live"
 	"dxml/internal/schema"
 	"dxml/internal/stream"
 	"dxml/internal/transport"
@@ -90,6 +91,12 @@ type Stats struct {
 	// kernel peer rejected the document mid-transfer (or the round was
 	// short-circuited): the communication win of chunked shipping.
 	BytesSaved int
+	// Revalidated and Skipped account the live session's incremental
+	// revalidation, in the result tree's flat byte measure: how much of
+	// the extension each applied edit actually re-checked, and how much
+	// the checkpointed summaries let the kernel peer skip.
+	Revalidated int
+	Skipped     int
 }
 
 // addMessage records a message envelope (and its first accounting frame).
@@ -116,6 +123,14 @@ func (s *Stats) addSaved(bytes int) {
 	s.BytesSaved += bytes
 }
 
+// addRecheck records one incremental revalidation's byte split.
+func (s *Stats) addRecheck(revalidated, skipped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Revalidated += revalidated
+	s.Skipped += skipped
+}
+
 // Snapshot returns the message and byte counters.
 func (s *Stats) Snapshot() (messages, bytes int) {
 	s.mu.Lock()
@@ -125,17 +140,20 @@ func (s *Stats) Snapshot() (messages, bytes int) {
 
 // Totals is a consistent copy of all counters.
 type Totals struct {
-	Messages   int
-	Frames     int
-	Bytes      int
-	BytesSaved int
+	Messages    int
+	Frames      int
+	Bytes       int
+	BytesSaved  int
+	Revalidated int
+	Skipped     int
 }
 
 // Totals returns a consistent copy of all counters.
 func (s *Stats) Totals() Totals {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Totals{Messages: s.Messages, Frames: s.Frames, Bytes: s.Bytes, BytesSaved: s.BytesSaved}
+	return Totals{Messages: s.Messages, Frames: s.Frames, Bytes: s.Bytes, BytesSaved: s.BytesSaved,
+		Revalidated: s.Revalidated, Skipped: s.Skipped}
 }
 
 // message is a verdict on the wire, costed at a fixed serialized size.
@@ -161,8 +179,24 @@ type ResourcePeer struct {
 	Doc  *xmltree.Tree
 	Type *schema.EDTD
 
+	// Live, when non-nil, is the peer's edit publisher: the editor's
+	// document is authoritative (Doc holds the initial state), kernel
+	// peers can subscribe to the edit log, and the one-shot protocols
+	// read the editor's current tree. Attach one with
+	// Network.AttachEditor.
+	Live *live.Editor
+
 	compileOnce sync.Once
 	machine     *stream.Machine
+}
+
+// CurrentDoc returns the peer's current document: the live editor's
+// tree when one is attached, the static Doc otherwise.
+func (p *ResourcePeer) CurrentDoc() *xmltree.Tree {
+	if p.Live != nil {
+		return p.Live.Tree()
+	}
+	return p.Doc
 }
 
 // Machine returns the peer's compiled streaming validator.
@@ -176,7 +210,7 @@ func (p *ResourcePeer) Machine() *stream.Machine {
 func (p *ResourcePeer) Validate(ctx context.Context) error {
 	r := p.Machine().NewRunner()
 	defer r.Release()
-	if err := stream.StreamTree(p.Doc, &ctxHandler{ctx: ctx, h: r}); err != nil {
+	if err := stream.StreamTree(p.CurrentDoc(), &ctxHandler{ctx: ctx, h: r}); err != nil {
 		return err
 	}
 	return r.Finish()
@@ -223,7 +257,7 @@ func (s *peerSource) document() *xmltree.Tree {
 	if s.doc != nil {
 		return s.doc
 	}
-	return s.peer.Doc
+	return s.peer.CurrentDoc()
 }
 
 func (s *peerSource) Verdict(ctx context.Context) bool {
@@ -610,11 +644,13 @@ func (n *Network) centralizedOverSession(sess transport.Session) (bool, error) {
 	return err == nil, nil
 }
 
-// Materialize returns the extension document (for inspection).
+// Materialize returns the extension document (for inspection), built
+// from each peer's current document — the live editor's tree when one
+// is attached.
 func (n *Network) Materialize() (*xmltree.Tree, error) {
 	ext := map[string]*xmltree.Tree{}
 	for f, p := range n.Peers {
-		ext[f] = p.Doc
+		ext[f] = p.CurrentDoc()
 	}
 	return n.Kernel.Extend(ext)
 }

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// The incremental-revalidation bench family (published as BENCH_pr5):
+// on a ~10⁵-node single-type document, replace subtrees of growing size
+// and compare the maintained-verdict update against from-scratch
+// streaming validation. The crossover (if any) is recorded in
+// EXPERIMENTS.md.
+
+// flatSec builds a secB-shaped replacement (sec over p leaves) with
+// the requested node count.
+func flatSec(nodes int) *xmltree.Tree {
+	sec := &xmltree.Tree{Label: "sec"}
+	for sec.Size() < nodes {
+		sec.Children = append(sec.Children, xmltree.Leaf("p"))
+	}
+	return sec
+}
+
+// nestedSec builds a secA-shaped replacement (sec over secB sections)
+// with roughly the requested node count.
+func nestedSec(nodes int) *xmltree.Tree {
+	sec := &xmltree.Tree{Label: "sec"}
+	for sec.Size() < nodes {
+		sec.Children = append(sec.Children, flatSec(min(100, nodes-sec.Size())))
+	}
+	return sec
+}
+
+func BenchmarkIncrementalEdit(b *testing.B) {
+	m := Compile(recursiveSDTD(b, schema.KindNRE))
+	doc := bigSingleTypeDoc(100_000)
+	inc := m.NewIncremental(doc)
+	if !inc.Valid() {
+		b.Fatal("fixture invalid")
+	}
+	last := len(doc.Children) - 1
+	cases := []struct {
+		name    string
+		path    []int
+		payload *xmltree.Tree
+	}{
+		{"edit=1", []int{last, 0, 3}, xmltree.Leaf("p")},
+		{"edit=100", []int{last, 0}, flatSec(100)},
+		{"edit=1000", []int{last}, nestedSec(1000)},
+		{"edit=10000", []int{last}, nestedSec(10_000)},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("n=100000/%s", c.name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := inc.Replace("", c.path, c.payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !inc.Valid() {
+				b.Fatal("bench edit flipped the verdict")
+			}
+			reval, skipped := inc.LastRecheck()
+			b.ReportMetric(float64(reval), "revalB/op")
+			b.ReportMetric(float64(skipped), "skipB/op")
+		})
+	}
+}
+
+// BenchmarkFullRevalidate is the from-scratch baseline the incremental
+// path is measured against: one streaming pass over the same document.
+func BenchmarkFullRevalidate(b *testing.B) {
+	m := Compile(recursiveSDTD(b, schema.KindNRE))
+	doc := bigSingleTypeDoc(100_000)
+	b.Run("n=100000", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := m.ValidateTree(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalBuild prices the one-time cost of building the
+// checkpointed result tree (paid once per live session, amortized over
+// every subsequent edit).
+func BenchmarkIncrementalBuild(b *testing.B) {
+	m := Compile(recursiveSDTD(b, schema.KindNRE))
+	doc := bigSingleTypeDoc(100_000)
+	b.Run("n=100000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inc := m.NewIncremental(doc)
+			if !inc.Valid() {
+				b.Fatal("fixture invalid")
+			}
+		}
+	})
+}

@@ -1,0 +1,389 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxml/internal/axml"
+	"dxml/internal/gen"
+	"dxml/internal/schema"
+	"dxml/internal/xmltree"
+)
+
+// --- reference-side edit application (the from-scratch oracle's tree) ---
+
+func refNodeAt(t *xmltree.Tree, path []int) *xmltree.Tree {
+	for _, i := range path {
+		t = t.Children[i]
+	}
+	return t
+}
+
+// refReplace returns the tree with the subtree at path replaced.
+func refReplace(root *xmltree.Tree, path []int, payload *xmltree.Tree) *xmltree.Tree {
+	if len(path) == 0 {
+		return payload.Clone()
+	}
+	parent := refNodeAt(root, path[:len(path)-1])
+	parent.Children[path[len(path)-1]] = payload.Clone()
+	return root
+}
+
+func refInsert(root *xmltree.Tree, path []int, payload *xmltree.Tree) {
+	parent := refNodeAt(root, path[:len(path)-1])
+	i := path[len(path)-1]
+	parent.Children = append(parent.Children, nil)
+	copy(parent.Children[i+1:], parent.Children[i:])
+	parent.Children[i] = payload.Clone()
+}
+
+func refDelete(root *xmltree.Tree, path []int) {
+	parent := refNodeAt(root, path[:len(path)-1])
+	i := path[len(path)-1]
+	parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+}
+
+// allPaths collects the index path of every node of t.
+func allPaths(t *xmltree.Tree) [][]int {
+	var out [][]int
+	var rec func(n *xmltree.Tree, path []int)
+	rec = func(n *xmltree.Tree, path []int) {
+		out = append(out, append([]int(nil), path...))
+		for i, c := range n.Children {
+			rec(c, append(path, i))
+		}
+	}
+	rec(t, nil)
+	return out
+}
+
+// randomPayload draws an edit payload: a subtree of a fresh sampler
+// document, a structural mutation of one, or a foreign leaf — so edit
+// sequences cross the valid/invalid boundary in both directions.
+func randomPayload(t *testing.T, r *rand.Rand, s *gen.Sampler) *xmltree.Tree {
+	t.Helper()
+	doc, err := s.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch r.Intn(4) {
+	case 0:
+		paths := allPaths(doc)
+		return refNodeAt(doc, paths[r.Intn(len(paths))])
+	case 1:
+		return mutate(r, doc)
+	case 2:
+		return xmltree.Leaf("zz")
+	default:
+		return doc
+	}
+}
+
+// randomEdit applies one random edit to both the incremental result
+// tree (below fn's surface) and the reference tree, returning the
+// updated reference root.
+func randomEdit(t *testing.T, r *rand.Rand, inc *Incremental, fn string, ref *xmltree.Tree, s *gen.Sampler) *xmltree.Tree {
+	t.Helper()
+	paths := allPaths(ref)
+	path := paths[r.Intn(len(paths))]
+	switch op := r.Intn(3); {
+	case op == 1 && len(ref.Children) >= 0: // insert under a random node
+		parent := refNodeAt(ref, path)
+		ipath := append(append([]int(nil), path...), r.Intn(len(parent.Children)+1))
+		payload := randomPayload(t, r, s)
+		if err := inc.Insert(fn, ipath, payload); err != nil {
+			t.Fatalf("insert %v: %v", ipath, err)
+		}
+		refInsert(ref, ipath, payload)
+	case op == 2 && len(path) > 0: // delete a non-root node
+		if err := inc.Delete(fn, path); err != nil {
+			t.Fatalf("delete %v: %v", path, err)
+		}
+		refDelete(ref, path)
+	default:
+		payload := randomPayload(t, r, s)
+		if err := inc.Replace(fn, path, payload); err != nil {
+			t.Fatalf("replace %v: %v", path, err)
+		}
+		ref = refReplace(ref, path, payload)
+	}
+	return ref
+}
+
+// TestIncrementalPlainDifferential is the mutation-corpus pin for the
+// plain-document mode: random edit sequences on sampler documents of
+// the PR 2 fixtures, asserting after every edit that the maintained
+// verdict equals the from-scratch Machine verdict and that the shadow
+// tree tracks the reference exactly.
+func TestIncrementalPlainDifferential(t *testing.T) {
+	fixtures := []struct {
+		name  string
+		build func(testing.TB, schema.Kind) *schema.EDTD
+	}{
+		{"eurostat", func(tb testing.TB, k schema.Kind) *schema.EDTD { return eurostatEDTD(tb, k) }},
+		{"recursive-sdtd", func(tb testing.TB, k schema.Kind) *schema.EDTD { return recursiveSDTD(tb, k) }},
+		{"general-edtd", func(tb testing.TB, k schema.Kind) *schema.EDTD { return generalEDTD(tb, k) }},
+	}
+	rounds, editsPerRound := 12, 30
+	if testing.Short() {
+		rounds = 3
+	}
+	for _, fx := range fixtures {
+		for _, kind := range schema.AllKinds {
+			fx, kind := fx, kind
+			t.Run(fx.name+"/"+kind.String(), func(t *testing.T) {
+				t.Parallel()
+				e := fx.build(t, kind)
+				m := Compile(e)
+				s, err := gen.New(e, int64(31*len(fx.name))+int64(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.MaxDepth = 6
+				r := rand.New(rand.NewSource(int64(kind)*100 + int64(len(fx.name))))
+				for round := 0; round < rounds; round++ {
+					ref, err := s.Document()
+					if err != nil {
+						t.Fatal(err)
+					}
+					inc := m.NewIncremental(ref)
+					ref = ref.Clone()
+					for step := 0; step < editsPerRound; step++ {
+						ref = randomEdit(t, r, inc, "", ref, s)
+						want := m.ValidateTree(ref) == nil
+						if inc.Valid() != want {
+							t.Fatalf("round %d step %d: incremental verdict %v, from-scratch %v, doc %s",
+								round, step, inc.Valid(), want, ref)
+						}
+						if !inc.Tree().Equal(ref) {
+							t.Fatalf("round %d step %d: shadow tree diverged:\n%s\nvs\n%s",
+								round, step, inc.Tree(), ref)
+						}
+						if inc.NodeCount() != ref.Size() {
+							t.Fatalf("round %d step %d: node count %d, want %d",
+								round, step, inc.NodeCount(), ref.Size())
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// kernelFixture is a two-docking-point federation over the eurostat
+// global type: f0 contributes the averages block, f1 the national
+// indexes.
+func kernelFixture(t *testing.T, kind schema.Kind) (*axml.Kernel, *Machine, map[string]*xmltree.Tree) {
+	t.Helper()
+	k, err := axml.ParseKernel("eurostat(f0 f1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compile(eurostatEDTD(t, kind))
+	frags := map[string]*xmltree.Tree{
+		"f0": xmltree.MustParse("r0(averages(Good index(value year)))"),
+		"f1": xmltree.MustParse("r1(nationalIndex(country Good value year) nationalIndex(country Good index(value year)))"),
+	}
+	return k, m, frags
+}
+
+// TestIncrementalKernelDifferential runs the mutation corpus through
+// the kernel mode: edits land inside docking-point fragments and the
+// maintained verdict must match from-scratch validation of the
+// materialized extension after every edit.
+func TestIncrementalKernelDifferential(t *testing.T) {
+	for _, kind := range schema.AllKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			k, m, frags := kernelFixture(t, kind)
+			inc, err := m.NewKernelIncremental(k, frags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inc.Valid() {
+				t.Fatal("fixture extension should be valid")
+			}
+			e := eurostatEDTD(t, kind)
+			s, err := gen.New(e.SubType("nationalIndex"), int64(kind)+5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.MaxDepth = 6
+			refs := map[string]*xmltree.Tree{"f0": frags["f0"].Clone(), "f1": frags["f1"].Clone()}
+			r := rand.New(rand.NewSource(int64(kind) * 7))
+			funcs := k.Funcs()
+			for step := 0; step < 120; step++ {
+				fn := funcs[r.Intn(len(funcs))]
+				refs[fn] = randomEdit(t, r, inc, fn, refs[fn], s)
+				ext, err := k.Extend(refs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := m.ValidateTree(ext) == nil
+				if inc.Valid() != want {
+					t.Fatalf("step %d (%s): incremental verdict %v, from-scratch %v\nextension %s",
+						step, fn, inc.Valid(), want, ext)
+				}
+				if !inc.Tree().Equal(ext) {
+					t.Fatalf("step %d: shadow extension diverged:\n%s\nvs\n%s", step, inc.Tree(), ext)
+				}
+				frag, err := inc.Fragment(fn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !frag.Equal(refs[fn]) {
+					t.Fatalf("step %d: fragment %s diverged", step, fn)
+				}
+				if inc.NodeCount() != ext.Size() {
+					t.Fatalf("step %d: node count %d, extension has %d", step, inc.NodeCount(), ext.Size())
+				}
+			}
+		})
+	}
+}
+
+// bigSingleTypeDoc builds a valid recursive-sdtd document with about
+// n nodes: doc(front(p…) secA(secB(p…)…)…).
+func bigSingleTypeDoc(n int) *xmltree.Tree {
+	front := &xmltree.Tree{Label: "part"}
+	for i := 0; i < 20; i++ {
+		front.Children = append(front.Children, xmltree.Leaf("p"))
+	}
+	doc := xmltree.New("doc", front)
+	nodes := front.Size() + 1
+	for nodes < n {
+		secA := &xmltree.Tree{Label: "sec"}
+		for b := 0; b < 10 && nodes+secA.Size() < n; b++ {
+			secB := &xmltree.Tree{Label: "sec"}
+			for p := 0; p < 100; p++ {
+				secB.Children = append(secB.Children, xmltree.Leaf("p"))
+			}
+			secA.Children = append(secA.Children, secB)
+		}
+		doc.Children = append(doc.Children, secA)
+		nodes += secA.Size()
+	}
+	return doc
+}
+
+// TestIncrementalLocality is the deterministic half of the acceptance
+// criterion: on a ~10⁵-node fragment, a single-leaf edit must recheck
+// at most 1% of the document (measured in the revalidator's own byte
+// accounting, which upper-bounds the work it did).
+func TestIncrementalLocality(t *testing.T) {
+	e := recursiveSDTD(t, schema.KindNRE)
+	m := Compile(e)
+	doc := bigSingleTypeDoc(100_000)
+	if err := m.ValidateTree(doc); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	inc := m.NewIncremental(doc)
+	if !inc.Valid() {
+		t.Fatal("incremental disagrees on the fixture")
+	}
+	total := inc.TotalBytes()
+	// A leaf replace deep in the last section.
+	last := len(doc.Children) - 1
+	if err := inc.Replace("", []int{last, 0, 3}, xmltree.Leaf("p")); err != nil {
+		t.Fatal(err)
+	}
+	reval, skipped := inc.LastRecheck()
+	if !inc.Valid() {
+		t.Fatal("leaf replace flipped the verdict")
+	}
+	if reval*100 > total {
+		t.Fatalf("leaf edit rechecked %d of %d bytes (> 1%%)", reval, total)
+	}
+	if reval+skipped != total {
+		t.Fatalf("accounting mismatch: %d + %d != %d", reval, skipped, total)
+	}
+	// An invalidating edit is detected with the same locality…
+	if err := inc.Replace("", []int{last, 0, 3}, xmltree.Leaf("zz")); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Valid() {
+		t.Fatal("foreign leaf not detected")
+	}
+	if reval, _ := inc.LastRecheck(); reval*100 > inc.TotalBytes() {
+		t.Fatalf("invalidating edit rechecked %d bytes (> 1%%)", reval)
+	}
+	// …and repairing it restores the verdict.
+	if err := inc.Replace("", []int{last, 0, 3}, xmltree.Leaf("p")); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Valid() {
+		t.Fatal("repair not detected")
+	}
+}
+
+// TestIncrementalWholeFragmentReplaceAggregates pins the slot-replace
+// aggregate accounting: replacing a whole fragment (empty path) with a
+// bigger one and back must restore the exact node and byte totals — an
+// earlier version applied the delta twice at the slot, corrupting
+// every later Revalidated/Skipped split.
+func TestIncrementalWholeFragmentReplaceAggregates(t *testing.T) {
+	k, m, frags := kernelFixture(t, schema.KindNRE)
+	inc, err := m.NewKernelIncremental(k, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes, wantBytes := inc.NodeCount(), inc.TotalBytes()
+	bigger := xmltree.MustParse("r0(averages(Good index(value year) Good index(value year)) nationalIndex(country Good value year))")
+	if err := inc.Replace("f0", nil, bigger); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Replace("f0", nil, frags["f0"]); err != nil {
+		t.Fatal(err)
+	}
+	if inc.NodeCount() != wantNodes || inc.TotalBytes() != wantBytes {
+		t.Fatalf("round-trip whole-fragment replace: %d nodes / %d bytes, want %d / %d",
+			inc.NodeCount(), inc.TotalBytes(), wantNodes, wantBytes)
+	}
+	if !inc.Valid() {
+		t.Fatal("verdict lost across whole-fragment replaces")
+	}
+	fresh, err := m.NewKernelIncremental(k, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.NodeCount() != inc.NodeCount() || fresh.TotalBytes() != inc.TotalBytes() {
+		t.Fatalf("aggregates diverge from a fresh build: %d/%d vs %d/%d",
+			inc.NodeCount(), inc.TotalBytes(), fresh.NodeCount(), fresh.TotalBytes())
+	}
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	m := Compile(eurostatEDTD(t, schema.KindNRE))
+	inc := m.NewIncremental(xmltree.MustParse("eurostat(averages(Good index(value year)))"))
+	for name, err := range map[string]error{
+		"bad path":        inc.Replace("", []int{9}, xmltree.Leaf("x")),
+		"bad fn":          inc.Replace("f9", nil, xmltree.Leaf("x")),
+		"root delete":     inc.Delete("", nil),
+		"empty insert":    inc.Insert("", nil, xmltree.Leaf("x")),
+		"bad insert idx":  inc.Insert("", []int{0, 99}, xmltree.Leaf("x")),
+		"bad delete path": inc.Delete("", []int{3}),
+	} {
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	// Failed edits must not corrupt the verdict.
+	if !inc.Valid() {
+		t.Fatal("failed edits flipped the verdict")
+	}
+	k := axml.MustParseKernel("eurostat(f0 f1)")
+	kinc, err := m.NewKernelIncremental(k, map[string]*xmltree.Tree{
+		"f0": xmltree.MustParse("r0(averages(Good index(value year)))"),
+		"f1": xmltree.MustParse("r1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kinc.Replace("", nil, xmltree.Leaf("x")); err == nil {
+		t.Error("kernel incremental accepted an edit without a docking point")
+	}
+	if _, err := m.NewKernelIncremental(k, map[string]*xmltree.Tree{"f0": xmltree.MustParse("r0")}); err == nil {
+		t.Error("missing fragment not rejected")
+	}
+}

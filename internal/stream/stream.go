@@ -127,6 +127,10 @@ type Machine struct {
 	specsByElem  map[int32][]int32 // element-label id → candidate name indices
 	startsByElem map[int32][]int32 // element-label id → start name indices
 
+	// starts is the set of start name indices, uniform across both
+	// paths — the incremental revalidator's root acceptance check.
+	starts []int32
+
 	pool sync.Pool
 }
 
@@ -149,6 +153,21 @@ func Compile(e *schema.EDTD) *Machine {
 		m.compileSingleType(e, idx)
 	} else {
 		m.compileGeneral(e, idx)
+	}
+	// Uniform tables for the incremental revalidator: candidate
+	// specializations per element label (the general path builds its
+	// own copy already) and the start-name set.
+	if m.specsByElem == nil {
+		m.specsByElem = map[int32][]int32{}
+		for elem, specs := range e.SpecializationMap() {
+			elemID := strlang.Intern(elem)
+			for _, n := range specs {
+				m.specsByElem[elemID] = append(m.specsByElem[elemID], idx[n])
+			}
+		}
+	}
+	for _, s := range e.Starts {
+		m.starts = append(m.starts, idx[s])
 	}
 	return m
 }

@@ -73,6 +73,27 @@ const (
 	// in-flight validation so remote peers stop mid-document, exactly
 	// as in-process peers do.
 	frameVerdictCancel
+	// frameSubscribe (client→server) opens a live subscription on fn's
+	// edit log: stream id, fn. The host answers with frameSubscribed,
+	// streams the keyed snapshot as chunk frames (acked like any
+	// fragment transfer, ended by frameEnd), then ships edits.
+	frameSubscribe
+	// frameSubscribed (server→client) accepts a subscription: stream
+	// id, snapshot version, snapshot size. Snapshot chunks follow.
+	frameSubscribed
+	// frameEdit (server→client) carries one edit of the subscribed
+	// log: stream id, version, op, prefix address, payload document.
+	// The sender waits for frameEditAck before shipping the next edit —
+	// the same stop-and-wait backpressure fragment chunks get.
+	frameEdit
+	// frameEditAck (client→server) acknowledges an edit: stream id,
+	// version.
+	frameEditAck
+	// frameVerdictUpdate (client→server) reports the kernel peer's
+	// global verdict after it applied an edit: stream id, version,
+	// verdict — how the editing site learns whether the federation
+	// still accepts its fragment.
+	frameVerdictUpdate
 	frameTypeEnd // sentinel: first invalid type
 )
 
@@ -81,12 +102,19 @@ const (
 // read.
 type frame struct {
 	typ  frameType
-	id   uint32 // stream / request id; chunk budget rides here for hello
-	size uint64 // announced fragment size (begin)
-	flag byte   // verdict (verdict), version (hello/welcome)
-	str  string // fn (open/verdictReq), reason (reject/streamErr/error)
-	data []byte // chunk payload (chunk), digest (hello/welcome)
+	id   uint32   // stream / request id; chunk budget rides here for hello
+	size uint64   // announced fragment size (begin), snapshot size (subscribed)
+	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate)
+	flag byte     // verdict (verdict/verdictUpdate), version (hello/welcome), op (edit)
+	str  string   // fn (open/verdictReq/subscribe), reason (reject/streamErr/error)
+	addr []uint64 // prefix address (edit); decoded fresh per frame
+	data []byte   // chunk payload (chunk), digest (hello/welcome), edit payload (edit)
 }
+
+// maxEditAddr caps an edit's address length (tree depth on the editing
+// peer); 4096 is far beyond any real document and keeps a hostile count
+// from forcing a large allocation.
+const maxEditAddr = 4096
 
 // fixedLen is the number of fixed payload bytes after the type byte,
 // per frame type; variable-length tails (strings, chunk bytes, digests)
@@ -99,12 +127,20 @@ func (t frameType) fixedLen() (int, error) {
 		return 1, nil // version
 	case frameError:
 		return 0, nil
-	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel:
+	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel, frameSubscribe:
 		return 4, nil // id
 	case frameVerdict:
 		return 5, nil // id + verdict
 	case frameBegin:
 		return 12, nil // id + size
+	case frameEditAck:
+		return 12, nil // id + version
+	case frameVerdictUpdate:
+		return 13, nil // id + version + verdict
+	case frameEdit:
+		return 15, nil // id + version + op + address length
+	case frameSubscribed:
+		return 20, nil // id + version + snapshot size
 	}
 	return 0, fmt.Errorf("transport: unknown frame type %d", t)
 }
@@ -123,7 +159,10 @@ func (fw *frameWriter) write(f frame) error {
 	if err != nil {
 		return err
 	}
-	payload := 1 + fixed + len(f.str) + len(f.data)
+	if f.typ == frameEdit && len(f.addr) > maxEditAddr {
+		return fmt.Errorf("transport: edit address of %d components exceeds the %d limit", len(f.addr), maxEditAddr)
+	}
+	payload := 1 + fixed + 8*len(f.addr) + len(f.str) + len(f.data)
 	if payload-1 > maxFramePayload {
 		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit (chunk the transfer)",
 			payload-1, maxFramePayload)
@@ -147,6 +186,25 @@ func (fw *frameWriter) write(f frame) error {
 	case frameBegin:
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.size)
+	case frameSubscribed:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
+		b = binary.BigEndian.AppendUint64(b, f.size)
+	case frameEditAck:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
+	case frameVerdictUpdate:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
+		b = append(b, f.flag)
+	case frameEdit:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
+		b = append(b, f.flag)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(f.addr)))
+		for _, k := range f.addr {
+			b = binary.BigEndian.AppendUint64(b, k)
+		}
 	case frameError:
 	default:
 		b = binary.BigEndian.AppendUint32(b, f.id)
@@ -231,7 +289,7 @@ func (fr *frameReader) read() (frame, error) {
 	case frameChunk:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.data = tail
-	case frameVerdictReq, frameOpen:
+	case frameVerdictReq, frameOpen, frameSubscribe:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.str = string(tail)
 	case frameAck, frameEnd, frameVerdictCancel:
@@ -239,6 +297,44 @@ func (fr *frameReader) read() (frame, error) {
 		if len(tail) != 0 {
 			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
+	case frameSubscribed:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.ver = binary.BigEndian.Uint64(p[4:12])
+		f.size = binary.BigEndian.Uint64(p[12:20])
+		if len(tail) != 0 {
+			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+		}
+	case frameEditAck:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.ver = binary.BigEndian.Uint64(p[4:12])
+		if len(tail) != 0 {
+			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+		}
+	case frameVerdictUpdate:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.ver = binary.BigEndian.Uint64(p[4:12])
+		f.flag = p[12]
+		if len(tail) != 0 {
+			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+		}
+	case frameEdit:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.ver = binary.BigEndian.Uint64(p[4:12])
+		f.flag = p[12]
+		n := int(binary.BigEndian.Uint16(p[13:15]))
+		if n > maxEditAddr {
+			return frame{}, fmt.Errorf("transport: edit address of %d components exceeds the %d limit", n, maxEditAddr)
+		}
+		if len(tail) < 8*n {
+			return frame{}, fmt.Errorf("transport: edit frame too short for a %d-component address", n)
+		}
+		if n > 0 {
+			f.addr = make([]uint64, n)
+			for i := range f.addr {
+				f.addr[i] = binary.BigEndian.Uint64(tail[8*i:])
+			}
+		}
+		f.data = tail[8*n:]
 	case frameReject, frameStreamErr:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.str = string(tail)

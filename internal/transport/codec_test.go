@@ -28,11 +28,25 @@ func sampleFrames() []frame {
 		{typ: frameEnd, id: 9},
 		{typ: frameReject, id: 9, str: "rejected by receiver"},
 		{typ: frameStreamErr, id: 9, str: "no such docking point"},
+		{typ: frameSubscribe, id: 11, str: "f1"},
+		{typ: frameSubscribed, id: 11, ver: 42, size: 1 << 20},
+		{typ: frameEdit, id: 11, ver: 43, flag: 1, addr: []uint64{1 << 32, 3 << 31}, data: []byte("<p/>\n")},
+		{typ: frameEdit, id: 11, ver: 44, flag: 3},
+		{typ: frameEditAck, id: 11, ver: 43},
+		{typ: frameVerdictUpdate, id: 11, ver: 43, flag: 1},
 	}
 }
 
 func frameEqual(a, b frame) bool {
-	return a.typ == b.typ && a.id == b.id && a.size == b.size &&
+	if len(a.addr) != len(b.addr) {
+		return false
+	}
+	for i := range a.addr {
+		if a.addr[i] != b.addr[i] {
+			return false
+		}
+	}
+	return a.typ == b.typ && a.id == b.id && a.size == b.size && a.ver == b.ver &&
 		a.flag == b.flag && a.str == b.str && bytes.Equal(a.data, b.data)
 }
 

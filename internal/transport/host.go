@@ -105,6 +105,7 @@ type session struct {
 	mu       sync.Mutex
 	streams  map[uint32]*hostStream
 	verdicts map[uint32]context.CancelFunc
+	lives    map[uint32]LiveFeedSrc // open subscriptions, for verdict-update routing
 	wg       sync.WaitGroup
 }
 
@@ -117,7 +118,8 @@ func (s *session) send(f frame) error {
 func (h *Host) serveSession(c net.Conn) {
 	defer c.Close()
 	s := &session{host: h, c: c, fw: frameWriter{w: c},
-		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{}}
+		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{},
+		lives: map[uint32]LiveFeedSrc{}}
 	fr := newFrameReader(c)
 	hello, err := fr.read()
 	if err != nil || hello.typ != frameHello {
@@ -194,7 +196,33 @@ func (h *Host) serveSession(c net.Conn) {
 			s.wg.Add(1)
 			go s.serveStream(sctx, f.id, st, src, budget)
 
-		case frameAck:
+		case frameSubscribe:
+			src, ok := h.cfg.Sources[f.str]
+			if !ok {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			ls, ok := src.(LiveSource)
+			if !ok {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: "docking point is not live: " + f.str})
+				continue
+			}
+			sctx, scancel := context.WithCancel(ctx)
+			lf, err := ls.OpenLive(sctx)
+			if err != nil {
+				scancel()
+				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
+				continue
+			}
+			st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
+			s.mu.Lock()
+			s.streams[f.id] = st
+			s.lives[f.id] = lf
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveLive(sctx, f.id, st, lf, budget)
+
+		case frameAck, frameEditAck:
 			s.mu.Lock()
 			st := s.streams[f.id]
 			s.mu.Unlock()
@@ -203,6 +231,14 @@ func (h *Host) serveSession(c net.Conn) {
 				case st.acks <- struct{}{}:
 				default: // duplicate ack from a broken client: drop
 				}
+			}
+
+		case frameVerdictUpdate:
+			s.mu.Lock()
+			lf := s.lives[f.id]
+			s.mu.Unlock()
+			if lf != nil {
+				lf.NoteVerdict(f.ver, f.flag != 0)
 			}
 
 		case frameReject:
@@ -263,5 +299,73 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 		// Rejected or torn down: the receiver is not listening.
 	default:
 		s.send(frame{typ: frameStreamErr, id: id, str: err.Error()})
+	}
+}
+
+// serveLive runs one subscription: announce the snapshot cut, ship the
+// snapshot in chunk frames (stop-and-wait, like any fragment), mark its
+// end, then forward edits as they are published — each edit waits for
+// its ack before the next is pulled, so a slow subscriber backpressures
+// the editor's log reader rather than flooding the socket. A reject
+// (unsubscribe) or session teardown cancels sctx and the loop exits at
+// the next handoff.
+func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int) {
+	defer s.wg.Done()
+	defer st.cancel()
+	defer func() {
+		s.mu.Lock()
+		delete(s.streams, id)
+		delete(s.lives, id)
+		s.mu.Unlock()
+		lf.Close()
+	}()
+	if err := s.send(frame{typ: frameSubscribed, id: id, ver: lf.Version(), size: uint64(lf.Size())}); err != nil {
+		return
+	}
+	cw := newChunker(budget, func(chunk []byte) error {
+		if err := sctx.Err(); err != nil {
+			return err
+		}
+		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
+			return err
+		}
+		select {
+		case <-st.acks:
+			return nil
+		case <-sctx.Done():
+			return sctx.Err()
+		}
+	})
+	err := lf.Serialize(cw)
+	if err == nil {
+		err = cw.flush()
+	}
+	if err != nil {
+		if sctx.Err() == nil {
+			s.send(frame{typ: frameStreamErr, id: id, str: err.Error()})
+		}
+		return
+	}
+	if err := s.send(frame{typ: frameEnd, id: id}); err != nil {
+		return
+	}
+	pos := lf.Version()
+	for {
+		e, err := lf.NextEdit(sctx, pos)
+		if err != nil {
+			if sctx.Err() == nil {
+				s.send(frame{typ: frameStreamErr, id: id, str: err.Error()})
+			}
+			return
+		}
+		pos = e.Version
+		if err := s.send(frame{typ: frameEdit, id: id, ver: e.Version, flag: e.Op, addr: e.Addr, data: e.Doc}); err != nil {
+			return
+		}
+		select {
+		case <-st.acks:
+		case <-sctx.Done():
+			return
+		}
 	}
 }

@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// This file is the live half of the wire: a kernel peer *subscribes* to
+// a docking point's edit log and receives, over either transport, an
+// atomic cut of the peer's state — a keyed snapshot of the fragment at
+// some version, then every edit after that version, in order, with
+// stop-and-wait backpressure — and reports its global verdict back
+// after each applied edit. The frame types are subscribe / subscribed /
+// chunk…end (the snapshot reuses the fragment chunk machinery) /
+// edit / edit-ack / verdict-update.
+
+// EditFrame is one edit of a fragment's log in wire form: the dense
+// version it produces, the operation (the live package's Op values),
+// the edited node's prefix address, and the serialized payload subtree
+// (empty for deletes). The transports move EditFrames without
+// interpreting them.
+type EditFrame struct {
+	Version uint64
+	Op      uint8
+	Addr    []uint64
+	Doc     []byte
+}
+
+// WireSize is the edit's frame payload size on the binary wire (type
+// byte included). Both transports account edits with it, which is what
+// keeps live traffic stats transport-invariant: O(‖edit‖ + depth) —
+// the payload plus one address component per ancestor.
+func (e EditFrame) WireSize() int {
+	return 16 + 8*len(e.Addr) + len(e.Doc)
+}
+
+// LiveSource is a Source whose document is editable: it can open an
+// atomic cut of its state for a subscriber. Hosted docking points
+// implement it to become subscribable.
+type LiveSource interface {
+	Source
+	// OpenLive returns an atomic cut: a snapshot and the edit feed
+	// continuing it. The context bounds the feed's lifetime.
+	OpenLive(ctx context.Context) (LiveFeedSrc, error)
+}
+
+// LiveFeedSrc is the sender side of one subscription: a consistent
+// snapshot (Version/Size/Serialize describe the same cut) plus the
+// blocking edit log behind it.
+type LiveFeedSrc interface {
+	// Version is the snapshot's edit-log version.
+	Version() uint64
+	// Size is the snapshot's exact serialized size in bytes.
+	Size() int
+	// Serialize writes the snapshot.
+	Serialize(w io.Writer) error
+	// NextEdit blocks until the edit with version after+1 is published
+	// and returns it.
+	NextEdit(ctx context.Context, after uint64) (EditFrame, error)
+	// NoteVerdict records the kernel peer's global verdict after it
+	// applied the edit with the given version.
+	NoteVerdict(version uint64, valid bool)
+	// Close releases the subscription.
+	Close()
+}
+
+// LiveSession is a Session that supports live subscriptions. Both
+// transports implement it; a kernel peer type-asserts.
+type LiveSession interface {
+	Session
+	Subscribe(ctx context.Context, fn string) (EditFeed, error)
+}
+
+// EditFeed is the receiver side of one subscription. The protocol has
+// two phases: first drain the snapshot with NextChunk until io.EOF,
+// then loop on NextEdit. Both phases are stop-and-wait: consuming a
+// chunk or an edit releases the sender to produce exactly one more, so
+// a slow kernel peer backpressures the editing site end to end.
+type EditFeed interface {
+	// Base is the snapshot's version: the first edit delivered will
+	// carry Base()+1.
+	Base() uint64
+	// SnapshotSize is the snapshot's announced size in bytes.
+	SnapshotSize() int
+	// NextChunk returns the snapshot's next chunk (valid until the
+	// following call), io.EOF after the last.
+	NextChunk() ([]byte, error)
+	// NextEdit acknowledges the previous edit and blocks for the next.
+	// The returned frame's Addr and Doc are valid until the following
+	// call.
+	NextEdit(ctx context.Context) (EditFrame, error)
+	// SendVerdict reports the global verdict after applying version.
+	SendVerdict(version uint64, valid bool) error
+	// Close unsubscribes. It does not unblock a concurrent NextEdit —
+	// cancel that call's context first.
+	Close() error
+}
+
+// Subscribe routes a live subscription to fn's session.
+func (m Multi) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
+	s, err := m.session(fn)
+	if err != nil {
+		return nil, err
+	}
+	ls, ok := s.(LiveSession)
+	if !ok {
+		return nil, fmt.Errorf("transport: session for %s does not support live subscriptions", fn)
+	}
+	return ls.Subscribe(ctx, fn)
+}
+
+// Subscribe opens an in-process subscription: the snapshot is chunked
+// through the same budget as fragment transfers (unbuffered handoff,
+// synchronous backpressure) and edits are pulled straight from the
+// source's log.
+func (s *InProc) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
+	src, err := s.source(fn)
+	if err != nil {
+		return nil, err
+	}
+	ls, ok := src.(LiveSource)
+	if !ok {
+		return nil, fmt.Errorf("transport: docking point %s is not live (no editor attached)", fn)
+	}
+	lf, err := ls.OpenLive(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	ch := make(chan []byte)
+	go func() {
+		defer close(ch)
+		w := newChunker(s.Chunk, func(chunk []byte) error {
+			select {
+			case ch <- chunk:
+				return nil
+			case <-fctx.Done():
+				return fctx.Err()
+			}
+		})
+		if lf.Serialize(w) == nil {
+			w.flush()
+		}
+	}()
+	return &inprocEditFeed{lf: lf, cancel: cancel, ch: ch, base: lf.Version(), size: lf.Size(), pos: lf.Version()}, nil
+}
+
+type inprocEditFeed struct {
+	lf     LiveFeedSrc
+	cancel context.CancelFunc
+	ch     <-chan []byte
+	base   uint64
+	size   int
+	pos    uint64
+}
+
+func (f *inprocEditFeed) Base() uint64      { return f.base }
+func (f *inprocEditFeed) SnapshotSize() int { return f.size }
+
+func (f *inprocEditFeed) NextChunk() ([]byte, error) {
+	chunk, ok := <-f.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	return chunk, nil
+}
+
+func (f *inprocEditFeed) NextEdit(ctx context.Context) (EditFrame, error) {
+	e, err := f.lf.NextEdit(ctx, f.pos)
+	if err != nil {
+		return EditFrame{}, err
+	}
+	f.pos = e.Version
+	return e, nil
+}
+
+func (f *inprocEditFeed) SendVerdict(version uint64, valid bool) error {
+	f.lf.NoteVerdict(version, valid)
+	return nil
+}
+
+func (f *inprocEditFeed) Close() error {
+	f.cancel()
+	f.lf.Close()
+	return nil
+}

@@ -116,7 +116,10 @@ func (c *Conn) readLoop(fr *frameReader) {
 		if w == nil {
 			continue // late response for an aborted stream: drop
 		}
-		if f.typ == frameChunk {
+		if f.typ == frameChunk || f.typ == frameEdit {
+			// The frame reader's buffer is overwritten by the next
+			// read; stop-and-wait means at most one chunk or edit is in
+			// flight per stream, so one scratch per stream suffices.
 			w.scratch = append(w.scratch[:0], f.data...)
 			f.data = w.scratch
 		}
@@ -237,6 +240,133 @@ func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
 		c.unregister(id)
 		return nil, c.sessionErr()
 	}
+}
+
+// Subscribe opens a live subscription on fn's edit log and waits for
+// the host to announce the snapshot cut.
+func (c *Conn) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
+	id, w := c.register()
+	if err := c.send(frame{typ: frameSubscribe, id: id, str: fn}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	select {
+	case f := <-w.ch:
+		switch f.typ {
+		case frameSubscribed:
+			return &tcpEditFeed{conn: c, id: id, w: w, base: f.ver, size: int(f.size)}, nil
+		case frameStreamErr:
+			c.unregister(id)
+			return nil, fmt.Errorf("transport: subscribe %s: %s", fn, f.str)
+		default:
+			c.unregister(id)
+			return nil, fmt.Errorf("transport: unexpected frame type %d subscribing to %s", f.typ, fn)
+		}
+	case <-ctx.Done():
+		c.unregister(id)
+		c.send(frame{typ: frameReject, id: id, str: "subscribe canceled"})
+		return nil, ctx.Err()
+	case <-c.done:
+		c.unregister(id)
+		return nil, c.sessionErr()
+	}
+}
+
+// tcpEditFeed is the receiver side of one TCP subscription: snapshot
+// chunks first (acked like a fragment transfer), then edits (acked
+// with their version).
+type tcpEditFeed struct {
+	conn *Conn
+	id   uint32
+	w    *waiter
+	base uint64
+	size int
+
+	owesChunkAck bool
+	owesEditAck  bool
+	lastVer      uint64
+	closed       bool
+}
+
+func (f *tcpEditFeed) Base() uint64      { return f.base }
+func (f *tcpEditFeed) SnapshotSize() int { return f.size }
+
+func (f *tcpEditFeed) NextChunk() ([]byte, error) {
+	if f.closed {
+		return nil, fmt.Errorf("transport: read from closed subscription")
+	}
+	if f.owesChunkAck {
+		f.owesChunkAck = false
+		if err := f.conn.send(frame{typ: frameAck, id: f.id}); err != nil {
+			return nil, err
+		}
+	}
+	select {
+	case fr := <-f.w.ch:
+		switch fr.typ {
+		case frameChunk:
+			f.owesChunkAck = true
+			return fr.data, nil
+		case frameEnd:
+			// Snapshot complete; the stream stays registered for edits.
+			return nil, io.EOF
+		case frameStreamErr:
+			f.conn.unregister(f.id)
+			return nil, fmt.Errorf("transport: subscription failed: %s", fr.str)
+		default:
+			return nil, fmt.Errorf("transport: unexpected frame type %d in snapshot", fr.typ)
+		}
+	case <-f.conn.done:
+		return nil, f.conn.sessionErr()
+	}
+}
+
+func (f *tcpEditFeed) NextEdit(ctx context.Context) (EditFrame, error) {
+	if f.closed {
+		return EditFrame{}, fmt.Errorf("transport: read from closed subscription")
+	}
+	if f.owesEditAck {
+		f.owesEditAck = false
+		if err := f.conn.send(frame{typ: frameEditAck, id: f.id, ver: f.lastVer}); err != nil {
+			return EditFrame{}, err
+		}
+	}
+	select {
+	case fr := <-f.w.ch:
+		switch fr.typ {
+		case frameEdit:
+			f.owesEditAck = true
+			f.lastVer = fr.ver
+			return EditFrame{Version: fr.ver, Op: fr.flag, Addr: fr.addr, Doc: fr.data}, nil
+		case frameStreamErr:
+			f.conn.unregister(f.id)
+			return EditFrame{}, fmt.Errorf("transport: subscription failed: %s", fr.str)
+		default:
+			return EditFrame{}, fmt.Errorf("transport: unexpected frame type %d in edit stream", fr.typ)
+		}
+	case <-ctx.Done():
+		return EditFrame{}, ctx.Err()
+	case <-f.conn.done:
+		return EditFrame{}, f.conn.sessionErr()
+	}
+}
+
+func (f *tcpEditFeed) SendVerdict(version uint64, valid bool) error {
+	v := byte(0)
+	if valid {
+		v = 1
+	}
+	return f.conn.send(frame{typ: frameVerdictUpdate, id: f.id, ver: version, flag: v})
+}
+
+// Close unsubscribes: the reject frame halts the host's edit sender.
+func (f *tcpEditFeed) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.conn.unregister(f.id)
+	return f.conn.send(frame{typ: frameReject, id: f.id, str: "unsubscribed"})
 }
 
 // Close tears the session down; in-flight operations fail.
