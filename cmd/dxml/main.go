@@ -7,8 +7,8 @@
 //	dxml -problem validate <design-file> <document.term|document.xml>
 //	dxml -problem validate <design-file> -        # stream XML from stdin
 //	dxml -problem validate -distributed [-stats] [-chunk N] <design-file> <doc>...
-//	dxml serve [-listen addr] <design-file> <fn=document>...
-//	dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] <design-file>
+//	dxml serve [-listen addr] [-watch] [-chaos seed] <design-file> <fn=document>...
+//	dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch [-reconnect N]] <design-file>
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);

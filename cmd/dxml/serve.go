@@ -32,8 +32,9 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("dxml serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9400", "TCP address to listen on (use :0 for an ephemeral port)")
 	watch := fs.Bool("watch", false, "watch the document files and publish changes as subtree edits (live mode)")
+	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off; for resilience drills against a joining kernel peer)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-chaos seed] <design-file> <fn=document>...")
 		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
 		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
 		fs.PrintDefaults()
@@ -51,12 +52,15 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := startServe(df, fs.Args()[1:], *listen)
+	srv, err := startServe(df, fs.Args()[1:], *listen, *chaosSeed)
 	if err != nil {
 		fatal(err)
 	}
 	ctx, stop := signalContext()
 	defer stop()
+	if *chaosSeed != 0 {
+		fmt.Printf("dxml: chaos listener armed (seed %d): sessions will drop deterministically\n", *chaosSeed)
+	}
 	if *watch {
 		srv.watch(ctx, 250*time.Millisecond, func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -82,8 +86,11 @@ type serveInstance struct {
 
 // startServe builds the hosting network from fn=docfile assignments and
 // starts serving it; split from runServe so tests can drive a loopback
-// federation in process.
-func startServe(df *DesignFile, assigns []string, listen string) (*serveInstance, error) {
+// federation in process. A nonzero chaosSeed wraps the listener in the
+// deterministic fault injector: accepted sessions are doomed to drop
+// after a seed-derived byte budget, so a joining peer's reconnect path
+// can be drilled against a real serve.
+func startServe(df *DesignFile, assigns []string, listen string, chaosSeed int64) (*serveInstance, error) {
 	srv, err := serveNetwork(df, assigns)
 	if err != nil {
 		return nil, err
@@ -91,6 +98,9 @@ func startServe(df *DesignFile, assigns []string, listen string) (*serveInstance
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
+	}
+	if chaosSeed != 0 {
+		ln = dxml.NewChaosListener(ln, chaosSeed)
 	}
 	srv.host = srv.net.ServeTCP(ln)
 	return srv, nil
@@ -233,8 +243,9 @@ func runJoin(args []string) {
 	stats := fs.Bool("stats", false, "print wire traffic (messages, frames, bytes, bytes saved)")
 	chunk := fs.Int("chunk", 0, "fragment frame budget in bytes (0 = default 4096; -chunk -1 = unchunked, the only valid negative)")
 	watch := fs.Bool("watch", false, "stay joined: subscribe to the hosts' edit logs and print verdict transitions (live mode)")
+	reconnect := fs.Int("reconnect", 8, "live mode: resubscription attempts per feed outage, with exponential backoff (0 = a feed error is terminal)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch] <design-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch [-reconnect N]] <design-file>")
 		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
 		fs.PrintDefaults()
 	}
@@ -254,7 +265,7 @@ func runJoin(args []string) {
 	ctx, stop := signalContext()
 	defer stop()
 	if *watch {
-		if err := JoinLive(ctx, df, *connect, peers, *chunk, *stats, os.Stdout); err != nil {
+		if err := JoinLive(ctx, df, *connect, peers, *chunk, *reconnect, *stats, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -343,10 +354,13 @@ func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers m
 		}
 		return nil
 	}
-	if err := report("distributed", n.ValidateDistributed); err != nil {
+	// The context-aware variants propagate an interrupt into in-flight
+	// fragment transfers: the splice loop aborts the open streams, so
+	// remote senders halt at their next chunk instead of lingering.
+	if err := report("distributed", func() (bool, error) { return n.ValidateDistributedContext(ctx) }); err != nil {
 		return "", err
 	}
-	if err := report("centralized", n.ValidateCentralized); err != nil {
+	if err := report("centralized", func() (bool, error) { return n.ValidateCentralizedContext(ctx) }); err != nil {
 		return "", err
 	}
 	return b.String(), nil
@@ -354,14 +368,18 @@ func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers m
 
 // JoinLive is `dxml join -watch`: subscribe to every docking point's
 // edit log and keep the global verdict live, printing one line per
-// applied edit and flagging verdict transitions, until ctx ends (the
-// interrupt path) or every feed terminates.
-func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool, w io.Writer) error {
+// applied edit and flagging verdict and health transitions, until ctx
+// ends (the interrupt path) or every feed terminates. With reconnect
+// attempts > 0, a dropped feed is resubscribed with exponential backoff
+// — the verdict goes stale during the outage and recovers by log-suffix
+// replay (or a snapshot rebuild when the host compacted past us).
+func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, reconnect int, showStats bool, w io.Writer) error {
 	n, sess, err := dialJoin(ctx, df, connect, peers, chunk)
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
+	n.Reconnect = dxml.ReconnectPolicy{MaxAttempts: reconnect}
 	lv, err := n.OpenLive(ctx)
 	if err != nil {
 		return err
@@ -374,6 +392,23 @@ func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[str
 		case up, ok := <-lv.Updates():
 			if !ok {
 				return nil
+			}
+			switch up.Health {
+			case dxml.HealthStale:
+				fmt.Fprintf(w, "live: %s: feed lost at v%d; reconnecting (verdict %s is stale)\n",
+					up.Fn, up.Version, verdictWord(up.Valid))
+				continue
+			case dxml.HealthRecovered:
+				how := "snapshot rebuild"
+				if up.Resumed {
+					how = "log-suffix replay"
+				}
+				fmt.Fprintf(w, "live: %s: recovered at v%d by %s, verdict %s\n",
+					up.Fn, up.Version, how, verdictWord(up.Valid))
+				continue
+			case dxml.HealthDown:
+				fmt.Fprintf(w, "live: %s: down: %v\n", up.Fn, up.Err)
+				continue
 			}
 			if up.Err != nil {
 				fmt.Fprintf(w, "live: %s: feed error: %v\n", up.Fn, up.Err)

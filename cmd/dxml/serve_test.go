@@ -32,7 +32,7 @@ func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *serveInstanc
 		}
 		assigns[i] = fn + "=" + path
 	}
-	srv, err := startServe(df, assigns, "127.0.0.1:0")
+	srv, err := startServe(df, assigns, "127.0.0.1:0", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,6 +159,41 @@ end
 	}
 }
 
+// TestServeChaosDrill drives `dxml join` against a `dxml serve -chaos`
+// host: the fault injector dooms roughly half the accepted sessions, so
+// each attempt must either report the true verdicts or fail with a
+// clean error — and with the injector's acceptance odds, a bounded
+// number of retries reaches a fault-free verdict.
+func TestServeChaosDrill(t *testing.T) {
+	df := load(t, "eurostat.design")
+	dir := t.TempDir()
+	funcs := df.Kernel.Funcs()
+	assigns := make([]string, len(funcs))
+	for i, fn := range funcs {
+		path := filepath.Join(dir, fn+".term")
+		if err := os.WriteFile(path, []byte(eurostatValidDocs[i]), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		assigns[i] = fn + "=" + path
+	}
+	srv, err := startServe(df, assigns, "127.0.0.1:0", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.host.Close()
+	for attempt := 0; attempt < 12; attempt++ {
+		out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, false)
+		if err != nil {
+			continue // a doomed session: clean error, try again
+		}
+		if !strings.Contains(out, "distributed: valid") || !strings.Contains(out, "centralized: valid") {
+			t.Fatalf("chaos must never corrupt a verdict:\n%s", out)
+		}
+		return
+	}
+	t.Fatal("no join attempt survived 12 tries against the chaos listener")
+}
+
 func TestServeErrors(t *testing.T) {
 	df := load(t, "eurostat.design")
 	if _, err := serveNetwork(df, []string{"nonsense"}); err == nil {
@@ -219,7 +254,7 @@ func TestServeWatchJoinLive(t *testing.T) {
 
 	buf := &syncBuffer{}
 	done := make(chan error, 1)
-	go func() { done <- JoinLive(ctx, df, srv.host.Addr().String(), nil, 0, true, buf) }()
+	go func() { done <- JoinLive(ctx, df, srv.host.Addr().String(), nil, 0, 8, true, buf) }()
 
 	// Wait for the subscription to come up, then break f1's document
 	// on disk; the watcher should re-serve it as edits and the join

@@ -58,6 +58,27 @@
 // `dxml join -watch` run the whole loop from the command line,
 // re-serving document-file changes as deltas.
 //
+// The federation assumes peers that answer — so the wire defends
+// against the ones that don't. Every TCP frame exchange carries a
+// read/write deadline (DefaultTimeout), clients heartbeat through idle
+// stretches with ping/pong frames (DefaultHeartbeat), and a missed
+// deadline fails the session with a typed TimeoutError (unwrapping to
+// ErrTimeout) instead of hanging. A live session under a
+// ReconnectPolicy (Network.Reconnect) survives outages: a dropped feed
+// marks the verdict stale (LiveUpdate.Health), resubscribes with
+// jittered exponential backoff from the replica's last-applied version,
+// and catches up by replaying just the edit-log suffix — or by a fresh
+// snapshot cut when the editor compacted past it (LiveEditor.Compact /
+// CutSince) — converging to a verdict byte-identical to a never-faulted
+// run. The chaos seam (internal/transport/chaos, surfaced as
+// NewChaosListener and `dxml serve -chaos seed`) makes that claim
+// testable: a deterministic, seed-driven fault injector wraps any
+// Session or listener and drops, delays, truncates, stalls, or
+// duplicates deliveries on a replayable schedule, and the differential
+// chaos corpus asserts every faulted run ends in the fault-free
+// verdict, traffic totals, and edit-log state — or a clean typed error,
+// never a panic, hang, or wrong verdict.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

@@ -10,6 +10,7 @@ import (
 	"dxml/internal/stream"
 	"dxml/internal/strlang"
 	"dxml/internal/transport"
+	"dxml/internal/transport/chaos"
 	"dxml/internal/uta"
 	"dxml/internal/xmltree"
 )
@@ -148,6 +149,38 @@ type (
 	TransportFragment = transport.Fragment
 	// PeerHost serves resource peers over TCP (see Network.ServeTCP).
 	PeerHost = transport.Host
+	// TimeoutError is a liveness failure on the TCP session: which
+	// operation missed the deadline and after how long. It unwraps to
+	// ErrTimeout.
+	TimeoutError = transport.TimeoutError
+)
+
+// Session liveness (deadlines + heartbeats on the TCP wire).
+var (
+	// ErrTimeout is the sentinel every liveness failure unwraps to: a
+	// peer missed its deadline. errors.Is(err, ErrTimeout) distinguishes
+	// a dead peer from a protocol error or a clean close.
+	ErrTimeout = transport.ErrTimeout
+)
+
+const (
+	// DefaultHeartbeat is the client ping interval through idle
+	// stretches (Config.Heartbeat zero value).
+	DefaultHeartbeat = transport.DefaultHeartbeat
+	// DefaultTimeout is the session liveness window (deadline on every
+	// frame read and write).
+	DefaultTimeout = transport.DefaultTimeout
+)
+
+// Fault injection (internal/transport/chaos): deterministic, seed-driven
+// wrappers that inject connection drops, delays, truncation, stalled
+// acks, and duplicate delivery — the chaos seam behind `dxml serve
+// -chaos` and the differential fault corpus in the tests.
+var (
+	// NewChaosListener wraps a listener so accepted connections are
+	// seed-deterministically doomed to die after a byte budget — the
+	// host side of `dxml serve -chaos seed`.
+	NewChaosListener = chaos.NewListener
 )
 
 // Live federation (internal/live + the live session mode): editing
@@ -170,8 +203,18 @@ type (
 	// Network.OpenLive).
 	LiveFederation = p2p.LiveFederation
 	// LiveUpdate reports one applied edit: the verdict after it, the
-	// revalidated-vs-skipped byte split, and the wire cost.
+	// revalidated-vs-skipped byte split, and the wire cost. Its Health
+	// field reports feed transitions (stale, recovered, down) during
+	// outages.
 	LiveUpdate = p2p.LiveUpdate
+	// Health is a live feed's state transition: HealthLive for ordinary
+	// per-edit updates, HealthStale while a dropped feed reconnects,
+	// HealthRecovered after catch-up, HealthDown when recovery failed.
+	Health = p2p.Health
+	// ReconnectPolicy governs live-feed recovery: exponential backoff
+	// with jitter between resubscription attempts (Network.Reconnect).
+	// The zero value disables reconnection.
+	ReconnectPolicy = p2p.ReconnectPolicy
 	// Incremental is a checkpointed result tree: per-node content-DFA
 	// summaries over a document or a kernel extension, updated in
 	// O(edit + ancestor chain) per subtree edit (see
@@ -184,6 +227,14 @@ const (
 	OpReplace = live.OpReplace
 	OpInsert  = live.OpInsert
 	OpDelete  = live.OpDelete
+)
+
+// The live feed health transitions.
+const (
+	HealthLive      = p2p.HealthLive
+	HealthStale     = p2p.HealthStale
+	HealthRecovered = p2p.HealthRecovered
+	HealthDown      = p2p.HealthDown
 )
 
 // NewLiveEditor wraps a document in a fresh live editor.

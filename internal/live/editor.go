@@ -2,11 +2,17 @@ package live
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"dxml/internal/xmltree"
 )
+
+// ErrCompacted reports that the edit log no longer reaches back to the
+// requested version: Compact dropped the prefix. A subscriber that
+// trips it must fall back to a fresh snapshot cut.
+var ErrCompacted = errors.New("live: edit log compacted past the requested version")
 
 // Editor is the peer-side publisher of a fragment's edit log: it owns
 // the live Doc, applies edits locally, appends them to the log, and
@@ -20,16 +26,18 @@ type Editor struct {
 	mu      sync.Mutex
 	doc     *Doc
 	log     []Edit
+	first   uint64 // versions <= first are compacted away; log[i].Version == first+i+1
 	changed chan struct{}
 
 	verdictKnown   bool
 	verdictVersion uint64
 	verdictValid   bool
+	verdictSignal  chan struct{} // closed+re-armed on every NoteVerdict
 }
 
 // NewEditor builds an editor over a fresh version-0 document for t.
 func NewEditor(t *xmltree.Tree) *Editor {
-	return &Editor{doc: NewDoc(t), changed: make(chan struct{})}
+	return &Editor{doc: NewDoc(t), changed: make(chan struct{}), verdictSignal: make(chan struct{})}
 }
 
 // Version returns the current document version (== published edits).
@@ -114,21 +122,53 @@ func (ed *Editor) DeleteSubtree(path []int) (Edit, error) {
 	})
 }
 
-// Log returns a copy of the published edit log.
+// Log returns a copy of the still-retained edit log (everything after
+// the compaction horizon).
 func (ed *Editor) Log() []Edit {
 	ed.mu.Lock()
 	defer ed.mu.Unlock()
 	return append([]Edit(nil), ed.log...)
 }
 
+// Compacted returns the compaction horizon: every edit with a version
+// at or below it has been dropped from the log.
+func (ed *Editor) Compacted() uint64 {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	return ed.first
+}
+
+// Compact drops every log entry with a version at or below `below`,
+// bounding the log's memory. Subscribers that later ask to resume from
+// a compacted version get ErrCompacted and must re-pull a snapshot;
+// CutSince makes that fallback atomic.
+func (ed *Editor) Compact(below uint64) {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	if below > ed.doc.version {
+		below = ed.doc.version
+	}
+	if below <= ed.first {
+		return
+	}
+	n := below - ed.first // log entries to drop
+	ed.log = append(ed.log[:0:0], ed.log[n:]...)
+	ed.first = below
+}
+
 // NextEdit blocks until the edit with version after+1 is published and
-// returns it (edits are dense, so `after` is both a version and a log
-// position). It is the subscriber surface the transports drain.
+// returns it (versions are dense, so after-first is its log position).
+// If compaction has dropped that edit it returns ErrCompacted — the
+// subscriber's cue to fall back to a snapshot.
 func (ed *Editor) NextEdit(ctx context.Context, after uint64) (Edit, error) {
 	for {
 		ed.mu.Lock()
-		if after < uint64(len(ed.log)) {
-			e := ed.log[after]
+		if after < ed.first {
+			ed.mu.Unlock()
+			return Edit{}, fmt.Errorf("%w (want edits after %d, log starts after %d)", ErrCompacted, after, ed.first)
+		}
+		if idx := after - ed.first; idx < uint64(len(ed.log)) {
+			e := ed.log[idx]
 			ed.mu.Unlock()
 			return e, nil
 		}
@@ -142,6 +182,21 @@ func (ed *Editor) NextEdit(ctx context.Context, after uint64) (Edit, error) {
 	}
 }
 
+// CutSince is the resume decision, taken atomically: if the log still
+// covers every edit after `after`, it returns (nil, after, true) — the
+// subscriber needs no snapshot, just the suffix replay from NextEdit.
+// Otherwise (the log was compacted past it, or `after` is bogus and
+// ahead of the document) it returns a fresh full snapshot cut exactly
+// like EncodeSnapshot, and resumed=false.
+func (ed *Editor) CutSince(after uint64) (snapshot []byte, version uint64, resumed bool) {
+	ed.mu.Lock()
+	defer ed.mu.Unlock()
+	if after >= ed.first && after <= ed.doc.version {
+		return nil, after, true
+	}
+	return AppendSnapshot(nil, ed.doc), ed.doc.version, false
+}
+
 // NoteVerdict records the kernel peer's global verdict after it
 // applied the edit with the given version (a verdict-update frame).
 func (ed *Editor) NoteVerdict(version uint64, valid bool) {
@@ -151,6 +206,29 @@ func (ed *Editor) NoteVerdict(version uint64, valid bool) {
 		return // stale update from a slower subscriber
 	}
 	ed.verdictKnown, ed.verdictVersion, ed.verdictValid = true, version, valid
+	close(ed.verdictSignal)
+	ed.verdictSignal = make(chan struct{})
+}
+
+// AwaitVerdict blocks until a kernel peer has reported a global verdict
+// covering at least the given edit version, and returns it. It is the
+// condition-wait replacement for polling KernelVerdict in a loop.
+func (ed *Editor) AwaitVerdict(ctx context.Context, version uint64) (bool, error) {
+	for {
+		ed.mu.Lock()
+		if ed.verdictKnown && ed.verdictVersion >= version {
+			v := ed.verdictValid
+			ed.mu.Unlock()
+			return v, nil
+		}
+		ch := ed.verdictSignal
+		ed.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
 }
 
 // KernelVerdict returns the most recent global verdict reported by a

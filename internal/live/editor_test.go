@@ -1,0 +1,152 @@
+package live
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dxml/internal/xmltree"
+)
+
+// edit applies a leaf replace at path and fails the test on error.
+func edit(t *testing.T, ed *Editor, path []int, label string) Edit {
+	t.Helper()
+	e, err := ed.ReplaceSubtree(path, xmltree.Leaf(label))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCompactBoundsLogAndTripsNextEdit(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a b c)"))
+	for i := 0; i < 6; i++ {
+		edit(t, ed, []int{0}, "x")
+	}
+	if got := len(ed.Log()); got != 6 {
+		t.Fatalf("log holds %d edits, want 6", got)
+	}
+
+	ed.Compact(4)
+	if ed.Compacted() != 4 {
+		t.Fatalf("Compacted = %d, want 4", ed.Compacted())
+	}
+	if got := len(ed.Log()); got != 2 {
+		t.Fatalf("post-compaction log holds %d edits, want 2", got)
+	}
+	// The surviving suffix is still reachable and correctly versioned.
+	e, err := ed.NextEdit(context.Background(), 4)
+	if err != nil || e.Version != 5 {
+		t.Fatalf("NextEdit(4) = v%d, %v; want v5, nil", e.Version, err)
+	}
+	// A request below the horizon is the typed compaction error.
+	if _, err := ed.NextEdit(context.Background(), 2); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("NextEdit below the horizon: got %v, want ErrCompacted", err)
+	}
+
+	// Compacting below the horizon or at it is a no-op; past the head
+	// clamps to the current version (the log may empty, never corrupt).
+	ed.Compact(1)
+	if ed.Compacted() != 4 {
+		t.Fatalf("backwards compaction moved the horizon to %d", ed.Compacted())
+	}
+	ed.Compact(100)
+	if ed.Compacted() != ed.Version() || len(ed.Log()) != 0 {
+		t.Fatalf("over-compaction: horizon %d version %d log %d", ed.Compacted(), ed.Version(), len(ed.Log()))
+	}
+	// The editor still publishes fine after a full compaction.
+	e = edit(t, ed, []int{1}, "y")
+	got, err := ed.NextEdit(context.Background(), e.Version-1)
+	if err != nil || got.Version != e.Version {
+		t.Fatalf("post-compaction publish unreachable: %v %v", got, err)
+	}
+}
+
+func TestCutSinceResumeDecision(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a b c)"))
+	for i := 0; i < 5; i++ {
+		edit(t, ed, []int{0}, "x")
+	}
+	ed.Compact(2)
+
+	// Inside the retained window (first <= after <= version): a suffix
+	// resume — no snapshot bytes, base echoed back.
+	for _, after := range []uint64{2, 3, 5} {
+		snap, version, resumed := ed.CutSince(after)
+		if !resumed || snap != nil || version != after {
+			t.Fatalf("CutSince(%d) = (%d bytes, v%d, %v), want suffix resume", after, len(snap), version, resumed)
+		}
+	}
+	// Below the horizon or ahead of the document: a fresh full cut,
+	// byte-identical to EncodeSnapshot.
+	wantSnap, wantVersion := ed.EncodeSnapshot()
+	for _, after := range []uint64{0, 1, 6, 99} {
+		snap, version, resumed := ed.CutSince(after)
+		if resumed || version != wantVersion || string(snap) != string(wantSnap) {
+			t.Fatalf("CutSince(%d) = (%d bytes, v%d, %v), want full cut at v%d", after, len(snap), version, resumed, wantVersion)
+		}
+		// The cut round-trips into the same document at the same version.
+		doc, err := DecodeSnapshot(bytes.NewReader(snap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Version() != version || doc.Tree().String() != ed.Tree().String() {
+			t.Fatalf("fallback cut decodes to %s@v%d, want %s@v%d",
+				doc.Tree().String(), doc.Version(), ed.Tree().String(), version)
+		}
+	}
+}
+
+func TestAwaitVerdictWakesOnNote(t *testing.T) {
+	ed := NewEditor(xmltree.MustParse("root(a)"))
+	edit(t, ed, []int{0}, "x")
+
+	// Already-satisfied wait returns immediately.
+	ed.NoteVerdict(1, true)
+	if v, err := ed.AwaitVerdict(context.Background(), 1); err != nil || !v {
+		t.Fatalf("satisfied AwaitVerdict = %v, %v", v, err)
+	}
+
+	// A wait for a future version blocks until NoteVerdict covers it —
+	// intermediate verdicts below the target must not wake it for good.
+	type result struct {
+		valid bool
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, err := ed.AwaitVerdict(context.Background(), 3)
+		done <- result{v, err}
+	}()
+	ed.NoteVerdict(2, true) // below target: the waiter re-blocks
+	select {
+	case r := <-done:
+		t.Fatalf("AwaitVerdict(3) returned %+v on a verdict for version 2", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ed.NoteVerdict(3, false)
+	select {
+	case r := <-done:
+		if r.err != nil || r.valid {
+			t.Fatalf("AwaitVerdict(3) = %+v, want invalid verdict", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitVerdict never woke on the covering verdict")
+	}
+
+	// Stale verdicts (version regressions from slow subscribers) are
+	// dropped, not allowed to roll the high-water mark back.
+	ed.NoteVerdict(1, true)
+	if version, valid, known := ed.KernelVerdict(); !known || version != 3 || valid {
+		t.Fatalf("stale NoteVerdict regressed the verdict to v%d valid=%v", version, valid)
+	}
+
+	// Cancellation unblocks a hopeless wait with the context's error.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := ed.AwaitVerdict(ctx, 99); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("canceled AwaitVerdict: got %v", err)
+	}
+}

@@ -111,13 +111,13 @@ func TestInsertKeyExhaustion(t *testing.T) {
 func TestEditValidation(t *testing.T) {
 	d := NewDoc(xmltree.MustParse("root(a)"))
 	cases := []Edit{
-		{Version: 1, Op: OpDelete},                                             // root delete
-		{Version: 1, Op: OpInsert, Addr: nil, Doc: xmltree.Leaf("x")},          // insert without key
-		{Version: 1, Op: OpReplace, Addr: nil},                                 // replace without payload
-		{Version: 2, Op: OpReplace, Addr: nil, Doc: xmltree.Leaf("x")},         // version gap
-		{Version: 1, Op: OpReplace, Addr: []uint64{999}, Doc: xmltree.Leaf("x")}, // bad address
+		{Version: 1, Op: OpDelete},                                                 // root delete
+		{Version: 1, Op: OpInsert, Addr: nil, Doc: xmltree.Leaf("x")},              // insert without key
+		{Version: 1, Op: OpReplace, Addr: nil},                                     // replace without payload
+		{Version: 2, Op: OpReplace, Addr: nil, Doc: xmltree.Leaf("x")},             // version gap
+		{Version: 1, Op: OpReplace, Addr: []uint64{999}, Doc: xmltree.Leaf("x")},   // bad address
 		{Version: 1, Op: OpInsert, Addr: []uint64{keyGap}, Doc: xmltree.Leaf("x")}, // taken key
-		{Version: 1, Op: Op(9), Addr: nil},                                     // unknown op
+		{Version: 1, Op: Op(9), Addr: nil},                                         // unknown op
 	}
 	for i, e := range cases {
 		if _, err := d.Apply(e); err == nil {
@@ -274,7 +274,7 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	}
 	// Two siblings with descending keys.
 	b := []byte(snapMagic)
-	b = append(b, 0)           // version
+	b = append(b, 0)            // version
 	b = append(b, 1, 'r', 0, 2) // root, key 0, 2 kids
 	b = append(b, 1, 'a', 9, 0) // key 9
 	b = append(b, 1, 'b', 3, 0) // key 3 < 9

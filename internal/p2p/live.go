@@ -5,7 +5,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
+	"sort"
 	"sync"
+	"time"
 
 	"dxml/internal/live"
 	"dxml/internal/stream"
@@ -75,7 +78,8 @@ func frameToEdit(f transport.EditFrame) (live.Edit, error) {
 // editorFeedSrc is the hosted side of one subscription: an atomic cut
 // of the editor's state (the encoded snapshot is taken under the
 // editor's lock) plus the blocking log behind it. It implements
-// transport.LiveFeedSrc.
+// transport.LiveFeedSrc. A resumed feed has a nil snapshot: the
+// subscriber kept its replica and only needs the log suffix.
 type editorFeedSrc struct {
 	ed      *live.Editor
 	snap    []byte
@@ -115,8 +119,60 @@ func (s *peerSource) OpenLive(ctx context.Context) (transport.LiveFeedSrc, error
 	return &editorFeedSrc{ed: ed, snap: snap, version: version}, nil
 }
 
-// LiveUpdate reports one applied edit (or a terminal feed error) to the
-// kernel peer's consumer.
+// OpenLiveSince implements transport.ResumableSource: when the editor's
+// log still reaches back to `after`, the subscriber resumes by suffix —
+// no snapshot travels. When the log was compacted past it, the fallback
+// is a fresh full cut, decided atomically under the editor's lock
+// (live.Editor.CutSince), so no edit can slip between the decision and
+// the cut.
+func (s *peerSource) OpenLiveSince(ctx context.Context, after uint64) (transport.LiveFeedSrc, bool, error) {
+	ed := s.peer.Live
+	if ed == nil {
+		return nil, false, fmt.Errorf("p2p: peer %s has no live editor", s.peer.Func)
+	}
+	snap, version, resumed := ed.CutSince(after)
+	return &editorFeedSrc{ed: ed, snap: snap, version: version}, resumed, nil
+}
+
+// Health classifies a docking point's feed state in a LiveUpdate. The
+// zero value is HealthLive, so ordinary per-edit updates are unchanged
+// by the fault-tolerance layer.
+type Health int
+
+const (
+	// HealthLive: the feed is healthy; this update reports an applied
+	// edit.
+	HealthLive Health = iota
+	// HealthStale: the feed died and reconnection is under way. The
+	// maintained verdict still reflects the last applied edit — it may
+	// be behind the editing site — and no edits flow until recovery.
+	HealthStale
+	// HealthRecovered: the feed resubscribed (Resumed tells whether by
+	// log suffix or snapshot fallback); edits flow again and the
+	// verdict is current as of Version.
+	HealthRecovered
+	// HealthDown: recovery failed terminally (attempts exhausted, or
+	// reconnection disabled); Err carries the cause and no further
+	// updates arrive from this docking point.
+	HealthDown
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthLive:
+		return "live"
+	case HealthStale:
+		return "stale"
+	case HealthRecovered:
+		return "recovered"
+	case HealthDown:
+		return "down"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// LiveUpdate reports one applied edit, a feed health transition, or a
+// terminal feed error to the kernel peer's consumer.
 type LiveUpdate struct {
 	// Fn is the docking point the edit came from; Version its log
 	// version there; Op the operation applied.
@@ -132,8 +188,17 @@ type LiveUpdate struct {
 	Revalidated int
 	Skipped     int
 	WireBytes   int
+	// Health is the feed transition this update reports: HealthLive for
+	// ordinary per-edit updates, HealthStale when the feed drops,
+	// HealthRecovered after a successful resubscription, HealthDown
+	// when recovery is abandoned.
+	Health Health
+	// Resumed is set on a HealthRecovered update when the feed caught
+	// up by log suffix (no snapshot re-shipped); false means the
+	// snapshot fallback rebuilt the replica.
+	Resumed bool
 	// Err, when non-nil, is a terminal error on this docking point's
-	// feed; no further updates arrive from it.
+	// feed (Health is HealthDown); no further updates arrive from it.
 	Err error
 }
 
@@ -158,7 +223,12 @@ type LiveFederation struct {
 	inc      *stream.Incremental
 	replicas map[string]*live.Doc
 	feeds    map[string]transport.EditFeed
+	extra    map[string]transport.Session // per-fn redialed sessions (reconnects), closed on Close
+	stale    map[string]bool              // docking points currently in outage
 	valid    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // reconnect backoff jitter
 
 	updates chan LiveUpdate
 }
@@ -181,11 +251,18 @@ func (n *Network) OpenLive(ctx context.Context) (*LiveFederation, error) {
 		return nil, fmt.Errorf("p2p: transport %T does not support live sessions", sess)
 	}
 	lctx, cancel := context.WithCancel(ctx)
+	seed := n.Reconnect.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	lv := &LiveFederation{
 		n: n, sess: sess, own: n.Transport == nil,
 		ctx: lctx, cancel: cancel,
 		replicas: map[string]*live.Doc{},
 		feeds:    map[string]transport.EditFeed{},
+		extra:    map[string]transport.Session{},
+		stale:    map[string]bool{},
+		rng:      rand.New(rand.NewSource(seed)),
 		updates:  make(chan LiveUpdate, 16),
 	}
 	fail := func(err error) (*LiveFederation, error) {
@@ -255,6 +332,28 @@ func (lv *LiveFederation) Valid() bool {
 	return lv.valid
 }
 
+// Stale lists the docking points currently in outage: their feeds died
+// and reconnection is still under way, so the maintained verdict may
+// lag their editing sites. Empty means the verdict is fully live.
+func (lv *LiveFederation) Stale() []string {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	var out []string
+	for fn, s := range lv.stale {
+		if s {
+			out = append(out, fn)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (lv *LiveFederation) setStale(fn string, stale bool) {
+	lv.mu.Lock()
+	lv.stale[fn] = stale
+	lv.mu.Unlock()
+}
+
 // Fragment materializes the kernel peer's current replica of fn.
 func (lv *LiveFederation) Fragment(fn string) (*xmltree.Tree, error) {
 	lv.mu.Lock()
@@ -276,24 +375,49 @@ func (lv *LiveFederation) Extension() *xmltree.Tree {
 // Updates is the per-edit stream. It is closed by Close.
 func (lv *LiveFederation) Updates() <-chan LiveUpdate { return lv.updates }
 
-// drain applies one docking point's edits for the session's lifetime.
+// drain applies one docking point's edits for the session's lifetime,
+// recovering from feed failures when a Reconnect policy is set: the
+// verdict is marked stale, the subscription is reopened from the
+// replica's version with backoff, and the log suffix (or, after
+// compaction, a fresh snapshot) brings the replica back in sync.
 func (lv *LiveFederation) drain(fn string) {
 	defer lv.wg.Done()
+	lv.mu.Lock()
 	feed := lv.feeds[fn]
 	replica := lv.replicas[fn]
+	lv.mu.Unlock()
 	for {
 		ef, err := feed.NextEdit(lv.ctx)
 		if err != nil {
-			if lv.ctx.Err() == nil {
-				lv.emit(LiveUpdate{Fn: fn, Err: err})
+			if lv.ctx.Err() != nil {
+				return // session closing: not an outage
 			}
-			return
+			nf, doc, rerr := lv.recover(fn, replica, err)
+			if rerr != nil {
+				if lv.ctx.Err() == nil {
+					lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Health: HealthDown, Err: rerr})
+				}
+				return
+			}
+			feed.Close() // best effort; the transport under it is gone
+			feed, replica = nf, doc
+			lv.mu.Lock()
+			lv.feeds[fn] = nf
+			lv.mu.Unlock()
+			continue
+		}
+		if ef.Version <= replica.Version() {
+			// Duplicate delivery: resumption (and fault injection) makes
+			// the edit stream at-least-once, and versions make redelivery
+			// harmless — skip without re-applying or re-counting, so a
+			// faulted run's accounting converges to the fault-free run's.
+			continue
 		}
 		up, err := lv.apply(fn, replica, ef)
 		if err != nil {
 			// A malformed or inapplicable edit means the replica can no
 			// longer track this peer: surface it and stop the feed.
-			lv.emit(LiveUpdate{Fn: fn, Version: ef.Version, Err: err})
+			lv.emit(LiveUpdate{Fn: fn, Version: ef.Version, Health: HealthDown, Err: err})
 			return
 		}
 		if serr := feed.SendVerdict(up.Version, up.Valid); serr == nil {
@@ -301,6 +425,163 @@ func (lv *LiveFederation) drain(fn string) {
 		}
 		lv.emit(up)
 	}
+}
+
+// recover reopens fn's subscription after a feed failure. It returns
+// the new feed and the (possibly rebuilt) replica, or the terminal
+// error once the policy's attempts are exhausted. Recovery traffic is
+// not added to the protocol byte counters — see Stats.Reconnects.
+func (lv *LiveFederation) recover(fn string, replica *live.Doc, cause error) (transport.EditFeed, *live.Doc, error) {
+	pol := lv.n.Reconnect
+	if pol.MaxAttempts <= 0 {
+		return nil, nil, cause // reconnection disabled: the failure is terminal
+	}
+	lv.setStale(fn, true)
+	lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Valid: lv.Valid(), Health: HealthStale})
+	lastErr := cause
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		lv.rngMu.Lock()
+		d := pol.delay(attempt, lv.rng)
+		lv.rngMu.Unlock()
+		if !lv.sleep(d) {
+			return nil, nil, lv.ctx.Err()
+		}
+		feed, err := lv.resubscribe(fn, replica.Version())
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Drain the snapshot phase: empty for a suffix resume, the
+		// fallback cut otherwise.
+		if feed.Resumed() {
+			if err := drainChunks(feed, nil); err != nil {
+				feed.Close()
+				lastErr = err
+				continue
+			}
+			lv.n.Stats.addReconnect()
+			lv.setStale(fn, false)
+			lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Valid: lv.Valid(), Health: HealthRecovered, Resumed: true})
+			return feed, replica, nil
+		}
+		doc, err := lv.rebuild(fn, feed)
+		if err != nil {
+			feed.Close()
+			lastErr = err
+			continue
+		}
+		lv.n.Stats.addReconnect()
+		lv.setStale(fn, false)
+		lv.emit(LiveUpdate{Fn: fn, Version: doc.Version(), Valid: lv.Valid(), Health: HealthRecovered})
+		return feed, doc, nil
+	}
+	return nil, nil, fmt.Errorf("p2p: %s: reconnect failed after %d attempts: %w", fn, pol.MaxAttempts, lastErr)
+}
+
+// sleep waits d or until the session closes; false means closed.
+func (lv *LiveFederation) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-lv.ctx.Done():
+		return false
+	}
+}
+
+// resubscribe reopens fn's feed from `after`: first on the session
+// already serving fn (free when the fault was per-feed and the session
+// survived), then — if the network can redial — on a fresh session,
+// which replaces fn's session for the rest of the run.
+func (lv *LiveFederation) resubscribe(fn string, after uint64) (transport.EditFeed, error) {
+	var lastErr error
+	if rs, ok := lv.sessionFor(fn).(transport.ResumableSession); ok {
+		feed, err := rs.Resubscribe(lv.ctx, fn, after)
+		if err == nil {
+			return feed, nil
+		}
+		lastErr = err
+	} else {
+		lastErr = fmt.Errorf("p2p: session for %s does not support resumed subscriptions", fn)
+	}
+	if lv.n.Redial == nil {
+		return nil, lastErr
+	}
+	ns, err := lv.n.Redial()
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := ns.(transport.ResumableSession)
+	if !ok {
+		ns.Close()
+		return nil, fmt.Errorf("p2p: redialed session does not support resumed subscriptions")
+	}
+	feed, err := rs.Resubscribe(lv.ctx, fn, after)
+	if err != nil {
+		ns.Close()
+		return nil, err
+	}
+	lv.mu.Lock()
+	if old := lv.extra[fn]; old != nil {
+		old.Close()
+	}
+	lv.extra[fn] = ns
+	lv.mu.Unlock()
+	return feed, nil
+}
+
+func (lv *LiveFederation) sessionFor(fn string) transport.Session {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	if s := lv.extra[fn]; s != nil {
+		return s
+	}
+	return lv.sess
+}
+
+// drainChunks consumes a feed's snapshot phase to EOF, appending to buf
+// when non-nil.
+func drainChunks(feed transport.EditFeed, buf *bytes.Buffer) error {
+	for {
+		chunk, err := feed.NextChunk()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if buf != nil {
+			buf.Write(chunk)
+		}
+	}
+}
+
+// rebuild replaces fn's replica from a fresh snapshot cut — the
+// fallback when the editing site compacted its log past the replica's
+// version. The incremental result tree absorbs it as a fragment-root
+// replace, so the maintained verdict is exact immediately.
+func (lv *LiveFederation) rebuild(fn string, feed transport.EditFeed) (*live.Doc, error) {
+	var buf bytes.Buffer
+	if err := drainChunks(feed, &buf); err != nil {
+		return nil, err
+	}
+	doc, err := live.DecodeSnapshot(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: snapshot %s: %w", fn, err)
+	}
+	if doc.Version() != feed.Base() {
+		return nil, fmt.Errorf("p2p: snapshot %s: version %d does not match announced cut %d",
+			fn, doc.Version(), feed.Base())
+	}
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	if err := lv.inc.Replace(fn, nil, doc.Tree()); err != nil {
+		return nil, err
+	}
+	lv.replicas[fn] = doc
+	lv.valid = lv.inc.Valid()
+	return doc, nil
 }
 
 // apply replays one edit onto the replica and the result tree.
@@ -357,6 +638,9 @@ func (lv *LiveFederation) Close() error {
 		lv.wg.Wait() // drains exit via the canceled context
 		for _, f := range lv.feeds {
 			f.Close()
+		}
+		for _, s := range lv.extra {
+			s.Close() // sessions opened by reconnects
 		}
 		lv.updatesOnce.Do(func() { close(lv.updates) })
 		if lv.own {

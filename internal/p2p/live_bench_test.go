@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"dxml/internal/xmltree"
 )
@@ -47,5 +48,97 @@ func BenchmarkLiveEditRoundTrip(b *testing.B) {
 			b.ReportMetric(float64(wire), "wireB/op")
 			b.ReportMetric(float64(fragBytes), "fragB")
 		})
+	}
+}
+
+// BenchmarkReconnectCatchUp prices one live-session outage over real TCP
+// loopback, end to end: the socket serving f1 dies, the kernel peer
+// backs off, redials, and catches up — by log-suffix replay (mode
+// suffix) or, when the editor compacted past the replica during the
+// outage, by a full snapshot rebuild (mode snapshot). Time per op is
+// the recovery latency under a 1ms-base backoff policy; snapB reports
+// the snapshot size the suffix path avoids shipping, which is the gap
+// between the two modes' costs as fragments grow.
+func BenchmarkReconnectCatchUp(b *testing.B) {
+	payload := xmltree.MustParse("nationalIndex(country Good index(value year))")
+	for _, mode := range []string{"suffix", "snapshot"} {
+		for _, entries := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("%s/entries=%d", mode, entries), func(b *testing.B) {
+				served, typing := eurostatSetup(b)
+				served.ChunkSize = 4096
+				attachValidDocs(b, served, typing, []int{entries, 2, 1})
+				for _, fn := range served.Kernel.Funcs() {
+					if _, err := served.AttachEditor(fn); err != nil {
+						b.Fatal(err)
+					}
+				}
+				joined, shutdown := serveFederation(b, served)
+				defer shutdown()
+				joined.Reconnect = ReconnectPolicy{
+					MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Seed: 1,
+				}
+				lv, err := joined.OpenLive(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer lv.Close()
+				ed := served.Peers["f1"].Live
+				snap, _ := ed.EncodeSnapshot()
+
+				// awaitRecoveries blocks until want feeds report recovered;
+				// in suffix mode it then also waits for the outage edit to
+				// flow, so an iteration ends fully caught up.
+				awaitRecoveries := func(want int, thenVersion uint64) {
+					deadline := time.After(30 * time.Second)
+					for recovered := 0; ; {
+						select {
+						case up := <-lv.Updates():
+							if up.Err != nil {
+								b.Fatalf("outage became terminal: %+v", up)
+							}
+							if up.Health == HealthRecovered {
+								recovered++
+							}
+							if recovered >= want && (thenVersion == 0 ||
+								(up.Health == HealthLive && up.Version >= thenVersion)) {
+								return
+							}
+						case <-deadline:
+							b.Fatal("recovery never completed")
+						}
+					}
+				}
+
+				// Warmup outage: the first kill takes down the shared dialed
+				// session, so every feed recovers onto its own redialed
+				// session — after this, killing f1's session is a single-feed
+				// outage, which is what the timed iterations measure.
+				lv.sessionFor("f1").Close()
+				awaitRecoveries(len(served.Kernel.Funcs()), 0)
+
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lv.sessionFor("f1").Close()
+					if mode == "snapshot" {
+						// An edit the dead replica never saw, then compaction
+						// past it: resume must fall back to a full cut.
+						if _, err := ed.ReplaceSubtree([]int{entries / 2}, payload); err != nil {
+							b.Fatal(err)
+						}
+						ed.Compact(ed.Version())
+						awaitRecoveries(1, 0)
+					} else {
+						// The same outage edit stays in the log: resume
+						// replays just the suffix.
+						e, err := ed.ReplaceSubtree([]int{entries / 2}, payload)
+						if err != nil {
+							b.Fatal(err)
+						}
+						awaitRecoveries(1, e.Version)
+					}
+				}
+				b.ReportMetric(float64(len(snap)), "snapB")
+			})
+		}
 	}
 }

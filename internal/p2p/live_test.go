@@ -64,6 +64,43 @@ func editScript(t *testing.T, seed int64, steps int, served *Network, lv *LiveFe
 		if err != nil {
 			t.Fatalf("step %d (%s): edit: %v", step, fn, err)
 		}
+		up := awaitEditUpdate(t, lv, step)
+		if up.Fn != fn {
+			t.Fatalf("step %d: update from %s, edited %s", step, up.Fn, fn)
+		}
+		// The acceptance pin: maintained verdict == from-scratch
+		// validation of the materialized extension.
+		ext := map[string]*xmltree.Tree{}
+		for _, f := range funcs {
+			ext[f] = served.Peers[f].Live.Tree()
+		}
+		extDoc, eerr := served.Kernel.Extend(ext)
+		if eerr != nil {
+			t.Fatal(eerr)
+		}
+		want := served.GlobalMachine().ValidateTree(extDoc) == nil
+		if up.Valid != want {
+			t.Fatalf("step %d (%s %s): incremental verdict %v, from-scratch %v",
+				step, fn, up.Op, up.Valid, want)
+		}
+		if lv.Valid() != want {
+			t.Fatalf("step %d: LiveFederation.Valid() stale", step)
+		}
+		if up.Revalidated+up.Skipped == 0 {
+			t.Fatalf("step %d: empty recheck accounting", step)
+		}
+		verdicts = append(verdicts, up.Valid)
+	}
+	return verdicts
+}
+
+// awaitEditUpdate waits for the next HealthLive update — an applied
+// edit — skipping the health transitions (stale/recovered) a faulted
+// run interleaves with them. Any terminal feed error is fatal.
+func awaitEditUpdate(t *testing.T, lv *LiveFederation, step int) LiveUpdate {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
 		select {
 		case up, ok := <-lv.Updates():
 			if !ok {
@@ -72,36 +109,14 @@ func editScript(t *testing.T, seed int64, steps int, served *Network, lv *LiveFe
 			if up.Err != nil {
 				t.Fatalf("step %d: feed error: %v", step, up.Err)
 			}
-			if up.Fn != fn {
-				t.Fatalf("step %d: update from %s, edited %s", step, up.Fn, fn)
+			if up.Health != HealthLive {
+				continue
 			}
-			// The acceptance pin: maintained verdict == from-scratch
-			// validation of the materialized extension.
-			ext := map[string]*xmltree.Tree{}
-			for _, f := range funcs {
-				ext[f] = served.Peers[f].Live.Tree()
-			}
-			extDoc, eerr := served.Kernel.Extend(ext)
-			if eerr != nil {
-				t.Fatal(eerr)
-			}
-			want := served.GlobalMachine().ValidateTree(extDoc) == nil
-			if up.Valid != want {
-				t.Fatalf("step %d (%s %s): incremental verdict %v, from-scratch %v",
-					step, fn, up.Op, up.Valid, want)
-			}
-			if lv.Valid() != want {
-				t.Fatalf("step %d: LiveFederation.Valid() stale", step)
-			}
-			if up.Revalidated+up.Skipped == 0 {
-				t.Fatalf("step %d: empty recheck accounting", step)
-			}
-			verdicts = append(verdicts, up.Valid)
-		case <-time.After(5 * time.Second):
-			t.Fatalf("step %d: no update for edit on %s", step, fn)
+			return up
+		case <-deadline:
+			t.Fatalf("step %d: no update for edit", step)
 		}
 	}
-	return verdicts
 }
 
 func treePaths(t *xmltree.Tree) [][]int {
@@ -194,19 +209,14 @@ func TestLiveVerdictUpdateReachesEditor(t *testing.T) {
 	if !up.Changed {
 		t.Fatal("verdict transition not flagged")
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		version, valid, known := ed.KernelVerdict()
-		if known && version == up.Version {
-			if valid {
-				t.Fatal("editor told the federation is valid after an invalidating edit")
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("verdict update never reached the editor")
-		}
-		time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	valid, err := ed.AwaitVerdict(ctx, up.Version)
+	if err != nil {
+		t.Fatalf("verdict update never reached the editor: %v", err)
+	}
+	if valid {
+		t.Fatal("editor told the federation is valid after an invalidating edit")
 	}
 }
 

@@ -53,10 +53,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"dxml/internal/axml"
 	"dxml/internal/live"
@@ -97,6 +99,13 @@ type Stats struct {
 	// the checkpointed summaries let the kernel peer skip.
 	Revalidated int
 	Skipped     int
+	// Reconnects counts live-feed recoveries: a dropped subscription
+	// that resubscribed (by log suffix or snapshot fallback). Recovery
+	// envelopes are deliberately NOT added to Messages/Bytes — protocol
+	// accounting stays comparable between a faulted run that resumed by
+	// suffix and the fault-free run, which is exactly the differential
+	// the chaos corpus pins.
+	Reconnects int
 }
 
 // addMessage records a message envelope (and its first accounting frame).
@@ -131,6 +140,13 @@ func (s *Stats) addRecheck(revalidated, skipped int) {
 	s.Skipped += skipped
 }
 
+// addReconnect records one recovered live subscription.
+func (s *Stats) addReconnect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reconnects++
+}
+
 // Snapshot returns the message and byte counters.
 func (s *Stats) Snapshot() (messages, bytes int) {
 	s.mu.Lock()
@@ -146,6 +162,7 @@ type Totals struct {
 	BytesSaved  int
 	Revalidated int
 	Skipped     int
+	Reconnects  int
 }
 
 // Totals returns a consistent copy of all counters.
@@ -153,7 +170,7 @@ func (s *Stats) Totals() Totals {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Totals{Messages: s.Messages, Frames: s.Frames, Bytes: s.Bytes, BytesSaved: s.BytesSaved,
-		Revalidated: s.Revalidated, Skipped: s.Skipped}
+		Revalidated: s.Revalidated, Skipped: s.Skipped, Reconnects: s.Reconnects}
 }
 
 // message is a verdict on the wire, costed at a fixed serialized size.
@@ -305,8 +322,58 @@ type Network struct {
 	// opened stream at one un-acked chunk).
 	MaxInflight int
 
+	// Reconnect is the live session's recovery policy: when a docking
+	// point's edit feed dies, the kernel peer resubscribes from its
+	// replica's version with exponential backoff instead of giving up.
+	// The zero value disables reconnection (a feed error is terminal,
+	// the pre-fault-tolerance behavior).
+	Reconnect ReconnectPolicy
+
+	// Redial, when set, dials a fresh session to the federation's hosts
+	// — the live session's recovery path when resubscribing on the
+	// existing (dead) session fails. DialTCP sets it automatically to
+	// redial the same address map.
+	Redial func() (transport.Session, error)
+
 	compileOnce sync.Once
 	machine     *stream.Machine
+}
+
+// ReconnectPolicy governs live-feed recovery: exponential backoff with
+// jitter between resubscription attempts.
+type ReconnectPolicy struct {
+	// MaxAttempts is the number of resubscription attempts per outage
+	// before the docking point is declared down. 0 disables
+	// reconnection entirely.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 10ms); each failed
+	// attempt doubles it up to MaxDelay (default 1s). The actual sleep
+	// is jittered uniformly over [delay/2, delay] so a federation of
+	// subscribers does not reconnect in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed seeds the jitter; 0 means 1 (fully deterministic either
+	// way, which is what lets the chaos corpus replay runs exactly).
+	Seed int64
+}
+
+// delay computes the jittered backoff before attempt (0-based).
+func (pol ReconnectPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	base, ceil := pol.BaseDelay, pol.MaxDelay
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
 // chunkBudget resolves the configured chunk size: positive is the frame
@@ -422,8 +489,15 @@ func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
 // points: addrs maps each function to its host's address, and functions
 // sharing an address share one session. The returned session carries
 // this network's design digest and chunk budget; assign it to
-// n.Transport and close it when done.
+// n.Transport and close it when done. As a side effect it wires
+// n.Redial to redial the same address map, so a live session under a
+// Reconnect policy can recover from a dropped host connection.
 func (n *Network) DialTCP(addrs map[string]string) (transport.Session, error) {
+	n.Redial = func() (transport.Session, error) { return n.dialTCP(addrs) }
+	return n.dialTCP(addrs)
+}
+
+func (n *Network) dialTCP(addrs map[string]string) (transport.Session, error) {
 	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget()}
 	byAddr := map[string]*transport.Conn{}
 	multi := transport.Multi{}
@@ -538,19 +612,27 @@ func (n *Network) ValidateDistributedContext(ctx context.Context) (bool, error) 
 // recorded in Stats.BytesSaved. Traffic on a valid federation: n full
 // documents.
 func (n *Network) ValidateCentralized() (bool, error) {
+	return n.ValidateCentralizedContext(context.Background())
+}
+
+// ValidateCentralizedContext is ValidateCentralized under an external
+// context: canceling it aborts the round *including* in-flight fragment
+// transfers — the walk stops pulling frames, rejects halt the senders,
+// and nothing past the cancellation point is serialized.
+func (n *Network) ValidateCentralizedContext(ctx context.Context) (bool, error) {
 	sess, err := n.session()
 	if err != nil {
 		return false, err
 	}
-	return n.centralizedOverSession(sess)
+	return n.centralizedOverSession(ctx, sess)
 }
 
 // centralizedOverSession validates extT against the global type with
 // every docking point's document pulled as a chunked stream over sess,
 // in one pass at the kernel peer. It returns the verdict; a transport
 // failure (as opposed to an invalid document) is the returned error.
-func (n *Network) centralizedOverSession(sess transport.Session) (bool, error) {
-	ctx, cancel := context.WithCancel(context.Background())
+func (n *Network) centralizedOverSession(parent context.Context, sess transport.Session) (bool, error) {
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel() // releases every in-process sender and pending open
 	funcs := n.Kernel.Funcs()
 	idx := make(map[string]int, len(funcs))
@@ -595,6 +677,14 @@ func (n *Network) centralizedOverSession(sess transport.Session) (bool, error) {
 		n.Stats.addMessage(len(fn) + 1) // message envelope
 		f := stream.NewInnerFeeder(h)
 		for {
+			if cerr := ctx.Err(); cerr != nil {
+				// The round was canceled mid-transfer (SIGINT on a CLI
+				// join, a dead deadline upstream): reject the stream so
+				// the sender halts now, not at its next write.
+				frag.Abort()
+				transErr = cerr
+				return cerr
+			}
 			chunk, nerr := frag.Next()
 			if nerr == io.EOF {
 				full[i] = true
@@ -695,7 +785,7 @@ func (n *Network) UpdatePeerCentralized(fn string, newDoc *xmltree.Tree) (admitt
 	if err != nil {
 		return false, err
 	}
-	ok, err = n.centralizedOverSession(sess)
+	ok, err = n.centralizedOverSession(context.Background(), sess)
 	if err != nil || !ok {
 		return false, err
 	}

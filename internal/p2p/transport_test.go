@@ -130,10 +130,13 @@ func TestTCPDifferential(t *testing.T) {
 
 func diffTotals(after, before Totals) Totals {
 	return Totals{
-		Messages:   after.Messages - before.Messages,
-		Frames:     after.Frames - before.Frames,
-		Bytes:      after.Bytes - before.Bytes,
-		BytesSaved: after.BytesSaved - before.BytesSaved,
+		Messages:    after.Messages - before.Messages,
+		Frames:      after.Frames - before.Frames,
+		Bytes:       after.Bytes - before.Bytes,
+		BytesSaved:  after.BytesSaved - before.BytesSaved,
+		Revalidated: after.Revalidated - before.Revalidated,
+		Skipped:     after.Skipped - before.Skipped,
+		Reconnects:  after.Reconnects - before.Reconnects,
 	}
 }
 

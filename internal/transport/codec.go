@@ -18,8 +18,10 @@ import (
 // prefix cannot balloon memory.
 const (
 	// protocolVersion is bumped on any incompatible frame change; the
-	// hello exchange refuses mismatched versions.
-	protocolVersion = 1
+	// hello exchange refuses mismatched versions. v2 added the liveness
+	// frames (ping/pong), the resume handshake (resume + the subscribed
+	// frame's resumed flag), and is not wire-compatible with v1.
+	protocolVersion = 2
 
 	// maxFramePayload caps one frame's payload (type byte excluded).
 	// Chunked transfers stay far below it; it exists so unchunked
@@ -94,6 +96,20 @@ const (
 	// verdict — how the editing site learns whether the federation
 	// still accepts its fragment.
 	frameVerdictUpdate
+	// framePing (either direction) is the liveness probe: a token id.
+	// The receiver answers framePong with the same token. The kernel
+	// peer pings on its heartbeat interval whenever the session is
+	// otherwise idle, so both ends always see traffic within one
+	// heartbeat and a dead peer is detected within the liveness window.
+	framePing
+	// framePong (either direction) answers a ping: the echoed token.
+	framePong
+	// frameResume (client→server) reopens a live subscription after a
+	// disconnect: stream id, the last edit version the kernel peer
+	// applied, fn. The host answers frameSubscribed — with the resumed
+	// flag set and no snapshot when its log still covers the suffix, or
+	// with a fresh full snapshot when the log was compacted past it.
+	frameResume
 	frameTypeEnd // sentinel: first invalid type
 )
 
@@ -104,9 +120,9 @@ type frame struct {
 	typ  frameType
 	id   uint32   // stream / request id; chunk budget rides here for hello
 	size uint64   // announced fragment size (begin), snapshot size (subscribed)
-	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate)
-	flag byte     // verdict (verdict/verdictUpdate), version (hello/welcome), op (edit)
-	str  string   // fn (open/verdictReq/subscribe), reason (reject/streamErr/error)
+	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate/resume)
+	flag byte     // verdict (verdict/verdictUpdate), version (hello/welcome), op (edit), resumed (subscribed)
+	str  string   // fn (open/verdictReq/subscribe/resume), reason (reject/streamErr/error)
 	addr []uint64 // prefix address (edit); decoded fresh per frame
 	data []byte   // chunk payload (chunk), digest (hello/welcome), edit payload (edit)
 }
@@ -127,20 +143,20 @@ func (t frameType) fixedLen() (int, error) {
 		return 1, nil // version
 	case frameError:
 		return 0, nil
-	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel, frameSubscribe:
+	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel, frameSubscribe, framePing, framePong:
 		return 4, nil // id
 	case frameVerdict:
 		return 5, nil // id + verdict
 	case frameBegin:
 		return 12, nil // id + size
-	case frameEditAck:
+	case frameEditAck, frameResume:
 		return 12, nil // id + version
 	case frameVerdictUpdate:
 		return 13, nil // id + version + verdict
 	case frameEdit:
 		return 15, nil // id + version + op + address length
 	case frameSubscribed:
-		return 20, nil // id + version + snapshot size
+		return 21, nil // id + version + snapshot size + resumed flag
 	}
 	return 0, fmt.Errorf("transport: unknown frame type %d", t)
 }
@@ -190,7 +206,8 @@ func (fw *frameWriter) write(f frame) error {
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.ver)
 		b = binary.BigEndian.AppendUint64(b, f.size)
-	case frameEditAck:
+		b = append(b, f.flag)
+	case frameEditAck, frameResume:
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.ver)
 	case frameVerdictUpdate:
@@ -289,10 +306,13 @@ func (fr *frameReader) read() (frame, error) {
 	case frameChunk:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.data = tail
-	case frameVerdictReq, frameOpen, frameSubscribe:
+	case frameVerdictReq, frameOpen, frameSubscribe, frameResume:
 		f.id = binary.BigEndian.Uint32(p[0:4])
+		if f.typ == frameResume {
+			f.ver = binary.BigEndian.Uint64(p[4:12])
+		}
 		f.str = string(tail)
-	case frameAck, frameEnd, frameVerdictCancel:
+	case frameAck, frameEnd, frameVerdictCancel, framePing, framePong:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		if len(tail) != 0 {
 			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
@@ -301,6 +321,7 @@ func (fr *frameReader) read() (frame, error) {
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.ver = binary.BigEndian.Uint64(p[4:12])
 		f.size = binary.BigEndian.Uint64(p[12:20])
+		f.flag = p[20]
 		if len(tail) != 0 {
 			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}

@@ -34,6 +34,10 @@ func sampleFrames() []frame {
 		{typ: frameEdit, id: 11, ver: 44, flag: 3},
 		{typ: frameEditAck, id: 11, ver: 43},
 		{typ: frameVerdictUpdate, id: 11, ver: 43, flag: 1},
+		{typ: framePing, id: 77},
+		{typ: framePong, id: 77},
+		{typ: frameResume, id: 12, ver: 40, str: "f1"},
+		{typ: frameSubscribed, id: 12, ver: 42, flag: 1},
 	}
 }
 
@@ -110,6 +114,10 @@ func TestFrameRejectsGarbage(t *testing.T) {
 		"short begin":  append(binary.BigEndian.AppendUint32(nil, 3), byte(frameBegin), 1, 2),
 		"ack tail":     append(binary.BigEndian.AppendUint32(nil, 7), byte(frameAck), 0, 0, 0, 1, 'x', 'y'),
 		"oversized":    binary.BigEndian.AppendUint32(nil, math.MaxUint32),
+		"short ping":   append(binary.BigEndian.AppendUint32(nil, 3), byte(framePing), 0, 1),
+		"ping tail":    append(binary.BigEndian.AppendUint32(nil, 6), byte(framePing), 0, 0, 0, 1, 'x'),
+		"pong tail":    append(binary.BigEndian.AppendUint32(nil, 6), byte(framePong), 0, 0, 0, 2, 'x'),
+		"short resume": append(binary.BigEndian.AppendUint32(nil, 8), byte(frameResume), 0, 0, 0, 1, 0, 0, 0),
 	}
 	for name, wire := range cases {
 		fr := newFrameReader(bytes.NewReader(wire))
@@ -133,6 +141,36 @@ func TestFrameReaderBoundsAllocation(t *testing.T) {
 	// to the claimed length.
 	if allocs > 10 {
 		t.Errorf("oversized frame cost %v allocations", allocs)
+	}
+}
+
+// TestLivenessFramesHostile: the liveness and resume frames are the
+// newest attack surface — hostile, truncated, or trailing-garbage ping,
+// pong, and resume frames must yield a decode error with nothing
+// allocated proportional to the claimed length (a reader, a bufio
+// buffer and the error itself are the whole budget).
+func TestLivenessFramesHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"ping huge length":   append(binary.BigEndian.AppendUint32(nil, 1<<30), byte(framePing)),
+		"pong huge length":   append(binary.BigEndian.AppendUint32(nil, 1<<30), byte(framePong)),
+		"resume huge length": append(binary.BigEndian.AppendUint32(nil, 1<<30), byte(frameResume)),
+		"ping truncated":     append(binary.BigEndian.AppendUint32(nil, 5), byte(framePing), 0, 0),
+		"pong truncated":     append(binary.BigEndian.AppendUint32(nil, 5), byte(framePong), 0),
+		"resume truncated":   append(binary.BigEndian.AppendUint32(nil, 13), byte(frameResume), 0, 0, 0, 1),
+		"ping trailing":      append(binary.BigEndian.AppendUint32(nil, 7), byte(framePing), 0, 0, 0, 1, 'x', 'y'),
+		"pong trailing":      append(binary.BigEndian.AppendUint32(nil, 7), byte(framePong), 0, 0, 0, 1, 'x', 'y'),
+		"resume short fixed": append(binary.BigEndian.AppendUint32(nil, 9), byte(frameResume), 0, 0, 0, 1, 0, 0, 0, 1),
+	}
+	for name, wire := range cases {
+		allocs := testing.AllocsPerRun(5, func() {
+			fr := newFrameReader(bytes.NewReader(wire))
+			if _, err := fr.read(); err == nil {
+				t.Fatalf("%s: hostile frame accepted", name)
+			}
+		})
+		if allocs > 10 {
+			t.Errorf("%s: hostile frame cost %v allocations", name, allocs)
+		}
 	}
 }
 

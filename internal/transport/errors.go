@@ -1,0 +1,40 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrTimeout is the sentinel every liveness failure unwraps to: a peer
+// missed its deadline — no frame (not even a heartbeat) arrived within
+// the session's liveness window, or a frame write could not drain. Use
+// errors.Is(err, ErrTimeout) to distinguish a dead peer from a protocol
+// error or a clean close.
+var ErrTimeout = errors.New("transport: peer deadline exceeded")
+
+// TimeoutError is the concrete liveness failure: which operation timed
+// out and after how long. It unwraps to ErrTimeout and implements the
+// net.Error Timeout contract, so both errors.Is and the conventional
+// interface probe detect it.
+type TimeoutError struct {
+	Op    string        // "read", "write", "hello"
+	After time.Duration // the deadline that expired
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("transport: %s timed out after %v (peer presumed dead)", e.Op, e.After)
+}
+
+// Timeout reports true: a TimeoutError is always a deadline failure.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// Unwrap lets errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
+
+// isTimeout reports whether err is a deadline failure from the net
+// layer (net.Error with Timeout) or one of our own TimeoutErrors.
+func isTimeout(err error) bool {
+	var t interface{ Timeout() bool }
+	return errors.As(err, &t) && t.Timeout()
+}

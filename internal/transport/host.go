@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // HostConfig parameterizes a peer host.
@@ -15,6 +16,12 @@ type HostConfig struct {
 	Digest []byte
 	// Sources maps each hosted docking point to its peer.
 	Sources map[string]Source
+	// Timeout is the liveness window per session: every frame read and
+	// write carries a deadline this far out, and a session missing it is
+	// torn down — clients heartbeat (ping) through idle stretches, so
+	// only a dead or stalled peer ever trips it. Zero means
+	// DefaultTimeout; negative disables deadlines.
+	Timeout time.Duration
 }
 
 // Host serves a set of resource peers over TCP: it accepts sessions
@@ -97,10 +104,11 @@ type hostStream struct {
 
 // session is one kernel peer's connection.
 type session struct {
-	host *Host
-	c    net.Conn
-	wmu  sync.Mutex
-	fw   frameWriter
+	host    *Host
+	c       net.Conn
+	wmu     sync.Mutex
+	fw      frameWriter
+	timeout time.Duration // liveness window (0: no deadlines)
 
 	mu       sync.Mutex
 	streams  map[uint32]*hostStream
@@ -109,18 +117,39 @@ type session struct {
 	wg       sync.WaitGroup
 }
 
+// send writes one frame under the write lock, with the liveness
+// deadline armed: a client that stops draining its socket fails the
+// write in bounded time instead of parking a stream goroutine forever.
 func (s *session) send(f frame) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return s.fw.write(f)
+	if s.timeout > 0 {
+		s.c.SetWriteDeadline(time.Now().Add(s.timeout))
+	}
+	if err := s.fw.write(f); err != nil {
+		if isTimeout(err) {
+			return &TimeoutError{Op: "write", After: s.timeout}
+		}
+		return err
+	}
+	return nil
+}
+
+// armReadDeadline extends the session's liveness window by one timeout.
+func (s *session) armReadDeadline() {
+	if s.timeout > 0 {
+		s.c.SetReadDeadline(time.Now().Add(s.timeout))
+	}
 }
 
 func (h *Host) serveSession(c net.Conn) {
 	defer c.Close()
 	s := &session{host: h, c: c, fw: frameWriter{w: c},
+		timeout: resolveLiveness(h.cfg.Timeout, DefaultTimeout),
 		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{},
 		lives: map[uint32]LiveFeedSrc{}}
 	fr := newFrameReader(c)
+	s.armReadDeadline()
 	hello, err := fr.read()
 	if err != nil || hello.typ != frameHello {
 		s.send(frame{typ: frameError, str: "expected hello"})
@@ -141,11 +170,24 @@ func (h *Host) serveSession(c net.Conn) {
 	ctx, cancel := context.WithCancel(h.ctx)
 	defer cancel() // halts every in-flight verdict and stream
 	for {
+		s.armReadDeadline()
 		f, err := fr.read()
 		if err != nil {
 			break
 		}
 		switch f.typ {
+		case framePing:
+			// Liveness probe: echo the token so the client's read
+			// deadline refreshes. The ping's arrival refreshed ours.
+			if s.send(frame{typ: framePong, id: f.id}) != nil {
+				cancel()
+				s.wg.Wait()
+				return
+			}
+
+		case framePong:
+			// Traffic is the point; nothing to route.
+
 		case frameVerdictReq:
 			src, ok := h.cfg.Sources[f.str]
 			if !ok {
@@ -196,10 +238,29 @@ func (h *Host) serveSession(c net.Conn) {
 			s.wg.Add(1)
 			go s.serveStream(sctx, f.id, st, src, budget)
 
-		case frameSubscribe:
+		case frameSubscribe, frameResume:
 			src, ok := h.cfg.Sources[f.str]
 			if !ok {
 				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			var lf LiveFeedSrc
+			var resumed bool
+			var err error
+			if f.typ == frameResume {
+				rs, ok := src.(ResumableSource)
+				if !ok {
+					s.send(frame{typ: frameStreamErr, id: f.id, str: "docking point does not support resumed subscriptions: " + f.str})
+					continue
+				}
+				sctx, scancel := context.WithCancel(ctx)
+				lf, resumed, err = rs.OpenLiveSince(sctx, f.ver)
+				if err != nil {
+					scancel()
+					s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
+					continue
+				}
+				s.startLive(sctx, scancel, f.id, lf, budget, resumed)
 				continue
 			}
 			ls, ok := src.(LiveSource)
@@ -208,19 +269,13 @@ func (h *Host) serveSession(c net.Conn) {
 				continue
 			}
 			sctx, scancel := context.WithCancel(ctx)
-			lf, err := ls.OpenLive(sctx)
+			lf, err = ls.OpenLive(sctx)
 			if err != nil {
 				scancel()
 				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 				continue
 			}
-			st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
-			s.mu.Lock()
-			s.streams[f.id] = st
-			s.lives[f.id] = lf
-			s.mu.Unlock()
-			s.wg.Add(1)
-			go s.serveLive(sctx, f.id, st, lf, budget)
+			s.startLive(sctx, scancel, f.id, lf, budget, false)
 
 		case frameAck, frameEditAck:
 			s.mu.Lock()
@@ -302,14 +357,28 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 	}
 }
 
+// startLive registers a subscription's stream bookkeeping and launches
+// its sender goroutine.
+func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id uint32, lf LiveFeedSrc, budget int, resumed bool) {
+	st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
+	s.mu.Lock()
+	s.streams[id] = st
+	s.lives[id] = lf
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serveLive(sctx, id, st, lf, budget, resumed)
+}
+
 // serveLive runs one subscription: announce the snapshot cut, ship the
 // snapshot in chunk frames (stop-and-wait, like any fragment), mark its
 // end, then forward edits as they are published — each edit waits for
 // its ack before the next is pulled, so a slow subscriber backpressures
 // the editor's log reader rather than flooding the socket. A reject
 // (unsubscribe) or session teardown cancels sctx and the loop exits at
-// the next handoff.
-func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int) {
+// the next handoff. A resumed subscription's snapshot is empty (the
+// subscriber kept its replica), so the phase structure is unchanged:
+// subscribed, zero chunks, end, edits from the announced version on.
+func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int, resumed bool) {
 	defer s.wg.Done()
 	defer st.cancel()
 	defer func() {
@@ -319,7 +388,11 @@ func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf 
 		s.mu.Unlock()
 		lf.Close()
 	}()
-	if err := s.send(frame{typ: frameSubscribed, id: id, ver: lf.Version(), size: uint64(lf.Size())}); err != nil {
+	rflag := byte(0)
+	if resumed {
+		rflag = 1
+	}
+	if err := s.send(frame{typ: frameSubscribed, id: id, ver: lf.Version(), size: uint64(lf.Size()), flag: rflag}); err != nil {
 		return
 	}
 	cw := newChunker(budget, func(chunk []byte) error {

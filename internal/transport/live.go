@@ -72,6 +72,32 @@ type LiveSession interface {
 	Subscribe(ctx context.Context, fn string) (EditFeed, error)
 }
 
+// ResumableSession is a LiveSession whose subscriptions survive a
+// disconnect: Resubscribe reopens fn's feed from the last edit version
+// this peer applied. Both transports implement it.
+type ResumableSession interface {
+	LiveSession
+	// Resubscribe reopens a subscription. When the source's log still
+	// covers every edit after `after`, the returned feed is Resumed():
+	// it ships no snapshot (SnapshotSize 0, NextChunk immediately EOF)
+	// and its first edit carries after+1. When the log was compacted
+	// past `after`, the feed is a fresh full cut, exactly like
+	// Subscribe.
+	Resubscribe(ctx context.Context, fn string, after uint64) (EditFeed, error)
+}
+
+// ResumableSource is a LiveSource whose edit log supports suffix
+// resumption. Hosted docking points implement it to let dropped
+// subscribers catch up without re-shipping the snapshot.
+type ResumableSource interface {
+	LiveSource
+	// OpenLiveSince returns a feed continuing from `after`. If the log
+	// still covers the suffix, the feed's Version() is `after`, its
+	// Size() is 0 (no snapshot), and resumed is true. Otherwise it is a
+	// fresh full cut (resumed false).
+	OpenLiveSince(ctx context.Context, after uint64) (feed LiveFeedSrc, resumed bool, err error)
+}
+
 // EditFeed is the receiver side of one subscription. The protocol has
 // two phases: first drain the snapshot with NextChunk until io.EOF,
 // then loop on NextEdit. Both phases are stop-and-wait: consuming a
@@ -92,6 +118,11 @@ type EditFeed interface {
 	NextEdit(ctx context.Context) (EditFrame, error)
 	// SendVerdict reports the global verdict after applying version.
 	SendVerdict(version uint64, valid bool) error
+	// Resumed reports that this feed continues an earlier subscription
+	// by log suffix: there is no snapshot to drain, and the first edit
+	// carries Base()+1 where Base() is the version the resuming peer
+	// announced. Always false for fresh subscriptions.
+	Resumed() bool
 	// Close unsubscribes. It does not unblock a concurrent NextEdit —
 	// cancel that call's context first.
 	Close() error
@@ -108,6 +139,19 @@ func (m Multi) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 		return nil, fmt.Errorf("transport: session for %s does not support live subscriptions", fn)
 	}
 	return ls.Subscribe(ctx, fn)
+}
+
+// Resubscribe routes a resumed subscription to fn's session.
+func (m Multi) Resubscribe(ctx context.Context, fn string, after uint64) (EditFeed, error) {
+	s, err := m.session(fn)
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := s.(ResumableSession)
+	if !ok {
+		return nil, fmt.Errorf("transport: session for %s does not support resumed subscriptions", fn)
+	}
+	return rs.Resubscribe(ctx, fn, after)
 }
 
 // Subscribe opens an in-process subscription: the snapshot is chunked
@@ -127,6 +171,31 @@ func (s *InProc) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.feedOver(ctx, lf, false), nil
+}
+
+// Resubscribe reopens a subscription from the last applied version,
+// exactly mirroring the TCP resume handshake: a suffix replay when the
+// source's log still covers it, a fresh full cut otherwise.
+func (s *InProc) Resubscribe(ctx context.Context, fn string, after uint64) (EditFeed, error) {
+	src, err := s.source(fn)
+	if err != nil {
+		return nil, err
+	}
+	rs, ok := src.(ResumableSource)
+	if !ok {
+		return nil, fmt.Errorf("transport: docking point %s does not support resumed subscriptions", fn)
+	}
+	lf, resumed, err := rs.OpenLiveSince(ctx, after)
+	if err != nil {
+		return nil, err
+	}
+	return s.feedOver(ctx, lf, resumed), nil
+}
+
+// feedOver wraps a source feed in the in-process chunk handoff. Resumed
+// feeds have an empty snapshot, so their chunk channel closes at once.
+func (s *InProc) feedOver(ctx context.Context, lf LiveFeedSrc, resumed bool) EditFeed {
 	fctx, cancel := context.WithCancel(ctx)
 	ch := make(chan []byte)
 	go func() {
@@ -143,20 +212,22 @@ func (s *InProc) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 			w.flush()
 		}
 	}()
-	return &inprocEditFeed{lf: lf, cancel: cancel, ch: ch, base: lf.Version(), size: lf.Size(), pos: lf.Version()}, nil
+	return &inprocEditFeed{lf: lf, cancel: cancel, ch: ch, base: lf.Version(), size: lf.Size(), pos: lf.Version(), resumed: resumed}
 }
 
 type inprocEditFeed struct {
-	lf     LiveFeedSrc
-	cancel context.CancelFunc
-	ch     <-chan []byte
-	base   uint64
-	size   int
-	pos    uint64
+	lf      LiveFeedSrc
+	cancel  context.CancelFunc
+	ch      <-chan []byte
+	base    uint64
+	size    int
+	pos     uint64
+	resumed bool
 }
 
 func (f *inprocEditFeed) Base() uint64      { return f.base }
 func (f *inprocEditFeed) SnapshotSize() int { return f.size }
+func (f *inprocEditFeed) Resumed() bool     { return f.resumed }
 
 func (f *inprocEditFeed) NextChunk() ([]byte, error) {
 	chunk, ok := <-f.ch

@@ -25,6 +25,8 @@ type fakeLiveSource struct {
 	verdicts  []bool
 	opens     int
 	closes    int
+	verdictCh chan bool     // one send per NoteVerdict
+	released  chan struct{} // closed when every open feed has closed
 }
 
 func newFakeLive(snapshot []byte, version uint64) *fakeLiveSource {
@@ -32,6 +34,8 @@ func newFakeLive(snapshot []byte, version uint64) *fakeLiveSource {
 		fakeSource: fakeSource{blob: snapshot, verdict: true},
 		version:    version,
 		changed:    make(chan struct{}),
+		verdictCh:  make(chan bool, 64),
+		released:   make(chan struct{}),
 	}
 }
 
@@ -47,14 +51,46 @@ func (s *fakeLiveSource) OpenLive(ctx context.Context) (LiveFeedSrc, error) {
 	s.verdictMu.Lock()
 	s.opens++
 	s.verdictMu.Unlock()
-	return &fakeLiveFeed{src: s}, nil
+	return &fakeLiveFeed{src: s, base: s.version, size: len(s.blob)}, nil
 }
 
-type fakeLiveFeed struct{ src *fakeLiveSource }
+// OpenLiveSince implements ResumableSource: the fake's log always
+// starts at its fixed base version, so a resume is possible iff `after`
+// is not before it (and not ahead of what was published).
+func (s *fakeLiveSource) OpenLiveSince(ctx context.Context, after uint64) (LiveFeedSrc, bool, error) {
+	s.mu.Lock()
+	covered := after >= s.version && after <= s.version+uint64(len(s.edits))
+	s.mu.Unlock()
+	if !covered {
+		return s.openFull(ctx)
+	}
+	s.verdictMu.Lock()
+	s.opens++
+	s.verdictMu.Unlock()
+	return &fakeLiveFeed{src: s, base: after, size: 0, empty: true}, true, nil
+}
 
-func (f *fakeLiveFeed) Version() uint64             { return f.src.version }
-func (f *fakeLiveFeed) Size() int                   { return len(f.src.blob) }
-func (f *fakeLiveFeed) Serialize(w io.Writer) error { return f.src.Serialize(w) }
+// OpenLive's two return values as a three-value resume fallback.
+func (s *fakeLiveSource) openFull(ctx context.Context) (LiveFeedSrc, bool, error) {
+	lf, err := s.OpenLive(ctx)
+	return lf, false, err
+}
+
+type fakeLiveFeed struct {
+	src   *fakeLiveSource
+	base  uint64
+	size  int
+	empty bool // resumed: no snapshot bytes
+}
+
+func (f *fakeLiveFeed) Version() uint64 { return f.base }
+func (f *fakeLiveFeed) Size() int       { return f.size }
+func (f *fakeLiveFeed) Serialize(w io.Writer) error {
+	if f.empty {
+		return nil
+	}
+	return f.src.Serialize(w)
+}
 
 func (f *fakeLiveFeed) NextEdit(ctx context.Context, after uint64) (EditFrame, error) {
 	idx := int(after - f.src.version)
@@ -77,14 +113,22 @@ func (f *fakeLiveFeed) NextEdit(ctx context.Context, after uint64) (EditFrame, e
 
 func (f *fakeLiveFeed) NoteVerdict(version uint64, valid bool) {
 	f.src.verdictMu.Lock()
-	defer f.src.verdictMu.Unlock()
 	f.src.verdicts = append(f.src.verdicts, valid)
+	f.src.verdictMu.Unlock()
+	f.src.verdictCh <- valid
 }
 
 func (f *fakeLiveFeed) Close() {
 	f.src.verdictMu.Lock()
 	defer f.src.verdictMu.Unlock()
 	f.src.closes++
+	if f.src.closes == f.src.opens {
+		select {
+		case <-f.src.released:
+		default:
+			close(f.src.released)
+		}
+	}
 }
 
 // TestSubscribeConformance drives a live subscription over both
@@ -152,32 +196,21 @@ func TestSubscribeConformance(t *testing.T) {
 			}
 		}
 		// Verdict updates are asynchronous on TCP; wait for delivery.
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			src.verdictMu.Lock()
-			n := len(src.verdicts)
-			src.verdictMu.Unlock()
-			if n == len(edits) {
-				break
+		for i := 0; i < len(edits); i++ {
+			select {
+			case <-src.verdictCh:
+			case <-time.After(2 * time.Second):
+				t.Fatalf("verdict updates delivered: %d of %d", i, len(edits))
 			}
-			if time.Now().After(deadline) {
-				t.Fatalf("verdict updates delivered: %d of %d", n, len(edits))
-			}
-			time.Sleep(time.Millisecond)
 		}
 		if err := feed.Close(); err != nil {
 			t.Fatal(err)
 		}
-		for time.Now().Before(deadline) {
-			src.verdictMu.Lock()
-			done := src.closes == src.opens && src.opens > 0
-			src.verdictMu.Unlock()
-			if done {
-				return
-			}
-			time.Sleep(time.Millisecond)
+		select {
+		case <-src.released:
+		case <-time.After(2 * time.Second):
+			t.Fatal("unsubscribe never released the source feed")
 		}
-		t.Fatal("unsubscribe never released the source feed")
 	}
 	// Fresh source per transport (eachTransport builds both from the
 	// same map, so swap the shared pointer per subtest).

@@ -8,7 +8,31 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Liveness defaults. The kernel peer pings after DefaultHeartbeat of
+// write silence; both ends refuse to wait more than DefaultTimeout for
+// the peer's next frame. Because every ping is answered with a pong,
+// an idle but healthy session sees traffic in both directions within
+// one heartbeat, and a dead peer is detected within one timeout — never
+// the unbounded hang the pre-liveness wire allowed.
+const (
+	DefaultHeartbeat = 2 * time.Second
+	DefaultTimeout   = 10 * time.Second
+)
+
+// resolveLiveness maps a config duration to its effective value: zero
+// means the default, negative disables (returns 0).
+func resolveLiveness(d, def time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return def
+	case d < 0:
+		return 0
+	}
+	return d
+}
 
 // Config parameterizes a TCP session from the kernel peer's side.
 type Config struct {
@@ -18,6 +42,16 @@ type Config struct {
 	// Chunk is the fragment chunk budget in bytes the server will
 	// serialize with (math.MaxInt or <= 0 for unchunked).
 	Chunk int
+	// Heartbeat is the ping interval: after this much write silence the
+	// client sends a ping so the host sees traffic. Zero means
+	// DefaultHeartbeat; negative disables the heartbeat.
+	Heartbeat time.Duration
+	// Timeout is the liveness window: every frame read and write
+	// carries a deadline this far out, and missing it fails the session
+	// with a TimeoutError. Zero means DefaultTimeout; negative disables
+	// deadlines (the pre-liveness behavior). It should comfortably
+	// exceed Heartbeat.
+	Timeout time.Duration
 }
 
 // Conn is an established TCP session with one peer host, from the
@@ -28,6 +62,11 @@ type Conn struct {
 	c   net.Conn
 	wmu sync.Mutex // serializes frame writes
 	fw  frameWriter
+
+	timeout   time.Duration // liveness window (0: no deadlines)
+	heartbeat time.Duration // ping-after-idle interval (0: no pings)
+	lastWrite atomic.Int64  // UnixNano of the most recent frame write
+	pingID    atomic.Uint32
 
 	nextID  atomic.Uint32
 	mu      sync.Mutex // guards pending and doneErr
@@ -55,12 +94,14 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		return nil, err
 	}
 	c := &Conn{
-		c:       nc,
-		fw:      frameWriter{w: nc},
-		pending: map[uint32]*waiter{},
-		done:    make(chan struct{}),
+		c:         nc,
+		fw:        frameWriter{w: nc},
+		timeout:   resolveLiveness(cfg.Timeout, DefaultTimeout),
+		heartbeat: resolveLiveness(cfg.Heartbeat, DefaultHeartbeat),
+		pending:   map[uint32]*waiter{},
+		done:      make(chan struct{}),
 	}
-	if err := c.fw.write(frame{
+	if err := c.send(frame{
 		typ:  frameHello,
 		flag: protocolVersion,
 		id:   wireChunk(cfg.Chunk),
@@ -70,9 +111,13 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	fr := newFrameReader(nc)
+	c.armReadDeadline()
 	f, err := fr.read()
 	if err != nil {
 		nc.Close()
+		if isTimeout(err) {
+			return nil, &TimeoutError{Op: "hello", After: c.timeout}
+		}
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	switch f.typ {
@@ -93,7 +138,41 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		return nil, fmt.Errorf("transport: unexpected hello response (frame type %d)", f.typ)
 	}
 	go c.readLoop(fr)
+	if c.heartbeat > 0 {
+		go c.heartbeatLoop()
+	}
 	return c, nil
+}
+
+// armReadDeadline extends the liveness window by one timeout: the next
+// frame (any frame — a pong counts) must arrive within it.
+func (c *Conn) armReadDeadline() {
+	if c.timeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// heartbeatLoop keeps an idle session visibly alive: after a heartbeat
+// interval with no frame written, it sends a ping. The host answers
+// with a pong, so both ends see traffic within one heartbeat whenever
+// the path is healthy — the read deadlines then only ever fire on a
+// genuinely dead peer.
+func (c *Conn) heartbeatLoop() {
+	t := time.NewTicker(c.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if time.Since(time.Unix(0, c.lastWrite.Load())) < c.heartbeat {
+				continue // the session is writing on its own; no probe needed
+			}
+			if c.send(frame{typ: framePing, id: c.pingID.Add(1)}) != nil {
+				return // the read loop surfaces the session failure
+			}
+		case <-c.done:
+			return
+		}
+	}
 }
 
 // readLoop dispatches incoming frames to their waiting request or
@@ -102,13 +181,28 @@ func (c *Conn) readLoop(fr *frameReader) {
 	var err error
 	for {
 		var f frame
+		c.armReadDeadline()
 		f, err = fr.read()
 		if err != nil {
+			if isTimeout(err) {
+				err = &TimeoutError{Op: "read", After: c.timeout}
+			}
 			break
 		}
 		if f.typ == frameError {
 			err = fmt.Errorf("transport: host error: %s", f.str)
 			break
+		}
+		// Liveness frames are handled before stream dispatch: their token
+		// ids share nothing with stream ids and must not be routed.
+		if f.typ == framePing {
+			if c.send(frame{typ: framePong, id: f.id}) != nil {
+				continue // the write path's failure surfaces on the next read
+			}
+			continue
+		}
+		if f.typ == framePong {
+			continue // the arrival itself refreshed the read deadline
 		}
 		c.mu.Lock()
 		w := c.pending[f.id]
@@ -164,11 +258,23 @@ func (c *Conn) unregister(id uint32) {
 	c.mu.Unlock()
 }
 
-// send writes one frame under the write lock.
+// send writes one frame under the write lock, with the liveness
+// deadline armed: a peer that stops draining its socket fails the write
+// in bounded time instead of parking the sender forever.
 func (c *Conn) send(f frame) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.fw.write(f)
+	if c.timeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	c.lastWrite.Store(time.Now().UnixNano())
+	if err := c.fw.write(f); err != nil {
+		if isTimeout(err) {
+			return &TimeoutError{Op: "write", After: c.timeout}
+		}
+		return err
+	}
+	return nil
 }
 
 // sessionErr reports why the session died.
@@ -245,8 +351,24 @@ func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
 // Subscribe opens a live subscription on fn's edit log and waits for
 // the host to announce the snapshot cut.
 func (c *Conn) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
+	return c.subscribe(ctx, fn, 0, frameSubscribe)
+}
+
+// Resubscribe reopens a live subscription after a disconnect: `after`
+// is the last edit version this peer applied. When the host's log still
+// covers the suffix, the returned feed is Resumed() — no snapshot, the
+// first edit carries after+1. Otherwise the host falls back to a fresh
+// full snapshot cut (the log was compacted past `after`) and the feed
+// behaves exactly like a new subscription.
+func (c *Conn) Resubscribe(ctx context.Context, fn string, after uint64) (EditFeed, error) {
+	return c.subscribe(ctx, fn, after, frameResume)
+}
+
+// subscribe is the shared subscription handshake: send the request
+// frame, wait for the subscribed announcement.
+func (c *Conn) subscribe(ctx context.Context, fn string, after uint64, typ frameType) (EditFeed, error) {
 	id, w := c.register()
-	if err := c.send(frame{typ: frameSubscribe, id: id, str: fn}); err != nil {
+	if err := c.send(frame{typ: typ, id: id, ver: after, str: fn}); err != nil {
 		c.unregister(id)
 		return nil, err
 	}
@@ -254,7 +376,7 @@ func (c *Conn) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 	case f := <-w.ch:
 		switch f.typ {
 		case frameSubscribed:
-			return &tcpEditFeed{conn: c, id: id, w: w, base: f.ver, size: int(f.size)}, nil
+			return &tcpEditFeed{conn: c, id: id, w: w, base: f.ver, size: int(f.size), resumed: f.flag != 0}, nil
 		case frameStreamErr:
 			c.unregister(id)
 			return nil, fmt.Errorf("transport: subscribe %s: %s", fn, f.str)
@@ -276,11 +398,12 @@ func (c *Conn) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 // chunks first (acked like a fragment transfer), then edits (acked
 // with their version).
 type tcpEditFeed struct {
-	conn *Conn
-	id   uint32
-	w    *waiter
-	base uint64
-	size int
+	conn    *Conn
+	id      uint32
+	w       *waiter
+	base    uint64
+	size    int
+	resumed bool
 
 	owesChunkAck bool
 	owesEditAck  bool
@@ -290,6 +413,7 @@ type tcpEditFeed struct {
 
 func (f *tcpEditFeed) Base() uint64      { return f.base }
 func (f *tcpEditFeed) SnapshotSize() int { return f.size }
+func (f *tcpEditFeed) Resumed() bool     { return f.resumed }
 
 func (f *tcpEditFeed) NextChunk() ([]byte, error) {
 	if f.closed {

@@ -21,12 +21,16 @@ type fakeSource struct {
 	verdict    bool
 	slow       bool // poll ctx awareness via many small writes
 	serialized atomic.Int64
+	done       chan struct{} // when set, closed once Serialize returns
 }
 
 func (s *fakeSource) Verdict(ctx context.Context) bool { return s.verdict }
 func (s *fakeSource) Size() int                        { return len(s.blob) }
 
 func (s *fakeSource) Serialize(w io.Writer) error {
+	if s.done != nil {
+		defer close(s.done)
+	}
 	step := len(s.blob)
 	if s.slow {
 		step = 8
@@ -150,6 +154,7 @@ func TestSessionAbortHaltsSender(t *testing.T) {
 	sources := map[string]Source{"f1": src}
 	eachTransport(t, sources, 128, func(t *testing.T, s Session) {
 		src.serialized.Store(0)
+		src.done = make(chan struct{})
 		frag, err := s.Open(context.Background(), "f1")
 		if err != nil {
 			t.Fatal(err)
@@ -160,14 +165,12 @@ func TestSessionAbortHaltsSender(t *testing.T) {
 			}
 		}
 		frag.Abort()
-		// The sender learns about the reject asynchronously; give it a
-		// moment to settle, then check it stopped far short of the end.
-		deadline := time.Now().Add(2 * time.Second)
-		for time.Now().Before(deadline) {
-			if n := src.serialized.Load(); n < size/10 {
-				break
-			}
-			time.Sleep(time.Millisecond)
+		// The sender learns about the reject asynchronously: wait for
+		// Serialize to return, then check it stopped far short of the end.
+		select {
+		case <-src.done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("sender still serializing long after the abort")
 		}
 		if n := src.serialized.Load(); n >= size/10 {
 			t.Errorf("sender serialized %d of %d bytes after an abort at ~384", n, size)
