@@ -9,6 +9,8 @@
 //	dxml -problem validate -distributed [-stats] [-chunk N] <design-file> <doc>...
 //	dxml serve [-listen addr] [-watch] [-chaos seed] <design-file> <fn=document>...
 //	dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch [-reconnect N]] <design-file>
+//	dxml host [-listen addr] [-http addr] [caps...] [<design-file>,<fn=document>,... ...]
+//	dxml register -http addr [-name tenant] <design-file> <fn=document>...
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);
@@ -23,6 +25,17 @@
 // wire on the same documents. The session hello carries a digest of the
 // design, so a join against hosts serving a different design fails
 // before any fragment moves.
+//
+// The host subcommand is the multi-tenant form of serve: one process,
+// one port, many designs. Each tenant is a design file plus its
+// documents; incoming sessions are routed by the design digest their
+// hello carries, one compiled validator is shared by every session of a
+// design, and admission caps (sessions, open transfers, resident
+// memory) refuse over-budget hellos with a typed error instead of
+// hanging them. -http serves /healthz, /metrics (per-tenant and global
+// counters), and /register — the endpoint `dxml register` posts a new
+// design to at runtime. `dxml join` needs no new flags: joining a
+// multi-tenant host looks exactly like joining a serve.
 //
 // Validation runs on the streaming engine: one pass, memory proportional
 // to the document's depth. With "-" the document is fed to the push
@@ -73,6 +86,12 @@ func main() {
 			return
 		case "join":
 			runJoin(os.Args[2:])
+			return
+		case "host":
+			runHost(os.Args[2:])
+			return
+		case "register":
+			runRegister(os.Args[2:])
 			return
 		}
 	}

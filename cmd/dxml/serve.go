@@ -111,56 +111,78 @@ func startServe(df *DesignFile, assigns []string, listen string, chaosSeed int64
 // gets a live editor, so kernel peers can subscribe (`dxml join
 // -watch`) whether or not this serve watches its files.
 func serveNetwork(df *DesignFile, assigns []string) (*serveInstance, error) {
-	if df.Class == "word" {
-		return nil, fmt.Errorf("serve needs a tree class, not word")
-	}
-	edtd, err := designEDTD(df)
-	if err != nil {
-		return nil, err
-	}
-	typing, err := df.typing()
-	if err != nil {
-		return nil, err
-	}
-	funcs := df.Kernel.Funcs()
-	n := dxml.NewNetwork(df.Kernel, edtd)
-	srv := &serveInstance{net: n, files: map[string]string{}}
+	docs := map[string]string{}
+	files := map[string]string{}
 	for _, a := range assigns {
 		fn, path, ok := strings.Cut(a, "=")
 		if !ok {
 			return nil, fmt.Errorf("assignment %q: want fn=documentfile", a)
 		}
-		i := -1
-		for j, f := range funcs {
-			if f == fn {
-				i = j
-				break
-			}
-		}
-		if i < 0 {
-			return nil, fmt.Errorf("design has no docking point %s (functions: %v)", fn, funcs)
-		}
 		b, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		doc, err := parseDocArg(string(b))
+		docs[fn] = string(b)
+		files[fn] = path
+	}
+	n, funcs, err := buildNetwork(df, docs)
+	if err != nil {
+		return nil, err
+	}
+	return &serveInstance{net: n, funcs: funcs, files: files}, nil
+}
+
+// buildNetwork builds a hosting network from document *contents* — the
+// shared core of `dxml serve` (contents read from files) and the
+// multi-tenant host's design bundles (contents shipped by `dxml
+// register`). Each provided docking point is attached with the design's
+// typing and a live editor; a host may serve any subset of the design's
+// functions. The returned funcs are the attached ones in kernel order.
+func buildNetwork(df *DesignFile, docs map[string]string) (*dxml.Network, []string, error) {
+	if df.Class == "word" {
+		return nil, nil, fmt.Errorf("serve needs a tree class, not word")
+	}
+	edtd, err := designEDTD(df)
+	if err != nil {
+		return nil, nil, err
+	}
+	typing, err := df.typing()
+	if err != nil {
+		return nil, nil, err
+	}
+	funcs := df.Kernel.Funcs()
+	known := map[string]bool{}
+	for _, f := range funcs {
+		known[f] = true
+	}
+	for fn := range docs {
+		if !known[fn] {
+			return nil, nil, fmt.Errorf("design has no docking point %s (functions: %v)", fn, funcs)
+		}
+	}
+	n := dxml.NewNetwork(df.Kernel, edtd)
+	var attached []string
+	for i, fn := range funcs {
+		text, ok := docs[fn]
+		if !ok {
+			continue
+		}
+		doc, err := parseDocArg(text)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+			return nil, nil, fmt.Errorf("%s: %w", fn, err)
 		}
 		if err := n.AddPeer(fn, doc, typing[i]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := n.AttachEditor(fn); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		srv.funcs = append(srv.funcs, fn)
-		srv.files[fn] = path
+		attached = append(attached, fn)
 	}
-	if len(srv.funcs) == 0 {
-		return nil, fmt.Errorf("no documents to serve (pass fn=documentfile assignments)")
+	if len(attached) == 0 {
+		return nil, nil, fmt.Errorf("no documents to serve (pass fn=documentfile assignments)")
 	}
-	return srv, nil
+	return n, attached, nil
 }
 
 // watch polls each hosted document file and re-serves changes as

@@ -79,6 +79,25 @@
 // verdict, traffic totals, and edit-log state — or a clean typed error,
 // never a panic, hang, or wrong verdict.
 //
+// One process can host many federations. The multi-tenant host
+// (internal/host, surfaced as NewHostRegistry / NewHostServer) keeps a
+// registry of compiled designs keyed by the digest a session hello
+// carries, routes every inbound session — validation, live, resume —
+// to its tenant, and shares one immutable streaming validator among
+// all of a design's sessions. Admission control is enforced at the
+// hello: caps on concurrent sessions and open transfers (per tenant
+// and global) and a resident-memory budget refuse over-budget hellos
+// with a typed RefusedError unwrapping to ErrOverCapacity (an
+// unregistered digest unwraps to ErrUnknownDesign) — never a hang.
+// Idle designs are evicted LRU under residency pressure and rebuilt
+// from their registered builder on the next hello; per-tenant and
+// global counters mirror the client-visible Stats exactly and are
+// served over HTTP (/healthz, /metrics), with /register accepting new
+// designs at runtime. `dxml host` runs it from the command line and
+// `dxml register` posts new tenants to it; `dxml join` needs no new
+// flags — joining a multi-tenant host looks exactly like joining a
+// serve, and answers byte-identically.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

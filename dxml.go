@@ -4,6 +4,7 @@ import (
 	"dxml/internal/axml"
 	"dxml/internal/core"
 	"dxml/internal/gen"
+	"dxml/internal/host"
 	"dxml/internal/live"
 	"dxml/internal/p2p"
 	"dxml/internal/schema"
@@ -147,6 +148,9 @@ type (
 	// TransportFragment is the receiver side of one chunked fragment
 	// transfer (Next/Abort with synchronous backpressure).
 	TransportFragment = transport.Fragment
+	// TransportSource is the sender side of one hosted docking point:
+	// verdicts and incremental serialization (see Network.HostSources).
+	TransportSource = transport.Source
 	// PeerHost serves resource peers over TCP (see Network.ServeTCP).
 	PeerHost = transport.Host
 	// TimeoutError is a liveness failure on the TCP session: which
@@ -161,6 +165,56 @@ var (
 	// peer missed its deadline. errors.Is(err, ErrTimeout) distinguishes
 	// a dead peer from a protocol error or a clean close.
 	ErrTimeout = transport.ErrTimeout
+	// ErrUnknownDesign is the sentinel a refused hello unwraps to when
+	// the host does not serve the dialed design's digest.
+	ErrUnknownDesign = transport.ErrUnknownDesign
+	// ErrOverCapacity is the sentinel a refused hello (or stream) unwraps
+	// to when the host's admission control rejects it: back off and
+	// retry, the host is alive but full.
+	ErrOverCapacity = transport.ErrOverCapacity
+)
+
+// Multi-tenant federation hosting (internal/host): one server process
+// keeps a registry of designs keyed by the digest every session hello
+// carries, shares one compiled validator per design across all of its
+// sessions, enforces admission caps and resident-memory budgets with
+// typed refusals, evicts idle designs LRU, and reports per-tenant and
+// global counters over HTTP — the machinery behind `dxml host` and
+// `dxml register`.
+type (
+	// HostRegistry is the multi-tenant core: designs keyed by digest,
+	// admission control, LRU residency, counters. It implements the
+	// transport's Router, so one listener serves every registered design.
+	HostRegistry = host.Registry
+	// HostConfig is the admission-control and budget policy (zero caps
+	// mean unlimited).
+	HostConfig = host.Config
+	// HostDesign is one registered tenant: name, digest, and the builder
+	// that materializes its serving state on first use.
+	HostDesign = host.Design
+	// HostServer is the process-level host: the registry behind one TCP
+	// federation listener plus the HTTP health/metrics endpoint.
+	HostServer = host.Server
+	// HostMetrics is the host-wide snapshot /metrics serves.
+	HostMetrics = host.Metrics
+	// HostTenantMetrics is one design's externally visible state.
+	HostTenantMetrics = host.TenantMetrics
+	// HostCounters is one scope's (tenant or global) traffic counters,
+	// mirroring the protocol-level Stats clients keep.
+	HostCounters = host.CounterSnapshot
+	// RefusedError is a hello refused by the host: the machine-readable
+	// code plus the reason; it unwraps to ErrUnknownDesign or
+	// ErrOverCapacity.
+	RefusedError = transport.RefusedError
+)
+
+var (
+	// NewHostRegistry builds an empty design registry under a config's
+	// caps.
+	NewHostRegistry = host.NewRegistry
+	// NewHostServer serves a registry's designs on a TCP listener, with
+	// an optional HTTP listener for /healthz and /metrics.
+	NewHostServer = host.NewServer
 )
 
 const (

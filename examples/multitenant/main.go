@@ -1,0 +1,164 @@
+// Multitenant: one host process, many designs, admission control.
+//
+// Earlier examples run one federation per listener — `dxml serve` for
+// one design. Here a single host serves many designs on one TCP port:
+// each tenant registers its compiled design under the digest a joining
+// peer's session hello carries, sessions are routed to their tenant,
+// and every session of a design shares the same immutable validator.
+//
+// The host is also a budget enforcer. Caps on concurrent sessions and
+// resident designs are enforced at the hello: an over-budget or
+// unknown-design hello is refused with a typed error the client can
+// unwrap (never a hang), and idle designs are evicted LRU when the
+// residency cap is hit — their sources rebuilt on the next hello.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"dxml"
+)
+
+// tenant builds design id: a one-docking-point federation whose digest
+// is distinguished by the docking point's name (f<id> enters the
+// kernel tree, which enters the digest) and whose hosted fragment
+// holds items leaves.
+func tenant(id, items int) dxml.HostDesign {
+	build := func() (*dxml.Network, error) {
+		global := dxml.MustParseDTD(dxml.KindNRE, "root s\ns -> a*")
+		kernel := dxml.MustParseKernel(fmt.Sprintf("s(f%d)", id))
+		local := dxml.MustParseDTD(dxml.KindNRE, "root r\nr -> a*").ToEDTD()
+		doc := dxml.MustParseTree("r")
+		for i := 0; i < items; i++ {
+			doc.Children = append(doc.Children, dxml.MustParseTree("a"))
+		}
+		n := dxml.NewNetwork(kernel, global.ToEDTD())
+		if err := n.AddPeer(fmt.Sprintf("f%d", id), doc, local); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	n, err := build()
+	if err != nil {
+		panic(err)
+	}
+	return dxml.HostDesign{
+		Name:   fmt.Sprintf("tenant-%d", id),
+		Digest: n.Digest(),
+		Build: func() (map[string]dxml.TransportSource, int64, error) {
+			n, err := build()
+			if err != nil {
+				return nil, 0, err
+			}
+			return n.HostSources(), n.ResidentEstimate(), nil
+		},
+	}
+}
+
+// client is the joining kernel peer for design id — same kernel and
+// global type, so the same digest in its hello.
+func client(id int) *dxml.Network {
+	global := dxml.MustParseDTD(dxml.KindNRE, "root s\ns -> a*")
+	kernel := dxml.MustParseKernel(fmt.Sprintf("s(f%d)", id))
+	return dxml.NewNetwork(kernel, global.ToEDTD())
+}
+
+func main() {
+	const tenants = 8
+
+	// Admission policy: at most 2 concurrent sessions per tenant, at
+	// most 4 designs resident at once (the other 4 wait evicted, specs
+	// retained, rebuilt on demand).
+	reg := dxml.NewHostRegistry(dxml.HostConfig{
+		MaxTenantSessions:  2,
+		MaxResidentDesigns: 4,
+	})
+	for id := 0; id < tenants; id++ {
+		if err := reg.Register(tenant(id, 8+4*id)); err != nil {
+			panic(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := dxml.NewHostServer(reg, ln, httpLn)
+	defer srv.Close()
+	addr := srv.Addr().String()
+	fmt.Printf("one host, %d designs, one port (%s)\n", reg.Len(), addr)
+
+	// Every tenant joins through the same address; the hello's digest
+	// picks the design. All verdicts must come back valid.
+	allValid := true
+	for id := 0; id < tenants; id++ {
+		n := client(id)
+		sess, err := n.DialTCP(map[string]string{fmt.Sprintf("f%d", id): addr})
+		if err != nil {
+			panic(err)
+		}
+		n.Transport = sess
+		dist, err := n.ValidateDistributed()
+		if err != nil {
+			panic(err)
+		}
+		cent, err := n.ValidateCentralized()
+		if err != nil {
+			panic(err)
+		}
+		sess.Close()
+		allValid = allValid && dist && cent
+	}
+	fmt.Printf("all %d tenants valid over one port: %v\n", tenants, allValid)
+
+	// An unregistered design's hello is refused before any fragment
+	// moves — with a typed error, not a hang or a mystery string.
+	_, err = client(99).DialTCP(map[string]string{"f99": addr})
+	fmt.Printf("unknown design refused with typed error: %v\n",
+		errors.Is(err, dxml.ErrUnknownDesign))
+
+	// The per-tenant session cap: two sessions hold tenant 0's budget,
+	// the third hello bounces with the capacity sentinel.
+	hold1, err := client(0).DialTCP(map[string]string{"f0": addr})
+	if err != nil {
+		panic(err)
+	}
+	hold2, err := client(0).DialTCP(map[string]string{"f0": addr})
+	if err != nil {
+		panic(err)
+	}
+	_, err = client(0).DialTCP(map[string]string{"f0": addr})
+	fmt.Printf("third concurrent session refused: %v\n",
+		errors.Is(err, dxml.ErrOverCapacity))
+	hold1.Close()
+	hold2.Close()
+
+	// Residency: 8 designs used, at most 4 resident — the rest were
+	// evicted idle and rebuilt when their next session arrived.
+	m := reg.Metrics()
+	fmt.Printf("resident designs capped: %v, evictions occurred: %v\n",
+		m.Resident <= 4, m.Global.Evictions > 0)
+
+	// The HTTP endpoint serves the same counters the registry holds.
+	resp, err := http.Get("http://" + srv.HTTPAddr().String() + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	var served dxml.HostMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("/metrics agrees with registry: %v (%d designs, %d verdicts, %d rejections)\n",
+		served.Designs == m.Designs && served.Global.Verdicts == m.Global.Verdicts,
+		served.Designs, served.Global.Verdicts, served.Global.Rejections)
+}

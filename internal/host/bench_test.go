@@ -1,0 +1,93 @@
+package host
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dxml/internal/transport"
+)
+
+// BenchmarkHostAdmission measures the steady-state admission path: one
+// Route against a materialized tenant, session slot in and out. This is
+// the latency every hello pays on a warm host.
+func BenchmarkHostAdmission(b *testing.B) {
+	reg := NewRegistry(Config{MaxSessions: 1 << 20})
+	d := miniDesign(1, 4)
+	if err := reg.Register(d); err != nil {
+		b.Fatal(err)
+	}
+	// Materialize once so the loop measures admission, not compilation.
+	warm, err := reg.Route(d.Digest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		route, err := reg.Route(d.Digest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		route.Close()
+	}
+}
+
+// BenchmarkHostAdmissionRefused measures the refusal path: an unknown
+// digest answered with a typed error. Rejection must stay cheap — it is
+// the host's defense under misdirected load.
+func BenchmarkHostAdmissionRefused(b *testing.B) {
+	reg := NewRegistry(Config{})
+	if err := reg.Register(miniDesign(1, 4)); err != nil {
+		b.Fatal(err)
+	}
+	unknown := transport.Digest("not registered")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Route(unknown); err == nil {
+			b.Fatal("unknown digest admitted")
+		}
+	}
+}
+
+// BenchmarkHostFanIn measures multi-tenant validation throughput: 8
+// designs resident on one registry, parallel clients each opening a
+// session, taking a verdict, and closing — the contended path through
+// the registry lock and the shared per-design machines.
+func BenchmarkHostFanIn(b *testing.B) {
+	const tenants = 8
+	reg := NewRegistry(Config{})
+	digests := make([][]byte, tenants)
+	for i := 0; i < tenants; i++ {
+		d := miniDesign(i, 16)
+		if err := reg.Register(d); err != nil {
+			b.Fatal(err)
+		}
+		digests[i] = d.Digest
+		route, err := reg.Route(d.Digest) // materialize outside the loop
+		if err != nil {
+			b.Fatal(err)
+		}
+		route.Close()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := i % tenants
+			i++
+			s, err := reg.Session(digests[id], 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := s.Verdict(context.Background(), fmt.Sprintf("f%d", id))
+			if err != nil || !v {
+				b.Fatalf("verdict: v=%v err=%v", v, err)
+			}
+			s.Close()
+		}
+	})
+}

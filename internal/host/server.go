@@ -1,0 +1,91 @@
+package host
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+
+	"dxml/internal/transport"
+)
+
+// Server is the process-level host: the registry served over one TCP
+// federation listener (every registered design behind one port), plus
+// an optional HTTP listener exposing health and metrics. Extend the
+// HTTP surface with Handle before traffic arrives.
+type Server struct {
+	reg    *Registry
+	host   *transport.Host
+	mux    *http.ServeMux
+	hsrv   *http.Server
+	httpLn net.Listener
+}
+
+// NewServer starts serving the registry's designs on ln; httpLn, when
+// non-nil, serves /healthz and /metrics. Both listeners may be bound to
+// port 0 — Addr and HTTPAddr report what the OS picked.
+func NewServer(reg *Registry, ln, httpLn net.Listener) *Server {
+	s := &Server{reg: reg, httpLn: httpLn}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/metrics", s.metrics)
+	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout})
+	if httpLn != nil {
+		s.hsrv = &http.Server{Handler: s.mux}
+		go s.hsrv.Serve(httpLn)
+	}
+	return s
+}
+
+// Registry is the server's design registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Addr is the federation listener's address (the port kernel peers
+// join).
+func (s *Server) Addr() net.Addr { return s.host.Addr() }
+
+// HTTPAddr is the HTTP listener's address, nil when metrics are off.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// Handle mounts an extra HTTP handler on the server's mux (the CLI
+// mounts /register here). Mount before the first request; ServeMux is
+// not safe for concurrent registration and serving.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// Close stops both listeners and tears down every session.
+func (s *Server) Close() error {
+	err := s.host.Close()
+	if s.hsrv != nil {
+		s.hsrv.Close()
+	}
+	return err
+}
+
+// health is the /healthz body: liveness plus the load numbers a
+// balancer wants.
+type health struct {
+	Status         string `json:"status"`
+	Designs        int    `json:"designs"`
+	Resident       int    `json:"resident"`
+	ActiveSessions int    `json:"activeSessions"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {
+	m := s.reg.Metrics()
+	writeJSON(w, health{Status: "ok", Designs: m.Designs, Resident: m.Resident, ActiveSessions: m.ActiveSessions})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, s.reg.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

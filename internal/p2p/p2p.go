@@ -473,16 +473,39 @@ func (n *Network) Digest() []byte {
 	return transport.Digest(parts...)
 }
 
+// HostSources adapts every attached peer to the transport's sender
+// surface: the docking-point map a host serves — directly for a
+// single-design host (ServeTCP), or as one tenant of a multi-tenant
+// registry. Each source reads the peer's current document at call time,
+// so live edits are served without re-wiring.
+func (n *Network) HostSources() map[string]transport.Source {
+	srcs := make(map[string]transport.Source, len(n.Peers))
+	for fn, p := range n.Peers {
+		srcs[fn] = &peerSource{peer: p}
+	}
+	return srcs
+}
+
+// ResidentEstimate approximates the bytes a host pins by keeping this
+// network's serving state resident: the kernel document plus every
+// peer's current document, in the flat XML byte measure used
+// throughout. Compiled validators and tree overhead are not counted —
+// the estimate is a budget token for admission control, not an
+// allocator measurement.
+func (n *Network) ResidentEstimate() int64 {
+	total := int64(n.Kernel.Tree().XMLSize())
+	for _, p := range n.Peers {
+		total += int64(p.CurrentDoc().XMLSize())
+	}
+	return total
+}
+
 // ServeTCP hosts this network's resource peers on ln: remote kernel
 // peers can dial it, request verdicts, and pull fragment streams. A
 // host may serve any subset of the federation (attach only the local
 // docking points); close the returned host to stop.
 func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
-	srcs := make(map[string]transport.Source, len(n.Peers))
-	for fn, p := range n.Peers {
-		srcs[fn] = &peerSource{peer: p}
-	}
-	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: srcs})
+	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: n.HostSources()})
 }
 
 // DialTCP connects the kernel peer to the hosts serving its docking

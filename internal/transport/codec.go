@@ -19,9 +19,11 @@ import (
 const (
 	// protocolVersion is bumped on any incompatible frame change; the
 	// hello exchange refuses mismatched versions. v2 added the liveness
-	// frames (ping/pong), the resume handshake (resume + the subscribed
-	// frame's resumed flag), and is not wire-compatible with v1.
-	protocolVersion = 2
+	// frames (ping/pong) and the resume handshake (resume + the
+	// subscribed frame's resumed flag); v3 added the typed refuse frame
+	// (hello admission control). Neither is wire-compatible with its
+	// predecessor.
+	protocolVersion = 3
 
 	// maxFramePayload caps one frame's payload (type byte excluded).
 	// Chunked transfers stay far below it; it exists so unchunked
@@ -110,6 +112,12 @@ const (
 	// flag set and no snapshot when its log still covers the suffix, or
 	// with a fresh full snapshot when the log was compacted past it.
 	frameResume
+	// frameRefuse (server→client) answers a hello the host will not
+	// serve: a RefuseCode plus a reason. Unlike frameError it names the
+	// cause on the wire — unknown design digest, admission control — so
+	// the dialing peer surfaces a typed error (ErrUnknownDesign,
+	// ErrOverCapacity) instead of a generic session failure.
+	frameRefuse
 	frameTypeEnd // sentinel: first invalid type
 )
 
@@ -147,6 +155,8 @@ func (t frameType) fixedLen() (int, error) {
 		return 4, nil // id
 	case frameVerdict:
 		return 5, nil // id + verdict
+	case frameRefuse:
+		return 1, nil // refuse code
 	case frameBegin:
 		return 12, nil // id + size
 	case frameEditAck, frameResume:
@@ -198,6 +208,8 @@ func (fw *frameWriter) write(f frame) error {
 		b = append(b, f.flag)
 	case frameVerdict:
 		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = append(b, f.flag)
+	case frameRefuse:
 		b = append(b, f.flag)
 	case frameBegin:
 		b = binary.BigEndian.AppendUint32(b, f.id)
@@ -296,6 +308,9 @@ func (fr *frameReader) read() (frame, error) {
 		f.flag = p[0]
 		f.data = tail
 	case frameError:
+		f.str = string(tail)
+	case frameRefuse:
+		f.flag = p[0]
 		f.str = string(tail)
 	case frameVerdict:
 		f.id = binary.BigEndian.Uint32(p[0:4])

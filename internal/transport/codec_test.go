@@ -38,6 +38,8 @@ func sampleFrames() []frame {
 		{typ: framePong, id: 77},
 		{typ: frameResume, id: 12, ver: 40, str: "f1"},
 		{typ: frameSubscribed, id: 12, ver: 42, flag: 1},
+		{typ: frameRefuse, flag: uint8(RefuseOverCapacity), str: "session cap reached"},
+		{typ: frameRefuse, flag: uint8(RefuseUnknownDesign)},
 	}
 }
 
@@ -118,6 +120,7 @@ func TestFrameRejectsGarbage(t *testing.T) {
 		"ping tail":    append(binary.BigEndian.AppendUint32(nil, 6), byte(framePing), 0, 0, 0, 1, 'x'),
 		"pong tail":    append(binary.BigEndian.AppendUint32(nil, 6), byte(framePong), 0, 0, 0, 2, 'x'),
 		"short resume": append(binary.BigEndian.AppendUint32(nil, 8), byte(frameResume), 0, 0, 0, 1, 0, 0, 0),
+		"empty refuse": append(binary.BigEndian.AppendUint32(nil, 1), byte(frameRefuse)),
 	}
 	for name, wire := range cases {
 		fr := newFrameReader(bytes.NewReader(wire))

@@ -38,3 +38,57 @@ func isTimeout(err error) bool {
 	var t interface{ Timeout() bool }
 	return errors.As(err, &t) && t.Timeout()
 }
+
+// ErrUnknownDesign is the sentinel a refused hello unwraps to when the
+// host does not serve the design the client's digest names — a
+// single-design host serving a different design, or a multi-tenant
+// registry with no tenant registered under that digest. Use
+// errors.Is(err, ErrUnknownDesign) to distinguish "wrong host / not
+// registered" from a capacity refusal or a transport failure.
+var ErrUnknownDesign = errors.New("transport: unknown design digest (this host does not serve that design)")
+
+// ErrOverCapacity is the sentinel a refused hello unwraps to when the
+// host recognizes the design but will not admit the session: a
+// concurrent-session cap, a per-tenant cap, or a resident-memory budget
+// is exhausted. The refusal is immediate — an over-budget hello is
+// answered with a refuse frame, never parked — so callers can back off
+// and retry instead of hanging.
+var ErrOverCapacity = errors.New("transport: host over capacity")
+
+// RefuseCode discriminates hello refusals on the wire; it is the typed
+// half of the refuse frame (the reason string is the human half).
+type RefuseCode uint8
+
+const (
+	// RefuseGeneric is a refusal with no machine-readable cause.
+	RefuseGeneric RefuseCode = iota
+	// RefuseUnknownDesign: no such design behind this endpoint.
+	RefuseUnknownDesign
+	// RefuseOverCapacity: admission control rejected the session.
+	RefuseOverCapacity
+)
+
+// RefusedError is a hello refused by the host: the machine-readable
+// code plus the host's reason. It unwraps to ErrUnknownDesign or
+// ErrOverCapacity by code, so both errors.Is probes and the message
+// work. Hosts return it from a Router to refuse with a typed cause;
+// Dial returns it when the host answers the hello with a refuse frame.
+type RefusedError struct {
+	Code   RefuseCode
+	Reason string
+}
+
+func (e *RefusedError) Error() string {
+	return "transport: session refused: " + e.Reason
+}
+
+// Unwrap maps the refusal code to its sentinel.
+func (e *RefusedError) Unwrap() error {
+	switch e.Code {
+	case RefuseUnknownDesign:
+		return ErrUnknownDesign
+	case RefuseOverCapacity:
+		return ErrOverCapacity
+	}
+	return nil
+}

@@ -3,25 +3,102 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
 
+// Router resolves a session hello to the design it belongs to: a
+// multi-tenant host keeps a registry of designs keyed by digest and
+// routes every incoming session — validation, live, and resume alike —
+// to its tenant's sources. Route is called once per accepted hello and
+// must be safe for concurrent use.
+type Router interface {
+	// Route admits or refuses a session by its hello digest. A
+	// *RefusedError refusal travels to the client as a typed refuse
+	// frame (ErrUnknownDesign, ErrOverCapacity); any other error is a
+	// generic session error. The returned route's Close is called
+	// exactly once when the session ends.
+	Route(digest []byte) (Route, error)
+}
+
+// Route is one admitted session's serving state: the tenant's sources,
+// an optional gate for accounting and per-stream admission, and the
+// release hook.
+type Route struct {
+	// Sources maps each docking point the session may address to its
+	// peer.
+	Sources map[string]Source
+	// Gate, when non-nil, observes the session's protocol traffic and
+	// mediates its stream admissions.
+	Gate Gate
+	// Close, when non-nil, is called exactly once when the session ends.
+	Close func()
+}
+
+// Gate is a routed session's accounting and per-stream admission seam.
+// The host calls it from the session's serving goroutines, so
+// implementations must be safe for concurrent use; byte accounting
+// mirrors the protocol-level Stats the kernel peer keeps (verdicts and
+// fragment envelopes cost len(fn)+1, chunks cost their payload), so a
+// tenant's counters and a client's Stats agree on fully delivered
+// traffic.
+type Gate interface {
+	// OpenStream is called before a fragment or subscription stream is
+	// served; a non-nil error refuses the stream (a stream error frame,
+	// never a hang). CloseStream is called exactly once for every
+	// admitted stream when it ends.
+	OpenStream(fn string) error
+	CloseStream(fn string)
+	// VerdictServed records one answered (non-canceled) verdict request.
+	VerdictServed(fn string)
+	// ChunkShipped records one chunk frame's payload bytes (fragment or
+	// snapshot).
+	ChunkShipped(bytes int)
+	// FragmentDelivered records one fully delivered fragment (its End
+	// frame was sent).
+	FragmentDelivered(fn string)
+	// EditShipped records one edit frame's wire size.
+	EditShipped(bytes int)
+	// Resumed records one admitted resume subscription (a reconnecting
+	// kernel peer catching up).
+	Resumed(fn string)
+}
+
 // HostConfig parameterizes a peer host.
 type HostConfig struct {
 	// Digest is the hosted design's fingerprint; sessions presenting a
-	// different digest are refused at hello.
+	// different digest are refused at hello with ErrUnknownDesign.
+	// Ignored when Router is set.
 	Digest []byte
-	// Sources maps each hosted docking point to its peer.
+	// Sources maps each hosted docking point to its peer. Ignored when
+	// Router is set.
 	Sources map[string]Source
+	// Router, when non-nil, makes the host multi-tenant: each hello's
+	// digest is resolved to its design's sources instead of being
+	// checked against the single configured Digest.
+	Router Router
 	// Timeout is the liveness window per session: every frame read and
 	// write carries a deadline this far out, and a session missing it is
 	// torn down — clients heartbeat (ping) through idle stretches, so
 	// only a dead or stalled peer ever trips it. Zero means
 	// DefaultTimeout; negative disables deadlines.
 	Timeout time.Duration
+}
+
+// route resolves a hello digest against the config: the router when one
+// is set, the single static design otherwise.
+func (cfg *HostConfig) route(digest []byte) (Route, error) {
+	if cfg.Router != nil {
+		return cfg.Router.Route(digest)
+	}
+	if !bytes.Equal(digest, cfg.Digest) {
+		return Route{}, &RefusedError{Code: RefuseUnknownDesign,
+			Reason: "design digest mismatch (this host serves a different design)"}
+	}
+	return Route{Sources: cfg.Sources}, nil
 }
 
 // Host serves a set of resource peers over TCP: it accepts sessions
@@ -109,6 +186,8 @@ type session struct {
 	wmu     sync.Mutex
 	fw      frameWriter
 	timeout time.Duration // liveness window (0: no deadlines)
+	sources map[string]Source
+	gate    Gate // nil: ungated
 
 	mu       sync.Mutex
 	streams  map[uint32]*hostStream
@@ -159,12 +238,26 @@ func (h *Host) serveSession(c net.Conn) {
 		s.send(frame{typ: frameError, str: fmt.Sprintf("protocol version mismatch: client speaks v%d, this host v%d", hello.flag, protocolVersion)})
 		return
 	}
-	if !bytes.Equal(hello.data, h.cfg.Digest) {
-		s.send(frame{typ: frameError, str: "design digest mismatch (this host serves a different design)"})
+	route, rerr := h.cfg.route(hello.data)
+	if rerr != nil {
+		// A refusal is typed on the wire (unknown design, over
+		// capacity) so the dialing peer can tell "back off and retry"
+		// from "wrong host" — and it is always immediate: admission
+		// control answers the hello, it never parks it.
+		var ref *RefusedError
+		if errors.As(rerr, &ref) {
+			s.send(frame{typ: frameRefuse, flag: byte(ref.Code), str: ref.Reason})
+		} else {
+			s.send(frame{typ: frameError, str: rerr.Error()})
+		}
 		return
 	}
+	if route.Close != nil {
+		defer route.Close()
+	}
+	s.sources, s.gate = route.Sources, route.Gate
 	budget := budgetFromWire(hello.id)
-	if err := s.send(frame{typ: frameWelcome, flag: protocolVersion, data: h.cfg.Digest}); err != nil {
+	if err := s.send(frame{typ: frameWelcome, flag: protocolVersion, data: hello.data}); err != nil {
 		return
 	}
 	ctx, cancel := context.WithCancel(h.ctx)
@@ -189,7 +282,7 @@ func (h *Host) serveSession(c net.Conn) {
 			// Traffic is the point; nothing to route.
 
 		case frameVerdictReq:
-			src, ok := h.cfg.Sources[f.str]
+			src, ok := s.sources[f.str]
 			if !ok {
 				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
 				continue
@@ -199,7 +292,7 @@ func (h *Host) serveSession(c net.Conn) {
 			s.verdicts[f.id] = vcancel
 			s.mu.Unlock()
 			s.wg.Add(1)
-			go func(id uint32) {
+			go func(id uint32, fn string) {
 				defer s.wg.Done()
 				v := byte(0)
 				if src.Verdict(vctx) {
@@ -210,10 +303,10 @@ func (h *Host) serveSession(c net.Conn) {
 				delete(s.verdicts, id)
 				s.mu.Unlock()
 				vcancel()
-				if !canceled {
-					s.send(frame{typ: frameVerdict, id: id, flag: v})
+				if !canceled && s.send(frame{typ: frameVerdict, id: id, flag: v}) == nil && s.gate != nil {
+					s.gate.VerdictServed(fn)
 				}
-			}(f.id)
+			}(f.id, f.str)
 
 		case frameVerdictCancel:
 			s.mu.Lock()
@@ -225,9 +318,13 @@ func (h *Host) serveSession(c net.Conn) {
 			}
 
 		case frameOpen:
-			src, ok := h.cfg.Sources[f.str]
+			src, ok := s.sources[f.str]
 			if !ok {
 				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			if err := s.admitStream(f.str); err != nil {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 				continue
 			}
 			sctx, scancel := context.WithCancel(ctx)
@@ -236,12 +333,16 @@ func (h *Host) serveSession(c net.Conn) {
 			s.streams[f.id] = st
 			s.mu.Unlock()
 			s.wg.Add(1)
-			go s.serveStream(sctx, f.id, st, src, budget)
+			go s.serveStream(sctx, f.id, st, src, budget, f.str)
 
 		case frameSubscribe, frameResume:
-			src, ok := h.cfg.Sources[f.str]
+			src, ok := s.sources[f.str]
 			if !ok {
 				s.send(frame{typ: frameStreamErr, id: f.id, str: "no such docking point: " + f.str})
+				continue
+			}
+			if err := s.admitStream(f.str); err != nil {
+				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 				continue
 			}
 			var lf LiveFeedSrc
@@ -250,6 +351,7 @@ func (h *Host) serveSession(c net.Conn) {
 			if f.typ == frameResume {
 				rs, ok := src.(ResumableSource)
 				if !ok {
+					s.releaseStream(f.str)
 					s.send(frame{typ: frameStreamErr, id: f.id, str: "docking point does not support resumed subscriptions: " + f.str})
 					continue
 				}
@@ -257,14 +359,19 @@ func (h *Host) serveSession(c net.Conn) {
 				lf, resumed, err = rs.OpenLiveSince(sctx, f.ver)
 				if err != nil {
 					scancel()
+					s.releaseStream(f.str)
 					s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 					continue
 				}
-				s.startLive(sctx, scancel, f.id, lf, budget, resumed)
+				if s.gate != nil {
+					s.gate.Resumed(f.str)
+				}
+				s.startLive(sctx, scancel, f.id, lf, budget, resumed, f.str)
 				continue
 			}
 			ls, ok := src.(LiveSource)
 			if !ok {
+				s.releaseStream(f.str)
 				s.send(frame{typ: frameStreamErr, id: f.id, str: "docking point is not live: " + f.str})
 				continue
 			}
@@ -272,10 +379,11 @@ func (h *Host) serveSession(c net.Conn) {
 			lf, err = ls.OpenLive(sctx)
 			if err != nil {
 				scancel()
+				s.releaseStream(f.str)
 				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 				continue
 			}
-			s.startLive(sctx, scancel, f.id, lf, budget, false)
+			s.startLive(sctx, scancel, f.id, lf, budget, false, f.str)
 
 		case frameAck, frameEditAck:
 			s.mu.Lock()
@@ -316,13 +424,32 @@ func (h *Host) serveSession(c net.Conn) {
 	s.wg.Wait()
 }
 
+// admitStream asks the session's gate to admit one more open transfer;
+// ungated sessions admit everything. A refusal is answered with a
+// stream error frame by the caller — bounded, never a hang.
+func (s *session) admitStream(fn string) error {
+	if s.gate == nil {
+		return nil
+	}
+	return s.gate.OpenStream(fn)
+}
+
+// releaseStream undoes an admitStream whose stream never started (or
+// just ended).
+func (s *session) releaseStream(fn string) {
+	if s.gate != nil {
+		s.gate.CloseStream(fn)
+	}
+}
+
 // serveStream runs one fragment transfer: announce the size, then ship
 // chunk frames in lockstep with the receiver's acks. A reject (or a
 // dead session) cancels sctx, and the very next chunk handoff aborts —
 // nothing past the failure point is serialized.
-func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, src Source, budget int) {
+func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, src Source, budget int, fn string) {
 	defer s.wg.Done()
 	defer st.cancel()
+	defer s.releaseStream(fn)
 	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(src.Size())}); err != nil {
 		return
 	}
@@ -332,6 +459,9 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 		}
 		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
 			return err
+		}
+		if s.gate != nil {
+			s.gate.ChunkShipped(len(chunk))
 		}
 		select {
 		case <-st.acks:
@@ -349,7 +479,9 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 	s.mu.Unlock()
 	switch {
 	case err == nil:
-		s.send(frame{typ: frameEnd, id: id})
+		if s.send(frame{typ: frameEnd, id: id}) == nil && s.gate != nil {
+			s.gate.FragmentDelivered(fn)
+		}
 	case sctx.Err() != nil:
 		// Rejected or torn down: the receiver is not listening.
 	default:
@@ -359,14 +491,14 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 
 // startLive registers a subscription's stream bookkeeping and launches
 // its sender goroutine.
-func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id uint32, lf LiveFeedSrc, budget int, resumed bool) {
+func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id uint32, lf LiveFeedSrc, budget int, resumed bool, fn string) {
 	st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
 	s.mu.Lock()
 	s.streams[id] = st
 	s.lives[id] = lf
 	s.mu.Unlock()
 	s.wg.Add(1)
-	go s.serveLive(sctx, id, st, lf, budget, resumed)
+	go s.serveLive(sctx, id, st, lf, budget, resumed, fn)
 }
 
 // serveLive runs one subscription: announce the snapshot cut, ship the
@@ -378,9 +510,10 @@ func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id
 // the next handoff. A resumed subscription's snapshot is empty (the
 // subscriber kept its replica), so the phase structure is unchanged:
 // subscribed, zero chunks, end, edits from the announced version on.
-func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int, resumed bool) {
+func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int, resumed bool, fn string) {
 	defer s.wg.Done()
 	defer st.cancel()
+	defer s.releaseStream(fn)
 	defer func() {
 		s.mu.Lock()
 		delete(s.streams, id)
@@ -401,6 +534,9 @@ func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf 
 		}
 		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
 			return err
+		}
+		if s.gate != nil {
+			s.gate.ChunkShipped(len(chunk))
 		}
 		select {
 		case <-st.acks:
@@ -434,6 +570,9 @@ func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf 
 		pos = e.Version
 		if err := s.send(frame{typ: frameEdit, id: id, ver: e.Version, flag: e.Op, addr: e.Addr, data: e.Doc}); err != nil {
 			return
+		}
+		if s.gate != nil {
+			s.gate.EditShipped(e.WireSize())
 		}
 		select {
 		case <-st.acks:

@@ -130,6 +130,13 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 			nc.Close()
 			return nil, fmt.Errorf("transport: design digest mismatch (the host serves a different design)")
 		}
+	case frameRefuse:
+		// A typed refusal: the host named its cause on the wire, so the
+		// error unwraps to ErrUnknownDesign or ErrOverCapacity and the
+		// caller can tell "not registered here" from "back off and
+		// retry".
+		nc.Close()
+		return nil, &RefusedError{Code: RefuseCode(f.flag), Reason: f.str}
 	case frameError:
 		nc.Close()
 		return nil, fmt.Errorf("transport: host refused session: %s", f.str)

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -254,12 +255,151 @@ func TestTCPHelloDigestMismatch(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "digest mismatch") {
 		t.Fatalf("mismatched digests should fail the hello, got %v", err)
 	}
+	// The refusal is typed on the wire, not a generic session error: it
+	// unwraps to ErrUnknownDesign (and not to ErrOverCapacity).
+	if !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("digest mismatch should unwrap to ErrUnknownDesign, got %v", err)
+	}
+	if errors.Is(err, ErrOverCapacity) {
+		t.Errorf("digest mismatch must not read as a capacity refusal: %v", err)
+	}
 	// And a matching one succeeds on the same host.
 	c, err := Dial(h.Addr().String(), Config{Digest: Digest("design A"), Chunk: 64})
 	if err != nil {
 		t.Fatalf("matching digest refused: %v", err)
 	}
 	c.Close()
+}
+
+// mapRouter is a test Router: a static digest→sources table with an
+// optional session cap, counting routed sessions and refusals.
+type mapRouter struct {
+	mu      sync.Mutex
+	designs map[string]map[string]Source
+	cap     int
+	active  int
+	routed  int
+	refused int
+}
+
+func (r *mapRouter) Route(digest []byte) (Route, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	srcs, ok := r.designs[string(digest)]
+	if !ok {
+		r.refused++
+		return Route{}, &RefusedError{Code: RefuseUnknownDesign, Reason: "no such design registered"}
+	}
+	if r.cap > 0 && r.active >= r.cap {
+		r.refused++
+		return Route{}, &RefusedError{Code: RefuseOverCapacity, Reason: "session cap reached"}
+	}
+	r.active++
+	r.routed++
+	return Route{Sources: srcs, Close: func() {
+		r.mu.Lock()
+		r.active--
+		r.mu.Unlock()
+	}}, nil
+}
+
+// TestRoutingHostMultiTenant pins the multi-tenant seam at the
+// transport level: one listener, two designs, sessions routed by their
+// hello digest; an unknown digest and an over-capacity hello are
+// refused with typed errors, never a hang.
+func TestRoutingHostMultiTenant(t *testing.T) {
+	dA, dB := Digest("tenant A"), Digest("tenant B")
+	router := &mapRouter{designs: map[string]map[string]Source{
+		string(dA): {"f1": &fakeSource{blob: []byte("AAAA"), verdict: true}},
+		string(dB): {"f1": &fakeSource{blob: []byte("BBBBBBBB"), verdict: false}},
+	}, cap: 2}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHost(ln, HostConfig{Router: router})
+	defer h.Close()
+
+	read := func(c *Conn) []byte {
+		t.Helper()
+		frag, err := c.Open(context.Background(), "f1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []byte
+		for {
+			chunk, err := frag.Next()
+			if err == io.EOF {
+				return got
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, chunk...)
+		}
+	}
+
+	cA, err := Dial(h.Addr().String(), Config{Digest: dA, Chunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cA.Close()
+	cB, err := Dial(h.Addr().String(), Config{Digest: dB, Chunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cB.Close()
+
+	// Each session sees its own tenant's document and verdict.
+	if got := read(cA); string(got) != "AAAA" {
+		t.Errorf("tenant A read %q", got)
+	}
+	if got := read(cB); string(got) != "BBBBBBBB" {
+		t.Errorf("tenant B read %q", got)
+	}
+	if v, err := cA.Verdict(context.Background(), "f1"); err != nil || !v {
+		t.Errorf("tenant A verdict: v=%v err=%v", v, err)
+	}
+	if v, err := cB.Verdict(context.Background(), "f1"); err != nil || v {
+		t.Errorf("tenant B verdict: v=%v err=%v", v, err)
+	}
+
+	// A third concurrent session trips the cap with a typed refusal.
+	if _, err := Dial(h.Addr().String(), Config{Digest: dA, Chunk: 64}); !errors.Is(err, ErrOverCapacity) {
+		t.Errorf("over-capacity hello should unwrap to ErrOverCapacity, got %v", err)
+	}
+	// An unregistered design is refused with ErrUnknownDesign.
+	if _, err := Dial(h.Addr().String(), Config{Digest: Digest("tenant C"), Chunk: 64}); !errors.Is(err, ErrUnknownDesign) {
+		t.Errorf("unknown design should unwrap to ErrUnknownDesign, got %v", err)
+	}
+
+	// Closing a session releases its slot: the next hello is admitted.
+	cB.Close()
+	waitCond(t, func() bool { router.mu.Lock(); defer router.mu.Unlock(); return router.active == 1 })
+	cC, err := Dial(h.Addr().String(), Config{Digest: dA, Chunk: 64})
+	if err != nil {
+		t.Fatalf("slot released by close still refused: %v", err)
+	}
+	cC.Close()
+	router.mu.Lock()
+	routed, refused := router.routed, router.refused
+	router.mu.Unlock()
+	if routed != 3 || refused != 2 {
+		t.Errorf("routed=%d refused=%d, want 3 and 2", routed, refused)
+	}
+}
+
+// waitCond polls a condition with a deadline — session teardown on the
+// host side trails the client's Close by a scheduling beat.
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func TestTCPHostCloseFailsSessions(t *testing.T) {
