@@ -11,6 +11,15 @@
 // custom b.ReportMetric units like wire-bytes/op) keyed by unit.
 // Non-benchmark lines are ignored, so raw `go test` output pipes in
 // unfiltered.
+//
+// Repeatable -min 'substring:unit:threshold' flags turn the run into a
+// regression gate: every benchmark whose name contains the substring
+// must report the unit at or above the threshold, or benchjson exits 1
+// (after writing the artifact, so the regressing numbers are still
+// published). A spec matching no benchmark also fails — renaming a
+// benchmark must not silently disarm its gate. Example:
+//
+//	... | benchjson -out BENCH.json -min 'TCPWindowSweep/window=1:MB/s:90.9'
 package main
 
 import (
@@ -57,8 +66,9 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
-// convert reads bench text from in and writes the JSON artifact to out.
-func convert(in io.Reader, out io.Writer) error {
+// convert reads bench text from in and writes the JSON artifact to out,
+// returning the parsed results for threshold checks.
+func convert(in io.Reader, out io.Writer) ([]Result, error) {
 	var results []Result
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -68,17 +78,83 @@ func convert(in io.Reader, out io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(struct {
+	return results, enc.Encode(struct {
 		Benchmarks []Result `json:"benchmarks"`
 	}{results})
 }
 
+// minSpec is one -min threshold: every benchmark whose name contains
+// the substring must report the unit at or above the floor.
+type minSpec struct {
+	substr string
+	unit   string
+	floor  float64
+}
+
+// minFlags collects repeated -min 'substring:unit:threshold' specs.
+type minFlags []minSpec
+
+func (m *minFlags) String() string {
+	var parts []string
+	for _, s := range *m {
+		parts = append(parts, fmt.Sprintf("%s:%s:%g", s.substr, s.unit, s.floor))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *minFlags) Set(v string) error {
+	i := strings.LastIndex(v, ":")
+	if i < 0 {
+		return fmt.Errorf("want substring:unit:threshold, got %q", v)
+	}
+	floor, err := strconv.ParseFloat(v[i+1:], 64)
+	if err != nil {
+		return fmt.Errorf("threshold in %q: %w", v, err)
+	}
+	rest := v[:i]
+	j := strings.LastIndex(rest, ":")
+	if j < 0 {
+		return fmt.Errorf("want substring:unit:threshold, got %q", v)
+	}
+	*m = append(*m, minSpec{substr: rest[:j], unit: rest[j+1:], floor: floor})
+	return nil
+}
+
+// checkMins enforces every -min spec against the parsed results: a spec
+// that matches no benchmark fails too (a renamed or deleted benchmark
+// must not silently disarm its regression gate).
+func checkMins(results []Result, mins minFlags) error {
+	for _, spec := range mins {
+		matched := false
+		for _, r := range results {
+			if !strings.Contains(r.Name, spec.substr) {
+				continue
+			}
+			got, ok := r.Metrics[spec.unit]
+			if !ok {
+				continue
+			}
+			matched = true
+			if got < spec.floor {
+				return fmt.Errorf("regression: %s reported %g %s, floor is %g",
+					r.Name, got, spec.unit, spec.floor)
+			}
+		}
+		if !matched {
+			return fmt.Errorf("-min %s:%s:%g matched no benchmark", spec.substr, spec.unit, spec.floor)
+		}
+	}
+	return nil
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default stdout)")
+	var mins minFlags
+	flag.Var(&mins, "min", "regression floor 'substring:unit:threshold' (repeatable): every matching benchmark must report the unit at or above the threshold, or exit 1")
 	flag.Parse()
 	out := io.Writer(os.Stdout)
 	var file *os.File
@@ -91,13 +167,18 @@ func main() {
 		file = f
 		out = f
 	}
-	err := convert(os.Stdin, out)
+	results, err := convert(os.Stdin, out)
 	if file != nil {
 		// A failed flush must fail the run, or CI publishes a truncated
 		// artifact while staying green.
 		if cerr := file.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if err == nil {
+		// Thresholds are checked after the artifact is written: a
+		// regression still publishes the numbers that show it.
+		err = checkMins(results, mins)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

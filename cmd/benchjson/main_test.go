@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -18,8 +19,12 @@ ok  	dxml/internal/p2p	3.714s
 
 func TestConvert(t *testing.T) {
 	var out strings.Builder
-	if err := convert(strings.NewReader(sample), &out); err != nil {
+	parsed, err := convert(strings.NewReader(sample), &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("convert returned %d results, want 2", len(parsed))
 	}
 	var doc struct {
 		Benchmarks []Result `json:"benchmarks"`
@@ -50,5 +55,44 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted noise", line)
 		}
+	}
+}
+
+// TestMinFlag pins the regression gate: specs parse (including colons
+// in the benchmark substring), floors pass at or above and fail below,
+// and a spec matching nothing fails rather than silently disarming.
+func TestMinFlag(t *testing.T) {
+	var mins minFlags
+	if err := mins.Set("FeederScaling:MB/s:190"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mins.Set("ChunkSweep/chunk=4096:allocs/op:0"); err != nil {
+		t.Fatal(err)
+	}
+	if mins[0].substr != "FeederScaling" || mins[0].unit != "MB/s" || mins[0].floor != 190 {
+		t.Fatalf("parsed spec: %+v", mins[0])
+	}
+	for _, bad := range []string{"", "nounit", "a:b:notanumber"} {
+		var m minFlags
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted a malformed spec", bad)
+		}
+	}
+
+	results, err := convert(strings.NewReader(sample), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMins(results, mins); err != nil {
+		t.Errorf("floors at the reported values should pass: %v", err)
+	}
+	if err := checkMins(results, minFlags{{substr: "FeederScaling", unit: "MB/s", floor: 200}}); err == nil {
+		t.Error("a floor above the reported MB/s should fail")
+	}
+	if err := checkMins(results, minFlags{{substr: "NoSuchBench", unit: "MB/s", floor: 1}}); err == nil {
+		t.Error("a spec matching no benchmark should fail")
+	}
+	if err := checkMins(results, minFlags{{substr: "FeederScaling", unit: "no/unit", floor: 1}}); err == nil {
+		t.Error("a spec matching no unit should fail")
 	}
 }

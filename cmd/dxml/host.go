@@ -32,6 +32,7 @@ func runHost(args []string) {
 	maxTenantStreams := fs.Int("max-tenant-streams", 0, "cap on concurrent open transfers per tenant (0 = unlimited)")
 	maxResidentBytes := fs.Int64("max-resident-bytes", 0, "resident-memory budget over materialized designs; idle designs are evicted LRU to fit (0 = unlimited)")
 	maxResidentDesigns := fs.Int("max-resident-designs", 0, "cap on concurrently materialized designs (0 = unlimited)")
+	window := fs.Int("window", dxml.DefaultWindow, "credit window cap in chunks granted to any transfer (bounds per-stream sender memory to window x chunk)")
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dxml host [-listen addr] [-http addr] [caps...] [<design-file>,<fn=document>,... ...]")
@@ -47,6 +48,9 @@ func runHost(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	if err := validateWindowFlag(*window); err != nil {
+		fatal(err)
+	}
 	cfg := dxml.HostConfig{
 		MaxSessions:        *maxSessions,
 		MaxTenantSessions:  *maxTenantSessions,
@@ -54,6 +58,7 @@ func runHost(args []string) {
 		MaxTenantStreams:   *maxTenantStreams,
 		MaxResidentBytes:   *maxResidentBytes,
 		MaxResidentDesigns: *maxResidentDesigns,
+		Window:             *window,
 	}
 	srv, reg, err := startHost(cfg, fs.Args(), *listen, *httpAddr, *chaosSeed)
 	if err != nil {

@@ -82,11 +82,11 @@ func TestHostScaleFanIn(t *testing.T) {
 		dfs[i], specs[i] = df, spec
 		// The reference: the same design behind a plain single-design
 		// serve. The host must match it byte for byte, stats included.
-		ref, err := startServe(df, assigns, "127.0.0.1:0", 0)
+		ref, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := RunJoin(df, ref.host.Addr().String(), nil, 16, true)
+		out, err := RunJoin(df, ref.host.Addr().String(), nil, 16, dxml.DefaultWindow, true)
 		ref.host.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -113,7 +113,7 @@ func TestHostScaleFanIn(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				out, err := RunJoin(dfs[i], addr, nil, 16, true)
+				out, err := RunJoin(dfs[i], addr, nil, 16, dxml.DefaultWindow, true)
 				if err != nil {
 					t.Errorf("design %d: %v", i, err)
 					return
@@ -152,7 +152,7 @@ func TestHostScaleFanIn(t *testing.T) {
 // `dxml join` byte-identically to the dedicated serve.
 func TestHostServesEurostat(t *testing.T) {
 	df, ref := startEurostatServe(t, eurostatValidDocs)
-	want, err := RunJoin(df, ref.host.Addr().String(), nil, 16, true)
+	want, err := RunJoin(df, ref.host.Addr().String(), nil, 16, dxml.DefaultWindow, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestHostServesEurostat(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	out, err := RunJoin(df, srv.Addr().String(), nil, 16, true)
+	out, err := RunJoin(df, srv.Addr().String(), nil, 16, dxml.DefaultWindow, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestHostListenEphemeral(t *testing.T) {
 		}
 	}
 
-	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", 0)
+	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestHostRegisterRuntime(t *testing.T) {
 	httpAddr := srv.HTTPAddr().String()
 
 	// Not registered yet: the hello is refused, typed, never hung.
-	if _, err := RunJoin(df, addr, nil, 16, false); !errors.Is(err, dxml.ErrUnknownDesign) {
+	if _, err := RunJoin(df, addr, nil, 16, dxml.DefaultWindow, false); !errors.Is(err, dxml.ErrUnknownDesign) {
 		t.Fatalf("join before register: got %v, want ErrUnknownDesign", err)
 	}
 
@@ -253,7 +253,7 @@ func TestHostRegisterRuntime(t *testing.T) {
 	if digest == "" {
 		t.Fatal("register returned an empty digest")
 	}
-	out, err := RunJoin(df, addr, nil, 16, false)
+	out, err := RunJoin(df, addr, nil, 16, dxml.DefaultWindow, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestHostChaosDrill(t *testing.T) {
 	}
 	defer srv.Close()
 	for attempt := 0; attempt < 12; attempt++ {
-		out, err := RunJoin(df, srv.Addr().String(), nil, 16, false)
+		out, err := RunJoin(df, srv.Addr().String(), nil, 16, dxml.DefaultWindow, false)
 		if err != nil {
 			continue // a doomed session: clean error, try again
 		}
@@ -342,12 +342,12 @@ func TestHostCapsOverWire(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunJoin(df, srv.Addr().String(), nil, 16, false); !errors.Is(err, dxml.ErrOverCapacity) {
+	if _, err := RunJoin(df, srv.Addr().String(), nil, 16, dxml.DefaultWindow, false); !errors.Is(err, dxml.ErrOverCapacity) {
 		t.Fatalf("over-capacity join: got %v, want ErrOverCapacity", err)
 	}
 	s.Close()
 	// Slot released: the same join now succeeds.
-	out, err := RunJoin(df, srv.Addr().String(), nil, 16, false)
+	out, err := RunJoin(df, srv.Addr().String(), nil, 16, dxml.DefaultWindow, false)
 	if err != nil {
 		t.Fatal(err)
 	}

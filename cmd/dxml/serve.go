@@ -32,9 +32,10 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("dxml serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:9400", "TCP address to listen on (use :0 for an ephemeral port)")
 	watch := fs.Bool("watch", false, "watch the document files and publish changes as subtree edits (live mode)")
+	window := fs.Int("window", dxml.DefaultWindow, "credit window cap in chunks: the most unacked chunks granted to any transfer (joiners asking for less get less)")
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off; for resilience drills against a joining kernel peer)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-chaos seed] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-window N] [-chaos seed] <design-file> <fn=document>...")
 		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
 		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
 		fs.PrintDefaults()
@@ -52,7 +53,10 @@ func runServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := startServe(df, fs.Args()[1:], *listen, *chaosSeed)
+	if err := validateWindowFlag(*window); err != nil {
+		fatal(err)
+	}
+	srv, err := startServe(df, fs.Args()[1:], *listen, *window, *chaosSeed)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,15 +90,17 @@ type serveInstance struct {
 
 // startServe builds the hosting network from fn=docfile assignments and
 // starts serving it; split from runServe so tests can drive a loopback
-// federation in process. A nonzero chaosSeed wraps the listener in the
-// deterministic fault injector: accepted sessions are doomed to drop
-// after a seed-derived byte budget, so a joining peer's reconnect path
-// can be drilled against a real serve.
-func startServe(df *DesignFile, assigns []string, listen string, chaosSeed int64) (*serveInstance, error) {
+// federation in process. The window caps the credit grant of every
+// transfer this serve hosts. A nonzero chaosSeed wraps the listener in
+// the deterministic fault injector: accepted sessions are doomed to
+// drop after a seed-derived byte budget, so a joining peer's reconnect
+// path can be drilled against a real serve.
+func startServe(df *DesignFile, assigns []string, listen string, window int, chaosSeed int64) (*serveInstance, error) {
 	srv, err := serveNetwork(df, assigns)
 	if err != nil {
 		return nil, err
 	}
+	srv.net.Window = window
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
@@ -264,10 +270,11 @@ func runJoin(args []string) {
 	fs.Var(peers, "peer", "fn=host:port mapping for one docking point (repeatable)")
 	stats := fs.Bool("stats", false, "print wire traffic (messages, frames, bytes, bytes saved)")
 	chunk := fs.Int("chunk", 0, "fragment frame budget in bytes (0 = default 4096; -chunk -1 = unchunked, the only valid negative)")
+	window := fs.Int("window", dxml.DefaultWindow, "credit window in chunks: how many unacked chunks each transfer may pipeline (1 = stop-and-wait; hosts may grant less)")
 	watch := fs.Bool("watch", false, "stay joined: subscribe to the hosts' edit logs and print verdict transitions (live mode)")
 	reconnect := fs.Int("reconnect", 8, "live mode: resubscription attempts per feed outage, with exponential backoff (0 = a feed error is terminal)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch [-reconnect N]] <design-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-window N] [-watch [-reconnect N]] <design-file>")
 		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
 		fs.PrintDefaults()
 	}
@@ -287,12 +294,12 @@ func runJoin(args []string) {
 	ctx, stop := signalContext()
 	defer stop()
 	if *watch {
-		if err := JoinLive(ctx, df, *connect, peers, *chunk, *reconnect, *stats, os.Stdout); err != nil {
+		if err := JoinLive(ctx, df, *connect, peers, *chunk, *window, *reconnect, *stats, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	out, err := RunJoinContext(ctx, df, *connect, peers, *chunk, *stats)
+	out, err := RunJoinContext(ctx, df, *connect, peers, *chunk, *window, *stats)
 	if err != nil {
 		fatal(err)
 	}
@@ -303,8 +310,11 @@ func runJoin(args []string) {
 // hosts; the caller owns the returned session. An interrupt (canceled
 // ctx) closes the session so in-flight operations end with clean
 // close frames instead of a mid-frame kill.
-func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int) (*dxml.Network, dxml.TransportSession, error) {
+func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int) (*dxml.Network, dxml.TransportSession, error) {
 	if err := validateChunkFlag(chunk); err != nil {
+		return nil, nil, err
+	}
+	if err := validateWindowFlag(window); err != nil {
 		return nil, nil, err
 	}
 	if df.Class == "word" {
@@ -316,6 +326,7 @@ func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[str
 	}
 	n := dxml.NewNetwork(df.Kernel, edtd)
 	n.ChunkSize = chunk
+	n.Window = window
 	addrs := map[string]string{}
 	for _, fn := range df.Kernel.Funcs() {
 		switch {
@@ -340,14 +351,14 @@ func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[str
 // compares over the TCP wire, reporting verdicts and per-protocol
 // traffic. The session hello carries the design digest, so joining a
 // host that serves a different design fails before any fragment moves.
-func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
-	return RunJoinContext(context.Background(), df, connect, peers, chunk, showStats)
+func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool) (string, error) {
+	return RunJoinContext(context.Background(), df, connect, peers, chunk, window, showStats)
 }
 
 // RunJoinContext is RunJoin under a context: cancellation closes the
 // session cleanly mid-round.
-func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk int, showStats bool) (string, error) {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk)
+func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool) (string, error) {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window)
 	if err != nil {
 		return "", err
 	}
@@ -395,8 +406,8 @@ func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers m
 // attempts > 0, a dropped feed is resubscribed with exponential backoff
 // — the verdict goes stale during the outage and recovers by log-suffix
 // replay (or a snapshot rebuild when the host compacted past us).
-func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, reconnect int, showStats bool, w io.Writer) error {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk)
+func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer) error {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window)
 	if err != nil {
 		return err
 	}
@@ -477,6 +488,18 @@ func validateChunkFlag(chunk int) error {
 	if chunk < dxml.Unchunked {
 		return fmt.Errorf("invalid -chunk %d: the budget is a positive byte count, 0 (default %d), or -1 (unchunked)",
 			chunk, dxml.DefaultChunkSize)
+	}
+	return nil
+}
+
+// validateWindowFlag rejects nonsense credit windows at flag time with
+// the library's typed sentinel: a window is a positive chunk count;
+// zero and negatives would stall every transfer before its first
+// chunk, so they are refused before anything dials.
+func validateWindowFlag(window int) error {
+	if window <= 0 {
+		return fmt.Errorf("invalid -window %d: the credit window is a positive chunk count (default %d): %w",
+			window, dxml.DefaultWindow, dxml.ErrInvalidWindow)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *serveInstanc
 		}
 		assigns[i] = fn + "=" + path
 	}
-	srv, err := startServe(df, assigns, "127.0.0.1:0", 0)
+	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ var eurostatValidDocs = []string{
 // same documents.
 func TestServeJoinLoopback(t *testing.T) {
 	df, srv := startEurostatServe(t, eurostatValidDocs)
-	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, true)
+	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, dxml.DefaultWindow, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestServeJoinRejection(t *testing.T) {
 	fat.WriteString(")")
 	bad[3] = fat.String()
 	df, srv := startEurostatServe(t, bad)
-	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, true)
+	out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, dxml.DefaultWindow, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestJoinPeerFlagRouting(t *testing.T) {
 	df, srvA := startEurostatServe(t, eurostatValidDocs)
 	_, srvB := startEurostatServe(t, eurostatValidDocs)
 	out, err := RunJoin(df, srvA.host.Addr().String(),
-		map[string]string{"f2": srvB.host.Addr().String()}, 0, false)
+		map[string]string{"f2": srvB.host.Addr().String()}, 0, dxml.DefaultWindow, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,16 +145,16 @@ end
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunJoin(other, addr, nil, 0, false); err == nil ||
+	if _, err := RunJoin(other, addr, nil, 0, dxml.DefaultWindow, false); err == nil ||
 		!strings.Contains(err.Error(), "digest mismatch") {
 		t.Errorf("mismatched design should fail the hello, got %v", err)
 	}
 
 	// Missing addresses and bad chunk budgets fail fast.
-	if _, err := RunJoin(df, "", nil, 0, false); err == nil {
+	if _, err := RunJoin(df, "", nil, 0, dxml.DefaultWindow, false); err == nil {
 		t.Error("join with no addresses should fail")
 	}
-	if _, err := RunJoin(df, addr, nil, -5, false); err == nil ||
+	if _, err := RunJoin(df, addr, nil, -5, dxml.DefaultWindow, false); err == nil ||
 		!strings.Contains(err.Error(), "-chunk") {
 		t.Errorf("-chunk -5 should be rejected, got %v", err)
 	}
@@ -176,13 +177,13 @@ func TestServeChaosDrill(t *testing.T) {
 		}
 		assigns[i] = fn + "=" + path
 	}
-	srv, err := startServe(df, assigns, "127.0.0.1:0", 99)
+	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 99)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.host.Close()
 	for attempt := 0; attempt < 12; attempt++ {
-		out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, false)
+		out, err := RunJoin(df, srv.host.Addr().String(), nil, 16, dxml.DefaultWindow, false)
 		if err != nil {
 			continue // a doomed session: clean error, try again
 		}
@@ -222,6 +223,27 @@ func TestValidateChunkFlag(t *testing.T) {
 	}
 }
 
+// TestValidateWindowFlag: a credit window is a positive chunk count;
+// zero and negatives are refused at flag time with the typed sentinel,
+// never passed on to stall a transfer before its first chunk.
+func TestValidateWindowFlag(t *testing.T) {
+	for _, ok := range []int{1, 2, dxml.DefaultWindow, 4096} {
+		if err := validateWindowFlag(ok); err != nil {
+			t.Errorf("window %d should be accepted: %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -1, -32} {
+		err := validateWindowFlag(bad)
+		if err == nil {
+			t.Errorf("window %d should be rejected", bad)
+			continue
+		}
+		if !errors.Is(err, dxml.ErrInvalidWindow) {
+			t.Errorf("window %d: rejection is not the typed sentinel: %v", bad, err)
+		}
+	}
+}
+
 // syncBuffer is a mutex-guarded bytes.Buffer: JoinLive writes from its
 // own goroutine while the test polls String.
 type syncBuffer struct {
@@ -254,7 +276,7 @@ func TestServeWatchJoinLive(t *testing.T) {
 
 	buf := &syncBuffer{}
 	done := make(chan error, 1)
-	go func() { done <- JoinLive(ctx, df, srv.host.Addr().String(), nil, 0, 8, true, buf) }()
+	go func() { done <- JoinLive(ctx, df, srv.host.Addr().String(), nil, 0, dxml.DefaultWindow, 8, true, buf) }()
 
 	// Wait for the subscription to come up, then break f1's document
 	// on disk; the watcher should re-serve it as edits and the join

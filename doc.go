@@ -33,11 +33,20 @@
 // peers on a socket and Network.DialTCP joins them as the kernel peer,
 // speaking a length-prefixed binary frame protocol (session hello with
 // a design digest, per-fragment open/chunk/ack/close frames, and a
-// reject frame that halts a sender mid-transfer) with synchronous
-// backpressure. Verdicts, frame counts and byte totals are identical
-// across transports — pinned by differential tests — and the `dxml
-// serve` / `dxml join` subcommands run a federation across processes
-// from a design file.
+// reject frame that halts a sender mid-transfer). Transfers flow under
+// credit-based sliding-window control: the hello requests a window of
+// chunk credits (Network.Window, DefaultWindow), the host grants up to
+// its own cap, and the sender pipelines up to that many chunks past
+// the receiver's last cumulative ack — window 1 degenerates to the old
+// stop-and-wait wire, wider windows hide the per-chunk round trip, and
+// backpressure and mid-transfer rejection still bound the sender
+// within one window of the receiver's consumption. The TCP hot path
+// recycles frame buffers through a sync.Pool and writes header and
+// payload in one vectored syscall, so steady-state chunk flow does not
+// allocate. Verdicts, frame counts and byte totals are identical
+// across transports and window widths — pinned by differential tests —
+// and the `dxml serve` / `dxml join` subcommands run a federation
+// across processes from a design file.
 //
 // Federations can outlive the validation round. The edit subsystem
 // (internal/live) gives every resource peer a versioned fragment whose
@@ -47,8 +56,9 @@
 // drain. Network.AttachEditor makes a peer editable; Network.OpenLive
 // turns the kernel peer into a live session: it pulls each fragment's
 // keyed snapshot, subscribes to the edit logs over either transport
-// (edit / ack / verdict-update frames, stop-and-wait like everything
-// else on this wire), and maintains the global verdict by *incremental
+// (edit / ack / verdict-update frames — edits stay stop-and-wait; only
+// chunked fragment transfers pipeline under the credit window), and
+// maintains the global verdict by *incremental
 // revalidation* — a checkpointed result tree of per-node content-DFA
 // summaries (Incremental) re-checks only the edited subtree plus the
 // ancestor chain whose summaries change, O(edit + depth) instead of

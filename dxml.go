@@ -133,6 +133,11 @@ const (
 	// Unchunked ships each fragment as a single frame (the monolithic
 	// pre-chunking wire).
 	Unchunked = p2p.Unchunked
+	// DefaultWindow is the credit window when Network.Window is zero:
+	// how many chunks a sender may have on the wire beyond the
+	// receiver's cumulative ack. Window 1 degenerates to stop-and-wait;
+	// the default keeps the pipe full across round trips.
+	DefaultWindow = p2p.DefaultWindow
 )
 
 // Wire transport (internal/transport): the federation's verdicts and
@@ -172,6 +177,11 @@ var (
 	// to when the host's admission control rejects it: back off and
 	// retry, the host is alive but full.
 	ErrOverCapacity = transport.ErrOverCapacity
+	// ErrInvalidWindow is the typed rejection of a nonsensical credit
+	// window (negative Network.Window, or a non-positive -window flag):
+	// configuration errors surface at dial/flag time, never as a wire
+	// stall.
+	ErrInvalidWindow = p2p.ErrInvalidWindow
 )
 
 // Multi-tenant federation hosting (internal/host): one server process

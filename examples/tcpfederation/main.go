@@ -20,6 +20,7 @@ package main
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"dxml"
 )
@@ -132,6 +133,56 @@ func main() {
 	t := rejoin.Stats.Totals()
 	fmt.Printf("after corrupting f1: centralized=%v, %d bytes delivered, %d saved by mid-transfer rejection\n",
 		cent2, t.Bytes, t.BytesSaved)
+
+	// Credit-windowed wire: the same fat transfer at window 1 (the old
+	// stop-and-wait wire — one chunk, one ack, one round trip, repeat)
+	// and at the default window (dxml.DefaultWindow chunks pipelined
+	// ahead of the cumulative ack). The verdicts and every traffic
+	// counter are identical — the window is a latency knob, not a
+	// protocol change — but the pipelined session keeps the pipe full
+	// instead of idling one round trip per chunk.
+	fatDocs := map[string]*dxml.Tree{
+		"f0": docs["f0"], "f2": docs["f2"], "f3": docs["f3"],
+		"f1": grow(typing[1].Starts[0], 20000, true),
+	}
+	fatServed := dxml.NewNetwork(kernel, tau.ToEDTD())
+	for fn, doc := range fatDocs {
+		if err := fatServed.AddPeer(fn, doc, typing[kernel.FuncIndex(fn)]); err != nil {
+			panic(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	fatHost := fatServed.ServeTCP(ln)
+	defer fatHost.Close()
+	fatAddrs := map[string]string{}
+	for _, fn := range kernel.Funcs() {
+		fatAddrs[fn] = fatHost.Addr().String()
+	}
+	run := func(window int) (time.Duration, dxml.Totals) {
+		j := dxml.NewNetwork(kernel, tau.ToEDTD())
+		j.ChunkSize = 512
+		j.Window = window
+		s, err := j.DialTCP(fatAddrs)
+		if err != nil {
+			panic(err)
+		}
+		defer s.Close()
+		j.Transport = s
+		start := time.Now()
+		if ok, err := j.ValidateCentralized(); err != nil || !ok {
+			panic(fmt.Sprintf("windowed run (window=%d): ok=%v err=%v", window, ok, err))
+		}
+		return time.Since(start), j.Stats.Totals()
+	}
+	slow, slowTot := run(1)
+	fast, fastTot := run(dxml.DefaultWindow)
+	fmt.Printf("window=1 (stop-and-wait): %v; window=%d (pipelined): %v — %.1fx\n",
+		slow.Round(time.Millisecond), dxml.DefaultWindow, fast.Round(time.Millisecond),
+		float64(slow)/float64(fast))
+	fmt.Printf("identical totals across windows: %v\n", slowTot == fastTot)
 }
 
 // grow builds a national bureau document with k index entries.

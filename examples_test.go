@@ -23,7 +23,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/bottomup", []string{"cons[dRE-DTD] = true", "cons[SDTD] = true, cons[DTD] = false"}},
 		{"./examples/dynamic", []string{"reachable(a b a b a) = true", "one-step(a b a b a)  = false"}},
 		{"./examples/distvalidate", []string{"verdicts agree=true", "admitted=false"}},
-		{"./examples/tcpfederation", []string{"over TCP: distributed=true centralized=true", "wire parity with in-process: true", "saved by mid-transfer rejection"}},
+		{"./examples/tcpfederation", []string{"over TCP: distributed=true centralized=true", "wire parity with in-process: true", "saved by mid-transfer rejection", "identical totals across windows: true"}},
 		{"./examples/livefederation", []string{"initial verdict valid=true", "** verdict true -> false", "** verdict false -> true", "editing site learned via verdict-update: v4 valid=true", "incremental revalidation skipped"}},
 		{"./examples/streamvalidate", []string{"single-type fast path = true", "agree: true", "one shared machine: all valid = true"}},
 		{"./examples/multitenant", []string{"all 8 tenants valid over one port: true", "unknown design refused with typed error: true", "third concurrent session refused: true", "resident designs capped: true, evictions occurred: true", "/metrics agrees with registry: true"}},

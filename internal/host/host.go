@@ -35,7 +35,10 @@ type Config struct {
 	// MaxTenantSessions caps concurrent sessions per tenant.
 	MaxTenantSessions int
 	// MaxStreams caps concurrent open transfers (fragment streams and
-	// live subscriptions) across all tenants.
+	// live subscriptions) across all tenants. Each admitted transfer is
+	// credit-windowed: it can hold up to Window×chunk-budget bytes in
+	// flight toward its client, so MaxStreams×Window×chunk bounds the
+	// host's aggregate in-flight exposure.
 	MaxStreams int
 	// MaxTenantStreams caps concurrent open transfers per tenant.
 	MaxTenantStreams int
@@ -49,6 +52,11 @@ type Config struct {
 	// Timeout is the per-session liveness window handed to the
 	// transport host (zero: transport.DefaultTimeout).
 	Timeout time.Duration
+	// Window caps the per-stream credit window this host honors,
+	// whatever a client's hello grants (zero: no cap beyond the
+	// transport-wide maximum). Lowering it trades throughput for a
+	// tighter per-transfer memory bound — see MaxStreams.
+	Window int
 }
 
 // Design is one registered tenant: a name for metrics, the digest its

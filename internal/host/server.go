@@ -28,7 +28,7 @@ func NewServer(reg *Registry, ln, httpLn net.Listener) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", s.metrics)
-	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout})
+	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout, Window: reg.cfg.Window})
 	if httpLn != nil {
 		s.hsrv = &http.Server{Handler: s.mux}
 		go s.hsrv.Serve(httpLn)

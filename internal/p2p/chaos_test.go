@@ -86,10 +86,18 @@ func TestChaosDifferential(t *testing.T) {
 	}
 
 	reconnects := 0
-	for _, seed := range []int64{3, 17, 2026} {
+	// Each seed runs at a different credit window — 1 is the old
+	// stop-and-wait wire, 8 and 32 pipeline — and every faulted run must
+	// still converge to the same fault-free baseline: the window is
+	// invisible to verdicts, traffic totals, and replica state even under
+	// drops, stalls, and duplicated acks.
+	windows := []int{1, 8, 32}
+	for i, seed := range []int64{3, 17, 2026} {
+		window := windows[i]
 		sched := chaos.Seeded(seed, 0.12, 5).SetDelay(time.Millisecond).Arm(false)
 		t.Run("inproc", func(t *testing.T) {
 			n := liveSetup(t, 64)
+			n.Window = window
 			inner, err := n.localSession(nil)
 			if err != nil {
 				t.Fatal(err)
@@ -110,6 +118,7 @@ func TestChaosDifferential(t *testing.T) {
 		sched = chaos.Seeded(seed, 0.12, 5).SetDelay(time.Millisecond).Arm(false)
 		t.Run("tcp", func(t *testing.T) {
 			served := liveSetup(t, 64)
+			served.Window = window
 			joined, shutdown := serveFederation(t, served)
 			defer shutdown()
 			joined.Transport = chaos.Wrap(joined.Transport, sched)
@@ -129,6 +138,49 @@ func TestChaosDifferential(t *testing.T) {
 	}
 	if reconnects == 0 {
 		t.Fatal("no fault schedule injected a drop: the corpus is not exercising recovery")
+	}
+}
+
+// TestChaosDuplicateAckNeverDoubleCredits replays cumulative acks on
+// the real TCP wire mid-transfer: a scripted schedule retransmits eight
+// acks during a centralized validation, and the run must match the
+// fault-free run's verdict and traffic totals exactly. A duplicated ack
+// carries a count the sender has already credited, so it grants no
+// credit, ships no extra chunk, and needs no recovery — Reconnects
+// stays zero and not one counter moves.
+func TestChaosDuplicateAckNeverDoubleCredits(t *testing.T) {
+	build := func() *Network {
+		n, typing := eurostatSetup(t)
+		n.ChunkSize = 64
+		n.Window = 4
+		attachValidDocs(t, n, typing, []int{2, 2, 40})
+		return n
+	}
+	baseRemote, shutdown := serveFederation(t, build())
+	ok, err := baseRemote.ValidateCentralized()
+	shutdown()
+	if err != nil || !ok {
+		t.Fatalf("fault-free run: ok=%v err=%v", ok, err)
+	}
+	baseTotals := baseRemote.Stats.Totals()
+
+	dups := make([]chaos.Fault, 8)
+	for i := range dups {
+		dups[i] = chaos.FaultDuplicate
+	}
+	sched := chaos.Script(dups...)
+	joined, shutdown := serveFederation(t, build())
+	defer shutdown()
+	joined.Transport = chaos.Wrap(joined.Transport, sched)
+	ok, err = joined.ValidateCentralized()
+	if err != nil || !ok {
+		t.Fatalf("duplicated-ack run: ok=%v err=%v", ok, err)
+	}
+	if got := joined.Stats.Totals(); got != baseTotals {
+		t.Fatalf("duplicated acks perturbed traffic totals:\nfaulted    %+v\nfault-free %+v", got, baseTotals)
+	}
+	if sched.Consumed() != len(dups) {
+		t.Fatalf("only %d/%d scripted ack duplications fired; the corpus is not exercising the credit path", sched.Consumed(), len(dups))
 	}
 }
 

@@ -73,6 +73,15 @@ import (
 // overhead is noise.
 const DefaultChunkSize = 4096
 
+// DefaultWindow is the per-stream credit window when Network.Window is
+// zero, re-exported from the transport.
+const DefaultWindow = transport.DefaultWindow
+
+// ErrInvalidWindow is returned (wrapped) when Network.Window is
+// negative — a nonsensical credit window is refused when the session is
+// built, never allowed to become a runtime hang.
+var ErrInvalidWindow = transport.ErrInvalidWindow
+
 // Unchunked disables fragment chunking: each document travels as one
 // frame, reproducing the pre-chunking monolithic wire.
 const Unchunked = -1
@@ -91,7 +100,13 @@ type Stats struct {
 	Bytes  int // payload bytes delivered
 	// BytesSaved counts fragment bytes that never traveled because the
 	// kernel peer rejected the document mid-transfer (or the round was
-	// short-circuited): the communication win of chunked shipping.
+	// short-circuited): the communication win of chunked shipping. It is
+	// accounted on the receiver side — announced size minus consumed
+	// chunk bytes — so it is invariant under the credit window. The
+	// sender-side saving is smaller by up to Window·ChunkSize bytes: a
+	// rejection halts the sender within its credit window, so chunks
+	// already in flight (sent but never consumed) still traveled the
+	// wire even though they count as saved here.
 	BytesSaved int
 	// Revalidated and Skipped account the live session's incremental
 	// revalidation, in the result tree's flat byte measure: how much of
@@ -308,6 +323,18 @@ type Network struct {
 	// Verdicts and message counts do not depend on it.
 	ChunkSize int
 
+	// Window is the per-stream credit window in chunks: how many unacked
+	// chunks a sender may pipeline before parking for the receiver's
+	// cumulative ack. 0 means DefaultWindow; 1 degenerates to
+	// stop-and-wait; negative is refused with ErrInvalidWindow when the
+	// session is built. Verdicts, message counts, and Stats byte totals
+	// are invariant under it — only latency, sender-side rejection
+	// savings (see Stats.BytesSaved), and peer memory change. Combined
+	// with MaxInflight it bounds the kernel peer's buffered fragment
+	// memory at MaxInflight·Window·ChunkSize bytes (each open stream may
+	// hold a full window of unconsumed chunks).
+	Window int
+
 	// Transport, when non-nil, is the session the kernel peer validates
 	// over — typically DialTCP's federation of remote hosts. When nil,
 	// validation runs over the in-process transport against Peers.
@@ -318,8 +345,10 @@ type Network struct {
 	// are consumed strictly in kernel order, and up to MaxInflight-1
 	// upcoming streams are opened ahead to hide per-transfer latency.
 	// 0 opens every docking point's stream up front. Verdicts and
-	// Stats are invariant under it (synchronous backpressure holds an
-	// opened stream at one un-acked chunk).
+	// Stats are invariant under it (credit-window backpressure holds
+	// each opened stream at no more than Window un-acked chunks, so the
+	// combined buffered-memory bound is MaxInflight·Window·ChunkSize
+	// bytes — see Window).
 	MaxInflight int
 
 	// Reconnect is the live session's recovery policy: when a docking
@@ -390,6 +419,16 @@ func (n *Network) chunkBudget() int {
 	}
 }
 
+// window validates the configured credit window at session-build time:
+// a negative window is a configuration error, refused with a typed
+// error instead of surfacing later as a hang or protocol failure.
+func (n *Network) window() (int, error) {
+	if n.Window < 0 {
+		return 0, fmt.Errorf("p2p: window %d: %w", n.Window, ErrInvalidWindow)
+	}
+	return n.Window, nil
+}
+
 // NewNetwork builds a federation for the kernel; documents and local
 // types are attached per function with AddPeer.
 func NewNetwork(kernel *axml.Kernel, global *schema.EDTD) *Network {
@@ -439,11 +478,15 @@ func (n *Network) localSession(override map[string]*xmltree.Tree) (transport.Ses
 	if err != nil {
 		return nil, err
 	}
+	win, err := n.window()
+	if err != nil {
+		return nil, err
+	}
 	srcs := make(map[string]transport.Source, len(peers))
 	for _, p := range peers {
 		srcs[p.Func] = &peerSource{peer: p, doc: override[p.Func]}
 	}
-	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget()}, nil
+	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget(), Window: win}, nil
 }
 
 // session resolves the wire validation runs over: the externally dialed
@@ -504,8 +547,10 @@ func (n *Network) ResidentEstimate() int64 {
 // peers can dial it, request verdicts, and pull fragment streams. A
 // host may serve any subset of the federation (attach only the local
 // docking points); close the returned host to stop.
+// The host's Window caps every joining client's credit-window grant.
 func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
-	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: n.HostSources()})
+	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: n.HostSources(),
+		Window: max(n.Window, 0)})
 }
 
 // DialTCP connects the kernel peer to the hosts serving its docking
@@ -521,7 +566,11 @@ func (n *Network) DialTCP(addrs map[string]string) (transport.Session, error) {
 }
 
 func (n *Network) dialTCP(addrs map[string]string) (transport.Session, error) {
-	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget()}
+	win, err := n.window()
+	if err != nil {
+		return nil, err
+	}
+	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget(), Window: win}
 	byAddr := map[string]*transport.Conn{}
 	multi := transport.Multi{}
 	for _, fn := range n.Kernel.Funcs() {

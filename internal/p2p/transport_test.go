@@ -25,6 +25,7 @@ func serveFederation(t testing.TB, served *Network) (*Network, func()) {
 	joined := NewNetwork(served.Kernel, served.GlobalType)
 	joined.ChunkSize = served.ChunkSize
 	joined.MaxInflight = served.MaxInflight
+	joined.Window = served.Window
 	addrs := map[string]string{}
 	for _, fn := range served.Kernel.Funcs() {
 		addrs[fn] = host.Addr().String()
@@ -43,13 +44,16 @@ func serveFederation(t testing.TB, served *Network) (*Network, func()) {
 
 // TestTCPDifferential is the acceptance criterion of the wire
 // transport: on the differential corpus (valid and mutated federations
-// across chunk sizes and inflight limits), a federation validated over
-// real TCP loopback produces verdicts, message counts, frame counts,
-// and byte totals — including Stats.BytesSaved on mid-transfer
-// rejections — identical to the in-process transport.
+// across chunk sizes, inflight limits, and credit windows), a
+// federation validated over real TCP loopback produces verdicts,
+// message counts, frame counts, and byte totals — including
+// Stats.BytesSaved on mid-transfer rejections — identical to the
+// in-process transport. Window 1 degenerates to the old stop-and-wait
+// wire, so trial coverage includes it explicitly.
 func TestTCPDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(2026))
 	chunks := []int{16, 4096, Unchunked}
+	windows := []int{1, 4, 32}
 	for trial := 0; trial < 12; trial++ {
 		sizes := []int{r.Intn(4), r.Intn(4), r.Intn(4)}
 		mutateAt := -1
@@ -57,11 +61,13 @@ func TestTCPDifferential(t *testing.T) {
 			mutateAt = r.Intn(4)
 		}
 		chunk := chunks[trial%len(chunks)]
+		window := windows[(trial/2)%len(windows)]
 		maxInflight := trial % 3 // 0 = open all, 1 = strictly sequential, 2 = one ahead
 		build := func() *Network {
 			n, typing := eurostatSetup(t)
 			n.ChunkSize = chunk
 			n.MaxInflight = maxInflight
+			n.Window = window
 			attachValidDocs(t, n, typing, sizes)
 			if mutateAt >= 0 {
 				// Same seed per transport => identical mutation.
@@ -98,8 +104,8 @@ func TestTCPDifferential(t *testing.T) {
 		shutdown()
 
 		if localDist != remoteDist || localCent != remoteCent {
-			t.Fatalf("trial %d (chunk=%d inflight=%d): verdicts differ across transports: in-process dist=%v cent=%v, tcp dist=%v cent=%v",
-				trial, chunk, maxInflight, localDist, localCent, remoteDist, remoteCent)
+			t.Fatalf("trial %d (chunk=%d inflight=%d window=%d): verdicts differ across transports: in-process dist=%v cent=%v, tcp dist=%v cent=%v",
+				trial, chunk, maxInflight, window, localDist, localCent, remoteDist, remoteCent)
 		}
 		// The distributed round ships only verdicts; on valid federations
 		// the count is exact (short-circuited rounds are scheduling-
@@ -113,16 +119,16 @@ func TestTCPDifferential(t *testing.T) {
 		localCentDelta := diffTotals(localStats, localDistStats)
 		remoteCentDelta := diffTotals(remoteStats, remoteDistStats)
 		if localDist && localCentDelta != remoteCentDelta {
-			t.Fatalf("trial %d (chunk=%d inflight=%d): centralized stats differ:\n in-process %+v\n tcp        %+v",
-				trial, chunk, maxInflight, localCentDelta, remoteCentDelta)
+			t.Fatalf("trial %d (chunk=%d inflight=%d window=%d): centralized stats differ:\n in-process %+v\n tcp        %+v",
+				trial, chunk, maxInflight, window, localCentDelta, remoteCentDelta)
 		}
 		if !localDist {
 			// The distributed deltas are scheduling-dependent, but the
 			// centralized protocol is deterministic even on rejection:
 			// compare its deltas directly.
 			if localCentDelta != remoteCentDelta {
-				t.Fatalf("trial %d (chunk=%d inflight=%d): centralized stats differ on invalid federation:\n in-process %+v\n tcp        %+v",
-					trial, chunk, maxInflight, localCentDelta, remoteCentDelta)
+				t.Fatalf("trial %d (chunk=%d inflight=%d window=%d): centralized stats differ on invalid federation:\n in-process %+v\n tcp        %+v",
+					trial, chunk, maxInflight, window, localCentDelta, remoteCentDelta)
 			}
 		}
 	}
@@ -137,6 +143,60 @@ func diffTotals(after, before Totals) Totals {
 		Revalidated: after.Revalidated - before.Revalidated,
 		Skipped:     after.Skipped - before.Skipped,
 		Reconnects:  after.Reconnects - before.Reconnects,
+	}
+}
+
+// TestWindowInvariantTotals pins the credit window as a pure latency
+// knob: the same federation validated centrally at windows 1, 2, 8 and
+// 32 produces identical verdicts, Messages, Frames, Bytes and
+// BytesSaved on both transports — window 1 reproducing the old
+// stop-and-wait totals byte for byte. Accounting is receiver-side on
+// consumed chunks, so pipelining depth must never leak into Stats.
+func TestWindowInvariantTotals(t *testing.T) {
+	for _, mutate := range []bool{false, true} {
+		var baseline *Totals
+		for _, window := range []int{1, 2, 8, 32} {
+			build := func() *Network {
+				n, typing := eurostatSetup(t)
+				n.ChunkSize = 64
+				n.Window = window
+				attachValidDocs(t, n, typing, []int{2, 1, 3})
+				if mutate {
+					n.Peers["f0"].Doc = xmltree.MustParse(typing[0].Starts[0] + "(zz)")
+				}
+				return n
+			}
+
+			local := build()
+			localOK, err := local.ValidateCentralized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			localTot := local.Stats.Totals()
+
+			served := build()
+			remote, shutdown := serveFederation(t, served)
+			remoteOK, err := remote.ValidateCentralized()
+			shutdown()
+			if err != nil {
+				t.Fatal(err)
+			}
+			remoteTot := remote.Stats.Totals()
+
+			if localOK != remoteOK || localOK == mutate {
+				t.Fatalf("mutate=%v window=%d: verdicts in-process=%v tcp=%v", mutate, window, localOK, remoteOK)
+			}
+			if localTot != remoteTot {
+				t.Fatalf("mutate=%v window=%d: totals differ across transports:\n in-process %+v\n tcp        %+v",
+					mutate, window, localTot, remoteTot)
+			}
+			if baseline == nil {
+				baseline = &remoteTot
+			} else if remoteTot != *baseline {
+				t.Fatalf("mutate=%v window=%d: totals differ from window=1 baseline:\n window=1 %+v\n window=%d %+v",
+					mutate, window, *baseline, window, remoteTot)
+			}
+		}
 	}
 }
 

@@ -45,12 +45,17 @@ const (
 	// FaultTruncate: the frame arrives cut short and the connection
 	// dies — the receiver gets a prefix of the bytes, then ErrInjected.
 	FaultTruncate
-	// FaultStallAck: the receiver sits on its ack, parking the sender
-	// (stop-and-wait means the sender cannot run ahead), then proceeds.
+	// FaultStallAck: the receiver sits on its ack — once the sender
+	// exhausts its credit window it parks (with a window of 1,
+	// immediately; wider windows absorb the stall until their credits
+	// run out) — then proceeds.
 	FaultStallAck
-	// FaultDuplicate: an edit is delivered twice — the at-least-once
-	// redelivery a reconnecting subscriber must tolerate, without the
-	// reconnect.
+	// FaultDuplicate: a frame is delivered twice. On an edit feed it is
+	// the at-least-once redelivery a reconnecting subscriber must
+	// tolerate, without the reconnect; on a fragment stream it is a
+	// retransmitted cumulative ack, which must never grant the sender
+	// extra credit (only fragments whose transport exposes ack
+	// duplication — TCP — offer this opportunity).
 	FaultDuplicate
 )
 
@@ -86,6 +91,7 @@ type Schedule struct {
 	pos      int
 	prob     float64
 	left     int
+	injected int
 	delay    time.Duration
 	disarmed bool
 }
@@ -122,6 +128,15 @@ func (s *Schedule) Arm(on bool) *Schedule {
 	return s
 }
 
+// Consumed reports how many faults the schedule has injected so far.
+// Tests use it to assert a corpus actually exercised its faults rather
+// than passing vacuously.
+func (s *Schedule) Consumed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
 // draw picks the fault to inject at an opportunity that can express
 // `kinds`, or FaultNone.
 func (s *Schedule) draw(kinds ...Fault) Fault {
@@ -138,6 +153,7 @@ func (s *Schedule) draw(kinds ...Fault) Fault {
 		for _, k := range kinds {
 			if k == next {
 				s.pos++
+				s.injected++
 				return next
 			}
 		}
@@ -147,6 +163,7 @@ func (s *Schedule) draw(kinds ...Fault) Fault {
 		return FaultNone
 	}
 	s.left--
+	s.injected++
 	return kinds[s.rng.Intn(len(kinds))]
 }
 
@@ -280,6 +297,13 @@ type fragment struct {
 func (f *fragment) Size() int { return f.inner.Size() }
 func (f *fragment) Abort()    { f.inner.Abort() }
 
+// ackDuplicator is the optional seam a fragment exposes for replaying
+// its last cumulative ack on the wire — the TCP fragment implements it;
+// the in-process handoff has no acks to duplicate.
+type ackDuplicator interface {
+	DuplicateAck() error
+}
+
 // Next injects on the fragment stream. FaultTruncate is deliberately
 // not drawn here: the length-prefixed codec never surfaces a torn frame
 // as data (the hostile-input tests pin that), so above the codec a
@@ -288,17 +312,31 @@ func (f *fragment) Abort()    { f.inner.Abort() }
 // *designed* to read as an invalid document, i.e. a wrong verdict by
 // construction, not a bug. Truncated payloads are injected on the live
 // snapshot path instead (NextChunk), where a decoder guards the result.
+// FaultDuplicate is drawn only when the inner fragment can express it
+// (an ack-carrying wire): the injected event is a retransmitted
+// cumulative ack, which a credit-window sender must treat as a no-op.
 func (f *fragment) Next() ([]byte, error) {
 	if err := f.s.alive(); err != nil {
 		return nil, err
 	}
-	switch f.s.sched.draw(FaultDrop, FaultDelay, FaultStallAck) {
+	kinds := []Fault{FaultDrop, FaultDelay, FaultStallAck}
+	dup, canDup := f.inner.(ackDuplicator)
+	if canDup {
+		kinds = append(kinds, FaultDuplicate)
+	}
+	switch f.s.sched.draw(kinds...) {
 	case FaultDrop:
 		return nil, f.s.drop()
 	case FaultStallAck:
-		// The previous chunk's ack is sent inside Next: sleeping first
-		// parks the sender on its un-acked chunk.
+		// The previous chunks' ack is sent inside Next: sleeping first
+		// lets the sender run to the end of its credit and park.
 		f.s.sched.sleep()
+	case FaultDuplicate:
+		// Replay the last cumulative ack before pulling the next chunk:
+		// the sender sees the same count twice and must not move.
+		if err := dup.DuplicateAck(); err != nil {
+			return nil, err
+		}
 	case FaultDelay:
 		chunk, err := f.inner.Next()
 		if err != nil {

@@ -2,21 +2,36 @@ package transport
 
 // chunker chops an incremental serialization into fixed-budget chunks
 // and hands each to a blocking send callback — the transport-specific
-// delivery (a channel handoff in process, a Chunk frame plus ack wait
-// over TCP). Two swap buffers make the transfer allocation-steady:
-// while the receiver consumes one chunk, the sender fills the other.
-// Chunk boundaries depend only on the budget, never on the transport,
-// which is what makes frame counts transport-invariant.
+// delivery (a channel handoff in process, a credit-gated Chunk frame
+// over TCP). A ring of swap buffers makes the transfer
+// allocation-steady: while the receiver consumes up to depth-1 earlier
+// chunks, the sender fills the next ring slot. The TCP sender needs
+// only two slots (the socket write returns the buffer synchronously);
+// the in-process transport passes chunks by reference through a
+// buffered channel, so its ring is sized window+1 — one chunk held by
+// the receiver, window-1 queued, one being filled. Chunk boundaries
+// depend only on the budget, never on the transport or the ring depth,
+// which is what makes frame counts transport- and window-invariant.
 type chunker struct {
 	send   func([]byte) error
 	budget int
-	buf    [2][]byte
+	buf    [][]byte
 	cur    int
 	sent   int
 }
 
 func newChunker(budget int, send func([]byte) error) *chunker {
-	return &chunker{send: send, budget: budget}
+	return newChunkerDepth(budget, 2, send)
+}
+
+// newChunkerDepth builds a chunker whose ring holds depth buffers;
+// depth below 2 is raised to 2 (a single buffer could be overwritten
+// while the receiver still reads it).
+func newChunkerDepth(budget, depth int, send func([]byte) error) *chunker {
+	if depth < 2 {
+		depth = 2
+	}
+	return &chunker{send: send, budget: budget, buf: make([][]byte, depth)}
 }
 
 func (w *chunker) Write(p []byte) (int, error) {
@@ -37,7 +52,8 @@ func (w *chunker) Write(p []byte) (int, error) {
 }
 
 // flush ships the current chunk (a no-op when empty). The send callback
-// blocks until the receiver consumes it — or fails, halting the sender.
+// blocks while the receiver's credits are exhausted — or fails, halting
+// the sender.
 func (w *chunker) flush() error {
 	chunk := w.buf[w.cur]
 	if len(chunk) == 0 {
@@ -47,7 +63,7 @@ func (w *chunker) flush() error {
 		return err
 	}
 	w.sent += len(chunk)
-	w.cur = 1 - w.cur
+	w.cur = (w.cur + 1) % len(w.buf)
 	w.buf[w.cur] = w.buf[w.cur][:0]
 	return nil
 }

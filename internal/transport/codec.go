@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 )
 
 // The TCP wire speaks length-prefixed binary frames:
@@ -21,9 +22,11 @@ const (
 	// hello exchange refuses mismatched versions. v2 added the liveness
 	// frames (ping/pong) and the resume handshake (resume + the
 	// subscribed frame's resumed flag); v3 added the typed refuse frame
-	// (hello admission control). Neither is wire-compatible with its
-	// predecessor.
-	protocolVersion = 3
+	// (hello admission control); v4 added credit-window flow control
+	// (the hello's window grant, its echo on begin/subscribed, and the
+	// ack frame's cumulative consumed-chunk count). None is
+	// wire-compatible with its predecessor.
+	protocolVersion = 4
 
 	// maxFramePayload caps one frame's payload (type byte excluded).
 	// Chunked transfers stay far below it; it exists so unchunked
@@ -34,6 +37,41 @@ const (
 	// headerSize is the length prefix plus the type byte.
 	headerSize = 5
 )
+
+// Credit-window bounds. The receiver grants the sender a per-stream
+// window of chunk credits in its hello; the sender pipelines up to that
+// many unacked chunks before parking.
+const (
+	// DefaultWindow is the per-stream credit window when a config
+	// leaves it zero: deep enough to hide an ack round-trip per chunk
+	// at the default budget, small enough that a rejection's overrun
+	// (at most window·chunk bytes serialized past the failure) stays
+	// a rounding error against whole-fragment shipping.
+	DefaultWindow = 32
+
+	// maxWindow caps the window a host will honor regardless of what a
+	// hello asks for: a hostile 2³¹-chunk grant must never translate
+	// into unbounded sender-side pipelining or receiver-side buffering.
+	maxWindow = 4096
+)
+
+// clampWindow resolves a wire-requested window against a host-side cap
+// into the effective per-stream credit window: always in [1, maxWindow]
+// (a zero grant would deadlock the sender; an absurd one is a memory
+// grant nobody made), and never above the cap when one is set.
+func clampWindow(req, cap int) int {
+	w := req
+	if w < 1 {
+		w = 1
+	}
+	if w > maxWindow {
+		w = maxWindow
+	}
+	if cap > 0 && w > cap {
+		w = cap
+	}
+	return w
+}
 
 // frameType discriminates the session protocol's frames.
 type frameType uint8
@@ -59,10 +97,14 @@ const (
 	// size. Chunks follow.
 	frameBegin
 	// frameChunk (server→client) carries one chunk: stream id, bytes.
-	// The sender then waits for frameAck (or frameReject) before
-	// producing the next chunk — stop-and-wait backpressure.
+	// The sender pipelines up to the stream's credit window of unacked
+	// chunks, then parks until acks replenish its credits — sliding-
+	// window backpressure (a window of 1 degenerates to stop-and-wait).
 	frameChunk
-	// frameAck (client→server) releases the next chunk: stream id.
+	// frameAck (client→server) replenishes the sender's credits: stream
+	// id plus the receiver's cumulative count of consumed chunks. Acks
+	// are cumulative, so a duplicated or reordered ack is idempotent —
+	// it can never grant credits twice.
 	frameAck
 	// frameEnd (server→client) closes a fully-sent stream: stream id.
 	frameEnd
@@ -128,7 +170,8 @@ type frame struct {
 	typ  frameType
 	id   uint32   // stream / request id; chunk budget rides here for hello
 	size uint64   // announced fragment size (begin), snapshot size (subscribed)
-	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate/resume)
+	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate/resume); cumulative consumed-chunk count (ack)
+	win  uint32   // credit window: requested (hello), effective echo (begin/subscribed)
 	flag byte     // verdict (verdict/verdictUpdate), version (hello/welcome), op (edit), resumed (subscribed)
 	str  string   // fn (open/verdictReq/subscribe/resume), reason (reject/streamErr/error)
 	addr []uint64 // prefix address (edit); decoded fresh per frame
@@ -146,19 +189,21 @@ const maxEditAddr = 4096
 func (t frameType) fixedLen() (int, error) {
 	switch t {
 	case frameHello:
-		return 5, nil // version + chunk budget
+		return 9, nil // version + chunk budget + window grant
 	case frameWelcome:
 		return 1, nil // version
 	case frameError:
 		return 0, nil
-	case frameVerdictReq, frameOpen, frameAck, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel, frameSubscribe, framePing, framePong:
+	case frameVerdictReq, frameOpen, frameEnd, frameReject, frameStreamErr, frameChunk, frameVerdictCancel, frameSubscribe, framePing, framePong:
 		return 4, nil // id
 	case frameVerdict:
 		return 5, nil // id + verdict
 	case frameRefuse:
 		return 1, nil // refuse code
+	case frameAck:
+		return 12, nil // id + cumulative consumed-chunk count
 	case frameBegin:
-		return 12, nil // id + size
+		return 16, nil // id + size + effective window
 	case frameEditAck, frameResume:
 		return 12, nil // id + version
 	case frameVerdictUpdate:
@@ -166,7 +211,7 @@ func (t frameType) fixedLen() (int, error) {
 	case frameEdit:
 		return 15, nil // id + version + op + address length
 	case frameSubscribed:
-		return 21, nil // id + version + snapshot size + resumed flag
+		return 25, nil // id + version + snapshot size + resumed flag + effective window
 	}
 	return 0, fmt.Errorf("transport: unknown frame type %d", t)
 }
@@ -177,6 +222,7 @@ func (t frameType) fixedLen() (int, error) {
 type frameWriter struct {
 	w   io.Writer
 	buf []byte
+	vec [2][]byte // reused net.Buffers backing for vectored chunk writes
 }
 
 // write encodes and writes one frame.
@@ -204,6 +250,7 @@ func (fw *frameWriter) write(f frame) error {
 	case frameHello:
 		b = append(b, f.flag)
 		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint32(b, f.win)
 	case frameWelcome:
 		b = append(b, f.flag)
 	case frameVerdict:
@@ -211,14 +258,19 @@ func (fw *frameWriter) write(f frame) error {
 		b = append(b, f.flag)
 	case frameRefuse:
 		b = append(b, f.flag)
+	case frameAck:
+		b = binary.BigEndian.AppendUint32(b, f.id)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
 	case frameBegin:
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.size)
+		b = binary.BigEndian.AppendUint32(b, f.win)
 	case frameSubscribed:
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.ver)
 		b = binary.BigEndian.AppendUint64(b, f.size)
 		b = append(b, f.flag)
+		b = binary.BigEndian.AppendUint32(b, f.win)
 	case frameEditAck, frameResume:
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint64(b, f.ver)
@@ -242,6 +294,32 @@ func (fw *frameWriter) write(f frame) error {
 	b = append(b, f.data...)
 	fw.buf = b
 	_, err = fw.w.Write(b)
+	return err
+}
+
+// writeChunk writes one chunk frame with a vectored write: the 9-byte
+// header (length prefix, type, stream id) is assembled in a stack
+// buffer and handed to the socket *together with* the caller's payload
+// via net.Buffers — one writev on a TCP conn, no copy of the chunk
+// bytes into the writer's scratch. This is the wire's hot path; every
+// other frame type goes through the general write above.
+func (fw *frameWriter) writeChunk(id uint32, data []byte) error {
+	if len(data) > maxFramePayload-4 {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit (chunk the transfer)",
+			len(data)+4, maxFramePayload)
+	}
+	var hdr [headerSize + 4]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+4+len(data)))
+	hdr[4] = byte(frameChunk)
+	binary.BigEndian.PutUint32(hdr[5:9], id)
+	if len(data) == 0 {
+		_, err := fw.w.Write(hdr[:])
+		return err
+	}
+	fw.vec[0], fw.vec[1] = hdr[:], data
+	bufs := net.Buffers(fw.vec[:])
+	_, err := bufs.WriteTo(fw.w)
+	fw.vec[0], fw.vec[1] = nil, nil // do not pin the payload past the write
 	return err
 }
 
@@ -303,6 +381,7 @@ func (fr *frameReader) read() (frame, error) {
 	case frameHello:
 		f.flag = p[0]
 		f.id = binary.BigEndian.Uint32(p[1:5])
+		f.win = binary.BigEndian.Uint32(p[5:9])
 		f.data = tail
 	case frameWelcome:
 		f.flag = p[0]
@@ -318,6 +397,7 @@ func (fr *frameReader) read() (frame, error) {
 	case frameBegin:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.size = binary.BigEndian.Uint64(p[4:12])
+		f.win = binary.BigEndian.Uint32(p[12:16])
 	case frameChunk:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.data = tail
@@ -327,8 +407,14 @@ func (fr *frameReader) read() (frame, error) {
 			f.ver = binary.BigEndian.Uint64(p[4:12])
 		}
 		f.str = string(tail)
-	case frameAck, frameEnd, frameVerdictCancel, framePing, framePong:
+	case frameEnd, frameVerdictCancel, framePing, framePong:
 		f.id = binary.BigEndian.Uint32(p[0:4])
+		if len(tail) != 0 {
+			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+		}
+	case frameAck:
+		f.id = binary.BigEndian.Uint32(p[0:4])
+		f.ver = binary.BigEndian.Uint64(p[4:12])
 		if len(tail) != 0 {
 			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
@@ -337,6 +423,7 @@ func (fr *frameReader) read() (frame, error) {
 		f.ver = binary.BigEndian.Uint64(p[4:12])
 		f.size = binary.BigEndian.Uint64(p[12:20])
 		f.flag = p[20]
+		f.win = binary.BigEndian.Uint32(p[21:25])
 		if len(tail) != 0 {
 			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}

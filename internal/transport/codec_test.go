@@ -12,7 +12,9 @@ import (
 // sampleFrames covers every frame type with representative payloads.
 func sampleFrames() []frame {
 	return []frame{
-		{typ: frameHello, flag: protocolVersion, id: 4096, data: Digest("design")},
+		{typ: frameHello, flag: protocolVersion, id: 4096, win: 32, data: Digest("design")},
+		{typ: frameHello, flag: protocolVersion, id: 4096, win: math.MaxUint32, data: Digest("design")},
+		{typ: frameHello, flag: protocolVersion, id: 4096, win: 0, data: Digest("design")},
 		{typ: frameWelcome, flag: protocolVersion, data: Digest("design")},
 		{typ: frameError, str: "boom"},
 		{typ: frameError},
@@ -21,15 +23,17 @@ func sampleFrames() []frame {
 		{typ: frameVerdictCancel, id: 7},
 		{typ: frameVerdict, id: 8, flag: 0},
 		{typ: frameOpen, id: 9, str: "f2"},
-		{typ: frameBegin, id: 9, size: 1 << 40},
+		{typ: frameBegin, id: 9, size: 1 << 40, win: 8},
 		{typ: frameChunk, id: 9, data: []byte("<a>\n  <b/>\n</a>\n")},
 		{typ: frameChunk, id: 9, data: nil},
+		{typ: frameAck, id: 9, ver: 3},
+		{typ: frameAck, id: 9, ver: math.MaxUint64},
 		{typ: frameAck, id: 9},
 		{typ: frameEnd, id: 9},
 		{typ: frameReject, id: 9, str: "rejected by receiver"},
 		{typ: frameStreamErr, id: 9, str: "no such docking point"},
 		{typ: frameSubscribe, id: 11, str: "f1"},
-		{typ: frameSubscribed, id: 11, ver: 42, size: 1 << 20},
+		{typ: frameSubscribed, id: 11, ver: 42, size: 1 << 20, win: 1},
 		{typ: frameEdit, id: 11, ver: 43, flag: 1, addr: []uint64{1 << 32, 3 << 31}, data: []byte("<p/>\n")},
 		{typ: frameEdit, id: 11, ver: 44, flag: 3},
 		{typ: frameEditAck, id: 11, ver: 43},
@@ -37,7 +41,7 @@ func sampleFrames() []frame {
 		{typ: framePing, id: 77},
 		{typ: framePong, id: 77},
 		{typ: frameResume, id: 12, ver: 40, str: "f1"},
-		{typ: frameSubscribed, id: 12, ver: 42, flag: 1},
+		{typ: frameSubscribed, id: 12, ver: 42, flag: 1, win: 4096},
 		{typ: frameRefuse, flag: uint8(RefuseOverCapacity), str: "session cap reached"},
 		{typ: frameRefuse, flag: uint8(RefuseUnknownDesign)},
 	}
@@ -53,7 +57,7 @@ func frameEqual(a, b frame) bool {
 		}
 	}
 	return a.typ == b.typ && a.id == b.id && a.size == b.size && a.ver == b.ver &&
-		a.flag == b.flag && a.str == b.str && bytes.Equal(a.data, b.data)
+		a.flag == b.flag && a.win == b.win && a.str == b.str && bytes.Equal(a.data, b.data)
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -114,7 +118,13 @@ func TestFrameRejectsGarbage(t *testing.T) {
 		"unknown type": append(binary.BigEndian.AppendUint32(nil, 1), 0xEE),
 		"zero type":    append(binary.BigEndian.AppendUint32(nil, 1), 0x00),
 		"short begin":  append(binary.BigEndian.AppendUint32(nil, 3), byte(frameBegin), 1, 2),
-		"ack tail":     append(binary.BigEndian.AppendUint32(nil, 7), byte(frameAck), 0, 0, 0, 1, 'x', 'y'),
+		// A v3-shaped begin (id+size, no window echo) is short on the v4 wire.
+		"v3 begin": append(binary.BigEndian.AppendUint32(nil, 13), byte(frameBegin), 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 1),
+		// A v3-shaped ack (bare id, no cumulative count) is short on the v4 wire.
+		"v3 ack":   append(binary.BigEndian.AppendUint32(nil, 5), byte(frameAck), 0, 0, 0, 9),
+		"ack tail": append(binary.BigEndian.AppendUint32(nil, 7), byte(frameAck), 0, 0, 0, 1, 'x', 'y'),
+		// A v3-shaped hello (version+chunk, no window grant) is short on the v4 wire.
+		"v3 hello":     append(binary.BigEndian.AppendUint32(nil, 6), byte(frameHello), protocolVersion, 0, 0, 16, 0),
 		"oversized":    binary.BigEndian.AppendUint32(nil, math.MaxUint32),
 		"short ping":   append(binary.BigEndian.AppendUint32(nil, 3), byte(framePing), 0, 1),
 		"ping tail":    append(binary.BigEndian.AppendUint32(nil, 6), byte(framePing), 0, 0, 0, 1, 'x'),
@@ -181,6 +191,32 @@ func TestFrameWriterRefusesOversize(t *testing.T) {
 	fw := frameWriter{w: io.Discard}
 	if err := fw.write(frame{typ: frameChunk, id: 1, data: make([]byte, maxFramePayload+1)}); err == nil {
 		t.Error("oversized chunk frame accepted")
+	}
+}
+
+// TestClampWindow pins the credit-window clamp: hostile or nonsensical
+// grants (zero, negative after int conversion, absurdly large) always
+// resolve to a usable window in [1, maxWindow] — a sender can neither
+// be deadlocked by a zero grant nor buffer unboundedly from a huge one.
+func TestClampWindow(t *testing.T) {
+	cases := []struct{ req, cap, want int }{
+		{0, 0, 1},
+		{-5, 0, 1},
+		{1, 0, 1},
+		{32, 0, 32},
+		{maxWindow, 0, maxWindow},
+		{maxWindow + 1, 0, maxWindow},
+		{1 << 31, 0, maxWindow},
+		{64, 8, 8}, // host cap lowers the grant
+		{4, 8, 4},  // cap never raises it
+		{0, 8, 1},  // zero grant still yields a working window
+		{-1, 8, 1}, // overflowed uint32→int grants clamp up, not down
+		{1 << 31, 8, 8},
+	}
+	for _, c := range cases {
+		if got := clampWindow(c.req, c.cap); got != c.want {
+			t.Errorf("clampWindow(%d, %d) = %d, want %d", c.req, c.cap, got, c.want)
+		}
 	}
 }
 

@@ -39,6 +39,12 @@ func isTimeout(err error) bool {
 	return errors.As(err, &t) && t.Timeout()
 }
 
+// ErrInvalidWindow rejects a nonsensical credit-window configuration —
+// a negative window — at session-build time, typed, instead of letting
+// it surface as a hang or a protocol error at runtime. (Zero means "use
+// the default"; oversized windows are clamped, not refused.)
+var ErrInvalidWindow = errors.New("transport: invalid credit window (must be positive, or 0 for the default)")
+
 // ErrUnknownDesign is the sentinel a refused hello unwraps to when the
 // host does not serve the design the client's digest names — a
 // single-design host serving a different design, or a multi-tenant

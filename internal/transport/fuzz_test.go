@@ -24,6 +24,17 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
 	f.Add([]byte{0, 0, 0, 2, byte(frameError), 'x'})
 	f.Add([]byte{0, 0, 0, 1, 0xEE})
+	// Hostile credit fields: a zero window grant, an all-ones grant, a
+	// cumulative ack of 2^64-1, and v3-shaped (windowless) hello/ack
+	// frames that are short on the v4 wire. The codec must decode or
+	// error without allocating for the claimed values — credits are
+	// counters, never buffer sizes.
+	f.Add([]byte{0, 0, 0, 10, byte(frameHello), protocolVersion, 0, 0, 16, 0, 0, 0, 0, 0xAB})
+	f.Add([]byte{0, 0, 0, 10, byte(frameHello), protocolVersion, 0, 0, 16, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 13, byte(frameAck), 0, 0, 0, 9, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 0, 0, 6, byte(frameHello), protocolVersion, 0, 0, 16, 0})
+	f.Add([]byte{0, 0, 0, 5, byte(frameAck), 0, 0, 0, 9})
+	f.Add([]byte{0, 0, 0, 17, byte(frameBegin), 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 4, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr := newFrameReader(bytes.NewReader(data))
@@ -53,17 +64,20 @@ func FuzzFrameCodec(f *testing.F) {
 // FuzzChunker checks the chunking invariant the transports rely on:
 // any write pattern reassembles to the same bytes, every chunk except
 // the last is exactly the budget, and the chunk sequence depends only
-// on the budget — not on how writes were sliced.
+// on the budget — not on how writes were sliced and not on the ring
+// depth (the credit window changes how many chunk buffers cycle, never
+// where chunks are cut).
 func FuzzChunker(f *testing.F) {
-	f.Add([]byte("<eurostat>\n  <averages/>\n</eurostat>\n"), uint8(4), uint8(3))
-	f.Add(bytes.Repeat([]byte("ab"), 300), uint8(16), uint8(1))
-	f.Add([]byte{}, uint8(1), uint8(5))
+	f.Add([]byte("<eurostat>\n  <averages/>\n</eurostat>\n"), uint8(4), uint8(3), uint8(2))
+	f.Add(bytes.Repeat([]byte("ab"), 300), uint8(16), uint8(1), uint8(33))
+	f.Add([]byte{}, uint8(1), uint8(5), uint8(0))
 
-	f.Fuzz(func(t *testing.T, doc []byte, budgetRaw, sliceRaw uint8) {
+	f.Fuzz(func(t *testing.T, doc []byte, budgetRaw, sliceRaw, depthRaw uint8) {
 		budget := int(budgetRaw)%64 + 1
 		slice := int(sliceRaw)%17 + 1
+		depth := int(depthRaw) % 66 // 0 and 1 exercise the raise-to-2 floor
 		var chunks [][]byte
-		cw := newChunker(budget, func(c []byte) error {
+		cw := newChunkerDepth(budget, depth, func(c []byte) error {
 			if len(c) == 0 || len(c) > budget {
 				t.Fatalf("chunk of %d bytes under budget %d", len(c), budget)
 			}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -86,6 +87,13 @@ type HostConfig struct {
 	// only a dead or stalled peer ever trips it. Zero means
 	// DefaultTimeout; negative disables deadlines.
 	Timeout time.Duration
+	// Window caps the per-stream credit window this host will honor,
+	// whatever the client's hello grants: an open credited transfer can
+	// hold up to window×chunk bytes in flight, so the cap bounds the
+	// host's per-stream exposure. Zero means no cap beyond the
+	// transport-wide maximum. The effective (clamped) window is echoed
+	// in each stream's begin/subscribed frame.
+	Window int
 }
 
 // route resolves a hello digest against the config: the router when one
@@ -173,10 +181,23 @@ func (h *Host) acceptLoop() {
 	}
 }
 
-// hostStream is one fragment transfer in progress at the host.
+// hostStream is one fragment transfer or subscription in progress at
+// the host. Chunk flow control is credit-based: acked holds the highest
+// cumulative consumed-chunk count the client has reported, and ackCh is
+// a capacity-1 wakeup the read loop pulses whenever that count grows —
+// a sender parked out of credit wakes, re-reads acked, and either
+// proceeds or parks again. Because only forward-moving acks pulse the
+// channel, a duplicated ack (same cumulative count) grants nothing.
+// Edit delivery stays stop-and-wait on its own token channel.
 type hostStream struct {
-	acks   chan struct{}
-	cancel context.CancelFunc
+	acked   atomic.Uint64
+	ackCh   chan struct{}
+	editAck chan struct{}
+	cancel  context.CancelFunc
+}
+
+func newHostStream(cancel context.CancelFunc) *hostStream {
+	return &hostStream{ackCh: make(chan struct{}, 1), editAck: make(chan struct{}, 1), cancel: cancel}
 }
 
 // session is one kernel peer's connection.
@@ -257,6 +278,12 @@ func (h *Host) serveSession(c net.Conn) {
 	}
 	s.sources, s.gate = route.Sources, route.Gate
 	budget := budgetFromWire(hello.id)
+	// The effective credit window: the client's hello grant clamped to
+	// [1, maxWindow] and to the host's own cap. Hostile grants (zero, or
+	// a count that overflows int) are clamped, never honored — credits
+	// gate sending, they never size an allocation, so no grant can make
+	// the host buffer unboundedly or deadlock.
+	win := clampWindow(int(hello.win), h.cfg.Window)
 	if err := s.send(frame{typ: frameWelcome, flag: protocolVersion, data: hello.data}); err != nil {
 		return
 	}
@@ -328,12 +355,12 @@ func (h *Host) serveSession(c net.Conn) {
 				continue
 			}
 			sctx, scancel := context.WithCancel(ctx)
-			st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
+			st := newHostStream(scancel)
 			s.mu.Lock()
 			s.streams[f.id] = st
 			s.mu.Unlock()
 			s.wg.Add(1)
-			go s.serveStream(sctx, f.id, st, src, budget, f.str)
+			go s.serveStream(sctx, f.id, st, src, budget, win, f.str)
 
 		case frameSubscribe, frameResume:
 			src, ok := s.sources[f.str]
@@ -366,7 +393,7 @@ func (h *Host) serveSession(c net.Conn) {
 				if s.gate != nil {
 					s.gate.Resumed(f.str)
 				}
-				s.startLive(sctx, scancel, f.id, lf, budget, resumed, f.str)
+				s.startLive(sctx, scancel, f.id, lf, budget, win, resumed, f.str)
 				continue
 			}
 			ls, ok := src.(LiveSource)
@@ -383,15 +410,34 @@ func (h *Host) serveSession(c net.Conn) {
 				s.send(frame{typ: frameStreamErr, id: f.id, str: err.Error()})
 				continue
 			}
-			s.startLive(sctx, scancel, f.id, lf, budget, false, f.str)
+			s.startLive(sctx, scancel, f.id, lf, budget, win, false, f.str)
 
-		case frameAck, frameEditAck:
+		case frameAck:
+			s.mu.Lock()
+			st := s.streams[f.id]
+			s.mu.Unlock()
+			if st != nil {
+				// Cumulative credit replenishment. Only a forward-moving
+				// count stores and pulses — a duplicated or stale ack
+				// (chaos retransmission, broken client) changes nothing,
+				// so it can never double-credit the sender. The read loop
+				// is the sole writer of acked, so load-check-store is safe.
+				if cum := f.ver; cum > st.acked.Load() {
+					st.acked.Store(cum)
+					select {
+					case st.ackCh <- struct{}{}:
+					default: // sender already has a wakeup pending
+					}
+				}
+			}
+
+		case frameEditAck:
 			s.mu.Lock()
 			st := s.streams[f.id]
 			s.mu.Unlock()
 			if st != nil {
 				select {
-				case st.acks <- struct{}{}:
+				case st.editAck <- struct{}{}:
 				default: // duplicate ack from a broken client: drop
 				}
 			}
@@ -442,34 +488,21 @@ func (s *session) releaseStream(fn string) {
 	}
 }
 
-// serveStream runs one fragment transfer: announce the size, then ship
-// chunk frames in lockstep with the receiver's acks. A reject (or a
-// dead session) cancels sctx, and the very next chunk handoff aborts —
-// nothing past the failure point is serialized.
-func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, src Source, budget int, fn string) {
+// serveStream runs one fragment transfer: announce the size and the
+// effective window, then ship chunk frames as long as the receiver's
+// cumulative acks leave credit — up to win unacked chunks are
+// pipelined, so the sender is never idle a full round trip per chunk.
+// A reject (or a dead session) cancels sctx: a parked sender wakes at
+// once, and a sender with credit left notices before its next chunk,
+// so at most one window past the failure point is ever serialized.
+func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, src Source, budget, win int, fn string) {
 	defer s.wg.Done()
 	defer st.cancel()
 	defer s.releaseStream(fn)
-	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(src.Size())}); err != nil {
+	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(src.Size()), win: uint32(win)}); err != nil {
 		return
 	}
-	cw := newChunker(budget, func(chunk []byte) error {
-		if err := sctx.Err(); err != nil {
-			return err
-		}
-		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
-			return err
-		}
-		if s.gate != nil {
-			s.gate.ChunkShipped(len(chunk))
-		}
-		select {
-		case <-st.acks:
-			return nil
-		case <-sctx.Done():
-			return sctx.Err()
-		}
-	})
+	cw := newChunker(budget, s.creditedSend(sctx, id, st, win))
 	err := src.Serialize(cw)
 	if err == nil {
 		err = cw.flush() // the final partial chunk
@@ -489,28 +522,87 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 	}
 }
 
+// creditedSend builds the chunker's send callback for a credit-windowed
+// stream: park while the window is exhausted (sent − acked ≥ win), then
+// ship the chunk with a vectored header+payload write. The chunk buffer
+// is reused the moment the socket write returns, which is why the
+// chunker's two-slot ring suffices on TCP.
+func (s *session) creditedSend(sctx context.Context, id uint32, st *hostStream, win int) func([]byte) error {
+	var sent uint64
+	return func(chunk []byte) error {
+		for {
+			// A hostile client can ack more chunks than were ever sent;
+			// clamp to sent so the subtraction never wraps — an over-ack
+			// grants at most a full window, it can never park the sender
+			// forever or corrupt the credit arithmetic.
+			acked := st.acked.Load()
+			if acked > sent {
+				acked = sent
+			}
+			if sent-acked < uint64(win) {
+				break
+			}
+			select {
+			case <-st.ackCh:
+			case <-sctx.Done():
+				return sctx.Err()
+			}
+		}
+		if err := sctx.Err(); err != nil {
+			return err
+		}
+		if err := s.sendChunk(id, chunk); err != nil {
+			return err
+		}
+		if s.gate != nil {
+			s.gate.ChunkShipped(len(chunk))
+		}
+		sent++
+		return nil
+	}
+}
+
+// sendChunk writes one chunk frame under the write lock with the
+// liveness deadline armed, using the vectored header+payload path — the
+// payload goes to the socket without an intermediate copy.
+func (s *session) sendChunk(id uint32, chunk []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.timeout > 0 {
+		s.c.SetWriteDeadline(time.Now().Add(s.timeout))
+	}
+	if err := s.fw.writeChunk(id, chunk); err != nil {
+		if isTimeout(err) {
+			return &TimeoutError{Op: "write", After: s.timeout}
+		}
+		return err
+	}
+	return nil
+}
+
 // startLive registers a subscription's stream bookkeeping and launches
 // its sender goroutine.
-func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id uint32, lf LiveFeedSrc, budget int, resumed bool, fn string) {
-	st := &hostStream{acks: make(chan struct{}, 1), cancel: scancel}
+func (s *session) startLive(sctx context.Context, scancel context.CancelFunc, id uint32, lf LiveFeedSrc, budget, win int, resumed bool, fn string) {
+	st := newHostStream(scancel)
 	s.mu.Lock()
 	s.streams[id] = st
 	s.lives[id] = lf
 	s.mu.Unlock()
 	s.wg.Add(1)
-	go s.serveLive(sctx, id, st, lf, budget, resumed, fn)
+	go s.serveLive(sctx, id, st, lf, budget, win, resumed, fn)
 }
 
 // serveLive runs one subscription: announce the snapshot cut, ship the
-// snapshot in chunk frames (stop-and-wait, like any fragment), mark its
-// end, then forward edits as they are published — each edit waits for
-// its ack before the next is pulled, so a slow subscriber backpressures
-// the editor's log reader rather than flooding the socket. A reject
-// (unsubscribe) or session teardown cancels sctx and the loop exits at
-// the next handoff. A resumed subscription's snapshot is empty (the
-// subscriber kept its replica), so the phase structure is unchanged:
-// subscribed, zero chunks, end, edits from the announced version on.
-func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget int, resumed bool, fn string) {
+// snapshot in credit-windowed chunk frames (like any fragment), mark
+// its end, then forward edits as they are published — each edit waits
+// for its own ack before the next is pulled (edits stay stop-and-wait),
+// so a slow subscriber backpressures the editor's log reader rather
+// than flooding the socket. A reject (unsubscribe) or session teardown
+// cancels sctx and the loop exits at the next handoff. A resumed
+// subscription's snapshot is empty (the subscriber kept its replica),
+// so the phase structure is unchanged: subscribed, zero chunks, end,
+// edits from the announced version on.
+func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf LiveFeedSrc, budget, win int, resumed bool, fn string) {
 	defer s.wg.Done()
 	defer st.cancel()
 	defer s.releaseStream(fn)
@@ -525,26 +617,10 @@ func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf 
 	if resumed {
 		rflag = 1
 	}
-	if err := s.send(frame{typ: frameSubscribed, id: id, ver: lf.Version(), size: uint64(lf.Size()), flag: rflag}); err != nil {
+	if err := s.send(frame{typ: frameSubscribed, id: id, ver: lf.Version(), size: uint64(lf.Size()), flag: rflag, win: uint32(win)}); err != nil {
 		return
 	}
-	cw := newChunker(budget, func(chunk []byte) error {
-		if err := sctx.Err(); err != nil {
-			return err
-		}
-		if err := s.send(frame{typ: frameChunk, id: id, data: chunk}); err != nil {
-			return err
-		}
-		if s.gate != nil {
-			s.gate.ChunkShipped(len(chunk))
-		}
-		select {
-		case <-st.acks:
-			return nil
-		case <-sctx.Done():
-			return sctx.Err()
-		}
-	})
+	cw := newChunker(budget, s.creditedSend(sctx, id, st, win))
 	err := lf.Serialize(cw)
 	if err == nil {
 		err = cw.flush()
@@ -575,7 +651,7 @@ func (s *session) serveLive(sctx context.Context, id uint32, st *hostStream, lf 
 			s.gate.EditShipped(e.WireSize())
 		}
 		select {
-		case <-st.acks:
+		case <-st.editAck:
 		case <-sctx.Done():
 			return
 		}

@@ -7,18 +7,31 @@ import (
 )
 
 // InProc is the in-process transport: the kernel peer and the resource
-// peers share an address space, and chunks are handed over unbuffered
-// channels — delivery is synchronous, so the backpressure and rejection
-// semantics are exactly those of the TCP transport without the sockets.
-// This is the refactored form of the original p2p wire and the
-// reference implementation the TCP transport is differentially tested
-// against.
+// peers share an address space, and chunks are handed over channels
+// buffered to the credit window — a sender runs at most Window chunks
+// ahead of its receiver, so the backpressure and rejection semantics
+// are exactly those of the TCP transport without the sockets (a window
+// of 1 is the unbuffered stop-and-wait handoff). This is the
+// refactored form of the original p2p wire and the reference
+// implementation the TCP transport is differentially tested against.
 type InProc struct {
 	// Sources maps each docking point to its hosted peer.
 	Sources map[string]Source
 	// Chunk is the resolved chunk budget in bytes (math.MaxInt for
 	// unchunked); it must be positive.
 	Chunk int
+	// Window is the per-stream credit window in chunks: how far a
+	// sender may run ahead of its receiver. Zero means DefaultWindow;
+	// values are clamped into [1, the transport-wide maximum].
+	Window int
+}
+
+// window resolves the effective credit window.
+func (s *InProc) window() int {
+	if s.Window == 0 {
+		return DefaultWindow
+	}
+	return clampWindow(s.Window, 0)
 }
 
 func (s *InProc) source(fn string) (Source, error) {
@@ -43,19 +56,24 @@ func (s *InProc) Verdict(ctx context.Context, fn string) (bool, error) {
 }
 
 // Open starts fn's transfer: a sender goroutine serializes the document
-// into chunk-budget frames on an unbuffered channel. The sender blocks
-// until each chunk is consumed and stops serializing the moment the
-// fragment is aborted (or ctx ends).
+// into chunk-budget frames on a channel buffered to window-1 — the
+// sender pipelines up to the credit window of unconsumed chunks, then
+// blocks, and stops serializing the moment the fragment is aborted (or
+// ctx ends): at most one window past the failure point is ever
+// serialized. The chunker's ring holds window+1 buffers because chunks
+// travel by reference: one held by the receiver, window-1 queued, one
+// being filled.
 func (s *InProc) Open(ctx context.Context, fn string) (Fragment, error) {
 	src, err := s.source(fn)
 	if err != nil {
 		return nil, err
 	}
+	win := s.window()
 	ctx, cancel := context.WithCancel(ctx)
-	ch := make(chan []byte)
+	ch := make(chan []byte, win-1)
 	go func() {
 		defer close(ch)
-		w := newChunker(s.Chunk, func(chunk []byte) error {
+		w := newChunkerDepth(s.Chunk, win+1, func(chunk []byte) error {
 			select {
 			case ch <- chunk:
 				return nil

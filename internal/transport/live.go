@@ -9,11 +9,12 @@ import (
 // This file is the live half of the wire: a kernel peer *subscribes* to
 // a docking point's edit log and receives, over either transport, an
 // atomic cut of the peer's state — a keyed snapshot of the fragment at
-// some version, then every edit after that version, in order, with
-// stop-and-wait backpressure — and reports its global verdict back
-// after each applied edit. The frame types are subscribe / subscribed /
-// chunk…end (the snapshot reuses the fragment chunk machinery) /
-// edit / edit-ack / verdict-update.
+// some version (credit-windowed like any fragment transfer), then every
+// edit after that version, in order, with stop-and-wait backpressure —
+// and reports its global verdict back after each applied edit. The
+// frame types are subscribe / subscribed / chunk…end (the snapshot
+// reuses the fragment chunk machinery, credits included) / edit /
+// edit-ack / verdict-update.
 
 // EditFrame is one edit of a fragment's log in wire form: the dense
 // version it produces, the operation (the live package's Op values),
@@ -100,9 +101,11 @@ type ResumableSource interface {
 
 // EditFeed is the receiver side of one subscription. The protocol has
 // two phases: first drain the snapshot with NextChunk until io.EOF,
-// then loop on NextEdit. Both phases are stop-and-wait: consuming a
-// chunk or an edit releases the sender to produce exactly one more, so
-// a slow kernel peer backpressures the editing site end to end.
+// then loop on NextEdit. The snapshot phase is credit-windowed like a
+// fragment transfer (the sender pipelines up to the negotiated window
+// of unconsumed chunks); the edit phase is stop-and-wait — consuming an
+// edit releases the sender to produce exactly one more, so a slow
+// kernel peer backpressures the editing site end to end.
 type EditFeed interface {
 	// Base is the snapshot's version: the first edit delivered will
 	// carry Base()+1.
@@ -155,9 +158,8 @@ func (m Multi) Resubscribe(ctx context.Context, fn string, after uint64) (EditFe
 }
 
 // Subscribe opens an in-process subscription: the snapshot is chunked
-// through the same budget as fragment transfers (unbuffered handoff,
-// synchronous backpressure) and edits are pulled straight from the
-// source's log.
+// through the same budget and credit window as fragment transfers, and
+// edits are pulled straight from the source's log.
 func (s *InProc) Subscribe(ctx context.Context, fn string) (EditFeed, error) {
 	src, err := s.source(fn)
 	if err != nil {
@@ -193,14 +195,17 @@ func (s *InProc) Resubscribe(ctx context.Context, fn string, after uint64) (Edit
 	return s.feedOver(ctx, lf, resumed), nil
 }
 
-// feedOver wraps a source feed in the in-process chunk handoff. Resumed
-// feeds have an empty snapshot, so their chunk channel closes at once.
+// feedOver wraps a source feed in the in-process chunk handoff, with
+// the same credit window as fragment transfers (channel buffered to
+// window-1, ring of window+1 chunk buffers). Resumed feeds have an
+// empty snapshot, so their chunk channel closes at once.
 func (s *InProc) feedOver(ctx context.Context, lf LiveFeedSrc, resumed bool) EditFeed {
+	win := s.window()
 	fctx, cancel := context.WithCancel(ctx)
-	ch := make(chan []byte)
+	ch := make(chan []byte, win-1)
 	go func() {
 		defer close(ch)
-		w := newChunker(s.Chunk, func(chunk []byte) error {
+		w := newChunkerDepth(s.Chunk, win+1, func(chunk []byte) error {
 			select {
 			case ch <- chunk:
 				return nil

@@ -42,6 +42,14 @@ type Config struct {
 	// Chunk is the fragment chunk budget in bytes the server will
 	// serialize with (math.MaxInt or <= 0 for unchunked).
 	Chunk int
+	// Window is the per-stream credit window this receiver grants in the
+	// hello: the host may pipeline up to Window unacked chunks per
+	// stream. Zero means DefaultWindow; negative is invalid
+	// (ErrInvalidWindow); values above the transport-wide maximum are
+	// clamped. The host may lower the grant (its own cap); the effective
+	// window is echoed per stream in the begin/subscribed frame. Window 1
+	// degenerates to stop-and-wait.
+	Window int
 	// Heartbeat is the ping interval: after this much write silence the
 	// client sends a ping so the host sees traffic. Zero means
 	// DefaultHeartbeat; negative disables the heartbeat.
@@ -68,6 +76,9 @@ type Conn struct {
 	lastWrite atomic.Int64  // UnixNano of the most recent frame write
 	pingID    atomic.Uint32
 
+	window  int       // credit window granted per stream (chunks)
+	bufPool sync.Pool // *[]byte chunk/edit payload buffers, reused across frames
+
 	nextID  atomic.Uint32
 	mu      sync.Mutex // guards pending and doneErr
 	pending map[uint32]*waiter
@@ -76,19 +87,33 @@ type Conn struct {
 	doneErr error         // why (valid after done)
 }
 
-// waiter is one request's or stream's dispatch slot. Chunk payloads are
-// copied into the per-stream scratch, because the frame reader's buffer
-// is overwritten by the next read: stop-and-wait guarantees at most one
-// in-flight chunk per stream, so one scratch per stream suffices and is
-// reused for the transfer's lifetime.
+// dispatch is one frame handed from the read loop to a waiter. Chunk
+// and edit payloads are copied into a pooled buffer (buf), because the
+// frame reader's decode buffer is overwritten by the next read; the
+// consumer returns buf to the conn's pool when it picks up the stream's
+// next frame, so a transfer of any length cycles through at most
+// window+1 buffers instead of allocating per frame.
+type dispatch struct {
+	f   frame
+	buf *[]byte
+}
+
+// waiter is one request's or stream's dispatch slot.
 type waiter struct {
-	ch      chan frame
-	scratch []byte
+	ch chan dispatch
 }
 
 // Dial connects to a peer host, performs the hello exchange, and
 // returns the session. The configured digest must match the host's.
 func Dial(addr string, cfg Config) (*Conn, error) {
+	win := cfg.Window
+	if win == 0 {
+		win = DefaultWindow
+	}
+	if win < 0 {
+		return nil, fmt.Errorf("transport: dial: %w", ErrInvalidWindow)
+	}
+	win = clampWindow(win, 0)
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -98,13 +123,16 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		fw:        frameWriter{w: nc},
 		timeout:   resolveLiveness(cfg.Timeout, DefaultTimeout),
 		heartbeat: resolveLiveness(cfg.Heartbeat, DefaultHeartbeat),
+		window:    win,
 		pending:   map[uint32]*waiter{},
 		done:      make(chan struct{}),
 	}
+	c.bufPool.New = func() any { return new([]byte) }
 	if err := c.send(frame{
 		typ:  frameHello,
 		flag: protocolVersion,
 		id:   wireChunk(cfg.Chunk),
+		win:  uint32(win),
 		data: cfg.Digest,
 	}); err != nil {
 		nc.Close()
@@ -217,20 +245,25 @@ func (c *Conn) readLoop(fr *frameReader) {
 		if w == nil {
 			continue // late response for an aborted stream: drop
 		}
+		d := dispatch{f: f}
 		if f.typ == frameChunk || f.typ == frameEdit {
-			// The frame reader's buffer is overwritten by the next
-			// read; stop-and-wait means at most one chunk or edit is in
-			// flight per stream, so one scratch per stream suffices.
-			w.scratch = append(w.scratch[:0], f.data...)
-			f.data = w.scratch
+			// The frame reader's decode buffer is overwritten by the
+			// next read, so the payload is copied out — into a pooled
+			// buffer the consumer returns when it picks up the stream's
+			// next frame, keeping the hot path allocation-steady at any
+			// window size.
+			bp := c.bufPool.Get().(*[]byte)
+			*bp = append((*bp)[:0], f.data...)
+			d.f.data, d.buf = *bp, bp
 		}
 		select {
-		case w.ch <- f:
+		case w.ch <- d:
 		default:
 			// A conforming host never has more frames in flight per
-			// stream than the dispatch buffer holds; overflow means the
-			// protocol is broken, and dropping or blocking would hang
-			// the session in harder-to-debug ways.
+			// stream than the dispatch buffer holds (the credit window
+			// bounds unacked chunks); overflow means the protocol is
+			// broken, and dropping or blocking would hang the session in
+			// harder-to-debug ways.
 			err = fmt.Errorf("transport: host overran stream %d", f.id)
 		}
 		if err != nil {
@@ -246,18 +279,23 @@ func (c *Conn) readLoop(fr *frameReader) {
 	close(c.done)
 }
 
-// register allocates an id and its dispatch slot.
-func (c *Conn) register() (uint32, *waiter) {
+// register allocates an id and its dispatch slot with the given
+// capacity. Verdict requests use a small fixed slot; streams size
+// theirs to the credit window (window unacked chunks can be in flight
+// at once, plus the begin/end/error envelope and a trailing edit).
+func (c *Conn) register(slots int) (uint32, *waiter) {
 	id := c.nextID.Add(1)
-	// Begin and a first chunk can be in flight together, and End can
-	// trail the final chunk's ack; 4 slots cover every conforming
-	// interleaving.
-	w := &waiter{ch: make(chan frame, 4)}
+	w := &waiter{ch: make(chan dispatch, slots)}
 	c.mu.Lock()
 	c.pending[id] = w
 	c.mu.Unlock()
 	return id, w
 }
+
+// streamSlots is the dispatch capacity for a credit-windowed stream:
+// up to window unacked chunks, plus Begin/End/StreamErr and one edit
+// frame interleaving at phase boundaries.
+func (c *Conn) streamSlots() int { return c.window + 4 }
 
 func (c *Conn) unregister(id uint32) {
 	c.mu.Lock()
@@ -297,13 +335,14 @@ func (c *Conn) sessionErr() error {
 // Verdict asks the host to validate fn's document against its local
 // type and waits for the answer.
 func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
-	id, w := c.register()
+	id, w := c.register(4)
 	defer c.unregister(id)
 	if err := c.send(frame{typ: frameVerdictReq, id: id, str: fn}); err != nil {
 		return false, err
 	}
 	select {
-	case f := <-w.ch:
+	case d := <-w.ch:
+		f := d.f
 		switch f.typ {
 		case frameVerdict:
 			return f.flag != 0, nil
@@ -326,15 +365,23 @@ func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
 // Open requests fn's fragment stream and waits for the host to announce
 // it (a Begin frame carrying the total size).
 func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
-	id, w := c.register()
+	id, w := c.register(c.streamSlots())
 	if err := c.send(frame{typ: frameOpen, id: id, str: fn}); err != nil {
 		c.unregister(id)
 		return nil, err
 	}
 	select {
-	case f := <-w.ch:
+	case d := <-w.ch:
+		f := d.f
 		switch f.typ {
 		case frameBegin:
+			// The begin frame echoes the effective window the host will
+			// honor; a conforming host never raises the hello grant.
+			if f.win < 1 || int(f.win) > c.window {
+				c.unregister(id)
+				c.send(frame{typ: frameReject, id: id, str: "bad window echo"})
+				return nil, fmt.Errorf("transport: open %s: host announced window %d outside granted [1,%d]", fn, f.win, c.window)
+			}
 			return &tcpFragment{conn: c, id: id, w: w, size: int(f.size)}, nil
 		case frameStreamErr:
 			c.unregister(id)
@@ -374,15 +421,21 @@ func (c *Conn) Resubscribe(ctx context.Context, fn string, after uint64) (EditFe
 // subscribe is the shared subscription handshake: send the request
 // frame, wait for the subscribed announcement.
 func (c *Conn) subscribe(ctx context.Context, fn string, after uint64, typ frameType) (EditFeed, error) {
-	id, w := c.register()
+	id, w := c.register(c.streamSlots())
 	if err := c.send(frame{typ: typ, id: id, ver: after, str: fn}); err != nil {
 		c.unregister(id)
 		return nil, err
 	}
 	select {
-	case f := <-w.ch:
+	case d := <-w.ch:
+		f := d.f
 		switch f.typ {
 		case frameSubscribed:
+			if f.win < 1 || int(f.win) > c.window {
+				c.unregister(id)
+				c.send(frame{typ: frameReject, id: id, str: "bad window echo"})
+				return nil, fmt.Errorf("transport: subscribe %s: host announced window %d outside granted [1,%d]", fn, f.win, c.window)
+			}
 			return &tcpEditFeed{conn: c, id: id, w: w, base: f.ver, size: int(f.size), resumed: f.flag != 0}, nil
 		case frameStreamErr:
 			c.unregister(id)
@@ -402,8 +455,8 @@ func (c *Conn) subscribe(ctx context.Context, fn string, after uint64, typ frame
 }
 
 // tcpEditFeed is the receiver side of one TCP subscription: snapshot
-// chunks first (acked like a fragment transfer), then edits (acked
-// with their version).
+// chunks first (credit-windowed and cumulatively acked like a fragment
+// transfer), then edits (stop-and-wait, acked with their version).
 type tcpEditFeed struct {
 	conn    *Conn
 	id      uint32
@@ -412,31 +465,49 @@ type tcpEditFeed struct {
 	size    int
 	resumed bool
 
-	owesChunkAck bool
-	owesEditAck  bool
-	lastVer      uint64
-	closed       bool
+	received  uint64  // snapshot chunks picked up so far
+	lastAcked uint64  // cumulative count in the last ack sent
+	prevChunk *[]byte // pooled buffer behind the last returned chunk
+	prevEdit  *[]byte // pooled buffer behind the last returned edit
+
+	owesEditAck bool
+	lastVer     uint64
+	closed      bool
 }
 
 func (f *tcpEditFeed) Base() uint64      { return f.base }
 func (f *tcpEditFeed) SnapshotSize() int { return f.size }
 func (f *tcpEditFeed) Resumed() bool     { return f.resumed }
 
+// release returns a pooled payload buffer once its chunk or edit is no
+// longer referenced by the caller.
+func (c *Conn) release(bp *[]byte) {
+	if bp != nil {
+		c.bufPool.Put(bp)
+	}
+}
+
 func (f *tcpEditFeed) NextChunk() ([]byte, error) {
 	if f.closed {
 		return nil, fmt.Errorf("transport: read from closed subscription")
 	}
-	if f.owesChunkAck {
-		f.owesChunkAck = false
-		if err := f.conn.send(frame{typ: frameAck, id: f.id}); err != nil {
+	f.conn.release(f.prevChunk)
+	f.prevChunk = nil
+	if f.received > f.lastAcked {
+		// Cumulative ack: every consumed chunk replenishes the sender's
+		// credits; duplicates are idempotent by construction.
+		f.lastAcked = f.received
+		if err := f.conn.send(frame{typ: frameAck, id: f.id, ver: f.lastAcked}); err != nil {
 			return nil, err
 		}
 	}
 	select {
-	case fr := <-f.w.ch:
+	case d := <-f.w.ch:
+		fr := d.f
 		switch fr.typ {
 		case frameChunk:
-			f.owesChunkAck = true
+			f.received++
+			f.prevChunk = d.buf
 			return fr.data, nil
 		case frameEnd:
 			// Snapshot complete; the stream stays registered for edits.
@@ -456,6 +527,8 @@ func (f *tcpEditFeed) NextEdit(ctx context.Context) (EditFrame, error) {
 	if f.closed {
 		return EditFrame{}, fmt.Errorf("transport: read from closed subscription")
 	}
+	f.conn.release(f.prevEdit)
+	f.prevEdit = nil
 	if f.owesEditAck {
 		f.owesEditAck = false
 		if err := f.conn.send(frame{typ: frameEditAck, id: f.id, ver: f.lastVer}); err != nil {
@@ -463,11 +536,13 @@ func (f *tcpEditFeed) NextEdit(ctx context.Context) (EditFrame, error) {
 		}
 	}
 	select {
-	case fr := <-f.w.ch:
+	case d := <-f.w.ch:
+		fr := d.f
 		switch fr.typ {
 		case frameEdit:
 			f.owesEditAck = true
 			f.lastVer = fr.ver
+			f.prevEdit = d.buf
 			return EditFrame{Version: fr.ver, Op: fr.flag, Addr: fr.addr, Doc: fr.data}, nil
 		case frameStreamErr:
 			f.conn.unregister(f.id)
@@ -509,36 +584,44 @@ func (c *Conn) Close() error {
 
 // tcpFragment is the receiver side of one TCP fragment stream.
 type tcpFragment struct {
-	conn    *Conn
-	id      uint32
-	w       *waiter
-	size    int
-	owesAck bool // the previously returned chunk has not been acked yet
-	aborted bool
+	conn      *Conn
+	id        uint32
+	w         *waiter
+	size      int
+	received  uint64  // chunks picked up so far
+	lastAcked uint64  // cumulative count in the last ack sent
+	prev      *[]byte // pooled buffer behind the last returned chunk
+	aborted   bool
 }
 
 func (f *tcpFragment) Size() int { return f.size }
 
-// Next acknowledges the previous chunk — releasing the sender to
-// produce exactly one more — and waits for it. Acking on the *next*
-// call, not on receipt, is what makes the backpressure synchronous: a
-// receiver that rejects after chunk k has never acked it, so the sender
-// is still parked and serializes nothing past the failure.
+// Next acknowledges every chunk consumed so far — a cumulative count
+// that replenishes the sender's credits — and waits for the next one.
+// Acking on the *next* call, not on receipt, is what keeps rejection
+// prompt: a receiver that rejects after chunk k has never acked it, so
+// the sender holds at most window-1 further chunks of credit and
+// serializes nothing past that. With a window of 1 this is exactly the
+// stop-and-wait wire: one ack per chunk, sender parked in between.
 func (f *tcpFragment) Next() ([]byte, error) {
 	if f.aborted {
 		return nil, fmt.Errorf("transport: read from aborted stream")
 	}
-	if f.owesAck {
-		f.owesAck = false
-		if err := f.conn.send(frame{typ: frameAck, id: f.id}); err != nil {
+	f.conn.release(f.prev)
+	f.prev = nil
+	if f.received > f.lastAcked {
+		f.lastAcked = f.received
+		if err := f.conn.send(frame{typ: frameAck, id: f.id, ver: f.lastAcked}); err != nil {
 			return nil, err
 		}
 	}
 	select {
-	case fr := <-f.w.ch:
+	case d := <-f.w.ch:
+		fr := d.f
 		switch fr.typ {
 		case frameChunk:
-			f.owesAck = true
+			f.received++
+			f.prev = d.buf
 			return fr.data, nil
 		case frameEnd:
 			f.conn.unregister(f.id)
@@ -552,6 +635,17 @@ func (f *tcpFragment) Next() ([]byte, error) {
 	case <-f.conn.done:
 		return nil, f.conn.sessionErr()
 	}
+}
+
+// DuplicateAck re-sends the last cumulative ack, verbatim. It exists
+// for fault injection: a duplicated ack must never grant the sender
+// extra credit, and re-sending the same cumulative count is the exact
+// wire event a retransmitting network would produce.
+func (f *tcpFragment) DuplicateAck() error {
+	if f.aborted {
+		return fmt.Errorf("transport: ack on aborted stream")
+	}
+	return f.conn.send(frame{typ: frameAck, id: f.id, ver: f.lastAcked})
 }
 
 // Abort rejects the transfer: the reject frame halts the sender, and

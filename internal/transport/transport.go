@@ -7,20 +7,30 @@
 // The abstraction is asymmetric, matching the paper's model: resource
 // peers are passive *sources* (they answer verdict requests and stream
 // their document on demand), and the kernel peer drives a *session*
-// against them. A fragment transfer is strictly synchronous: the sender
-// serializes into fixed-budget chunks and never runs more than one
-// chunk ahead of the receiver (stop-and-wait over TCP, an unbuffered
-// channel in process), so a rejection reaches the sender while the
-// unsent bytes are still unserialized — the communication win recorded
-// in the federation's Stats.BytesSaved is real on both transports.
+// against them. A fragment transfer is credit-windowed: the receiver
+// grants a window of N chunk credits at session open (negotiated in the
+// hello and echoed per stream in the begin frame), the sender
+// serializes into fixed-budget chunks and pipelines up to N of them
+// unacked (vectored writes over TCP, a window-buffered channel in
+// process), and cumulative acks replenish credits as chunks are
+// consumed. A window of 1 is exactly the classic stop-and-wait wire. A
+// rejection reaches the sender while at most one window of chunks is in
+// flight, so all bytes past sent+window are never serialized — the
+// communication win recorded in the federation's Stats.BytesSaved is
+// real on both transports, diminished by at most window·chunk bytes of
+// in-flight credit.
 //
 // Protocol guarantees shared by both implementations, pinned by the
 // differential tests in internal/p2p:
 //
 //   - chunk boundaries depend only on the configured budget, so frame
-//     counts and delivered-byte totals are transport-invariant;
-//   - Abort halts the sender mid-transfer; bytes past the failure are
-//     never serialized, let alone shipped;
+//     counts and delivered-byte totals are transport- and
+//     window-invariant;
+//   - Abort halts the sender mid-transfer; bytes past the failure point
+//     plus at most one window of credit are never serialized, let alone
+//     shipped;
+//   - a duplicated or stale ack never grants credit twice: acks carry a
+//     cumulative consumed-chunk count, so replaying one is a no-op;
 //   - a session is bound to a design digest: the TCP hello refuses to
 //     pair peers running different designs.
 package transport
@@ -58,9 +68,10 @@ type Session interface {
 
 // Fragment is the receiver side of one fragment transfer. Next returns
 // consecutive chunks (valid until the following call) and io.EOF after
-// the last; consuming a chunk releases the sender to produce the next
-// one — synchronous backpressure. Abort rejects the transfer
-// mid-stream: the sender halts and the remaining bytes never travel.
+// the last; consuming chunks replenishes the sender's credits, and a
+// sender out of credit parks — windowed backpressure. Abort rejects the
+// transfer mid-stream: the sender halts within its credit window and
+// the remaining bytes never travel.
 type Fragment interface {
 	// Size is the announced total serialized size of the fragment.
 	Size() int
