@@ -20,6 +20,11 @@
 // benchmark must not silently disarm its gate. Example:
 //
 //	... | benchjson -out BENCH.json -min 'TCPWindowSweep/window=1:MB/s:90.9'
+//
+// Repeatable -max flags are the mirror-image ceiling gate, for metrics
+// where more is worse — allocation gates pin the hot path at zero:
+//
+//	... | benchjson -out BENCH.json -max 'ObsOverhead:allocs/op:0'
 package main
 
 import (
@@ -95,6 +100,26 @@ type minSpec struct {
 	floor  float64
 }
 
+// parseGate splits one 'substring:unit:threshold' spec (the substring
+// may itself contain colons; the last two fields are the unit and the
+// number).
+func parseGate(v string) (substr, unit string, threshold float64, err error) {
+	i := strings.LastIndex(v, ":")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("want substring:unit:threshold, got %q", v)
+	}
+	threshold, err = strconv.ParseFloat(v[i+1:], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("threshold in %q: %w", v, err)
+	}
+	rest := v[:i]
+	j := strings.LastIndex(rest, ":")
+	if j < 0 {
+		return "", "", 0, fmt.Errorf("want substring:unit:threshold, got %q", v)
+	}
+	return rest[:j], rest[j+1:], threshold, nil
+}
+
 // minFlags collects repeated -min 'substring:unit:threshold' specs.
 type minFlags []minSpec
 
@@ -107,20 +132,40 @@ func (m *minFlags) String() string {
 }
 
 func (m *minFlags) Set(v string) error {
-	i := strings.LastIndex(v, ":")
-	if i < 0 {
-		return fmt.Errorf("want substring:unit:threshold, got %q", v)
-	}
-	floor, err := strconv.ParseFloat(v[i+1:], 64)
+	substr, unit, floor, err := parseGate(v)
 	if err != nil {
-		return fmt.Errorf("threshold in %q: %w", v, err)
+		return err
 	}
-	rest := v[:i]
-	j := strings.LastIndex(rest, ":")
-	if j < 0 {
-		return fmt.Errorf("want substring:unit:threshold, got %q", v)
+	*m = append(*m, minSpec{substr: substr, unit: unit, floor: floor})
+	return nil
+}
+
+// maxSpec is one -max ceiling: every benchmark whose name contains the
+// substring must report the unit at or below the ceiling — the gate for
+// metrics where more is worse (allocs/op, B/op, ns/op).
+type maxSpec struct {
+	substr string
+	unit   string
+	ceil   float64
+}
+
+// maxFlags collects repeated -max 'substring:unit:threshold' specs.
+type maxFlags []maxSpec
+
+func (m *maxFlags) String() string {
+	var parts []string
+	for _, s := range *m {
+		parts = append(parts, fmt.Sprintf("%s:%s:%g", s.substr, s.unit, s.ceil))
 	}
-	*m = append(*m, minSpec{substr: rest[:j], unit: rest[j+1:], floor: floor})
+	return strings.Join(parts, ",")
+}
+
+func (m *maxFlags) Set(v string) error {
+	substr, unit, ceil, err := parseGate(v)
+	if err != nil {
+		return err
+	}
+	*m = append(*m, maxSpec{substr: substr, unit: unit, ceil: ceil})
 	return nil
 }
 
@@ -151,10 +196,38 @@ func checkMins(results []Result, mins minFlags) error {
 	return nil
 }
 
+// checkMaxs enforces every -max spec, with the same no-silent-disarm
+// rule as checkMins: a spec matching no benchmark fails the run.
+func checkMaxs(results []Result, maxs maxFlags) error {
+	for _, spec := range maxs {
+		matched := false
+		for _, r := range results {
+			if !strings.Contains(r.Name, spec.substr) {
+				continue
+			}
+			got, ok := r.Metrics[spec.unit]
+			if !ok {
+				continue
+			}
+			matched = true
+			if got > spec.ceil {
+				return fmt.Errorf("regression: %s reported %g %s, ceiling is %g",
+					r.Name, got, spec.unit, spec.ceil)
+			}
+		}
+		if !matched {
+			return fmt.Errorf("-max %s:%s:%g matched no benchmark", spec.substr, spec.unit, spec.ceil)
+		}
+	}
+	return nil
+}
+
 func main() {
 	outPath := flag.String("out", "", "output file (default stdout)")
 	var mins minFlags
 	flag.Var(&mins, "min", "regression floor 'substring:unit:threshold' (repeatable): every matching benchmark must report the unit at or above the threshold, or exit 1")
+	var maxs maxFlags
+	flag.Var(&maxs, "max", "regression ceiling 'substring:unit:threshold' (repeatable): every matching benchmark must report the unit at or below the threshold, or exit 1")
 	flag.Parse()
 	out := io.Writer(os.Stdout)
 	var file *os.File
@@ -179,6 +252,9 @@ func main() {
 		// Thresholds are checked after the artifact is written: a
 		// regression still publishes the numbers that show it.
 		err = checkMins(results, mins)
+	}
+	if err == nil {
+		err = checkMaxs(results, maxs)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

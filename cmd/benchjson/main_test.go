@@ -96,3 +96,45 @@ func TestMinFlag(t *testing.T) {
 		t.Error("a spec matching no unit should fail")
 	}
 }
+
+// TestMaxFlag pins the ceiling gate: the mirror image of -min, for
+// metrics where more is worse. Ceilings pass at or below, fail above,
+// and an unmatched spec fails rather than silently disarming.
+func TestMaxFlag(t *testing.T) {
+	var maxs maxFlags
+	if err := maxs.Set("FeederScaling:allocs/op:20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := maxs.Set("ChunkSweep/chunk=4096:wire-bytes/op:1480239"); err != nil {
+		t.Fatal(err)
+	}
+	if maxs[0].substr != "FeederScaling" || maxs[0].unit != "allocs/op" || maxs[0].ceil != 20 {
+		t.Fatalf("parsed spec: %+v", maxs[0])
+	}
+	for _, bad := range []string{"", "nounit", "a:b:notanumber"} {
+		var m maxFlags
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted a malformed spec", bad)
+		}
+	}
+
+	results, err := convert(strings.NewReader(sample), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMaxs(results, maxs); err != nil {
+		t.Errorf("ceilings at the reported values should pass: %v", err)
+	}
+	if err := checkMaxs(results, maxFlags{{substr: "FeederScaling", unit: "allocs/op", ceil: 19}}); err == nil {
+		t.Error("a ceiling below the reported allocs/op should fail")
+	}
+	if err := checkMaxs(results, maxFlags{{substr: "FeederScaling", unit: "allocs/op", ceil: 0}}); err == nil {
+		t.Error("a zero-alloc gate over an allocating benchmark should fail")
+	}
+	if err := checkMaxs(results, maxFlags{{substr: "NoSuchBench", unit: "allocs/op", ceil: 1}}); err == nil {
+		t.Error("a spec matching no benchmark should fail")
+	}
+	if err := checkMaxs(results, maxFlags{{substr: "FeederScaling", unit: "no/unit", ceil: 1}}); err == nil {
+		t.Error("a spec matching no unit should fail")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +35,8 @@ func runHost(args []string) {
 	maxResidentDesigns := fs.Int("max-resident-designs", 0, "cap on concurrently materialized designs (0 = unlimited)")
 	window := fs.Int("window", dxml.DefaultWindow, "credit window cap in chunks granted to any transfer (bounds per-stream sender memory to window x chunk)")
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off)")
+	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
+	debugHTTP := fs.Bool("debug-http", false, "mount net/http/pprof and expvar under /debug/ on the -http mux")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dxml host [-listen addr] [-http addr] [caps...] [<design-file>,<fn=document>,... ...]")
 		fmt.Fprintln(os.Stderr, "hosts many designs on one port; sessions are routed by design digest.")
@@ -51,6 +54,19 @@ func runHost(args []string) {
 	if err := validateWindowFlag(*window); err != nil {
 		fatal(err)
 	}
+	if *debugHTTP && *httpAddr == "" {
+		fatal(fmt.Errorf("-debug-http needs -http (the debug endpoints mount on the HTTP mux)"))
+	}
+	c, obsCleanup, err := obsFromFlags(*traceFile, "")
+	if err != nil {
+		fatal(err)
+	}
+	defer obsCleanup()
+	if c == nil && (*httpAddr != "" || *debugHTTP) {
+		// The HTTP endpoint is on: collect telemetry so /metrics can
+		// serve the Prometheus exposition and /debug/vars has data.
+		c = dxml.NewObs()
+	}
 	cfg := dxml.HostConfig{
 		MaxSessions:        *maxSessions,
 		MaxTenantSessions:  *maxTenantSessions,
@@ -59,10 +75,14 @@ func runHost(args []string) {
 		MaxResidentBytes:   *maxResidentBytes,
 		MaxResidentDesigns: *maxResidentDesigns,
 		Window:             *window,
+		Obs:                c,
 	}
 	srv, reg, err := startHost(cfg, fs.Args(), *listen, *httpAddr, *chaosSeed)
 	if err != nil {
 		fatal(err)
+	}
+	if *debugHTTP {
+		srv.EnableDebug()
 	}
 	ctx, stop := signalContext()
 	defer stop()
@@ -195,27 +215,57 @@ func bundleNetwork(b tenantBundle) (*dxml.Network, []string, error) {
 	return buildNetwork(df, b.Docs)
 }
 
+// registerError is the structured body every /register failure carries:
+// a machine-readable code (stable across releases, switch on it) plus
+// the human-readable detail. The status code mirrors the failure class:
+// 405 wrong method, 400 malformed JSON, 422 a well-formed bundle whose
+// design or documents do not compile, 409 an already-taken digest or
+// name.
+type registerError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+func writeRegisterError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(registerError{Code: code, Error: err.Error()})
+}
+
 // registerHandler is the /register endpoint: POST a tenantBundle, get
-// the design's routing digest back. Registration races with live
-// traffic, so all it touches is the registry's own lock.
+// the design's routing digest back. Failures return a registerError
+// body. Registration races with live traffic, so all it touches is the
+// registry's own lock.
 func registerHandler(reg *dxml.HostRegistry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
-			http.Error(w, "POST a tenant bundle {name, design, docs}", http.StatusMethodNotAllowed)
+			w.Header().Set("Allow", http.MethodPost)
+			writeRegisterError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Errorf("%s not allowed: POST a tenant bundle {name, design, docs}", req.Method))
 			return
 		}
 		var b tenantBundle
 		if err := json.NewDecoder(io.LimitReader(req.Body, 16<<20)).Decode(&b); err != nil {
-			http.Error(w, "bad bundle: "+err.Error(), http.StatusBadRequest)
+			writeRegisterError(w, http.StatusBadRequest, "malformed_bundle", fmt.Errorf("bad bundle: %w", err))
 			return
 		}
 		d, digest, err := bundleDesign(b)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			// Well-formed JSON, uncompilable content: 422, not 400.
+			writeRegisterError(w, http.StatusUnprocessableEntity, "invalid_design", err)
 			return
 		}
 		if err := reg.Register(d); err != nil {
-			http.Error(w, err.Error(), http.StatusConflict)
+			switch {
+			case errors.Is(err, dxml.ErrDuplicateDesign):
+				writeRegisterError(w, http.StatusConflict, "duplicate_digest", err)
+			case errors.Is(err, dxml.ErrDuplicateName):
+				writeRegisterError(w, http.StatusConflict, "duplicate_name", err)
+			default:
+				writeRegisterError(w, http.StatusBadRequest, "rejected", err)
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -273,6 +323,10 @@ func postRegister(httpAddr string, b tenantBundle) (string, error) {
 	defer resp.Body.Close()
 	out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {
+		var re registerError
+		if json.Unmarshal(out, &re) == nil && re.Error != "" {
+			return "", fmt.Errorf("register: %s (%s): %s", resp.Status, re.Code, re.Error)
+		}
 		return "", fmt.Errorf("register: %s: %s", resp.Status, strings.TrimSpace(string(out)))
 	}
 	var ack struct {

@@ -82,7 +82,7 @@ func TestHostScaleFanIn(t *testing.T) {
 		dfs[i], specs[i] = df, spec
 		// The reference: the same design behind a plain single-design
 		// serve. The host must match it byte for byte, stats included.
-		ref, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0)
+		ref, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +207,7 @@ func TestHostListenEphemeral(t *testing.T) {
 		}
 	}
 
-	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0)
+	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

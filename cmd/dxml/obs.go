@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dxml"
+)
+
+// obsFromFlags builds the CLI's telemetry collector from the shared
+// -trace and -debug-http flags. With neither flag set it returns a nil
+// collector — the no-op sink — so an uninstrumented run pays nothing.
+// The returned cleanup flushes and closes the trace log (call it on the
+// way out; spans are buffered).
+func obsFromFlags(trace, debugAddr string) (*dxml.Obs, func(), error) {
+	if trace == "" && debugAddr == "" {
+		return nil, func() {}, nil
+	}
+	c := dxml.NewObs()
+	cleanup := func() {}
+	if trace != "" {
+		tl, err := dxml.OpenTrace(trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.SetTrace(tl)
+		cleanup = func() { tl.Close() }
+	}
+	if debugAddr != "" {
+		_, errc := dxml.ObsDebugServer(debugAddr, c)
+		// A bad -debug-http address should fail loudly, not vanish into
+		// a goroutine; surface the listen error asynchronously.
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "dxml: debug server:", err)
+			}
+		}()
+	}
+	return c, cleanup, nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dxml"
+)
+
+// postRaw POSTs (or sends method) a raw body to a host's /register and
+// returns the status code plus the decoded registerError (zero-valued
+// on 200).
+func postRaw(t *testing.T, httpAddr, method, body string) (int, registerError) {
+	t.Helper()
+	req, err := http.NewRequest(method, "http://"+httpAddr+"/register", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var re registerError
+	if resp.StatusCode != http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&re); err != nil {
+			t.Fatalf("%s /register (%d): error body is not JSON: %v", method, resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode, re
+}
+
+// TestRegisterErrorPaths pins the /register error contract: every
+// failure returns a structured JSON body {code, error} under the status
+// its class demands — 405 wrong method, 400 malformed JSON, 422
+// uncompilable content, 409 duplicates — so clients can switch on the
+// stable code instead of scraping prose.
+func TestRegisterErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	_, spec, _ := writeTenant(t, dir, 1, 3)
+	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	httpAddr := srv.HTTPAddr().String()
+
+	goodBundle, err := bundleFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodBody, _ := json.Marshal(goodBundle)
+
+	// Wrong method: 405 with the Allow header.
+	if code, re := postRaw(t, httpAddr, http.MethodGet, ""); code != http.StatusMethodNotAllowed || re.Code != "method_not_allowed" {
+		t.Fatalf("GET: %d %+v", code, re)
+	}
+
+	// Malformed JSON: 400.
+	if code, re := postRaw(t, httpAddr, http.MethodPost, "{not json"); code != http.StatusBadRequest || re.Code != "malformed_bundle" {
+		t.Fatalf("malformed: %d %+v", code, re)
+	}
+
+	// Well-formed JSON, uncompilable design: 422, and the detail names
+	// the failing tenant.
+	bad := tenantBundle{Name: "broken", Design: "class dtd\nthis is not a design", Docs: map[string]string{"f1": "r"}}
+	badBody, _ := json.Marshal(bad)
+	if code, re := postRaw(t, httpAddr, http.MethodPost, string(badBody)); code != http.StatusUnprocessableEntity || re.Code != "invalid_design" {
+		t.Fatalf("invalid design: %d %+v", code, re)
+	} else if !strings.Contains(re.Error, "broken") {
+		t.Fatalf("detail does not name the tenant: %q", re.Error)
+	}
+
+	// A document for a docking point the design lacks is also content:
+	// 422, not 400.
+	phantom := goodBundle
+	phantom.Name = "phantom"
+	phantom.Docs = map[string]string{"f99": "r"}
+	phantomBody, _ := json.Marshal(phantom)
+	if code, re := postRaw(t, httpAddr, http.MethodPost, string(phantomBody)); code != http.StatusUnprocessableEntity || re.Code != "invalid_design" {
+		t.Fatalf("phantom docking point: %d %+v", code, re)
+	}
+
+	// First registration succeeds...
+	if code, re := postRaw(t, httpAddr, http.MethodPost, string(goodBody)); code != http.StatusOK {
+		t.Fatalf("register: %d %+v", code, re)
+	}
+	// ...the same digest again is 409 duplicate_digest.
+	if code, re := postRaw(t, httpAddr, http.MethodPost, string(goodBody)); code != http.StatusConflict || re.Code != "duplicate_digest" {
+		t.Fatalf("duplicate digest: %d %+v", code, re)
+	}
+	// A different design under the taken name is 409 duplicate_name.
+	other, err := bundleFromSpec(func() string {
+		_, spec2, _ := writeTenant(t, dir, 2, 3)
+		return spec2
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Name = goodBundle.Name
+	otherBody, _ := json.Marshal(other)
+	if code, re := postRaw(t, httpAddr, http.MethodPost, string(otherBody)); code != http.StatusConflict || re.Code != "duplicate_name" {
+		t.Fatalf("duplicate name: %d %+v", code, re)
+	}
+
+	// The CLI client surfaces the structured code, not raw prose.
+	if _, err := postRegister(httpAddr, goodBundle); err == nil || !strings.Contains(err.Error(), "duplicate_digest") {
+		t.Fatalf("postRegister error does not carry the code: %v", err)
+	}
+}
+
+// TestRegisterErrorAllowHeader pins the 405's Allow header.
+func TestRegisterErrorAllowHeader(t *testing.T) {
+	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/register", srv.HTTPAddr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("Allow"); got != http.MethodPost {
+		t.Fatalf("Allow = %q, want POST", got)
+	}
+}

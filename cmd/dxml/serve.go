@@ -34,8 +34,10 @@ func runServe(args []string) {
 	watch := fs.Bool("watch", false, "watch the document files and publish changes as subtree edits (live mode)")
 	window := fs.Int("window", dxml.DefaultWindow, "credit window cap in chunks: the most unacked chunks granted to any transfer (joiners asking for less get less)")
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off; for resilience drills against a joining kernel peer)")
+	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
+	debugHTTP := fs.String("debug-http", "", "serve net/http/pprof and expvar on this address (empty: off)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-window N] [-chaos seed] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-window N] [-chaos seed] [-trace file] [-debug-http addr] <design-file> <fn=document>...")
 		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
 		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
 		fs.PrintDefaults()
@@ -56,7 +58,12 @@ func runServe(args []string) {
 	if err := validateWindowFlag(*window); err != nil {
 		fatal(err)
 	}
-	srv, err := startServe(df, fs.Args()[1:], *listen, *window, *chaosSeed)
+	c, obsCleanup, err := obsFromFlags(*traceFile, *debugHTTP)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsCleanup()
+	srv, err := startServe(df, fs.Args()[1:], *listen, *window, *chaosSeed, c)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,13 +101,16 @@ type serveInstance struct {
 // transfer this serve hosts. A nonzero chaosSeed wraps the listener in
 // the deterministic fault injector: accepted sessions are doomed to
 // drop after a seed-derived byte budget, so a joining peer's reconnect
-// path can be drilled against a real serve.
-func startServe(df *DesignFile, assigns []string, listen string, window int, chaosSeed int64) (*serveInstance, error) {
+// path can be drilled against a real serve. The collector c (nil: no
+// telemetry) receives the host side's wire and validation metrics and,
+// when it carries a trace sink, per-fragment lifecycle spans.
+func startServe(df *DesignFile, assigns []string, listen string, window int, chaosSeed int64, c *dxml.Obs) (*serveInstance, error) {
 	srv, err := serveNetwork(df, assigns)
 	if err != nil {
 		return nil, err
 	}
 	srv.net.Window = window
+	srv.net.Obs = c
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
@@ -273,8 +283,10 @@ func runJoin(args []string) {
 	window := fs.Int("window", dxml.DefaultWindow, "credit window in chunks: how many unacked chunks each transfer may pipeline (1 = stop-and-wait; hosts may grant less)")
 	watch := fs.Bool("watch", false, "stay joined: subscribe to the hosts' edit logs and print verdict transitions (live mode)")
 	reconnect := fs.Int("reconnect", 8, "live mode: resubscription attempts per feed outage, with exponential backoff (0 = a feed error is terminal)")
+	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
+	debugHTTP := fs.String("debug-http", "", "serve net/http/pprof and expvar on this address (empty: off)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-window N] [-watch [-reconnect N]] <design-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-window N] [-watch [-reconnect N]] [-trace file] [-debug-http addr] <design-file>")
 		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
 		fs.PrintDefaults()
 	}
@@ -293,13 +305,18 @@ func runJoin(args []string) {
 	}
 	ctx, stop := signalContext()
 	defer stop()
+	c, obsCleanup, err := obsFromFlags(*traceFile, *debugHTTP)
+	if err != nil {
+		fatal(err)
+	}
+	defer obsCleanup()
 	if *watch {
-		if err := JoinLive(ctx, df, *connect, peers, *chunk, *window, *reconnect, *stats, os.Stdout); err != nil {
+		if err := JoinLiveObs(ctx, df, *connect, peers, *chunk, *window, *reconnect, *stats, os.Stdout, c); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	out, err := RunJoinContext(ctx, df, *connect, peers, *chunk, *window, *stats)
+	out, err := runJoinObs(ctx, df, *connect, peers, *chunk, *window, *stats, c)
 	if err != nil {
 		fatal(err)
 	}
@@ -310,7 +327,7 @@ func runJoin(args []string) {
 // hosts; the caller owns the returned session. An interrupt (canceled
 // ctx) closes the session so in-flight operations end with clean
 // close frames instead of a mid-frame kill.
-func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int) (*dxml.Network, dxml.TransportSession, error) {
+func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, c *dxml.Obs) (*dxml.Network, dxml.TransportSession, error) {
 	if err := validateChunkFlag(chunk); err != nil {
 		return nil, nil, err
 	}
@@ -327,6 +344,7 @@ func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[str
 	n := dxml.NewNetwork(df.Kernel, edtd)
 	n.ChunkSize = chunk
 	n.Window = window
+	n.Obs = c
 	addrs := map[string]string{}
 	for _, fn := range df.Kernel.Funcs() {
 		switch {
@@ -358,7 +376,13 @@ func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk, win
 // RunJoinContext is RunJoin under a context: cancellation closes the
 // session cleanly mid-round.
 func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool) (string, error) {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window)
+	return runJoinObs(ctx, df, connect, peers, chunk, window, showStats, nil)
+}
+
+// runJoinObs is RunJoinContext with a telemetry collector (nil: none) —
+// the form `dxml join -trace/-debug-http` drives.
+func runJoinObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool, c *dxml.Obs) (string, error) {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c)
 	if err != nil {
 		return "", err
 	}
@@ -407,7 +431,12 @@ func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers m
 // — the verdict goes stale during the outage and recovers by log-suffix
 // replay (or a snapshot rebuild when the host compacted past us).
 func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer) error {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window)
+	return JoinLiveObs(ctx, df, connect, peers, chunk, window, reconnect, showStats, w, nil)
+}
+
+// JoinLiveObs is JoinLive with a telemetry collector (nil: none).
+func JoinLiveObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer, c *dxml.Obs) error {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c)
 	if err != nil {
 		return err
 	}

@@ -108,6 +108,25 @@
 // flags — joining a multi-tenant host looks exactly like joining a
 // serve, and answers byte-identically.
 //
+// The whole stack is observable without being taxed for it. A single
+// telemetry collector (Obs, from internal/obs) threads through every
+// layer — frame encode/decode timing and chunk-ack round trips on the
+// wire, credit-window occupancy at each send, per-fragment lifecycle
+// spans, validation latency and event throughput in the streaming
+// engine, edit-apply and health transitions in live sessions, and
+// admission latency and evictions in the multi-tenant host. The
+// substrate is allocation-free — atomic counters and fixed
+// power-of-two-bucket histograms — and a nil collector is the no-op
+// sink: every hook degrades to a nil check, so an uninstrumented run
+// pays nothing (pinned by a zero-alloc CI gate on the chunk hot path).
+// Read it back three ways: Prometheus text exposition (WritePrometheus;
+// the host's /metrics content-negotiates it against the original JSON),
+// pprof and expvar (ObsDebugServer, or `dxml host -debug-http`), and
+// structured JSONL trace spans (OpenTrace, the CLI's -trace flag). A
+// trace ID minted at each session's hello rides the wire, so the spans
+// of one fragment transfer — hello, open, chunks, verdict — stitch into
+// a single cross-process timeline from the two sides' trace files.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

@@ -6,6 +6,7 @@ import (
 	"dxml/internal/gen"
 	"dxml/internal/host"
 	"dxml/internal/live"
+	"dxml/internal/obs"
 	"dxml/internal/p2p"
 	"dxml/internal/schema"
 	"dxml/internal/stream"
@@ -225,7 +226,57 @@ var (
 	// NewHostServer serves a registry's designs on a TCP listener, with
 	// an optional HTTP listener for /healthz and /metrics.
 	NewHostServer = host.NewServer
+	// ErrDuplicateDesign is the sentinel Register's duplicate-digest
+	// refusal unwraps to (the /register endpoint maps it to 409).
+	ErrDuplicateDesign = host.ErrDuplicateDesign
+	// ErrDuplicateName is the sentinel for a taken tenant name.
+	ErrDuplicateName = host.ErrDuplicateName
 )
+
+// Telemetry (internal/obs): an allocation-free observability substrate —
+// atomic counters, fixed-bucket latency/size histograms, and a
+// ring-buffered structured trace — threaded through the transport, the
+// federation, the live session, and the multi-tenant host. A nil *Obs is
+// the no-op sink: every hook degrades to a nil check, so uninstrumented
+// runs pay nothing. Assign one to Network.Obs / HostConfig.Obs and read
+// it back as Prometheus text (WritePrometheus, or the host's /metrics
+// with Accept: text/plain), expvar/pprof (ObsDebugServer), or JSONL
+// trace spans (OpenTrace) whose trace IDs stitch one fragment's timeline
+// across the two processes of a TCP session.
+type (
+	// Obs is the telemetry collector; nil is the no-op sink.
+	Obs = obs.Collector
+	// ObsTraceLog is a structured span sink: an in-memory ring plus an
+	// optional JSONL writer. Attach with Obs.SetTrace.
+	ObsTraceLog = obs.TraceLog
+	// ObsSpan is one trace event: a named interval with the session's
+	// trace ID, so sender and receiver spans stitch into one timeline.
+	ObsSpan = obs.Span
+	// ObsHistSnapshot is a histogram's consistent copy (count, sum,
+	// power-of-two buckets, quantile estimates).
+	ObsHistSnapshot = obs.HistSnapshot
+)
+
+var (
+	// NewObs builds an active collector (use nil for the no-op sink).
+	NewObs = obs.New
+	// OpenTrace creates a JSONL span log at path; attach it with
+	// Obs.SetTrace and Close it on shutdown (the CLI's -trace flag).
+	OpenTrace = obs.OpenTrace
+	// NewTraceLog builds a span log over any writer (tests use a buffer).
+	NewTraceLog = obs.NewTraceLog
+	// WritePrometheus renders a collector in Prometheus text exposition
+	// format 0.0.4.
+	WritePrometheus = obs.WritePrometheus
+	// ObsDebugServer starts a standalone pprof+expvar HTTP server (the
+	// CLI's -debug-http flag on serve and join).
+	ObsDebugServer = obs.DebugServer
+)
+
+// BuildVersion reports the version string stamped at link time with
+// -ldflags "-X dxml/internal/obs.Version=v1.2.3" ("dev" otherwise); the
+// host's /healthz and the expvar dump carry it.
+func BuildVersion() string { return obs.Version }
 
 const (
 	// DefaultHeartbeat is the client ping interval through idle

@@ -19,12 +19,24 @@ package host
 
 import (
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dxml/internal/obs"
 	"dxml/internal/transport"
+)
+
+// Registration errors, matchable with errors.Is so the HTTP register
+// endpoint can map them to precise status codes.
+var (
+	// ErrDuplicateDesign: the digest is already registered (409 on the
+	// register endpoint).
+	ErrDuplicateDesign = errors.New("design digest already registered")
+	// ErrDuplicateName: the metrics name is already taken.
+	ErrDuplicateName = errors.New("design name already registered")
 )
 
 // Config is the host's admission-control and budget policy. Every cap
@@ -57,6 +69,11 @@ type Config struct {
 	// transport-wide maximum). Lowering it trades throughput for a
 	// tighter per-transfer memory bound — see MaxStreams.
 	Window int
+	// Obs, when non-nil, receives the registry's telemetry — eviction
+	// counts and per-tenant admission-latency rollups — and is handed to
+	// the transport host so wire-level metrics land in the same
+	// collector. Nil (the default) is the no-op sink.
+	Obs *obs.Collector
 }
 
 // Design is one registered tenant: a name for metrics, the digest its
@@ -136,6 +153,7 @@ func (c *counters) snapshot() CounterSnapshot {
 type tenant struct {
 	spec     Design
 	counters counters
+	adm      obs.Histogram // admission (routing) latency rollup, nanoseconds
 
 	// Guarded by the registry lock:
 	sources       map[string]transport.Source // nil until materialized
@@ -186,10 +204,10 @@ func (r *Registry) Register(d Design) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if t, ok := r.tenants[string(d.Digest)]; ok {
-		return fmt.Errorf("host: digest %s already registered as %s", hex.EncodeToString(d.Digest), t.spec.Name)
+		return fmt.Errorf("host: digest %s already registered as %s: %w", hex.EncodeToString(d.Digest), t.spec.Name, ErrDuplicateDesign)
 	}
 	if _, ok := r.byName[d.Name]; ok {
-		return fmt.Errorf("host: design name %s already registered", d.Name)
+		return fmt.Errorf("host: %w: %s", ErrDuplicateName, d.Name)
 	}
 	t := &tenant{spec: d}
 	r.tenants[string(d.Digest)] = t
@@ -219,12 +237,21 @@ func (r *Registry) refuse(t *tenant, code transport.RefuseCode, reason string) e
 // refusal is always immediate — admission control answers the hello, it
 // never parks it.
 func (r *Registry) Route(digest []byte) (transport.Route, error) {
+	start := r.cfg.Obs.Nanos()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t, ok := r.tenants[string(digest)]
 	if !ok {
 		return transport.Route{}, r.refuse(nil, transport.RefuseUnknownDesign,
 			"no design registered under this digest")
+	}
+	if r.cfg.Obs != nil {
+		// Per-tenant rollup: lock wait plus digest lookup is the part a
+		// tenant's sessions actually contend on. The registry observes
+		// only the tenant-labelled rollup — the transport host already
+		// feeds the global admission histogram for the same hello, so
+		// observing both here would double-count it.
+		defer func() { t.adm.Observe(r.cfg.Obs.Nanos() - start) }()
 	}
 	if r.cfg.MaxSessions > 0 && r.activeSessions >= r.cfg.MaxSessions {
 		return transport.Route{}, r.refuse(t, transport.RefuseOverCapacity,
@@ -319,6 +346,7 @@ func (r *Registry) evictLocked(pressure func() bool) {
 		r.resident--
 		victim.counters.evictions.Add(1)
 		r.global.evictions.Add(1)
+		r.cfg.Obs.Add(obs.CEvictions, 1)
 	}
 }
 
@@ -383,6 +411,19 @@ func (g *gate) EditShipped(bytes int) {
 func (g *gate) Resumed(fn string) {
 	g.t.counters.reconnects.Add(1)
 	g.reg.global.reconnects.Add(1)
+}
+
+// TenantAdmissionHists snapshots every tenant's admission-latency
+// rollup histogram, keyed by design name — the per-tenant series the
+// Prometheus exposition renders with a tenant label.
+func (r *Registry) TenantAdmissionHists() map[string]obs.HistSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]obs.HistSnapshot, len(r.tenants))
+	for _, t := range r.tenants {
+		out[t.spec.Name] = t.adm.Snapshot()
+	}
+	return out
 }
 
 // TenantMetrics is one design's externally visible state.

@@ -2,9 +2,13 @@ package host
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
+	"strings"
+	"time"
 
+	"dxml/internal/obs"
 	"dxml/internal/transport"
 )
 
@@ -17,18 +21,24 @@ type Server struct {
 	host   *transport.Host
 	mux    *http.ServeMux
 	hsrv   *http.Server
-	httpLn net.Listener
+	httpLn   net.Listener
+	start    time.Time
+	debug    bool
+	reserved []string
 }
 
 // NewServer starts serving the registry's designs on ln; httpLn, when
 // non-nil, serves /healthz and /metrics. Both listeners may be bound to
-// port 0 — Addr and HTTPAddr report what the OS picked.
+// port 0 — Addr and HTTPAddr report what the OS picked. The registry's
+// Obs collector, when set, backs the Prometheus exposition on /metrics
+// and receives the transport host's wire-level telemetry.
 func NewServer(reg *Registry, ln, httpLn net.Listener) *Server {
-	s := &Server{reg: reg, httpLn: httpLn}
+	s := &Server{reg: reg, httpLn: httpLn, start: time.Now(),
+		reserved: []string{"/healthz", "/metrics", "/debug/"}}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", s.metrics)
-	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout, Window: reg.cfg.Window})
+	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout, Window: reg.cfg.Window, Obs: reg.cfg.Obs})
 	if httpLn != nil {
 		s.hsrv = &http.Server{Handler: s.mux}
 		go s.hsrv.Serve(httpLn)
@@ -52,9 +62,34 @@ func (s *Server) HTTPAddr() net.Addr {
 }
 
 // Handle mounts an extra HTTP handler on the server's mux (the CLI
-// mounts /register here). Mount before the first request; ServeMux is
-// not safe for concurrent registration and serving.
-func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+// mounts /register here). It panics if pattern would shadow one of the
+// server's own endpoints (/healthz, /metrics, /debug/...) or a pattern
+// already mounted through Handle, so a later extension cannot silently
+// capture health, telemetry, or registration traffic. Mount before the
+// first request; ServeMux is not safe for concurrent registration and
+// serving.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	for _, r := range s.reserved {
+		if pattern == r || strings.HasPrefix(pattern, strings.TrimSuffix(r, "/")+"/") {
+			panic(fmt.Sprintf("host: pattern %q would shadow reserved endpoint %s", pattern, r))
+		}
+	}
+	s.reserved = append(s.reserved, pattern)
+	s.mux.Handle(pattern, h)
+}
+
+// EnableDebug mounts net/http/pprof and expvar under /debug/ on the
+// server's HTTP mux and publishes the registry's collector to expvar.
+// Call at most once, before traffic; the endpoints expose internals and
+// should stay behind the operator's -debug-http flag.
+func (s *Server) EnableDebug() {
+	if s.debug {
+		return
+	}
+	s.debug = true
+	obs.MountDebug(s.mux)
+	obs.PublishExpvar(s.reg.cfg.Obs)
+}
 
 // Close stops both listeners and tears down every session.
 func (s *Server) Close() error {
@@ -68,19 +103,59 @@ func (s *Server) Close() error {
 // health is the /healthz body: liveness plus the load numbers a
 // balancer wants.
 type health struct {
-	Status         string `json:"status"`
-	Designs        int    `json:"designs"`
-	Resident       int    `json:"resident"`
-	ActiveSessions int    `json:"activeSessions"`
+	Status         string  `json:"status"`
+	Version        string  `json:"version"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Designs        int     `json:"designs"`
+	Resident       int     `json:"resident"`
+	ActiveSessions int     `json:"activeSessions"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, req *http.Request) {
 	m := s.reg.Metrics()
-	writeJSON(w, health{Status: "ok", Designs: m.Designs, Resident: m.Resident, ActiveSessions: m.ActiveSessions})
+	writeJSON(w, health{
+		Status:         "ok",
+		Version:        obs.Version,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Designs:        m.Designs,
+		Resident:       m.Resident,
+		ActiveSessions: m.ActiveSessions,
+	})
 }
 
+// metrics content-negotiates: Accept: text/plain (Prometheus scrapers)
+// gets the 0.0.4 text exposition from the registry's collector plus
+// per-tenant admission rollups; everything else gets the original JSON
+// body, byte-compatible with earlier releases.
 func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
+	if c := s.reg.cfg.Obs; c != nil && wantsProm(req) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.WritePrometheus(w, c)
+		fmt.Fprintf(w, "# HELP dxml_uptime_seconds Seconds since the host started.\n# TYPE dxml_uptime_seconds gauge\ndxml_uptime_seconds %g\n", time.Since(s.start).Seconds())
+		for name, snap := range s.reg.TenantAdmissionHists() {
+			obs.WriteHistProm(w, "dxml_tenant_admission_latency_seconds",
+				"Per-tenant admission (routing) latency.",
+				fmt.Sprintf("tenant=%q", name), snap, true)
+		}
+		return
+	}
 	writeJSON(w, s.reg.Metrics())
+}
+
+// wantsProm reports whether the request prefers Prometheus text
+// exposition: an Accept header naming text/plain (and not naming
+// application/json earlier in the list).
+func wantsProm(req *http.Request) bool {
+	for _, part := range strings.Split(req.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "text/plain":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,196 @@
+package host
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dxml/internal/obs"
+	"dxml/internal/transport"
+)
+
+// newTestServer boots a full Server (federation + HTTP listener) over
+// one registered mini design and returns it with its HTTP base URL.
+func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	reg := NewRegistry(cfg)
+	if err := reg.Register(miniDesign(1, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, ln, httpLn)
+	t.Cleanup(func() { srv.Close() })
+	return srv, "http://" + srv.HTTPAddr().String()
+}
+
+func httpGet(t *testing.T, url string, accept string) (int, string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	var buf [4096]byte
+	for {
+		n, err := resp.Body.Read(buf[:])
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), sb.String()
+}
+
+// TestHealthzUptimeVersion pins the /healthz additions: the build
+// version string and a nonnegative uptime ride along with the load
+// numbers, without disturbing the existing fields.
+func TestHealthzUptimeVersion(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	code, ct, body := httpGet(t, base+"/healthz", "")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("healthz: %d %s", code, ct)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Designs       int     `json:"designs"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Designs != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.Version != obs.Version {
+		t.Fatalf("version %q, want the stamped %q", h.Version, obs.Version)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %g", h.UptimeSeconds)
+	}
+}
+
+// TestMetricsContentNegotiation is the scrape contract: a Prometheus
+// scraper (Accept: text/plain) gets the 0.0.4 text exposition with the
+// wire's chunk-RTT and admission-latency histograms populated by real
+// traffic, plus per-tenant rollups; everyone else gets the original
+// JSON body unchanged.
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv, base := newTestServer(t, Config{Obs: obs.New()})
+
+	// Drive one real session so the histograms have samples: the hello
+	// times admission, and a transfer of many more 64-byte chunks than
+	// the credit window forces acks (and so RTT samples) mid-stream.
+	d := miniDesign(1, 5000)
+	c, err := transport.Dial(srv.Addr().String(), transport.Config{Digest: d.Digest, Chunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := c.Open(t.Context(), "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, frag)
+	c.Close()
+
+	code, ct, prom := httpGet(t, base+"/metrics", "text/plain")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prom scrape: %d %s", code, ct)
+	}
+	for _, want := range []string{
+		"# TYPE dxml_chunk_rtt_seconds histogram",
+		`dxml_chunk_rtt_seconds_bucket{le="+Inf"}`,
+		"# TYPE dxml_admission_latency_seconds histogram",
+		"dxml_chunks_sent_total",
+		"dxml_uptime_seconds",
+		`dxml_tenant_admission_latency_seconds_bucket{tenant="design-1",le="+Inf"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, prom)
+		}
+	}
+	for _, counted := range []string{"dxml_chunk_rtt_seconds_count ", "dxml_admission_latency_seconds_count "} {
+		i := strings.Index(prom, counted)
+		if i < 0 {
+			t.Fatalf("exposition missing %q", counted)
+		}
+		rest := prom[i+len(counted):]
+		if strings.HasPrefix(rest, "0\n") {
+			t.Fatalf("%s has no samples after real traffic:\n%s", strings.TrimSpace(counted), prom)
+		}
+	}
+
+	// Default (no Accept, or JSON-first Accept): the JSON body.
+	for _, accept := range []string{"", "application/json", "application/json, text/plain"} {
+		code, ct, body := httpGet(t, base+"/metrics", accept)
+		if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("accept %q: %d %s", accept, code, ct)
+		}
+		var m Metrics
+		if err := json.Unmarshal([]byte(body), &m); err != nil {
+			t.Fatalf("accept %q: %v", accept, err)
+		}
+		if m.Designs != 1 {
+			t.Fatalf("accept %q: %+v", accept, m)
+		}
+	}
+}
+
+// TestHandleShadowGuard pins the reserved-path contract: an extension
+// handler cannot shadow /healthz, /metrics, /debug/..., nor a path
+// already mounted through Handle (the CLI's /register).
+func TestHandleShadowGuard(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	nop := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {})
+
+	srv.Handle("/register", nop) // the CLI's mount: allowed, then reserved
+	srv.Handle("/custom", nop)   // unrelated extensions stay allowed
+
+	for _, pattern := range []string{
+		"/healthz", "/metrics", "/debug/", "/debug/pprof/", "/debug/vars",
+		"/register", "/register/v2",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Handle(%q) did not panic", pattern)
+				}
+			}()
+			srv.Handle(pattern, nop)
+		}()
+	}
+}
+
+// TestEnableDebug pins the -debug-http surface: pprof and expvar answer
+// under /debug/ on the host's own mux.
+func TestEnableDebug(t *testing.T) {
+	srv, base := newTestServer(t, Config{Obs: obs.New()})
+	srv.EnableDebug()
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		code, _, body := httpGet(t, base+path, "")
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d", path, code)
+		}
+		if path == "/debug/vars" && !strings.Contains(body, `"cmdline"`) {
+			t.Fatalf("/debug/vars is not the expvar dump:\n%.200s", body)
+		}
+	}
+}

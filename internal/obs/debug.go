@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the collector under the expvar name "dxml"
+// (alongside the standard memstats/cmdline vars on /debug/vars). The
+// first collector passed wins for the process lifetime — expvar names
+// are global and re-publishing panics, so this is sync.Once-guarded.
+func PublishExpvar(c *Collector) {
+	if c == nil {
+		return
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("dxml", expvar.Func(func() any {
+			out := map[string]any{"version": Version}
+			for id := Counter(0); id < numCounters; id++ {
+				out[counterMeta[id].name] = c.Counter(id)
+			}
+			for id := Hist(0); id < numHists; id++ {
+				s := c.Snapshot(id)
+				out[histMeta[id].name] = map[string]any{
+					"count": s.Count,
+					"sum":   s.Sum,
+					"p50":   s.Quantile(0.50),
+					"p99":   s.Quantile(0.99),
+				}
+			}
+			return out
+		}))
+	})
+}
+
+// MountDebug mounts the net/http/pprof handlers and the expvar JSON
+// dump on mux under their conventional /debug/ paths. It exists
+// because pprof's init only registers on http.DefaultServeMux, which
+// the federation's servers do not use.
+func MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// DebugServer starts a standalone debug HTTP server on addr serving
+// pprof and expvar, for processes (serve/join) that have no HTTP mux
+// of their own. It returns the server so callers can Close it; the
+// listen error, if any, surfaces from ListenAndServe on the returned
+// channel.
+func DebugServer(addr string, c *Collector) (*http.Server, <-chan error) {
+	PublishExpvar(c)
+	mux := http.NewServeMux()
+	MountDebug(mux)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	return srv, errc
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// numBuckets is one bucket per possible bits.Len64 result (0..64):
+// bucket k holds samples v with bits.Len64(uint64(v)) == k, i.e.
+// v in [2^(k-1), 2^k). Power-of-two buckets trade resolution for a
+// bucketing function that is one instruction and needs no search.
+const numBuckets = 65
+
+// Histogram is a fixed-bucket, lock-free histogram. Buckets are
+// powers of two over the observed unit (nanoseconds for latencies,
+// bytes for sizes, chunks for occupancy). The zero value is ready.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one sample. Negative samples clamp to zero (they
+// land in bucket 0) so a clock hiccup cannot corrupt bucket indexing.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Snapshot copies the histogram's current state. Loads are not
+// mutually atomic — under concurrent writes the snapshot may be off by
+// in-flight samples, which is fine for monitoring output.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [numBuckets]int64
+}
+
+// BucketBound returns the inclusive upper bound of bucket i in the
+// observed unit: 0 for bucket 0, 2^i - 1 for the rest, and the
+// maximum int64 for the final catch-all bucket.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(1)<<i - 1
+}
+
+// Quantile returns an upper-bound estimate of quantile q in [0,1]
+// from bucket boundaries: the bound of the bucket where the q-th
+// sample falls. Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of observed samples, 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsNoop(t *testing.T) {
+	var c *Collector
+	c.Add(CChunksSent, 1)
+	c.Observe(HChunkRTTNs, 100)
+	c.Span(Span{Name: "x"})
+	c.SetTrace(NewTraceLog(nil))
+	if got := c.Nanos(); got != 0 {
+		t.Fatalf("nil Nanos = %d, want 0", got)
+	}
+	if got := c.Counter(CChunksSent); got != 0 {
+		t.Fatalf("nil Counter = %d, want 0", got)
+	}
+	if s := c.Snapshot(HChunkRTTNs); s.Count != 0 {
+		t.Fatalf("nil Snapshot count = %d, want 0", s.Count)
+	}
+	if tr := c.Trace(); tr != nil {
+		t.Fatalf("nil Trace = %v, want nil", tr)
+	}
+}
+
+func TestCountersAndNanos(t *testing.T) {
+	c := New()
+	c.Add(CFramesEncoded, 3)
+	c.Add(CFramesEncoded, 2)
+	if got := c.Counter(CFramesEncoded); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	a := c.Nanos()
+	time.Sleep(time.Millisecond)
+	if b := c.Nanos(); b <= a {
+		t.Fatalf("Nanos not monotonic: %d then %d", a, b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 1023, 1024, -7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	// -7 clamps to 0; sum = 0+1+2+3+4+1023+1024+0 = 2057.
+	if s.Sum != 2057 {
+		t.Fatalf("sum = %d, want 2057", s.Sum)
+	}
+	// 0 and -7 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+	// 1023 → bucket 10; 1024 → bucket 11.
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 10: 1, 11: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if q := s.Quantile(0.5); q != BucketBound(2) {
+		t.Fatalf("p50 = %d, want %d", q, BucketBound(2))
+	}
+	if q := s.Quantile(1); q != BucketBound(11) {
+		t.Fatalf("p100 = %d, want %d", q, BucketBound(11))
+	}
+	if m := s.Mean(); m != 2057.0/8 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestTraceLogRingAndJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tl := NewTraceLog(&buf)
+	id := NewTraceID()
+	tl.Emit(Span{Trace: id, Name: "open", Frag: "f1", Start: 10, End: 20, Bytes: 64})
+	tl.Emit(Span{Trace: id, Name: "verdict", Start: 20, End: 30})
+	if err := tl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"name":"open"`) || !strings.Contains(lines[0], `"frag":"f1"`) {
+		t.Fatalf("bad span line: %s", lines[0])
+	}
+	spans := tl.Spans()
+	if len(spans) != 2 || spans[0].Name != "open" || spans[1].Name != "verdict" {
+		t.Fatalf("ring spans = %+v", spans)
+	}
+	if tl.Total() != 2 {
+		t.Fatalf("total = %d", tl.Total())
+	}
+}
+
+func TestTraceRingRotation(t *testing.T) {
+	tl := NewTraceLog(nil)
+	for i := 0; i < traceRing+10; i++ {
+		tl.Emit(Span{Start: int64(i)})
+	}
+	spans := tl.Spans()
+	if len(spans) != traceRing {
+		t.Fatalf("ring len = %d, want %d", len(spans), traceRing)
+	}
+	if spans[0].Start != 10 || spans[len(spans)-1].Start != int64(traceRing+9) {
+		t.Fatalf("ring window = [%d, %d]", spans[0].Start, spans[len(spans)-1].Start)
+	}
+	if tl.Total() != traceRing+10 {
+		t.Fatalf("total = %d", tl.Total())
+	}
+}
+
+func TestCollectorSpanRouting(t *testing.T) {
+	c := New()
+	c.Span(Span{Name: "dropped"}) // no sink attached: must not panic
+	tl := NewTraceLog(nil)
+	c.SetTrace(tl)
+	c.Span(Span{Name: "kept"})
+	if got := tl.Spans(); len(got) != 1 || got[0].Name != "kept" {
+		t.Fatalf("spans = %+v", got)
+	}
+	c.SetTrace(nil)
+	c.Span(Span{Name: "dropped2"})
+	if tl.Total() != 1 {
+		t.Fatalf("span emitted after detach")
+	}
+}
+
+func TestNewTraceIDNonzeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("zero trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := New()
+	c.Add(CAdmissions, 4)
+	c.Observe(HChunkRTTNs, 1500)       // ~1.5µs
+	c.Observe(HChunkRTTNs, 2_000_000)  // 2ms
+	c.Observe(HAdmissionNs, 10_000)    // 10µs
+	c.Observe(HChunkBytes, 4096)       // raw unit, no seconds scaling
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dxml_admissions_total counter",
+		"dxml_admissions_total 4",
+		"# TYPE dxml_chunk_rtt_seconds histogram",
+		`dxml_chunk_rtt_seconds_bucket{le="+Inf"} 2`,
+		"dxml_chunk_rtt_seconds_count 2",
+		"# TYPE dxml_admission_latency_seconds histogram",
+		"dxml_admission_latency_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Nanosecond histograms scale sum into seconds.
+	if !strings.Contains(out, "dxml_chunk_rtt_seconds_sum 0.0020015") {
+		t.Fatalf("rtt sum not scaled to seconds:\n%s", out)
+	}
+	// 4096 lands in bucket le="8191" (bits.Len64(4096)=13, bound 2^13-1).
+	if !strings.Contains(out, `dxml_chunk_bytes_bucket{le="8191"} 1`) {
+		t.Fatalf("chunk bytes bucket missing:\n%s", out)
+	}
+	if err := WritePrometheus(&buf, nil); err != nil {
+		t.Fatal("nil collector should write nothing and return nil")
+	}
+}
+
+func TestWriteHistPromLabels(t *testing.T) {
+	var h Histogram
+	h.Observe(1000)
+	var buf bytes.Buffer
+	if err := WriteHistProm(&buf, "dxml_tenant_admission_seconds", "", `tenant="euro"`, h.Snapshot(), true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `dxml_tenant_admission_seconds_bucket{tenant="euro",le=`) {
+		t.Fatalf("labelled bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `dxml_tenant_admission_seconds_count{tenant="euro"} 1`) {
+		t.Fatalf("labelled count missing:\n%s", out)
+	}
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	c := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(HChunkRTTNs, int64(i))
+	}
+}
+
+func BenchmarkNilCollectorObserve(b *testing.B) {
+	var c *Collector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Observe(HChunkRTTNs, int64(i))
+	}
+}

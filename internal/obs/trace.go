@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Span is one completed trace span: a named interval within a session,
+// tagged with the trace ID minted at that session's hello so the two
+// processes' span streams can be stitched into one timeline.
+//
+// Start/End are wall-clock Unix nanoseconds (comparable across
+// processes on one machine, approximately across NTP-synced ones).
+type Span struct {
+	Trace uint64 `json:"trace"`
+	Name  string `json:"name"`           // e.g. "hello", "open", "chunks", "verdict"
+	Frag  string `json:"frag,omitempty"` // fragment / docking-point name, when per-fragment
+	Start int64  `json:"start_unix_ns"`
+	End   int64  `json:"end_unix_ns"`
+	Bytes int64  `json:"bytes,omitempty"` // payload bytes the span covers, when meaningful
+	N     int64  `json:"n,omitempty"`     // item count (chunks, edits, events), when meaningful
+	Err   string `json:"err,omitempty"`
+}
+
+// traceRing bounds in-memory span retention; the JSONL sink keeps the
+// full stream.
+const traceRing = 512
+
+// TraceLog collects completed spans into a fixed ring and, when
+// constructed over a writer, appends each span as one JSON line.
+// Emit is safe for concurrent use; it holds a mutex, so trace-logging
+// is for lifecycle events (per fragment, per session), never per chunk.
+type TraceLog struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	ring   [traceRing]Span
+	total  int
+}
+
+// NewTraceLog returns a trace log writing JSONL spans to w (nil w:
+// ring only). The caller owns w's lifetime; use OpenTrace for files.
+func NewTraceLog(w io.Writer) *TraceLog {
+	t := &TraceLog{}
+	if w != nil {
+		t.w = bufio.NewWriter(w)
+	}
+	return t
+}
+
+// OpenTrace creates (truncating) a JSONL span log at path.
+func OpenTrace(path string) (*TraceLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTraceLog(f)
+	t.closer = f
+	return t, nil
+}
+
+// Emit records one completed span.
+func (t *TraceLog) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.total%traceRing] = s
+	t.total++
+	if t.w != nil {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return
+		}
+		t.w.Write(b)
+		t.w.WriteByte('\n')
+	}
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *TraceLog) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	if n > traceRing {
+		n = traceRing
+	}
+	out := make([]Span, 0, n)
+	start := t.total - n
+	for i := start; i < t.total; i++ {
+		out = append(out, t.ring[i%traceRing])
+	}
+	return out
+}
+
+// Total returns how many spans were emitted over the log's lifetime
+// (including any that have rotated out of the ring).
+func (t *TraceLog) Total() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Flush forces buffered JSONL output to the underlying writer.
+func (t *TraceLog) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil {
+		return nil
+	}
+	return t.w.Flush()
+}
+
+// Close flushes and, when the log owns its file (OpenTrace), closes it.
+func (t *TraceLog) Close() error {
+	err := t.Flush()
+	if t != nil && t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

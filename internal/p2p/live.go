@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dxml/internal/live"
+	"dxml/internal/obs"
 	"dxml/internal/stream"
 	"dxml/internal/transport"
 	"dxml/internal/xmltree"
@@ -395,6 +396,7 @@ func (lv *LiveFederation) drain(fn string) {
 			nf, doc, rerr := lv.recover(fn, replica, err)
 			if rerr != nil {
 				if lv.ctx.Err() == nil {
+					lv.n.Obs.Add(obs.CHealthDown, 1)
 					lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Health: HealthDown, Err: rerr})
 				}
 				return
@@ -417,6 +419,7 @@ func (lv *LiveFederation) drain(fn string) {
 		if err != nil {
 			// A malformed or inapplicable edit means the replica can no
 			// longer track this peer: surface it and stop the feed.
+			lv.n.Obs.Add(obs.CHealthDown, 1)
 			lv.emit(LiveUpdate{Fn: fn, Version: ef.Version, Health: HealthDown, Err: err})
 			return
 		}
@@ -437,12 +440,14 @@ func (lv *LiveFederation) recover(fn string, replica *live.Doc, cause error) (tr
 		return nil, nil, cause // reconnection disabled: the failure is terminal
 	}
 	lv.setStale(fn, true)
+	lv.n.Obs.Add(obs.CHealthDown, 1)
 	lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Valid: lv.Valid(), Health: HealthStale})
 	lastErr := cause
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		lv.rngMu.Lock()
 		d := pol.delay(attempt, lv.rng)
 		lv.rngMu.Unlock()
+		lv.n.Obs.Observe(obs.HReconnectBackoffNs, int64(d))
 		if !lv.sleep(d) {
 			return nil, nil, lv.ctx.Err()
 		}
@@ -460,6 +465,8 @@ func (lv *LiveFederation) recover(fn string, replica *live.Doc, cause error) (tr
 				continue
 			}
 			lv.n.Stats.addReconnect()
+			lv.n.Obs.Add(obs.CReconnects, 1)
+			lv.n.Obs.Add(obs.CHealthUp, 1)
 			lv.setStale(fn, false)
 			lv.emit(LiveUpdate{Fn: fn, Version: replica.Version(), Valid: lv.Valid(), Health: HealthRecovered, Resumed: true})
 			return feed, replica, nil
@@ -471,6 +478,8 @@ func (lv *LiveFederation) recover(fn string, replica *live.Doc, cause error) (tr
 			continue
 		}
 		lv.n.Stats.addReconnect()
+		lv.n.Obs.Add(obs.CReconnects, 1)
+		lv.n.Obs.Add(obs.CHealthUp, 1)
 		lv.setStale(fn, false)
 		lv.emit(LiveUpdate{Fn: fn, Version: doc.Version(), Valid: lv.Valid(), Health: HealthRecovered})
 		return feed, doc, nil
@@ -590,6 +599,7 @@ func (lv *LiveFederation) apply(fn string, replica *live.Doc, ef transport.EditF
 	if err != nil {
 		return LiveUpdate{}, err
 	}
+	start := lv.n.Obs.Nanos()
 	lv.mu.Lock()
 	defer lv.mu.Unlock()
 	ap, err := replica.Apply(ed)
@@ -617,6 +627,10 @@ func (lv *LiveFederation) apply(fn string, replica *live.Doc, ef transport.EditF
 	lv.valid = valid
 	lv.n.Stats.addMessage(ef.WireSize())
 	lv.n.Stats.addRecheck(reval, skipped)
+	lv.n.Obs.Observe(obs.HEditApplyNs, lv.n.Obs.Nanos()-start)
+	lv.n.Obs.Add(obs.CEditsApplied, 1)
+	lv.n.Obs.Add(obs.CNodesRevalidated, int64(reval))
+	lv.n.Obs.Add(obs.CNodesSkipped, int64(skipped))
 	return up, nil
 }
 

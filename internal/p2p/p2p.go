@@ -62,6 +62,7 @@ import (
 
 	"dxml/internal/axml"
 	"dxml/internal/live"
+	"dxml/internal/obs"
 	"dxml/internal/schema"
 	"dxml/internal/stream"
 	"dxml/internal/transport"
@@ -271,9 +272,9 @@ func (c *ctxHandler) StartElement(label string) error {
 	return c.h.StartElement(label)
 }
 
-func (c *ctxHandler) Text() error { return c.h.Text() }
+func (c *ctxHandler) Text() error { c.n++; return c.h.Text() }
 
-func (c *ctxHandler) EndElement() error { return c.h.EndElement() }
+func (c *ctxHandler) EndElement() error { c.n++; return c.h.EndElement() }
 
 // peerSource adapts a ResourcePeer to the transport's sender surface:
 // verdicts from its machine, incremental serialization from the
@@ -283,6 +284,7 @@ func (c *ctxHandler) EndElement() error { return c.h.EndElement() }
 type peerSource struct {
 	peer *ResourcePeer
 	doc  *xmltree.Tree
+	obs  *obs.Collector // per-document validation telemetry (nil: no-op)
 }
 
 func (s *peerSource) document() *xmltree.Tree {
@@ -295,10 +297,16 @@ func (s *peerSource) document() *xmltree.Tree {
 func (s *peerSource) Verdict(ctx context.Context) bool {
 	r := s.peer.Machine().NewRunner()
 	defer r.Release()
-	if err := stream.StreamTree(s.document(), &ctxHandler{ctx: ctx, h: r}); err != nil {
-		return false
+	start := s.obs.Nanos()
+	ch := &ctxHandler{ctx: ctx, h: r}
+	err := stream.StreamTree(s.document(), ch)
+	if err == nil {
+		err = r.Finish()
 	}
-	return r.Finish() == nil
+	s.obs.Observe(obs.HValidateDocNs, s.obs.Nanos()-start)
+	s.obs.Add(obs.CDocsValidated, 1)
+	s.obs.Add(obs.CStreamEvents, int64(ch.n))
+	return err == nil
 }
 
 func (s *peerSource) Size() int { return s.document().XMLSize() }
@@ -363,6 +371,13 @@ type Network struct {
 	// existing (dead) session fails. DialTCP sets it automatically to
 	// redial the same address map.
 	Redial func() (transport.Session, error)
+
+	// Obs, when non-nil, receives the federation's telemetry: fragment
+	// lifecycle latency, per-document validation timing, live-session
+	// health transitions. It is threaded into every session this network
+	// dials or serves, so transport-level metrics land in the same
+	// collector. Nil (the default) is the no-op sink.
+	Obs *obs.Collector
 
 	compileOnce sync.Once
 	machine     *stream.Machine
@@ -484,7 +499,7 @@ func (n *Network) localSession(override map[string]*xmltree.Tree) (transport.Ses
 	}
 	srcs := make(map[string]transport.Source, len(peers))
 	for _, p := range peers {
-		srcs[p.Func] = &peerSource{peer: p, doc: override[p.Func]}
+		srcs[p.Func] = &peerSource{peer: p, doc: override[p.Func], obs: n.Obs}
 	}
 	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget(), Window: win}, nil
 }
@@ -524,7 +539,7 @@ func (n *Network) Digest() []byte {
 func (n *Network) HostSources() map[string]transport.Source {
 	srcs := make(map[string]transport.Source, len(n.Peers))
 	for fn, p := range n.Peers {
-		srcs[fn] = &peerSource{peer: p}
+		srcs[fn] = &peerSource{peer: p, obs: n.Obs}
 	}
 	return srcs
 }
@@ -550,7 +565,7 @@ func (n *Network) ResidentEstimate() int64 {
 // The host's Window caps every joining client's credit-window grant.
 func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
 	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: n.HostSources(),
-		Window: max(n.Window, 0)})
+		Window: max(n.Window, 0), Obs: n.Obs})
 }
 
 // DialTCP connects the kernel peer to the hosts serving its docking
@@ -570,7 +585,7 @@ func (n *Network) dialTCP(addrs map[string]string) (transport.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget(), Window: win}
+	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget(), Window: win, Obs: n.Obs}
 	byAddr := map[string]*transport.Conn{}
 	multi := transport.Multi{}
 	for _, fn := range n.Kernel.Funcs() {
@@ -723,13 +738,17 @@ func (n *Network) centralizedOverSession(parent context.Context, sess transport.
 	// openThrough opens streams up to index k (inclusive), in kernel
 	// order — the consumption order — so prefetched transfers are the
 	// next ones the walk will need.
+	openStart := make([]int64, len(funcs))
 	openThrough := func(k int) {
 		for opened <= k && opened < len(funcs) && transErr == nil {
+			start := n.Obs.Nanos()
 			frag, err := sess.Open(ctx, funcs[opened])
 			if err != nil {
 				transErr = err
 				return
 			}
+			n.Obs.Observe(obs.HFragmentOpenNs, n.Obs.Nanos()-start)
+			openStart[opened] = start
 			frags[opened] = frag
 			opened++
 		}
@@ -760,6 +779,7 @@ func (n *Network) centralizedOverSession(parent context.Context, sess transport.
 			chunk, nerr := frag.Next()
 			if nerr == io.EOF {
 				full[i] = true
+				n.Obs.Observe(obs.HFragmentTransferNs, n.Obs.Nanos()-openStart[i])
 				break
 			}
 			if nerr != nil {
@@ -797,7 +817,9 @@ func (n *Network) centralizedOverSession(parent context.Context, sess transport.
 				frags[i] = frag
 			}
 			frags[i].Abort()
-			n.Stats.addSaved(frags[i].Size() - delivered[i])
+			saved := frags[i].Size() - delivered[i]
+			n.Stats.addSaved(saved)
+			n.Obs.Add(obs.CBytesSavedObs, int64(saved))
 		}
 	}
 	if transErr != nil {

@@ -38,9 +38,10 @@ type genFrame struct {
 // point of pooling is that many goroutines each hold their own Runner
 // over one shared Machine.
 type Runner struct {
-	m    *Machine
-	err  error
-	done bool // the root element has closed
+	m      *Machine
+	err    error
+	done   bool  // the root element has closed
+	events int64 // parse events consumed since the last reset
 
 	st   []stFrame
 	gst  []genFrame
@@ -51,6 +52,7 @@ type Runner struct {
 func (r *Runner) reset() {
 	r.err = nil
 	r.done = false
+	r.events = 0
 	r.st = r.st[:0]
 	r.gst = r.gst[:0]
 }
@@ -108,8 +110,14 @@ func (r *Runner) fail(format string, args ...any) error {
 // Err returns the sticky validation error, if any.
 func (r *Runner) Err() error { return r.err }
 
+// Events returns how many parse events (element opens, closes, text)
+// this runner has consumed since it was obtained or last reset — the
+// denominator for events/sec telemetry.
+func (r *Runner) Events() int64 { return r.events }
+
 // StartElement consumes an element-open event.
 func (r *Runner) StartElement(label string) error {
+	r.events++
 	if r.err != nil {
 		return r.err
 	}
@@ -191,10 +199,11 @@ func (r *Runner) startGeneral(label string, lid int32, known bool) error {
 
 // Text consumes character data. The structural abstraction of the paper
 // drops it, so it only checks well-formedness of the event order.
-func (r *Runner) Text() error { return r.err }
+func (r *Runner) Text() error { r.events++; return r.err }
 
 // EndElement consumes an element-close event.
 func (r *Runner) EndElement() error {
+	r.events++
 	if r.err != nil {
 		return r.err
 	}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"net"
+
+	"dxml/internal/obs"
 )
 
 // The TCP wire speaks length-prefixed binary frames:
@@ -24,9 +26,11 @@ const (
 	// subscribed frame's resumed flag); v3 added the typed refuse frame
 	// (hello admission control); v4 added credit-window flow control
 	// (the hello's window grant, its echo on begin/subscribed, and the
-	// ack frame's cumulative consumed-chunk count). None is
+	// ack frame's cumulative consumed-chunk count); v5 widened the hello
+	// with a trace ID, minted by the dialing peer so both processes'
+	// telemetry spans for one session carry the same ID. None is
 	// wire-compatible with its predecessor.
-	protocolVersion = 4
+	protocolVersion = 5
 
 	// maxFramePayload caps one frame's payload (type byte excluded).
 	// Chunked transfers stay far below it; it exists so unchunked
@@ -170,7 +174,7 @@ type frame struct {
 	typ  frameType
 	id   uint32   // stream / request id; chunk budget rides here for hello
 	size uint64   // announced fragment size (begin), snapshot size (subscribed)
-	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate/resume); cumulative consumed-chunk count (ack)
+	ver  uint64   // edit-log version (subscribed/edit/editAck/verdictUpdate/resume); cumulative consumed-chunk count (ack); trace ID (hello)
 	win  uint32   // credit window: requested (hello), effective echo (begin/subscribed)
 	flag byte     // verdict (verdict/verdictUpdate), version (hello/welcome), op (edit), resumed (subscribed)
 	str  string   // fn (open/verdictReq/subscribe/resume), reason (reject/streamErr/error)
@@ -189,7 +193,7 @@ const maxEditAddr = 4096
 func (t frameType) fixedLen() (int, error) {
 	switch t {
 	case frameHello:
-		return 9, nil // version + chunk budget + window grant
+		return 17, nil // version + chunk budget + window grant + trace ID
 	case frameWelcome:
 		return 1, nil // version
 	case frameError:
@@ -220,9 +224,11 @@ func (t frameType) fixedLen() (int, error) {
 // (the TCP conn holds a write mutex). The scratch buffer is reused, so
 // steady-state encoding is allocation-free.
 type frameWriter struct {
-	w   io.Writer
-	buf []byte
-	vec [2][]byte // reused net.Buffers backing for vectored chunk writes
+	w    io.Writer
+	buf  []byte
+	vec  [2][]byte            // reused net.Buffers backing for vectored chunk writes
+	hdr  [headerSize + 4]byte // reused chunk-frame header (a local would escape via vec)
+	bufs net.Buffers          // reused WriteTo cursor (it consumes the slice in place)
 }
 
 // write encodes and writes one frame.
@@ -251,6 +257,7 @@ func (fw *frameWriter) write(f frame) error {
 		b = append(b, f.flag)
 		b = binary.BigEndian.AppendUint32(b, f.id)
 		b = binary.BigEndian.AppendUint32(b, f.win)
+		b = binary.BigEndian.AppendUint64(b, f.ver)
 	case frameWelcome:
 		b = append(b, f.flag)
 	case frameVerdict:
@@ -308,18 +315,18 @@ func (fw *frameWriter) writeChunk(id uint32, data []byte) error {
 		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit (chunk the transfer)",
 			len(data)+4, maxFramePayload)
 	}
-	var hdr [headerSize + 4]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+4+len(data)))
-	hdr[4] = byte(frameChunk)
-	binary.BigEndian.PutUint32(hdr[5:9], id)
+	binary.BigEndian.PutUint32(fw.hdr[0:4], uint32(1+4+len(data)))
+	fw.hdr[4] = byte(frameChunk)
+	binary.BigEndian.PutUint32(fw.hdr[5:9], id)
 	if len(data) == 0 {
-		_, err := fw.w.Write(hdr[:])
+		_, err := fw.w.Write(fw.hdr[:])
 		return err
 	}
-	fw.vec[0], fw.vec[1] = hdr[:], data
-	bufs := net.Buffers(fw.vec[:])
-	_, err := bufs.WriteTo(fw.w)
+	fw.vec[0], fw.vec[1] = fw.hdr[:], data
+	fw.bufs = net.Buffers(fw.vec[:])
+	_, err := fw.bufs.WriteTo(fw.w)
 	fw.vec[0], fw.vec[1] = nil, nil // do not pin the payload past the write
+	fw.bufs = nil
 	return err
 }
 
@@ -329,6 +336,7 @@ func (fw *frameWriter) writeChunk(id uint32, data []byte) error {
 type frameReader struct {
 	r   *bufio.Reader
 	buf []byte
+	obs *obs.Collector // decode timing sink (nil: no-op)
 }
 
 func newFrameReader(r io.Reader) *frameReader {
@@ -346,6 +354,9 @@ func (fr *frameReader) read() (frame, error) {
 		}
 		return frame{}, err
 	}
+	// The decode timer starts once the length prefix has arrived: the
+	// wait for it is idle time between frames, not decode cost.
+	start := fr.obs.Nanos()
 	length := binary.BigEndian.Uint32(hdr[:4])
 	if length == 0 {
 		return frame{}, fmt.Errorf("transport: empty frame (missing type byte)")
@@ -382,6 +393,7 @@ func (fr *frameReader) read() (frame, error) {
 		f.flag = p[0]
 		f.id = binary.BigEndian.Uint32(p[1:5])
 		f.win = binary.BigEndian.Uint32(p[5:9])
+		f.ver = binary.BigEndian.Uint64(p[9:17])
 		f.data = tail
 	case frameWelcome:
 		f.flag = p[0]
@@ -462,6 +474,8 @@ func (fr *frameReader) read() (frame, error) {
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.str = string(tail)
 	}
+	fr.obs.Observe(obs.HFrameDecodeNs, fr.obs.Nanos()-start)
+	fr.obs.Add(obs.CFramesDecoded, 1)
 	return f, nil
 }
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dxml/internal/obs"
 )
 
 // Router resolves a session hello to the design it belongs to: a
@@ -94,6 +96,11 @@ type HostConfig struct {
 	// transport-wide maximum. The effective (clamped) window is echoed
 	// in each stream's begin/subscribed frame.
 	Window int
+	// Obs, when non-nil, receives the host's telemetry: frame timing,
+	// chunk ack RTT, credit-window occupancy, admission latency, and
+	// per-session lifecycle spans tagged with the trace ID each hello
+	// carries. Nil (the default) is the no-op sink.
+	Obs *obs.Collector
 }
 
 // route resolves a hello digest against the config: the router when one
@@ -194,6 +201,22 @@ type hostStream struct {
 	ackCh   chan struct{}
 	editAck chan struct{}
 	cancel  context.CancelFunc
+
+	// sendNs, allocated only when the host is instrumented, is a ring of
+	// send timestamps (collector nanos) indexed by chunk ordinal % win.
+	// The sender goroutine stores each chunk's send time; the read loop
+	// reads the newest-acked slot when a cumulative ack arrives and
+	// observes the difference as chunk RTT. Atomics give the cross-
+	// goroutine happens-before the plain ring would lack; a window can
+	// recycle a slot before its ack is read only after the client acked
+	// past it, so a raced slot yields a shorter (never negative) RTT
+	// sample — acceptable for a histogram.
+	sendNs []atomic.Int64
+
+	// sentChunks/sentBytes are written only by the sender goroutine and
+	// read by it at stream end for the chunks span.
+	sentChunks uint64
+	sentBytes  int64
 }
 
 func newHostStream(cancel context.CancelFunc) *hostStream {
@@ -208,7 +231,9 @@ type session struct {
 	fw      frameWriter
 	timeout time.Duration // liveness window (0: no deadlines)
 	sources map[string]Source
-	gate    Gate // nil: ungated
+	gate    Gate           // nil: ungated
+	obs     *obs.Collector // telemetry sink (nil: no-op)
+	trace   uint64         // trace ID from the client's hello
 
 	mu       sync.Mutex
 	streams  map[uint32]*hostStream
@@ -226,12 +251,15 @@ func (s *session) send(f frame) error {
 	if s.timeout > 0 {
 		s.c.SetWriteDeadline(time.Now().Add(s.timeout))
 	}
+	start := s.obs.Nanos()
 	if err := s.fw.write(f); err != nil {
 		if isTimeout(err) {
 			return &TimeoutError{Op: "write", After: s.timeout}
 		}
 		return err
 	}
+	s.obs.Observe(obs.HFrameEncodeNs, s.obs.Nanos()-start)
+	s.obs.Add(obs.CFramesEncoded, 1)
 	return nil
 }
 
@@ -247,20 +275,26 @@ func (h *Host) serveSession(c net.Conn) {
 	s := &session{host: h, c: c, fw: frameWriter{w: c},
 		timeout: resolveLiveness(h.cfg.Timeout, DefaultTimeout),
 		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{},
-		lives: map[uint32]LiveFeedSrc{}}
+		lives: map[uint32]LiveFeedSrc{}, obs: h.cfg.Obs}
 	fr := newFrameReader(c)
+	fr.obs = h.cfg.Obs
 	s.armReadDeadline()
+	helloStart := spanClock(s.obs)
 	hello, err := fr.read()
 	if err != nil || hello.typ != frameHello {
 		s.send(frame{typ: frameError, str: "expected hello"})
 		return
 	}
+	s.trace = hello.ver
 	if hello.flag != protocolVersion {
 		s.send(frame{typ: frameError, str: fmt.Sprintf("protocol version mismatch: client speaks v%d, this host v%d", hello.flag, protocolVersion)})
 		return
 	}
+	admitStart := s.obs.Nanos()
 	route, rerr := h.cfg.route(hello.data)
+	s.obs.Observe(obs.HAdmissionNs, s.obs.Nanos()-admitStart)
 	if rerr != nil {
+		s.obs.Add(obs.CRefusals, 1)
 		// A refusal is typed on the wire (unknown design, over
 		// capacity) so the dialing peer can tell "back off and retry"
 		// from "wrong host" — and it is always immediate: admission
@@ -287,6 +321,8 @@ func (h *Host) serveSession(c net.Conn) {
 	if err := s.send(frame{typ: frameWelcome, flag: protocolVersion, data: hello.data}); err != nil {
 		return
 	}
+	s.obs.Add(obs.CAdmissions, 1)
+	s.obs.Span(obs.Span{Trace: s.trace, Name: "hello", Start: helloStart, End: spanClock(s.obs)})
 	ctx, cancel := context.WithCancel(h.ctx)
 	defer cancel() // halts every in-flight verdict and stream
 	for {
@@ -321,6 +357,7 @@ func (h *Host) serveSession(c net.Conn) {
 			s.wg.Add(1)
 			go func(id uint32, fn string) {
 				defer s.wg.Done()
+				start := spanClock(s.obs)
 				v := byte(0)
 				if src.Verdict(vctx) {
 					v = 1
@@ -330,8 +367,11 @@ func (h *Host) serveSession(c net.Conn) {
 				delete(s.verdicts, id)
 				s.mu.Unlock()
 				vcancel()
-				if !canceled && s.send(frame{typ: frameVerdict, id: id, flag: v}) == nil && s.gate != nil {
-					s.gate.VerdictServed(fn)
+				if !canceled && s.send(frame{typ: frameVerdict, id: id, flag: v}) == nil {
+					if s.gate != nil {
+						s.gate.VerdictServed(fn)
+					}
+					s.obs.Span(obs.Span{Trace: s.trace, Name: "verdict", Frag: fn, Start: start, End: spanClock(s.obs)})
 				}
 			}(f.id, f.str)
 
@@ -423,6 +463,15 @@ func (h *Host) serveSession(c net.Conn) {
 				// so it can never double-credit the sender. The read loop
 				// is the sole writer of acked, so load-check-store is safe.
 				if cum := f.ver; cum > st.acked.Load() {
+					if ring := st.sendNs; ring != nil {
+						// RTT of the newest chunk this ack covers: its send
+						// time is still in the ring (the window bounds how
+						// far sending can run ahead of acks).
+						if t := ring[(cum-1)%uint64(len(ring))].Load(); t > 0 {
+							s.obs.Observe(obs.HChunkRTTNs, s.obs.Nanos()-t)
+						}
+						s.obs.Add(obs.CChunksAcked, int64(cum-st.acked.Load()))
+					}
 					st.acked.Store(cum)
 					select {
 					case st.ackCh <- struct{}{}:
@@ -499,9 +548,13 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 	defer s.wg.Done()
 	defer st.cancel()
 	defer s.releaseStream(fn)
-	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(src.Size()), win: uint32(win)}); err != nil {
+	openStart := spanClock(s.obs)
+	size := src.Size()
+	if err := s.send(frame{typ: frameBegin, id: id, size: uint64(size), win: uint32(win)}); err != nil {
 		return
 	}
+	s.obs.Span(obs.Span{Trace: s.trace, Name: "open", Frag: fn, Start: openStart, End: spanClock(s.obs), Bytes: int64(size)})
+	chunksStart := spanClock(s.obs)
 	cw := newChunker(budget, s.creditedSend(sctx, id, st, win))
 	err := src.Serialize(cw)
 	if err == nil {
@@ -510,6 +563,8 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 	s.mu.Lock()
 	delete(s.streams, id)
 	s.mu.Unlock()
+	span := obs.Span{Trace: s.trace, Name: "chunks", Frag: fn,
+		Start: chunksStart, Bytes: st.sentBytes, N: int64(st.sentChunks)}
 	switch {
 	case err == nil:
 		if s.send(frame{typ: frameEnd, id: id}) == nil && s.gate != nil {
@@ -517,9 +572,13 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 		}
 	case sctx.Err() != nil:
 		// Rejected or torn down: the receiver is not listening.
+		span.Err = "rejected"
 	default:
+		span.Err = err.Error()
 		s.send(frame{typ: frameStreamErr, id: id, str: err.Error()})
 	}
+	span.End = spanClock(s.obs)
+	s.obs.Span(span)
 }
 
 // creditedSend builds the chunker's send callback for a credit-windowed
@@ -529,13 +588,19 @@ func (s *session) serveStream(sctx context.Context, id uint32, st *hostStream, s
 // chunker's two-slot ring suffices on TCP.
 func (s *session) creditedSend(sctx context.Context, id uint32, st *hostStream, win int) func([]byte) error {
 	var sent uint64
+	if s.obs != nil {
+		// The RTT ring exists only when instrumented: one slot per
+		// window credit, written at send, read by the read loop at ack.
+		st.sendNs = make([]atomic.Int64, win)
+	}
 	return func(chunk []byte) error {
+		var acked uint64
 		for {
 			// A hostile client can ack more chunks than were ever sent;
 			// clamp to sent so the subtraction never wraps — an over-ack
 			// grants at most a full window, it can never park the sender
 			// forever or corrupt the credit arithmetic.
-			acked := st.acked.Load()
+			acked = st.acked.Load()
 			if acked > sent {
 				acked = sent
 			}
@@ -551,13 +616,25 @@ func (s *session) creditedSend(sctx context.Context, id uint32, st *hostStream, 
 		if err := sctx.Err(); err != nil {
 			return err
 		}
+		if ring := st.sendNs; ring != nil {
+			// Occupancy is sampled before the send: how many credits were
+			// already consumed when this chunk went out.
+			s.obs.Observe(obs.HWindowOccupancy, int64(sent-acked))
+			ring[sent%uint64(len(ring))].Store(s.obs.Nanos())
+		}
 		if err := s.sendChunk(id, chunk); err != nil {
 			return err
 		}
 		if s.gate != nil {
 			s.gate.ChunkShipped(len(chunk))
 		}
+		if st.sendNs != nil {
+			s.obs.Add(obs.CChunksSent, 1)
+			s.obs.Observe(obs.HChunkBytes, int64(len(chunk)))
+			st.sentBytes += int64(len(chunk))
+		}
 		sent++
+		st.sentChunks = sent
 		return nil
 	}
 }

@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"dxml/internal/obs"
+)
+
+// decodeSpans parses one side's JSONL trace stream.
+func decodeSpans(t *testing.T, buf *bytes.Buffer) []obs.Span {
+	t.Helper()
+	var spans []obs.Span
+	dec := json.NewDecoder(buf)
+	for {
+		var s obs.Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return spans
+		} else if err != nil {
+			t.Fatalf("bad JSONL span: %v", err)
+		}
+		spans = append(spans, s)
+	}
+}
+
+// TestStitchedTrace is the cross-process observability contract: the
+// client mints a trace ID at Dial, the hello carries it to the host,
+// and both sides' JSONL span streams tag every lifecycle span with it —
+// so one fragment's timeline (hello → open → chunks → verdict) stitches
+// across the two processes of a session from their two trace files.
+func TestStitchedTrace(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest("stitched-trace")
+	sources := map[string]Source{"f1": &fakeSource{blob: blob(4096), verdict: true}}
+
+	var hostJSONL, clientJSONL bytes.Buffer
+	hostObs, clientObs := obs.New(), obs.New()
+	hostLog, clientLog := obs.NewTraceLog(&hostJSONL), obs.NewTraceLog(&clientJSONL)
+	hostObs.SetTrace(hostLog)
+	clientObs.SetTrace(clientLog)
+
+	h := NewHost(ln, HostConfig{Digest: digest, Sources: sources, Obs: hostObs})
+	c, err := Dial(h.Addr().String(), Config{Digest: digest, Chunk: 256, Obs: clientObs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := c.TraceID()
+	if tid == 0 {
+		t.Fatal("client minted a zero trace ID")
+	}
+
+	if ok, err := c.Verdict(context.Background(), "f1"); err != nil || !ok {
+		t.Fatalf("Verdict = %v, %v", ok, err)
+	}
+	frag, err := c.Open(context.Background(), "f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := frag.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	h.Close() // waits for the session goroutines, so every span is emitted
+	hostLog.Flush()
+	clientLog.Flush()
+
+	want := []string{"hello", "open", "chunks", "verdict"}
+	for side, buf := range map[string]*bytes.Buffer{"host": &hostJSONL, "client": &clientJSONL} {
+		spans := decodeSpans(t, buf)
+		names := map[string]bool{}
+		for _, s := range spans {
+			if s.Trace != tid {
+				t.Fatalf("%s span %q has trace %#x, want the session's %#x", side, s.Name, s.Trace, tid)
+			}
+			if s.End < s.Start {
+				t.Fatalf("%s span %q ends before it starts (%d < %d)", side, s.Name, s.End, s.Start)
+			}
+			names[s.Name] = true
+		}
+		for _, n := range want {
+			if !names[n] {
+				t.Fatalf("%s trace has no %q span (got %v)", side, n, names)
+			}
+		}
+	}
+}
+
+// TestTraceIDRoundTrip pins the v5 hello wiring in isolation: the
+// host's sessions adopt exactly the ID the client minted.
+func TestTraceIDRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := Digest("trace-id")
+	hostObs := obs.New()
+	hostObs.SetTrace(obs.NewTraceLog(nil))
+	h := NewHost(ln, HostConfig{Digest: digest,
+		Sources: map[string]Source{"f1": &fakeSource{blob: blob(64), verdict: true}},
+		Obs:     hostObs})
+	defer h.Close()
+	c, err := Dial(h.Addr().String(), Config{Digest: digest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := c.TraceID()
+	c.Close()
+	h.Close()
+	for _, s := range hostObs.Trace().Spans() {
+		if s.Trace != tid {
+			t.Fatalf("host adopted trace %#x, client minted %#x", s.Trace, tid)
+		}
+	}
+	if hostObs.Trace().Total() == 0 {
+		t.Fatal("host emitted no spans (hello span missing)")
+	}
+}
+
+// benchChunkPath drives the wire's per-chunk hot path — the vectored
+// writeChunk onto a real TCP conn plus the exact telemetry sequence
+// creditedSend performs around it — under a given collector. With c ==
+// nil this is the no-op sink the overhead gate compares against; both
+// variants must stay at 0 allocs/op.
+func benchChunkPath(b *testing.B, c *obs.Collector) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, conn)
+		conn.Close()
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := &frameWriter{w: conn}
+	chunk := blob(4096)
+	const win = 32
+	var ring []atomic.Int64
+	if c != nil {
+		// Mirrors creditedSend: the RTT ring exists only when
+		// instrumented.
+		ring = make([]atomic.Int64, win)
+	}
+	var sent uint64
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ring != nil {
+			c.Observe(obs.HWindowOccupancy, int64(sent%win))
+			ring[sent%uint64(len(ring))].Store(c.Nanos())
+		}
+		if err := fw.writeChunk(1, chunk); err != nil {
+			b.Fatal(err)
+		}
+		if ring != nil {
+			c.Add(obs.CChunksSent, 1)
+			c.Observe(obs.HChunkBytes, int64(len(chunk)))
+		}
+		sent++
+	}
+	b.StopTimer()
+	conn.Close()
+	<-drained
+}
+
+// BenchmarkObsOverhead is the telemetry overhead gate: the instrumented
+// chunk path against the no-op sink, both allocation-free. CI compares
+// the two throughputs and fails the build if instrumentation costs more
+// than a few percent, or if either path allocates.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("noop", func(b *testing.B) { benchChunkPath(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { benchChunkPath(b, obs.New()) })
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dxml/internal/obs"
 )
 
 // Liveness defaults. The kernel peer pings after DefaultHeartbeat of
@@ -60,6 +62,11 @@ type Config struct {
 	// deadlines (the pre-liveness behavior). It should comfortably
 	// exceed Heartbeat.
 	Timeout time.Duration
+	// Obs, when non-nil, receives this session's telemetry: frame
+	// encode/decode timing and per-fragment lifecycle spans tagged with
+	// the trace ID minted at the hello. Nil (the default) is the no-op
+	// sink — the hot paths then pay one nil check and nothing else.
+	Obs *obs.Collector
 }
 
 // Conn is an established TCP session with one peer host, from the
@@ -78,6 +85,9 @@ type Conn struct {
 
 	window  int       // credit window granted per stream (chunks)
 	bufPool sync.Pool // *[]byte chunk/edit payload buffers, reused across frames
+
+	obs   *obs.Collector // telemetry sink (nil: no-op)
+	trace uint64         // trace ID minted at the hello, shared with the host
 
 	nextID  atomic.Uint32
 	mu      sync.Mutex // guards pending and doneErr
@@ -126,19 +136,24 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		window:    win,
 		pending:   map[uint32]*waiter{},
 		done:      make(chan struct{}),
+		obs:       cfg.Obs,
+		trace:     obs.NewTraceID(),
 	}
 	c.bufPool.New = func() any { return new([]byte) }
+	helloStart := spanClock(cfg.Obs)
 	if err := c.send(frame{
 		typ:  frameHello,
 		flag: protocolVersion,
 		id:   wireChunk(cfg.Chunk),
 		win:  uint32(win),
+		ver:  c.trace,
 		data: cfg.Digest,
 	}); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	fr := newFrameReader(nc)
+	fr.obs = cfg.Obs
 	c.armReadDeadline()
 	f, err := fr.read()
 	if err != nil {
@@ -172,11 +187,24 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("transport: unexpected hello response (frame type %d)", f.typ)
 	}
+	c.obs.Span(obs.Span{Trace: c.trace, Name: "hello", Start: helloStart, End: spanClock(cfg.Obs)})
 	go c.readLoop(fr)
 	if c.heartbeat > 0 {
 		go c.heartbeatLoop()
 	}
 	return c, nil
+}
+
+// spanClock returns the wall-clock span timestamp, or 0 when no trace
+// sink is attached: span boundaries are the only place the transport
+// consults the wall clock, and only when someone is listening. Spans
+// use wall-clock Unix nanos (not the collector's monotonic epoch) so
+// the two processes' JSONL streams stitch onto one timeline.
+func spanClock(c *obs.Collector) int64 {
+	if c.Trace() == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
 }
 
 // armReadDeadline extends the liveness window by one timeout: the next
@@ -313,14 +341,22 @@ func (c *Conn) send(f frame) error {
 		c.c.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
 	c.lastWrite.Store(time.Now().UnixNano())
+	start := c.obs.Nanos()
 	if err := c.fw.write(f); err != nil {
 		if isTimeout(err) {
 			return &TimeoutError{Op: "write", After: c.timeout}
 		}
 		return err
 	}
+	c.obs.Observe(obs.HFrameEncodeNs, c.obs.Nanos()-start)
+	c.obs.Add(obs.CFramesEncoded, 1)
 	return nil
 }
+
+// TraceID returns the session's trace ID: minted at Dial, carried in
+// the hello, and tagged onto every telemetry span both processes emit
+// for this session.
+func (c *Conn) TraceID() uint64 { return c.trace }
 
 // sessionErr reports why the session died.
 func (c *Conn) sessionErr() error {
@@ -337,6 +373,7 @@ func (c *Conn) sessionErr() error {
 func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
 	id, w := c.register(4)
 	defer c.unregister(id)
+	start := spanClock(c.obs)
 	if err := c.send(frame{typ: frameVerdictReq, id: id, str: fn}); err != nil {
 		return false, err
 	}
@@ -345,6 +382,7 @@ func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
 		f := d.f
 		switch f.typ {
 		case frameVerdict:
+			c.obs.Span(obs.Span{Trace: c.trace, Name: "verdict", Frag: fn, Start: start, End: spanClock(c.obs)})
 			return f.flag != 0, nil
 		case frameStreamErr:
 			return false, fmt.Errorf("transport: verdict %s: %s", fn, f.str)
@@ -366,6 +404,7 @@ func (c *Conn) Verdict(ctx context.Context, fn string) (bool, error) {
 // it (a Begin frame carrying the total size).
 func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
 	id, w := c.register(c.streamSlots())
+	start := spanClock(c.obs)
 	if err := c.send(frame{typ: frameOpen, id: id, str: fn}); err != nil {
 		c.unregister(id)
 		return nil, err
@@ -382,7 +421,8 @@ func (c *Conn) Open(ctx context.Context, fn string) (Fragment, error) {
 				c.send(frame{typ: frameReject, id: id, str: "bad window echo"})
 				return nil, fmt.Errorf("transport: open %s: host announced window %d outside granted [1,%d]", fn, f.win, c.window)
 			}
-			return &tcpFragment{conn: c, id: id, w: w, size: int(f.size)}, nil
+			c.obs.Span(obs.Span{Trace: c.trace, Name: "open", Frag: fn, Start: start, End: spanClock(c.obs), Bytes: int64(f.size)})
+			return &tcpFragment{conn: c, id: id, w: w, fn: fn, size: int(f.size), opened: spanClock(c.obs)}, nil
 		case frameStreamErr:
 			c.unregister(id)
 			return nil, fmt.Errorf("transport: open %s: %s", fn, f.str)
@@ -587,7 +627,10 @@ type tcpFragment struct {
 	conn      *Conn
 	id        uint32
 	w         *waiter
+	fn        string
 	size      int
+	opened    int64   // spanClock at open, for the chunks span
+	bytes     int64   // payload bytes received so far
 	received  uint64  // chunks picked up so far
 	lastAcked uint64  // cumulative count in the last ack sent
 	prev      *[]byte // pooled buffer behind the last returned chunk
@@ -621,10 +664,16 @@ func (f *tcpFragment) Next() ([]byte, error) {
 		switch fr.typ {
 		case frameChunk:
 			f.received++
+			f.bytes += int64(len(fr.data))
 			f.prev = d.buf
 			return fr.data, nil
 		case frameEnd:
 			f.conn.unregister(f.id)
+			f.conn.obs.Span(obs.Span{
+				Trace: f.conn.trace, Name: "chunks", Frag: f.fn,
+				Start: f.opened, End: spanClock(f.conn.obs),
+				Bytes: f.bytes, N: int64(f.received),
+			})
 			return nil, io.EOF
 		case frameStreamErr:
 			f.conn.unregister(f.id)
@@ -656,5 +705,10 @@ func (f *tcpFragment) Abort() {
 	}
 	f.aborted = true
 	f.conn.unregister(f.id)
+	f.conn.obs.Span(obs.Span{
+		Trace: f.conn.trace, Name: "chunks", Frag: f.fn,
+		Start: f.opened, End: spanClock(f.conn.obs),
+		Bytes: f.bytes, N: int64(f.received), Err: "aborted",
+	})
 	f.conn.send(frame{typ: frameReject, id: f.id, str: "rejected by receiver"})
 }
