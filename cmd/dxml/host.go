@@ -37,6 +37,7 @@ func runHost(args []string) {
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off)")
 	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
 	debugHTTP := fs.Bool("debug-http", false, "mount net/http/pprof and expvar under /debug/ on the -http mux")
+	capture := fs.String("capture", "", "flight-record every wire frame into this directory (capture.dxfr plus postmortem bundles on typed failures); the live ring is served at /debug/flight on the -http mux")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: dxml host [-listen addr] [-http addr] [caps...] [<design-file>,<fn=document>,... ...]")
 		fmt.Fprintln(os.Stderr, "hosts many designs on one port; sessions are routed by design digest.")
@@ -67,6 +68,10 @@ func runHost(args []string) {
 		// serve the Prometheus exposition and /debug/vars has data.
 		c = dxml.NewObs()
 	}
+	rig, err := newCaptureRig(*capture, c)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := dxml.HostConfig{
 		MaxSessions:        *maxSessions,
 		MaxTenantSessions:  *maxTenantSessions,
@@ -77,7 +82,11 @@ func runHost(args []string) {
 		Window:             *window,
 		Obs:                c,
 	}
-	srv, reg, err := startHost(cfg, fs.Args(), *listen, *httpAddr, *chaosSeed)
+	if rig != nil {
+		cfg.Flight = rig.rec
+		cfg.OnWireError = rig.onError
+	}
+	srv, reg, err := startHost(cfg, fs.Args(), *listen, *httpAddr, *chaosSeed, rig)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,13 +106,16 @@ func runHost(args []string) {
 	stop()
 	fmt.Println("dxml: signal received, closing sessions")
 	srv.Close()
+	rig.close()
 }
 
 // startHost builds the registry from tenant specs and starts the
 // multi-tenant server; split from runHost so tests can drive it in
 // process. A nonzero chaosSeed wraps the federation listener (not the
-// HTTP one) in the deterministic fault injector.
-func startHost(cfg dxml.HostConfig, specs []string, listen, httpAddr string, chaosSeed int64) (*dxml.HostServer, *dxml.HostRegistry, error) {
+// HTTP one) in the deterministic fault injector; the rig (nil: no
+// flight recording) receives the injector's fault notifications so a
+// chaos drop dumps a postmortem like any other typed failure.
+func startHost(cfg dxml.HostConfig, specs []string, listen, httpAddr string, chaosSeed int64, rig *captureRig) (*dxml.HostServer, *dxml.HostRegistry, error) {
 	reg := dxml.NewHostRegistry(cfg)
 	for _, spec := range specs {
 		bundle, err := bundleFromSpec(spec)
@@ -123,7 +135,11 @@ func startHost(cfg dxml.HostConfig, specs []string, listen, httpAddr string, cha
 		return nil, nil, err
 	}
 	if chaosSeed != 0 {
-		ln = dxml.NewChaosListener(ln, chaosSeed)
+		cl := dxml.NewChaosListener(ln, chaosSeed)
+		if rig != nil {
+			cl.SetOnFault(rig.onError)
+		}
+		ln = cl
 	}
 	var httpLn net.Listener
 	if httpAddr != "" {

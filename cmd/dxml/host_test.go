@@ -82,7 +82,7 @@ func TestHostScaleFanIn(t *testing.T) {
 		dfs[i], specs[i] = df, spec
 		// The reference: the same design behind a plain single-design
 		// serve. The host must match it byte for byte, stats included.
-		ref, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil)
+		ref, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +97,7 @@ func TestHostScaleFanIn(t *testing.T) {
 		want[i] = out
 	}
 
-	srv, reg, err := startHost(dxml.HostConfig{}, specs, "127.0.0.1:0", "", 0)
+	srv, reg, err := startHost(dxml.HostConfig{}, specs, "127.0.0.1:0", "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestHostServesEurostat(t *testing.T) {
 		}
 		spec += "," + fn + "=" + path
 	}
-	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "", 0)
+	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestHostListenEphemeral(t *testing.T) {
 	dir := t.TempDir()
 	df, spec, assigns := writeTenant(t, dir, 1, 3)
 
-	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "127.0.0.1:0", 0)
+	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "127.0.0.1:0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestHostListenEphemeral(t *testing.T) {
 		}
 	}
 
-	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil)
+	serveSrv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestHostRegisterRuntime(t *testing.T) {
 	dir := t.TempDir()
 	df, spec, _ := writeTenant(t, dir, 5, 4)
 
-	srv, reg, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0)
+	srv, reg, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestHostRegisterRuntime(t *testing.T) {
 func TestHostChaosDrill(t *testing.T) {
 	dir := t.TempDir()
 	df, spec, _ := writeTenant(t, dir, 9, 40)
-	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "", 99)
+	srv, _, err := startHost(dxml.HostConfig{}, []string{spec}, "127.0.0.1:0", "", 99, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestHostChaosDrill(t *testing.T) {
 func TestHostCapsOverWire(t *testing.T) {
 	dir := t.TempDir()
 	df, spec, _ := writeTenant(t, dir, 3, 2)
-	srv, reg, err := startHost(dxml.HostConfig{MaxSessions: 1}, []string{spec}, "127.0.0.1:0", "", 0)
+	srv, reg, err := startHost(dxml.HostConfig{MaxSessions: 1}, []string{spec}, "127.0.0.1:0", "", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

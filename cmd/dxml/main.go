@@ -11,6 +11,9 @@
 //	dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-watch [-reconnect N]] <design-file>
 //	dxml host [-listen addr] [-http addr] [caps...] [<design-file>,<fn=document>,... ...]
 //	dxml register -http addr [-name tenant] <design-file> <fn=document>...
+//	dxml inspect <capture.dxfr | postmortem.json>
+//	dxml replay -design <design-file> <capture.dxfr | postmortem.json>
+//	dxml top -http addr [-interval d] [-n count]
 //
 // Problems: exists-local, exists-ml, exists-perfect (top-down existence);
 // loc, ml, perf (verification of the typing given in the file);
@@ -36,6 +39,16 @@
 // counters), and /register — the endpoint `dxml register` posts a new
 // design to at runtime. `dxml join` needs no new flags: joining a
 // multi-tenant host looks exactly like joining a serve.
+//
+// The flight recorder closes the loop: serve, join, and host take
+// -capture dir, which records every wire frame into dir/capture.dxfr
+// and dumps a postmortem bundle (frames, trace spans, metrics) on any
+// typed failure — a refused hello, a liveness timeout, a malformed
+// frame, or a chaos-injected drop. `dxml inspect` prints a capture or
+// bundle as a frame timeline with per-stream flow and credit-window
+// occupancy; `dxml replay` re-validates the captured fragments offline
+// and cross-checks the recorded verdicts; `dxml top` is a live
+// per-tenant dashboard over a multi-tenant host's /metrics.
 //
 // Validation runs on the streaming engine: one pass, memory proportional
 // to the document's depth. With "-" the document is fed to the push
@@ -92,6 +105,15 @@ func main() {
 			return
 		case "register":
 			runRegister(os.Args[2:])
+			return
+		case "inspect":
+			runInspect(os.Args[2:])
+			return
+		case "replay":
+			runReplay(os.Args[2:])
+			return
+		case "top":
+			runTop(os.Args[2:])
 			return
 		}
 	}

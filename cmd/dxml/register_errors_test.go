@@ -42,7 +42,7 @@ func postRaw(t *testing.T, httpAddr, method, body string) (int, registerError) {
 func TestRegisterErrorPaths(t *testing.T) {
 	dir := t.TempDir()
 	_, spec, _ := writeTenant(t, dir, 1, 3)
-	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0)
+	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestRegisterErrorPaths(t *testing.T) {
 
 // TestRegisterErrorAllowHeader pins the 405's Allow header.
 func TestRegisterErrorAllowHeader(t *testing.T) {
-	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0)
+	srv, _, err := startHost(dxml.HostConfig{}, nil, "127.0.0.1:0", "127.0.0.1:0", 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

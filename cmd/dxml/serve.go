@@ -36,8 +36,9 @@ func runServe(args []string) {
 	chaosSeed := fs.Int64("chaos", 0, "fault-injection seed: accepted connections are deterministically doomed to drop (0 = off; for resilience drills against a joining kernel peer)")
 	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
 	debugHTTP := fs.String("debug-http", "", "serve net/http/pprof and expvar on this address (empty: off)")
+	capture := fs.String("capture", "", "flight-record every wire frame into this directory (capture.dxfr plus postmortem bundles on typed failures)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-window N] [-chaos seed] [-trace file] [-debug-http addr] <design-file> <fn=document>...")
+		fmt.Fprintln(os.Stderr, "usage: dxml serve [-listen addr] [-watch] [-window N] [-chaos seed] [-trace file] [-debug-http addr] [-capture dir] <design-file> <fn=document>...")
 		fmt.Fprintln(os.Stderr, "hosts the documents behind the named docking points; a host may serve")
 		fmt.Fprintln(os.Stderr, "any subset of the design's functions (run one serve per site)")
 		fs.PrintDefaults()
@@ -63,7 +64,11 @@ func runServe(args []string) {
 		fatal(err)
 	}
 	defer obsCleanup()
-	srv, err := startServe(df, fs.Args()[1:], *listen, *window, *chaosSeed, c)
+	rig, err := newCaptureRig(*capture, c)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := startServe(df, fs.Args()[1:], *listen, *window, *chaosSeed, c, rig)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +88,7 @@ func runServe(args []string) {
 	stop()
 	fmt.Println("dxml: signal received, closing sessions")
 	srv.host.Close()
+	rig.close()
 }
 
 // serveInstance is a running `dxml serve`: the TCP host, the hosting
@@ -103,20 +109,31 @@ type serveInstance struct {
 // drop after a seed-derived byte budget, so a joining peer's reconnect
 // path can be drilled against a real serve. The collector c (nil: no
 // telemetry) receives the host side's wire and validation metrics and,
-// when it carries a trace sink, per-fragment lifecycle spans.
-func startServe(df *DesignFile, assigns []string, listen string, window int, chaosSeed int64, c *dxml.Obs) (*serveInstance, error) {
+// when it carries a trace sink, per-fragment lifecycle spans. The rig
+// (nil: no flight recording) taps every frame this serve moves and
+// dumps a postmortem bundle on typed wire failures, including the
+// chaos injector's drops.
+func startServe(df *DesignFile, assigns []string, listen string, window int, chaosSeed int64, c *dxml.Obs, rig *captureRig) (*serveInstance, error) {
 	srv, err := serveNetwork(df, assigns)
 	if err != nil {
 		return nil, err
 	}
 	srv.net.Window = window
 	srv.net.Obs = c
+	srv.net.Tap = rig.tap()
+	if rig != nil {
+		srv.net.OnWireError = rig.onError
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
 	}
 	if chaosSeed != 0 {
-		ln = dxml.NewChaosListener(ln, chaosSeed)
+		cl := dxml.NewChaosListener(ln, chaosSeed)
+		if rig != nil {
+			cl.SetOnFault(rig.onError)
+		}
+		ln = cl
 	}
 	srv.host = srv.net.ServeTCP(ln)
 	return srv, nil
@@ -285,8 +302,9 @@ func runJoin(args []string) {
 	reconnect := fs.Int("reconnect", 8, "live mode: resubscription attempts per feed outage, with exponential backoff (0 = a feed error is terminal)")
 	traceFile := fs.String("trace", "", "append JSONL trace spans (session hello, per-fragment open/chunks/verdict) to this file")
 	debugHTTP := fs.String("debug-http", "", "serve net/http/pprof and expvar on this address (empty: off)")
+	capture := fs.String("capture", "", "flight-record every wire frame into this directory (capture.dxfr plus a postmortem bundle if the join fails)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-window N] [-watch [-reconnect N]] [-trace file] [-debug-http addr] <design-file>")
+		fmt.Fprintln(os.Stderr, "usage: dxml join [-connect addr] [-peer fn=addr]... [-stats] [-chunk N] [-window N] [-watch [-reconnect N]] [-trace file] [-debug-http addr] [-capture dir] <design-file>")
 		fmt.Fprintln(os.Stderr, "joins a served federation as the kernel peer and validates it over TCP")
 		fs.PrintDefaults()
 	}
@@ -310,13 +328,28 @@ func runJoin(args []string) {
 		fatal(err)
 	}
 	defer obsCleanup()
+	rig, err := newCaptureRig(*capture, c)
+	if err != nil {
+		fatal(err)
+	}
 	if *watch {
-		if err := JoinLiveObs(ctx, df, *connect, peers, *chunk, *window, *reconnect, *stats, os.Stdout, c); err != nil {
+		err := JoinLiveObs(ctx, df, *connect, peers, *chunk, *window, *reconnect, *stats, os.Stdout, c, rig)
+		if err != nil {
+			rig.onError(err)
+		}
+		rig.close()
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
-	out, err := runJoinObs(ctx, df, *connect, peers, *chunk, *window, *stats, c)
+	out, err := runJoinObs(ctx, df, *connect, peers, *chunk, *window, *stats, c, rig)
+	// A failed join dumps its postmortem before the capture file is
+	// sealed — fatal exits without running defers.
+	if err != nil {
+		rig.onError(err)
+	}
+	rig.close()
 	if err != nil {
 		fatal(err)
 	}
@@ -327,7 +360,7 @@ func runJoin(args []string) {
 // hosts; the caller owns the returned session. An interrupt (canceled
 // ctx) closes the session so in-flight operations end with clean
 // close frames instead of a mid-frame kill.
-func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, c *dxml.Obs) (*dxml.Network, dxml.TransportSession, error) {
+func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, c *dxml.Obs, rig *captureRig) (*dxml.Network, dxml.TransportSession, error) {
 	if err := validateChunkFlag(chunk); err != nil {
 		return nil, nil, err
 	}
@@ -345,6 +378,7 @@ func dialJoin(ctx context.Context, df *DesignFile, connect string, peers map[str
 	n.ChunkSize = chunk
 	n.Window = window
 	n.Obs = c
+	n.Tap = rig.tap()
 	addrs := map[string]string{}
 	for _, fn := range df.Kernel.Funcs() {
 		switch {
@@ -376,13 +410,14 @@ func RunJoin(df *DesignFile, connect string, peers map[string]string, chunk, win
 // RunJoinContext is RunJoin under a context: cancellation closes the
 // session cleanly mid-round.
 func RunJoinContext(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool) (string, error) {
-	return runJoinObs(ctx, df, connect, peers, chunk, window, showStats, nil)
+	return runJoinObs(ctx, df, connect, peers, chunk, window, showStats, nil, nil)
 }
 
-// runJoinObs is RunJoinContext with a telemetry collector (nil: none) —
-// the form `dxml join -trace/-debug-http` drives.
-func runJoinObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool, c *dxml.Obs) (string, error) {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c)
+// runJoinObs is RunJoinContext with a telemetry collector (nil: none)
+// and a capture rig (nil: no flight recording) — the form `dxml join
+// -trace/-debug-http/-capture` drives.
+func runJoinObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window int, showStats bool, c *dxml.Obs, rig *captureRig) (string, error) {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c, rig)
 	if err != nil {
 		return "", err
 	}
@@ -431,12 +466,13 @@ func runJoinObs(ctx context.Context, df *DesignFile, connect string, peers map[s
 // — the verdict goes stale during the outage and recovers by log-suffix
 // replay (or a snapshot rebuild when the host compacted past us).
 func JoinLive(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer) error {
-	return JoinLiveObs(ctx, df, connect, peers, chunk, window, reconnect, showStats, w, nil)
+	return JoinLiveObs(ctx, df, connect, peers, chunk, window, reconnect, showStats, w, nil, nil)
 }
 
-// JoinLiveObs is JoinLive with a telemetry collector (nil: none).
-func JoinLiveObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer, c *dxml.Obs) error {
-	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c)
+// JoinLiveObs is JoinLive with a telemetry collector and capture rig
+// (nil: none).
+func JoinLiveObs(ctx context.Context, df *DesignFile, connect string, peers map[string]string, chunk, window, reconnect int, showStats bool, w io.Writer, c *dxml.Obs, rig *captureRig) error {
+	n, sess, err := dialJoin(ctx, df, connect, peers, chunk, window, c, rig)
 	if err != nil {
 		return err
 	}

@@ -33,7 +33,7 @@ func startEurostatServe(t *testing.T, docs []string) (*DesignFile, *serveInstanc
 		}
 		assigns[i] = fn + "=" + path
 	}
-	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil)
+	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestServeChaosDrill(t *testing.T) {
 		}
 		assigns[i] = fn + "=" + path
 	}
-	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 99, nil)
+	srv, err := startServe(df, assigns, "127.0.0.1:0", dxml.DefaultWindow, 99, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

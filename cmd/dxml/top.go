@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dxml"
+)
+
+// runTop implements `dxml top`: a terminal dashboard over a running
+// multi-tenant host. It polls the host's /metrics JSON body and renders
+// per-tenant session/stream gauges and counter rates (deltas between
+// polls), refreshing in place until interrupted.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("dxml top", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "host's HTTP address (the -http a running `dxml host` printed; required)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	iters := fs.Int("n", 0, "number of refreshes before exiting (0 = until interrupted)")
+	plain := fs.Bool("plain", false, "append refreshes instead of clearing the screen (for logs and pipes)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dxml top -http addr [-interval d] [-n count] [-plain]")
+		fmt.Fprintln(os.Stderr, "live per-tenant dashboard over a multi-tenant host's /metrics")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *httpAddr == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fatal(fmt.Errorf("invalid -interval %v: the poll interval is a positive duration", *interval))
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	var prev *dxml.HostMetrics
+	lastPoll := time.Now()
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(*interval):
+			}
+		}
+		cur, err := fetchHostMetrics(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		now := time.Now()
+		if !*plain {
+			// Clear and home: redraw the dashboard in place.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		renderTop(os.Stdout, prev, cur, now.Sub(lastPoll))
+		prev, lastPoll = &cur, now
+	}
+}
+
+// fetchHostMetrics pulls the host's JSON metrics body (the default
+// content when no Accept header asks for the Prometheus exposition).
+func fetchHostMetrics(httpAddr string) (dxml.HostMetrics, error) {
+	var m dxml.HostMetrics
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return m, fmt.Errorf("top: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&m); err != nil {
+		return m, fmt.Errorf("top: bad /metrics body: %w", err)
+	}
+	return m, nil
+}
+
+// renderTop writes one dashboard refresh: the host-wide gauge line and
+// a per-tenant table whose rate columns are deltas against the previous
+// snapshot over dt (the first refresh has no baseline and shows 0
+// rates). Pure over its inputs, so tests drive it with fixed snapshots.
+func renderTop(w io.Writer, prev *dxml.HostMetrics, cur dxml.HostMetrics, dt time.Duration) {
+	fmt.Fprintf(w, "dxml top — %d designs (%d resident, %s), %d sessions, %d streams\n",
+		cur.Designs, cur.Resident, fmtBytes(cur.ResidentBytes), cur.ActiveSessions, cur.ActiveStreams)
+	names := make([]string, 0, len(cur.Tenants))
+	for name := range cur.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-20s %5s %5s %9s %9s %9s %11s %8s\n",
+		"TENANT", "SESS", "STRM", "RESIDENT", "MSG/S", "FRM/S", "B/S", "VERD/S")
+	secs := dt.Seconds()
+	rate := func(cur, prev int64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		if d := cur - prev; d > 0 {
+			return float64(d) / secs
+		}
+		return 0
+	}
+	for _, name := range names {
+		t := cur.Tenants[name]
+		var base dxml.HostCounters
+		if prev != nil {
+			base = prev.Tenants[name].Counters
+		} else {
+			// No baseline yet: rates start at zero rather than counting
+			// the host's whole history as one interval.
+			base = t.Counters
+		}
+		res := "-"
+		if t.Resident {
+			res = fmtBytes(t.ResidentBytes)
+		}
+		fmt.Fprintf(w, "%-20s %5d %5d %9s %9.1f %9.1f %11.0f %8.1f\n",
+			name, t.ActiveSessions, t.ActiveStreams, res,
+			rate(t.Counters.Messages, base.Messages),
+			rate(t.Counters.Frames, base.Frames),
+			rate(t.Counters.Bytes, base.Bytes),
+			rate(t.Counters.Verdicts, base.Verdicts))
+	}
+	var gbase dxml.HostCounters
+	if prev != nil {
+		gbase = prev.Global
+	} else {
+		gbase = cur.Global
+	}
+	fmt.Fprintf(w, "%-20s %5d %5d %9s %9.1f %9.1f %11.0f %8.1f\n",
+		"TOTAL", cur.ActiveSessions, cur.ActiveStreams, fmtBytes(cur.ResidentBytes),
+		rate(cur.Global.Messages, gbase.Messages),
+		rate(cur.Global.Frames, gbase.Frames),
+		rate(cur.Global.Bytes, gbase.Bytes),
+		rate(cur.Global.Verdicts, gbase.Verdicts))
+}
+
+// fmtBytes renders a byte count with a binary unit, compact enough for
+// a table cell.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -127,6 +127,27 @@
 // of one fragment transfer — hello, open, chunks, verdict — stitch into
 // a single cross-process timeline from the two sides' trace files.
 //
+// When telemetry is not enough, the flight recorder (internal/flight,
+// surfaced as NewFlightRecorder) is the federation's black box. A Tap
+// on the transport seam (Network.Tap, HostConfig.Tap) observes every
+// frame every session writes or reads as raw wire bytes — nil tap, like
+// the nil collector, is a single nil check on the hot path — and the
+// recorder keeps a bounded ring of recent frames plus, optionally, a
+// full length-prefixed binary capture file. On any typed wire failure
+// (ErrTimeout, a RefusedError, a chaos-injected fault, ErrCodec on
+// garbage bytes) the OnWireError hook dumps a postmortem bundle: frame
+// ring, trace-span ring, and metrics snapshot in one self-contained
+// JSON artifact, rate-limited so a flapping peer cannot fill a disk.
+// The CLI closes the loop: `-capture dir` on serve, join, and host
+// records everything; `dxml inspect` renders a capture or bundle as a
+// frame timeline with per-stream flow and credit-window occupancy;
+// `dxml replay` reassembles the captured fragments and re-validates
+// them offline against the recorded verdicts (divergence is an error);
+// a host's /debug/flight serves the live ring; and `dxml top` is a
+// terminal dashboard over a host's /metrics. DecodeFrame decodes a
+// single captured frame for external tooling, truncated ring entries
+// included.
+//
 // The underlying substrates (finite automata with the Brüggemann-Klein/
 // Wood one-unambiguity theory, unranked tree automata, XML schema
 // abstractions, kernels and typings) live in internal packages and are

@@ -3,6 +3,7 @@ package dxml
 import (
 	"dxml/internal/axml"
 	"dxml/internal/core"
+	"dxml/internal/flight"
 	"dxml/internal/gen"
 	"dxml/internal/host"
 	"dxml/internal/live"
@@ -296,6 +297,68 @@ var (
 	// seed-deterministically doomed to die after a byte budget — the
 	// host side of `dxml serve -chaos seed`.
 	NewChaosListener = chaos.NewListener
+)
+
+// ChaosListener is the fault-injecting listener NewChaosListener
+// returns; SetOnFault hooks its injected drops into the flight
+// recorder's postmortem dumper.
+type ChaosListener = chaos.Listener
+
+// Flight recorder (internal/flight): the federation's black box. A
+// FlightRecorder taps every wire frame (both transports) into a bounded
+// ring and an optional full capture file; on any typed failure the
+// process dumps a postmortem bundle — frames, trace spans, metrics —
+// that `dxml inspect` decodes and `dxml replay` re-validates offline.
+type (
+	// TransportTap is the frame-observation seam both transports expose:
+	// assign one to Network.Tap (the FlightRecorder implements it).
+	TransportTap = transport.Tap
+	// FlightRecorder is the bounded frame ring + capture sink; nil
+	// records nothing.
+	FlightRecorder = flight.Recorder
+	// FlightOptions bounds a recorder (ring frames, per-frame bytes).
+	FlightOptions = flight.Options
+	// FlightFrame is one recorded frame: direction, session trace ID,
+	// timestamps, and the (possibly cap-truncated) wire bytes.
+	FlightFrame = flight.Frame
+	// FlightRecord is one capture-file entry.
+	FlightRecord = flight.Record
+	// FlightBundle is a postmortem: frames + spans + metrics in one
+	// self-contained JSON artifact.
+	FlightBundle = flight.Bundle
+	// FlightDumper writes postmortem bundles on typed failures, bounded
+	// by a dump limit.
+	FlightDumper = flight.Dumper
+	// FrameInfo is one wire frame decoded for inspection.
+	FrameInfo = transport.FrameInfo
+	// ObsMetricsSnapshot is a collector's point-in-time export, the
+	// metrics half of a postmortem bundle.
+	ObsMetricsSnapshot = obs.MetricsSnapshot
+)
+
+var (
+	// NewFlightRecorder builds a bounded flight recorder.
+	NewFlightRecorder = flight.NewRecorder
+	// ReadCaptureFile decodes a binary capture file from disk.
+	ReadCaptureFile = flight.ReadCaptureFile
+	// ReadCapture decodes a capture byte stream.
+	ReadCapture = flight.ReadCapture
+	// ReadBundle loads a postmortem bundle JSON from disk.
+	ReadBundle = flight.ReadBundle
+	// ClassifyFailure names a typed failure ("timeout", "refused",
+	// "injected", "codec", or "error") for bundle kinds and filenames.
+	ClassifyFailure = flight.Classify
+	// DecodeFrame decodes one frame's wire bytes for inspection; it
+	// handles capture-truncated frames gracefully and never panics.
+	DecodeFrame = transport.DecodeFrame
+	// FrameTypeName names a wire frame-type byte ("chunk", "ack", ...).
+	FrameTypeName = transport.FrameTypeName
+	// ErrCodec is the sentinel structural frame-decode failures unwrap
+	// to: garbage on the wire, as opposed to truncation or timeout.
+	ErrCodec = transport.ErrCodec
+	// EscapeLabelValue escapes a string for a quoted Prometheus label
+	// value (backslash, quote, newline — the 0.0.4 grammar's escapes).
+	EscapeLabelValue = obs.EscapeLabelValue
 )
 
 // Live federation (internal/live + the live session mode): editing

@@ -1,0 +1,155 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"dxml/internal/obs"
+	"dxml/internal/transport"
+	"dxml/internal/transport/chaos"
+)
+
+// BundleVersion stamps the postmortem format.
+const BundleVersion = 1
+
+// Bundle is one postmortem: everything a typed failure's debugger
+// needs, in one self-contained JSON artifact. Capture is the binary
+// half — the frame ring encoded in the capture-file format (base64 in
+// the JSON) — so `dxml inspect` and `dxml replay` consume a bundle and
+// a live capture file identically.
+type Bundle struct {
+	Version int                  `json:"version"`
+	Build   string               `json:"build"`             // obs.Version at dump time
+	TimeNs  int64                `json:"time_unix_ns"`      // when the dump was taken
+	Kind    string               `json:"kind"`              // Classify(err)
+	Err     string               `json:"err,omitempty"`     // the triggering error's message
+	Frames  int                  `json:"frames"`            // records in Capture
+	Spans   []obs.Span           `json:"spans,omitempty"`   // obs trace-span ring
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"` // counter/hist snapshot
+	Capture []byte               `json:"capture,omitempty"` // encoded frame ring
+}
+
+// Classify names a typed transport failure for postmortem filenames
+// and bundle kinds: "timeout", "refused", "injected" (a chaos fault),
+// "codec" (garbage on the wire), or "error" for anything else.
+func Classify(err error) string {
+	var ref *transport.RefusedError
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, chaos.ErrInjected):
+		return "injected"
+	case errors.Is(err, transport.ErrTimeout):
+		return "timeout"
+	case errors.As(err, &ref),
+		errors.Is(err, transport.ErrUnknownDesign),
+		errors.Is(err, transport.ErrOverCapacity):
+		return "refused"
+	case errors.Is(err, transport.ErrCodec):
+		return "codec"
+	}
+	return "error"
+}
+
+// NewBundle assembles a postmortem for err from the recorder's ring
+// and the collector's spans and metrics (either may be nil).
+func NewBundle(err error, rec *Recorder, c *obs.Collector) *Bundle {
+	b := &Bundle{
+		Version: BundleVersion,
+		Build:   obs.Version,
+		TimeNs:  time.Now().UnixNano(),
+		Kind:    Classify(err),
+		Metrics: c.Export(),
+		Spans:   c.Trace().Spans(),
+	}
+	if err != nil {
+		b.Err = err.Error()
+	}
+	if rec != nil {
+		b.Capture = rec.EncodeRing()
+		recs, _ := ReadCapture(bytes.NewReader(b.Capture))
+		b.Frames = len(recs)
+	}
+	return b
+}
+
+// Records decodes the bundle's embedded capture.
+func (b *Bundle) Records() ([]Record, error) {
+	if len(b.Capture) == 0 {
+		return nil, nil
+	}
+	return ReadCapture(bytes.NewReader(b.Capture))
+}
+
+// WriteFile writes the bundle as one JSON file.
+func (b *Bundle) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBundle loads a postmortem bundle from disk.
+func ReadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("flight: %s is not a postmortem bundle: %w", path, err)
+	}
+	if b.Version == 0 {
+		return nil, fmt.Errorf("flight: %s is not a postmortem bundle (no version)", path)
+	}
+	return &b, nil
+}
+
+// DefaultDumpLimit bounds how many postmortems one Dumper writes: a
+// flapping peer must not fill the disk with identical bundles.
+const DefaultDumpLimit = 32
+
+// Dumper turns typed failures into postmortem files. It is handed to
+// the host and client error hooks; a nil *Dumper ignores every dump.
+// Concurrent dumps are safe — the sequence number is atomic and each
+// dump writes its own file.
+type Dumper struct {
+	Dir   string         // destination directory (created on first dump)
+	Rec   *Recorder      // frame ring to embed (nil: no frames)
+	Obs   *obs.Collector // spans + metrics source (nil: omitted)
+	Limit int64          // max dumps (0: DefaultDumpLimit)
+
+	seq atomic.Int64
+}
+
+// Dump writes one postmortem bundle for err and returns its path; past
+// the dump limit (or on a nil dumper) it returns "" and does nothing.
+func (d *Dumper) Dump(err error) (string, error) {
+	if d == nil {
+		return "", nil
+	}
+	limit := d.Limit
+	if limit <= 0 {
+		limit = DefaultDumpLimit
+	}
+	seq := d.seq.Add(1)
+	if seq > limit {
+		return "", nil
+	}
+	if mkerr := os.MkdirAll(d.Dir, 0o755); mkerr != nil {
+		return "", mkerr
+	}
+	b := NewBundle(err, d.Rec, d.Obs)
+	path := filepath.Join(d.Dir, fmt.Sprintf("postmortem-%s-%03d.json", b.Kind, seq))
+	if werr := b.WriteFile(path); werr != nil {
+		return "", werr
+	}
+	return path, nil
+}

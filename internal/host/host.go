@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dxml/internal/flight"
 	"dxml/internal/obs"
 	"dxml/internal/transport"
 )
@@ -74,6 +75,17 @@ type Config struct {
 	// the transport host so wire-level metrics land in the same
 	// collector. Nil (the default) is the no-op sink.
 	Obs *obs.Collector
+	// Flight, when non-nil, is the host's flight recorder: it taps every
+	// session's wire frames into its ring (and capture file, when one is
+	// attached), the HTTP server exposes the live ring at /debug/flight,
+	// and abnormal session deaths dump postmortem bundles through
+	// OnWireError. Nil (the default) records nothing.
+	Flight *flight.Recorder
+	// OnWireError, when non-nil, is called whenever a session dies
+	// abnormally (refused hello, liveness timeout, codec error, injected
+	// fault) — the postmortem-dump trigger. Called from session
+	// goroutines; must be safe for concurrent use.
+	OnWireError func(error)
 }
 
 // Design is one registered tenant: a name for metrics, the digest its

@@ -17,10 +17,10 @@ import (
 // an optional HTTP listener exposing health and metrics. Extend the
 // HTTP surface with Handle before traffic arrives.
 type Server struct {
-	reg    *Registry
-	host   *transport.Host
-	mux    *http.ServeMux
-	hsrv   *http.Server
+	reg      *Registry
+	host     *transport.Host
+	mux      *http.ServeMux
+	hsrv     *http.Server
 	httpLn   net.Listener
 	start    time.Time
 	debug    bool
@@ -38,7 +38,15 @@ func NewServer(reg *Registry, ln, httpLn net.Listener) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/metrics", s.metrics)
-	s.host = transport.NewHost(ln, transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout, Window: reg.cfg.Window, Obs: reg.cfg.Obs})
+	hcfg := transport.HostConfig{Router: reg, Timeout: reg.cfg.Timeout, Window: reg.cfg.Window, Obs: reg.cfg.Obs,
+		OnError: reg.cfg.OnWireError}
+	if reg.cfg.Flight != nil {
+		// Assign only a non-nil recorder: a typed-nil *Recorder in the
+		// Tap interface would defeat the transport's tap == nil check.
+		hcfg.Tap = reg.cfg.Flight
+		s.mux.HandleFunc("/debug/flight", s.debugFlight)
+	}
+	s.host = transport.NewHost(ln, hcfg)
 	if httpLn != nil {
 		s.hsrv = &http.Server{Handler: s.mux}
 		go s.hsrv.Serve(httpLn)
@@ -133,13 +141,51 @@ func (s *Server) metrics(w http.ResponseWriter, req *http.Request) {
 		obs.WritePrometheus(w, c)
 		fmt.Fprintf(w, "# HELP dxml_uptime_seconds Seconds since the host started.\n# TYPE dxml_uptime_seconds gauge\ndxml_uptime_seconds %g\n", time.Since(s.start).Seconds())
 		for name, snap := range s.reg.TenantAdmissionHists() {
+			// Label values use the exposition format's own escaper, not
+			// Go's %q: %q would emit \xNN/\uXXXX escapes the 0.0.4
+			// grammar forbids for non-ASCII or control-laden names.
 			obs.WriteHistProm(w, "dxml_tenant_admission_latency_seconds",
 				"Per-tenant admission (routing) latency.",
-				fmt.Sprintf("tenant=%q", name), snap, true)
+				`tenant="`+obs.EscapeLabelValue(name)+`"`, snap, true)
 		}
 		return
 	}
 	writeJSON(w, s.reg.Metrics())
+}
+
+// flightFrame is one ring entry in the /debug/flight body: the frame
+// decoded just far enough to read the timeline without shipping raw
+// payloads over HTTP.
+type flightFrame struct {
+	WallNs    int64  `json:"wall_unix_ns"`
+	Dir       string `json:"dir"`
+	Sess      string `json:"sess"` // session trace ID, hex
+	Type      string `json:"type"`
+	Stream    uint32 `json:"stream,omitempty"`
+	Len       int    `json:"len"`
+	Truncated bool   `json:"truncated,omitempty"`
+}
+
+// debugFlight serves the flight recorder's live ring as JSON: the most
+// recent frames across every session, oldest first.
+func (s *Server) debugFlight(w http.ResponseWriter, req *http.Request) {
+	rec := s.reg.cfg.Flight
+	frames := rec.Frames()
+	out := struct {
+		Total  uint64        `json:"total"`
+		Frames []flightFrame `json:"frames"`
+	}{Total: rec.Total(), Frames: make([]flightFrame, 0, len(frames))}
+	for _, f := range frames {
+		ff := flightFrame{WallNs: f.WallNs, Dir: f.Dir.String(),
+			Sess: fmt.Sprintf("%016x", f.Sess), Len: f.Orig}
+		if info, err := transport.DecodeFrame(f.Wire); err != nil {
+			ff.Type = "undecodable"
+		} else {
+			ff.Type, ff.Stream, ff.Truncated = info.Type, info.Stream, info.Truncated
+		}
+		out.Frames = append(out.Frames, ff)
+	}
+	writeJSON(w, out)
 }
 
 // wantsProm reports whether the request prefers Prometheus text

@@ -1,0 +1,45 @@
+package obs
+
+// MetricsSnapshot is a point-in-time export of a collector's counters
+// and histogram summaries, keyed by their Prometheus exposition names —
+// the metrics half of a flight-recorder postmortem bundle, and stable
+// JSON for offline tooling.
+type MetricsSnapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Hists    map[string]HistExport `json:"hists"`
+}
+
+// HistExport summarizes one histogram: totals plus the quantiles a
+// postmortem reader actually looks at. Latency histograms export their
+// raw nanosecond values (the name's _seconds suffix reflects only the
+// Prometheus exposition scaling).
+type HistExport struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+}
+
+// Export snapshots every counter and histogram. Zero-count histograms
+// are skipped; a nil collector exports nil.
+func (c *Collector) Export() *MetricsSnapshot {
+	if c == nil {
+		return nil
+	}
+	m := &MetricsSnapshot{Counters: map[string]int64{}, Hists: map[string]HistExport{}}
+	for id := Counter(0); id < numCounters; id++ {
+		m.Counters[counterMeta[id].name] = c.Counter(id)
+	}
+	for id := Hist(0); id < numHists; id++ {
+		s := c.Snapshot(id)
+		if s.Count == 0 {
+			continue
+		}
+		m.Hists[histMeta[id].name] = HistExport{
+			Count: s.Count, Sum: s.Sum, Mean: s.Mean(),
+			P50: s.Quantile(0.5), P99: s.Quantile(0.99),
+		}
+	}
+	return m
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestOpenTraceAppends pins the crash-forensics property: reopening a
+// trace file extends it. Before the fix OpenTrace used os.Create, so a
+// restarted process erased exactly the spans that explained the crash
+// it was restarting from.
+func TestOpenTraceAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	for run := 0; run < 2; run++ {
+		tl, err := OpenTrace(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl.Emit(Span{Trace: uint64(run + 1), Name: "hello"})
+		tl.Emit(Span{Trace: uint64(run + 1), Name: "verdict"})
+		if err := tl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var spans []Span
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d does not parse: %v", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans after two runs, want 4 (second run truncated the first?)", len(spans))
+	}
+	if spans[0].Trace != 1 || spans[3].Trace != 2 {
+		t.Fatalf("runs out of order: %+v", spans)
+	}
+}
+
+// TestTraceLogEmitConcurrent hammers Emit from many goroutines; run
+// under -race this is the data-race gate on the span ring and the
+// shared bufio writer.
+func TestTraceLogEmitConcurrent(t *testing.T) {
+	var sink strings.Builder
+	var mu sync.Mutex
+	lockedSink := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sink.Write(p)
+	})
+	tl := NewTraceLog(lockedSink)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tl.Emit(Span{Trace: uint64(g + 1), Name: "span", N: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.Total(); got != goroutines*per {
+		t.Fatalf("Total = %d, want %d", got, goroutines*per)
+	}
+	mu.Lock()
+	lines := strings.Count(sink.String(), "\n")
+	mu.Unlock()
+	if lines != goroutines*per {
+		t.Fatalf("JSONL sink has %d lines, want %d", lines, goroutines*per)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestEscapeLabelValue pins the 0.0.4 label escaping rules: exactly
+// backslash, quote, and newline are escaped; everything else — UTF-8
+// included — passes through raw.
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"eurostat", "eurostat"},
+		{"", ""},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{`all "three"` + "\n" + `at\once`, `all \"three\"\nat\\once`},
+		{"ütf-8 日本語 🎯", "ütf-8 日本語 🎯"}, // raw UTF-8 is legal in label values
+		{"tab\tstays", "tab\tstays"},   // only \n is special, not other controls
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExport covers the metrics half of a postmortem bundle: every
+// counter appears under its exposition name, touched histograms export
+// count/sum/quantiles, untouched histograms are skipped, and a nil
+// collector exports nil.
+func TestExport(t *testing.T) {
+	if (*Collector)(nil).Export() != nil {
+		t.Fatal("nil collector must export nil")
+	}
+	c := New()
+	c.Add(CFramesEncoded, 3)
+	c.Add(CChunksSent, 7)
+	for i := 1; i <= 100; i++ {
+		c.Observe(HChunkBytes, int64(i))
+	}
+	m := c.Export()
+	if got := m.Counters["dxml_frames_encoded_total"]; got != 3 {
+		t.Fatalf("frames_encoded = %d, want 3", got)
+	}
+	if got := m.Counters["dxml_chunks_sent_total"]; got != 7 {
+		t.Fatalf("chunks_sent = %d, want 7", got)
+	}
+	if got := len(m.Counters); got != int(numCounters) {
+		t.Fatalf("exported %d counters, want all %d", got, numCounters)
+	}
+	h, ok := m.Hists["dxml_chunk_bytes"]
+	if !ok {
+		t.Fatalf("touched histogram missing from export: %v", m.Hists)
+	}
+	if h.Count != 100 || h.Sum != 5050 {
+		t.Fatalf("chunk_bytes count/sum = %d/%d, want 100/5050", h.Count, h.Sum)
+	}
+	if h.P50 <= 0 || h.P99 < h.P50 {
+		t.Fatalf("quantiles implausible: p50=%d p99=%d", h.P50, h.P99)
+	}
+	if _, ok := m.Hists["dxml_frame_encode_seconds"]; ok {
+		t.Fatal("untouched histogram must be skipped")
+	}
+	// The export round-trips through JSON — it is the bundle's storage
+	// format.
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["dxml_chunks_sent_total"] != 7 || back.Hists["dxml_chunk_bytes"].Sum != 5050 {
+		t.Fatalf("JSON round trip drifted: %+v", back)
+	}
+}

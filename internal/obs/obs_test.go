@@ -167,10 +167,10 @@ func TestNewTraceIDNonzeroAndDistinct(t *testing.T) {
 func TestWritePrometheus(t *testing.T) {
 	c := New()
 	c.Add(CAdmissions, 4)
-	c.Observe(HChunkRTTNs, 1500)       // ~1.5µs
-	c.Observe(HChunkRTTNs, 2_000_000)  // 2ms
-	c.Observe(HAdmissionNs, 10_000)    // 10µs
-	c.Observe(HChunkBytes, 4096)       // raw unit, no seconds scaling
+	c.Observe(HChunkRTTNs, 1500)      // ~1.5µs
+	c.Observe(HChunkRTTNs, 2_000_000) // 2ms
+	c.Observe(HAdmissionNs, 10_000)   // 10µs
+	c.Observe(HChunkBytes, 4096)      // raw unit, no seconds scaling
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, c); err != nil {
 		t.Fatal(err)

@@ -114,6 +114,40 @@ func WriteHistProm(w io.Writer, name, help, labels string, s HistSnapshot, secon
 	return err
 }
 
+// EscapeLabelValue escapes s for use inside a quoted Prometheus label
+// value. The 0.0.4 text exposition format recognizes exactly three
+// escapes — backslash, double quote, and line feed — and label values
+// are otherwise raw UTF-8. (Go's %q is NOT a substitute: it emits
+// \xNN/\uXXXX escapes for non-printables and non-ASCII, which the
+// exposition grammar forbids.)
+func EscapeLabelValue(s string) string {
+	// Fast path: nothing to escape (the common case for tenant names).
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' || c == '\n' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := make([]byte, 0, len(s)+8)
+	b = append(b, s[:i]...)
+	for ; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
 // promBound formats bucket i's upper bound for the `le` label.
 func promBound(i int, seconds bool) string {
 	if i >= numBuckets-1 {

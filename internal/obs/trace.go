@@ -51,9 +51,11 @@ func NewTraceLog(w io.Writer) *TraceLog {
 	return t
 }
 
-// OpenTrace creates (truncating) a JSONL span log at path.
+// OpenTrace opens a JSONL span log at path, creating it if absent and
+// appending if present — a restarted process extends its trace file
+// rather than erasing the history that led up to the restart.
 func OpenTrace(path string) (*TraceLog, error) {
-	f, err := os.Create(path)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}

@@ -379,6 +379,18 @@ type Network struct {
 	// collector. Nil (the default) is the no-op sink.
 	Obs *obs.Collector
 
+	// Tap, when non-nil, is the flight-recorder seam threaded into every
+	// session this network dials, serves, or runs in process: each
+	// encoded/decoded frame (or, in process, the frame the event would
+	// put on the wire) is handed to it as raw bytes. Nil (the default)
+	// records nothing.
+	Tap transport.Tap
+
+	// OnWireError, when non-nil, is handed to ServeTCP's host as its
+	// abnormal-session hook — the serving side's postmortem-dump
+	// trigger. Must be safe for concurrent use.
+	OnWireError func(error)
+
 	compileOnce sync.Once
 	machine     *stream.Machine
 }
@@ -501,7 +513,7 @@ func (n *Network) localSession(override map[string]*xmltree.Tree) (transport.Ses
 	for _, p := range peers {
 		srcs[p.Func] = &peerSource{peer: p, doc: override[p.Func], obs: n.Obs}
 	}
-	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget(), Window: win}, nil
+	return &transport.InProc{Sources: srcs, Chunk: n.chunkBudget(), Window: win, Tap: n.Tap}, nil
 }
 
 // session resolves the wire validation runs over: the externally dialed
@@ -565,7 +577,7 @@ func (n *Network) ResidentEstimate() int64 {
 // The host's Window caps every joining client's credit-window grant.
 func (n *Network) ServeTCP(ln net.Listener) *transport.Host {
 	return transport.NewHost(ln, transport.HostConfig{Digest: n.Digest(), Sources: n.HostSources(),
-		Window: max(n.Window, 0), Obs: n.Obs})
+		Window: max(n.Window, 0), Obs: n.Obs, Tap: n.Tap, OnError: n.OnWireError})
 }
 
 // DialTCP connects the kernel peer to the hosts serving its docking
@@ -585,7 +597,7 @@ func (n *Network) dialTCP(addrs map[string]string) (transport.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget(), Window: win, Obs: n.Obs}
+	cfg := transport.Config{Digest: n.Digest(), Chunk: n.chunkBudget(), Window: win, Obs: n.Obs, Tap: n.Tap}
 	byAddr := map[string]*transport.Conn{}
 	multi := transport.Multi{}
 	for _, fn := range n.Kernel.Funcs() {

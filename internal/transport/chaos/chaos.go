@@ -460,13 +460,35 @@ func (f *editFeed) NextEdit(ctx context.Context) (transport.EditFrame, error) {
 // reconnect paths can be exercised against a real socket.
 type Listener struct {
 	net.Listener
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu      sync.Mutex
+	rng     *rand.Rand
+	onFault func(error)
 }
 
 // NewListener wraps ln with seed-driven connection faults.
 func NewListener(ln net.Listener, seed int64) *Listener {
 	return &Listener{Listener: ln, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetOnFault installs a hook called once per doomed connection at the
+// moment its byte budget trips (with the ErrInjected-wrapped fault) —
+// the flight recorder's dump trigger for injected outages. The hook
+// fires from connection goroutines and must be safe for concurrent
+// use. Set it before serving; nil disables.
+func (l *Listener) SetOnFault(fn func(error)) {
+	l.mu.Lock()
+	l.onFault = fn
+	l.mu.Unlock()
+}
+
+// fault reports one tripped budget to the hook, if any.
+func (l *Listener) fault(err error) {
+	l.mu.Lock()
+	fn := l.onFault
+	l.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
 }
 
 // Accept hands out connections, roughly half of them doomed: a doomed
@@ -486,15 +508,17 @@ func (l *Listener) Accept() (net.Conn, error) {
 	if !doomed {
 		return c, nil
 	}
-	return &conn{Conn: c, budget: budget, delay: delay}, nil
+	return &conn{Conn: c, ln: l, budget: budget, delay: delay}, nil
 }
 
 // conn is a doomed connection: it closes itself after its byte budget.
 type conn struct {
 	net.Conn
+	ln     *Listener
 	mu     sync.Mutex
 	budget int64
 	delay  time.Duration
+	fired  bool
 }
 
 // spend burns n bytes of budget; false means the budget is gone and the
@@ -503,9 +527,16 @@ func (c *conn) spend(n int) bool {
 	c.mu.Lock()
 	c.budget -= int64(n)
 	dead := c.budget <= 0
+	first := dead && !c.fired
+	if first {
+		c.fired = true
+	}
 	c.mu.Unlock()
 	if dead {
 		c.Conn.Close()
+		if first {
+			c.ln.fault(fmt.Errorf("chaos: %w", ErrInjected))
+		}
 	}
 	return !dead
 }

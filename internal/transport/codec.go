@@ -217,7 +217,7 @@ func (t frameType) fixedLen() (int, error) {
 	case frameSubscribed:
 		return 25, nil // id + version + snapshot size + resumed flag + effective window
 	}
-	return 0, fmt.Errorf("transport: unknown frame type %d", t)
+	return 0, codecErrf("transport: unknown frame type %d", t)
 }
 
 // frameWriter encodes frames onto one stream; callers serialize access
@@ -229,6 +229,8 @@ type frameWriter struct {
 	vec  [2][]byte            // reused net.Buffers backing for vectored chunk writes
 	hdr  [headerSize + 4]byte // reused chunk-frame header (a local would escape via vec)
 	bufs net.Buffers          // reused WriteTo cursor (it consumes the slice in place)
+	tap  Tap                  // flight-recorder seam (nil: no-op)
+	sess uint64               // session trace ID tagged onto tapped frames
 }
 
 // write encodes and writes one frame.
@@ -300,8 +302,13 @@ func (fw *frameWriter) write(f frame) error {
 	b = append(b, f.str...)
 	b = append(b, f.data...)
 	fw.buf = b
-	_, err = fw.w.Write(b)
-	return err
+	if _, err = fw.w.Write(b); err != nil {
+		return err
+	}
+	if fw.tap != nil {
+		fw.tap.TapFrame(TapOut, fw.sess, b, nil)
+	}
+	return nil
 }
 
 // writeChunk writes one chunk frame with a vectored write: the 9-byte
@@ -319,24 +326,37 @@ func (fw *frameWriter) writeChunk(id uint32, data []byte) error {
 	fw.hdr[4] = byte(frameChunk)
 	binary.BigEndian.PutUint32(fw.hdr[5:9], id)
 	if len(data) == 0 {
-		_, err := fw.w.Write(fw.hdr[:])
-		return err
+		if _, err := fw.w.Write(fw.hdr[:]); err != nil {
+			return err
+		}
+		if fw.tap != nil {
+			fw.tap.TapFrame(TapOut, fw.sess, fw.hdr[:], nil)
+		}
+		return nil
 	}
 	fw.vec[0], fw.vec[1] = fw.hdr[:], data
 	fw.bufs = net.Buffers(fw.vec[:])
 	_, err := fw.bufs.WriteTo(fw.w)
 	fw.vec[0], fw.vec[1] = nil, nil // do not pin the payload past the write
 	fw.bufs = nil
-	return err
+	if err != nil {
+		return err
+	}
+	if fw.tap != nil {
+		fw.tap.TapFrame(TapOut, fw.sess, fw.hdr[:], data)
+	}
+	return nil
 }
 
 // frameReader decodes frames from one stream. The payload buffer is
 // reused: a decoded frame's str/data alias it and are valid until the
 // next read — the same lifetime contract Fragment.Next exposes.
 type frameReader struct {
-	r   *bufio.Reader
-	buf []byte
-	obs *obs.Collector // decode timing sink (nil: no-op)
+	r    *bufio.Reader
+	buf  []byte
+	obs  *obs.Collector // decode timing sink (nil: no-op)
+	tap  Tap            // flight-recorder seam (nil: no-op)
+	sess uint64         // session trace ID tagged onto tapped frames
 }
 
 func newFrameReader(r io.Reader) *frameReader {
@@ -359,17 +379,17 @@ func (fr *frameReader) read() (frame, error) {
 	start := fr.obs.Nanos()
 	length := binary.BigEndian.Uint32(hdr[:4])
 	if length == 0 {
-		return frame{}, fmt.Errorf("transport: empty frame (missing type byte)")
+		return frame{}, codecErrf("transport: empty frame (missing type byte)")
 	}
 	if length-1 > maxFramePayload {
-		return frame{}, fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", length-1, maxFramePayload)
+		return frame{}, codecErrf("transport: frame of %d bytes exceeds the %d-byte limit", length-1, maxFramePayload)
 	}
 	if _, err := io.ReadFull(fr.r, hdr[4:5]); err != nil {
 		return frame{}, fmt.Errorf("transport: truncated frame: %w", unexpected(err))
 	}
 	f := frame{typ: frameType(hdr[4])}
 	if f.typ == frameInvalid || f.typ >= frameTypeEnd {
-		return frame{}, fmt.Errorf("transport: unknown frame type %d", hdr[4])
+		return frame{}, codecErrf("transport: unknown frame type %d", hdr[4])
 	}
 	fixed, err := f.typ.fixedLen()
 	if err != nil {
@@ -377,7 +397,7 @@ func (fr *frameReader) read() (frame, error) {
 	}
 	rest := int(length) - 1
 	if rest < fixed {
-		return frame{}, fmt.Errorf("transport: %d-byte payload too short for frame type %d", rest, f.typ)
+		return frame{}, codecErrf("transport: %d-byte payload too short for frame type %d", rest, f.typ)
 	}
 	if cap(fr.buf) < rest {
 		fr.buf = make([]byte, 0, max(rest, 4096))
@@ -422,13 +442,13 @@ func (fr *frameReader) read() (frame, error) {
 	case frameEnd, frameVerdictCancel, framePing, framePong:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		if len(tail) != 0 {
-			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+			return frame{}, codecErrf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
 	case frameAck:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.ver = binary.BigEndian.Uint64(p[4:12])
 		if len(tail) != 0 {
-			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+			return frame{}, codecErrf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
 	case frameSubscribed:
 		f.id = binary.BigEndian.Uint32(p[0:4])
@@ -437,20 +457,20 @@ func (fr *frameReader) read() (frame, error) {
 		f.flag = p[20]
 		f.win = binary.BigEndian.Uint32(p[21:25])
 		if len(tail) != 0 {
-			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+			return frame{}, codecErrf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
 	case frameEditAck:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.ver = binary.BigEndian.Uint64(p[4:12])
 		if len(tail) != 0 {
-			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+			return frame{}, codecErrf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
 	case frameVerdictUpdate:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.ver = binary.BigEndian.Uint64(p[4:12])
 		f.flag = p[12]
 		if len(tail) != 0 {
-			return frame{}, fmt.Errorf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
+			return frame{}, codecErrf("transport: unexpected %d-byte tail on frame type %d", len(tail), f.typ)
 		}
 	case frameEdit:
 		f.id = binary.BigEndian.Uint32(p[0:4])
@@ -458,10 +478,10 @@ func (fr *frameReader) read() (frame, error) {
 		f.flag = p[12]
 		n := int(binary.BigEndian.Uint16(p[13:15]))
 		if n > maxEditAddr {
-			return frame{}, fmt.Errorf("transport: edit address of %d components exceeds the %d limit", n, maxEditAddr)
+			return frame{}, codecErrf("transport: edit address of %d components exceeds the %d limit", n, maxEditAddr)
 		}
 		if len(tail) < 8*n {
-			return frame{}, fmt.Errorf("transport: edit frame too short for a %d-component address", n)
+			return frame{}, codecErrf("transport: edit frame too short for a %d-component address", n)
 		}
 		if n > 0 {
 			f.addr = make([]uint64, n)
@@ -473,6 +493,9 @@ func (fr *frameReader) read() (frame, error) {
 	case frameReject, frameStreamErr:
 		f.id = binary.BigEndian.Uint32(p[0:4])
 		f.str = string(tail)
+	}
+	if fr.tap != nil {
+		fr.tap.TapFrame(TapIn, fr.sess, hdr[:], p)
 	}
 	fr.obs.Observe(obs.HFrameDecodeNs, fr.obs.Nanos()-start)
 	fr.obs.Add(obs.CFramesDecoded, 1)

@@ -39,6 +39,27 @@ func isTimeout(err error) bool {
 	return errors.As(err, &t) && t.Timeout()
 }
 
+// ErrCodec is the sentinel every structural frame-decode failure
+// unwraps to: a length prefix, type byte, or payload layout the codec
+// refuses — garbage on the wire, as opposed to a truncated read (an io
+// error) or a timeout. Use errors.Is(err, ErrCodec) to trigger
+// wire-corruption handling (the flight recorder dumps a postmortem on
+// it) without matching message strings.
+var ErrCodec = errors.New("transport: malformed frame")
+
+// codecError is a structural decode failure with its descriptive
+// message; it unwraps to ErrCodec.
+type codecError struct{ msg string }
+
+func (e *codecError) Error() string { return e.msg }
+func (e *codecError) Unwrap() error { return ErrCodec }
+
+// codecErrf builds a codecError; messages match the codec's historical
+// fmt.Errorf texts exactly.
+func codecErrf(format string, args ...any) error {
+	return &codecError{msg: fmt.Sprintf(format, args...)}
+}
+
 // ErrInvalidWindow rejects a nonsensical credit-window configuration —
 // a negative window — at session-build time, typed, instead of letting
 // it surface as a hang or a protocol error at runtime. (Zero means "use

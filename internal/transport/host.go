@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -101,6 +102,19 @@ type HostConfig struct {
 	// per-session lifecycle spans tagged with the trace ID each hello
 	// carries. Nil (the default) is the no-op sink.
 	Obs *obs.Collector
+	// Tap, when non-nil, observes every frame every session writes or
+	// reads, as raw wire bytes tagged with the session's trace ID — the
+	// flight-recorder seam. One tap is shared across all sessions, so
+	// implementations must be safe for concurrent use. Nil (the
+	// default) costs the hot paths one nil check and nothing else.
+	Tap Tap
+	// OnError, when non-nil, is called whenever a session dies
+	// abnormally: a refused hello, a liveness timeout, a codec error on
+	// garbage bytes, an injected fault. Clean closes (EOF between
+	// frames, a torn-down listener) do not fire it. It is the host's
+	// postmortem-dump trigger; it is called from session goroutines and
+	// must be safe for concurrent use.
+	OnError func(error)
 }
 
 // route resolves a hello digest against the config: the router when one
@@ -270,22 +284,44 @@ func (s *session) armReadDeadline() {
 	}
 }
 
+// reportErr surfaces one session's abnormal death to the host's
+// OnError hook. Clean closes are filtered here — EOF between frames
+// and a closed listener are how every healthy session ends — so the
+// hook only ever sees genuine failures: timeouts, codec errors on
+// garbage bytes, refusals, injected faults, resets.
+func (h *Host) reportErr(err error) {
+	if err == nil || h.cfg.OnError == nil {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	h.cfg.OnError(err)
+}
+
 func (h *Host) serveSession(c net.Conn) {
 	defer c.Close()
 	s := &session{host: h, c: c, fw: frameWriter{w: c},
 		timeout: resolveLiveness(h.cfg.Timeout, DefaultTimeout),
 		streams: map[uint32]*hostStream{}, verdicts: map[uint32]context.CancelFunc{},
 		lives: map[uint32]LiveFeedSrc{}, obs: h.cfg.Obs}
+	s.fw.tap = h.cfg.Tap
 	fr := newFrameReader(c)
 	fr.obs = h.cfg.Obs
+	fr.tap = h.cfg.Tap
 	s.armReadDeadline()
 	helloStart := spanClock(s.obs)
 	hello, err := fr.read()
 	if err != nil || hello.typ != frameHello {
+		if err == nil {
+			err = codecErrf("transport: expected hello, got frame type %d", hello.typ)
+		}
+		h.reportErr(err)
 		s.send(frame{typ: frameError, str: "expected hello"})
 		return
 	}
 	s.trace = hello.ver
+	s.fw.sess, fr.sess = hello.ver, hello.ver
 	if hello.flag != protocolVersion {
 		s.send(frame{typ: frameError, str: fmt.Sprintf("protocol version mismatch: client speaks v%d, this host v%d", hello.flag, protocolVersion)})
 		return
@@ -294,6 +330,7 @@ func (h *Host) serveSession(c net.Conn) {
 	route, rerr := h.cfg.route(hello.data)
 	s.obs.Observe(obs.HAdmissionNs, s.obs.Nanos()-admitStart)
 	if rerr != nil {
+		h.reportErr(rerr)
 		s.obs.Add(obs.CRefusals, 1)
 		// A refusal is typed on the wire (unknown design, over
 		// capacity) so the dialing peer can tell "back off and retry"
@@ -329,6 +366,10 @@ func (h *Host) serveSession(c net.Conn) {
 		s.armReadDeadline()
 		f, err := fr.read()
 		if err != nil {
+			if isTimeout(err) {
+				err = &TimeoutError{Op: "read", After: s.timeout}
+			}
+			h.reportErr(err)
 			break
 		}
 		switch f.typ {

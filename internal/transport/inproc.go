@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+
+	"dxml/internal/obs"
 )
 
 // InProc is the in-process transport: the kernel peer and the resource
@@ -24,6 +28,51 @@ type InProc struct {
 	// sender may run ahead of its receiver. Zero means DefaultWindow;
 	// values are clamped into [1, the transport-wide maximum].
 	Window int
+	// Tap, when non-nil, observes the session's protocol events as
+	// synthesized wire frames: in-process transfers exchange no bytes,
+	// so the tap encodes the frame each event *would* put on the TCP
+	// wire (open, begin, chunks, end, verdicts, rejects) and hands it
+	// over — the same capture format both transports then share. The
+	// session's tag is a trace ID minted at the first tapped frame.
+	// Nil (the default) costs one nil check per event and nothing else.
+	Tap Tap
+
+	tapMu   sync.Mutex // serializes the lazily-built tap encoder
+	tapEnc  *frameWriter
+	tapDest tapSink
+	nextID  atomic.Uint32
+}
+
+// tapSink adapts a Tap to the frame encoder: every encoded frame's
+// bytes are handed to the tap as one head slice. The caller sets dir
+// per frame under the InProc tap mutex.
+type tapSink struct {
+	tap  Tap
+	dir  TapDir
+	sess uint64
+}
+
+func (s *tapSink) Write(p []byte) (int, error) {
+	s.tap.TapFrame(s.dir, s.sess, p, nil)
+	return len(p), nil
+}
+
+// tapFrame encodes one synthesized frame into the tap; a no-op without
+// a tap. Chunk frames go through the general encoder, not the vectored
+// writeChunk — net.Buffers on a non-socket writer would split the
+// header and payload into two tap events.
+func (s *InProc) tapFrame(dir TapDir, f frame) {
+	if s.Tap == nil {
+		return
+	}
+	s.tapMu.Lock()
+	defer s.tapMu.Unlock()
+	if s.tapEnc == nil {
+		s.tapDest = tapSink{tap: s.Tap, sess: obs.NewTraceID()}
+		s.tapEnc = &frameWriter{w: &s.tapDest}
+	}
+	s.tapDest.dir = dir
+	s.tapEnc.write(f)
 }
 
 // window resolves the effective credit window.
@@ -48,10 +97,18 @@ func (s *InProc) Verdict(ctx context.Context, fn string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	id := s.nextID.Add(1)
+	s.tapFrame(TapOut, frame{typ: frameVerdictReq, id: id, str: fn})
 	v := src.Verdict(ctx)
 	if err := ctx.Err(); err != nil {
+		s.tapFrame(TapOut, frame{typ: frameVerdictCancel, id: id})
 		return false, err
 	}
+	flag := byte(0)
+	if v {
+		flag = 1
+	}
+	s.tapFrame(TapIn, frame{typ: frameVerdict, id: id, flag: flag})
 	return v, nil
 }
 
@@ -69,11 +126,20 @@ func (s *InProc) Open(ctx context.Context, fn string) (Fragment, error) {
 		return nil, err
 	}
 	win := s.window()
+	id := s.nextID.Add(1)
+	s.tapFrame(TapOut, frame{typ: frameOpen, id: id, str: fn})
+	if s.Tap != nil {
+		// The begin frame announces the size; resolving it costs the
+		// size walk accepted transfers normally skip, a price only paid
+		// while recording.
+		s.tapFrame(TapIn, frame{typ: frameBegin, id: id, size: uint64(src.Size()), win: uint32(win)})
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	ch := make(chan []byte, win-1)
 	go func() {
 		defer close(ch)
 		w := newChunkerDepth(s.Chunk, win+1, func(chunk []byte) error {
+			s.tapFrame(TapIn, frame{typ: frameChunk, id: id, data: chunk})
 			select {
 			case ch <- chunk:
 				return nil
@@ -82,10 +148,12 @@ func (s *InProc) Open(ctx context.Context, fn string) (Fragment, error) {
 			}
 		})
 		if src.Serialize(w) == nil {
-			w.flush() // the final partial chunk
+			if w.flush() == nil { // the final partial chunk
+				s.tapFrame(TapIn, frame{typ: frameEnd, id: id})
+			}
 		}
 	}()
-	return &inprocFragment{src: src, ch: ch, cancel: cancel}, nil
+	return &inprocFragment{sess: s, id: id, src: src, ch: ch, cancel: cancel}, nil
 }
 
 // Close is a no-op: in-process sessions hold no resources beyond their
@@ -93,9 +161,12 @@ func (s *InProc) Open(ctx context.Context, fn string) (Fragment, error) {
 func (s *InProc) Close() error { return nil }
 
 type inprocFragment struct {
-	src    Source
-	ch     <-chan []byte
-	cancel context.CancelFunc
+	sess    *InProc
+	id      uint32
+	src     Source
+	ch      <-chan []byte
+	cancel  context.CancelFunc
+	aborted bool
 }
 
 // Size is resolved lazily from the source: only aborted transfers need
@@ -112,4 +183,10 @@ func (f *inprocFragment) Next() ([]byte, error) {
 	return chunk, nil
 }
 
-func (f *inprocFragment) Abort() { f.cancel() }
+func (f *inprocFragment) Abort() {
+	if !f.aborted {
+		f.aborted = true
+		f.sess.tapFrame(TapOut, frame{typ: frameReject, id: f.id, str: "rejected by receiver"})
+	}
+	f.cancel()
+}

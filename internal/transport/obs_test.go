@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -128,12 +129,34 @@ func TestTraceIDRoundTrip(t *testing.T) {
 	}
 }
 
+// ringTap is the bench's stand-in for the flight recorder's ring: it
+// copies every tapped frame into a fixed set of reusable slots. It
+// lives here because transport cannot import internal/flight (cycle),
+// but it performs the same work — copy head+tail into a bounded buffer
+// under a lock — so the "recording" bench variant prices the real seam.
+type ringTap struct {
+	mu    sync.Mutex
+	slots [64][]byte
+	n     uint64
+}
+
+func (r *ringTap) TapFrame(dir TapDir, sess uint64, head, tail []byte) {
+	r.mu.Lock()
+	i := r.n % uint64(len(r.slots))
+	buf := r.slots[i][:0]
+	buf = append(buf, head...)
+	buf = append(buf, tail...)
+	r.slots[i] = buf
+	r.n++
+	r.mu.Unlock()
+}
+
 // benchChunkPath drives the wire's per-chunk hot path — the vectored
 // writeChunk onto a real TCP conn plus the exact telemetry sequence
-// creditedSend performs around it — under a given collector. With c ==
-// nil this is the no-op sink the overhead gate compares against; both
-// variants must stay at 0 allocs/op.
-func benchChunkPath(b *testing.B, c *obs.Collector) {
+// creditedSend performs around it — under a given collector and tap.
+// With c == nil this is the no-op sink the overhead gate compares
+// against; the nil-tap variants must stay at 0 allocs/op.
+func benchChunkPath(b *testing.B, c *obs.Collector, tap Tap) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -153,7 +176,7 @@ func benchChunkPath(b *testing.B, c *obs.Collector) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fw := &frameWriter{w: conn}
+	fw := &frameWriter{w: conn, tap: tap}
 	chunk := blob(4096)
 	const win = 32
 	var ring []atomic.Int64
@@ -186,10 +209,14 @@ func benchChunkPath(b *testing.B, c *obs.Collector) {
 }
 
 // BenchmarkObsOverhead is the telemetry overhead gate: the instrumented
-// chunk path against the no-op sink, both allocation-free. CI compares
-// the two throughputs and fails the build if instrumentation costs more
-// than a few percent, or if either path allocates.
+// chunk path against the no-op sink, both allocation-free with a nil
+// tap. CI compares the throughputs and fails the build if
+// instrumentation costs more than a few percent, or if either nil-tap
+// path allocates. The "recording" variant additionally prices the
+// flight-recorder seam live — copying every frame into a bounded ring —
+// and is reported for EXPERIMENTS.md, not gated.
 func BenchmarkObsOverhead(b *testing.B) {
-	b.Run("noop", func(b *testing.B) { benchChunkPath(b, nil) })
-	b.Run("instrumented", func(b *testing.B) { benchChunkPath(b, obs.New()) })
+	b.Run("noop", func(b *testing.B) { benchChunkPath(b, nil, nil) })
+	b.Run("instrumented", func(b *testing.B) { benchChunkPath(b, obs.New(), nil) })
+	b.Run("recording", func(b *testing.B) { benchChunkPath(b, obs.New(), &ringTap{}) })
 }

@@ -67,6 +67,11 @@ type Config struct {
 	// the trace ID minted at the hello. Nil (the default) is the no-op
 	// sink — the hot paths then pay one nil check and nothing else.
 	Obs *obs.Collector
+	// Tap, when non-nil, observes every frame this session writes or
+	// reads, as raw wire bytes tagged with the session's trace ID — the
+	// flight-recorder seam. Nil (the default) costs the hot paths one
+	// nil check and nothing else.
+	Tap Tap
 }
 
 // Conn is an established TCP session with one peer host, from the
@@ -139,6 +144,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 		obs:       cfg.Obs,
 		trace:     obs.NewTraceID(),
 	}
+	c.fw.tap, c.fw.sess = cfg.Tap, c.trace
 	c.bufPool.New = func() any { return new([]byte) }
 	helloStart := spanClock(cfg.Obs)
 	if err := c.send(frame{
@@ -154,6 +160,7 @@ func Dial(addr string, cfg Config) (*Conn, error) {
 	}
 	fr := newFrameReader(nc)
 	fr.obs = cfg.Obs
+	fr.tap, fr.sess = cfg.Tap, c.trace
 	c.armReadDeadline()
 	f, err := fr.read()
 	if err != nil {
